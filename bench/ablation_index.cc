@@ -1,0 +1,147 @@
+// Ablations of the design choices DESIGN.md calls out:
+//   (a) PB-tree fanout: selection time and pruning power vs fanout;
+//   (b) bulk load vs the paper's incremental insertion: build time and
+//       bound tightness (sum of leaf D-metrics);
+//   (c) enumeration epsilon: quality-evaluation time vs exact lost mass
+//       (the paper's "omit low-probability worlds" knob);
+//   (d) clustering-based candidate reduction (the paper's future-work
+//       item, core::ClusterSelector): candidate space and selection time
+//       vs the full index at several cluster spreads, with the chosen
+//       pair's EI estimate showing the cost/quality trade-off.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "core/cluster_selector.h"
+#include "data/synthetic.h"
+#include "harness.h"
+#include "pw/topk_enumerator.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+double LeafBoundSpread(const ptk::pbtree::PBTree& tree) {
+  double total = 0.0;
+  std::function<void(const ptk::pbtree::Node*)> walk =
+      [&](const ptk::pbtree::Node* n) {
+        if (n->leaf) {
+          total += ptk::pbtree::BoundDistance(n->lbo, n->ubo);
+          return;
+        }
+        for (const auto& c : n->children) walk(c.get());
+      };
+  walk(tree.root());
+  return total;
+}
+
+}  // namespace
+
+int main() {
+  using ptk::bench::Fmt;
+  using ptk::bench::FmtSci;
+
+  ptk::data::SynOptions syn;
+  syn.num_objects = ptk::bench::Scaled(2000);
+  syn.value_range = syn.num_objects * 2.0;
+  const ptk::model::Database db = ptk::data::MakeSynDataset(syn);
+  const int k = 10;
+
+  ptk::bench::Banner("Ablation (a): PB-tree fanout");
+  ptk::bench::Row({"fanout", "select time (s)", "pairs scored",
+                   "node pairs"}, 18);
+  for (const int fanout : {4, 8, 16, 32}) {
+    ptk::core::SelectorOptions options;
+    options.k = k;
+    options.fanout = fanout;
+    ptk::util::Stopwatch watch;
+    ptk::core::BoundSelector selector(
+        db, options, ptk::core::BoundSelector::Mode::kOptimized);
+    std::vector<ptk::core::ScoredPair> out;
+    if (!selector.SelectPairs(1, &out).ok()) return 1;
+    ptk::bench::Row(
+        {std::to_string(fanout), FmtSci(watch.ElapsedSeconds()),
+         std::to_string(selector.stats().stream.object_pairs_scored),
+         std::to_string(selector.stats().stream.node_pairs_pushed)},
+        18);
+  }
+
+  ptk::bench::Banner("\nAblation (b): bulk load vs incremental insertion");
+  ptk::bench::Row({"construction", "build time (s)", "leaf D-metric sum"},
+                  22);
+  {
+    ptk::data::SynOptions small = syn;
+    small.num_objects = ptk::bench::Scaled(400);
+    small.value_range = small.num_objects * 2.0;
+    const ptk::model::Database sdb = ptk::data::MakeSynDataset(small);
+    for (const bool bulk : {true, false}) {
+      ptk::pbtree::PBTree::Options topts;
+      topts.fanout = 8;
+      topts.bulk_load = bulk;
+      ptk::util::Stopwatch watch;
+      const ptk::pbtree::PBTree tree(sdb, topts);
+      const double t = watch.ElapsedSeconds();
+      ptk::bench::Row({bulk ? "bulk" : "incremental", FmtSci(t),
+                       Fmt(LeafBoundSpread(tree), 2)},
+                      22);
+    }
+  }
+
+  ptk::bench::Banner("\nAblation (c): enumeration epsilon");
+  ptk::bench::Row({"epsilon", "time (s)", "results", "lost mass",
+                   "entropy"}, 14);
+  const ptk::pw::TopKEnumerator enumerator(db);
+  for (const double eps : {0.0, 1e-12, 1e-9, 1e-7, 1e-5}) {
+    ptk::pw::EnumeratorOptions options;
+    options.epsilon = eps;
+    options.max_states = int64_t{200'000'000};
+    ptk::pw::TopKDistribution dist;
+    ptk::util::Stopwatch watch;
+    const ptk::util::Status s = enumerator.Enumerate(
+        k, ptk::pw::OrderMode::kInsensitive, nullptr, options, &dist);
+    if (!s.ok()) {
+      ptk::bench::Row({FmtSci(eps), "n/a", s.ToString(), "", ""}, 14);
+      continue;
+    }
+    ptk::bench::Row({FmtSci(eps), FmtSci(watch.ElapsedSeconds()),
+                     std::to_string(dist.size()), FmtSci(dist.lost_mass()),
+                     Fmt(dist.Entropy(), 4)},
+                    14);
+  }
+
+  ptk::bench::Banner("\nAblation (d): clustering-based candidate reduction");
+  ptk::bench::Row({"spread", "clusters", "candidates", "time (s)",
+                   "best EI est."}, 14);
+  {
+    ptk::core::SelectorOptions options;
+    options.k = k;
+    options.fanout = 8;
+    // Full index as the reference row.
+    {
+      ptk::util::Stopwatch watch;
+      ptk::core::BoundSelector full(
+          db, options, ptk::core::BoundSelector::Mode::kOptimized);
+      std::vector<ptk::core::ScoredPair> out;
+      if (!full.SelectPairs(1, &out).ok()) return 1;
+      ptk::bench::Row({"(full)", std::to_string(db.num_objects()),
+                       std::to_string(full.stats().stream.object_pairs_scored),
+                       FmtSci(watch.ElapsedSeconds()),
+                       Fmt(out[0].ei_estimate, 4)},
+                      14);
+    }
+    for (const double spread : {1.0, 5.0, 20.0}) {
+      ptk::util::Stopwatch watch;
+      ptk::core::ClusterSelector selector(db, options, spread);
+      std::vector<ptk::core::ScoredPair> out;
+      if (!selector.SelectPairs(1, &out).ok()) return 1;
+      ptk::bench::Row({Fmt(spread, 1),
+                       std::to_string(selector.clusters().size()),
+                       std::to_string(selector.stats().candidate_pairs),
+                       FmtSci(watch.ElapsedSeconds()),
+                       Fmt(out.empty() ? 0.0 : out[0].ei_estimate, 4)},
+                      14);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,79 @@
+#ifndef PTK_BENCH_EVAL_COMMON_H_
+#define PTK_BENCH_EVAL_COMMON_H_
+
+// Shared evaluation helpers for the effectiveness figures (Figs. 6-10):
+// every method's selected pairs are scored by the *same* exact expected
+// quality under the Eq. 19 crowd model, so differences reflect selection
+// quality only.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/quality.h"
+#include "core/random_selector.h"
+#include "core/selector.h"
+#include "crowd/crowd_model.h"
+
+namespace ptk::bench {
+
+using RealProbFn = std::function<double(model::ObjectId, model::ObjectId)>;
+
+inline RealProbFn BiasedRealProb(const crowd::BiasedCrowd& crowd) {
+  return [&crowd](model::ObjectId x, model::ObjectId y) {
+    return crowd.RealProb(x, y);
+  };
+}
+
+/// H(S_k) of the uncleaned database; aborts on failure (bench harnesses
+/// are not recoverable).
+inline double BaseQuality(const core::QualityEvaluator& evaluator) {
+  double h = 0.0;
+  const util::Status s = evaluator.Quality(nullptr, &h);
+  if (!s.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return h;
+}
+
+/// EI(S_k | batch) under the crowd model, with the base quality passed in
+/// so it is enumerated once per configuration instead of per call.
+inline double BatchEI(const core::QualityEvaluator& evaluator,
+                      const std::vector<core::ScoredPair>& batch,
+                      const RealProbFn& preal, double base_quality) {
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> pairs;
+  pairs.reserve(batch.size());
+  for (const auto& p : batch) pairs.emplace_back(p.a, p.b);
+  double eh = 0.0;
+  const util::Status s =
+      evaluator.ExpectedQualityUnderCrowd(pairs, preal, &eh, nullptr);
+  if (!s.ok()) {
+    std::fprintf(stderr, "evaluation failed: %s\n", s.ToString().c_str());
+    std::exit(1);
+  }
+  return base_quality - eh;
+}
+
+/// Average EI of `quota`-sized random batches over `draws` seeds (the
+/// paper's RAND / RAND_K averaging protocol).
+inline double AverageRandomEI(const model::Database& db,
+                              const core::QualityEvaluator& evaluator,
+                              core::SelectorOptions options,
+                              core::RandomSelector::Mode mode, int quota,
+                              int draws, const RealProbFn& preal,
+                              double base_quality) {
+  double total = 0.0;
+  for (int d = 0; d < draws; ++d) {
+    options.seed = 1000 + d;
+    core::RandomSelector selector(db, options, mode);
+    std::vector<core::ScoredPair> batch;
+    if (!selector.SelectPairs(quota, &batch).ok()) continue;
+    total += BatchEI(evaluator, batch, preal, base_quality);
+  }
+  return total / draws;
+}
+
+}  // namespace ptk::bench
+
+#endif  // PTK_BENCH_EVAL_COMMON_H_

@@ -1,0 +1,69 @@
+// Fig. 10: effect of the object-pair quota (HRS1, HRS2, RAND) for several
+// k, on IMDB-like and SYN-like data.
+//
+// Expected shape: both heuristics far above RAND, HRS2 slightly above
+// HRS1; improvement grows with the quota and saturates at a k-dependent
+// convergence value (larger k and denser data converge later).
+
+#include <cstdio>
+#include <string>
+
+#include "core/multi_quota.h"
+#include "data/synthetic.h"
+#include "eval_common.h"
+#include "harness.h"
+
+namespace {
+
+void RunDataset(const std::string& name, const ptk::model::Database& db,
+                int max_quota) {
+  const ptk::crowd::BiasedCrowd crowd(db, 0.19, 10);
+  const auto preal = ptk::bench::BiasedRealProb(crowd);
+  const int rand_draws = 5;
+
+  for (const int k : {5, 10}) {
+    ptk::core::SelectorOptions options;
+    options.k = k;
+    options.fanout = 8;
+    options.candidate_pool = 4 * max_quota;
+    options.enumerator.epsilon = 1e-9;
+    const ptk::core::QualityEvaluator evaluator(
+        db, k, ptk::pw::OrderMode::kInsensitive, options.enumerator);
+    const double base_h = ptk::bench::BaseQuality(evaluator);
+
+    ptk::core::Hrs1Selector hrs1(db, options);
+    ptk::core::Hrs2Selector hrs2(db, options);
+    std::printf("\n[%s] objects=%d k=%d\n", name.c_str(), db.num_objects(),
+                k);
+    ptk::bench::Row({"quota", "HRS1", "HRS2", "RAND"});
+    for (int quota = 1; quota <= max_quota; ++quota) {
+      std::vector<ptk::core::ScoredPair> batch1, batch2;
+      if (!hrs1.SelectPairs(quota, &batch1).ok()) std::exit(1);
+      if (!hrs2.SelectPairs(quota, &batch2).ok()) std::exit(1);
+      const double ei1 = ptk::bench::BatchEI(evaluator, batch1, preal, base_h);
+      const double ei2 = ptk::bench::BatchEI(evaluator, batch2, preal, base_h);
+      const double ei_rand = ptk::bench::AverageRandomEI(
+          db, evaluator, options, ptk::core::RandomSelector::Mode::kUniform,
+          quota, rand_draws, preal, base_h);
+      ptk::bench::Row({std::to_string(quota), ptk::bench::Fmt(ei1),
+                       ptk::bench::Fmt(ei2), ptk::bench::Fmt(ei_rand)});
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  ptk::bench::Banner("Fig. 10: effect of the object-pair quota");
+  const int max_quota = ptk::bench::Scale() >= 2.0 ? 8 : 6;
+
+  ptk::data::ImdbOptions imdb;
+  imdb.num_movies = ptk::bench::Scaled(300);
+  RunDataset("IMDB", ptk::data::MakeImdbDataset(imdb), max_quota);
+
+  ptk::data::SynOptions syn;
+  syn.num_objects = ptk::bench::Scaled(600);
+  syn.value_range = syn.num_objects * 2.0;
+  RunDataset("SYN", ptk::data::MakeSynDataset(syn), max_quota);
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Fig. 11: deviation of the Algorithm 5 Δ(A(P_1)) approximation — the gap
+// between its upper and lower bound — for the top-Q candidate pairs,
+// compared against the SQ quality improvement itself.
+//
+// Expected shape: the deviation is an order of magnitude below the SQ
+// improvement (so the midpoint approximation cannot flip a materially
+// better pair), and it grows mildly with Q because the very best pairs
+// have the smallest Δ.
+
+#include <cstdio>
+
+#include "core/bound_selector.h"
+#include "data/synthetic.h"
+#include "harness.h"
+
+int main() {
+  using ptk::bench::Fmt;
+  ptk::bench::Banner("Fig. 11: deviation of the Delta bounds (top-Q pairs)");
+
+  ptk::data::ImdbOptions imdb;
+  imdb.num_movies = ptk::bench::Scaled(800);
+  const ptk::model::Database db = ptk::data::MakeImdbDataset(imdb);
+  const int k = 10;
+  const int max_q = 10;
+
+  ptk::core::SelectorOptions options;
+  options.k = k;
+  options.fanout = 8;
+  ptk::core::BoundSelector selector(
+      db, options, ptk::core::BoundSelector::Mode::kOptimized);
+  std::vector<ptk::core::ScoredPair> top;
+  if (!selector.SelectPairs(max_q, &top).ok()) return 1;
+  const double sq_improvement = top.empty() ? 0.0 : top[0].ei_estimate;
+
+  std::printf("objects=%d k=%d, SQ improvement estimate = %s\n\n",
+              db.num_objects(), k, Fmt(sq_improvement).c_str());
+  ptk::bench::Row({"Q", "avg deviation", "SQ improvement", "ratio"});
+  double deviation_sum = 0.0;
+  for (int q = 1; q <= static_cast<int>(top.size()); ++q) {
+    deviation_sum += top[q - 1].ei_upper - top[q - 1].ei_lower;
+    const double avg = deviation_sum / q;
+    ptk::bench::Row({std::to_string(q), Fmt(avg), Fmt(sq_improvement),
+                     Fmt(sq_improvement > 0 ? avg / sq_improvement : 0.0,
+                         3)});
+  }
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Fig. 12: overall elapsed time of the selection algorithms vs k on the
+// AGE-like and IMDB-like datasets: BF (brute force: exact EI for every
+// pair) against PBTREE (Algorithms 1-3 + Algorithm 5 bounds) and OPT
+// (Section 4.4 node-pair bound).
+//
+// BF is measured on a sample of pairs and extrapolated to the full
+// quadratic pair space — at the paper's scale it runs for days (Fig. 12
+// shows >10^6 seconds at k = 15), and that is exactly the point.
+//
+// Expected shape: BF grows steeply with k and dwarfs the index-based
+// methods by orders of magnitude; OPT is the fastest.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "core/quality.h"
+#include "data/synthetic.h"
+#include "harness.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+// Seconds for BF to evaluate all pairs, extrapolated from a sample.
+double BruteForceSeconds(const ptk::model::Database& db, int k,
+                         int sample_pairs) {
+  ptk::pw::EnumeratorOptions eopts;
+  eopts.epsilon = 1e-9;
+  const ptk::core::QualityEvaluator evaluator(
+      db, k, ptk::pw::OrderMode::kInsensitive, eopts);
+  const int64_t m = db.num_objects();
+  const int64_t all_pairs = m * (m - 1) / 2;
+  ptk::util::Stopwatch watch;
+  int done = 0;
+  for (ptk::model::ObjectId a = 0; a < m && done < sample_pairs; ++a) {
+    for (ptk::model::ObjectId b = a + 1; b < m && done < sample_pairs; ++b) {
+      // Spread the sample across the id space for a fair mix of pairs.
+      const ptk::model::ObjectId bb =
+          (b * 7919) % m;  // pseudo-random second member
+      if (bb == a) continue;
+      double ei = 0.0;
+      if (!evaluator.ExactExpectedImprovement(a, bb, nullptr, &ei).ok()) {
+        continue;
+      }
+      ++done;
+    }
+  }
+  const double per_pair = watch.ElapsedSeconds() / std::max(done, 1);
+  return per_pair * static_cast<double>(all_pairs);
+}
+
+void RunDataset(const std::string& name, const ptk::model::Database& db,
+                const std::vector<int>& ks) {
+  std::printf("\n[%s] objects=%d\n", name.c_str(), db.num_objects());
+  ptk::bench::Row({"k", "BF (extrap.)", "PBTREE", "OPT"});
+  for (const int k : ks) {
+    const double bf = BruteForceSeconds(db, k, k >= 15 ? 3 : 8);
+
+    ptk::core::SelectorOptions options;
+    options.k = k;
+    options.fanout = 8;
+    ptk::util::Stopwatch watch;
+    ptk::core::BoundSelector basic(db, options,
+                                   ptk::core::BoundSelector::Mode::kBasic);
+    std::vector<ptk::core::ScoredPair> out;
+    if (!basic.SelectPairs(1, &out).ok()) std::exit(1);
+    const double t_basic = watch.ElapsedSeconds();
+
+    watch.Restart();
+    ptk::core::BoundSelector opt(db, options,
+                                 ptk::core::BoundSelector::Mode::kOptimized);
+    if (!opt.SelectPairs(1, &out).ok()) std::exit(1);
+    const double t_opt = watch.ElapsedSeconds();
+
+    ptk::bench::Row({std::to_string(k), ptk::bench::FmtSci(bf),
+                     ptk::bench::FmtSci(t_basic), ptk::bench::FmtSci(t_opt)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  ptk::bench::Banner("Fig. 12: overall elapsed time (seconds)");
+  ptk::data::AgeOptions age;
+  age.num_objects = ptk::bench::Scaled(100);
+  RunDataset("AGE", ptk::data::MakeAgeDataset(age).db, {3, 5, 8, 10});
+
+  ptk::data::ImdbOptions imdb;
+  imdb.num_movies = ptk::bench::Scaled(300);
+  RunDataset("IMDB", ptk::data::MakeImdbDataset(imdb), {5, 10, 15, 20});
+  return 0;
+}

@@ -1,0 +1,159 @@
+// Fig. 13: scalability on synthetic data.
+//   (a) overall selection time vs cardinality (BF extrapolated, PBTREE,
+//       OPT);
+//   (b) time to deliver object pairs in descending H(A(P_1)) order: brute
+//       force (compute all O(n^2) pairs and sort) vs the PB-tree stream;
+//   (c) average Δ(A(P_1)) derivation time per pair vs cardinality:
+//       bound-based (Algorithm 5) vs BF (exact conditioning);
+//   (d) the same vs k at a fixed cardinality.
+//
+// Expected shape: BF blows up quadratically (a, b) and with enumeration
+// cost (c, d) while the bound-based path stays near-flat — the paper's
+// "days to one minute" headline.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "core/delta_bounds.h"
+#include "core/quality.h"
+#include "data/synthetic.h"
+#include "harness.h"
+#include "pbtree/pair_stream.h"
+#include "rank/pairwise_prob.h"
+#include "util/entropy.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+ptk::model::Database MakeSyn(int n) {
+  ptk::data::SynOptions syn;
+  syn.num_objects = n;
+  syn.value_range = n * 2.0;  // constant contention across cardinalities
+  syn.seed = 31;
+  return ptk::data::MakeSynDataset(syn);
+}
+
+double ExactDeltaSeconds(const ptk::model::Database& db, int k, int samples) {
+  // The BF Δ derivation conditions the full top-k distribution (the
+  // method of [29], as the paper's baseline does).
+  ptk::pw::EnumeratorOptions eopts;
+  eopts.epsilon = 1e-9;
+  const ptk::core::QualityEvaluator evaluator(
+      db, k, ptk::pw::OrderMode::kInsensitive, eopts);
+  ptk::util::Stopwatch watch;
+  for (int s = 0; s < samples; ++s) {
+    double ei = 0.0;
+    const ptk::model::ObjectId a = (s * 13) % db.num_objects();
+    const ptk::model::ObjectId b = (a + 1 + s) % db.num_objects();
+    if (a == b) continue;
+    (void)evaluator.ExactExpectedImprovement(std::min(a, b), std::max(a, b),
+                                             nullptr, &ei);
+  }
+  return watch.ElapsedSeconds() / samples;
+}
+
+double BoundDeltaSeconds(const ptk::model::Database& db, int k,
+                         int samples) {
+  ptk::rank::MembershipCalculator membership(db, k);
+  const ptk::core::DeltaEstimator estimator(db, membership,
+                                            ptk::pw::OrderMode::kInsensitive);
+  ptk::util::Stopwatch watch;
+  for (int s = 0; s < samples; ++s) {
+    const ptk::model::ObjectId a = (s * 13) % db.num_objects();
+    const ptk::model::ObjectId b = (a + 1 + s) % db.num_objects();
+    if (a == b) continue;
+    (void)estimator.Estimate(std::min(a, b), std::max(a, b));
+  }
+  return watch.ElapsedSeconds() / samples;
+}
+
+}  // namespace
+
+int main() {
+  using ptk::bench::FmtSci;
+  ptk::bench::Banner("Fig. 13(a): overall elapsed time vs cardinality (s)");
+  std::vector<int> cardinalities = {1000, 2000, 5000};
+  if (ptk::bench::Scale() >= 2.0) cardinalities.push_back(10000);
+  if (ptk::bench::Scale() >= 8.0) cardinalities.push_back(100000);
+  const int k = 10;
+
+  ptk::bench::Row({"objects", "BF (extrap.)", "PBTREE", "OPT"});
+  for (const int n : cardinalities) {
+    const ptk::model::Database db = MakeSyn(n);
+    const double per_pair = ExactDeltaSeconds(db, k, 3);
+    const double bf =
+        per_pair * (static_cast<double>(n) * (n - 1) / 2.0);
+
+    ptk::core::SelectorOptions options;
+    options.k = k;
+    options.fanout = 8;
+    ptk::util::Stopwatch watch;
+    ptk::core::BoundSelector basic(db, options,
+                                   ptk::core::BoundSelector::Mode::kBasic);
+    std::vector<ptk::core::ScoredPair> out;
+    if (!basic.SelectPairs(1, &out).ok()) return 1;
+    const double t_basic = watch.ElapsedSeconds();
+    watch.Restart();
+    ptk::core::BoundSelector opt(db, options,
+                                 ptk::core::BoundSelector::Mode::kOptimized);
+    if (!opt.SelectPairs(1, &out).ok()) return 1;
+    const double t_opt = watch.ElapsedSeconds();
+    ptk::bench::Row({std::to_string(n), FmtSci(bf), FmtSci(t_basic),
+                     FmtSci(t_opt)});
+  }
+
+  ptk::bench::Banner(
+      "\nFig. 13(b): pair-ordering time vs cardinality (s)");
+  ptk::bench::Row({"objects", "BF sort", "PBTREE stream"});
+  for (const int n : cardinalities) {
+    const ptk::model::Database db = MakeSyn(n);
+    // BF: H(A(P_1)) for all pairs, then sort.
+    ptk::util::Stopwatch watch;
+    std::vector<double> scores;
+    scores.reserve(static_cast<size_t>(n) * (n - 1) / 2);
+    for (ptk::model::ObjectId a = 0; a < n; ++a) {
+      for (ptk::model::ObjectId b = a + 1; b < n; ++b) {
+        scores.push_back(ptk::util::BinaryEntropy(
+            ptk::rank::ProbGreater(db.object(a), db.object(b))));
+      }
+    }
+    std::sort(scores.rbegin(), scores.rend());
+    const double t_bf = watch.ElapsedSeconds();
+
+    // PB-tree: build + stream the first 100 pairs (all a selection
+    // typically consumes).
+    watch.Restart();
+    ptk::pbtree::PBTree::Options topts;
+    topts.fanout = 8;
+    const ptk::pbtree::PBTree tree(db, topts);
+    const ptk::pbtree::HEntropyScorer scorer(db);
+    ptk::pbtree::PairStream stream(tree, scorer);
+    for (int i = 0; i < 100; ++i) {
+      if (!stream.Next()) break;
+    }
+    const double t_tree = watch.ElapsedSeconds();
+    ptk::bench::Row({std::to_string(n), FmtSci(t_bf), FmtSci(t_tree)});
+  }
+
+  ptk::bench::Banner(
+      "\nFig. 13(c): Delta derivation time per pair vs cardinality (s)");
+  ptk::bench::Row({"objects", "BF", "bound-based"});
+  for (const int n : cardinalities) {
+    const ptk::model::Database db = MakeSyn(n);
+    ptk::bench::Row({std::to_string(n), FmtSci(ExactDeltaSeconds(db, k, 3)),
+                     FmtSci(BoundDeltaSeconds(db, k, 50))});
+  }
+
+  ptk::bench::Banner(
+      "\nFig. 13(d): Delta derivation time per pair vs k (s)");
+  const ptk::model::Database db = MakeSyn(ptk::bench::Scaled(2000));
+  ptk::bench::Row({"k", "BF", "bound-based"});
+  for (const int kk : {5, 10, 15, 20}) {
+    ptk::bench::Row({std::to_string(kk),
+                     FmtSci(ExactDeltaSeconds(db, kk, 3)),
+                     FmtSci(BoundDeltaSeconds(db, kk, 50))});
+  }
+  return 0;
+}

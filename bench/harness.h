@@ -1,0 +1,53 @@
+#ifndef PTK_BENCH_HARNESS_H_
+#define PTK_BENCH_HARNESS_H_
+
+// Shared helpers for the figure/table reproduction harnesses. Each bench
+// binary regenerates one table or figure of the paper's evaluation
+// (Section 6) and prints the same rows/series the paper reports. Dataset
+// sizes default to laptop-friendly values; set PTK_BENCH_SCALE (a float
+// multiplier, e.g. 4) to approach the paper's full sizes.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace ptk::bench {
+
+inline double Scale() {
+  const char* env = std::getenv("PTK_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::atof(env);
+  return v > 0.0 ? v : 1.0;
+}
+
+inline int Scaled(int base) {
+  return static_cast<int>(base * Scale());
+}
+
+/// Prints a header line like "== Fig. 7: ... ==".
+inline void Banner(const std::string& title) {
+  std::printf("== %s ==\n", title.c_str());
+}
+
+/// Prints one row of a fixed-width table.
+inline void Row(const std::vector<std::string>& cells, int width = 14) {
+  for (const std::string& c : cells) std::printf("%-*s", width, c.c_str());
+  std::printf("\n");
+}
+
+inline std::string Fmt(double v, int precision = 5) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+inline std::string FmtSci(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.3e", v);
+  return buf;
+}
+
+}  // namespace ptk::bench
+
+#endif  // PTK_BENCH_HARNESS_H_

@@ -1,0 +1,148 @@
+// Micro-benchmarks (google-benchmark) for the library's hot kernels:
+// pairwise probability, membership scans, Δ bounds, PB-tree construction,
+// and the top-k enumerator. These are the building blocks whose costs
+// compose into the Figs. 12-13 end-to-end numbers.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+
+#include "core/delta_bounds.h"
+#include "data/synthetic.h"
+#include "pbtree/pair_stream.h"
+#include "pbtree/pbtree.h"
+#include "pw/topk_enumerator.h"
+#include "rank/membership.h"
+#include "rank/pairwise_prob.h"
+#include "util/entropy.h"
+
+namespace {
+
+const ptk::model::Database& SynDb(int n) {
+  static std::map<int, ptk::model::Database>* cache =
+      new std::map<int, ptk::model::Database>();
+  auto it = cache->find(n);
+  if (it == cache->end()) {
+    ptk::data::SynOptions syn;
+    syn.num_objects = n;
+    syn.value_range = n * 2.0;
+    syn.seed = 17;
+    it = cache->emplace(n, ptk::data::MakeSynDataset(syn)).first;
+  }
+  return it->second;
+}
+
+void BM_BinaryEntropy(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptk::util::BinaryEntropy(x));
+    x = x < 0.9 ? x + 0.01 : 0.1;
+  }
+}
+BENCHMARK(BM_BinaryEntropy);
+
+void BM_ProbGreater(benchmark::State& state) {
+  const auto& db = SynDb(1000);
+  ptk::model::ObjectId a = 0;
+  for (auto _ : state) {
+    const ptk::model::ObjectId b = (a + 17) % db.num_objects();
+    benchmark::DoNotOptimize(
+        ptk::rank::ProbGreater(db.object(a), db.object(b)));
+    a = (a + 1) % db.num_objects();
+  }
+}
+BENCHMARK(BM_ProbGreater);
+
+void BM_MembershipBuild(benchmark::State& state) {
+  const auto& db = SynDb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ptk::rank::MembershipCalculator calc(db, 10);
+    benchmark::DoNotOptimize(calc.TopKProbability({0, 0}));
+  }
+}
+BENCHMARK(BM_MembershipBuild)->Arg(1000)->Arg(5000);
+
+void BM_PairTables(benchmark::State& state) {
+  const auto& db = SynDb(2000);
+  ptk::rank::MembershipCalculator calc(db, 10);
+  ptk::model::ObjectId a = 0;
+  for (auto _ : state) {
+    const ptk::model::ObjectId b = (a + 11) % db.num_objects();
+    benchmark::DoNotOptimize(
+        calc.ComputePairTables(std::min(a, b), std::max(a, b)));
+    a = (a + 7) % db.num_objects();
+  }
+}
+BENCHMARK(BM_PairTables);
+
+void BM_DeltaBounds(benchmark::State& state) {
+  const auto& db = SynDb(2000);
+  ptk::rank::MembershipCalculator calc(db, 10);
+  const ptk::core::DeltaEstimator estimator(
+      db, calc, ptk::pw::OrderMode::kInsensitive);
+  ptk::model::ObjectId a = 0;
+  for (auto _ : state) {
+    const ptk::model::ObjectId b = (a + 11) % db.num_objects();
+    benchmark::DoNotOptimize(
+        estimator.Estimate(std::min(a, b), std::max(a, b)));
+    a = (a + 7) % db.num_objects();
+  }
+}
+BENCHMARK(BM_DeltaBounds);
+
+void BM_PBTreeBulkLoad(benchmark::State& state) {
+  const auto& db = SynDb(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ptk::pbtree::PBTree::Options options;
+    options.fanout = 8;
+    const ptk::pbtree::PBTree tree(db, options);
+    benchmark::DoNotOptimize(tree.num_nodes());
+  }
+}
+BENCHMARK(BM_PBTreeBulkLoad)->Arg(1000)->Arg(5000);
+
+void BM_PairStreamFirst(benchmark::State& state) {
+  const auto& db = SynDb(2000);
+  ptk::pbtree::PBTree::Options options;
+  options.fanout = 8;
+  const ptk::pbtree::PBTree tree(db, options);
+  const ptk::pbtree::HEntropyScorer scorer(db);
+  for (auto _ : state) {
+    ptk::pbtree::PairStream stream(tree, scorer);
+    benchmark::DoNotOptimize(stream.Next());
+  }
+}
+BENCHMARK(BM_PairStreamFirst);
+
+void BM_TopKEnumerate(benchmark::State& state) {
+  const auto& db = SynDb(1000);
+  const ptk::pw::TopKEnumerator enumerator(db);
+  ptk::pw::EnumeratorOptions options;
+  options.epsilon = 1e-9;
+  const int k = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    ptk::pw::TopKDistribution dist;
+    const auto s = enumerator.Enumerate(
+        k, ptk::pw::OrderMode::kInsensitive, nullptr, options, &dist);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(dist.Entropy());
+  }
+}
+BENCHMARK(BM_TopKEnumerate)->Arg(5)->Arg(10)->Arg(15);
+
+void BM_BoundObjectConstruction(benchmark::State& state) {
+  const auto& db = SynDb(1000);
+  std::vector<ptk::pbtree::BoundObject::Input> inputs;
+  for (ptk::model::ObjectId o = 0; o < 8; ++o) {
+    inputs.push_back({db.object(o).instances(), {}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptk::pbtree::BoundObject::LowerBound(inputs));
+    benchmark::DoNotOptimize(ptk::pbtree::BoundObject::UpperBound(inputs));
+  }
+}
+BENCHMARK(BM_BoundObjectConstruction);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,122 @@
+// Table 2: pairwise photo comparison vs direct age guessing.
+//
+// The paper crowdsourced 600 AgeGuessing photos: 10-worker panels comparing
+// photo pairs reached 94% accuracy, while direct age guesses matched the
+// ground truth only 6% of the time exactly (55% within 5 years), making
+// guess-derived comparisons only 78% accurate. We reproduce the protocol on
+// the AGE-like dataset: panel workers perceive each age with Gaussian noise
+// (so closer ages are harder to compare), and singleton guesses are drawn
+// from each photo's guess histogram.
+
+#include <cmath>
+#include <cstdio>
+
+#include "harness.h"
+#include "data/synthetic.h"
+#include "util/rng.h"
+
+int main() {
+  using ptk::bench::Fmt;
+  ptk::bench::Banner(
+      "Table 2: pairwise photo comparison vs. direct age guessing");
+
+  ptk::data::AgeOptions options;
+  options.num_objects = ptk::bench::Scaled(600);
+  const ptk::data::AgeDataset age = ptk::data::MakeAgeDataset(options);
+  ptk::util::Rng rng(20180416);
+
+  // --- Pairwise comparison: 50 random pairs, 10 workers each. Workers
+  // perceive each photo's age with N(0, sigma_w) noise; the majority vote
+  // decides. sigma_w = 9 calibrates individual workers to the mid-70s
+  // accuracy the paper's 94% panel implies.
+  const int num_pairs = 50;
+  const int workers = 10;
+  const double sigma_w = 9.0;
+  int panel_correct = 0;
+  for (int p = 0; p < num_pairs; ++p) {
+    const int a = static_cast<int>(rng.UniformInt(0, options.num_objects - 1));
+    int b = a;
+    while (b == a) {
+      b = static_cast<int>(rng.UniformInt(0, options.num_objects - 1));
+    }
+    const bool truth_a_elder = age.true_ages[a] > age.true_ages[b];
+    int votes_a_elder = 0;
+    for (int w = 0; w < workers; ++w) {
+      const double pa = age.true_ages[a] + rng.Normal(0.0, sigma_w);
+      const double pb = age.true_ages[b] + rng.Normal(0.0, sigma_w);
+      if (pa > pb) ++votes_a_elder;
+    }
+    const bool majority_a_elder =
+        votes_a_elder * 2 == workers ? rng.Bernoulli(0.5)
+                                     : votes_a_elder * 2 > workers;
+    if (majority_a_elder == truth_a_elder) ++panel_correct;
+  }
+  const double pairwise_acc =
+      static_cast<double>(panel_correct) / num_pairs;
+
+  // --- Direct age guessing: draw one guess per photo from its histogram
+  // and record |guess - truth| <= x for x = 0..5.
+  const int guess_trials = 20;
+  std::vector<int> within(6, 0);
+  int total_guesses = 0;
+  std::vector<double> sampled_guess(options.num_objects, 0.0);
+  for (int t = 0; t < guess_trials; ++t) {
+    for (int o = 0; o < options.num_objects; ++o) {
+      double u = rng.Uniform();
+      double guess = age.db.object(o).instances().back().value;
+      for (const auto& inst : age.db.object(o).instances()) {
+        if (u < inst.prob) {
+          guess = inst.value;
+          break;
+        }
+        u -= inst.prob;
+      }
+      if (t == 0) sampled_guess[o] = guess;
+      const double dev = std::abs(guess - age.true_ages[o]);
+      for (int x = 0; x <= 5; ++x) {
+        if (dev <= x + 0.499) ++within[x];
+      }
+      ++total_guesses;
+    }
+  }
+
+  // --- Comparison accuracy derived from the guesses alone (the paper's
+  // 78% remark): compare the sampled guesses of random pairs.
+  int guess_cmp_correct = 0;
+  const int cmp_trials = 2000;
+  for (int t = 0; t < cmp_trials; ++t) {
+    const int a = static_cast<int>(rng.UniformInt(0, options.num_objects - 1));
+    int b = a;
+    while (b == a) {
+      b = static_cast<int>(rng.UniformInt(0, options.num_objects - 1));
+    }
+    const bool truth = age.true_ages[a] > age.true_ages[b];
+    const bool guessed = sampled_guess[a] == sampled_guess[b]
+                             ? rng.Bernoulli(0.5)
+                             : sampled_guess[a] > sampled_guess[b];
+    if (guessed == truth) ++guess_cmp_correct;
+  }
+
+  ptk::bench::Row({"metric", "measured", "paper"}, 38);
+  ptk::bench::Row({"pairwise comparison (10-worker panel)",
+                   Fmt(pairwise_acc, 2), "0.94"},
+                  38);
+  for (int x = 0; x <= 5; ++x) {
+    static const char* paper[] = {"0.06", "0.17", "0.28",
+                                  "0.38", "0.47", "0.55"};
+    ptk::bench::Row({"age guess within " + std::to_string(x) + " years",
+                     Fmt(static_cast<double>(within[x]) / total_guesses, 2),
+                     paper[x]},
+                    38);
+  }
+  ptk::bench::Row({"comparison derived from guesses",
+                   Fmt(static_cast<double>(guess_cmp_correct) / cmp_trials,
+                       2),
+                   "0.78"},
+                  38);
+  std::printf(
+      "\nExpected shape: panel comparisons are far more reliable than\n"
+      "guess-derived comparisons, which is the premise of the pairwise\n"
+      "crowdsourcing model (Section 1).\n");
+  return 0;
+}

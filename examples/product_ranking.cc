@@ -1,0 +1,93 @@
+// Product ranking scenario (Section 1): product scores mined from reviews
+// with per-score confidences, IMDB-style. Shows the *selector comparison*
+// workflow: how much expected improvement each strategy (OPT, RAND_K,
+// RAND) buys for one crowdsourcing dollar, evaluated under the Eq. 19
+// crowd model — a miniature of the paper's Fig. 7 experiment.
+//
+// Run: ./product_ranking [num_products] [k]
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "core/quality.h"
+#include "core/random_selector.h"
+#include "crowd/crowd_model.h"
+#include "data/synthetic.h"
+
+int main(int argc, char** argv) {
+  ptk::data::ImdbOptions imdb;
+  imdb.num_movies = argc > 1 ? std::atoi(argv[1]) : 300;
+  imdb.seed = 99;
+  const ptk::model::Database db = ptk::data::MakeImdbDataset(imdb);
+
+  ptk::core::SelectorOptions options;
+  options.k = argc > 2 ? std::atoi(argv[2]) : 10;
+  options.fanout = 8;
+  options.enumerator.epsilon = 1e-10;
+
+  const ptk::core::QualityEvaluator evaluator(
+      db, options.k, ptk::pw::OrderMode::kInsensitive, options.enumerator);
+  double base_quality = 0.0;
+  if (!evaluator.Quality(nullptr, &base_quality).ok()) return 1;
+  std::printf("%d products, k=%d, base quality H(S_k) = %.4f\n",
+              db.num_objects(), options.k, base_quality);
+
+  // The crowd follows the paper's bias model with theta = 0.19.
+  ptk::crowd::BiasedCrowd crowd(db, 0.19, 5);
+  const auto preal = [&crowd](ptk::model::ObjectId x, ptk::model::ObjectId y) {
+    return crowd.RealProb(x, y);
+  };
+
+  const auto evaluate_first_pair =
+      [&](ptk::core::PairSelector& selector) -> double {
+    std::vector<ptk::core::ScoredPair> pairs;
+    if (!selector.SelectPairs(1, &pairs).ok() || pairs.empty()) return -1.0;
+    double ei = 0.0;
+    if (!evaluator
+             .ExpectedQualityUnderCrowd({{pairs[0].a, pairs[0].b}}, preal,
+                                        nullptr, &ei)
+             .ok()) {
+      return -1.0;
+    }
+    return ei;
+  };
+
+  ptk::core::BoundSelector opt(db, options,
+                               ptk::core::BoundSelector::Mode::kOptimized);
+  const double ei_opt = evaluate_first_pair(opt);
+  std::printf("OPT    picks one pair: expected improvement %.5f\n", ei_opt);
+
+  // Random baselines: average over several draws.
+  const auto average_random = [&](ptk::core::RandomSelector::Mode mode) {
+    double total = 0.0;
+    int runs = 0;
+    for (uint64_t seed = 1; seed <= 20; ++seed) {
+      ptk::core::SelectorOptions random_options = options;
+      random_options.seed = seed;
+      ptk::core::RandomSelector selector(db, random_options, mode);
+      const double ei = evaluate_first_pair(selector);
+      if (ei >= 0.0) {
+        total += ei;
+        ++runs;
+      }
+    }
+    return runs > 0 ? total / runs : 0.0;
+  };
+  const double ei_randk =
+      average_random(ptk::core::RandomSelector::Mode::kTopFraction);
+  const double ei_rand =
+      average_random(ptk::core::RandomSelector::Mode::kUniform);
+  std::printf("RAND_K average over 20 draws: %.5f\n", ei_randk);
+  std::printf("RAND   average over 20 draws: %.5f\n", ei_rand);
+  if (ei_rand > 0.0) {
+    std::printf("\nOPT buys %.1fx the improvement of RAND per question.\n",
+                ei_opt / ei_rand);
+  } else {
+    std::printf("\nRAND gained essentially nothing; OPT gained %.5f.\n",
+                ei_opt);
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Query semantics tour: the same uncertain database answered under every
+// probabilistic top-k semantics the literature defines (Section 2.2) —
+// and why point answers are not enough. U-Topk, U-kRanks, PT-k,
+// Global-Topk, and expected ranks can each crown a different winner; the
+// entropy of the full result distribution (the paper's quality metric)
+// quantifies how much any such answer actually settles, and one
+// crowdsourced comparison can settle most of it.
+//
+// Run: ./query_semantics
+
+#include <cstdio>
+
+#include "core/bound_selector.h"
+#include "core/quality.h"
+#include "data/synthetic.h"
+#include "topk/semantics.h"
+
+int main() {
+  // A small product catalogue with overlapping rating distributions.
+  ptk::data::ImdbOptions imdb;
+  imdb.num_movies = 40;
+  imdb.seed = 8;
+  const ptk::model::Database db = ptk::data::MakeImdbDataset(imdb);
+  const int k = 3;
+
+  std::printf("%d products, top-%d by rank score (smaller = better)\n\n",
+              db.num_objects(), k);
+
+  // --- Point answers under each semantics.
+  ptk::pw::ResultKey utopk;
+  double utopk_prob = 0.0;
+  if (!ptk::topk::UTopK(db, k, ptk::pw::OrderMode::kInsensitive, {}, &utopk,
+                        &utopk_prob)
+           .ok()) {
+    return 1;
+  }
+  std::printf("U-Topk   : {");
+  for (size_t i = 0; i < utopk.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "", db.object(utopk[i]).label().c_str());
+  }
+  std::printf("}  (probability %.3f)\n", utopk_prob);
+
+  std::vector<ptk::topk::ScoredObject> ranks;
+  if (!ptk::topk::UKRanks(db, k, &ranks).ok()) return 1;
+  std::printf("U-kRanks :");
+  for (size_t r = 0; r < ranks.size(); ++r) {
+    std::printf(" #%zu %s (%.3f)", r + 1,
+                db.object(ranks[r].oid).label().c_str(), ranks[r].score);
+  }
+  std::printf("\n");
+
+  std::printf("PT-k>=.5 :");
+  for (const auto& so : ptk::topk::PTk(db, k, 0.5)) {
+    std::printf(" %s (%.3f)", db.object(so.oid).label().c_str(), so.score);
+  }
+  std::printf("\nGlobalTopk:");
+  for (const auto& so : ptk::topk::GlobalTopK(db, k)) {
+    std::printf(" %s (%.3f)", db.object(so.oid).label().c_str(), so.score);
+  }
+  std::printf("\nE[rank]  :");
+  for (const auto& so : ptk::topk::ExpectedRankTopK(db, k)) {
+    std::printf(" %s (%.2f)", db.object(so.oid).label().c_str(), so.score);
+  }
+  std::printf("\n\n");
+
+  // --- The uncertainty behind those answers, and one question's worth.
+  ptk::core::QualityEvaluator evaluator(db, k,
+                                        ptk::pw::OrderMode::kInsensitive);
+  double h = 0.0;
+  if (!evaluator.Quality(nullptr, &h).ok()) return 1;
+  std::printf("Result-distribution entropy H(S_%d) = %.4f\n", k, h);
+
+  ptk::core::SelectorOptions options;
+  options.k = k;
+  ptk::core::BoundSelector selector(
+      db, options, ptk::core::BoundSelector::Mode::kOptimized);
+  std::vector<ptk::core::ScoredPair> best;
+  if (!selector.SelectPairs(1, &best).ok() || best.empty()) return 1;
+  std::printf(
+      "One comparison of (%s, %s) is expected to remove %.4f nats — "
+      "%.0f%% of the uncertainty.\n",
+      db.object(best[0].a).label().c_str(),
+      db.object(best[0].b).label().c_str(), best[0].ei_estimate,
+      100.0 * best[0].ei_estimate / h);
+  return 0;
+}

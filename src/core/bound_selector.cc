@@ -1,0 +1,75 @@
+#include "core/bound_selector.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace ptk::core {
+
+namespace {
+
+pbtree::PBTree::Options TreeOptions(const SelectorOptions& options) {
+  pbtree::PBTree::Options tree_options;
+  tree_options.fanout = options.fanout;
+  return tree_options;
+}
+
+}  // namespace
+
+BoundSelector::BoundSelector(const model::Database& db,
+                             const SelectorOptions& options, Mode mode)
+    : db_(&db),
+      options_(options),
+      mode_(mode),
+      tree_(db, TreeOptions(options)),
+      membership_(db, options.k),
+      estimator_(db, membership_, options.order),
+      h_scorer_(db),
+      ei_scorer_(db, membership_, options.order) {}
+
+util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
+  stats_ = Stats();
+  const pbtree::PairScorer& scorer =
+      (mode_ == Mode::kBasic)
+          ? static_cast<const pbtree::PairScorer&>(h_scorer_)
+          : static_cast<const pbtree::PairScorer&>(ei_scorer_);
+  pbtree::PairStream stream(tree_, scorer);
+
+  // Min-heap of the best t estimates found so far.
+  const auto worse = [](const ScoredPair& a, const ScoredPair& b) {
+    return a.ei_estimate > b.ei_estimate;
+  };
+  std::priority_queue<ScoredPair, std::vector<ScoredPair>, decltype(worse)>
+      best(worse);
+  double threshold = -1.0;  // t-th best EI estimate once `best` is full
+
+  while (auto pair = stream.Next()) {
+    const bool full = static_cast<int>(best.size()) >= t;
+    // pair->score is H(A(P_1)), an upper bound of this pair's EI: skip the
+    // Δ computation when it cannot enter the top t (Algorithm 1 line 5).
+    if (!full || pair->score > threshold) {
+      const EIEstimate est = estimator_.Estimate(pair->a, pair->b);
+      ++stats_.pairs_evaluated;
+      best.push(ScoredPair{pair->a, pair->b, est.estimate(), est.lower(),
+                           est.upper()});
+      if (static_cast<int>(best.size()) > t) best.pop();
+    }
+    if (static_cast<int>(best.size()) >= t) {
+      threshold = best.top().ei_estimate;
+      // Algorithm 1 line 8: nothing left can beat the t-th best.
+      if (stream.RemainingUpperBound() <= threshold) break;
+    }
+  }
+  stats_.stream = stream.stats();
+
+  std::vector<ScoredPair> selected;
+  selected.reserve(best.size());
+  while (!best.empty()) {
+    selected.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(selected.begin(), selected.end());  // best first
+  *out = std::move(selected);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::core

@@ -1,0 +1,40 @@
+#include "core/brute_force_selector.h"
+
+#include <algorithm>
+
+namespace ptk::core {
+
+BruteForceSelector::BruteForceSelector(const model::Database& db,
+                                       const SelectorOptions& options)
+    : db_(&db),
+      options_(options),
+      evaluator_(db, options.k, options.order, options.enumerator) {}
+
+util::Status BruteForceSelector::SelectPairs(int t,
+                                             std::vector<ScoredPair>* out) {
+  std::vector<ScoredPair> scored;
+  const int m = db_->num_objects();
+  scored.reserve(static_cast<size_t>(m) * (m - 1) / 2);
+  for (model::ObjectId a = 0; a < m; ++a) {
+    for (model::ObjectId b = a + 1; b < m; ++b) {
+      double ei = 0.0;
+      util::Status s =
+          evaluator_.ExactExpectedImprovement(a, b, nullptr, &ei);
+      if (!s.ok()) return s;
+      scored.push_back(ScoredPair{a, b, ei, ei, ei});
+    }
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredPair& x, const ScoredPair& y) {
+              if (x.ei_estimate != y.ei_estimate) {
+                return x.ei_estimate > y.ei_estimate;
+              }
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  if (static_cast<int>(scored.size()) > t) scored.resize(t);
+  *out = std::move(scored);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::core

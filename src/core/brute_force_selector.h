@@ -1,0 +1,32 @@
+#ifndef PTK_CORE_BRUTE_FORCE_SELECTOR_H_
+#define PTK_CORE_BRUTE_FORCE_SELECTOR_H_
+
+#include <vector>
+
+#include "core/quality.h"
+#include "core/selector.h"
+
+namespace ptk::core {
+
+/// The paper's BF baseline: evaluates the *exact* expected quality
+/// improvement of every object pair by conditioning the full top-k
+/// distribution on both comparison outcomes (Eqs. 6-7). Cost is
+/// O(n^2 · enumeration), which is why Figs. 12-13 show it taking days at
+/// scale — use it only on small inputs and as the correctness oracle.
+class BruteForceSelector : public PairSelector {
+ public:
+  BruteForceSelector(const model::Database& db,
+                     const SelectorOptions& options);
+
+  util::Status SelectPairs(int t, std::vector<ScoredPair>* out) override;
+  std::string name() const override { return "BF"; }
+
+ private:
+  const model::Database* db_;
+  SelectorOptions options_;
+  QualityEvaluator evaluator_;
+};
+
+}  // namespace ptk::core
+
+#endif  // PTK_CORE_BRUTE_FORCE_SELECTOR_H_

@@ -1,0 +1,127 @@
+#include "core/cluster_selector.h"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+
+#include "pbtree/bound_object.h"
+#include "rank/pairwise_prob.h"
+#include "util/entropy.h"
+
+namespace ptk::core {
+
+ClusterSelector::ClusterSelector(const model::Database& db,
+                                 const SelectorOptions& options,
+                                 double max_cluster_spread)
+    : db_(&db),
+      options_(options),
+      membership_(db, options.k),
+      estimator_(db, membership_, options.order) {
+  BuildClusters(max_cluster_spread);
+}
+
+void ClusterSelector::BuildClusters(double max_cluster_spread) {
+  std::vector<model::ObjectId> order(db_->num_objects());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> ev(db_->num_objects());
+  for (model::ObjectId o = 0; o < db_->num_objects(); ++o) {
+    ev[o] = db_->object(o).ExpectedValue();
+  }
+  std::sort(order.begin(), order.end(),
+            [&ev](model::ObjectId a, model::ObjectId b) {
+              if (ev[a] != ev[b]) return ev[a] < ev[b];
+              return a < b;
+            });
+
+  std::vector<model::ObjectId> current;
+  const auto spread = [this](const std::vector<model::ObjectId>& members) {
+    std::vector<pbtree::BoundObject::Input> inputs;
+    inputs.reserve(members.size());
+    for (model::ObjectId o : members) {
+      inputs.push_back({db_->object(o).instances(), {}});
+    }
+    return pbtree::BoundDistance(pbtree::BoundObject::LowerBound(inputs),
+                                 pbtree::BoundObject::UpperBound(inputs));
+  };
+  for (model::ObjectId o : order) {
+    current.push_back(o);
+    if (current.size() > 1 && spread(current) > max_cluster_spread) {
+      current.pop_back();
+      clusters_.push_back(current);
+      current = {o};
+    }
+  }
+  if (!current.empty()) clusters_.push_back(std::move(current));
+
+  representatives_.reserve(clusters_.size());
+  for (const auto& cluster : clusters_) {
+    model::ObjectId best = cluster.front();
+    double best_p = -1.0;
+    for (model::ObjectId o : cluster) {
+      const double p = membership_.ObjectTopKProbability(o);
+      if (p > best_p) {
+        best_p = p;
+        best = o;
+      }
+    }
+    representatives_.push_back(best);
+  }
+}
+
+util::Status ClusterSelector::SelectPairs(int t,
+                                          std::vector<ScoredPair>* out) {
+  stats_ = Stats();
+  // Rank representative pairs by H(A(P_1)) (cheap), then evaluate the Δ
+  // bounds in that order under the Algorithm 1 stop rule.
+  struct Candidate {
+    model::ObjectId a, b;
+    double h;
+  };
+  std::vector<Candidate> candidates;
+  const auto& reps = representatives_;
+  candidates.reserve(reps.size() * (reps.size() - 1) / 2);
+  for (size_t i = 0; i < reps.size(); ++i) {
+    for (size_t j = i + 1; j < reps.size(); ++j) {
+      const double p =
+          rank::ProbGreater(db_->object(reps[i]), db_->object(reps[j]));
+      candidates.push_back(
+          Candidate{reps[i], reps[j], util::BinaryEntropy(p)});
+    }
+  }
+  stats_.candidate_pairs = static_cast<int64_t>(candidates.size());
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& x, const Candidate& y) {
+              if (x.h != y.h) return x.h > y.h;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+
+  const auto worse = [](const ScoredPair& a, const ScoredPair& b) {
+    return a.ei_estimate > b.ei_estimate;
+  };
+  std::priority_queue<ScoredPair, std::vector<ScoredPair>, decltype(worse)>
+      best(worse);
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(best.size()) >= t &&
+        c.h <= best.top().ei_estimate) {
+      break;  // H(A) upper-bounds EI; nothing below can enter the top t
+    }
+    const EIEstimate est = estimator_.Estimate(c.a, c.b);
+    ++stats_.pairs_evaluated;
+    best.push(ScoredPair{c.a, c.b, est.estimate(), est.lower(),
+                         est.upper()});
+    if (static_cast<int>(best.size()) > t) best.pop();
+  }
+
+  std::vector<ScoredPair> selected;
+  selected.reserve(best.size());
+  while (!best.empty()) {
+    selected.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(selected.begin(), selected.end());
+  *out = std::move(selected);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::core

@@ -1,0 +1,61 @@
+#ifndef PTK_CORE_CLUSTER_SELECTOR_H_
+#define PTK_CORE_CLUSTER_SELECTOR_H_
+
+#include <vector>
+
+#include "core/ei_estimator.h"
+#include "core/selector.h"
+#include "rank/membership.h"
+
+namespace ptk::core {
+
+/// The paper's first future-work item, implemented: "cluster the objects
+/// and select representatives from each cluster for pairwise cleaning"
+/// (Section 7). Objects whose distributions are near-duplicates carry
+/// near-duplicate information, so restricting candidate pairs to one
+/// representative per cluster shrinks the quadratic candidate space from
+/// n^2 to C^2 while keeping the informative pairs.
+///
+/// Clustering greedily packs objects in expected-value order while the
+/// cluster's bound spread (the Eq. 17 D-metric of its Algorithm 4 bounds)
+/// stays within `max_cluster_spread`; each cluster is represented by its
+/// member most likely to appear in the top-k. Candidate representative
+/// pairs are then ranked by H(A(P_1)) and evaluated with the Algorithm 5
+/// bounds under the Algorithm 1 stop rule — selection is still with
+/// respect to the FULL database, only the candidate space shrinks.
+class ClusterSelector : public PairSelector {
+ public:
+  ClusterSelector(const model::Database& db, const SelectorOptions& options,
+                  double max_cluster_spread);
+
+  util::Status SelectPairs(int t, std::vector<ScoredPair>* out) override;
+  std::string name() const override { return "CLUSTER"; }
+
+  const std::vector<std::vector<model::ObjectId>>& clusters() const {
+    return clusters_;
+  }
+  const std::vector<model::ObjectId>& representatives() const {
+    return representatives_;
+  }
+
+  struct Stats {
+    int64_t candidate_pairs = 0;  // representative pairs considered
+    int64_t pairs_evaluated = 0;  // Δ-bound computations
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void BuildClusters(double max_cluster_spread);
+
+  const model::Database* db_;
+  SelectorOptions options_;
+  rank::MembershipCalculator membership_;
+  EIEstimator estimator_;
+  std::vector<std::vector<model::ObjectId>> clusters_;
+  std::vector<model::ObjectId> representatives_;
+  Stats stats_;
+};
+
+}  // namespace ptk::core
+
+#endif  // PTK_CORE_CLUSTER_SELECTOR_H_

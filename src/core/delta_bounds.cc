@@ -1,0 +1,106 @@
+#include "core/delta_bounds.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/entropy.h"
+
+namespace ptk::core {
+
+namespace {
+
+using util::EntropyTerm;
+
+// One instance pair of IP(o1, o2) with its joint membership weight (PT_k
+// for the Δ_{1,2} sweep, NPT_k for the Δ_∅ sweep).
+struct WeightedPair {
+  bool first_lower;    // i1 < i2 under the instance total order
+  double joint_prob;   // P(i1, i2) = p(i1) p(i2)
+  double weight;       // PT_k(i1, i2) or NPT_k(i1, i2); consumed by sweep
+  model::Position order_key;  // sort key (see below)
+};
+
+// The f(a, b) = h(a) + h(b) - h(a + b) contribution of one group.
+double GroupTerm(double a, double b) {
+  return EntropyTerm(a) + EntropyTerm(b) - EntropyTerm(a + b);
+}
+
+// Algorithm 5 body: given the instance pairs sorted in sweep order, the
+// upper bound aggregates all weight into one group (valid by concavity of
+// binary entropy), and the lower bound redistributes each head pair's
+// weight over the remaining pairs proportionally to their joint
+// probabilities, accumulating the per-group entropy gap.
+DeltaBounds SweepBounds(std::vector<WeightedPair> pairs) {
+  DeltaBounds bounds;
+  double total_first = 0.0;   // Σ weight over pairs with i1 < i2
+  double total_second = 0.0;  // Σ weight over pairs with i1 > i2
+  for (const WeightedPair& p : pairs) {
+    (p.first_lower ? total_first : total_second) += p.weight;
+  }
+  bounds.upper = GroupTerm(total_first, total_second);
+
+  std::sort(pairs.begin(), pairs.end(),
+            [](const WeightedPair& a, const WeightedPair& b) {
+              return a.order_key < b.order_key;
+            });
+  double lower = 0.0;
+  for (size_t x = 0; x < pairs.size(); ++x) {
+    const double wx = pairs[x].weight;
+    if (wx <= 0.0 || pairs[x].joint_prob <= 0.0) continue;
+    double p1 = pairs[x].first_lower ? wx : 0.0;
+    double p2 = pairs[x].first_lower ? 0.0 : wx;
+    for (size_t y = x + 1; y < pairs.size(); ++y) {
+      const double transfer = wx * pairs[y].joint_prob / pairs[x].joint_prob;
+      if (pairs[y].first_lower) {
+        p1 += transfer;
+      } else {
+        p2 += transfer;
+      }
+      pairs[y].weight -= transfer;
+    }
+    lower += GroupTerm(p1, p2);
+  }
+  bounds.lower = std::max(0.0, std::min(lower, bounds.upper));
+  return bounds;
+}
+
+}  // namespace
+
+DeltaBounds DeltaEstimator::Estimate(model::ObjectId o1,
+                                     model::ObjectId o2) const {
+  const rank::MembershipCalculator::PairTables tables =
+      membership_->ComputePairTables(o1, o2);
+  const auto& obj1 = db_->object(o1);
+  const auto& obj2 = db_->object(o2);
+
+  std::vector<WeightedPair> pt_pairs;   // Δ_{1,2}, ordered desc max(v1,v2)
+  std::vector<WeightedPair> npt_pairs;  // Δ_∅, ordered asc min(v1,v2)
+  pt_pairs.reserve(obj1.num_instances() * obj2.num_instances());
+  npt_pairs.reserve(pt_pairs.capacity());
+  for (const model::Instance& i1 : obj1.instances()) {
+    const model::Position pos1 = db_->PositionOf({i1.oid, i1.iid});
+    for (const model::Instance& i2 : obj2.instances()) {
+      const model::Position pos2 = db_->PositionOf({i2.oid, i2.iid});
+      const bool first_lower = pos1 < pos2;
+      const double joint = i1.prob * i2.prob;
+      // Descending max position == ascending negated max.
+      pt_pairs.push_back(WeightedPair{first_lower, joint,
+                                      tables.pt[i1.iid][i2.iid],
+                                      -std::max(pos1, pos2)});
+      npt_pairs.push_back(WeightedPair{first_lower, joint,
+                                       tables.npt[i1.iid][i2.iid],
+                                       std::min(pos1, pos2)});
+    }
+  }
+
+  const DeltaBounds empty_side = SweepBounds(std::move(npt_pairs));
+  if (order_ == pw::OrderMode::kSensitive) {
+    // Only S_∅ contributes (Section 4.5).
+    return empty_side;
+  }
+  const DeltaBounds both_side = SweepBounds(std::move(pt_pairs));
+  return DeltaBounds{both_side.lower + empty_side.lower,
+                     both_side.upper + empty_side.upper};
+}
+
+}  // namespace ptk::core

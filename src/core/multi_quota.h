@@ -1,0 +1,65 @@
+#ifndef PTK_CORE_MULTI_QUOTA_H_
+#define PTK_CORE_MULTI_QUOTA_H_
+
+#include <utility>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "core/selector.h"
+
+namespace ptk::core {
+
+/// H(A(P_n)): the entropy of the joint outcome distribution of a set of
+/// pairwise comparisons (Section 5). Pairs that share no object are
+/// independent, so the computation decomposes over the connected components
+/// of the pair graph; within a component the 2^c outcome-pattern
+/// probabilities are obtained exactly by enumerating the component
+/// objects' joint instance assignments.
+///
+/// Returns a negative value if a component's joint assignment space
+/// exceeds `assignment_limit` (the caller should skip such a candidate
+/// combination).
+double PairEventsEntropy(
+    const model::Database& db,
+    const std::vector<std::pair<model::ObjectId, model::ObjectId>>& pairs,
+    int64_t assignment_limit = int64_t{1} << 22);
+
+/// HRS1 (Section 5): the top-t single-quota pairs by expected quality
+/// improvement, obtained from the BoundSelector with the relaxed stop rule.
+/// Fast, but overlapping pairs may carry redundant information.
+class Hrs1Selector : public PairSelector {
+ public:
+  Hrs1Selector(const model::Database& db, const SelectorOptions& options)
+      : single_(db, options, BoundSelector::Mode::kOptimized) {}
+
+  util::Status SelectPairs(int t, std::vector<ScoredPair>* out) override {
+    return single_.SelectPairs(t, out);
+  }
+  std::string name() const override { return "HRS1"; }
+
+ private:
+  BoundSelector single_;
+};
+
+/// HRS2 (Section 5): greedily grows the batch, each step adding the
+/// candidate pair that maximizes the joint objective
+///   H(A(P_j + P_1)) - Σ Δ(A(P_1^i))
+/// (the paper's approximation of EI(S_k | P_j + P_1)), with the joint
+/// entropy computed exactly per connected component. Candidates come from
+/// the top `candidate_pool` single-quota pairs.
+class Hrs2Selector : public PairSelector {
+ public:
+  Hrs2Selector(const model::Database& db, const SelectorOptions& options);
+
+  util::Status SelectPairs(int t, std::vector<ScoredPair>* out) override;
+  std::string name() const override { return "HRS2"; }
+
+ private:
+  const model::Database* db_;
+  SelectorOptions options_;
+  BoundSelector single_;
+};
+
+}  // namespace ptk::core
+
+#endif  // PTK_CORE_MULTI_QUOTA_H_

@@ -1,0 +1,55 @@
+#include "core/random_selector.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <utility>
+
+namespace ptk::core {
+
+RandomSelector::RandomSelector(const model::Database& db,
+                               const SelectorOptions& options, Mode mode)
+    : db_(&db), options_(options), mode_(mode), rng_(options.seed) {
+  const int m = db.num_objects();
+  pool_.resize(m);
+  std::iota(pool_.begin(), pool_.end(), 0);
+  if (mode_ == Mode::kTopFraction) {
+    rank::MembershipCalculator membership(db, options_.k);
+    std::vector<double> score(m);
+    for (model::ObjectId o = 0; o < m; ++o) {
+      score[o] = membership.ObjectTopKProbability(o);
+    }
+    std::sort(pool_.begin(), pool_.end(),
+              [&score](model::ObjectId a, model::ObjectId b) {
+                if (score[a] != score[b]) return score[a] > score[b];
+                return a < b;
+              });
+    const int keep = std::max(
+        2, static_cast<int>(m * options_.rand_k_fraction));
+    pool_.resize(std::min<size_t>(pool_.size(), keep));
+  }
+}
+
+util::Status RandomSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
+  const int64_t n = static_cast<int64_t>(pool_.size());
+  const int64_t max_pairs = n * (n - 1) / 2;
+  if (max_pairs < t) {
+    return util::Status::InvalidArgument(
+        "not enough candidate objects for the requested quota");
+  }
+  std::set<std::pair<model::ObjectId, model::ObjectId>> seen;
+  std::vector<ScoredPair> selected;
+  selected.reserve(t);
+  while (static_cast<int>(selected.size()) < t) {
+    const model::ObjectId a = pool_[rng_.UniformInt(0, n - 1)];
+    model::ObjectId b = pool_[rng_.UniformInt(0, n - 1)];
+    if (a == b) continue;
+    const auto key = std::minmax(a, b);
+    if (!seen.insert({key.first, key.second}).second) continue;
+    selected.push_back(ScoredPair{key.first, key.second, 0.0, 0.0, 0.0});
+  }
+  *out = std::move(selected);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::core

@@ -1,0 +1,38 @@
+#ifndef PTK_CORE_RANDOM_SELECTOR_H_
+#define PTK_CORE_RANDOM_SELECTOR_H_
+
+#include <vector>
+
+#include "core/selector.h"
+#include "rank/membership.h"
+#include "util/rng.h"
+
+namespace ptk::core {
+
+/// The random baselines of Section 6.2: RAND draws pairs uniformly from all
+/// objects; RAND_K draws them from the `rand_k_fraction` of objects most
+/// likely to appear in the top-k result (their object-level membership
+/// probability), which is the paper's "top 20% highest probable objects".
+class RandomSelector : public PairSelector {
+ public:
+  enum class Mode { kUniform, kTopFraction };
+
+  RandomSelector(const model::Database& db, const SelectorOptions& options,
+                 Mode mode);
+
+  util::Status SelectPairs(int t, std::vector<ScoredPair>* out) override;
+  std::string name() const override {
+    return mode_ == Mode::kUniform ? "RAND" : "RAND_K";
+  }
+
+ private:
+  const model::Database* db_;
+  SelectorOptions options_;
+  Mode mode_;
+  util::Rng rng_;
+  std::vector<model::ObjectId> pool_;  // candidate objects
+};
+
+}  // namespace ptk::core
+
+#endif  // PTK_CORE_RANDOM_SELECTOR_H_

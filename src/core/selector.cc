@@ -1,0 +1,5 @@
+#include "core/selector.h"
+
+// The selector interface is header-only; concrete strategies live in
+// brute_force_selector.cc, bound_selector.cc, random_selector.cc, and
+// multi_quota.cc.

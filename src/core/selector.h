@@ -1,0 +1,64 @@
+#ifndef PTK_CORE_SELECTOR_H_
+#define PTK_CORE_SELECTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "model/database.h"
+#include "pw/topk_distribution.h"
+#include "pw/topk_enumerator.h"
+#include "util/status.h"
+
+namespace ptk::core {
+
+/// Options shared by the selection algorithms.
+struct SelectorOptions {
+  int k = 10;
+  pw::OrderMode order = pw::OrderMode::kInsensitive;
+
+  /// Used by the exact (brute-force) evaluation path.
+  pw::EnumeratorOptions enumerator;
+
+  /// PB-tree fanout for the index-based selectors.
+  int fanout = 8;
+
+  /// Seed for the randomized baselines.
+  uint64_t seed = 42;
+
+  /// RAND_K draws pairs from this fraction of objects, ranked by their
+  /// probability of appearing in the top-k result (Section 6.2).
+  double rand_k_fraction = 0.2;
+
+  /// HRS2 greedily combines pairs from a candidate pool of this size.
+  int candidate_pool = 64;
+};
+
+/// A selected candidate pair with the selector's improvement estimate.
+/// ei_lower/ei_upper carry the Algorithm 5 interval when available
+/// (otherwise both equal ei_estimate).
+struct ScoredPair {
+  model::ObjectId a = model::kInvalidObject;
+  model::ObjectId b = model::kInvalidObject;
+  double ei_estimate = 0.0;
+  double ei_lower = 0.0;
+  double ei_upper = 0.0;
+};
+
+/// Interface of all pair-selection strategies (Definition 3): pick up to
+/// `t` object pairs expected to maximally improve the top-k result quality.
+class PairSelector {
+ public:
+  virtual ~PairSelector() = default;
+
+  /// Selects up to `t` pairs, best first. Implementations are
+  /// deterministic given their options (including the seed).
+  virtual util::Status SelectPairs(int t, std::vector<ScoredPair>* out) = 0;
+
+  /// Short name used in experiment tables ("BF", "PBTREE", "OPT", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ptk::core
+
+#endif  // PTK_CORE_SELECTOR_H_

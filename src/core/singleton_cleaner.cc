@@ -1,0 +1,95 @@
+#include "core/singleton_cleaner.h"
+
+#include <algorithm>
+
+#include "pw/topk_enumerator.h"
+#include "rank/membership.h"
+#include "util/entropy.h"
+
+namespace ptk::core {
+
+SingletonCleaner::SingletonCleaner(const model::Database& db,
+                                   const SelectorOptions& options)
+    : db_(&db),
+      options_(options),
+      evaluator_(db, options.k, options.order, options.enumerator) {}
+
+model::Database SingletonCleaner::CollapseObject(const model::Database& db,
+                                                 model::ObjectId oid,
+                                                 model::InstanceId iid) {
+  model::Database out;
+  for (const auto& obj : db.objects()) {
+    std::vector<std::pair<double, double>> pairs;
+    if (obj.id() == oid) {
+      pairs.emplace_back(obj.instance(iid).value, 1.0);
+    } else {
+      for (const auto& inst : obj.instances()) {
+        pairs.emplace_back(inst.value, inst.prob);
+      }
+    }
+    out.AddObject(std::move(pairs), obj.label());
+  }
+  const util::Status s = out.Finalize();
+  (void)s;  // collapsing a valid database cannot fail validation
+  return out;
+}
+
+util::Status SingletonCleaner::ExpectedImprovement(model::ObjectId oid,
+                                                   double* ei) const {
+  double h_base = 0.0;
+  util::Status s = evaluator_.Quality(nullptr, &h_base);
+  if (!s.ok()) return s;
+
+  double eh = 0.0;
+  for (const auto& inst : db_->object(oid).instances()) {
+    const model::Database collapsed = CollapseObject(*db_, oid, inst.iid);
+    pw::TopKEnumerator enumerator(collapsed);
+    pw::TopKDistribution dist;
+    s = enumerator.Enumerate(options_.k, options_.order, nullptr,
+                             options_.enumerator, &dist);
+    if (!s.ok()) return s;
+    eh += inst.prob * dist.Entropy();
+  }
+  *ei = h_base - eh;
+  return util::Status::OK();
+}
+
+util::Status SingletonCleaner::SelectObjects(
+    int t, int candidate_limit, std::vector<ScoredObject>* out) const {
+  // Preselect by membership uncertainty: the probe of an object whose
+  // top-k membership is already certain cannot change the result much.
+  rank::MembershipCalculator membership(*db_, options_.k);
+  std::vector<ScoredObject> candidates;
+  candidates.reserve(db_->num_objects());
+  for (model::ObjectId o = 0; o < db_->num_objects(); ++o) {
+    const double p = membership.ObjectTopKProbability(o);
+    candidates.push_back(ScoredObject{o, util::BinaryEntropy(p)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const ScoredObject& a, const ScoredObject& b) {
+              if (a.ei != b.ei) return a.ei > b.ei;
+              return a.oid < b.oid;
+            });
+  if (static_cast<int>(candidates.size()) > candidate_limit) {
+    candidates.resize(candidate_limit);
+  }
+
+  std::vector<ScoredObject> scored;
+  scored.reserve(candidates.size());
+  for (const ScoredObject& c : candidates) {
+    double ei = 0.0;
+    util::Status s = ExpectedImprovement(c.oid, &ei);
+    if (!s.ok()) return s;
+    scored.push_back(ScoredObject{c.oid, ei});
+  }
+  std::sort(scored.begin(), scored.end(),
+            [](const ScoredObject& a, const ScoredObject& b) {
+              if (a.ei != b.ei) return a.ei > b.ei;
+              return a.oid < b.oid;
+            });
+  if (static_cast<int>(scored.size()) > t) scored.resize(t);
+  *out = std::move(scored);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::core

@@ -1,0 +1,59 @@
+#ifndef PTK_CORE_SINGLETON_CLEANER_H_
+#define PTK_CORE_SINGLETON_CLEANER_H_
+
+#include <vector>
+
+#include "core/quality.h"
+#include "core/selector.h"
+#include "model/database.h"
+
+namespace ptk::core {
+
+/// The singleton cleaning model of Mo et al. [22] — the paper's main
+/// comparator: a cleaning step probes ONE uncertain object and learns its
+/// exact value (e.g., via a redundant sensor), collapsing the object to a
+/// single instance. The expected quality after probing o is
+///   EH(S_k | probe o) = Σ_i p_i · H(S_k | o collapsed to instance i).
+///
+/// The paper argues this model breaks down for subjective data (user
+/// ratings, age guesses) where no instrument can measure the exact value
+/// and crowd guesses are noisy (Table 2); the pairwise model sidesteps
+/// that by asking only for comparisons. This class makes the comparison
+/// quantitative (see bench/ablation_cleaning_models).
+class SingletonCleaner {
+ public:
+  SingletonCleaner(const model::Database& db,
+                   const SelectorOptions& options);
+
+  /// A scored probe candidate.
+  struct ScoredObject {
+    model::ObjectId oid = model::kInvalidObject;
+    double ei = 0.0;
+  };
+
+  /// Exact expected quality improvement of probing `oid`.
+  util::Status ExpectedImprovement(model::ObjectId oid, double* ei) const;
+
+  /// The best `t` objects to probe, best first. Exhaustive over
+  /// `candidate_limit` candidates preselected by membership uncertainty
+  /// (objects certain to be in or out of the top-k gain nothing).
+  util::Status SelectObjects(int t, int candidate_limit,
+                             std::vector<ScoredObject>* out) const;
+
+  /// The database after a probe reported that `oid`'s exact value is its
+  /// `iid`-th instance (all other instances removed, probability 1).
+  /// Useful for simulating noisy probes: pass the instance a *guess*
+  /// selected, not necessarily the true one.
+  static model::Database CollapseObject(const model::Database& db,
+                                        model::ObjectId oid,
+                                        model::InstanceId iid);
+
+ private:
+  const model::Database* db_;
+  SelectorOptions options_;
+  QualityEvaluator evaluator_;
+};
+
+}  // namespace ptk::core
+
+#endif  // PTK_CORE_SINGLETON_CLEANER_H_

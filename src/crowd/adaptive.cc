@@ -1,0 +1,135 @@
+#include "crowd/adaptive.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/bound_selector.h"
+
+namespace ptk::crowd {
+
+namespace {
+
+// Rebuilds a database with two objects' instance probabilities replaced.
+model::Database Reweighted(const model::Database& db, model::ObjectId a,
+                           const std::vector<double>& pa, model::ObjectId b,
+                           const std::vector<double>& pb) {
+  model::Database out;
+  for (const auto& obj : db.objects()) {
+    std::vector<std::pair<double, double>> pairs;
+    const std::vector<double>* repl =
+        obj.id() == a ? &pa : (obj.id() == b ? &pb : nullptr);
+    for (const auto& inst : obj.instances()) {
+      const double p = repl != nullptr ? (*repl)[inst.iid] : inst.prob;
+      if (p > 0.0) pairs.emplace_back(inst.value, p);
+    }
+    out.AddObject(std::move(pairs), obj.label());
+  }
+  const util::Status s = out.Finalize();
+  assert(s.ok());  // normalized positive probabilities cannot fail
+  (void)s;
+  return out;
+}
+
+}  // namespace
+
+AdaptiveCleaner::AdaptiveCleaner(const model::Database& db,
+                                 ComparisonOracle* oracle,
+                                 const Options& options)
+    : original_(&db),
+      oracle_(oracle),
+      options_(options),
+      evaluator_(db, options.k, options.order, options.enumerator) {
+  double h = 0.0;
+  const util::Status s = evaluator_.Quality(nullptr, &h);
+  initial_quality_ = s.ok() ? h : 0.0;
+  // The working database starts as a copy of the original.
+  working_ = Reweighted(db, model::kInvalidObject, {}, model::kInvalidObject,
+                        {});
+}
+
+bool AdaptiveCleaner::FoldIn(model::ObjectId smaller,
+                             model::ObjectId larger) {
+  const auto& so = working_.object(smaller);
+  const auto& lo = working_.object(larger);
+  // p'_smaller(i) ∝ p(i) · Pr(larger > i); p'_larger(j) ∝ p(j) ·
+  // Pr(smaller < j); both with pre-update marginals.
+  std::vector<double> ps(so.num_instances());
+  std::vector<double> pl(lo.num_instances());
+  double total_s = 0.0, total_l = 0.0;
+  for (const auto& inst : so.instances()) {
+    ps[inst.iid] = inst.prob * lo.MassGreater(inst);
+    total_s += ps[inst.iid];
+  }
+  for (const auto& inst : lo.instances()) {
+    pl[inst.iid] = inst.prob * so.MassLess(inst);
+    total_l += pl[inst.iid];
+  }
+  if (total_s <= 0.0 || total_l <= 0.0) return false;
+  for (double& p : ps) p /= total_s;
+  for (double& p : pl) p /= total_l;
+  working_ = Reweighted(working_, smaller, ps, larger, pl);
+  return true;
+}
+
+util::Status AdaptiveCleaner::Run(int budget,
+                                  std::vector<StepReport>* steps) {
+  steps->clear();
+  for (int step = 0; step < budget; ++step) {
+    core::SelectorOptions sel_options;
+    sel_options.k = options_.k;
+    sel_options.order = options_.order;
+    sel_options.fanout = options_.fanout;
+    sel_options.enumerator = options_.enumerator;
+    core::BoundSelector selector(working_, sel_options,
+                                 core::BoundSelector::Mode::kOptimized);
+    // Over-request so previously asked pairs can be skipped. Note: working
+    // databases may drop zero-probability instances but never objects, so
+    // object ids are stable across folds.
+    std::vector<core::ScoredPair> candidates;
+    util::Status s = selector.SelectPairs(
+        static_cast<int>(asked_.size()) + 1, &candidates);
+    if (!s.ok()) return s;
+    const core::ScoredPair* chosen = nullptr;
+    for (const auto& pair : candidates) {
+      const auto key = std::minmax(pair.a, pair.b);
+      if (!asked_.contains({key.first, key.second})) {
+        chosen = &pair;
+        break;
+      }
+    }
+    if (chosen == nullptr) {
+      return util::Status::ResourceExhausted(
+          "no unasked pair left in the selector's stream");
+    }
+
+    StepReport report;
+    report.pair = *chosen;
+    const auto key = std::minmax(chosen->a, chosen->b);
+    asked_.insert({key.first, key.second});
+    report.first_greater = oracle_->Compare(chosen->a, chosen->b);
+    const model::ObjectId smaller =
+        report.first_greater ? chosen->b : chosen->a;
+    const model::ObjectId larger =
+        report.first_greater ? chosen->a : chosen->b;
+
+    // Accept the answer only if it is consistent with the accepted set
+    // (same rule as CleaningSession).
+    pw::ConstraintSet candidate = constraints_;
+    candidate.Add(smaller, larger);
+    if (evaluator_.ConstraintProbability(candidate) > 0.0 &&
+        FoldIn(smaller, larger)) {
+      constraints_ = std::move(candidate);
+      report.applied = true;
+    }
+
+    double h = 0.0;
+    s = evaluator_.Quality(constraints_.empty() ? nullptr : &constraints_,
+                           &h);
+    if (!s.ok()) return s;
+    report.true_quality = h;
+    steps->push_back(std::move(report));
+  }
+  return util::Status::OK();
+}
+
+}  // namespace ptk::crowd

@@ -1,0 +1,122 @@
+#include "crowd/aggregation.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ptk::crowd {
+
+std::vector<AggregatedAnswer> MajorityVote(
+    const std::vector<ComparisonTask>& tasks,
+    const std::vector<Vote>& votes) {
+  std::vector<int> yes(tasks.size(), 0);
+  std::vector<int> total(tasks.size(), 0);
+  for (const Vote& v : votes) {
+    if (v.task < 0 || v.task >= static_cast<int>(tasks.size())) continue;
+    ++total[v.task];
+    if (v.first_greater) ++yes[v.task];
+  }
+  std::vector<AggregatedAnswer> out(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    AggregatedAnswer& a = out[t];
+    a.votes = total[t];
+    if (total[t] == 0) continue;  // stays at the 0.5 default
+    a.first_greater = 2 * yes[t] > total[t];
+    const int winner = std::max(yes[t], total[t] - yes[t]);
+    a.confidence = static_cast<double>(winner) / total[t];
+  }
+  return out;
+}
+
+util::Status EmAggregate(const std::vector<ComparisonTask>& tasks,
+                         const std::vector<Vote>& votes,
+                         const EmOptions& options, EmResult* out) {
+  if (tasks.empty() || votes.empty()) {
+    return util::Status::InvalidArgument("no tasks or votes");
+  }
+  int num_workers = 0;
+  std::vector<int> votes_per_task(tasks.size(), 0);
+  for (const Vote& v : votes) {
+    if (v.task < 0 || v.task >= static_cast<int>(tasks.size()) ||
+        v.worker < 0) {
+      return util::Status::InvalidArgument("vote references unknown task "
+                                           "or worker");
+    }
+    num_workers = std::max(num_workers, v.worker + 1);
+    ++votes_per_task[v.task];
+  }
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    if (votes_per_task[t] == 0) {
+      return util::Status::InvalidArgument(
+          "task " + std::to_string(t) + " received no votes");
+    }
+  }
+
+  // Posterior P(task verdict = first_greater), initialized from majority.
+  std::vector<double> posterior(tasks.size(), 0.5);
+  {
+    const auto majority = MajorityVote(tasks, votes);
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const double conf = majority[t].confidence;
+      posterior[t] = majority[t].first_greater ? conf : 1.0 - conf;
+    }
+  }
+  std::vector<double> accuracy(num_workers, options.prior_accuracy);
+
+  EmResult result;
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    ++result.iterations;
+    // M-step: accuracy_w = P(worker's vote matches the verdict), with a
+    // Beta-like prior of strength prior_strength at prior_accuracy.
+    std::vector<double> agree(num_workers,
+                              options.prior_accuracy *
+                                  options.prior_strength);
+    std::vector<double> count(num_workers, options.prior_strength);
+    for (const Vote& v : votes) {
+      const double p_yes = posterior[v.task];
+      agree[v.worker] += v.first_greater ? p_yes : 1.0 - p_yes;
+      count[v.worker] += 1.0;
+    }
+    double max_move = 0.0;
+    for (int w = 0; w < num_workers; ++w) {
+      const double updated =
+          std::clamp(agree[w] / count[w], 0.01, 0.99);
+      max_move = std::max(max_move, std::abs(updated - accuracy[w]));
+      accuracy[w] = updated;
+    }
+
+    // E-step: verdict posteriors from worker accuracies (uniform verdict
+    // prior; votes independent given the verdict).
+    std::vector<double> log_yes(tasks.size(), 0.0);
+    std::vector<double> log_no(tasks.size(), 0.0);
+    for (const Vote& v : votes) {
+      const double acc = accuracy[v.worker];
+      if (v.first_greater) {
+        log_yes[v.task] += std::log(acc);
+        log_no[v.task] += std::log(1.0 - acc);
+      } else {
+        log_yes[v.task] += std::log(1.0 - acc);
+        log_no[v.task] += std::log(acc);
+      }
+    }
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      const double m = std::max(log_yes[t], log_no[t]);
+      const double ey = std::exp(log_yes[t] - m);
+      const double en = std::exp(log_no[t] - m);
+      posterior[t] = ey / (ey + en);
+    }
+    if (max_move < options.tolerance) break;
+  }
+
+  result.answers.resize(tasks.size());
+  for (size_t t = 0; t < tasks.size(); ++t) {
+    AggregatedAnswer& a = result.answers[t];
+    a.votes = votes_per_task[t];
+    a.first_greater = posterior[t] >= 0.5;
+    a.confidence = a.first_greater ? posterior[t] : 1.0 - posterior[t];
+  }
+  result.worker_accuracy = std::move(accuracy);
+  *out = std::move(result);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::crowd

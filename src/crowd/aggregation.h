@@ -1,0 +1,72 @@
+#ifndef PTK_CROWD_AGGREGATION_H_
+#define PTK_CROWD_AGGREGATION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace ptk::crowd {
+
+/// Conflict resolution for crowdsourced comparison tasks (the mechanism
+/// Fig. 2 assumes "is in place"; quality control per the Section 2.1
+/// related work [16], [3]). Workers vote on pairs; an aggregator collapses
+/// the votes into one deterministic verdict per pair, optionally learning
+/// per-worker reliabilities from the vote matrix itself.
+
+/// One worker's vote on one task: does the first object of the pair have
+/// the greater value?
+struct Vote {
+  int task = -1;    // index into the task list
+  int worker = -1;  // worker id, dense from 0
+  bool first_greater = false;
+};
+
+/// A comparison task posted to the crowd.
+struct ComparisonTask {
+  model::ObjectId a = model::kInvalidObject;
+  model::ObjectId b = model::kInvalidObject;
+};
+
+/// The aggregated outcome of one task.
+struct AggregatedAnswer {
+  bool first_greater = false;
+  /// Posterior confidence in the verdict (0.5 = coin flip).
+  double confidence = 0.5;
+  int votes = 0;
+};
+
+/// Simple majority voting, ties broken toward the lexicographically
+/// smaller verdict (deterministic). Confidence is the vote fraction.
+std::vector<AggregatedAnswer> MajorityVote(
+    const std::vector<ComparisonTask>& tasks, const std::vector<Vote>& votes);
+
+/// Joint estimation of per-worker accuracies and task verdicts by
+/// expectation-maximization (a one-coin Dawid-Skene model): each worker w
+/// answers any task correctly with unknown probability acc_w; E-step
+/// computes verdict posteriors from the current accuracies, M-step
+/// re-estimates accuracies from the posteriors. Majority voting
+/// initializes the posteriors.
+struct EmOptions {
+  int max_iterations = 50;
+  double tolerance = 1e-9;    // stop when accuracies move less than this
+  double prior_accuracy = 0.7;  // pseudo-count prior, keeps estimates off
+  double prior_strength = 2.0;  // the 0/1 boundary for sparse workers
+};
+
+struct EmResult {
+  std::vector<AggregatedAnswer> answers;       // per task
+  std::vector<double> worker_accuracy;         // per worker
+  int iterations = 0;
+};
+
+/// Runs EM over the vote matrix. Fails if a task has no votes or the vote
+/// matrix is empty.
+util::Status EmAggregate(const std::vector<ComparisonTask>& tasks,
+                         const std::vector<Vote>& votes,
+                         const EmOptions& options, EmResult* out);
+
+}  // namespace ptk::crowd
+
+#endif  // PTK_CROWD_AGGREGATION_H_

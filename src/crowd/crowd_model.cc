@@ -1,0 +1,75 @@
+#include "crowd/crowd_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rank/pairwise_prob.h"
+
+namespace ptk::crowd {
+
+double BiasedCrowd::RealProb(model::ObjectId x, model::ObjectId y) const {
+  const double p = rank::ProbGreater(db_->object(x), db_->object(y));
+  if (p > 0.5) return std::min(1.0, p + theta_);
+  if (p < 0.5) return std::max(0.0, p - theta_);
+  return p;
+}
+
+std::vector<double> SampleWorldValues(const model::Database& db,
+                                      uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> values;
+  values.reserve(db.num_objects());
+  for (const auto& obj : db.objects()) {
+    double u = rng.Uniform();
+    double value = obj.instances().back().value;
+    for (const auto& inst : obj.instances()) {
+      if (u < inst.prob) {
+        value = inst.value;
+        break;
+      }
+      u -= inst.prob;
+    }
+    values.push_back(value);
+  }
+  return values;
+}
+
+bool WorkerPanel::Compare(model::ObjectId x, model::ObjectId y) {
+  const bool truth = truth_[x] != truth_[y] ? truth_[x] > truth_[y] : x > y;
+  int votes_for_truth = 0;
+  for (int w = 0; w < workers_; ++w) {
+    if (rng_.Bernoulli(accuracy_)) ++votes_for_truth;
+  }
+  // Ties (even panels) resolved toward the truth half the time.
+  const int against = workers_ - votes_for_truth;
+  bool majority_truth;
+  if (votes_for_truth != against) {
+    majority_truth = votes_for_truth > against;
+  } else {
+    majority_truth = rng_.Bernoulli(0.5);
+  }
+  return majority_truth ? truth : !truth;
+}
+
+double WorkerPanel::MajorityAccuracy() const {
+  // Binomial tail: P(more than half of the workers answer correctly),
+  // counting half of the tie probability for even panels.
+  double total = 0.0;
+  double tie = 0.0;
+  // P(X = j) for X ~ Binomial(workers_, accuracy_).
+  std::vector<double> pmf(workers_ + 1, 0.0);
+  pmf[0] = 1.0;
+  for (int w = 0; w < workers_; ++w) {
+    for (int j = w + 1; j >= 1; --j) {
+      pmf[j] = pmf[j] * (1.0 - accuracy_) + pmf[j - 1] * accuracy_;
+    }
+    pmf[0] *= (1.0 - accuracy_);
+  }
+  for (int j = 0; j <= workers_; ++j) {
+    if (2 * j > workers_) total += pmf[j];
+    if (2 * j == workers_) tie += pmf[j];
+  }
+  return total + 0.5 * tie;
+}
+
+}  // namespace ptk::crowd

@@ -1,0 +1,70 @@
+#include "crowd/session.h"
+
+#include <algorithm>
+
+namespace ptk::crowd {
+
+CleaningSession::CleaningSession(const model::Database& db,
+                                 core::PairSelector* selector,
+                                 ComparisonOracle* oracle,
+                                 const Options& options)
+    : db_(&db),
+      selector_(selector),
+      oracle_(oracle),
+      options_(options),
+      evaluator_(db, options.k, options.order, options.enumerator) {
+  double h = 0.0;
+  const util::Status s = evaluator_.Quality(nullptr, &h);
+  initial_quality_ = s.ok() ? h : 0.0;
+  current_quality_ = initial_quality_;
+}
+
+util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
+  report->selected.clear();
+  report->answers.clear();
+  report->quality_before = current_quality_;
+
+  // Over-request so that previously asked pairs can be filtered out.
+  const int want = quota + static_cast<int>(asked_.size());
+  std::vector<core::ScoredPair> candidates;
+  util::Status s = selector_->SelectPairs(want, &candidates);
+  if (!s.ok()) return s;
+  for (const core::ScoredPair& pair : candidates) {
+    if (static_cast<int>(report->selected.size()) >= quota) break;
+    const auto key = std::minmax(pair.a, pair.b);
+    if (asked_.contains({key.first, key.second})) continue;
+    report->selected.push_back(pair);
+  }
+  if (static_cast<int>(report->selected.size()) < quota) {
+    return util::Status::ResourceExhausted(
+        "selector produced fewer unasked pairs than the quota");
+  }
+
+  for (const core::ScoredPair& pair : report->selected) {
+    const auto key = std::minmax(pair.a, pair.b);
+    asked_.insert({key.first, key.second});
+    const bool a_greater = oracle_->Compare(pair.a, pair.b);
+    const pw::PairwiseConstraint answer =
+        a_greater ? pw::PairwiseConstraint{pair.b, pair.a}
+                  : pw::PairwiseConstraint{pair.a, pair.b};
+    // Discard answers that leave no surviving possible world (Eq. 5 is
+    // undefined there); everything else is folded in.
+    pw::ConstraintSet candidate = constraints_;
+    candidate.Add(answer.smaller, answer.larger);
+    if (evaluator_.ConstraintProbability(candidate) <= 0.0) {
+      report->skipped.push_back(answer);
+      continue;
+    }
+    constraints_ = std::move(candidate);
+    report->answers.push_back(answer);
+  }
+
+  double h = 0.0;
+  s = evaluator_.Quality(&constraints_, &h);
+  if (!s.ok()) return s;
+  current_quality_ = h;
+  report->quality_after = h;
+  return util::Status::OK();
+}
+
+}  // namespace ptk::crowd

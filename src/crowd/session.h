@@ -1,0 +1,74 @@
+#ifndef PTK_CROWD_SESSION_H_
+#define PTK_CROWD_SESSION_H_
+
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/quality.h"
+#include "core/selector.h"
+#include "crowd/crowd_model.h"
+#include "pw/constraint.h"
+
+namespace ptk::crowd {
+
+/// One end-to-end uncertainty-reduction loop (Fig. 2): select object pairs
+/// under the quota, post them to the crowd, fold the answers into the
+/// constraint set, and track the realized quality H(S_k | answers) round
+/// by round. Selection operates on the original database (the paper's
+/// batch model); already-asked pairs are never re-posted.
+class CleaningSession {
+ public:
+  struct Options {
+    int k = 10;
+    pw::OrderMode order = pw::OrderMode::kInsensitive;
+    pw::EnumeratorOptions enumerator;
+  };
+
+  CleaningSession(const model::Database& db, core::PairSelector* selector,
+                  ComparisonOracle* oracle, const Options& options);
+
+  struct RoundReport {
+    std::vector<core::ScoredPair> selected;
+    std::vector<pw::PairwiseConstraint> answers;
+    /// Answers that contradicted the already-accepted constraint set (zero
+    /// surviving possible worlds) and were therefore discarded — the
+    /// conflict-resolution behaviour of Fig. 2's server.
+    std::vector<pw::PairwiseConstraint> skipped;
+    double quality_before = 0.0;
+    double quality_after = 0.0;
+
+    double improvement() const { return quality_before - quality_after; }
+  };
+
+  /// Runs one round with the given quota. Fails with ResourceExhausted if
+  /// the selector cannot produce enough unasked pairs.
+  util::Status RunRound(int quota, RoundReport* report);
+
+  /// H(S_k) before any crowdsourcing.
+  double initial_quality() const { return initial_quality_; }
+
+  /// All accumulated comparison outcomes.
+  const pw::ConstraintSet& constraints() const { return constraints_; }
+
+  /// The current conditioned top-k distribution.
+  util::Status CurrentDistribution(pw::TopKDistribution* out) const {
+    return evaluator_.Distribution(
+        constraints_.empty() ? nullptr : &constraints_, out);
+  }
+
+ private:
+  const model::Database* db_;
+  core::PairSelector* selector_;
+  ComparisonOracle* oracle_;
+  Options options_;
+  core::QualityEvaluator evaluator_;
+  pw::ConstraintSet constraints_;
+  std::set<std::pair<model::ObjectId, model::ObjectId>> asked_;
+  double initial_quality_ = 0.0;
+  double current_quality_ = 0.0;
+};
+
+}  // namespace ptk::crowd
+
+#endif  // PTK_CROWD_SESSION_H_

@@ -1,0 +1,63 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace ptk::data {
+
+util::Status SaveCsv(const model::Database& db, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  out << "oid,value,prob\n";
+  out.precision(17);
+  for (const auto& obj : db.objects()) {
+    for (const auto& inst : obj.instances()) {
+      out << inst.oid << ',' << inst.value << ',' << inst.prob << '\n';
+    }
+  }
+  if (!out) return util::Status::IoError("write failed for " + path);
+  return util::Status::OK();
+}
+
+util::Status LoadCsv(const std::string& path, model::Database* out) {
+  std::ifstream in(path);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::Status::IoError("empty file: " + path);
+  }
+  // Instances grouped by oid in file order; oids must be contiguous from 0.
+  std::map<int64_t, std::vector<std::pair<double, double>>> objects;
+  int line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream row(line);
+    int64_t oid;
+    double value, prob;
+    char c1, c2;
+    if (!(row >> oid >> c1 >> value >> c2 >> prob) || c1 != ',' ||
+        c2 != ',') {
+      return util::Status::InvalidArgument(
+          path + ": malformed line " + std::to_string(line_no));
+    }
+    objects[oid].emplace_back(value, prob);
+  }
+  model::Database db;
+  int64_t expected = 0;
+  for (auto& [oid, pairs] : objects) {
+    if (oid != expected++) {
+      return util::Status::InvalidArgument(
+          path + ": object ids must be contiguous from 0");
+    }
+    db.AddObject(std::move(pairs));
+  }
+  util::Status s = db.Finalize();
+  if (!s.ok()) return s;
+  *out = std::move(db);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::data

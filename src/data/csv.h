@@ -1,0 +1,22 @@
+#ifndef PTK_DATA_CSV_H_
+#define PTK_DATA_CSV_H_
+
+#include <string>
+
+#include "model/database.h"
+#include "util/status.h"
+
+namespace ptk::data {
+
+/// Saves a database as CSV with header "oid,value,prob" (one instance per
+/// line, objects contiguous). Labels are not persisted.
+util::Status SaveCsv(const model::Database& db, const std::string& path);
+
+/// Loads a database saved by SaveCsv (or hand-written in the same format:
+/// instances of one object grouped by equal oid, probabilities per object
+/// summing to 1). The loaded database is finalized.
+util::Status LoadCsv(const std::string& path, model::Database* out);
+
+}  // namespace ptk::data
+
+#endif  // PTK_DATA_CSV_H_

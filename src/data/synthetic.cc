@@ -1,0 +1,116 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <map>
+
+#include "util/rng.h"
+
+namespace ptk::data {
+
+namespace {
+
+// Collapses duplicate values (merging probabilities) and normalizes.
+std::vector<std::pair<double, double>> Normalize(
+    std::map<double, double> value_to_weight) {
+  double total = 0.0;
+  for (const auto& [_, w] : value_to_weight) total += w;
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(value_to_weight.size());
+  for (const auto& [v, w] : value_to_weight) {
+    if (w > 0.0) pairs.emplace_back(v, w / total);
+  }
+  return pairs;
+}
+
+}  // namespace
+
+model::Database MakeSynDataset(const SynOptions& options) {
+  util::Rng rng(options.seed);
+  model::Database db;
+  for (int o = 0; o < options.num_objects; ++o) {
+    // 2..(2*avg-2) instances, mean ~avg.
+    const int lo = 2;
+    const int hi = std::max(lo, 2 * options.avg_instances - 2);
+    const int count = static_cast<int>(rng.UniformInt(lo, hi));
+    const double center =
+        rng.Uniform(0.0, options.value_range - options.cluster_width);
+    std::map<double, double> values;
+    double weight = 1.0;
+    for (int i = 0; i < count; ++i) {
+      const double v = center + rng.Uniform(0.0, options.cluster_width);
+      values[v] += weight;
+      weight /= options.skew;
+    }
+    db.AddObject(Normalize(std::move(values)));
+  }
+  const util::Status s = db.Finalize();
+  assert(s.ok());
+  (void)s;
+  return db;
+}
+
+AgeDataset MakeAgeDataset(const AgeOptions& options) {
+  util::Rng rng(options.seed);
+  AgeDataset out;
+  out.true_ages.reserve(options.num_objects);
+  for (int o = 0; o < options.num_objects; ++o) {
+    const double age = std::round(rng.Uniform(options.min_age,
+                                              options.max_age));
+    out.true_ages.push_back(age);
+    // Crowd guesses: rounded Gaussian around the *perceived* age (the
+    // truth plus a photo-specific systematic bias), histogrammed.
+    const double perceived = std::clamp(
+        age + rng.Normal(0.0, options.photo_bias_stddev), options.min_age,
+        options.max_age);
+    std::map<double, double> histogram;
+    for (int g = 0; g < options.guesses_per_photo; ++g) {
+      double guess = std::round(rng.Normal(perceived, options.guess_stddev));
+      guess = std::clamp(guess, options.min_age, options.max_age);
+      histogram[guess] += 1.0;
+    }
+    // Keep only the most frequent guesses (the site reports the top ones).
+    while (static_cast<int>(histogram.size()) > options.max_instances) {
+      auto least = histogram.begin();
+      for (auto it = histogram.begin(); it != histogram.end(); ++it) {
+        if (it->second < least->second) least = it;
+      }
+      histogram.erase(least);
+    }
+    out.db.AddObject(Normalize(std::move(histogram)),
+                     "photo_" + std::to_string(o));
+  }
+  const util::Status s = out.db.Finalize();
+  assert(s.ok());
+  (void)s;
+  return out;
+}
+
+model::Database MakeImdbDataset(const ImdbOptions& options) {
+  util::Rng rng(options.seed);
+  model::Database db;
+  for (int m = 0; m < options.num_movies; ++m) {
+    const int count = static_cast<int>(rng.UniformInt(1, options.max_ratings));
+    // A latent quality drives the ratings; confidences are random. Ratings
+    // stay continuous (mined scores, not star grids) so the top-k boundary
+    // is genuinely ambiguous rather than collapsing onto tied extremes.
+    const double quality = rng.Uniform(1.5, 9.0);
+    std::map<double, double> ratings;
+    for (int r = 0; r < count; ++r) {
+      const double rating =
+          std::clamp(quality + rng.Normal(0.0, 1.0), 1.0, 10.0);
+      const double confidence = rng.Uniform(0.2, 1.0);
+      // Store the rank score so smaller = better.
+      ratings[10.0 - rating] += confidence;
+    }
+    db.AddObject(Normalize(std::move(ratings)),
+                 "movie_" + std::to_string(m));
+  }
+  const util::Status s = db.Finalize();
+  assert(s.ok());
+  (void)s;
+  return db;
+}
+
+}  // namespace ptk::data

@@ -1,0 +1,66 @@
+#ifndef PTK_DATA_SYNTHETIC_H_
+#define PTK_DATA_SYNTHETIC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/database.h"
+
+namespace ptk::data {
+
+/// SYN (Section 6.1): `num_objects` uncertain objects; each object's
+/// instance values form a random cluster of width `cluster_width` inside
+/// [0, value_range]; instance probabilities follow a skewed (geometric-
+/// like) distribution. Smaller values rank higher, as everywhere in the
+/// library.
+struct SynOptions {
+  int num_objects = 100'000;
+  int avg_instances = 3;
+  double value_range = 10'000.0;
+  double cluster_width = 50.0;
+  /// Probability skew: instance i gets weight skew^-i before normalization
+  /// (1.0 = uniform; the paper says "skewed", we default to 2).
+  double skew = 2.0;
+  uint64_t seed = 1;
+};
+model::Database MakeSynDataset(const SynOptions& options);
+
+/// AGE-like (Section 6.1): photos with ground-truth ages and crowd
+/// age-guess histograms. Guesses are Gaussian around the true age and
+/// aggregated into a guess histogram per photo, matching the AgeGuessing
+/// crawl's statistics (600 photos, ~8 distinct guesses each).
+struct AgeOptions {
+  int num_objects = 600;
+  int guesses_per_photo = 40;  // raw guesses aggregated into instances
+  int max_instances = 8;       // histogram truncated to the top guesses
+  double min_age = 1.0;
+  double max_age = 90.0;
+  /// Per-guess noise around the photo's perceived age.
+  double guess_stddev = 5.0;
+  /// Systematic per-photo bias of the crowd's perception (people agree
+  /// with each other more than with the ground truth) — this is what makes
+  /// direct age guessing unreliable in the paper's Table 2 while pairwise
+  /// comparison stays accurate.
+  double photo_bias_stddev = 5.0;
+  uint64_t seed = 7;
+};
+struct AgeDataset {
+  model::Database db;
+  std::vector<double> true_ages;  // ground truth, indexed by ObjectId
+};
+AgeDataset MakeAgeDataset(const AgeOptions& options);
+
+/// IMDB-like (Section 6.1): movies with 1-3 ratings, each with a
+/// confidence. The stored value is the *rank score* 10 - rating so that
+/// smaller ranks higher (better movies first), matching the library's
+/// convention; benches report k-best movies.
+struct ImdbOptions {
+  int num_movies = 4'999;
+  int max_ratings = 3;  // average ~2 as in the paper
+  uint64_t seed = 13;
+};
+model::Database MakeImdbDataset(const ImdbOptions& options);
+
+}  // namespace ptk::data
+
+#endif  // PTK_DATA_SYNTHETIC_H_

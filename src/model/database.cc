@@ -1,0 +1,104 @@
+#include "model/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace ptk::model {
+
+ObjectId Database::AddObject(std::vector<std::pair<double, double>> pairs,
+                             std::string label) {
+  const ObjectId oid = static_cast<ObjectId>(objects_.size());
+  objects_.emplace_back(oid, std::move(pairs));
+  objects_.back().set_label(std::move(label));
+  finalized_ = false;
+  return oid;
+}
+
+util::Status Database::Finalize(double tolerance) {
+  if (objects_.empty()) {
+    return util::Status::InvalidArgument("database has no objects");
+  }
+  for (UncertainObject& obj : objects_) {
+    if (obj.instances_.empty()) {
+      return util::Status::InvalidArgument(
+          "object " + std::to_string(obj.id()) + " has no instances");
+    }
+    double total = 0.0;
+    for (size_t i = 0; i < obj.instances_.size(); ++i) {
+      const Instance& inst = obj.instances_[i];
+      if (!(inst.prob > 0.0) || inst.prob > 1.0 + tolerance) {
+        return util::Status::InvalidArgument(
+            "object " + std::to_string(obj.id()) +
+            " has an instance with probability outside (0, 1]");
+      }
+      if (!std::isfinite(inst.value)) {
+        return util::Status::InvalidArgument(
+            "object " + std::to_string(obj.id()) +
+            " has a non-finite instance value");
+      }
+      if (i > 0 && obj.instances_[i - 1].value == inst.value) {
+        return util::Status::InvalidArgument(
+            "object " + std::to_string(obj.id()) +
+            " has duplicate instance values; merge them before loading");
+      }
+      total += inst.prob;
+    }
+    if (std::abs(total - 1.0) > tolerance) {
+      return util::Status::InvalidArgument(
+          "object " + std::to_string(obj.id()) +
+          " probabilities sum to " + std::to_string(total) + ", not 1");
+    }
+    // Renormalize exactly so possible-world products are clean.
+    for (Instance& inst : obj.instances_) inst.prob /= total;
+  }
+
+  // Build the global sorted index.
+  sorted_.clear();
+  for (const UncertainObject& obj : objects_) {
+    sorted_.insert(sorted_.end(), obj.instances_.begin(),
+                   obj.instances_.end());
+  }
+  std::sort(sorted_.begin(), sorted_.end(), InstanceLess);
+
+  offset_.assign(objects_.size(), 0);
+  int running = 0;
+  for (size_t o = 0; o < objects_.size(); ++o) {
+    offset_[o] = running;
+    running += objects_[o].num_instances();
+  }
+  position_.assign(running, -1);
+  obj_positions_.assign(objects_.size(), {});
+  obj_suffix_mass_.assign(objects_.size(), {});
+  for (size_t pos = 0; pos < sorted_.size(); ++pos) {
+    const Instance& inst = sorted_[pos];
+    position_[offset_[inst.oid] + inst.iid] = static_cast<Position>(pos);
+    obj_positions_[inst.oid].push_back(static_cast<Position>(pos));
+  }
+  for (size_t o = 0; o < objects_.size(); ++o) {
+    const auto& positions = obj_positions_[o];
+    auto& suffix = obj_suffix_mass_[o];
+    suffix.assign(positions.size() + 1, 0.0);
+    for (int i = static_cast<int>(positions.size()) - 1; i >= 0; --i) {
+      suffix[i] = suffix[i + 1] + sorted_[positions[i]].prob;
+    }
+  }
+  finalized_ = true;
+  return util::Status::OK();
+}
+
+double Database::MassBeyond(ObjectId oid, Position pos) const {
+  const auto& positions = obj_positions_[oid];
+  // First of this object's positions strictly greater than pos.
+  const auto it = std::upper_bound(positions.begin(), positions.end(), pos);
+  return obj_suffix_mass_[oid][it - positions.begin()];
+}
+
+double Database::MassBefore(ObjectId oid, Position pos) const {
+  const auto& positions = obj_positions_[oid];
+  const auto it = std::lower_bound(positions.begin(), positions.end(), pos);
+  const size_t idx = it - positions.begin();
+  return obj_suffix_mass_[oid][0] - obj_suffix_mass_[oid][idx];
+}
+
+}  // namespace ptk::model

@@ -1,0 +1,83 @@
+#ifndef PTK_MODEL_DATABASE_H_
+#define PTK_MODEL_DATABASE_H_
+
+#include <utility>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/uncertain_object.h"
+#include "util/status.h"
+
+namespace ptk::model {
+
+/// Global position of an instance in the database-wide (value, oid, iid)
+/// ascending order; position 0 is the highest-ranked instance.
+using Position = int32_t;
+
+/// A probabilistic database: a set of independent uncertain objects under
+/// possible-world semantics (Section 3.1). After Finalize() the database is
+/// immutable and exposes a global value-sorted instance index used by the
+/// top-k enumerator and the membership calculator.
+class Database {
+ public:
+  Database() = default;
+
+  /// Adds an object from (value, probability) pairs and returns its id.
+  /// Must be called before Finalize().
+  ObjectId AddObject(std::vector<std::pair<double, double>> pairs,
+                     std::string label = "");
+
+  /// Validates every object (positive probabilities summing to 1 within
+  /// `tolerance`, no duplicate values inside one object, at least one
+  /// instance) and builds the sorted index. Probabilities are renormalized
+  /// exactly to 1 so downstream math is numerically clean.
+  util::Status Finalize(double tolerance = 1e-6);
+
+  bool finalized() const { return finalized_; }
+
+  int num_objects() const { return static_cast<int>(objects_.size()); }
+  int num_instances() const { return static_cast<int>(sorted_.size()); }
+
+  const UncertainObject& object(ObjectId oid) const { return objects_[oid]; }
+  const std::vector<UncertainObject>& objects() const { return objects_; }
+
+  const Instance& instance(InstanceRef ref) const {
+    return objects_[ref.oid].instance(ref.iid);
+  }
+
+  // ---- Global sorted index (available after Finalize) ----
+
+  /// All instances ascending by (value, oid, iid).
+  const std::vector<Instance>& sorted_instances() const { return sorted_; }
+
+  /// Global position of an instance.
+  Position PositionOf(InstanceRef ref) const {
+    return position_[offset_[ref.oid] + ref.iid];
+  }
+
+  /// Probability that object `oid` takes an instance with global position
+  /// strictly greater than `pos` (i.e., ranks beyond the first pos+1
+  /// sorted instances). Pass -1 for "any instance" (returns 1).
+  double MassBeyond(ObjectId oid, Position pos) const;
+
+  /// Probability that object `oid` takes an instance with global position
+  /// strictly less than `pos` ("ranks above" the instance at pos).
+  double MassBefore(ObjectId oid, Position pos) const;
+
+ private:
+  bool finalized_ = false;
+  std::vector<UncertainObject> objects_;
+
+  // Sorted index, built by Finalize().
+  std::vector<Instance> sorted_;
+  std::vector<int> offset_;         // per object: start in position_
+  std::vector<Position> position_;  // flat (oid,iid) -> global position
+  // Per object: its instances' global positions ascending, and the suffix
+  // probability mass starting at each of them.
+  std::vector<std::vector<Position>> obj_positions_;
+  std::vector<std::vector<double>> obj_suffix_mass_;
+};
+
+}  // namespace ptk::model
+
+#endif  // PTK_MODEL_DATABASE_H_

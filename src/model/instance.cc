@@ -1,0 +1,4 @@
+#include "model/instance.h"
+
+// Instance is a passive struct with inline helpers; this translation unit
+// anchors the header in the build.

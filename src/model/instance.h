@@ -1,0 +1,54 @@
+#ifndef PTK_MODEL_INSTANCE_H_
+#define PTK_MODEL_INSTANCE_H_
+
+#include <cstdint>
+
+namespace ptk::model {
+
+/// Identifier of an uncertain object: its index in the owning Database.
+using ObjectId = int32_t;
+
+/// Identifier of an instance within its object: its index in the object's
+/// value-sorted instance list.
+using InstanceId = int32_t;
+
+constexpr ObjectId kInvalidObject = -1;
+
+/// One probabilistic instance <oid, iid, v, p> of an uncertain object
+/// (Section 3.1). Instances of the same object are mutually exclusive and
+/// their probabilities sum to 1.
+struct Instance {
+  ObjectId oid = kInvalidObject;
+  InstanceId iid = -1;
+  double value = 0.0;
+  double prob = 0.0;
+};
+
+/// Total order over instances used everywhere ranking matters: ascending
+/// value, ties broken by (oid, iid). The paper assumes no two instances
+/// share a value; real rating data (e.g., IMDB) violates that, so the
+/// library instead fixes one deterministic total order and uses it
+/// consistently in the exact oracle, the enumerator, and the membership
+/// calculator. Under this order "smaller ranks higher" exactly as in the
+/// paper.
+inline bool InstanceLess(const Instance& a, const Instance& b) {
+  if (a.value != b.value) return a.value < b.value;
+  if (a.oid != b.oid) return a.oid < b.oid;
+  return a.iid < b.iid;
+}
+
+inline bool InstanceGreater(const Instance& a, const Instance& b) {
+  return InstanceLess(b, a);
+}
+
+/// A compact reference to an instance inside a Database.
+struct InstanceRef {
+  ObjectId oid = kInvalidObject;
+  InstanceId iid = -1;
+
+  friend bool operator==(const InstanceRef&, const InstanceRef&) = default;
+};
+
+}  // namespace ptk::model
+
+#endif  // PTK_MODEL_INSTANCE_H_

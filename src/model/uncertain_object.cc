@@ -1,0 +1,66 @@
+#include "model/uncertain_object.h"
+
+#include <algorithm>
+
+namespace ptk::model {
+
+UncertainObject::UncertainObject(ObjectId id,
+                                 std::vector<std::pair<double, double>> pairs)
+    : id_(id) {
+  std::sort(pairs.begin(), pairs.end());
+  instances_.reserve(pairs.size());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    instances_.push_back(Instance{id, static_cast<InstanceId>(i),
+                                  pairs[i].first, pairs[i].second});
+  }
+}
+
+double UncertainObject::TotalProb() const {
+  double total = 0.0;
+  for (const Instance& i : instances_) total += i.prob;
+  return total;
+}
+
+double UncertainObject::ExpectedValue() const {
+  double total = 0.0;
+  for (const Instance& i : instances_) total += i.value * i.prob;
+  return total;
+}
+
+double UncertainObject::MassLess(const Instance& x) const {
+  double total = 0.0;
+  for (const Instance& i : instances_) {
+    if (!InstanceLess(i, x)) break;  // instances_ sorted by the same order
+    total += i.prob;
+  }
+  return total;
+}
+
+double UncertainObject::MassGreater(const Instance& x) const {
+  double total = 0.0;
+  for (auto it = instances_.rbegin(); it != instances_.rend(); ++it) {
+    if (!InstanceLess(x, *it)) break;
+    total += it->prob;
+  }
+  return total;
+}
+
+double UncertainObject::MassValueBelow(double v) const {
+  double total = 0.0;
+  for (const Instance& i : instances_) {
+    if (i.value >= v) break;
+    total += i.prob;
+  }
+  return total;
+}
+
+double UncertainObject::MassValueAbove(double v) const {
+  double total = 0.0;
+  for (auto it = instances_.rbegin(); it != instances_.rend(); ++it) {
+    if (it->value <= v) break;
+    total += it->prob;
+  }
+  return total;
+}
+
+}  // namespace ptk::model

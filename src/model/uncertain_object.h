@@ -1,0 +1,64 @@
+#ifndef PTK_MODEL_UNCERTAIN_OBJECT_H_
+#define PTK_MODEL_UNCERTAIN_OBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace ptk::model {
+
+/// An uncertain object: a set of mutually exclusive instances whose
+/// probabilities sum to 1 (the x-tuple of the x-tuple model). Instances are
+/// stored sorted ascending by value; iid equals the index in that order.
+class UncertainObject {
+ public:
+  UncertainObject() = default;
+
+  /// Builds an object from (value, probability) pairs. The Database is the
+  /// usual entry point (it assigns ids and validates); this constructor is
+  /// exposed for pseudo-objects and tests. Pairs are sorted by value and
+  /// iids assigned; no validation is performed here.
+  UncertainObject(ObjectId id, std::vector<std::pair<double, double>> pairs);
+
+  ObjectId id() const { return id_; }
+  const std::string& label() const { return label_; }
+  void set_label(std::string label) { label_ = std::move(label); }
+
+  int num_instances() const { return static_cast<int>(instances_.size()); }
+  const std::vector<Instance>& instances() const { return instances_; }
+  const Instance& instance(InstanceId iid) const { return instances_[iid]; }
+
+  /// Sum of instance probabilities (1 for a valid object; pseudo bound
+  /// objects always rebuild to exactly 1 by construction).
+  double TotalProb() const;
+
+  /// E[value] — the clustering metric ingredient of Eq. 17.
+  double ExpectedValue() const;
+
+  /// Probability that this object's value is strictly below `x` under the
+  /// instance total order (InstanceLess). `x` may belong to any object.
+  double MassLess(const Instance& x) const;
+
+  /// Probability that this object's value is strictly above `x` under the
+  /// instance total order.
+  double MassGreater(const Instance& x) const;
+
+  /// Probability mass of instances with raw value < v (ties excluded) —
+  /// used by the value-based dominance test (Definition 4).
+  double MassValueBelow(double v) const;
+
+  /// Probability mass of instances with raw value > v (ties excluded).
+  double MassValueAbove(double v) const;
+
+ private:
+  friend class Database;
+
+  ObjectId id_ = kInvalidObject;
+  std::string label_;
+  std::vector<Instance> instances_;  // ascending by (value, oid, iid)
+};
+
+}  // namespace ptk::model
+
+#endif  // PTK_MODEL_UNCERTAIN_OBJECT_H_

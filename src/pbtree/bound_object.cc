@@ -1,0 +1,148 @@
+#include "pbtree/bound_object.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace ptk::pbtree {
+
+namespace {
+
+constexpr double kMassEpsilon = 1e-12;
+
+struct HeapEntry {
+  double value;
+  int input;  // which input sequence
+  int index;  // index within that input
+};
+
+}  // namespace
+
+// Runs Algorithm 4 over the inputs in the given direction. `ascending`
+// builds the lower bound; descending builds the upper bound (instances are
+// then reversed back to ascending order).
+BoundObject BoundObject::Sweep(std::span<const Input> inputs,
+                               bool ascending) {
+  const int n = static_cast<int>(inputs.size());
+  assert(n > 0);
+
+  const auto cmp = [ascending](const HeapEntry& a, const HeapEntry& b) {
+    // priority_queue keeps the *largest* element on top, so invert.
+    return ascending ? (a.value > b.value) : (a.value < b.value);
+  };
+  // Min-heap (ascending) / max-heap (descending) over the next instance of
+  // each input; inputs are value-sorted so one cursor per input suffices.
+  std::vector<HeapEntry> heap;
+  heap.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    assert(!inputs[i].instances.empty());
+    const int idx =
+        ascending ? 0 : static_cast<int>(inputs[i].instances.size()) - 1;
+    heap.push_back({inputs[i].instances[idx].value, i, idx});
+  }
+  std::make_heap(heap.begin(), heap.end(), cmp);
+
+  std::vector<double> rp(n, 0.0);  // Algorithm 4's per-object rp
+  double tp = 0.0;
+
+  std::vector<model::Instance> bound;
+  std::vector<model::InstanceRef> sources;
+
+  const auto source_of = [&inputs](int input, int index) {
+    if (!inputs[input].sources.empty()) return inputs[input].sources[index];
+    const model::Instance& inst = inputs[input].instances[index];
+    return model::InstanceRef{inst.oid, inst.iid};
+  };
+
+  while (!heap.empty() && tp < 1.0 - kMassEpsilon) {
+    std::pop_heap(heap.begin(), heap.end(), cmp);
+    const HeapEntry top = heap.back();
+    heap.pop_back();
+    const model::Instance& inst = inputs[top.input].instances[top.index];
+
+    // Advance this input's cursor.
+    const int next = ascending ? top.index + 1 : top.index - 1;
+    if (next >= 0 &&
+        next < static_cast<int>(inputs[top.input].instances.size())) {
+      heap.push_back(
+          {inputs[top.input].instances[next].value, top.input, next});
+      std::push_heap(heap.begin(), heap.end(), cmp);
+    }
+
+    if (rp[top.input] >= inst.prob - kMassEpsilon) {
+      rp[top.input] -= inst.prob;
+      if (rp[top.input] < 0.0) rp[top.input] = 0.0;
+      continue;
+    }
+    const double pm = inst.prob - rp[top.input];
+    bound.push_back(model::Instance{model::kInvalidObject,
+                                    static_cast<model::InstanceId>(0),
+                                    inst.value, pm});
+    sources.push_back(source_of(top.input, top.index));
+    tp += pm;
+    rp[top.input] = 0.0;
+    for (int i = 0; i < n; ++i) {
+      if (i != top.input) rp[i] += pm;
+    }
+  }
+
+  if (!ascending) {
+    std::reverse(bound.begin(), bound.end());
+    std::reverse(sources.begin(), sources.end());
+  }
+  // Renormalize the residual rounding error and assign iids.
+  double total = 0.0;
+  for (const model::Instance& b : bound) total += b.prob;
+  BoundObject out;
+  out.instances_ = std::move(bound);
+  out.sources_ = std::move(sources);
+  for (size_t i = 0; i < out.instances_.size(); ++i) {
+    out.instances_[i].iid = static_cast<model::InstanceId>(i);
+    if (total > 0.0) out.instances_[i].prob /= total;
+  }
+  return out;
+}
+
+BoundObject BoundObject::LowerBound(std::span<const Input> inputs) {
+  return Sweep(inputs, /*ascending=*/true);
+}
+
+BoundObject BoundObject::UpperBound(std::span<const Input> inputs) {
+  return Sweep(inputs, /*ascending=*/false);
+}
+
+double BoundObject::ExpectedValue() const {
+  double total = 0.0;
+  for (const model::Instance& i : instances_) total += i.value * i.prob;
+  return total;
+}
+
+double BoundDistance(const BoundObject& lbo, const BoundObject& ubo) {
+  return ubo.ExpectedValue() - lbo.ExpectedValue();
+}
+
+bool Dominates(std::span<const model::Instance> a,
+               std::span<const model::Instance> b) {
+  // a ⪯ b iff CDF_a(d) >= CDF_b(d) at every threshold, in both the strict
+  // (< d) and non-strict (<= d) senses; checking at every breakpoint of
+  // either sequence covers all d. Tolerate tiny rounding slack.
+  constexpr double kSlack = 1e-9;
+  size_t ia = 0, ib = 0;
+  double ca = 0.0, cb = 0.0;  // CDF accumulated so far
+  while (ia < a.size() || ib < b.size()) {
+    const double va =
+        ia < a.size() ? a[ia].value : std::numeric_limits<double>::infinity();
+    const double vb =
+        ib < b.size() ? b[ib].value : std::numeric_limits<double>::infinity();
+    const double v = std::min(va, vb);
+    // Strict-below check at threshold v.
+    if (ca + kSlack < cb) return false;
+    while (ia < a.size() && a[ia].value == v) ca += a[ia++].prob;
+    while (ib < b.size() && b[ib].value == v) cb += b[ib++].prob;
+    // Non-strict check just past v.
+    if (ca + kSlack < cb) return false;
+  }
+  return true;
+}
+
+}  // namespace ptk::pbtree

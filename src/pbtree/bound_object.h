@@ -1,0 +1,74 @@
+#ifndef PTK_PBTREE_BOUND_OBJECT_H_
+#define PTK_PBTREE_BOUND_OBJECT_H_
+
+#include <span>
+#include <vector>
+
+#include "model/instance.h"
+#include "model/uncertain_object.h"
+
+namespace ptk::pbtree {
+
+/// A pseudo-object bounding a set of objects from below or above in the
+/// dominance order (Definition 4). Built by Algorithm 4, which produces the
+/// *tightest* such bounds (Theorem 2). Every bound instance remembers the
+/// real instance that contributed its value — the `i_u`/`i_l` sources
+/// needed by the Eq. 18 node-pair bound.
+class BoundObject {
+ public:
+  BoundObject() = default;
+
+  /// One input to Algorithm 4: a value-sorted instance sequence (a real
+  /// object's instances or a child bound object's instances) with parallel
+  /// sources.
+  struct Input {
+    std::span<const model::Instance> instances;
+    std::span<const model::InstanceRef> sources;  // may be empty: use
+                                                  // (oid,iid) of instances
+  };
+
+  /// Tightest lower bound pseudo-object of the inputs: lbo ⪯ o for every
+  /// input o (Algorithm 4, ascending sweep).
+  static BoundObject LowerBound(std::span<const Input> inputs);
+
+  /// Tightest upper bound: o ⪯ ubo for every input o (descending sweep).
+  static BoundObject UpperBound(std::span<const Input> inputs);
+
+  /// Convenience: this bound object viewed as an Algorithm 4 input.
+  Input AsInput() const { return Input{instances_, sources_}; }
+
+  /// Instances ascending by value. oid is kInvalidObject; iid is the index.
+  const std::vector<model::Instance>& instances() const { return instances_; }
+  const std::vector<model::InstanceRef>& sources() const { return sources_; }
+
+  bool empty() const { return instances_.empty(); }
+
+  /// Source of the smallest-value instance (the `i_l` of Theorem 4).
+  model::InstanceRef SmallestSource() const { return sources_.front(); }
+  /// Source of the largest-value instance (the `i_u` of Theorem 4).
+  model::InstanceRef LargestSource() const { return sources_.back(); }
+
+  /// E[value] — one leg of the clustering distance D(lbo, ubo) (Eq. 17).
+  double ExpectedValue() const;
+
+ private:
+  // Algorithm 4 in the requested direction (ascending = lower bound).
+  static BoundObject Sweep(std::span<const Input> inputs, bool ascending);
+
+  std::vector<model::Instance> instances_;
+  std::vector<model::InstanceRef> sources_;
+};
+
+/// Clustering distance of Eq. 17: E[ubo] - E[lbo]. Smaller means the node's
+/// objects are more alike, giving tighter Theorem 1 probability bounds.
+double BoundDistance(const BoundObject& lbo, const BoundObject& ubo);
+
+/// Definition 4 dominance test over value-sorted instance sequences:
+/// a ⪯ b iff for every threshold d, a's mass below d is at least b's and
+/// b's mass above d is at least a's. Used by PBTree::Validate and tests.
+bool Dominates(std::span<const model::Instance> a,
+               std::span<const model::Instance> b);
+
+}  // namespace ptk::pbtree
+
+#endif  // PTK_PBTREE_BOUND_OBJECT_H_

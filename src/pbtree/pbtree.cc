@@ -1,0 +1,265 @@
+#include "pbtree/pbtree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+#include <numeric>
+
+namespace ptk::pbtree {
+
+namespace {
+
+// Gathers Algorithm 4 inputs for a node's payload.
+std::vector<BoundObject::Input> NodeInputs(const model::Database& db,
+                                           const Node& node) {
+  std::vector<BoundObject::Input> inputs;
+  if (node.leaf) {
+    inputs.reserve(node.objects.size());
+    for (model::ObjectId oid : node.objects) {
+      inputs.push_back(BoundObject::Input{db.object(oid).instances(), {}});
+    }
+  } else {
+    inputs.reserve(2 * node.children.size());
+    for (const auto& child : node.children) {
+      inputs.push_back(child->lbo.AsInput());
+      inputs.push_back(child->ubo.AsInput());
+    }
+  }
+  return inputs;
+}
+
+}  // namespace
+
+PBTree::PBTree(const model::Database& db) : PBTree(db, Options()) {}
+
+PBTree::PBTree(const model::Database& db, const Options& options)
+    : db_(&db), options_(options) {
+  assert(db.finalized());
+  assert(options_.fanout >= 2);
+  if (options_.bulk_load) {
+    BulkLoad();
+  } else {
+    InsertAll();
+  }
+}
+
+void PBTree::RecomputeBounds(Node* node) {
+  const auto inputs = NodeInputs(*db_, *node);
+  node->lbo = BoundObject::LowerBound(inputs);
+  node->ubo = BoundObject::UpperBound(inputs);
+}
+
+void PBTree::BulkLoad() {
+  // Pack objects sorted by expected value: neighbors in that order minimize
+  // the D-metric (Eq. 17) growth of each leaf.
+  std::vector<model::ObjectId> order(db_->num_objects());
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> ev(db_->num_objects());
+  for (model::ObjectId o = 0; o < db_->num_objects(); ++o) {
+    ev[o] = db_->object(o).ExpectedValue();
+  }
+  std::sort(order.begin(), order.end(),
+            [&ev](model::ObjectId a, model::ObjectId b) {
+              if (ev[a] != ev[b]) return ev[a] < ev[b];
+              return a < b;
+            });
+
+  // Build the leaf level.
+  std::vector<std::unique_ptr<Node>> level;
+  for (size_t start = 0; start < order.size();
+       start += options_.fanout) {
+    auto leaf = std::make_unique<Node>();
+    leaf->leaf = true;
+    const size_t end = std::min(order.size(),
+                                start + static_cast<size_t>(options_.fanout));
+    leaf->objects.assign(order.begin() + start, order.begin() + end);
+    RecomputeBounds(leaf.get());
+    level.push_back(std::move(leaf));
+  }
+  // Build inner levels until a single root remains.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next;
+    for (size_t start = 0; start < level.size();
+         start += options_.fanout) {
+      auto inner = std::make_unique<Node>();
+      inner->leaf = false;
+      const size_t end = std::min(
+          level.size(), start + static_cast<size_t>(options_.fanout));
+      for (size_t i = start; i < end; ++i) {
+        inner->children.push_back(std::move(level[i]));
+      }
+      RecomputeBounds(inner.get());
+      next.push_back(std::move(inner));
+    }
+    level = std::move(next);
+  }
+  root_ = std::move(level.front());
+}
+
+double PBTree::GrowthIfAdded(const Node& node, model::ObjectId oid) const {
+  auto inputs = NodeInputs(*db_, node);
+  inputs.push_back(BoundObject::Input{db_->object(oid).instances(), {}});
+  const BoundObject lbo = BoundObject::LowerBound(inputs);
+  const BoundObject ubo = BoundObject::UpperBound(inputs);
+  return BoundDistance(lbo, ubo) - BoundDistance(node.lbo, node.ubo);
+}
+
+std::unique_ptr<Node> PBTree::Split(Node* node) {
+  // Split by expected-value order, which keeps both halves' D-metric small.
+  auto right = std::make_unique<Node>();
+  right->leaf = node->leaf;
+  if (node->leaf) {
+    std::sort(node->objects.begin(), node->objects.end(),
+              [this](model::ObjectId a, model::ObjectId b) {
+                return db_->object(a).ExpectedValue() <
+                       db_->object(b).ExpectedValue();
+              });
+    const size_t half = node->objects.size() / 2;
+    right->objects.assign(node->objects.begin() + half, node->objects.end());
+    node->objects.resize(half);
+  } else {
+    std::sort(node->children.begin(), node->children.end(),
+              [](const std::unique_ptr<Node>& a,
+                 const std::unique_ptr<Node>& b) {
+                return a->lbo.ExpectedValue() < b->lbo.ExpectedValue();
+              });
+    const size_t half = node->children.size() / 2;
+    for (size_t i = half; i < node->children.size(); ++i) {
+      right->children.push_back(std::move(node->children[i]));
+    }
+    node->children.resize(half);
+  }
+  RecomputeBounds(node);
+  RecomputeBounds(right.get());
+  return right;
+}
+
+void PBTree::Insert(model::ObjectId oid) {
+  // Descend to the leaf whose D-metric grows least (the paper's insertion
+  // rule), then split bottom-up on overflow.
+  std::vector<Node*> path;
+  Node* node = root_.get();
+  while (!node->leaf) {
+    path.push_back(node);
+    Node* best = nullptr;
+    double best_growth = 0.0;
+    for (const auto& child : node->children) {
+      const double growth = GrowthIfAdded(*child, oid);
+      if (best == nullptr || growth < best_growth) {
+        best = child.get();
+        best_growth = growth;
+      }
+    }
+    node = best;
+  }
+  node->objects.push_back(oid);
+  RecomputeBounds(node);
+
+  // Handle overflow up the path.
+  Node* child = node;
+  for (int level = static_cast<int>(path.size()) - 1; level >= -1; --level) {
+    Node* parent = level >= 0 ? path[level] : nullptr;
+    if (child->fanout_used() <= options_.fanout) {
+      // No split; still refresh ancestor bounds.
+      if (parent != nullptr) RecomputeBounds(parent);
+      child = parent;
+      if (child == nullptr) break;
+      continue;
+    }
+    std::unique_ptr<Node> sibling = Split(child);
+    if (parent == nullptr) {
+      // Root split: grow the tree by one level.
+      auto new_root = std::make_unique<Node>();
+      new_root->leaf = false;
+      new_root->children.push_back(std::move(root_));
+      new_root->children.push_back(std::move(sibling));
+      RecomputeBounds(new_root.get());
+      root_ = std::move(new_root);
+      return;
+    }
+    parent->children.push_back(std::move(sibling));
+    RecomputeBounds(parent);
+    child = parent;
+  }
+}
+
+void PBTree::InsertAll() {
+  root_ = std::make_unique<Node>();
+  root_->leaf = true;
+  for (model::ObjectId oid = 0; oid < db_->num_objects(); ++oid) {
+    if (oid == 0) {
+      root_->objects.push_back(oid);
+      RecomputeBounds(root_.get());
+    } else {
+      Insert(oid);
+    }
+  }
+}
+
+int PBTree::height() const {
+  int h = 1;
+  for (const Node* n = root_.get(); !n->leaf; n = n->children.front().get()) {
+    ++h;
+  }
+  return h;
+}
+
+int64_t PBTree::num_nodes() const {
+  std::function<int64_t(const Node*)> count = [&](const Node* n) {
+    int64_t total = 1;
+    for (const auto& c : n->children) total += count(c.get());
+    return total;
+  };
+  return count(root_.get());
+}
+
+util::Status PBTree::Validate() const {
+  std::function<util::Status(const Node*, std::vector<model::ObjectId>*)>
+      check = [&](const Node* node, std::vector<model::ObjectId>* collected)
+      -> util::Status {
+    std::vector<model::ObjectId> under;
+    if (node->leaf) {
+      under = node->objects;
+    } else {
+      if (node->children.empty()) {
+        return util::Status::Internal("inner node with no children");
+      }
+      for (const auto& child : node->children) {
+        util::Status s = check(child.get(), &under);
+        if (!s.ok()) return s;
+        // Lemma 1: parent bounds dominate child bounds.
+        if (!Dominates(node->lbo.instances(), child->lbo.instances())) {
+          return util::Status::Internal("Lemma 1 violated: parent lbo");
+        }
+        if (!Dominates(child->ubo.instances(), node->ubo.instances())) {
+          return util::Status::Internal("Lemma 1 violated: parent ubo");
+        }
+      }
+    }
+    for (model::ObjectId oid : under) {
+      if (!Dominates(node->lbo.instances(), db_->object(oid).instances())) {
+        return util::Status::Internal("lbo does not dominate an object");
+      }
+      if (!Dominates(db_->object(oid).instances(), node->ubo.instances())) {
+        return util::Status::Internal("an object does not dominate ubo");
+      }
+    }
+    collected->insert(collected->end(), under.begin(), under.end());
+    return util::Status::OK();
+  };
+  std::vector<model::ObjectId> all;
+  util::Status s = check(root_.get(), &all);
+  if (!s.ok()) return s;
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < db_->num_objects(); ++i) {
+    if (i >= static_cast<int>(all.size()) || all[i] != i) {
+      return util::Status::Internal("tree does not cover every object once");
+    }
+  }
+  if (static_cast<int>(all.size()) != db_->num_objects()) {
+    return util::Status::Internal("tree covers an object twice");
+  }
+  return util::Status::OK();
+}
+
+}  // namespace ptk::pbtree

@@ -1,0 +1,77 @@
+#ifndef PTK_PBTREE_PBTREE_H_
+#define PTK_PBTREE_PBTREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "model/database.h"
+#include "pbtree/bound_object.h"
+#include "util/status.h"
+
+namespace ptk::pbtree {
+
+/// One PB-tree node: (ptrs, lbo, ubo) in the paper's notation. Leaves hold
+/// object ids; inner nodes hold children. The bound pseudo-objects satisfy
+/// lbo ⪯ o ⪯ ubo for every object o under the node.
+struct Node {
+  bool leaf = true;
+  std::vector<model::ObjectId> objects;          // leaf payload
+  std::vector<std::unique_ptr<Node>> children;   // inner payload
+  BoundObject lbo;
+  BoundObject ubo;
+
+  int fanout_used() const {
+    return leaf ? static_cast<int>(objects.size())
+                : static_cast<int>(children.size());
+  }
+};
+
+/// The Probabilistic B-tree (Section 4.1): clusters uncertain objects so
+/// that node-level bound objects yield tight P(o1 > o2) intervals
+/// (Theorem 1), which the pair stream uses to visit object pairs in
+/// descending score order while pruning most of the quadratic pair space.
+class PBTree {
+ public:
+  struct Options {
+    int fanout = 8;
+    /// true: sort objects by expected value and pack (bulk load, the
+    /// default); false: insert objects one by one choosing the subtree with
+    /// the least D-metric growth and splitting on overflow, as the paper's
+    /// construction sketch describes.
+    bool bulk_load = true;
+  };
+
+  explicit PBTree(const model::Database& db);
+  PBTree(const model::Database& db, const Options& options);
+
+  const model::Database& db() const { return *db_; }
+  const Node* root() const { return root_.get(); }
+  int fanout() const { return options_.fanout; }
+
+  int height() const;
+  int64_t num_nodes() const;
+
+  /// Checks the structural invariants: bound dominance (lbo ⪯ o ⪯ ubo for
+  /// every object under every node, Definition 4) and Lemma 1 between
+  /// parents and children. O(n · height · instances); intended for tests.
+  util::Status Validate() const;
+
+ private:
+  void BulkLoad();
+  void InsertAll();
+  void Insert(model::ObjectId oid);
+  // Recomputes node's bounds from its payload (leaf) or children (inner).
+  void RecomputeBounds(Node* node);
+  // Splits an overfull node, returning the new right sibling.
+  std::unique_ptr<Node> Split(Node* node);
+  // Returns how much D(lbo, ubo) grows if `oid` joins `node`.
+  double GrowthIfAdded(const Node& node, model::ObjectId oid) const;
+
+  const model::Database* db_;
+  Options options_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ptk::pbtree
+
+#endif  // PTK_PBTREE_PBTREE_H_

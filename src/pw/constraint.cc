@@ -1,0 +1,57 @@
+#include "pw/constraint.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+namespace ptk::pw {
+
+void ConstraintSet::Add(model::ObjectId smaller, model::ObjectId larger) {
+  const PairwiseConstraint c{smaller, larger};
+  if (std::find(constraints_.begin(), constraints_.end(), c) ==
+      constraints_.end()) {
+    constraints_.push_back(c);
+  }
+}
+
+bool ConstraintSet::Mentions(model::ObjectId oid) const {
+  for (const PairwiseConstraint& c : constraints_) {
+    if (c.smaller == oid || c.larger == oid) return true;
+  }
+  return false;
+}
+
+std::vector<ConstraintSet::Component> ConstraintSet::Components() const {
+  // Union-find over the mentioned objects.
+  std::map<model::ObjectId, model::ObjectId> parent;
+  std::function<model::ObjectId(model::ObjectId)> find =
+      [&](model::ObjectId x) {
+        auto it = parent.find(x);
+        if (it == parent.end()) {
+          parent[x] = x;
+          return x;
+        }
+        if (it->second == x) return x;
+        return it->second = find(it->second);
+      };
+  for (const PairwiseConstraint& c : constraints_) {
+    parent[find(c.smaller)] = find(c.larger);
+  }
+
+  std::map<model::ObjectId, Component> by_root;
+  for (const auto& [oid, _] : parent) {
+    by_root[find(oid)].members.push_back(oid);
+  }
+  for (const PairwiseConstraint& c : constraints_) {
+    by_root[find(c.smaller)].constraints.push_back(c);
+  }
+  std::vector<Component> out;
+  out.reserve(by_root.size());
+  for (auto& [_, comp] : by_root) {
+    std::sort(comp.members.begin(), comp.members.end());
+    out.push_back(std::move(comp));
+  }
+  return out;
+}
+
+}  // namespace ptk::pw

@@ -1,0 +1,60 @@
+#ifndef PTK_PW_CONSTRAINT_H_
+#define PTK_PW_CONSTRAINT_H_
+
+#include <vector>
+
+#include "model/instance.h"
+
+namespace ptk::pw {
+
+/// One resolved pairwise comparison from the crowd: the `smaller` object's
+/// value is below the `larger` object's value in every surviving possible
+/// world (Section 3.3). Under the "smaller ranks higher" convention the
+/// `smaller` object ranks above the `larger` one.
+struct PairwiseConstraint {
+  model::ObjectId smaller = model::kInvalidObject;
+  model::ObjectId larger = model::kInvalidObject;
+
+  friend bool operator==(const PairwiseConstraint&,
+                         const PairwiseConstraint&) = default;
+};
+
+/// An accumulating set of pairwise comparison outcomes. Conditioning the
+/// possible-world distribution on the set (Eq. 5 generalized) couples the
+/// objects that appear in it; the coupling decomposes over the connected
+/// components of the comparison graph, which this class exposes.
+class ConstraintSet {
+ public:
+  ConstraintSet() = default;
+
+  /// Records that object `smaller` compares below object `larger`.
+  /// Duplicate additions are idempotent; adding both directions of a pair
+  /// creates a contradiction, which surfaces later as a zero normalizing
+  /// constant (InvalidArgument from the consumers).
+  void Add(model::ObjectId smaller, model::ObjectId larger);
+
+  bool empty() const { return constraints_.empty(); }
+  int size() const { return static_cast<int>(constraints_.size()); }
+  const std::vector<PairwiseConstraint>& constraints() const {
+    return constraints_;
+  }
+
+  /// True if any constraint mentions `oid`.
+  bool Mentions(model::ObjectId oid) const;
+
+  struct Component {
+    std::vector<model::ObjectId> members;  // sorted
+    std::vector<PairwiseConstraint> constraints;
+  };
+
+  /// Connected components of the comparison graph; objects not mentioned by
+  /// any constraint are omitted (they remain independent singletons).
+  std::vector<Component> Components() const;
+
+ private:
+  std::vector<PairwiseConstraint> constraints_;
+};
+
+}  // namespace ptk::pw
+
+#endif  // PTK_PW_CONSTRAINT_H_

@@ -1,0 +1,85 @@
+#include "pw/joint_component.h"
+
+#include <algorithm>
+#include <cassert>
+#include <functional>
+
+namespace ptk::pw {
+
+JointComponent::JointComponent(const model::Database& db,
+                               std::vector<model::ObjectId> members,
+                               std::vector<PairwiseConstraint> constraints)
+    : db_(&db),
+      members_(std::move(members)),
+      constraints_(std::move(constraints)) {
+  assert(std::is_sorted(members_.begin(), members_.end()));
+  index_constraints_.reserve(constraints_.size());
+  for (const PairwiseConstraint& c : constraints_) {
+    const int si = MemberIndex(c.smaller);
+    const int li = MemberIndex(c.larger);
+    assert(si >= 0 && li >= 0);
+    index_constraints_.emplace_back(si, li);
+  }
+  const std::vector<model::InstanceId> none(members_.size(), -1);
+  z_ = 1.0;  // Factor divides by z_, so set to 1 while computing it.
+  z_ = Factor(none, -1);
+}
+
+int JointComponent::MemberIndex(model::ObjectId oid) const {
+  const auto it = std::lower_bound(members_.begin(), members_.end(), oid);
+  if (it == members_.end() || *it != oid) return -1;
+  return static_cast<int>(it - members_.begin());
+}
+
+double JointComponent::Factor(std::span<const model::InstanceId> placed_iids,
+                              model::Position pos) const {
+  assert(placed_iids.size() == members_.size());
+  const int n = size();
+  // Joint enumeration over unplaced members' instances beyond `pos`.
+  // Positions of the currently assigned instance of each member; placed
+  // members are fixed, unplaced ones iterate.
+  std::vector<model::Position> assigned(n, -1);
+  for (int m = 0; m < n; ++m) {
+    if (placed_iids[m] >= 0) {
+      assigned[m] = db_->PositionOf({members_[m], placed_iids[m]});
+    }
+  }
+
+  double total = 0.0;
+  // Recursive product-space walk. Depth == n is a complete assignment.
+  auto consistent_so_far = [&](int depth) {
+    // Checks only constraints whose members are both assigned (depth-first
+    // order assigns members 0..depth-1 plus all placed ones).
+    for (const auto& [si, li] : index_constraints_) {
+      const bool si_ready = (si < depth) || placed_iids[si] >= 0;
+      const bool li_ready = (li < depth) || placed_iids[li] >= 0;
+      if (si_ready && li_ready && assigned[si] >= assigned[li]) return false;
+    }
+    return true;
+  };
+
+  std::function<void(int, double)> walk = [&](int depth, double prob) {
+    if (!consistent_so_far(depth)) return;
+    if (depth == n) {
+      total += prob;
+      return;
+    }
+    const int m = depth;
+    if (placed_iids[m] >= 0) {
+      walk(depth + 1, prob * db_->instance({members_[m], placed_iids[m]}).prob);
+      return;
+    }
+    const auto& insts = db_->object(members_[m]).instances();
+    for (const model::Instance& inst : insts) {
+      const model::Position p = db_->PositionOf({inst.oid, inst.iid});
+      if (p <= pos) continue;  // unplaced members must rank beyond pos
+      assigned[m] = p;
+      walk(depth + 1, prob * inst.prob);
+    }
+    assigned[m] = -1;
+  };
+  walk(0, 1.0);
+  return z_ > 0.0 ? total / z_ : 0.0;
+}
+
+}  // namespace ptk::pw

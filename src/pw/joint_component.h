@@ -1,0 +1,60 @@
+#ifndef PTK_PW_JOINT_COMPONENT_H_
+#define PTK_PW_JOINT_COMPONENT_H_
+
+#include <span>
+#include <vector>
+
+#include "model/database.h"
+#include "pw/constraint.h"
+
+namespace ptk::pw {
+
+/// The joint distribution of one connected component of the comparison
+/// graph: a small set of objects coupled by pairwise order constraints,
+/// conditioned on those constraints holding. The top-k enumerator treats a
+/// component as a single group whose "survival" factor it queries as the
+/// ranked scan advances.
+///
+/// Factors are computed by enumerating the component's joint instance
+/// assignments — exact, and cheap because crowd-constrained components stay
+/// small (a single crowdsourced pair gives a component of two objects).
+class JointComponent {
+ public:
+  /// `members` must be sorted and must contain every object mentioned by
+  /// `constraints`.
+  JointComponent(const model::Database& db,
+                 std::vector<model::ObjectId> members,
+                 std::vector<PairwiseConstraint> constraints);
+
+  const std::vector<model::ObjectId>& members() const { return members_; }
+  int size() const { return static_cast<int>(members_.size()); }
+
+  /// Pr(all constraints hold) — the normalizing constant Z of Eq. 5.
+  /// Zero means the constraint set is contradictory.
+  double prob_constraints() const { return z_; }
+
+  /// Index of `oid` within members(), or -1.
+  int MemberIndex(model::ObjectId oid) const;
+
+  /// Conditional factor used by the enumerator:
+  ///   Pr(placed members take their given instances
+  ///      AND every unplaced member ranks strictly beyond global position
+  ///          `pos`
+  ///      AND all constraints hold) / Z.
+  /// `placed_iids` is parallel to members(); -1 marks an unplaced member.
+  /// `pos == -1` means "no position restriction yet".
+  double Factor(std::span<const model::InstanceId> placed_iids,
+                model::Position pos) const;
+
+ private:
+  const model::Database* db_;
+  std::vector<model::ObjectId> members_;
+  std::vector<PairwiseConstraint> constraints_;
+  // Constraints as member-index pairs (smaller_idx, larger_idx).
+  std::vector<std::pair<int, int>> index_constraints_;
+  double z_ = 0.0;
+};
+
+}  // namespace ptk::pw
+
+#endif  // PTK_PW_JOINT_COMPONENT_H_

@@ -1,0 +1,97 @@
+#include "pw/possible_world.h"
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace ptk::pw {
+
+ExactEngine::ExactEngine(const model::Database& db, int64_t world_limit)
+    : db_(&db), world_limit_(world_limit) {
+  assert(db.finalized());
+}
+
+int64_t ExactEngine::NumWorlds() const {
+  int64_t worlds = 1;
+  for (const auto& obj : db_->objects()) {
+    if (worlds > world_limit_) return worlds;  // already beyond any use
+    worlds *= obj.num_instances();
+  }
+  return worlds;
+}
+
+util::Status ExactEngine::ForEachWorld(
+    const std::function<void(std::span<const model::InstanceId>, double)>&
+        fn) const {
+  if (NumWorlds() > world_limit_) {
+    return util::Status::ResourceExhausted(
+        "possible world space exceeds the configured limit");
+  }
+  const int m = db_->num_objects();
+  std::vector<model::InstanceId> iids(m, 0);
+  std::function<void(int, double)> walk = [&](int depth, double prob) {
+    if (depth == m) {
+      fn(iids, prob);
+      return;
+    }
+    const auto& insts = db_->object(depth).instances();
+    for (const model::Instance& inst : insts) {
+      iids[depth] = inst.iid;
+      walk(depth + 1, prob * inst.prob);
+    }
+  };
+  walk(0, 1.0);
+  return util::Status::OK();
+}
+
+ResultKey WorldTopK(const model::Database& db,
+                    std::span<const model::InstanceId> iids, int k) {
+  const int m = db.num_objects();
+  k = std::min(k, m);
+  // Select the k smallest chosen instances by global position.
+  std::vector<std::pair<model::Position, model::ObjectId>> ranked;
+  ranked.reserve(m);
+  for (model::ObjectId o = 0; o < m; ++o) {
+    ranked.emplace_back(db.PositionOf({o, iids[o]}), o);
+  }
+  std::partial_sort(ranked.begin(), ranked.begin() + k, ranked.end());
+  ResultKey key;
+  key.reserve(k);
+  for (int i = 0; i < k; ++i) key.push_back(ranked[i].second);
+  return key;
+}
+
+util::Status ExactEngine::TopKDistributionOf(int k, OrderMode order,
+                                             const ConstraintSet* constraints,
+                                             TopKDistribution* out) const {
+  if (k < 1 || k > db_->num_objects()) {
+    return util::Status::InvalidArgument("k must be in [1, num_objects]");
+  }
+  TopKDistribution dist(order);
+  double z = 0.0;
+  const auto consistent = [&](std::span<const model::InstanceId> iids) {
+    if (constraints == nullptr) return true;
+    for (const PairwiseConstraint& c : constraints->constraints()) {
+      const model::Position ps = db_->PositionOf({c.smaller, iids[c.smaller]});
+      const model::Position pl = db_->PositionOf({c.larger, iids[c.larger]});
+      if (ps >= pl) return false;
+    }
+    return true;
+  };
+  util::Status status =
+      ForEachWorld([&](std::span<const model::InstanceId> iids, double p) {
+        if (!consistent(iids)) return;
+        z += p;
+        dist.Add(WorldTopK(*db_, iids, k), p);
+      });
+  if (!status.ok()) return status;
+  if (z <= 0.0) {
+    return util::Status::InvalidArgument(
+        "constraint set has zero probability (contradictory comparisons)");
+  }
+  dist.Scale(1.0 / z);
+  *out = std::move(dist);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::pw

@@ -1,0 +1,58 @@
+#ifndef PTK_PW_POSSIBLE_WORLD_H_
+#define PTK_PW_POSSIBLE_WORLD_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+#include "model/database.h"
+#include "pw/constraint.h"
+#include "pw/topk_distribution.h"
+#include "util/status.h"
+
+namespace ptk::pw {
+
+/// Exhaustive possible-world engine (Section 3.1). Enumerates the full
+/// Cartesian product of instances, so it is exponential in the number of
+/// objects — it exists as the correctness oracle for the scalable
+/// enumerator, for the paper's toy example, and as the paper's brute-force
+/// (BF) baseline on small inputs.
+class ExactEngine {
+ public:
+  /// `world_limit` caps the number of possible worlds visited; exceeding it
+  /// returns ResourceExhausted instead of running for hours.
+  explicit ExactEngine(const model::Database& db,
+                       int64_t world_limit = int64_t{20'000'000});
+
+  /// Invokes `fn(iids, prob)` for every possible world, where iids[o] is
+  /// the instance chosen for object o.
+  util::Status ForEachWorld(
+      const std::function<void(std::span<const model::InstanceId>, double)>&
+          fn) const;
+
+  /// Exact distribution over top-k results, optionally conditioned on a
+  /// constraint set (worlds violating it are dropped and the remainder is
+  /// renormalized, Eq. 5). Returns InvalidArgument if the constraints have
+  /// zero probability.
+  util::Status TopKDistributionOf(int k, OrderMode order,
+                                  const ConstraintSet* constraints,
+                                  TopKDistribution* out) const;
+
+  /// Number of possible worlds (product of instance counts), saturating at
+  /// INT64_MAX.
+  int64_t NumWorlds() const;
+
+ private:
+  const model::Database* db_;
+  int64_t world_limit_;
+};
+
+/// The top-k result (rank-ordered object sequence) of one concrete world.
+/// `iids[o]` selects the instance of object o; ranking uses the instance
+/// total order.
+ResultKey WorldTopK(const model::Database& db,
+                    std::span<const model::InstanceId> iids, int k);
+
+}  // namespace ptk::pw
+
+#endif  // PTK_PW_POSSIBLE_WORLD_H_

@@ -1,0 +1,79 @@
+#include "pw/sampler.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "pw/possible_world.h"
+
+namespace ptk::pw {
+
+WorldSampler::WorldSampler(const model::Database& db) : db_(&db) {
+  assert(db.finalized());
+  cumulative_.reserve(db.num_objects());
+  for (const auto& obj : db.objects()) {
+    std::vector<double> cum;
+    cum.reserve(obj.num_instances());
+    double acc = 0.0;
+    for (const auto& inst : obj.instances()) {
+      acc += inst.prob;
+      cum.push_back(acc);
+    }
+    cum.back() = 1.0;  // guard against rounding in the final bucket
+    cumulative_.push_back(std::move(cum));
+  }
+}
+
+void WorldSampler::SampleWorld(util::Rng& rng,
+                               std::vector<model::InstanceId>* iids) const {
+  iids->resize(db_->num_objects());
+  for (model::ObjectId o = 0; o < db_->num_objects(); ++o) {
+    const double u = rng.Uniform();
+    const auto& cum = cumulative_[o];
+    const auto it = std::upper_bound(cum.begin(), cum.end(), u);
+    (*iids)[o] = static_cast<model::InstanceId>(
+        std::min<size_t>(it - cum.begin(), cum.size() - 1));
+  }
+}
+
+util::Status WorldSampler::Estimate(int k, OrderMode order,
+                                    const ConstraintSet* constraints,
+                                    int64_t samples, uint64_t seed,
+                                    Result* out) const {
+  if (k < 1 || k > db_->num_objects()) {
+    return util::Status::InvalidArgument("k must be in [1, num_objects]");
+  }
+  if (samples < 1) {
+    return util::Status::InvalidArgument("samples must be positive");
+  }
+  util::Rng rng(seed);
+  Result result;
+  result.distribution = TopKDistribution(order);
+  std::vector<model::InstanceId> iids;
+  const double weight = 1.0;  // normalized after the loop
+  for (int64_t s = 0; s < samples; ++s) {
+    SampleWorld(rng, &iids);
+    ++result.samples;
+    if (constraints != nullptr) {
+      bool ok = true;
+      for (const PairwiseConstraint& c : constraints->constraints()) {
+        if (db_->PositionOf({c.smaller, iids[c.smaller]}) >=
+            db_->PositionOf({c.larger, iids[c.larger]})) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+    }
+    ++result.accepted;
+    result.distribution.Add(WorldTopK(*db_, iids, k), weight);
+  }
+  if (result.accepted == 0) {
+    return util::Status::InvalidArgument(
+        "no sampled world satisfies the constraints");
+  }
+  result.distribution.Scale(1.0 / result.accepted);
+  *out = std::move(result);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::pw

@@ -1,0 +1,55 @@
+#ifndef PTK_PW_SAMPLER_H_
+#define PTK_PW_SAMPLER_H_
+
+#include <cstdint>
+
+#include "model/database.h"
+#include "pw/constraint.h"
+#include "pw/topk_distribution.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ptk::pw {
+
+/// Monte-Carlo possible-world sampler: estimates the top-k result
+/// distribution by sampling worlds instead of enumerating them. Used to
+/// cross-validate the exact enumerator at scales the exhaustive oracle
+/// cannot reach, and as a practical fallback in the flat-distribution
+/// regime where even the merged-state enumeration is intractable.
+///
+/// Conditioning on a constraint set uses rejection sampling; the observed
+/// acceptance rate estimates Pr(constraints).
+class WorldSampler {
+ public:
+  explicit WorldSampler(const model::Database& db);
+
+  struct Result {
+    TopKDistribution distribution{OrderMode::kInsensitive};
+    int64_t samples = 0;
+    int64_t accepted = 0;
+
+    double acceptance_rate() const {
+      return samples > 0 ? static_cast<double>(accepted) / samples : 0.0;
+    }
+  };
+
+  /// Draws `samples` worlds (before rejection) and accumulates the top-k
+  /// results of those consistent with `constraints` (all, when null).
+  /// The returned distribution is normalized over accepted samples.
+  /// Fails with InvalidArgument if no sample satisfies the constraints.
+  util::Status Estimate(int k, OrderMode order,
+                        const ConstraintSet* constraints, int64_t samples,
+                        uint64_t seed, Result* out) const;
+
+  /// Samples one world: iids[o] receives the chosen instance per object.
+  void SampleWorld(util::Rng& rng, std::vector<model::InstanceId>* iids) const;
+
+ private:
+  const model::Database* db_;
+  // Per-object cumulative probabilities for O(log m_i) inverse sampling.
+  std::vector<std::vector<double>> cumulative_;
+};
+
+}  // namespace ptk::pw
+
+#endif  // PTK_PW_SAMPLER_H_

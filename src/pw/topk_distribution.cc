@@ -1,0 +1,62 @@
+#include "pw/topk_distribution.h"
+
+#include <algorithm>
+
+#include "util/entropy.h"
+
+namespace ptk::pw {
+
+void TopKDistribution::Add(ResultKey key, double prob) {
+  if (order_ == OrderMode::kInsensitive) {
+    std::sort(key.begin(), key.end());
+  }
+  entries_[std::move(key)] += prob;
+  total_mass_ += prob;
+}
+
+double TopKDistribution::ProbOf(const ResultKey& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? 0.0 : it->second;
+}
+
+double TopKDistribution::Entropy() const {
+  double h = 0.0;
+  for (const auto& [_, p] : entries_) h += util::EntropyTerm(p);
+  return h;
+}
+
+double TopKDistribution::NormalizedEntropy() const {
+  if (total_mass_ <= 0.0) return 0.0;
+  double h = 0.0;
+  for (const auto& [_, p] : entries_) {
+    h += util::EntropyTerm(p / total_mass_);
+  }
+  return h;
+}
+
+TopKDistribution TopKDistribution::Collapsed() const {
+  if (order_ == OrderMode::kInsensitive) return *this;
+  TopKDistribution out(OrderMode::kInsensitive);
+  for (const auto& [key, p] : entries_) out.Add(key, p);
+  out.AddLostMass(lost_mass_);
+  return out;
+}
+
+std::vector<std::pair<ResultKey, double>> TopKDistribution::SortedByProbDesc()
+    const {
+  std::vector<std::pair<ResultKey, double>> out(entries_.begin(),
+                                                entries_.end());
+  std::sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;  // deterministic tie-break
+  });
+  return out;
+}
+
+void TopKDistribution::Scale(double factor) {
+  for (auto& [_, p] : entries_) p *= factor;
+  total_mass_ *= factor;
+  lost_mass_ *= factor;
+}
+
+}  // namespace ptk::pw

@@ -1,0 +1,94 @@
+#ifndef PTK_PW_TOPK_DISTRIBUTION_H_
+#define PTK_PW_TOPK_DISTRIBUTION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "model/instance.h"
+
+namespace ptk::pw {
+
+/// Whether two top-k results with the same objects in different rank order
+/// are the same result (Definition 2's two readings; Sections 3.2 / 4.5).
+enum class OrderMode {
+  kInsensitive,  // results are object sets
+  kSensitive,    // results are object sequences
+};
+
+/// A top-k result: the objects of the k highest-ranking instances. Stored
+/// in rank order for kSensitive and sorted by id for kInsensitive.
+using ResultKey = std::vector<model::ObjectId>;
+
+struct ResultKeyHash {
+  size_t operator()(const ResultKey& key) const {
+    uint64_t h = 1469598103934665603ull;  // FNV-1a
+    for (model::ObjectId id : key) {
+      h ^= static_cast<uint64_t>(id) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+/// The probability distribution over top-k results S_k (possibly a
+/// sub-distribution when the enumerator pruned low-probability states; the
+/// pruned mass is tracked exactly in lost_mass).
+class TopKDistribution {
+ public:
+  explicit TopKDistribution(OrderMode order = OrderMode::kInsensitive)
+      : order_(order) {}
+
+  OrderMode order() const { return order_; }
+
+  /// Adds probability mass to a result. For kInsensitive mode the key is
+  /// canonicalized (sorted) internally.
+  void Add(ResultKey key, double prob);
+
+  void AddLostMass(double mass) { lost_mass_ += mass; }
+
+  size_t size() const { return entries_.size(); }
+  const std::unordered_map<ResultKey, double, ResultKeyHash>& entries()
+      const {
+    return entries_;
+  }
+
+  /// Probability of one result (0 if absent). Key must be canonical for the
+  /// order mode (sorted for kInsensitive).
+  double ProbOf(const ResultKey& key) const;
+
+  /// Total accounted mass; 1 - lost_mass up to rounding.
+  double total_mass() const { return total_mass_; }
+  /// Exact probability mass of pruned enumeration states.
+  double lost_mass() const { return lost_mass_; }
+
+  /// H(S_k) of Eq. 4 over the stored masses (the paper's quality metric;
+  /// lower is better). With pruning this is the entropy of the accounted
+  /// sub-distribution.
+  double Entropy() const;
+
+  /// Entropy after renormalizing the accounted mass to 1.
+  double NormalizedEntropy() const;
+
+  /// Collapses a kSensitive distribution to kInsensitive by merging
+  /// results with the same object set. Identity for kInsensitive.
+  TopKDistribution Collapsed() const;
+
+  /// Entries sorted by descending probability (for Fig. 9 style reports).
+  std::vector<std::pair<ResultKey, double>> SortedByProbDesc() const;
+
+  /// Multiplies all masses by `factor` (used when combining conditional
+  /// distributions into joint ones).
+  void Scale(double factor);
+
+ private:
+  OrderMode order_;
+  std::unordered_map<ResultKey, double, ResultKeyHash> entries_;
+  double total_mass_ = 0.0;
+  double lost_mass_ = 0.0;
+};
+
+}  // namespace ptk::pw
+
+#endif  // PTK_PW_TOPK_DISTRIBUTION_H_

@@ -1,0 +1,253 @@
+#include "pw/topk_enumerator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <vector>
+
+#include "pw/joint_component.h"
+
+namespace ptk::pw {
+
+namespace {
+
+// A frontier state: "the top-j result consists of exactly these entries
+// (with their group-relevant instance choices) and every other object
+// ranks beyond the current scan position". States agreeing on this key
+// have identical future behaviour, so their probabilities are merged —
+// collapsing the instance-level branching of the naive U-Topk state
+// machine into set-level dynamic programming.
+//
+// Key entries encode (oid << 16 | iid + 1) for constraint-component
+// members (whose concrete instance matters for future joint factors) and
+// (oid << 16) for independent objects (whose instance choice is already
+// fully absorbed into the probability). kInsensitive keys are kept sorted;
+// kSensitive keys keep rank order.
+using StateKey = std::vector<int64_t>;
+
+struct StateKeyHash {
+  size_t operator()(const StateKey& key) const {
+    uint64_t h = 1469598103934665603ull;
+    for (int64_t v : key) {
+      h ^= static_cast<uint64_t>(v) + 0x9e3779b97f4a7c15ull;
+      h *= 1099511628211ull;
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+using Frontier = std::unordered_map<StateKey, double, StateKeyHash>;
+
+constexpr int kIidBits = 16;
+
+int64_t EncodeSingleton(model::ObjectId oid) {
+  return static_cast<int64_t>(oid) << kIidBits;
+}
+
+int64_t EncodeMember(model::ObjectId oid, model::InstanceId iid) {
+  return (static_cast<int64_t>(oid) << kIidBits) |
+         static_cast<int64_t>(iid + 1);
+}
+
+model::ObjectId DecodeOid(int64_t entry) {
+  return static_cast<model::ObjectId>(entry >> kIidBits);
+}
+
+model::InstanceId DecodeIid(int64_t entry) {
+  return static_cast<model::InstanceId>(entry & ((1 << kIidBits) - 1)) - 1;
+}
+
+bool ContainsOid(const StateKey& key, model::ObjectId oid) {
+  for (int64_t entry : key) {
+    if (DecodeOid(entry) == oid) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+TopKEnumerator::TopKEnumerator(const model::Database& db) : db_(&db) {
+  assert(db.finalized());
+}
+
+util::Status TopKEnumerator::Enumerate(int k, OrderMode order,
+                                       const ConstraintSet* constraints,
+                                       const EnumeratorOptions& options,
+                                       TopKDistribution* out) const {
+  const int m = db_->num_objects();
+  if (k < 1 || k > m) {
+    return util::Status::InvalidArgument("k must be in [1, num_objects]");
+  }
+  for (const auto& obj : db_->objects()) {
+    if (obj.num_instances() >= (1 << kIidBits) - 1) {
+      return util::Status::InvalidArgument(
+          "objects with 65534+ instances are not supported");
+    }
+  }
+
+  // Group the objects: each constraint component is one joint group; every
+  // other object is an independent singleton.
+  std::vector<JointComponent> components;
+  std::vector<int> group_of(m, -1);      // oid -> component index, or -1
+  std::vector<int> member_index(m, -1);  // oid -> index within component
+  if (constraints != nullptr) {
+    for (const auto& comp : constraints->Components()) {
+      const int ci = static_cast<int>(components.size());
+      components.emplace_back(*db_, comp.members, comp.constraints);
+      if (components.back().prob_constraints() <= 0.0) {
+        return util::Status::InvalidArgument(
+            "constraint set has zero probability (contradictory "
+            "comparisons)");
+      }
+      const auto& members = components.back().members();
+      for (size_t mi = 0; mi < members.size(); ++mi) {
+        group_of[members[mi]] = ci;
+        member_index[members[mi]] = static_cast<int>(mi);
+      }
+    }
+  }
+
+  // Extracts one component's placed iids from a state key.
+  std::vector<model::InstanceId> placed_scratch;
+  const auto placed_of_component = [&](const StateKey& key, int ci) {
+    placed_scratch.assign(components[ci].members().size(), -1);
+    for (int64_t entry : key) {
+      const model::ObjectId oid = DecodeOid(entry);
+      if (group_of[oid] == ci) {
+        placed_scratch[member_index[oid]] = DecodeIid(entry);
+      }
+    }
+  };
+
+  TopKDistribution dist(order);
+  const auto& sorted = db_->sorted_instances();
+  const model::Position num_positions =
+      static_cast<model::Position>(sorted.size());
+
+  Frontier frontier;
+  frontier.emplace(StateKey{}, 1.0);
+  Frontier next;
+  int64_t total_states = 0;
+
+  const auto emit = [&](StateKey key, int64_t take_entry, double p) {
+    key.push_back(take_entry);
+    ResultKey result;
+    result.reserve(key.size());
+    for (int64_t entry : key) result.push_back(DecodeOid(entry));
+    // kSensitive keys are in rank order because singleton takes append in
+    // scan order; for kInsensitive Add() canonicalizes.
+    dist.Add(std::move(result), p);
+  };
+
+  // Component factors depend only on (placed signature, position), and few
+  // distinct signatures appear across a layer's states, so factor triples
+  // are memoized per position.
+  struct FactorTriple {
+    double old_f, skip_f, take_f;
+  };
+  std::unordered_map<StateKey, FactorTriple, StateKeyHash> factor_memo;
+
+  for (model::Position pos = 0; pos < num_positions && !frontier.empty();
+       ++pos) {
+    const model::Instance& inst = sorted[pos];
+    const int ci = group_of[inst.oid];
+    if (ci >= 0) factor_memo.clear();
+
+    next.clear();
+    next.reserve(frontier.size() * 2);
+    const auto add = [&](StateKey key, double p) {
+      auto [it, inserted] = next.try_emplace(std::move(key), p);
+      if (!inserted) it->second += p;
+    };
+
+    for (auto& [key, p] : frontier) {
+      if (ContainsOid(key, inst.oid)) {
+        // The scanned instance belongs to an already-placed object: its
+        // mutual exclusivity is already absorbed; nothing changes.
+        add(key, p);
+        continue;
+      }
+      const int len = static_cast<int>(key.size());
+      double old_f, skip_f, take_f;
+      int64_t take_entry;
+      if (ci < 0) {
+        old_f = db_->MassBeyond(inst.oid, pos - 1);
+        skip_f = db_->MassBeyond(inst.oid, pos);
+        take_f = inst.prob;
+        take_entry = EncodeSingleton(inst.oid);
+      } else {
+        placed_of_component(key, ci);
+        StateKey signature;  // this component's placed entries
+        signature.reserve(placed_scratch.size());
+        for (size_t mi = 0; mi < placed_scratch.size(); ++mi) {
+          signature.push_back(EncodeMember(components[ci].members()[mi],
+                                           placed_scratch[mi]));
+        }
+        const auto memo = factor_memo.find(signature);
+        if (memo != factor_memo.end()) {
+          old_f = memo->second.old_f;
+          skip_f = memo->second.skip_f;
+          take_f = memo->second.take_f;
+        } else {
+          old_f = components[ci].Factor(placed_scratch, pos - 1);
+          skip_f = components[ci].Factor(placed_scratch, pos);
+          placed_scratch[member_index[inst.oid]] = inst.iid;
+          take_f = components[ci].Factor(placed_scratch, pos);
+          factor_memo.emplace(std::move(signature),
+                              FactorTriple{old_f, skip_f, take_f});
+        }
+        take_entry = EncodeMember(inst.oid, inst.iid);
+      }
+      if (old_f <= 0.0) continue;  // numerically dead state
+
+      const double p_skip = p * (skip_f / old_f);
+      if (p_skip > 0.0) add(key, p_skip);
+
+      const double p_take = p * (take_f / old_f);
+      if (p_take > 0.0) {
+        if (len + 1 == k) {
+          if (p_take <= options.epsilon) {
+            dist.AddLostMass(p_take);
+          } else {
+            emit(key, take_entry, p_take);
+          }
+        } else {
+          StateKey taken = key;
+          taken.push_back(take_entry);
+          if (order == OrderMode::kInsensitive) {
+            // Keep sorted for merging; insertion position from the back.
+            int i = static_cast<int>(taken.size()) - 1;
+            while (i > 0 && taken[i - 1] > taken[i]) {
+              std::swap(taken[i - 1], taken[i]);
+              --i;
+            }
+          }
+          add(std::move(taken), p_take);
+        }
+      }
+    }
+
+    // Prune after merging so the lost mass is exact (pruned merged states
+    // are disjoint events).
+    for (auto it = next.begin(); it != next.end();) {
+      if (it->second <= options.epsilon) {
+        dist.AddLostMass(it->second);
+        it = next.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    frontier.swap(next);
+    total_states += static_cast<int64_t>(frontier.size());
+    if (total_states > options.max_states) {
+      return util::Status::ResourceExhausted(
+          "top-k enumeration exceeded max_states; raise epsilon or "
+          "max_states");
+    }
+  }
+
+  *out = std::move(dist);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::pw

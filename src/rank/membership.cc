@@ -1,0 +1,188 @@
+#include "rank/membership.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rank/poisson_binomial.h"
+
+namespace ptk::rank {
+
+MembershipCalculator::MembershipCalculator(const model::Database& db, int k)
+    : db_(&db), k_(std::clamp(k, 1, db.num_objects())) {
+  assert(db.finalized());
+  // Exact per-object prefix masses, indexed by (oid, iid). prefix_ has one
+  // extra slot per object so PrefixMass(oid, num_instances) == 1 exactly,
+  // which is what the certain-below (shift) transition relies on.
+  flat_offset_.resize(db.num_objects());
+  int total = 0;
+  for (int o = 0; o < db.num_objects(); ++o) {
+    flat_offset_[o] = total;
+    total += db.object(o).num_instances() + 1;
+  }
+  prefix_.assign(total, 0.0);
+  for (int o = 0; o < db.num_objects(); ++o) {
+    const auto& insts = db.object(o).instances();
+    double acc = 0.0;
+    for (size_t i = 0; i < insts.size(); ++i) {
+      prefix_[flat_offset_[o] + i] = acc;
+      acc += insts[i].prob;
+    }
+    // The final slot is exactly 1: the object certainly ranks below any
+    // point past its last instance.
+    prefix_[flat_offset_[o] + insts.size()] = 1.0;
+  }
+}
+
+void MembershipCalculator::ScanPositions(
+    std::span<const model::ObjectId> excluded,
+    std::vector<PositionQuery>& queries) const {
+  assert(std::is_sorted(queries.begin(), queries.end(),
+                        [](const PositionQuery& a, const PositionQuery& b) {
+                          return a.pos < b.pos;
+                        }));
+  const auto& sorted = db_->sorted_instances();
+  PoissonBinomialTracker tracker;
+  size_t qi = 0;
+  const model::Position last_pos =
+      queries.empty() ? -1 : queries.back().pos;
+  for (model::Position pos = 0;
+       pos <= last_pos && pos < static_cast<model::Position>(sorted.size());
+       ++pos) {
+    // Answer queries at this position from the strictly-below state.
+    while (qi < queries.size() && queries[qi].pos == pos) {
+      queries[qi].ple_km2 =
+          (k_ >= 2) ? tracker.CumulativeAtMost(k_ - 2) : 0.0;
+      queries[qi].ple_km1 = tracker.CumulativeAtMost(k_ - 1);
+      ++qi;
+    }
+    if (tracker.shift() >= k_) break;  // all later memberships are zero
+    const model::Instance& inst = sorted[pos];
+    bool skip = false;
+    for (model::ObjectId e : excluded) skip |= (inst.oid == e);
+    if (skip) continue;
+    const double q_old = PrefixMass(inst.oid, inst.iid);
+    const double q_new = PrefixMass(inst.oid, inst.iid + 1);
+    tracker.Update(q_old, q_new);
+  }
+  // Saturated or exhausted: every remaining query is exactly zero.
+  for (; qi < queries.size(); ++qi) {
+    queries[qi].ple_km2 = 0.0;
+    queries[qi].ple_km1 = 0.0;
+  }
+}
+
+void MembershipCalculator::EnsureSingles() const {
+  if (singles_ready_) return;
+  pt_single_.assign(prefix_.size(), 0.0);
+  const auto& sorted = db_->sorted_instances();
+  PoissonBinomialTracker tracker;
+  for (model::Position pos = 0;
+       pos < static_cast<model::Position>(sorted.size()); ++pos) {
+    if (tracker.shift() >= k_) break;  // all later PT values are zero
+    const model::Instance& inst = sorted[pos];
+    const double q_old = PrefixMass(inst.oid, inst.iid);
+    // Exclude the owner from the "others below" count: its own below-mass
+    // Bernoulli (q_old) is deconvolved at query time.
+    const double others_le =
+        tracker.CumulativeAtMostExcluding(k_ - 1, q_old);
+    pt_single_[flat_offset_[inst.oid] + inst.iid] = inst.prob * others_le;
+    const double q_new = PrefixMass(inst.oid, inst.iid + 1);
+    tracker.Update(q_old, q_new);
+  }
+  singles_ready_ = true;
+}
+
+double MembershipCalculator::TopKProbability(model::InstanceRef ref) const {
+  EnsureSingles();
+  return pt_single_[flat_offset_[ref.oid] + ref.iid];
+}
+
+double MembershipCalculator::ObjectTopKProbability(
+    model::ObjectId oid) const {
+  EnsureSingles();
+  const int n = db_->object(oid).num_instances();
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += pt_single_[flat_offset_[oid] + i];
+  return total;
+}
+
+MembershipCalculator::PairTables MembershipCalculator::ComputePairTables(
+    model::ObjectId o1, model::ObjectId o2) const {
+  assert(o1 != o2);
+  const auto& obj1 = db_->object(o1);
+  const auto& obj2 = db_->object(o2);
+
+  // One query per instance of either object, at that instance's global
+  // position, with both objects excluded from the count.
+  std::vector<PositionQuery> queries;
+  queries.reserve(obj1.num_instances() + obj2.num_instances());
+  for (const model::Instance& i : obj1.instances()) {
+    queries.push_back({db_->PositionOf({i.oid, i.iid}), 0.0, 0.0});
+  }
+  for (const model::Instance& i : obj2.instances()) {
+    queries.push_back({db_->PositionOf({i.oid, i.iid}), 0.0, 0.0});
+  }
+  std::sort(queries.begin(), queries.end(),
+            [](const PositionQuery& a, const PositionQuery& b) {
+              return a.pos < b.pos;
+            });
+  const model::ObjectId excluded[] = {o1, o2};
+  ScanPositions(excluded, queries);
+
+  // Index the answers back by position.
+  auto find = [&queries](model::Position pos) -> const PositionQuery& {
+    const auto it = std::lower_bound(
+        queries.begin(), queries.end(), pos,
+        [](const PositionQuery& q, model::Position p) { return q.pos < p; });
+    return *it;
+  };
+
+  PairTables tables;
+  tables.pt.assign(obj1.num_instances(),
+                   std::vector<double>(obj2.num_instances(), 0.0));
+  tables.npt = tables.pt;
+  for (const model::Instance& i1 : obj1.instances()) {
+    for (const model::Instance& i2 : obj2.instances()) {
+      const bool i1_lower = model::InstanceLess(i1, i2);
+      const model::Instance& lo = i1_lower ? i1 : i2;
+      const model::Instance& hi = i1_lower ? i2 : i1;
+      const PositionQuery& at_hi = find(db_->PositionOf({hi.oid, hi.iid}));
+      const PositionQuery& at_lo = find(db_->PositionOf({lo.oid, lo.iid}));
+      const double joint = i1.prob * i2.prob;
+      // Both in top-k: the lower instance is free; the higher one needs at
+      // most k-2 other objects above it (the lower occupies one slot).
+      tables.pt[i1.iid][i2.iid] = joint * at_hi.ple_km2;
+      // Neither in top-k: the lower instance must already be pushed out,
+      // i.e., at least k other objects rank above it.
+      tables.npt[i1.iid][i2.iid] = joint * (1.0 - at_lo.ple_km1);
+    }
+  }
+  return tables;
+}
+
+MembershipCalculator::PairConditionals
+MembershipCalculator::ConditionalPairMembership(model::InstanceRef a,
+                                                model::InstanceRef b) const {
+  if (a.oid == b.oid) return {};
+  const model::Instance& ia = db_->instance(a);
+  const model::Instance& ib = db_->instance(b);
+  const bool a_lower = model::InstanceLess(ia, ib);
+  const model::Position lo_pos = db_->PositionOf(a_lower ? a : b);
+  const model::Position hi_pos = db_->PositionOf(a_lower ? b : a);
+
+  std::vector<PositionQuery> queries{{lo_pos, 0.0, 0.0}, {hi_pos, 0.0, 0.0}};
+  if (queries[0].pos > queries[1].pos) std::swap(queries[0], queries[1]);
+  const model::ObjectId excluded[] = {a.oid, b.oid};
+  ScanPositions(excluded, queries);
+
+  const PositionQuery& at_lo =
+      (queries[0].pos == lo_pos) ? queries[0] : queries[1];
+  const PositionQuery& at_hi =
+      (queries[0].pos == hi_pos) ? queries[0] : queries[1];
+  PairConditionals out;
+  out.both = at_hi.ple_km2;
+  out.neither = 1.0 - at_lo.ple_km1;
+  return out;
+}
+
+}  // namespace ptk::rank

@@ -1,0 +1,94 @@
+#ifndef PTK_RANK_MEMBERSHIP_H_
+#define PTK_RANK_MEMBERSHIP_H_
+
+#include <span>
+#include <vector>
+
+#include "model/database.h"
+#include "model/instance.h"
+
+namespace ptk::rank {
+
+/// Top-k membership probabilities under possible-world semantics
+/// (Section 4.2, building on the Poisson-binomial DP of Bernecker et al.
+/// [4]):
+///
+///   PT_k(i)        probability that instance i exists and its object ranks
+///                  within the top-k;
+///   PT_k(i1,i2)    joint probability that both instances exist and both
+///                  objects rank within the top-k;
+///   NPT_k(i1,i2)   joint probability that both exist and neither object
+///                  ranks within the top-k.
+///
+/// All quantities are exact: every scan maintains the full Poisson-binomial
+/// vector over the active objects so deconvolutions always run in their
+/// stable direction, and the pair scans never add the pair's own objects.
+/// Scans terminate early once k objects are certainly ranked above the scan
+/// point (all later memberships are exactly zero), which makes the cost
+/// depend on k and data density rather than on database size.
+class MembershipCalculator {
+ public:
+  /// `db` must be finalized. k is clamped to [1, num_objects].
+  MembershipCalculator(const model::Database& db, int k);
+
+  int k() const { return k_; }
+
+  /// PT_k(i, O). Lazily computes all instances' values in one scan.
+  double TopKProbability(model::InstanceRef ref) const;
+
+  /// Object-level membership: sum of PT_k over the object's instances,
+  /// i.e., the probability the object appears in the top-k result.
+  double ObjectTopKProbability(model::ObjectId oid) const;
+
+  /// Joint tables for one object pair, used by the Δ bound derivation
+  /// (Algorithm 5). pt[a][b] = PT_k(i_a, i_b) and npt[a][b] =
+  /// NPT_k(i_a, i_b), where a indexes o1's instances and b indexes o2's.
+  struct PairTables {
+    std::vector<std::vector<double>> pt;
+    std::vector<std::vector<double>> npt;
+  };
+  PairTables ComputePairTables(model::ObjectId o1, model::ObjectId o2) const;
+
+  /// Normalized conditionals for the Eq. 18 node-pair bound:
+  /// both    = Pr(both objects in top-k | both instances chosen)
+  /// neither = Pr(neither object in top-k | both instances chosen)
+  /// Returns {0, 0} when the two instances share an object (the bound then
+  /// degenerates to Ĥ, which stays admissible).
+  struct PairConditionals {
+    double both = 0.0;
+    double neither = 0.0;
+  };
+  PairConditionals ConditionalPairMembership(model::InstanceRef a,
+                                             model::InstanceRef b) const;
+
+ private:
+  struct PositionQuery {
+    model::Position pos = 0;
+    double ple_km2 = 0.0;  // Pr(count of others strictly below pos <= k-2)
+    double ple_km1 = 0.0;  // Pr(count of others strictly below pos <= k-1)
+  };
+
+  // Runs the ascending scan with `excluded` objects never entering the
+  // count and fills the cumulative values of `queries` (sorted by pos).
+  void ScanPositions(std::span<const model::ObjectId> excluded,
+                     std::vector<PositionQuery>& queries) const;
+
+  // Exact probability mass of object oid's instances with index < iid
+  // (partial sums; 0 for iid == 0, exactly 1 past the last instance).
+  double PrefixMass(model::ObjectId oid, model::InstanceId iid) const {
+    return prefix_[flat_offset_[oid] + iid];
+  }
+
+  void EnsureSingles() const;
+
+  const model::Database* db_;
+  int k_;
+  std::vector<int> flat_offset_;     // oid -> start in prefix_/pt_single_
+  std::vector<double> prefix_;       // exact per-object prefix masses by iid
+  mutable bool singles_ready_ = false;
+  mutable std::vector<double> pt_single_;  // PT_k per (oid,iid), flat
+};
+
+}  // namespace ptk::rank
+
+#endif  // PTK_RANK_MEMBERSHIP_H_

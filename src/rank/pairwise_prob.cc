@@ -1,0 +1,42 @@
+#include "rank/pairwise_prob.h"
+
+#include <cassert>
+
+namespace ptk::rank {
+
+double ProbGreater(const model::UncertainObject& x,
+                   const model::UncertainObject& y) {
+  assert(x.id() != y.id());
+  const auto& xi = x.instances();
+  const auto& yi = y.instances();
+  double total = 0.0;
+  double below = 0.0;  // mass of y strictly less than the current x instance
+  size_t j = 0;
+  for (const model::Instance& ix : xi) {
+    while (j < yi.size() && model::InstanceLess(yi[j], ix)) {
+      below += yi[j].prob;
+      ++j;
+    }
+    total += ix.prob * below;
+  }
+  return total;
+}
+
+double ProbGreaterValues(std::span<const model::Instance> x,
+                         std::span<const model::Instance> y,
+                         TiePolicy ties) {
+  double total = 0.0;
+  double below = 0.0;
+  size_t j = 0;
+  for (const model::Instance& ix : x) {
+    if (ties == TiePolicy::kTiesWin) {
+      while (j < y.size() && y[j].value <= ix.value) below += y[j++].prob;
+    } else {
+      while (j < y.size() && y[j].value < ix.value) below += y[j++].prob;
+    }
+    total += ix.prob * below;
+  }
+  return total;
+}
+
+}  // namespace ptk::rank

@@ -1,0 +1,36 @@
+#ifndef PTK_RANK_PAIRWISE_PROB_H_
+#define PTK_RANK_PAIRWISE_PROB_H_
+
+#include <span>
+
+#include "model/instance.h"
+#include "model/uncertain_object.h"
+
+namespace ptk::rank {
+
+/// Exact P(o_x > o_y) of Eq. 1 under the instance total order, computed by
+/// a two-pointer merge in O(m_x + m_y). Requires distinct objects (for
+/// x == y the event is ill-defined under mutual exclusivity).
+double ProbGreater(const model::UncertainObject& x,
+                   const model::UncertainObject& y);
+
+/// How raw-value ties are counted by the value-based comparison used for
+/// PB-tree bound pseudo-objects (whose instances may replicate source
+/// values from several real objects).
+enum class TiePolicy {
+  kTiesWin,   // value_x == value_y counts toward "x > y" (upper bounds)
+  kTiesLose,  // ties do not count (lower bounds)
+};
+
+/// P(x > y) where x and y are given as value-sorted instance sequences and
+/// comparison is by raw value with the given tie policy. Used for the
+/// Theorem 1 bounds P̂ = P(ubo_1 > lbo_2) and P̌ = P(lbo_1 > ubo_2); the
+/// tie policies keep those bounds admissible even when bound objects share
+/// source values.
+double ProbGreaterValues(std::span<const model::Instance> x,
+                         std::span<const model::Instance> y,
+                         TiePolicy ties);
+
+}  // namespace ptk::rank
+
+#endif  // PTK_RANK_PAIRWISE_PROB_H_

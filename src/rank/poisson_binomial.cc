@@ -1,0 +1,108 @@
+#include "rank/poisson_binomial.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ptk::rank {
+
+void PoissonBinomialTracker::Convolve(double q) {
+  dp_.push_back(0.0);
+  for (int j = static_cast<int>(dp_.size()) - 1; j >= 1; --j) {
+    dp_[j] = dp_[j] * (1.0 - q) + dp_[j - 1] * q;
+  }
+  dp_[0] *= (1.0 - q);
+}
+
+void PoissonBinomialTracker::Deconvolve(std::vector<double>& dp, double q) {
+  const int top = static_cast<int>(dp.size()) - 1;  // counts 0..top
+  assert(top >= 1);
+  if (q <= 0.5) {
+    // Forward: D'[j] = (D[j] - D'[j-1] q) / (1 - q).
+    double prev = dp[0] / (1.0 - q);
+    dp[0] = prev;
+    for (int j = 1; j < top; ++j) {
+      prev = std::max((dp[j] - prev * q) / (1.0 - q), 0.0);
+      dp[j] = prev;
+    }
+  } else {
+    // Backward: D'[j-1] = (D[j] - D'[j](1 - q)) / q with D'[top] = 0.
+    double next = dp[top] / q;  // D'[top-1]
+    for (int j = top - 1; j >= 1; --j) {
+      const double cur = (dp[j] - next * (1.0 - q)) / q;
+      dp[j] = std::max(next, 0.0);
+      next = std::max(cur, 0.0);
+    }
+    dp[0] = std::max(next, 0.0);
+  }
+  dp.pop_back();
+}
+
+void PoissonBinomialTracker::Update(double q_old, double q_new) {
+  assert(q_old >= 0.0 && q_old < 1.0);
+  assert(q_new > q_old && q_new <= 1.0);
+  if (q_old > 0.0) Deconvolve(dp_, q_old);
+  if (q_new >= 1.0) {
+    ++shift_;
+  } else {
+    Convolve(q_new);
+  }
+}
+
+double PoissonBinomialTracker::CumulativeAtMost(int t) const {
+  const int eff = t - shift_;
+  if (eff < 0) return 0.0;
+  const int top = std::min<int>(eff, static_cast<int>(dp_.size()) - 1);
+  double total = 0.0;
+  for (int j = 0; j <= top; ++j) total += dp_[j];
+  return std::min(total, 1.0);
+}
+
+double PoissonBinomialTracker::CumulativeAtMostExcluding(int t,
+                                                         double q) const {
+  if (q <= 0.0) return CumulativeAtMost(t);
+  assert(q < 1.0);
+  scratch_ = dp_;
+  Deconvolve(scratch_, q);
+  const int eff = t - shift_;
+  if (eff < 0) return 0.0;
+  const int top = std::min<int>(eff, static_cast<int>(scratch_.size()) - 1);
+  double total = 0.0;
+  for (int j = 0; j <= top; ++j) total += scratch_[j];
+  return std::min(total, 1.0);
+}
+
+double PoissonBinomialTracker::CumulativeAtMostExcluding2(int t, double q1,
+                                                          double q2) const {
+  if (q1 <= 0.0) return CumulativeAtMostExcluding(t, q2);
+  if (q2 <= 0.0) return CumulativeAtMostExcluding(t, q1);
+  assert(q1 < 1.0 && q2 < 1.0);
+  scratch_ = dp_;
+  Deconvolve(scratch_, q1);
+  Deconvolve(scratch_, q2);
+  const int eff = t - shift_;
+  if (eff < 0) return 0.0;
+  const int top = std::min<int>(eff, static_cast<int>(scratch_.size()) - 1);
+  double total = 0.0;
+  for (int j = 0; j <= top; ++j) total += scratch_[j];
+  return std::min(total, 1.0);
+}
+
+void PoissonBinomialTracker::CumulativeVectorExcluding(
+    int t_max, double q, std::vector<double>* out) const {
+  const std::vector<double>* dp = &dp_;
+  if (q > 0.0) {
+    assert(q < 1.0);
+    scratch_ = dp_;
+    Deconvolve(scratch_, q);
+    dp = &scratch_;
+  }
+  out->assign(t_max + 1, 0.0);
+  double acc = 0.0;
+  for (int t = 0; t <= t_max; ++t) {
+    const int eff = t - shift_;
+    if (eff >= 0 && eff < static_cast<int>(dp->size())) acc += (*dp)[eff];
+    (*out)[t] = std::min(acc, 1.0);
+  }
+}
+
+}  // namespace ptk::rank

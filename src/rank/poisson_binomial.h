@@ -1,0 +1,63 @@
+#ifndef PTK_RANK_POISSON_BINOMIAL_H_
+#define PTK_RANK_POISSON_BINOMIAL_H_
+
+#include <vector>
+
+namespace ptk::rank {
+
+/// Tracks the distribution of a sum of independent Bernoulli variables whose
+/// success probabilities evolve over time — the "number of objects ranked
+/// below the scan point" count at the heart of the PT_k computation
+/// (Section 4.2, following Bernecker et al. [4]).
+///
+/// The full (untruncated) probability vector over the currently *active*
+/// variables (those with q in (0,1)) is maintained so that removal
+/// (deconvolution) can always run in its numerically stable direction:
+/// forward from count 0 when q <= 0.5 (error factor q/(1-q) <= 1) and
+/// backward from the top when q > 0.5 (error factor (1-q)/q < 1).
+/// Variables that reach q == 1 are folded into an integer `shift`.
+class PoissonBinomialTracker {
+ public:
+  PoissonBinomialTracker() : dp_{1.0} {}
+
+  /// Number of variables currently certain (q == 1).
+  int shift() const { return shift_; }
+
+  /// Number of active (0 < q < 1) variables.
+  int active() const { return static_cast<int>(dp_.size()) - 1; }
+
+  /// Registers a variable moving from success probability q_old to q_new.
+  /// Pass q_old == 0 for a newly appearing variable. q_new == 1 folds the
+  /// variable into the shift. Requires 0 <= q_old < 1 and q_old < q_new <= 1.
+  void Update(double q_old, double q_new);
+
+  /// P(sum <= t) over all tracked variables (active + shifted).
+  double CumulativeAtMost(int t) const;
+
+  /// P(sum of all variables except one with current probability q <= t).
+  /// The excluded variable must currently be tracked with probability q
+  /// (q == 0 means it was never added and this is CumulativeAtMost).
+  double CumulativeAtMostExcluding(int t, double q) const;
+
+  /// Same, excluding two independent variables with probabilities q1, q2.
+  double CumulativeAtMostExcluding2(int t, double q1, double q2) const;
+
+  /// Fills out[t] = P(sum of others <= t) for t in [0, t_max], excluding
+  /// one variable with probability q, using a single deconvolution. Used
+  /// by the U-kRanks evaluator, which needs the whole rank profile.
+  void CumulativeVectorExcluding(int t_max, double q,
+                                 std::vector<double>* out) const;
+
+ private:
+  void Convolve(double q);
+  // Removes Bernoulli(q) from `dp` in place, choosing the stable direction.
+  static void Deconvolve(std::vector<double>& dp, double q);
+
+  std::vector<double> dp_;  // dp_[j] = P(j active variables succeed)
+  int shift_ = 0;
+  mutable std::vector<double> scratch_;  // query-time exclusion workspace
+};
+
+}  // namespace ptk::rank
+
+#endif  // PTK_RANK_POISSON_BINOMIAL_H_

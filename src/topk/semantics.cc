@@ -1,0 +1,135 @@
+#include "topk/semantics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "rank/membership.h"
+#include "rank/poisson_binomial.h"
+
+namespace ptk::topk {
+
+util::Status UTopK(const model::Database& db, int k, pw::OrderMode order,
+                   const pw::EnumeratorOptions& options,
+                   pw::ResultKey* result, double* probability) {
+  pw::TopKEnumerator enumerator(db);
+  pw::TopKDistribution dist;
+  util::Status s = enumerator.Enumerate(k, order, nullptr, options, &dist);
+  if (!s.ok()) return s;
+  if (dist.size() == 0) {
+    return util::Status::Internal("empty top-k distribution");
+  }
+  const auto sorted = dist.SortedByProbDesc();
+  *result = sorted.front().first;
+  *probability = sorted.front().second;
+  return util::Status::OK();
+}
+
+util::Status UKRanks(const model::Database& db, int k,
+                     std::vector<ScoredObject>* per_rank) {
+  if (!db.finalized()) {
+    return util::Status::InvalidArgument("database not finalized");
+  }
+  k = std::clamp(k, 1, db.num_objects());
+  per_rank->assign(k, ScoredObject{});
+
+  // Scan ascending; at instance i of object o, Pr(o occupies rank r) +=
+  // p_i * Pr(exactly r others rank above i). "Above" = strictly before
+  // the instance's global position, owner excluded.
+  const auto& sorted = db.sorted_instances();
+  rank::PoissonBinomialTracker tracker;
+  // Exact per-object prefix masses (see MembershipCalculator for why
+  // these must be partial sums, not 1 - suffix).
+  std::vector<std::vector<double>> prefix(db.num_objects());
+  for (const auto& obj : db.objects()) {
+    auto& p = prefix[obj.id()];
+    p.assign(obj.num_instances() + 1, 0.0);
+    for (int i = 0; i < obj.num_instances(); ++i) {
+      p[i + 1] = p[i] + obj.instance(i).prob;
+    }
+    p.back() = 1.0;
+  }
+
+  std::vector<double> cumulative;
+  std::vector<double> best(k, 0.0);
+  std::vector<std::vector<double>> object_rank_prob(
+      db.num_objects(), std::vector<double>(k, 0.0));
+  for (const model::Instance& inst : sorted) {
+    if (tracker.shift() >= k) break;  // deeper instances can't reach rank k
+    const double q_old = prefix[inst.oid][inst.iid];
+    tracker.CumulativeVectorExcluding(k - 1, q_old, &cumulative);
+    for (int r = 0; r < k; ++r) {
+      const double exactly =
+          cumulative[r] - (r > 0 ? cumulative[r - 1] : 0.0);
+      object_rank_prob[inst.oid][r] += inst.prob * exactly;
+    }
+    tracker.Update(q_old, prefix[inst.oid][inst.iid + 1]);
+  }
+  for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+    for (int r = 0; r < k; ++r) {
+      if (object_rank_prob[o][r] > best[r]) {
+        best[r] = object_rank_prob[o][r];
+        (*per_rank)[r] = ScoredObject{o, object_rank_prob[o][r]};
+      }
+    }
+  }
+  return util::Status::OK();
+}
+
+std::vector<ScoredObject> PTk(const model::Database& db, int k,
+                              double threshold) {
+  rank::MembershipCalculator membership(db, k);
+  std::vector<ScoredObject> out;
+  for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+    const double p = membership.ObjectTopKProbability(o);
+    if (p >= threshold) out.push_back(ScoredObject{o, p});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ScoredObject& a, const ScoredObject& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.oid < b.oid;
+            });
+  return out;
+}
+
+std::vector<ScoredObject> GlobalTopK(const model::Database& db, int k) {
+  std::vector<ScoredObject> all = PTk(db, k, 0.0);
+  if (static_cast<int>(all.size()) > k) all.resize(k);
+  return all;
+}
+
+std::vector<double> ExpectedRanks(const model::Database& db) {
+  assert(db.finalized());
+  // E[rank(o)] = sum over o's instances of p_i * E[#others before pos(i)],
+  // where E[#others before pos] = (total mass before pos) - (o's own mass
+  // before pos). One ascending accumulation gives all values.
+  std::vector<double> ranks(db.num_objects(), 0.0);
+  std::vector<double> own_before(db.num_objects(), 0.0);
+  double total_before = 0.0;
+  for (const model::Instance& inst : db.sorted_instances()) {
+    ranks[inst.oid] +=
+        inst.prob * (total_before - own_before[inst.oid]);
+    total_before += inst.prob;
+    own_before[inst.oid] += inst.prob;
+  }
+  return ranks;
+}
+
+std::vector<ScoredObject> ExpectedRankTopK(const model::Database& db,
+                                           int k) {
+  const std::vector<double> ranks = ExpectedRanks(db);
+  std::vector<ScoredObject> all;
+  all.reserve(ranks.size());
+  for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+    all.push_back(ScoredObject{o, ranks[o]});
+  }
+  std::sort(all.begin(), all.end(),
+            [](const ScoredObject& a, const ScoredObject& b) {
+              if (a.score != b.score) return a.score < b.score;
+              return a.oid < b.oid;
+            });
+  k = std::clamp(k, 0, static_cast<int>(all.size()));
+  all.resize(k);
+  return all;
+}
+
+}  // namespace ptk::topk

@@ -1,0 +1,56 @@
+#ifndef PTK_TOPK_SEMANTICS_H_
+#define PTK_TOPK_SEMANTICS_H_
+
+#include <vector>
+
+#include "model/database.h"
+#include "pw/topk_distribution.h"
+#include "pw/topk_enumerator.h"
+#include "util/status.h"
+
+namespace ptk::topk {
+
+/// The probabilistic top-k query semantics the paper builds on
+/// (Section 2.2): U-Topk [29], U-kRanks [29], PT-k [15], Global-Topk [42],
+/// and expected ranks [7]. These return *point answers*; the paper's
+/// contribution starts from the observation that such answers can carry
+/// high uncertainty, quantified by the entropy of the full distribution
+/// that core::QualityEvaluator exposes.
+
+/// An object with an associated score (probability or expected rank).
+struct ScoredObject {
+  model::ObjectId oid = model::kInvalidObject;
+  double score = 0.0;
+};
+
+/// U-Topk: the most probable top-k result as a whole (rank-ordered for
+/// kSensitive, an object set for kInsensitive) and its probability.
+util::Status UTopK(const model::Database& db, int k, pw::OrderMode order,
+                   const pw::EnumeratorOptions& options,
+                   pw::ResultKey* result, double* probability);
+
+/// U-kRanks: for each rank i in [0, k), the object most likely to occupy
+/// exactly that rank, with Pr(object at rank i). Exact, via the
+/// Poisson-binomial rank profile; O(N * (k + active)).
+util::Status UKRanks(const model::Database& db, int k,
+                     std::vector<ScoredObject>* per_rank);
+
+/// PT-k: all objects whose probability of appearing in the top-k result is
+/// at least `threshold`, ordered by descending probability.
+std::vector<ScoredObject> PTk(const model::Database& db, int k,
+                              double threshold);
+
+/// Global-Topk: the k objects with the highest top-k membership
+/// probability, descending.
+std::vector<ScoredObject> GlobalTopK(const model::Database& db, int k);
+
+/// Expected rank of every object: E[#objects ranked above it] across
+/// possible worlds (0 = expected first). One O(N log N) scan.
+std::vector<double> ExpectedRanks(const model::Database& db);
+
+/// The k objects with the smallest expected rank, ascending by rank.
+std::vector<ScoredObject> ExpectedRankTopK(const model::Database& db, int k);
+
+}  // namespace ptk::topk
+
+#endif  // PTK_TOPK_SEMANTICS_H_

@@ -1,0 +1,37 @@
+#include "util/entropy.h"
+
+#include <algorithm>
+
+namespace ptk::util {
+
+double EntropyTerm(double x) {
+  if (x <= 0.0) return 0.0;
+  return -x * std::log(x);
+}
+
+double BinaryEntropy(double x) {
+  return EntropyTerm(x) + EntropyTerm(1.0 - x);
+}
+
+double DistributionEntropy(std::span<const double> masses) {
+  double total = 0.0;
+  for (double p : masses) total += EntropyTerm(p);
+  return total;
+}
+
+double BinaryEntropyIntervalMax(double lo, double hi) {
+  if (lo > hi) std::swap(lo, hi);
+  if (lo <= 0.5 && 0.5 <= hi) return BinaryEntropy(0.5);
+  // Both endpoints on the same side of 0.5: take the one closer to 0.5.
+  const double nearer = (hi < 0.5) ? hi : lo;
+  return BinaryEntropy(nearer);
+}
+
+double BinaryEntropyIntervalMin(double lo, double hi) {
+  if (lo > hi) std::swap(lo, hi);
+  const double farther =
+      (std::abs(lo - 0.5) >= std::abs(hi - 0.5)) ? lo : hi;
+  return BinaryEntropy(farther);
+}
+
+}  // namespace ptk::util

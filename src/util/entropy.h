@@ -1,0 +1,36 @@
+#ifndef PTK_UTIL_ENTROPY_H_
+#define PTK_UTIL_ENTROPY_H_
+
+#include <cmath>
+#include <span>
+
+namespace ptk::util {
+
+/// The entropy kernel h(x) = -x ln x, with h(0) defined as 0 (the paper's
+/// Eq. 4 convention). Natural logarithm throughout, as in the paper.
+/// Negative inputs (which can arise from floating-point cancellation in
+/// bound arithmetic) are clamped to 0.
+double EntropyTerm(double x);
+
+/// The binary-event entropy H(x) = h(x) + h(1 - x) used for H(A(P_1))
+/// (Eq. 12). Symmetric around 0.5, maximized at H(0.5) = ln 2, and
+/// monotonically increasing on [0, 0.5].
+double BinaryEntropy(double x);
+
+/// Entropy of a (sub-)distribution: sum of h(p) over the given masses.
+/// Masses need not sum to 1 (the enumerator may prune low-probability
+/// worlds; see pw::TopKDistribution::lost_mass()).
+double DistributionEntropy(std::span<const double> masses);
+
+/// Maximum of H(x) = h(x) + h(1-x) over the closed interval [lo, hi].
+/// Interval-correct: if the interval straddles 0.5 the maximum is
+/// H(0.5) = ln 2. Used for the admissible upper bound of Eq. 16.
+double BinaryEntropyIntervalMax(double lo, double hi);
+
+/// Minimum of H(x) over [lo, hi]: attained at the endpoint farther from
+/// 0.5 (Eq. 15).
+double BinaryEntropyIntervalMin(double lo, double hi);
+
+}  // namespace ptk::util
+
+#endif  // PTK_UTIL_ENTROPY_H_

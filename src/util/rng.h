@@ -1,0 +1,46 @@
+#ifndef PTK_UTIL_RNG_H_
+#define PTK_UTIL_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace ptk::util {
+
+/// Deterministic, seedable random source used by the dataset generators,
+/// the simulated crowd, and the random selection baselines. All experiment
+/// harnesses pass explicit seeds so every figure is reproducible bit-for-bit.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [0, 1).
+  double Uniform() { return unit_(engine_); }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * Uniform();
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Standard normal deviate scaled to N(mean, stddev^2).
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace ptk::util
+
+#endif  // PTK_UTIL_RNG_H_

@@ -1,0 +1,59 @@
+#ifndef PTK_UTIL_STATUS_H_
+#define PTK_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace ptk::util {
+
+/// Lightweight Status in the RocksDB style: library-boundary APIs that can
+/// fail on user input (validation, file I/O, resource limits) return Status
+/// instead of throwing. Internal algorithmic invariants use assertions.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kResourceExhausted,
+    kIoError,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(Code::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<code>: <message>" for logs and test failure output.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace ptk::util
+
+#endif  // PTK_UTIL_STATUS_H_

@@ -1,0 +1,3 @@
+#include "util/stopwatch.h"
+
+// Stopwatch is header-only; see status.cc for the rationale of this file.

@@ -1,0 +1,29 @@
+#ifndef PTK_UTIL_STOPWATCH_H_
+#define PTK_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ptk::util {
+
+/// Wall-clock stopwatch used by the efficiency experiments (Figs. 12-13).
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ptk::util
+
+#endif  // PTK_UTIL_STOPWATCH_H_

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crowd/aggregation.h"
+#include "util/rng.h"
+
+namespace ptk {
+namespace {
+
+// Synthesizes votes: worker w answers task t correctly with its own
+// accuracy; truth[t] is the correct "first greater" verdict.
+std::vector<crowd::Vote> SimulateVotes(
+    const std::vector<bool>& truth, const std::vector<double>& accuracies,
+    int votes_per_task, util::Rng& rng) {
+  std::vector<crowd::Vote> votes;
+  const int num_workers = static_cast<int>(accuracies.size());
+  for (size_t t = 0; t < truth.size(); ++t) {
+    for (int v = 0; v < votes_per_task; ++v) {
+      const int w = static_cast<int>(rng.UniformInt(0, num_workers - 1));
+      const bool correct = rng.Bernoulli(accuracies[w]);
+      votes.push_back(crowd::Vote{static_cast<int>(t), w,
+                                  correct ? truth[t] : !truth[t]});
+    }
+  }
+  return votes;
+}
+
+TEST(MajorityVote, BasicCountsAndTies) {
+  const std::vector<crowd::ComparisonTask> tasks = {{0, 1}, {2, 3}};
+  const std::vector<crowd::Vote> votes = {
+      {0, 0, true},  {0, 1, true},  {0, 2, false},
+      {1, 0, true},  {1, 1, false},
+  };
+  const auto answers = crowd::MajorityVote(tasks, votes);
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_TRUE(answers[0].first_greater);
+  EXPECT_NEAR(answers[0].confidence, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(answers[0].votes, 3);
+  // Tie: deterministic verdict (false) at confidence 0.5.
+  EXPECT_FALSE(answers[1].first_greater);
+  EXPECT_NEAR(answers[1].confidence, 0.5, 1e-12);
+}
+
+TEST(MajorityVote, TaskWithoutVotesStaysUndecided) {
+  const std::vector<crowd::ComparisonTask> tasks = {{0, 1}};
+  const auto answers = crowd::MajorityVote(tasks, {});
+  ASSERT_EQ(answers.size(), 1u);
+  EXPECT_EQ(answers[0].votes, 0);
+  EXPECT_DOUBLE_EQ(answers[0].confidence, 0.5);
+}
+
+TEST(EmAggregate, RecoversVerdictsAndWorkerQuality) {
+  util::Rng rng(42);
+  const int num_tasks = 200;
+  std::vector<bool> truth(num_tasks);
+  std::vector<crowd::ComparisonTask> tasks(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) truth[t] = rng.Bernoulli(0.5);
+  // Workers 0-3 are good (0.9), worker 4 is a spammer (0.5), worker 5 is
+  // adversarial (0.2 — EM should discover it and flip its votes' weight).
+  const std::vector<double> accuracies = {0.9, 0.9, 0.9, 0.9, 0.5, 0.2};
+  const auto votes = SimulateVotes(truth, accuracies, 7, rng);
+
+  crowd::EmResult result;
+  ASSERT_TRUE(crowd::EmAggregate(tasks, votes, {}, &result).ok());
+  ASSERT_EQ(result.answers.size(), static_cast<size_t>(num_tasks));
+  int correct = 0;
+  for (int t = 0; t < num_tasks; ++t) {
+    if (result.answers[t].first_greater == truth[t]) ++correct;
+  }
+  EXPECT_GT(correct, num_tasks * 0.95);
+  // Worker-quality recovery: good workers high, adversarial low.
+  ASSERT_EQ(result.worker_accuracy.size(), accuracies.size());
+  for (int w = 0; w < 4; ++w) {
+    EXPECT_GT(result.worker_accuracy[w], 0.8) << "worker " << w;
+  }
+  EXPECT_LT(result.worker_accuracy[5], 0.4) << "adversarial worker";
+}
+
+TEST(EmAggregate, BeatsMajorityWithAdversaries) {
+  util::Rng rng(7);
+  const int num_tasks = 300;
+  std::vector<bool> truth(num_tasks);
+  std::vector<crowd::ComparisonTask> tasks(num_tasks);
+  for (int t = 0; t < num_tasks; ++t) truth[t] = rng.Bernoulli(0.5);
+  // Two strong workers vs three adversarial ones: majority voting gets
+  // dragged down, EM learns to invert the adversaries.
+  const std::vector<double> accuracies = {0.95, 0.95, 0.3, 0.3, 0.3};
+  const auto votes = SimulateVotes(truth, accuracies, 5, rng);
+
+  const auto majority = crowd::MajorityVote(tasks, votes);
+  crowd::EmResult em;
+  ASSERT_TRUE(crowd::EmAggregate(tasks, votes, {}, &em).ok());
+  int majority_correct = 0, em_correct = 0;
+  for (int t = 0; t < num_tasks; ++t) {
+    if (majority[t].first_greater == truth[t]) ++majority_correct;
+    if (em.answers[t].first_greater == truth[t]) ++em_correct;
+  }
+  EXPECT_GT(em_correct, majority_correct)
+      << "EM should exploit the structure majority voting cannot";
+  EXPECT_GT(em_correct, num_tasks * 0.85);
+}
+
+TEST(EmAggregate, ConfidenceReflectsAgreement) {
+  // Unanimous tasks end up with higher confidence than split ones.
+  const std::vector<crowd::ComparisonTask> tasks = {{0, 1}, {2, 3}};
+  const std::vector<crowd::Vote> votes = {
+      {0, 0, true},  {0, 1, true},  {0, 2, true},
+      {1, 0, true},  {1, 1, false}, {1, 2, true},
+  };
+  crowd::EmResult result;
+  ASSERT_TRUE(crowd::EmAggregate(tasks, votes, {}, &result).ok());
+  EXPECT_GT(result.answers[0].confidence, result.answers[1].confidence);
+  EXPECT_GE(result.answers[1].confidence, 0.5);
+}
+
+TEST(EmAggregate, InputValidation) {
+  crowd::EmResult result;
+  EXPECT_FALSE(crowd::EmAggregate({}, {}, {}, &result).ok());
+  const std::vector<crowd::ComparisonTask> tasks = {{0, 1}, {2, 3}};
+  // Second task has no votes.
+  const std::vector<crowd::Vote> votes = {{0, 0, true}};
+  EXPECT_FALSE(crowd::EmAggregate(tasks, votes, {}, &result).ok());
+  // Out-of-range task index.
+  const std::vector<crowd::Vote> bad = {{5, 0, true}};
+  EXPECT_FALSE(crowd::EmAggregate(tasks, bad, {}, &result).ok());
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include <set>
+
+#include "core/bound_selector.h"
+#include "core/cluster_selector.h"
+#include "data/synthetic.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+core::SelectorOptions Options(int k) {
+  core::SelectorOptions opts;
+  opts.k = k;
+  opts.fanout = 4;
+  return opts;
+}
+
+TEST(ClusterSelector, ClustersPartitionTheObjects) {
+  const model::Database db = testing::RandomDb(20, 3, 5);
+  core::ClusterSelector selector(db, Options(4),
+                                 /*max_cluster_spread=*/10.0);
+  std::set<model::ObjectId> seen;
+  for (const auto& cluster : selector.clusters()) {
+    EXPECT_FALSE(cluster.empty());
+    for (model::ObjectId o : cluster) {
+      EXPECT_TRUE(seen.insert(o).second) << "object in two clusters";
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(db.num_objects()));
+  // One representative per cluster, member of its cluster.
+  ASSERT_EQ(selector.representatives().size(), selector.clusters().size());
+  for (size_t c = 0; c < selector.clusters().size(); ++c) {
+    const auto& cluster = selector.clusters()[c];
+    EXPECT_NE(std::find(cluster.begin(), cluster.end(),
+                        selector.representatives()[c]),
+              cluster.end());
+  }
+}
+
+TEST(ClusterSelector, ZeroSpreadGivesSingletonClusters) {
+  const model::Database db = testing::RandomDb(12, 3, 6);
+  core::ClusterSelector selector(db, Options(3), 0.0);
+  EXPECT_EQ(selector.clusters().size(),
+            static_cast<size_t>(db.num_objects()));
+}
+
+TEST(ClusterSelector, SingletonClustersMatchFullSelection) {
+  // With every object its own representative, the candidate space is the
+  // full pair space and the result must match the index-based selector.
+  const model::Database db = testing::RandomDb(10, 3, 7);
+  core::ClusterSelector clustered(db, Options(3), 0.0);
+  core::BoundSelector full(db, Options(3),
+                           core::BoundSelector::Mode::kBasic);
+  std::vector<core::ScoredPair> a, b;
+  ASSERT_TRUE(clustered.SelectPairs(1, &a).ok());
+  ASSERT_TRUE(full.SelectPairs(1, &b).ok());
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  EXPECT_NEAR(a[0].ei_estimate, b[0].ei_estimate, 1e-9);
+}
+
+TEST(ClusterSelector, CoarseClustersShrinkTheCandidateSpace) {
+  data::SynOptions syn;
+  syn.num_objects = 120;
+  syn.value_range = 240.0;
+  syn.seed = 12;
+  const model::Database db = data::MakeSynDataset(syn);
+  core::ClusterSelector moderate(db, Options(5),
+                                 /*max_cluster_spread=*/15.0);
+  core::ClusterSelector fine(db, Options(5), 0.0);
+  EXPECT_LT(moderate.clusters().size(), fine.clusters().size());
+
+  std::vector<core::ScoredPair> moderate_pick, fine_pick;
+  ASSERT_TRUE(moderate.SelectPairs(1, &moderate_pick).ok());
+  ASSERT_TRUE(fine.SelectPairs(1, &fine_pick).ok());
+  EXPECT_LT(moderate.stats().candidate_pairs,
+            fine.stats().candidate_pairs);
+  // Moderate clustering loses little: representatives carry their
+  // clusters' information (regression anchor on this fixture).
+  EXPECT_GE(moderate_pick[0].ei_estimate,
+            0.5 * fine_pick[0].ei_estimate);
+
+  // Over-coarse clustering is lossy by design: once the whole contested
+  // region collapses into one cluster, no informative pair remains — the
+  // knob genuinely trades cost for quality.
+  core::ClusterSelector coarse(db, Options(5), 60.0);
+  std::vector<core::ScoredPair> coarse_pick;
+  ASSERT_TRUE(coarse.SelectPairs(1, &coarse_pick).ok());
+  EXPECT_LE(coarse_pick[0].ei_estimate, fine_pick[0].ei_estimate + 1e-9);
+}
+
+TEST(ClusterSelector, SelectsDistinctSortedPairs) {
+  const model::Database db = testing::RandomDb(16, 3, 8);
+  core::ClusterSelector selector(db, Options(4), 5.0);
+  std::vector<core::ScoredPair> pairs;
+  ASSERT_TRUE(selector.SelectPairs(4, &pairs).ok());
+  ASSERT_LE(pairs.size(), 4u);
+  std::set<std::pair<model::ObjectId, model::ObjectId>> unique;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_NE(pairs[i].a, pairs[i].b);
+    EXPECT_TRUE(unique.insert(std::minmax(pairs[i].a, pairs[i].b)).second);
+    if (i > 0) {
+      EXPECT_GE(pairs[i - 1].ei_estimate, pairs[i].ei_estimate);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptk

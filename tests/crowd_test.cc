@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "crowd/crowd_model.h"
+#include "rank/pairwise_prob.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+TEST(GroundTruthOracle, ComparesTrueValues) {
+  crowd::GroundTruthOracle oracle({3.0, 1.0, 2.0});
+  EXPECT_TRUE(oracle.Compare(0, 1));
+  EXPECT_FALSE(oracle.Compare(1, 0));
+  EXPECT_TRUE(oracle.Compare(2, 1));
+}
+
+TEST(GroundTruthOracle, TieBreakIsAntisymmetric) {
+  crowd::GroundTruthOracle oracle({5.0, 5.0});
+  EXPECT_NE(oracle.Compare(0, 1), oracle.Compare(1, 0));
+}
+
+TEST(BiasedCrowd, RealProbMatchesEquation19) {
+  const model::Database db = testing::PaperExampleDb();
+  const double theta = 0.19;
+  crowd::BiasedCrowd crowd(db, theta, 1);
+  // P(o2 > o1) = 0.84 > 0.5, so P_real = min(1, 0.84 + 0.19) = 1.
+  EXPECT_DOUBLE_EQ(crowd.RealProb(1, 0), 1.0);
+  // P(o1 > o2) = 0.16 < 0.5, so P_real = max(0, 0.16 - 0.19) = 0.
+  EXPECT_DOUBLE_EQ(crowd.RealProb(0, 1), 0.0);
+  // Mid-range value moves by exactly theta.
+  const double p31 = rank::ProbGreater(db.object(2), db.object(0));
+  const double expected =
+      p31 > 0.5 ? std::min(1.0, p31 + theta) : std::max(0.0, p31 - theta);
+  EXPECT_DOUBLE_EQ(crowd.RealProb(2, 0), expected);
+}
+
+TEST(BiasedCrowd, SamplesFollowRealProb) {
+  const model::Database db = testing::RandomDb(4, 3, 3);
+  crowd::BiasedCrowd crowd(db, 0.1, 99);
+  int count = 0;
+  const int trials = 4000;
+  for (int i = 0; i < trials; ++i) {
+    if (crowd.Compare(0, 1)) ++count;
+  }
+  EXPECT_NEAR(static_cast<double>(count) / trials, crowd.RealProb(0, 1),
+              0.03);
+}
+
+TEST(WorkerPanel, MajorityBeatsIndividualAccuracy) {
+  crowd::WorkerPanel panel({1.0, 2.0}, /*workers=*/10, /*accuracy=*/0.8, 5);
+  const double majority = panel.MajorityAccuracy();
+  EXPECT_GT(majority, 0.8);
+  EXPECT_LT(majority, 1.0);
+  // Exact binomial tail for B(10, 0.8): P(X >= 6) + 0.5 P(X = 5) = 0.9804.
+  EXPECT_NEAR(majority, 0.9804, 5e-4);
+  // Odd panel, exact by hand: 3 workers at 0.8 -> 0.8^3 + 3*0.8^2*0.2.
+  crowd::WorkerPanel small({1.0, 2.0}, 3, 0.8, 5);
+  EXPECT_NEAR(small.MajorityAccuracy(), 0.512 + 0.384, 1e-12);
+  // The paper's measured 94% panel accuracy corresponds to individual
+  // workers around 72% under this model.
+  crowd::WorkerPanel paper({1.0, 2.0}, 10, 0.72, 5);
+  EXPECT_NEAR(paper.MajorityAccuracy(), 0.94, 0.02);
+}
+
+TEST(WorkerPanel, EmpiricalAccuracyMatchesAnalytic) {
+  std::vector<double> truth = {10.0, 20.0};
+  crowd::WorkerPanel panel(truth, 5, 0.7, 11);
+  const double analytic = panel.MajorityAccuracy();
+  int correct = 0;
+  const int trials = 5000;
+  for (int i = 0; i < trials; ++i) {
+    if (panel.Compare(1, 0)) ++correct;  // truth: value(1) > value(0)
+  }
+  EXPECT_NEAR(static_cast<double>(correct) / trials, analytic, 0.03);
+}
+
+TEST(WorkerPanel, PerfectWorkersAlwaysRight) {
+  crowd::WorkerPanel panel({1.0, 2.0, 3.0}, 3, 1.0, 2);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(panel.Compare(2, 0));
+    EXPECT_FALSE(panel.Compare(0, 2));
+  }
+  EXPECT_DOUBLE_EQ(panel.MajorityAccuracy(), 1.0);
+}
+
+}  // namespace
+}  // namespace ptk

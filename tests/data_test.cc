@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "data/csv.h"
+#include "data/synthetic.h"
+
+namespace ptk {
+namespace {
+
+TEST(SynDataset, MatchesRecipe) {
+  data::SynOptions opts;
+  opts.num_objects = 500;
+  opts.seed = 4;
+  const model::Database db = data::MakeSynDataset(opts);
+  ASSERT_TRUE(db.finalized());
+  EXPECT_EQ(db.num_objects(), 500);
+  double instances = 0.0;
+  for (const auto& obj : db.objects()) {
+    instances += obj.num_instances();
+    EXPECT_NEAR(obj.TotalProb(), 1.0, 1e-9);
+    // Cluster width: all values of one object within the configured span.
+    const double lo = obj.instances().front().value;
+    const double hi = obj.instances().back().value;
+    EXPECT_LE(hi - lo, opts.cluster_width + 1e-9);
+    EXPECT_GE(lo, 0.0);
+    EXPECT_LE(hi, opts.value_range);
+  }
+  EXPECT_NEAR(instances / db.num_objects(), opts.avg_instances, 1.0);
+}
+
+TEST(SynDataset, DeterministicPerSeed) {
+  data::SynOptions opts;
+  opts.num_objects = 50;
+  const model::Database a = data::MakeSynDataset(opts);
+  const model::Database b = data::MakeSynDataset(opts);
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  for (int i = 0; i < a.num_instances(); ++i) {
+    EXPECT_DOUBLE_EQ(a.sorted_instances()[i].value,
+                     b.sorted_instances()[i].value);
+    EXPECT_DOUBLE_EQ(a.sorted_instances()[i].prob,
+                     b.sorted_instances()[i].prob);
+  }
+}
+
+TEST(AgeDataset, GroundTruthAndHistogramShape) {
+  data::AgeOptions opts;
+  opts.num_objects = 100;
+  const data::AgeDataset age = data::MakeAgeDataset(opts);
+  ASSERT_EQ(age.db.num_objects(), 100);
+  ASSERT_EQ(age.true_ages.size(), 100u);
+  for (int o = 0; o < 100; ++o) {
+    const auto& obj = age.db.object(o);
+    EXPECT_LE(obj.num_instances(), opts.max_instances);
+    EXPECT_GE(obj.num_instances(), 1);
+    // The histogram concentrates around the perceived age, which itself
+    // scatters around the truth with the photo bias.
+    EXPECT_NEAR(obj.ExpectedValue(), age.true_ages[o],
+                3.5 * (opts.guess_stddev + opts.photo_bias_stddev));
+    EXPECT_GE(age.true_ages[o], opts.min_age);
+    EXPECT_LE(age.true_ages[o], opts.max_age);
+  }
+}
+
+TEST(ImdbDataset, RankScoresAndCardinalities) {
+  data::ImdbOptions opts;
+  opts.num_movies = 200;
+  const model::Database db = data::MakeImdbDataset(opts);
+  EXPECT_EQ(db.num_objects(), 200);
+  for (const auto& obj : db.objects()) {
+    EXPECT_GE(obj.num_instances(), 1);
+    EXPECT_LE(obj.num_instances(), opts.max_ratings);
+    for (const auto& inst : obj.instances()) {
+      EXPECT_GE(inst.value, 0.0);   // rating 10 -> rank score 0
+      EXPECT_LE(inst.value, 9.0);   // rating 1 -> rank score 9
+    }
+  }
+}
+
+TEST(Csv, RoundTrip) {
+  data::SynOptions opts;
+  opts.num_objects = 30;
+  opts.seed = 12;
+  const model::Database original = data::MakeSynDataset(opts);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ptk_csv_test.csv").string();
+  ASSERT_TRUE(data::SaveCsv(original, path).ok());
+  model::Database loaded;
+  ASSERT_TRUE(data::LoadCsv(path, &loaded).ok());
+  std::remove(path.c_str());
+  ASSERT_EQ(loaded.num_objects(), original.num_objects());
+  ASSERT_EQ(loaded.num_instances(), original.num_instances());
+  for (int o = 0; o < original.num_objects(); ++o) {
+    const auto& a = original.object(o);
+    const auto& b = loaded.object(o);
+    ASSERT_EQ(a.num_instances(), b.num_instances());
+    for (int i = 0; i < a.num_instances(); ++i) {
+      EXPECT_DOUBLE_EQ(a.instance(i).value, b.instance(i).value);
+      EXPECT_NEAR(a.instance(i).prob, b.instance(i).prob, 1e-15);
+    }
+  }
+}
+
+TEST(Csv, LoadRejectsMalformedInput) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ptk_bad_csv.csv").string();
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("oid,value,prob\n0,1.0\n", f);  // missing column
+    std::fclose(f);
+  }
+  model::Database db;
+  EXPECT_FALSE(data::LoadCsv(path, &db).ok());
+  std::remove(path.c_str());
+  EXPECT_FALSE(data::LoadCsv("/nonexistent/file.csv", &db).ok());
+}
+
+}  // namespace
+}  // namespace ptk

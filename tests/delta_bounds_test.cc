@@ -1,0 +1,118 @@
+// Property tests for the Algorithm 5 bounds: against the exhaustive
+// possible-world oracle, the lower/upper interval must bracket the exact
+// Δ(A(P_1)) in both order modes, and the derived EI interval must bracket
+// the exact expected improvement.
+
+#include <gtest/gtest.h>
+
+#include "core/delta_bounds.h"
+#include "core/ei_estimator.h"
+#include "core/quality.h"
+#include "rank/membership.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+struct SweepParam {
+  uint64_t seed;
+  int k;
+};
+
+class DeltaSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(DeltaSweep, BoundsBracketExactDeltaInsensitive) {
+  const auto [seed, k] = GetParam();
+  const model::Database db = testing::RandomDb(6, 4, seed);
+  rank::MembershipCalculator membership(db, k);
+  const core::DeltaEstimator estimator(db, membership,
+                                       pw::OrderMode::kInsensitive);
+  for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+    for (model::ObjectId b = a + 1; b < db.num_objects(); ++b) {
+      const core::DeltaBounds bounds = estimator.Estimate(a, b);
+      const double exact =
+          testing::ExactDelta(db, k, pw::OrderMode::kInsensitive, a, b);
+      EXPECT_LE(bounds.lower, exact + 1e-7)
+          << "seed=" << seed << " k=" << k << " pair=(" << a << "," << b
+          << ")";
+      EXPECT_GE(bounds.upper, exact - 1e-7)
+          << "seed=" << seed << " k=" << k << " pair=(" << a << "," << b
+          << ")";
+      EXPECT_GE(bounds.lower, -1e-9);
+    }
+  }
+}
+
+TEST_P(DeltaSweep, BoundsBracketExactDeltaSensitive) {
+  const auto [seed, k] = GetParam();
+  const model::Database db = testing::RandomDb(5, 4, seed + 5000);
+  rank::MembershipCalculator membership(db, k);
+  const core::DeltaEstimator estimator(db, membership,
+                                       pw::OrderMode::kSensitive);
+  for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+    for (model::ObjectId b = a + 1; b < db.num_objects(); ++b) {
+      const core::DeltaBounds bounds = estimator.Estimate(a, b);
+      const double exact =
+          testing::ExactDelta(db, k, pw::OrderMode::kSensitive, a, b);
+      EXPECT_LE(bounds.lower, exact + 1e-7)
+          << "seed=" << seed << " k=" << k << " pair=(" << a << "," << b
+          << ")";
+      EXPECT_GE(bounds.upper, exact - 1e-7)
+          << "seed=" << seed << " k=" << k << " pair=(" << a << "," << b
+          << ")";
+    }
+  }
+}
+
+TEST_P(DeltaSweep, EIIntervalBracketsExactImprovement) {
+  const auto [seed, k] = GetParam();
+  const model::Database db = testing::RandomDb(5, 3, seed + 9000);
+  rank::MembershipCalculator membership(db, k);
+  const core::EIEstimator estimator(db, membership,
+                                    pw::OrderMode::kInsensitive);
+  const core::QualityEvaluator evaluator(db, k, pw::OrderMode::kInsensitive);
+  for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+    for (model::ObjectId b = a + 1; b < db.num_objects(); ++b) {
+      const core::EIEstimate est = estimator.Estimate(a, b);
+      double exact = 0.0;
+      ASSERT_TRUE(
+          evaluator.ExactExpectedImprovement(a, b, nullptr, &exact).ok());
+      EXPECT_LE(est.lower(), exact + 1e-7);
+      EXPECT_GE(est.upper(), exact - 1e-7);
+      EXPECT_GE(exact, -1e-9);  // EI is provably non-negative
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndK, DeltaSweep,
+    ::testing::Values(SweepParam{0, 1}, SweepParam{0, 2}, SweepParam{0, 3},
+                      SweepParam{1, 2}, SweepParam{2, 2}, SweepParam{2, 4},
+                      SweepParam{3, 3}, SweepParam{4, 2}, SweepParam{5, 3},
+                      SweepParam{6, 1}));
+
+TEST(DeltaBounds, PaperExampleDeviationSmall) {
+  const model::Database db = testing::PaperExampleDb();
+  rank::MembershipCalculator membership(db, 2);
+  const core::DeltaEstimator estimator(db, membership,
+                                       pw::OrderMode::kInsensitive);
+  const core::DeltaBounds bounds = estimator.Estimate(0, 1);
+  const double exact =
+      testing::ExactDelta(db, 2, pw::OrderMode::kInsensitive, 0, 1);
+  EXPECT_LE(bounds.lower, exact + 1e-9);
+  EXPECT_GE(bounds.upper, exact - 1e-9);
+  EXPECT_GE(bounds.deviation(), 0.0);
+}
+
+TEST(DeltaBounds, MidpointWithinInterval) {
+  const model::Database db = testing::RandomDb(6, 4, 123);
+  rank::MembershipCalculator membership(db, 3);
+  const core::DeltaEstimator estimator(db, membership,
+                                       pw::OrderMode::kInsensitive);
+  const core::DeltaBounds bounds = estimator.Estimate(1, 4);
+  EXPECT_GE(bounds.midpoint(), bounds.lower - 1e-12);
+  EXPECT_LE(bounds.midpoint(), bounds.upper + 1e-12);
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "pw/joint_component.h"
+#include "pw/possible_world.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+// Oracle for a component factor: direct summation over worlds.
+double OracleFactor(const model::Database& db,
+                    const std::vector<model::ObjectId>& members,
+                    const std::vector<pw::PairwiseConstraint>& constraints,
+                    const std::vector<model::InstanceId>& placed,
+                    model::Position pos) {
+  // Enumerate the component members' joint assignments directly.
+  double total = 0.0;
+  std::vector<model::InstanceId> iids(members.size(), 0);
+  std::function<void(size_t, double)> walk = [&](size_t depth, double p) {
+    if (depth == members.size()) {
+      for (const auto& c : constraints) {
+        int si = -1, li = -1;
+        for (size_t i = 0; i < members.size(); ++i) {
+          if (members[i] == c.smaller) si = static_cast<int>(i);
+          if (members[i] == c.larger) li = static_cast<int>(i);
+        }
+        const model::Position ps = db.PositionOf({c.smaller, iids[si]});
+        const model::Position pl = db.PositionOf({c.larger, iids[li]});
+        if (ps >= pl) return;
+      }
+      total += p;
+      return;
+    }
+    const auto& obj = db.object(members[depth]);
+    for (const auto& inst : obj.instances()) {
+      if (placed[depth] >= 0 && inst.iid != placed[depth]) continue;
+      if (placed[depth] < 0 &&
+          db.PositionOf({inst.oid, inst.iid}) <= pos) {
+        continue;
+      }
+      iids[depth] = inst.iid;
+      walk(depth + 1, p * inst.prob);
+    }
+  };
+  walk(0, 1.0);
+  return total;
+}
+
+TEST(JointComponent, FactorMatchesOracleOnPair) {
+  const model::Database db = testing::PaperExampleDb();
+  const std::vector<model::ObjectId> members = {0, 1};
+  const std::vector<pw::PairwiseConstraint> cons = {{1, 0}};  // o2 < o1
+  const pw::JointComponent comp(db, members, cons);
+  // Z = P(o2 < o1) = 0.16.
+  EXPECT_NEAR(comp.prob_constraints(), 0.16, 1e-12);
+  const double z = comp.prob_constraints();
+
+  for (model::Position pos = -1; pos < db.num_instances(); ++pos) {
+    // Both unplaced.
+    std::vector<model::InstanceId> none = {-1, -1};
+    EXPECT_NEAR(comp.Factor(none, pos),
+                OracleFactor(db, members, cons, none, pos) / z, 1e-12)
+        << "pos=" << pos;
+    // First member placed at each of its instances.
+    for (model::InstanceId i = 0; i < db.object(0).num_instances(); ++i) {
+      std::vector<model::InstanceId> placed = {i, -1};
+      EXPECT_NEAR(comp.Factor(placed, pos),
+                  OracleFactor(db, members, cons, placed, pos) / z, 1e-12)
+          << "pos=" << pos << " iid=" << i;
+    }
+  }
+}
+
+TEST(JointComponent, ChainOfThreeMatchesOracle) {
+  const model::Database db = testing::RandomDb(4, 3, 5);
+  const std::vector<model::ObjectId> members = {0, 1, 2};
+  const std::vector<pw::PairwiseConstraint> cons = {{0, 1}, {1, 2}};
+  const pw::JointComponent comp(db, members, cons);
+  const double z = comp.prob_constraints();
+  if (z <= 0.0) GTEST_SKIP() << "constraints unsatisfiable on this seed";
+  for (model::Position pos = -1; pos < db.num_instances(); pos += 2) {
+    std::vector<model::InstanceId> none = {-1, -1, -1};
+    EXPECT_NEAR(comp.Factor(none, pos),
+                OracleFactor(db, members, cons, none, pos) / z, 1e-12);
+    std::vector<model::InstanceId> mid = {-1, 0, -1};
+    EXPECT_NEAR(comp.Factor(mid, pos),
+                OracleFactor(db, members, cons, mid, pos) / z, 1e-12);
+  }
+}
+
+TEST(JointComponent, ContradictionGivesZeroZ) {
+  const model::Database db = testing::PaperExampleDb();
+  const pw::JointComponent comp(db, {0, 1},
+                                {{0, 1}, {1, 0}});  // both directions
+  EXPECT_DOUBLE_EQ(comp.prob_constraints(), 0.0);
+}
+
+TEST(JointComponent, MemberIndexLookup) {
+  const model::Database db = testing::PaperExampleDb();
+  const pw::JointComponent comp(db, {0, 2}, {{2, 0}});
+  EXPECT_EQ(comp.MemberIndex(0), 0);
+  EXPECT_EQ(comp.MemberIndex(2), 1);
+  EXPECT_EQ(comp.MemberIndex(1), -1);
+  EXPECT_EQ(comp.size(), 2);
+}
+
+TEST(JointComponent, RootFactorIsOne) {
+  // Factor(nothing placed, pos = -1) must be Z/Z = 1 for any satisfiable
+  // constraint set.
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const model::Database db = testing::RandomDb(3, 3, seed);
+    const pw::JointComponent comp(db, {0, 1}, {{0, 1}});
+    if (comp.prob_constraints() <= 0.0) continue;
+    const std::vector<model::InstanceId> none = {-1, -1};
+    EXPECT_NEAR(comp.Factor(none, -1), 1.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "pw/possible_world.h"
+#include "rank/membership.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+// Oracle: PT_k(i) by exhaustive world enumeration.
+double OraclePT(const model::Database& db, int k, model::InstanceRef ref) {
+  pw::ExactEngine engine(db);
+  double total = 0.0;
+  const util::Status s = engine.ForEachWorld(
+      [&](std::span<const model::InstanceId> iids, double p) {
+        if (iids[ref.oid] != ref.iid) return;
+        const pw::ResultKey top = pw::WorldTopK(db, iids, k);
+        for (model::ObjectId o : top) {
+          if (o == ref.oid) {
+            total += p;
+            return;
+          }
+        }
+      });
+  EXPECT_TRUE(s.ok());
+  return total;
+}
+
+// Oracle joint memberships for a pair of instances.
+struct OraclePair {
+  double both = 0.0;
+  double neither = 0.0;
+};
+OraclePair OraclePairMembership(const model::Database& db, int k,
+                                model::InstanceRef a, model::InstanceRef b) {
+  pw::ExactEngine engine(db);
+  OraclePair out;
+  const util::Status s = engine.ForEachWorld(
+      [&](std::span<const model::InstanceId> iids, double p) {
+        if (iids[a.oid] != a.iid || iids[b.oid] != b.iid) return;
+        const pw::ResultKey top = pw::WorldTopK(db, iids, k);
+        bool has_a = false, has_b = false;
+        for (model::ObjectId o : top) {
+          has_a |= (o == a.oid);
+          has_b |= (o == b.oid);
+        }
+        if (has_a && has_b) out.both += p;
+        if (!has_a && !has_b) out.neither += p;
+      });
+  EXPECT_TRUE(s.ok());
+  return out;
+}
+
+class MembershipSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MembershipSweep, SingleMembershipMatchesOracle) {
+  const model::Database db = testing::RandomDb(6, 4, GetParam());
+  for (int k = 1; k <= db.num_objects(); ++k) {
+    rank::MembershipCalculator calc(db, k);
+    for (const auto& obj : db.objects()) {
+      double object_total = 0.0;
+      for (const auto& inst : obj.instances()) {
+        const double expected = OraclePT(db, k, {inst.oid, inst.iid});
+        EXPECT_NEAR(calc.TopKProbability({inst.oid, inst.iid}), expected,
+                    1e-9)
+            << "k=" << k << " oid=" << inst.oid << " iid=" << inst.iid;
+        object_total += expected;
+      }
+      EXPECT_NEAR(calc.ObjectTopKProbability(obj.id()), object_total, 1e-9);
+    }
+  }
+}
+
+TEST_P(MembershipSweep, PairTablesMatchOracle) {
+  const model::Database db = testing::RandomDb(5, 3, GetParam());
+  for (int k = 1; k <= 4; ++k) {
+    rank::MembershipCalculator calc(db, k);
+    for (model::ObjectId o1 = 0; o1 < db.num_objects(); ++o1) {
+      for (model::ObjectId o2 = o1 + 1; o2 < db.num_objects(); ++o2) {
+        const auto tables = calc.ComputePairTables(o1, o2);
+        for (const auto& i1 : db.object(o1).instances()) {
+          for (const auto& i2 : db.object(o2).instances()) {
+            const OraclePair expected = OraclePairMembership(
+                db, k, {i1.oid, i1.iid}, {i2.oid, i2.iid});
+            EXPECT_NEAR(tables.pt[i1.iid][i2.iid], expected.both, 1e-9)
+                << "k=" << k << " (" << o1 << "," << o2 << ") iids ("
+                << i1.iid << "," << i2.iid << ")";
+            EXPECT_NEAR(tables.npt[i1.iid][i2.iid], expected.neither, 1e-9)
+                << "k=" << k << " (" << o1 << "," << o2 << ") iids ("
+                << i1.iid << "," << i2.iid << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, MembershipSweep,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+TEST(Membership, ConditionalPairNormalization) {
+  const model::Database db = testing::RandomDb(6, 3, 77);
+  rank::MembershipCalculator calc(db, 3);
+  const auto tables = calc.ComputePairTables(0, 1);
+  for (const auto& i1 : db.object(0).instances()) {
+    for (const auto& i2 : db.object(1).instances()) {
+      const auto cond = calc.ConditionalPairMembership({0, i1.iid},
+                                                       {1, i2.iid});
+      EXPECT_NEAR(cond.both * i1.prob * i2.prob,
+                  tables.pt[i1.iid][i2.iid], 1e-9);
+      EXPECT_NEAR(cond.neither * i1.prob * i2.prob,
+                  tables.npt[i1.iid][i2.iid], 1e-9);
+    }
+  }
+}
+
+TEST(Membership, SameObjectConditionalIsZero) {
+  const model::Database db = testing::PaperExampleDb();
+  rank::MembershipCalculator calc(db, 2);
+  const auto cond = calc.ConditionalPairMembership({0, 0}, {0, 1});
+  EXPECT_EQ(cond.both, 0.0);
+  EXPECT_EQ(cond.neither, 0.0);
+}
+
+TEST(Membership, KClampedToObjectCount) {
+  const model::Database db = testing::PaperExampleDb();
+  rank::MembershipCalculator calc(db, 50);
+  EXPECT_EQ(calc.k(), 3);
+  // Every object is certainly in the top-3 of 3 objects.
+  for (const auto& obj : db.objects()) {
+    EXPECT_NEAR(calc.ObjectTopKProbability(obj.id()), 1.0, 1e-12);
+  }
+}
+
+TEST(Membership, TopOneProbabilitiesSumToOne) {
+  for (uint64_t seed = 40; seed < 44; ++seed) {
+    const model::Database db = testing::RandomDb(8, 4, seed);
+    rank::MembershipCalculator calc(db, 1);
+    double total = 0.0;
+    for (const auto& obj : db.objects()) {
+      total += calc.ObjectTopKProbability(obj.id());
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace ptk

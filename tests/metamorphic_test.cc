@@ -1,0 +1,188 @@
+// Metamorphic properties: transformations of the input database with
+// provably known effects on every output. These catch bugs that
+// fixed-oracle tests cannot, because they assert invariances of the whole
+// pipeline rather than specific values.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include "core/bound_selector.h"
+#include "core/quality.h"
+#include "rank/membership.h"
+#include "rank/pairwise_prob.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+// Applies a strictly increasing value transform to every instance.
+model::Database Transformed(const model::Database& db,
+                            double (*f)(double)) {
+  model::Database out;
+  for (const auto& obj : db.objects()) {
+    std::vector<std::pair<double, double>> pairs;
+    for (const auto& inst : obj.instances()) {
+      pairs.emplace_back(f(inst.value), inst.prob);
+    }
+    out.AddObject(std::move(pairs), obj.label());
+  }
+  const util::Status s = out.Finalize();
+  EXPECT_TRUE(s.ok());
+  return out;
+}
+
+double Affine(double v) { return 3.0 * v + 17.0; }
+double Exponentialish(double v) { return std::exp(v / 50.0); }
+
+class MetamorphicSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(MetamorphicSweep, MonotoneValueTransformPreservesEverything) {
+  // Ranking semantics only compare values, so any strictly increasing
+  // transform leaves all probabilities, entropies, and selections intact.
+  const model::Database db = testing::RandomDb(8, 3, GetParam());
+  for (double (*f)(double) : {&Affine, &Exponentialish}) {
+    const model::Database tdb = Transformed(db, f);
+
+    // Pairwise probabilities.
+    for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+      for (model::ObjectId b = a + 1; b < db.num_objects(); ++b) {
+        EXPECT_NEAR(rank::ProbGreater(db.object(a), db.object(b)),
+                    rank::ProbGreater(tdb.object(a), tdb.object(b)),
+                    1e-12);
+      }
+    }
+    // Quality and top-k distribution.
+    const core::QualityEvaluator ev(db, 3, pw::OrderMode::kInsensitive);
+    const core::QualityEvaluator tev(tdb, 3, pw::OrderMode::kInsensitive);
+    pw::TopKDistribution dist, tdist;
+    ASSERT_TRUE(ev.Distribution(nullptr, &dist).ok());
+    ASSERT_TRUE(tev.Distribution(nullptr, &tdist).ok());
+    ASSERT_EQ(dist.size(), tdist.size());
+    for (const auto& [key, p] : dist.entries()) {
+      EXPECT_NEAR(tdist.ProbOf(key), p, 1e-12);
+    }
+    // Membership probabilities.
+    rank::MembershipCalculator mem(db, 3), tmem(tdb, 3);
+    for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+      EXPECT_NEAR(mem.ObjectTopKProbability(o),
+                  tmem.ObjectTopKProbability(o), 1e-9);
+    }
+    // The selected pair (EI estimates are value-free too).
+    core::SelectorOptions opts;
+    opts.k = 3;
+    opts.fanout = 3;
+    core::BoundSelector sel(db, opts, core::BoundSelector::Mode::kBasic);
+    core::BoundSelector tsel(tdb, opts, core::BoundSelector::Mode::kBasic);
+    std::vector<core::ScoredPair> best, tbest;
+    ASSERT_TRUE(sel.SelectPairs(1, &best).ok());
+    ASSERT_TRUE(tsel.SelectPairs(1, &tbest).ok());
+    EXPECT_NEAR(best[0].ei_estimate, tbest[0].ei_estimate, 1e-9);
+  }
+}
+
+// A random database with globally distinct values: relabeling invariance
+// requires tie-freedom, because cross-object value ties break by object id
+// *by design* (the documented deterministic total order).
+model::Database TieFreeRandomDb(int m, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> grid;
+  for (int i = 0; i < 100; ++i) grid.push_back(i * 1.25);
+  std::shuffle(grid.begin(), grid.end(), rng.engine());
+  model::Database db;
+  size_t next = 0;
+  for (int o = 0; o < m; ++o) {
+    const int count = static_cast<int>(rng.UniformInt(1, 3));
+    std::vector<std::pair<double, double>> pairs;
+    double total = 0.0;
+    for (int i = 0; i < count; ++i) {
+      const double w = rng.Uniform(0.1, 1.0);
+      pairs.emplace_back(grid[next++], w);
+      total += w;
+    }
+    for (auto& [_, p] : pairs) p /= total;
+    db.AddObject(std::move(pairs));
+  }
+  const util::Status s = db.Finalize();
+  EXPECT_TRUE(s.ok());
+  return db;
+}
+
+TEST_P(MetamorphicSweep, ObjectRelabelingMapsThrough) {
+  // Reversing the object order relabels ids; every probability must map
+  // through the permutation (requires globally distinct values — with
+  // ties, the id-based tie-break makes relabeling observable by design).
+  const model::Database db = TieFreeRandomDb(7, GetParam() + 500);
+  model::Database rdb;
+  const int m = db.num_objects();
+  for (model::ObjectId o = m - 1; o >= 0; --o) {
+    std::vector<std::pair<double, double>> pairs;
+    for (const auto& inst : db.object(o).instances()) {
+      pairs.emplace_back(inst.value, inst.prob);
+    }
+    rdb.AddObject(std::move(pairs));
+  }
+  ASSERT_TRUE(rdb.Finalize().ok());
+  const auto map = [m](model::ObjectId o) { return m - 1 - o; };
+
+  for (model::ObjectId a = 0; a < m; ++a) {
+    for (model::ObjectId b = 0; b < m; ++b) {
+      if (a == b) continue;
+      EXPECT_NEAR(rank::ProbGreater(db.object(a), db.object(b)),
+                  rank::ProbGreater(rdb.object(map(a)), rdb.object(map(b))),
+                  1e-12);
+    }
+  }
+  const core::QualityEvaluator ev(db, 2, pw::OrderMode::kInsensitive);
+  const core::QualityEvaluator rev(rdb, 2, pw::OrderMode::kInsensitive);
+  pw::TopKDistribution dist, rdist;
+  ASSERT_TRUE(ev.Distribution(nullptr, &dist).ok());
+  ASSERT_TRUE(rev.Distribution(nullptr, &rdist).ok());
+  for (const auto& [key, p] : dist.entries()) {
+    pw::ResultKey mapped;
+    for (model::ObjectId o : key) mapped.push_back(map(o));
+    std::sort(mapped.begin(), mapped.end());
+    EXPECT_NEAR(rdist.ProbOf(mapped), p, 1e-12);
+  }
+  EXPECT_NEAR(dist.Entropy(), rdist.Entropy(), 1e-12);
+}
+
+TEST_P(MetamorphicSweep, IrrelevantObjectChangesNothing) {
+  // An object whose every instance ranks below all existing instances can
+  // never enter the top-k: the top-k distribution over the original
+  // objects is unchanged, and its membership probability is zero.
+  const model::Database db = testing::RandomDb(6, 3, GetParam() + 900);
+  model::Database xdb;
+  for (const auto& obj : db.objects()) {
+    std::vector<std::pair<double, double>> pairs;
+    for (const auto& inst : obj.instances()) {
+      pairs.emplace_back(inst.value, inst.prob);
+    }
+    xdb.AddObject(std::move(pairs));
+  }
+  const double far = db.sorted_instances().back().value + 100.0;
+  const model::ObjectId extra =
+      xdb.AddObject({{far, 0.5}, {far + 1.0, 0.5}});
+  ASSERT_TRUE(xdb.Finalize().ok());
+
+  for (const int k : {1, 3}) {
+    const core::QualityEvaluator ev(db, k, pw::OrderMode::kInsensitive);
+    const core::QualityEvaluator xev(xdb, k, pw::OrderMode::kInsensitive);
+    pw::TopKDistribution dist, xdist;
+    ASSERT_TRUE(ev.Distribution(nullptr, &dist).ok());
+    ASSERT_TRUE(xev.Distribution(nullptr, &xdist).ok());
+    ASSERT_EQ(dist.size(), xdist.size());
+    for (const auto& [key, p] : dist.entries()) {
+      EXPECT_NEAR(xdist.ProbOf(key), p, 1e-12);
+    }
+    rank::MembershipCalculator membership(xdb, k);
+    EXPECT_NEAR(membership.ObjectTopKProbability(extra), 0.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, MetamorphicSweep,
+                         ::testing::Range(uint64_t{0}, uint64_t{8}));
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "model/database.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+TEST(UncertainObject, SortsInstancesAndAssignsIds) {
+  model::Database db;
+  const model::ObjectId oid = db.AddObject({{5.0, 0.3}, {1.0, 0.5}, {3.0, 0.2}});
+  ASSERT_TRUE(db.Finalize().ok());
+  const auto& obj = db.object(oid);
+  ASSERT_EQ(obj.num_instances(), 3);
+  EXPECT_DOUBLE_EQ(obj.instance(0).value, 1.0);
+  EXPECT_DOUBLE_EQ(obj.instance(1).value, 3.0);
+  EXPECT_DOUBLE_EQ(obj.instance(2).value, 5.0);
+  EXPECT_EQ(obj.instance(1).iid, 1);
+  EXPECT_EQ(obj.instance(1).oid, oid);
+  EXPECT_NEAR(obj.TotalProb(), 1.0, 1e-12);
+  EXPECT_NEAR(obj.ExpectedValue(), 1.0 * 0.5 + 3.0 * 0.2 + 5.0 * 0.3, 1e-12);
+}
+
+TEST(Database, ValidationRejectsBadInput) {
+  {
+    model::Database db;
+    EXPECT_FALSE(db.Finalize().ok());  // empty database
+  }
+  {
+    model::Database db;
+    db.AddObject({{1.0, 0.5}, {2.0, 0.3}});  // sums to 0.8
+    EXPECT_FALSE(db.Finalize().ok());
+  }
+  {
+    model::Database db;
+    db.AddObject({{1.0, 0.5}, {1.0, 0.5}});  // duplicate value in object
+    EXPECT_FALSE(db.Finalize().ok());
+  }
+  {
+    model::Database db;
+    db.AddObject({{1.0, -0.2}, {2.0, 1.2}});  // negative probability
+    EXPECT_FALSE(db.Finalize().ok());
+  }
+  {
+    model::Database db;
+    db.AddObject({});  // no instances
+    EXPECT_FALSE(db.Finalize().ok());
+  }
+}
+
+TEST(Database, RenormalizesWithinTolerance) {
+  model::Database db;
+  db.AddObject({{1.0, 0.5 + 1e-8}, {2.0, 0.5}});
+  ASSERT_TRUE(db.Finalize().ok());
+  EXPECT_DOUBLE_EQ(db.object(0).TotalProb(), 1.0);
+}
+
+TEST(Database, SortedIndexAndPositions) {
+  const model::Database db = testing::PaperExampleDb();
+  ASSERT_EQ(db.num_instances(), 6);
+  const auto& sorted = db.sorted_instances();
+  for (int i = 1; i < db.num_instances(); ++i) {
+    EXPECT_TRUE(model::InstanceLess(sorted[i - 1], sorted[i]));
+  }
+  // Global order: i11(20) < i21(21) < i31(22) < i12(23) < i22(24) < i32(25).
+  EXPECT_EQ(db.PositionOf({0, 0}), 0);
+  EXPECT_EQ(db.PositionOf({1, 0}), 1);
+  EXPECT_EQ(db.PositionOf({2, 0}), 2);
+  EXPECT_EQ(db.PositionOf({0, 1}), 3);
+  EXPECT_EQ(db.PositionOf({1, 1}), 4);
+  EXPECT_EQ(db.PositionOf({2, 1}), 5);
+}
+
+TEST(Database, MassBeyondAndBefore) {
+  const model::Database db = testing::PaperExampleDb();
+  // Object o3 = {22: 0.6 at pos 2, 25: 0.4 at pos 5}.
+  EXPECT_DOUBLE_EQ(db.MassBeyond(2, -1), 1.0);
+  EXPECT_DOUBLE_EQ(db.MassBeyond(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(db.MassBeyond(2, 2), 0.4);
+  EXPECT_DOUBLE_EQ(db.MassBeyond(2, 4), 0.4);
+  EXPECT_DOUBLE_EQ(db.MassBeyond(2, 5), 0.0);
+  EXPECT_DOUBLE_EQ(db.MassBefore(2, 0), 0.0);
+  EXPECT_DOUBLE_EQ(db.MassBefore(2, 3), 0.6);
+  EXPECT_DOUBLE_EQ(db.MassBefore(2, 5), 0.6);
+  EXPECT_DOUBLE_EQ(db.MassBefore(2, 6), 1.0);
+}
+
+TEST(UncertainObject, MassQueriesAgainstInstances) {
+  const model::Database db = testing::PaperExampleDb();
+  const auto& o1 = db.object(0);
+  const model::Instance& i22 = db.object(1).instance(1);  // value 24
+  EXPECT_DOUBLE_EQ(o1.MassLess(i22), 1.0);   // both 20 and 23 below 24
+  EXPECT_DOUBLE_EQ(o1.MassGreater(i22), 0.0);
+  const model::Instance& i31 = db.object(2).instance(0);  // value 22
+  EXPECT_DOUBLE_EQ(o1.MassLess(i31), 0.2);
+  EXPECT_DOUBLE_EQ(o1.MassGreater(i31), 0.8);
+  EXPECT_DOUBLE_EQ(o1.MassValueBelow(23.0), 0.2);
+  EXPECT_DOUBLE_EQ(o1.MassValueAbove(23.0), 0.0);
+  EXPECT_DOUBLE_EQ(o1.MassValueAbove(22.9), 0.8);
+}
+
+TEST(Instance, TotalOrderBreaksTies) {
+  const model::Instance a{0, 0, 5.0, 0.5};
+  const model::Instance b{1, 0, 5.0, 0.5};
+  const model::Instance c{1, 1, 5.0, 0.5};
+  EXPECT_TRUE(model::InstanceLess(a, b));
+  EXPECT_TRUE(model::InstanceLess(b, c));
+  EXPECT_TRUE(model::InstanceLess(a, c));
+  EXPECT_FALSE(model::InstanceLess(b, a));
+  EXPECT_TRUE(model::InstanceGreater(c, a));
+}
+
+}  // namespace
+}  // namespace ptk

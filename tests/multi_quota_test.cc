@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <span>
+
+#include "core/multi_quota.h"
+#include "core/quality.h"
+#include "pw/possible_world.h"
+#include "rank/pairwise_prob.h"
+#include "test_util.h"
+#include "util/entropy.h"
+
+namespace ptk {
+namespace {
+
+// Oracle H(A(P_n)): enumerate worlds, collect outcome-pattern
+// probabilities directly.
+double OraclePairEventsEntropy(
+    const model::Database& db,
+    const std::vector<std::pair<model::ObjectId, model::ObjectId>>& pairs) {
+  pw::ExactEngine engine(db);
+  std::map<uint64_t, double> pattern;
+  const util::Status s = engine.ForEachWorld(
+      [&](std::span<const model::InstanceId> iids, double p) {
+        uint64_t mask = 0;
+        for (size_t b = 0; b < pairs.size(); ++b) {
+          const auto pos = [&](model::ObjectId o) {
+            return db.PositionOf({o, iids[o]});
+          };
+          if (pos(pairs[b].first) > pos(pairs[b].second)) {
+            mask |= uint64_t{1} << b;
+          }
+        }
+        pattern[mask] += p;
+      });
+  EXPECT_TRUE(s.ok());
+  double h = 0.0;
+  for (const auto& [_, p] : pattern) h += util::EntropyTerm(p);
+  return h;
+}
+
+class PairEventsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairEventsSweep, MatchesOracleOnOverlappingPairs) {
+  const model::Database db = testing::RandomDb(6, 3, GetParam());
+  const std::vector<std::vector<std::pair<model::ObjectId, model::ObjectId>>>
+      cases = {
+          {{0, 1}},                          // single pair
+          {{0, 1}, {2, 3}},                  // independent pairs
+          {{0, 1}, {1, 2}},                  // chain sharing object 1
+          {{0, 1}, {1, 2}, {2, 0}},          // triangle
+          {{0, 1}, {1, 2}, {3, 4}, {4, 5}},  // two chains
+      };
+  for (const auto& pairs : cases) {
+    const double fast = core::PairEventsEntropy(db, pairs);
+    const double oracle = OraclePairEventsEntropy(db, pairs);
+    EXPECT_NEAR(fast, oracle, 1e-9) << "case size " << pairs.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, PairEventsSweep,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+TEST(PairEventsEntropy, IndependenceDecomposition) {
+  const model::Database db = testing::RandomDb(8, 3, 50);
+  // Disjoint pairs: joint entropy is the sum of individual entropies.
+  const std::vector<std::pair<model::ObjectId, model::ObjectId>> joint = {
+      {0, 1}, {2, 3}, {4, 5}};
+  double sum = 0.0;
+  for (const auto& p : joint) {
+    sum += core::PairEventsEntropy(db, {p});
+  }
+  EXPECT_NEAR(core::PairEventsEntropy(db, joint), sum, 1e-9);
+}
+
+TEST(PairEventsEntropy, AssignmentLimitReturnsNegative) {
+  const model::Database db = testing::RandomDb(6, 4, 51);
+  const std::vector<std::pair<model::ObjectId, model::ObjectId>> pairs = {
+      {0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}};
+  EXPECT_LT(core::PairEventsEntropy(db, pairs, /*assignment_limit=*/8), 0.0);
+}
+
+core::SelectorOptions MultiOptions() {
+  core::SelectorOptions opts;
+  opts.k = 3;
+  opts.fanout = 3;
+  opts.candidate_pool = 12;
+  return opts;
+}
+
+TEST(Hrs2, SelectsRequestedQuotaOfDistinctPairs) {
+  const model::Database db = testing::RandomDb(12, 3, 60);
+  core::Hrs2Selector selector(db, MultiOptions());
+  std::vector<core::ScoredPair> pairs;
+  ASSERT_TRUE(selector.SelectPairs(4, &pairs).ok());
+  ASSERT_EQ(pairs.size(), 4u);
+  std::set<std::pair<model::ObjectId, model::ObjectId>> unique;
+  for (const auto& p : pairs) unique.insert(std::minmax(p.a, p.b));
+  EXPECT_EQ(unique.size(), 4u);
+}
+
+TEST(Hrs2, AtLeastAsGoodAsHrs1InExpectedImprovement) {
+  // Evaluate both heuristics' batches with the exact expected quality
+  // (outcome probabilities = the data's own pairwise probabilities). HRS2
+  // optimizes the joint objective, so it should not lose by more than the
+  // estimate slack.
+  const model::Database db = testing::RandomDb(9, 3, 61);
+  const core::SelectorOptions opts = MultiOptions();
+  const int quota = 3;
+
+  core::Hrs1Selector hrs1(db, opts);
+  core::Hrs2Selector hrs2(db, opts);
+  std::vector<core::ScoredPair> p1, p2;
+  ASSERT_TRUE(hrs1.SelectPairs(quota, &p1).ok());
+  ASSERT_TRUE(hrs2.SelectPairs(quota, &p2).ok());
+  ASSERT_EQ(p1.size(), static_cast<size_t>(quota));
+  ASSERT_EQ(p2.size(), static_cast<size_t>(quota));
+
+  const core::QualityEvaluator evaluator(db, opts.k,
+                                         pw::OrderMode::kInsensitive);
+  const auto eval = [&](const std::vector<core::ScoredPair>& sel) {
+    std::vector<std::pair<model::ObjectId, model::ObjectId>> pairs;
+    for (const auto& p : sel) pairs.push_back({p.a, p.b});
+    double ei = 0.0;
+    const auto prob = [&](model::ObjectId x, model::ObjectId y) {
+      return rank::ProbGreater(db.object(x), db.object(y));
+    };
+    EXPECT_TRUE(
+        evaluator.ExpectedQualityUnderCrowd(pairs, prob, nullptr, &ei).ok());
+    return ei;
+  };
+  const double ei1 = eval(p1);
+  const double ei2 = eval(p2);
+  EXPECT_GE(ei2, ei1 - 0.05) << "HRS2 should track or beat HRS1";
+}
+
+TEST(Hrs1, MatchesBoundSelectorTopT) {
+  const model::Database db = testing::RandomDb(10, 3, 62);
+  const core::SelectorOptions opts = MultiOptions();
+  core::Hrs1Selector hrs1(db, opts);
+  core::BoundSelector opt(db, opts, core::BoundSelector::Mode::kOptimized);
+  std::vector<core::ScoredPair> a, b;
+  ASSERT_TRUE(hrs1.SelectPairs(3, &a).ok());
+  ASSERT_TRUE(opt.SelectPairs(3, &b).ok());
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(a[i].ei_estimate, b[i].ei_estimate, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace ptk

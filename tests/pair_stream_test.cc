@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <set>
+
+#include "pbtree/pair_stream.h"
+#include "rank/membership.h"
+#include "rank/pairwise_prob.h"
+#include "test_util.h"
+#include "util/entropy.h"
+
+namespace ptk {
+namespace {
+
+class PairStreamSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PairStreamSweep, EmitsAllPairsInDescendingHOrder) {
+  const model::Database db = testing::RandomDb(18, 4, GetParam());
+  pbtree::PBTree::Options opts;
+  opts.fanout = 3;
+  const pbtree::PBTree tree(db, opts);
+  ASSERT_TRUE(tree.Validate().ok());
+  const pbtree::HEntropyScorer scorer(db);
+  pbtree::PairStream stream(tree, scorer);
+
+  std::set<std::pair<model::ObjectId, model::ObjectId>> seen;
+  double last = std::numeric_limits<double>::infinity();
+  while (auto pair = stream.Next()) {
+    EXPECT_LE(pair->score, last + 1e-9)
+        << "pair stream emitted out of order";
+    last = pair->score;
+    const auto key = std::minmax(pair->a, pair->b);
+    EXPECT_TRUE(seen.insert({key.first, key.second}).second)
+        << "duplicate pair (" << pair->a << "," << pair->b << ")";
+    // Score is the exact H(A(P_1)).
+    const double h = util::BinaryEntropy(
+        rank::ProbGreater(db.object(pair->a), db.object(pair->b)));
+    EXPECT_NEAR(pair->score, h, 1e-12);
+  }
+  const size_t m = db.num_objects();
+  EXPECT_EQ(seen.size(), m * (m - 1) / 2);
+}
+
+TEST_P(PairStreamSweep, EIScorerUpperBoundsHoldForEmittedPairs) {
+  const model::Database db = testing::RandomDb(14, 3, GetParam() + 300);
+  pbtree::PBTree::Options opts;
+  opts.fanout = 3;
+  const pbtree::PBTree tree(db, opts);
+  rank::MembershipCalculator membership(db, 3);
+  const pbtree::EIScorer scorer(db, membership, pw::OrderMode::kInsensitive);
+  pbtree::PairStream stream(tree, scorer);
+  // The stream must still cover every pair exactly once with EI scoring.
+  size_t count = 0;
+  while (auto pair = stream.Next()) {
+    ++count;
+  }
+  const size_t m = db.num_objects();
+  EXPECT_EQ(count, m * (m - 1) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, PairStreamSweep,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+TEST(PairStream, RemainingUpperBoundIsAdmissible) {
+  const model::Database db = testing::RandomDb(12, 3, 42);
+  pbtree::PBTree::Options opts;
+  opts.fanout = 3;
+  const pbtree::PBTree tree(db, opts);
+  const pbtree::HEntropyScorer scorer(db);
+  pbtree::PairStream stream(tree, scorer);
+  std::vector<double> scores;
+  std::vector<double> uppers;
+  while (true) {
+    uppers.push_back(stream.RemainingUpperBound());
+    auto pair = stream.Next();
+    if (!pair) break;
+    scores.push_back(pair->score);
+  }
+  // Before each emission the remaining upper bound covers the next score.
+  for (size_t i = 0; i < scores.size(); ++i) {
+    EXPECT_GE(uppers[i] + 1e-9, scores[i]);
+  }
+}
+
+TEST(PairStream, StatsCountWork) {
+  const model::Database db = testing::RandomDb(16, 3, 8);
+  pbtree::PBTree::Options opts;
+  opts.fanout = 4;
+  const pbtree::PBTree tree(db, opts);
+  const pbtree::HEntropyScorer scorer(db);
+  pbtree::PairStream stream(tree, scorer);
+  // Drain only the first pair: far fewer object pairs should be scored
+  // than the full quadratic space if the index prunes anything at all.
+  ASSERT_TRUE(stream.Next().has_value());
+  EXPECT_GT(stream.stats().node_pairs_expanded, 0);
+  EXPECT_GE(stream.stats().object_pairs_scored, 1);
+  EXPECT_EQ(stream.stats().object_pairs_emitted, 1);
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "pw/possible_world.h"
+#include "rank/pairwise_prob.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+// Brute-force P(x > y) over the instance cross product.
+double BruteForceProbGreater(const model::UncertainObject& x,
+                             const model::UncertainObject& y) {
+  double total = 0.0;
+  for (const auto& ix : x.instances()) {
+    for (const auto& iy : y.instances()) {
+      if (model::InstanceGreater(ix, iy)) total += ix.prob * iy.prob;
+    }
+  }
+  return total;
+}
+
+TEST(PairwiseProb, MatchesBruteForceOnRandomData) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const model::Database db = testing::RandomDb(6, 5, seed);
+    for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+      for (model::ObjectId b = 0; b < db.num_objects(); ++b) {
+        if (a == b) continue;
+        EXPECT_NEAR(rank::ProbGreater(db.object(a), db.object(b)),
+                    BruteForceProbGreater(db.object(a), db.object(b)), 1e-12)
+            << "seed=" << seed << " a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST(PairwiseProb, Complementarity) {
+  for (uint64_t seed = 100; seed < 110; ++seed) {
+    const model::Database db = testing::RandomDb(5, 4, seed);
+    for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+      for (model::ObjectId b = a + 1; b < db.num_objects(); ++b) {
+        const double ab = rank::ProbGreater(db.object(a), db.object(b));
+        const double ba = rank::ProbGreater(db.object(b), db.object(a));
+        EXPECT_NEAR(ab + ba, 1.0, 1e-12);
+      }
+    }
+  }
+}
+
+TEST(PairwiseProb, AgreesWithWorldEnumeration) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::ExactEngine engine(db);
+  double p21 = 0.0;  // P(o2 > o1) summed over worlds
+  ASSERT_TRUE(
+      engine
+          .ForEachWorld([&](std::span<const model::InstanceId> iids,
+                            double p) {
+            if (db.PositionOf({1, iids[1]}) > db.PositionOf({0, iids[0]})) {
+              p21 += p;
+            }
+          })
+          .ok());
+  EXPECT_NEAR(rank::ProbGreater(db.object(1), db.object(0)), p21, 1e-12);
+}
+
+TEST(PairwiseProbValues, TiePolicies) {
+  // x = {5: 1.0}, y = {5: 0.4, 7: 0.6}. With ties winning, P(x > y) counts
+  // the value-5 collision (0.4); with ties losing it does not.
+  const std::vector<model::Instance> x = {{0, 0, 5.0, 1.0}};
+  const std::vector<model::Instance> y = {{1, 0, 5.0, 0.4}, {1, 1, 7.0, 0.6}};
+  EXPECT_DOUBLE_EQ(
+      rank::ProbGreaterValues(x, y, rank::TiePolicy::kTiesWin), 0.4);
+  EXPECT_DOUBLE_EQ(
+      rank::ProbGreaterValues(x, y, rank::TiePolicy::kTiesLose), 0.0);
+}
+
+TEST(PairwiseProbValues, MatchesExactWhenNoTies) {
+  for (uint64_t seed = 200; seed < 210; ++seed) {
+    const model::Database db = testing::RandomDb(4, 4, seed);
+    for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+      for (model::ObjectId b = 0; b < db.num_objects(); ++b) {
+        if (a == b) continue;
+        const double exact = rank::ProbGreater(db.object(a), db.object(b));
+        const double win = rank::ProbGreaterValues(
+            db.object(a).instances(), db.object(b).instances(),
+            rank::TiePolicy::kTiesWin);
+        const double lose = rank::ProbGreaterValues(
+            db.object(a).instances(), db.object(b).instances(),
+            rank::TiePolicy::kTiesLose);
+        // Value collisions across objects are possible in RandomDb; the
+        // policies must bracket the tie-broken exact value.
+        EXPECT_LE(lose, exact + 1e-12);
+        EXPECT_GE(win, exact - 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,125 @@
+// Reproduces every number the paper derives from its running example
+// (Fig. 1, Tables 1 and the Section 3 walk-through). These are the
+// strongest end-to-end anchors we have: they pin the possible-world
+// semantics, the quality metric, the conditioning rule, and the expected
+// improvement definition to the published values.
+
+#include <gtest/gtest.h>
+
+#include "core/quality.h"
+#include "pw/constraint.h"
+#include "pw/possible_world.h"
+#include "pw/topk_enumerator.h"
+#include "rank/pairwise_prob.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+constexpr double kTol = 5e-4;  // the paper rounds to 2-3 decimals
+
+TEST(PaperExample, PossibleWorldProbabilities) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::ExactEngine engine(db);
+  EXPECT_EQ(engine.NumWorlds(), 8);
+  // Table 1, worlds in (i1x, i2x, i3x) odometer order:
+  // W1..W8 = .024 .016 .096 .064 .096 .064 .384 .256 — our enumeration
+  // order differs, so collect and compare as multisets.
+  std::vector<double> probs;
+  ASSERT_TRUE(engine
+                  .ForEachWorld([&](std::span<const model::InstanceId>,
+                                    double p) { probs.push_back(p); })
+                  .ok());
+  std::sort(probs.begin(), probs.end());
+  const std::vector<double> expected = {0.016, 0.024, 0.064, 0.064,
+                                        0.096, 0.096, 0.256, 0.384};
+  ASSERT_EQ(probs.size(), expected.size());
+  for (size_t i = 0; i < probs.size(); ++i) {
+    EXPECT_NEAR(probs[i], expected[i], 1e-12);
+  }
+}
+
+TEST(PaperExample, TopTwoSetProbabilities) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::ExactEngine engine(db);
+  pw::TopKDistribution dist;
+  ASSERT_TRUE(engine
+                  .TopKDistributionOf(2, pw::OrderMode::kInsensitive,
+                                      nullptr, &dist)
+                  .ok());
+  EXPECT_EQ(dist.size(), 3u);
+  EXPECT_NEAR(dist.ProbOf({0, 1}), 0.424, 1e-12);  // {o1, o2}
+  EXPECT_NEAR(dist.ProbOf({0, 2}), 0.48, 1e-12);   // {o1, o3}
+  EXPECT_NEAR(dist.ProbOf({1, 2}), 0.096, 1e-12);  // {o2, o3}
+  EXPECT_NEAR(dist.Entropy(), 0.941, kTol);        // H(S_2) of Section 3.2
+}
+
+TEST(PaperExample, PairwiseProbability) {
+  const model::Database db = testing::PaperExampleDb();
+  // Section 3.1: P(o2 > o1) = 0.84 and P(o1 > o2) = 0.16.
+  EXPECT_NEAR(rank::ProbGreater(db.object(1), db.object(0)), 0.84, 1e-12);
+  EXPECT_NEAR(rank::ProbGreater(db.object(0), db.object(1)), 0.16, 1e-12);
+}
+
+TEST(PaperExample, ConditionedQuality) {
+  const model::Database db = testing::PaperExampleDb();
+  core::QualityEvaluator evaluator(db, 2, pw::OrderMode::kInsensitive);
+
+  // Crowd returns o2 < o1: worlds W1-W4, W7, W8 die; W5, W6 renormalize to
+  // 0.6 / 0.4 and H becomes 0.673 (the paper rounds to 0.67).
+  pw::ConstraintSet o2_less;  // o2's value below o1's
+  o2_less.Add(1, 0);
+  double h = 0.0;
+  ASSERT_TRUE(evaluator.Quality(&o2_less, &h).ok());
+  EXPECT_NEAR(h, 0.673, 1e-3);
+
+  // The other outcome gives 0.683.
+  pw::ConstraintSet o1_less;
+  o1_less.Add(0, 1);
+  ASSERT_TRUE(evaluator.Quality(&o1_less, &h).ok());
+  EXPECT_NEAR(h, 0.683, 1e-3);
+}
+
+TEST(PaperExample, ExpectedImprovement) {
+  const model::Database db = testing::PaperExampleDb();
+  core::QualityEvaluator evaluator(db, 2, pw::OrderMode::kInsensitive);
+  // EI(S_2 | (o1, o2)) = 0.941 - (0.683*0.84 + 0.67*0.16) = 0.26.
+  double ei = 0.0;
+  ASSERT_TRUE(evaluator.ExactExpectedImprovement(0, 1, nullptr, &ei).ok());
+  EXPECT_NEAR(ei, 0.26, 1e-3);
+}
+
+TEST(PaperExample, CrowdsourcingO1O3RaisesConfidenceTo08) {
+  // Introduction: answering "o3 < o1" leaves only W5 and W7, raising
+  // P({o1, o3}) to 0.8.
+  const model::Database db = testing::PaperExampleDb();
+  pw::ConstraintSet cons;
+  cons.Add(2, 0);  // o3 below o1
+  pw::ExactEngine engine(db);
+  pw::TopKDistribution dist;
+  ASSERT_TRUE(
+      engine.TopKDistributionOf(2, pw::OrderMode::kInsensitive, &cons, &dist)
+          .ok());
+  EXPECT_NEAR(dist.ProbOf({0, 2}), 0.8, 1e-12);
+}
+
+TEST(PaperExample, EnumeratorMatchesExactEngine) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::TopKEnumerator enumerator(db);
+  pw::ExactEngine engine(db);
+  for (const pw::OrderMode order :
+       {pw::OrderMode::kInsensitive, pw::OrderMode::kSensitive}) {
+    for (int k = 1; k <= 3; ++k) {
+      pw::TopKDistribution fast, exact;
+      ASSERT_TRUE(enumerator.Enumerate(k, order, nullptr, {}, &fast).ok());
+      ASSERT_TRUE(engine.TopKDistributionOf(k, order, nullptr, &exact).ok());
+      ASSERT_EQ(fast.size(), exact.size());
+      for (const auto& [key, p] : exact.entries()) {
+        EXPECT_NEAR(fast.ProbOf(key), p, 1e-12);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,80 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include "data/synthetic.h"
+#include "pbtree/pbtree.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+class PBTreeSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PBTreeSweep, BulkLoadInvariants) {
+  const model::Database db = testing::RandomDb(40, 4, GetParam());
+  pbtree::PBTree::Options opts;
+  opts.fanout = 4;
+  const pbtree::PBTree tree(db, opts);
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+  EXPECT_GE(tree.height(), 2);
+}
+
+TEST_P(PBTreeSweep, IncrementalInsertInvariants) {
+  const model::Database db = testing::RandomDb(30, 4, GetParam() + 500);
+  pbtree::PBTree::Options opts;
+  opts.fanout = 4;
+  opts.bulk_load = false;
+  const pbtree::PBTree tree(db, opts);
+  EXPECT_TRUE(tree.Validate().ok()) << tree.Validate().ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, PBTreeSweep,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+TEST(PBTree, SingleObjectTree) {
+  model::Database db;
+  db.AddObject({{1.0, 0.4}, {2.0, 0.6}});
+  ASSERT_TRUE(db.Finalize().ok());
+  const pbtree::PBTree tree(db);
+  EXPECT_TRUE(tree.Validate().ok());
+  EXPECT_EQ(tree.height(), 1);
+  EXPECT_EQ(tree.num_nodes(), 1);
+  EXPECT_TRUE(tree.root()->leaf);
+}
+
+TEST(PBTree, HeightGrowsLogarithmically) {
+  data::SynOptions syn;
+  syn.num_objects = 600;
+  syn.seed = 21;
+  const model::Database db = data::MakeSynDataset(syn);
+  pbtree::PBTree::Options opts;
+  opts.fanout = 8;
+  const pbtree::PBTree tree(db, opts);
+  // ceil(log8(600/8)) + 1 levels: expect height 3-4.
+  EXPECT_GE(tree.height(), 3);
+  EXPECT_LE(tree.height(), 4);
+  EXPECT_TRUE(tree.Validate().ok());
+}
+
+TEST(PBTree, BoundsTightenDownTheTree) {
+  const model::Database db = testing::RandomDb(32, 3, 7);
+  pbtree::PBTree::Options opts;
+  opts.fanout = 4;
+  const pbtree::PBTree tree(db, opts);
+  // The D-metric of a child never exceeds its parent's (children cover
+  // subsets, and Algorithm 4 bounds are tightest).
+  std::function<void(const pbtree::Node*)> walk =
+      [&](const pbtree::Node* node) {
+        const double parent_d = pbtree::BoundDistance(node->lbo, node->ubo);
+        for (const auto& child : node->children) {
+          const double child_d =
+              pbtree::BoundDistance(child->lbo, child->ubo);
+          EXPECT_LE(child_d, parent_d + 1e-9);
+          walk(child.get());
+        }
+      };
+  walk(tree.root());
+}
+
+}  // namespace
+}  // namespace ptk

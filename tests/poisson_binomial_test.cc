@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "rank/poisson_binomial.h"
+#include "util/rng.h"
+
+namespace ptk {
+namespace {
+
+// Direct reference: P(sum <= t) over Bernoulli(q_i) by full convolution.
+double DirectAtMost(const std::vector<double>& qs, int t) {
+  std::vector<double> dp = {1.0};
+  for (double q : qs) {
+    dp.push_back(0.0);
+    for (int j = static_cast<int>(dp.size()) - 1; j >= 1; --j) {
+      dp[j] = dp[j] * (1.0 - q) + dp[j - 1] * q;
+    }
+    dp[0] *= (1.0 - q);
+  }
+  double total = 0.0;
+  for (int j = 0; j <= t && j < static_cast<int>(dp.size()); ++j) {
+    total += dp[j];
+  }
+  return total;
+}
+
+TEST(PoissonBinomial, AddOnlyMatchesDirect) {
+  util::Rng rng(1);
+  std::vector<double> qs;
+  rank::PoissonBinomialTracker tracker;
+  for (int i = 0; i < 20; ++i) {
+    const double q = rng.Uniform(0.01, 0.99);
+    qs.push_back(q);
+    tracker.Update(0.0, q);
+    for (int t = 0; t <= static_cast<int>(qs.size()); ++t) {
+      EXPECT_NEAR(tracker.CumulativeAtMost(t), DirectAtMost(qs, t), 1e-10);
+    }
+  }
+}
+
+TEST(PoissonBinomial, UpdatesMatchDirectAcrossGrowth) {
+  // Each variable's parameter grows through several steps, exercising both
+  // deconvolution directions (q below and above 0.5).
+  util::Rng rng(2);
+  const int n = 10;
+  std::vector<double> qs(n, 0.0);
+  rank::PoissonBinomialTracker tracker;
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < n; ++i) {
+      const double grow = rng.Uniform(0.05, 0.3);
+      const double q_new = std::min(qs[i] + grow, 0.999);
+      if (q_new <= qs[i]) continue;
+      tracker.Update(qs[i], q_new);
+      qs[i] = q_new;
+    }
+    std::vector<double> active;
+    for (double q : qs) {
+      if (q > 0.0) active.push_back(q);
+    }
+    for (int t = 0; t <= n; ++t) {
+      EXPECT_NEAR(tracker.CumulativeAtMost(t), DirectAtMost(active, t),
+                  1e-9);
+    }
+  }
+}
+
+TEST(PoissonBinomial, CertainVariablesShift) {
+  rank::PoissonBinomialTracker tracker;
+  tracker.Update(0.0, 0.4);
+  tracker.Update(0.4, 1.0);  // becomes certain
+  EXPECT_EQ(tracker.shift(), 1);
+  EXPECT_EQ(tracker.active(), 0);
+  EXPECT_DOUBLE_EQ(tracker.CumulativeAtMost(0), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.CumulativeAtMost(1), 1.0);
+
+  tracker.Update(0.0, 0.25);
+  // Sum = 1 + Bernoulli(0.25).
+  EXPECT_DOUBLE_EQ(tracker.CumulativeAtMost(0), 0.0);
+  EXPECT_NEAR(tracker.CumulativeAtMost(1), 0.75, 1e-12);
+  EXPECT_NEAR(tracker.CumulativeAtMost(2), 1.0, 1e-12);
+}
+
+TEST(PoissonBinomial, ExclusionQueries) {
+  util::Rng rng(3);
+  std::vector<double> qs;
+  rank::PoissonBinomialTracker tracker;
+  for (int i = 0; i < 12; ++i) {
+    const double q = rng.Uniform(0.05, 0.95);
+    qs.push_back(q);
+    tracker.Update(0.0, q);
+  }
+  for (size_t drop = 0; drop < qs.size(); ++drop) {
+    std::vector<double> rest = qs;
+    rest.erase(rest.begin() + drop);
+    for (int t = 0; t <= 12; ++t) {
+      EXPECT_NEAR(tracker.CumulativeAtMostExcluding(t, qs[drop]),
+                  DirectAtMost(rest, t), 1e-9);
+    }
+  }
+  // Two exclusions.
+  std::vector<double> rest(qs.begin() + 2, qs.end());
+  for (int t = 0; t <= 12; ++t) {
+    EXPECT_NEAR(tracker.CumulativeAtMostExcluding2(t, qs[0], qs[1]),
+                DirectAtMost(rest, t), 1e-9);
+  }
+}
+
+TEST(PoissonBinomial, StableUnderNearOneRemovals) {
+  // Removing q = 0.97 must use the backward recurrence; the forward one
+  // would amplify error by (q/(1-q))^j ≈ 32^j.
+  std::vector<double> qs = {0.97, 0.3, 0.6, 0.85, 0.1, 0.92, 0.5};
+  rank::PoissonBinomialTracker tracker;
+  for (double q : qs) tracker.Update(0.0, q);
+  std::vector<double> rest(qs.begin() + 1, qs.end());
+  for (int t = 0; t <= 7; ++t) {
+    EXPECT_NEAR(tracker.CumulativeAtMostExcluding(t, 0.97),
+                DirectAtMost(rest, t), 1e-10);
+  }
+  // In-place update from 0.97 to 0.999 and back out as a query.
+  tracker.Update(0.97, 0.999);
+  for (int t = 0; t <= 7; ++t) {
+    EXPECT_NEAR(tracker.CumulativeAtMostExcluding(t, 0.999),
+                DirectAtMost(rest, t), 1e-8);
+  }
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "pw/possible_world.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+TEST(ExactEngine, WorldProbabilitiesSumToOne) {
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    const model::Database db = testing::RandomDb(5, 4, seed);
+    pw::ExactEngine engine(db);
+    double total = 0.0;
+    int64_t count = 0;
+    ASSERT_TRUE(engine
+                    .ForEachWorld([&](std::span<const model::InstanceId>,
+                                      double p) {
+                      total += p;
+                      ++count;
+                    })
+                    .ok());
+    EXPECT_NEAR(total, 1.0, 1e-10);
+    EXPECT_EQ(count, engine.NumWorlds());
+  }
+}
+
+TEST(ExactEngine, WorldLimitEnforced) {
+  const model::Database db = testing::RandomDb(8, 4, 3);
+  pw::ExactEngine engine(db, /*world_limit=*/10);
+  const util::Status s = engine.ForEachWorld(
+      [](std::span<const model::InstanceId>, double) {});
+  EXPECT_EQ(s.code(), util::Status::Code::kResourceExhausted);
+}
+
+TEST(WorldTopK, RankOrderRespectsTotalOrder) {
+  const model::Database db = testing::PaperExampleDb();
+  // World {i12(23), i21(21), i31(22)}: ranking is o2(21) < o3(22) < o1(23).
+  const std::vector<model::InstanceId> iids = {1, 0, 0};
+  const pw::ResultKey top3 = pw::WorldTopK(db, iids, 3);
+  EXPECT_EQ(top3, (pw::ResultKey{1, 2, 0}));
+  const pw::ResultKey top1 = pw::WorldTopK(db, iids, 1);
+  EXPECT_EQ(top1, (pw::ResultKey{1}));
+}
+
+TEST(ExactEngine, DistributionMassAndOrderModes) {
+  for (uint64_t seed = 10; seed < 14; ++seed) {
+    const model::Database db = testing::RandomDb(5, 3, seed);
+    pw::ExactEngine engine(db);
+    for (int k = 1; k <= 4; ++k) {
+      pw::TopKDistribution sens, insens;
+      ASSERT_TRUE(engine
+                      .TopKDistributionOf(k, pw::OrderMode::kSensitive,
+                                          nullptr, &sens)
+                      .ok());
+      ASSERT_TRUE(engine
+                      .TopKDistributionOf(k, pw::OrderMode::kInsensitive,
+                                          nullptr, &insens)
+                      .ok());
+      EXPECT_NEAR(sens.total_mass(), 1.0, 1e-10);
+      EXPECT_NEAR(insens.total_mass(), 1.0, 1e-10);
+      // Collapsing the order-sensitive distribution gives the insensitive
+      // one, and entropy can only drop (coarser partition).
+      const pw::TopKDistribution collapsed = sens.Collapsed();
+      ASSERT_EQ(collapsed.size(), insens.size());
+      for (const auto& [key, p] : insens.entries()) {
+        EXPECT_NEAR(collapsed.ProbOf(key), p, 1e-10);
+      }
+      EXPECT_GE(sens.Entropy() + 1e-10, insens.Entropy());
+    }
+  }
+}
+
+TEST(ExactEngine, ConditioningRemovesAndRenormalizes) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::ExactEngine engine(db);
+  pw::ConstraintSet cons;
+  cons.Add(1, 0);  // o2 < o1
+  pw::TopKDistribution dist;
+  ASSERT_TRUE(
+      engine.TopKDistributionOf(2, pw::OrderMode::kInsensitive, &cons, &dist)
+          .ok());
+  EXPECT_NEAR(dist.total_mass(), 1.0, 1e-12);
+  // Only W5 {o2,o3} and W6 {o2,o1} survive (renormalized 0.6 / 0.4).
+  EXPECT_NEAR(dist.ProbOf({1, 2}), 0.6, 1e-12);
+  EXPECT_NEAR(dist.ProbOf({0, 1}), 0.4, 1e-12);
+}
+
+TEST(ExactEngine, ContradictoryConstraintsRejected) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::ExactEngine engine(db);
+  pw::ConstraintSet cons;
+  cons.Add(0, 1);
+  cons.Add(1, 0);  // both directions: impossible
+  pw::TopKDistribution dist;
+  const util::Status s = engine.TopKDistributionOf(
+      2, pw::OrderMode::kInsensitive, &cons, &dist);
+  EXPECT_EQ(s.code(), util::Status::Code::kInvalidArgument);
+}
+
+TEST(ConstraintSet, ComponentsAndIdempotence) {
+  pw::ConstraintSet cons;
+  cons.Add(1, 2);
+  cons.Add(1, 2);  // duplicate ignored
+  cons.Add(3, 4);
+  cons.Add(2, 5);
+  EXPECT_EQ(cons.size(), 3);
+  EXPECT_TRUE(cons.Mentions(5));
+  EXPECT_FALSE(cons.Mentions(0));
+  const auto comps = cons.Components();
+  ASSERT_EQ(comps.size(), 2u);
+  // {1,2,5} and {3,4} in some order.
+  const auto& big = comps[0].members.size() == 3 ? comps[0] : comps[1];
+  const auto& small = comps[0].members.size() == 3 ? comps[1] : comps[0];
+  EXPECT_EQ(big.members, (std::vector<model::ObjectId>{1, 2, 5}));
+  EXPECT_EQ(big.constraints.size(), 2u);
+  EXPECT_EQ(small.members, (std::vector<model::ObjectId>{3, 4}));
+  EXPECT_EQ(small.constraints.size(), 1u);
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/quality.h"
+#include "pw/possible_world.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+TEST(QualityEvaluator, MatchesExactEngineEntropy) {
+  for (uint64_t seed = 0; seed < 6; ++seed) {
+    const model::Database db = testing::RandomDb(6, 3, seed);
+    pw::ExactEngine engine(db);
+    for (int k : {1, 2, 4}) {
+      for (const pw::OrderMode order :
+           {pw::OrderMode::kInsensitive, pw::OrderMode::kSensitive}) {
+        const core::QualityEvaluator evaluator(db, k, order);
+        double h = 0.0;
+        ASSERT_TRUE(evaluator.Quality(nullptr, &h).ok());
+        pw::TopKDistribution exact;
+        ASSERT_TRUE(engine.TopKDistributionOf(k, order, nullptr, &exact)
+                        .ok());
+        EXPECT_NEAR(h, exact.Entropy(), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(QualityEvaluator, ConditioningNeverIncreasesExpectedEntropy) {
+  // EI >= 0 for every pair (information never hurts in expectation).
+  for (uint64_t seed = 20; seed < 24; ++seed) {
+    const model::Database db = testing::RandomDb(5, 3, seed);
+    const core::QualityEvaluator evaluator(db, 2,
+                                           pw::OrderMode::kInsensitive);
+    for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+      for (model::ObjectId b = a + 1; b < db.num_objects(); ++b) {
+        double ei = 0.0;
+        ASSERT_TRUE(
+            evaluator.ExactExpectedImprovement(a, b, nullptr, &ei).ok());
+        EXPECT_GE(ei, -1e-9);
+      }
+    }
+  }
+}
+
+TEST(QualityEvaluator, ConstraintProbabilityMatchesPairwise) {
+  const model::Database db = testing::PaperExampleDb();
+  const core::QualityEvaluator evaluator(db, 2, pw::OrderMode::kInsensitive);
+  pw::ConstraintSet cons;
+  cons.Add(1, 0);  // o2 < o1: worlds W5 + W6 = 0.16 (Section 3.3)
+  EXPECT_NEAR(evaluator.ConstraintProbability(cons), 0.16, 1e-12);
+  cons.Add(2, 0);  // add o3 < o1
+  // Joint over the component {o0,o1,o2}: enumerate by hand = P(o2<o1 and
+  // o3<o1). Verify against the exact engine.
+  pw::ExactEngine engine(db);
+  double joint = 0.0;
+  ASSERT_TRUE(engine
+                  .ForEachWorld([&](std::span<const model::InstanceId> iids,
+                                    double p) {
+                    const auto pos = [&](model::ObjectId o) {
+                      return db.PositionOf({o, iids[o]});
+                    };
+                    if (pos(1) < pos(0) && pos(2) < pos(0)) joint += p;
+                  })
+                  .ok());
+  EXPECT_NEAR(evaluator.ConstraintProbability(cons), joint, 1e-12);
+}
+
+TEST(QualityEvaluator, ExpectedImprovementWithBaseConstraints) {
+  const model::Database db = testing::RandomDb(5, 3, 31);
+  const core::QualityEvaluator evaluator(db, 2, pw::OrderMode::kInsensitive);
+  pw::ConstraintSet base;
+  base.Add(0, 1);
+  double ei = 0.0;
+  ASSERT_TRUE(evaluator.ExactExpectedImprovement(2, 3, &base, &ei).ok());
+  EXPECT_GE(ei, -1e-9);
+  // Conditioning on a pair overlapping the base set also works.
+  ASSERT_TRUE(evaluator.ExactExpectedImprovement(1, 2, &base, &ei).ok());
+  EXPECT_GE(ei, -1e-9);
+}
+
+TEST(QualityEvaluator, ExpectedQualityUnderCrowdDegenerateBias) {
+  // With P_real always 1 for the likelier direction, EH equals the
+  // conditioned entropy of the deterministic outcome.
+  const model::Database db = testing::PaperExampleDb();
+  const core::QualityEvaluator evaluator(db, 2, pw::OrderMode::kInsensitive);
+  const auto always_greater = [](model::ObjectId, model::ObjectId) {
+    return 1.0;
+  };
+  double eh = 0.0, ei = 0.0;
+  ASSERT_TRUE(evaluator
+                  .ExpectedQualityUnderCrowd({{1, 0}}, always_greater, &eh,
+                                             &ei)
+                  .ok());
+  pw::ConstraintSet cons;
+  cons.Add(0, 1);  // "1 > 0" means o1's value above o0's
+  double h = 0.0;
+  ASSERT_TRUE(evaluator.Quality(&cons, &h).ok());
+  EXPECT_NEAR(eh, h, 1e-9);
+  double h0 = 0.0;
+  ASSERT_TRUE(evaluator.Quality(nullptr, &h0).ok());
+  EXPECT_NEAR(ei, h0 - h, 1e-9);
+}
+
+TEST(QualityEvaluator, ExpectedQualityUnderCrowdMatchesHandComputation) {
+  const model::Database db = testing::PaperExampleDb();
+  const core::QualityEvaluator evaluator(db, 2, pw::OrderMode::kInsensitive);
+  // Paper Section 3.3: EH for (o1, o2) with the data's own probabilities is
+  // 0.683 * 0.84 + 0.67 * 0.16 (where "o1 < o2" has probability 0.84).
+  const auto data_prob = [&](model::ObjectId x, model::ObjectId y) {
+    return x == 0 && y == 1 ? 0.16 : 0.84;  // P(o1 > o2) = 0.16
+  };
+  double eh = 0.0, ei = 0.0;
+  ASSERT_TRUE(
+      evaluator.ExpectedQualityUnderCrowd({{0, 1}}, data_prob, &eh, &ei)
+          .ok());
+  EXPECT_NEAR(eh, 0.683 * 0.84 + 0.673 * 0.16, 2e-3);
+  EXPECT_NEAR(ei, 0.26, 2e-3);
+}
+
+TEST(QualityEvaluator, ExpectedQualityRejectsHugeBatches) {
+  const model::Database db = testing::PaperExampleDb();
+  const core::QualityEvaluator evaluator(db, 2, pw::OrderMode::kInsensitive);
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> pairs(
+      21, {0, 1});
+  const util::Status s = evaluator.ExpectedQualityUnderCrowd(
+      pairs, [](model::ObjectId, model::ObjectId) { return 0.5; }, nullptr,
+      nullptr);
+  EXPECT_FALSE(s.ok());
+}
+
+}  // namespace
+}  // namespace ptk

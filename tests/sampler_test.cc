@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include "pw/possible_world.h"
+#include "pw/sampler.h"
+#include "pw/topk_enumerator.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+TEST(WorldSampler, ConvergesToExactDistribution) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::WorldSampler sampler(db);
+  pw::WorldSampler::Result result;
+  ASSERT_TRUE(sampler
+                  .Estimate(2, pw::OrderMode::kInsensitive, nullptr,
+                            200'000, 11, &result)
+                  .ok());
+  EXPECT_EQ(result.accepted, result.samples);
+  EXPECT_NEAR(result.distribution.ProbOf({0, 1}), 0.424, 0.01);
+  EXPECT_NEAR(result.distribution.ProbOf({0, 2}), 0.48, 0.01);
+  EXPECT_NEAR(result.distribution.ProbOf({1, 2}), 0.096, 0.01);
+}
+
+TEST(WorldSampler, RejectionSamplingMatchesConditioning) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::WorldSampler sampler(db);
+  pw::ConstraintSet cons;
+  cons.Add(1, 0);  // o2 < o1 (probability 0.16)
+  pw::WorldSampler::Result result;
+  ASSERT_TRUE(sampler
+                  .Estimate(2, pw::OrderMode::kInsensitive, &cons, 200'000,
+                            12, &result)
+                  .ok());
+  EXPECT_NEAR(result.acceptance_rate(), 0.16, 0.01);
+  EXPECT_NEAR(result.distribution.ProbOf({1, 2}), 0.6, 0.02);
+  EXPECT_NEAR(result.distribution.ProbOf({0, 1}), 0.4, 0.02);
+}
+
+TEST(WorldSampler, CrossValidatesEnumeratorAtScale) {
+  // A database too large for the exhaustive oracle: compare the merged-
+  // state enumerator against Monte Carlo on the head of the distribution.
+  const model::Database db = testing::RandomDb(60, 4, 21);
+  pw::TopKEnumerator enumerator(db);
+  pw::TopKDistribution exact;
+  ASSERT_TRUE(
+      enumerator.Enumerate(5, pw::OrderMode::kInsensitive, nullptr, {},
+                           &exact)
+          .ok());
+  pw::WorldSampler sampler(db);
+  pw::WorldSampler::Result mc;
+  ASSERT_TRUE(sampler
+                  .Estimate(5, pw::OrderMode::kInsensitive, nullptr,
+                            150'000, 22, &mc)
+                  .ok());
+  int checked = 0;
+  for (const auto& [key, p] : exact.SortedByProbDesc()) {
+    if (p < 0.02 || checked >= 8) break;
+    EXPECT_NEAR(mc.distribution.ProbOf(key), p, 0.01)
+        << "result rank " << checked;
+    ++checked;
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(WorldSampler, SampledWorldsAreValid) {
+  const model::Database db = testing::RandomDb(10, 4, 3);
+  pw::WorldSampler sampler(db);
+  util::Rng rng(5);
+  std::vector<model::InstanceId> iids;
+  for (int s = 0; s < 1000; ++s) {
+    sampler.SampleWorld(rng, &iids);
+    ASSERT_EQ(iids.size(), static_cast<size_t>(db.num_objects()));
+    for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+      ASSERT_GE(iids[o], 0);
+      ASSERT_LT(iids[o], db.object(o).num_instances());
+    }
+  }
+}
+
+TEST(WorldSampler, MarginalFrequenciesMatchProbabilities) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::WorldSampler sampler(db);
+  util::Rng rng(6);
+  std::vector<model::InstanceId> iids;
+  std::vector<int> count_first(db.num_objects(), 0);
+  const int trials = 100'000;
+  for (int s = 0; s < trials; ++s) {
+    sampler.SampleWorld(rng, &iids);
+    for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+      if (iids[o] == 0) ++count_first[o];
+    }
+  }
+  EXPECT_NEAR(count_first[0] / double(trials), 0.2, 0.01);
+  EXPECT_NEAR(count_first[1] / double(trials), 0.2, 0.01);
+  EXPECT_NEAR(count_first[2] / double(trials), 0.6, 0.01);
+}
+
+TEST(WorldSampler, InvalidInputs) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::WorldSampler sampler(db);
+  pw::WorldSampler::Result result;
+  EXPECT_FALSE(sampler
+                   .Estimate(0, pw::OrderMode::kInsensitive, nullptr, 100,
+                             1, &result)
+                   .ok());
+  EXPECT_FALSE(sampler
+                   .Estimate(2, pw::OrderMode::kInsensitive, nullptr, 0, 1,
+                             &result)
+                   .ok());
+  pw::ConstraintSet impossible;
+  impossible.Add(0, 1);
+  impossible.Add(1, 0);
+  EXPECT_FALSE(sampler
+                   .Estimate(2, pw::OrderMode::kInsensitive, &impossible,
+                             1000, 1, &result)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace ptk

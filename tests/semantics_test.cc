@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include <span>
+
+#include "pw/possible_world.h"
+#include "topk/semantics.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+TEST(UTopK, PaperExample) {
+  const model::Database db = testing::PaperExampleDb();
+  pw::ResultKey result;
+  double prob = 0.0;
+  ASSERT_TRUE(topk::UTopK(db, 2, pw::OrderMode::kInsensitive, {}, &result,
+                          &prob)
+                  .ok());
+  EXPECT_EQ(result, (pw::ResultKey{0, 2}));  // {o1, o3}
+  EXPECT_NEAR(prob, 0.48, 1e-12);
+}
+
+// Oracle: Pr(object at rank r) by world enumeration.
+std::vector<std::vector<double>> OracleRankProbs(const model::Database& db,
+                                                 int k) {
+  std::vector<std::vector<double>> probs(
+      db.num_objects(), std::vector<double>(k, 0.0));
+  pw::ExactEngine engine(db);
+  const util::Status s = engine.ForEachWorld(
+      [&](std::span<const model::InstanceId> iids, double p) {
+        const pw::ResultKey top = pw::WorldTopK(db, iids, k);
+        for (size_t r = 0; r < top.size(); ++r) probs[top[r]][r] += p;
+      });
+  EXPECT_TRUE(s.ok());
+  return probs;
+}
+
+class SemanticsSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SemanticsSweep, UKRanksMatchesOracle) {
+  const model::Database db = testing::RandomDb(6, 4, GetParam());
+  for (int k : {1, 3, 5}) {
+    const auto oracle = OracleRankProbs(db, k);
+    std::vector<topk::ScoredObject> per_rank;
+    ASSERT_TRUE(topk::UKRanks(db, k, &per_rank).ok());
+    ASSERT_EQ(per_rank.size(), static_cast<size_t>(k));
+    for (int r = 0; r < k; ++r) {
+      double best = 0.0;
+      for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+        best = std::max(best, oracle[o][r]);
+      }
+      EXPECT_NEAR(per_rank[r].score, best, 1e-9)
+          << "rank " << r << " k=" << k << " seed=" << GetParam();
+      EXPECT_NEAR(oracle[per_rank[r].oid][r], best, 1e-9);
+    }
+  }
+}
+
+TEST_P(SemanticsSweep, ExpectedRanksMatchOracle) {
+  const model::Database db = testing::RandomDb(6, 4, GetParam() + 100);
+  const std::vector<double> fast = topk::ExpectedRanks(db);
+  // Oracle: E[#others above o] over worlds.
+  std::vector<double> oracle(db.num_objects(), 0.0);
+  pw::ExactEngine engine(db);
+  ASSERT_TRUE(engine
+                  .ForEachWorld([&](std::span<const model::InstanceId> iids,
+                                    double p) {
+                    for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+                      int above = 0;
+                      for (model::ObjectId q = 0; q < db.num_objects();
+                           ++q) {
+                        if (q != o && db.PositionOf({q, iids[q]}) <
+                                          db.PositionOf({o, iids[o]})) {
+                          ++above;
+                        }
+                      }
+                      oracle[o] += p * above;
+                    }
+                  })
+                  .ok());
+  for (model::ObjectId o = 0; o < db.num_objects(); ++o) {
+    EXPECT_NEAR(fast[o], oracle[o], 1e-9) << "object " << o;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomDatabases, SemanticsSweep,
+                         ::testing::Range(uint64_t{0}, uint64_t{6}));
+
+TEST(PTk, ThresholdAndOrdering) {
+  const model::Database db = testing::PaperExampleDb();
+  // Top-2 membership probabilities: P(o1) = .424+.48 = .904,
+  // P(o2) = .424+.096 = .52, P(o3) = .48+.096 = .576.
+  const auto all = topk::PTk(db, 2, 0.0);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].oid, 0);
+  EXPECT_NEAR(all[0].score, 0.904, 1e-9);
+  EXPECT_EQ(all[1].oid, 2);
+  EXPECT_NEAR(all[1].score, 0.576, 1e-9);
+  EXPECT_EQ(all[2].oid, 1);
+  EXPECT_NEAR(all[2].score, 0.52, 1e-9);
+
+  const auto filtered = topk::PTk(db, 2, 0.55);
+  ASSERT_EQ(filtered.size(), 2u);
+  EXPECT_EQ(filtered[0].oid, 0);
+  EXPECT_EQ(filtered[1].oid, 2);
+}
+
+TEST(GlobalTopK, TakesKBest) {
+  const model::Database db = testing::PaperExampleDb();
+  const auto top2 = topk::GlobalTopK(db, 2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].oid, 0);
+  EXPECT_EQ(top2[1].oid, 2);
+}
+
+TEST(ExpectedRankTopK, OrdersByExpectedRank) {
+  const model::Database db = testing::RandomDb(8, 3, 9);
+  const auto ranks = topk::ExpectedRanks(db);
+  const auto top3 = topk::ExpectedRankTopK(db, 3);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_LE(top3[0].score, top3[1].score);
+  EXPECT_LE(top3[1].score, top3[2].score);
+  for (const auto& so : top3) {
+    EXPECT_DOUBLE_EQ(so.score, ranks[so.oid]);
+  }
+  // Sanity: expected ranks sum to C(m, 2) (each unordered pair contributes
+  // exactly 1 to one side).
+  double total = 0.0;
+  for (double r : ranks) total += r;
+  const double m = db.num_objects();
+  EXPECT_NEAR(total, m * (m - 1) / 2.0, 1e-7);
+}
+
+TEST(UKRanks, RankProbabilitiesAreProbabilities) {
+  const model::Database db = testing::RandomDb(10, 3, 33);
+  std::vector<topk::ScoredObject> per_rank;
+  ASSERT_TRUE(topk::UKRanks(db, 5, &per_rank).ok());
+  for (const auto& so : per_rank) {
+    EXPECT_GE(so.score, 0.0);
+    EXPECT_LE(so.score, 1.0);
+    EXPECT_NE(so.oid, model::kInvalidObject);
+  }
+}
+
+}  // namespace
+}  // namespace ptk

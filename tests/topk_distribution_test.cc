@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "pw/topk_distribution.h"
+
+namespace ptk {
+namespace {
+
+TEST(TopKDistribution, InsensitiveCanonicalizesKeys) {
+  pw::TopKDistribution dist(pw::OrderMode::kInsensitive);
+  dist.Add({3, 1, 2}, 0.25);
+  dist.Add({2, 3, 1}, 0.25);
+  EXPECT_EQ(dist.size(), 1u);
+  EXPECT_DOUBLE_EQ(dist.ProbOf({1, 2, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(dist.total_mass(), 0.5);
+}
+
+TEST(TopKDistribution, SensitiveKeepsOrderDistinct) {
+  pw::TopKDistribution dist(pw::OrderMode::kSensitive);
+  dist.Add({1, 2}, 0.3);
+  dist.Add({2, 1}, 0.2);
+  EXPECT_EQ(dist.size(), 2u);
+  EXPECT_DOUBLE_EQ(dist.ProbOf({1, 2}), 0.3);
+  EXPECT_DOUBLE_EQ(dist.ProbOf({2, 1}), 0.2);
+  EXPECT_DOUBLE_EQ(dist.ProbOf({1, 3}), 0.0);
+}
+
+TEST(TopKDistribution, EntropyAndNormalizedEntropy) {
+  pw::TopKDistribution dist(pw::OrderMode::kInsensitive);
+  dist.Add({0}, 0.25);
+  dist.Add({1}, 0.25);
+  // Unnormalized: 2 * h(0.25); normalized: uniform over two -> ln 2.
+  EXPECT_NEAR(dist.Entropy(), 2 * 0.25 * std::log(4.0), 1e-12);
+  EXPECT_NEAR(dist.NormalizedEntropy(), std::log(2.0), 1e-12);
+}
+
+TEST(TopKDistribution, CollapseMergesSequences) {
+  pw::TopKDistribution dist(pw::OrderMode::kSensitive);
+  dist.Add({1, 2}, 0.3);
+  dist.Add({2, 1}, 0.2);
+  dist.Add({1, 3}, 0.5);
+  dist.AddLostMass(0.01);
+  const pw::TopKDistribution collapsed = dist.Collapsed();
+  EXPECT_EQ(collapsed.order(), pw::OrderMode::kInsensitive);
+  EXPECT_EQ(collapsed.size(), 2u);
+  EXPECT_DOUBLE_EQ(collapsed.ProbOf({1, 2}), 0.5);
+  EXPECT_DOUBLE_EQ(collapsed.ProbOf({1, 3}), 0.5);
+  EXPECT_DOUBLE_EQ(collapsed.lost_mass(), 0.01);
+  // Collapsing can only reduce entropy (coarser partition).
+  EXPECT_LE(collapsed.Entropy(), dist.Entropy() + 1e-12);
+}
+
+TEST(TopKDistribution, CollapseOfInsensitiveIsIdentity) {
+  pw::TopKDistribution dist(pw::OrderMode::kInsensitive);
+  dist.Add({2, 1}, 0.4);
+  const pw::TopKDistribution same = dist.Collapsed();
+  EXPECT_EQ(same.size(), 1u);
+  EXPECT_DOUBLE_EQ(same.ProbOf({1, 2}), 0.4);
+}
+
+TEST(TopKDistribution, SortedByProbDescIsDeterministic) {
+  pw::TopKDistribution dist(pw::OrderMode::kInsensitive);
+  dist.Add({1}, 0.2);
+  dist.Add({2}, 0.5);
+  dist.Add({3}, 0.2);
+  dist.Add({4}, 0.1);
+  const auto sorted = dist.SortedByProbDesc();
+  ASSERT_EQ(sorted.size(), 4u);
+  EXPECT_EQ(sorted[0].first, (pw::ResultKey{2}));
+  // Ties broken by key for determinism.
+  EXPECT_EQ(sorted[1].first, (pw::ResultKey{1}));
+  EXPECT_EQ(sorted[2].first, (pw::ResultKey{3}));
+  EXPECT_EQ(sorted[3].first, (pw::ResultKey{4}));
+}
+
+TEST(TopKDistribution, ScaleAffectsMassesAndLostMass) {
+  pw::TopKDistribution dist(pw::OrderMode::kInsensitive);
+  dist.Add({1}, 0.4);
+  dist.AddLostMass(0.1);
+  dist.Scale(2.0);
+  EXPECT_DOUBLE_EQ(dist.ProbOf({1}), 0.8);
+  EXPECT_DOUBLE_EQ(dist.total_mass(), 0.8);
+  EXPECT_DOUBLE_EQ(dist.lost_mass(), 0.2);
+}
+
+TEST(TopKDistribution, HashTreatsPermutationsDistinctly) {
+  const pw::ResultKeyHash hash;
+  EXPECT_NE(hash({1, 2, 3}), hash({3, 2, 1}));
+  EXPECT_NE(hash({}), hash({0}));
+  EXPECT_EQ(hash({5, 7}), hash({5, 7}));
+}
+
+}  // namespace
+}  // namespace ptk

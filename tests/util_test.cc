@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/entropy.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace ptk {
+namespace {
+
+TEST(Entropy, TermBasics) {
+  EXPECT_DOUBLE_EQ(util::EntropyTerm(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::EntropyTerm(1.0), 0.0);
+  EXPECT_NEAR(util::EntropyTerm(0.5), 0.5 * std::log(2.0), 1e-15);
+  EXPECT_DOUBLE_EQ(util::EntropyTerm(-1e-12), 0.0);  // clamped
+}
+
+TEST(Entropy, BinaryEntropySymmetricAndPeaked) {
+  EXPECT_DOUBLE_EQ(util::BinaryEntropy(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(util::BinaryEntropy(1.0), 0.0);
+  EXPECT_NEAR(util::BinaryEntropy(0.5), std::log(2.0), 1e-15);
+  for (double x : {0.1, 0.25, 0.33, 0.49}) {
+    EXPECT_NEAR(util::BinaryEntropy(x), util::BinaryEntropy(1.0 - x), 1e-15);
+    EXPECT_LT(util::BinaryEntropy(x), std::log(2.0));
+  }
+  // Monotone increasing on [0, 0.5].
+  EXPECT_LT(util::BinaryEntropy(0.1), util::BinaryEntropy(0.2));
+  EXPECT_LT(util::BinaryEntropy(0.2), util::BinaryEntropy(0.4));
+}
+
+TEST(Entropy, DistributionEntropy) {
+  const std::vector<double> uniform4 = {0.25, 0.25, 0.25, 0.25};
+  EXPECT_NEAR(util::DistributionEntropy(uniform4), std::log(4.0), 1e-15);
+  const std::vector<double> point = {1.0};
+  EXPECT_DOUBLE_EQ(util::DistributionEntropy(point), 0.0);
+}
+
+TEST(Entropy, IntervalExtremes) {
+  const double ln2 = std::log(2.0);
+  // Interval straddling 0.5 peaks at ln 2 (the Eq. 16 correction).
+  EXPECT_DOUBLE_EQ(util::BinaryEntropyIntervalMax(0.2, 0.9), ln2);
+  EXPECT_DOUBLE_EQ(util::BinaryEntropyIntervalMax(0.5, 0.5), ln2);
+  // One-sided interval: max at the endpoint nearer 0.5.
+  EXPECT_DOUBLE_EQ(util::BinaryEntropyIntervalMax(0.1, 0.3),
+                   util::BinaryEntropy(0.3));
+  EXPECT_DOUBLE_EQ(util::BinaryEntropyIntervalMax(0.7, 0.95),
+                   util::BinaryEntropy(0.7));
+  // Min at the endpoint farther from 0.5 (Eq. 15).
+  EXPECT_DOUBLE_EQ(util::BinaryEntropyIntervalMin(0.2, 0.9),
+                   util::BinaryEntropy(0.9));
+  EXPECT_DOUBLE_EQ(util::BinaryEntropyIntervalMin(0.1, 0.3),
+                   util::BinaryEntropy(0.1));
+  // Swapped endpoints are tolerated.
+  EXPECT_DOUBLE_EQ(util::BinaryEntropyIntervalMax(0.3, 0.1),
+                   util::BinaryEntropy(0.3));
+}
+
+TEST(Entropy, IntervalBracketsAllInteriorValues) {
+  for (double lo = 0.0; lo <= 1.0; lo += 0.1) {
+    for (double hi = lo; hi <= 1.0; hi += 0.1) {
+      const double max = util::BinaryEntropyIntervalMax(lo, hi);
+      const double min = util::BinaryEntropyIntervalMin(lo, hi);
+      for (double x = lo; x <= hi + 1e-12; x += (hi - lo) / 7 + 1e-3) {
+        const double h = util::BinaryEntropy(std::min(x, hi));
+        EXPECT_LE(h, max + 1e-12);
+        EXPECT_GE(h, min - 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Rng, DeterministicGivenSeed) {
+  util::Rng a(123), b(123), c(321);
+  bool differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    const double va = a.Uniform();
+    EXPECT_DOUBLE_EQ(va, b.Uniform());
+    if (va != c.Uniform()) differs_from_c = true;
+    EXPECT_GE(va, 0.0);
+    EXPECT_LT(va, 1.0);
+  }
+  EXPECT_TRUE(differs_from_c);
+}
+
+TEST(Rng, UniformIntRange) {
+  util::Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+  }
+}
+
+TEST(Status, CodesAndMessages) {
+  EXPECT_TRUE(util::Status::OK().ok());
+  EXPECT_EQ(util::Status::OK().ToString(), "OK");
+  const util::Status s = util::Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), util::Status::Code::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+  EXPECT_EQ(util::Status::NotFound("x").code(),
+            util::Status::Code::kNotFound);
+  EXPECT_EQ(util::Status::ResourceExhausted("x").code(),
+            util::Status::Code::kResourceExhausted);
+  EXPECT_EQ(util::Status::IoError("x").code(), util::Status::Code::kIoError);
+  EXPECT_EQ(util::Status::Internal("x").code(),
+            util::Status::Code::kInternal);
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,242 @@
+// ptk_cli — command-line driver for the library: load a probabilistic
+// database from CSV, inspect its top-k distribution, and get the best
+// object pairs to crowdsource.
+//
+// Usage:
+//   ptk_cli topk      <db.csv> <k> [--order-sensitive] [--limit N]
+//   ptk_cli quality   <db.csv> <k> [--order-sensitive]
+//   ptk_cli select    <db.csv> <k> <quota> [--selector opt|pbtree|hrs2|rand]
+//   ptk_cli semantics <db.csv> <k>
+//   ptk_cli clean     <db.csv> <k> <answers.csv>
+//
+// answers.csv rows are "smaller_oid,larger_oid" comparison outcomes
+// (value(smaller) < value(larger)).
+//
+// CSV format for databases: header "oid,value,prob", one instance per row
+// (see data::SaveCsv / data::LoadCsv).
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "core/multi_quota.h"
+#include "core/quality.h"
+#include "core/random_selector.h"
+#include "data/csv.h"
+#include "topk/semantics.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  ptk_cli topk      <db.csv> <k> [--order-sensitive] [--limit N]\n"
+      "  ptk_cli quality   <db.csv> <k> [--order-sensitive]\n"
+      "  ptk_cli select    <db.csv> <k> <quota> [--selector "
+      "opt|pbtree|hrs2|rand]\n"
+      "  ptk_cli semantics <db.csv> <k>\n"
+      "  ptk_cli clean     <db.csv> <k> <answers.csv>\n");
+  return 2;
+}
+
+bool HasFlag(int argc, char** argv, const char* flag) {
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return true;
+  }
+  return false;
+}
+
+const char* FlagValue(int argc, char** argv, const char* flag) {
+  for (int i = 0; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], flag) == 0) return argv[i + 1];
+  }
+  return nullptr;
+}
+
+int Fail(const ptk::util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintKey(const ptk::pw::ResultKey& key) {
+  std::printf("{");
+  for (size_t i = 0; i < key.size(); ++i) {
+    std::printf("%s%d", i ? "," : "", key[i]);
+  }
+  std::printf("}");
+}
+
+int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
+  const ptk::pw::OrderMode order = HasFlag(argc, argv, "--order-sensitive")
+                                       ? ptk::pw::OrderMode::kSensitive
+                                       : ptk::pw::OrderMode::kInsensitive;
+  int limit = 20;
+  if (const char* v = FlagValue(argc, argv, "--limit")) limit = std::atoi(v);
+  ptk::core::QualityEvaluator evaluator(db, k, order);
+  ptk::pw::TopKDistribution dist;
+  if (ptk::util::Status s = evaluator.Distribution(nullptr, &dist); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("# %zu distinct top-%d results, H = %.6f\n", dist.size(), k,
+              dist.Entropy());
+  int shown = 0;
+  for (const auto& [key, p] : dist.SortedByProbDesc()) {
+    if (shown++ >= limit) break;
+    std::printf("%.6f  ", p);
+    PrintKey(key);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+int RunQuality(const ptk::model::Database& db, int k, int argc,
+               char** argv) {
+  const ptk::pw::OrderMode order = HasFlag(argc, argv, "--order-sensitive")
+                                       ? ptk::pw::OrderMode::kSensitive
+                                       : ptk::pw::OrderMode::kInsensitive;
+  ptk::core::QualityEvaluator evaluator(db, k, order);
+  double h = 0.0;
+  if (ptk::util::Status s = evaluator.Quality(nullptr, &h); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("H(S_%d) = %.6f\n", k, h);
+  return 0;
+}
+
+int RunSelect(const ptk::model::Database& db, int k, int quota, int argc,
+              char** argv) {
+  ptk::core::SelectorOptions options;
+  options.k = k;
+  const char* name = FlagValue(argc, argv, "--selector");
+  std::unique_ptr<ptk::core::PairSelector> selector;
+  if (name == nullptr || std::strcmp(name, "opt") == 0) {
+    selector = std::make_unique<ptk::core::BoundSelector>(
+        db, options, ptk::core::BoundSelector::Mode::kOptimized);
+  } else if (std::strcmp(name, "pbtree") == 0) {
+    selector = std::make_unique<ptk::core::BoundSelector>(
+        db, options, ptk::core::BoundSelector::Mode::kBasic);
+  } else if (std::strcmp(name, "hrs2") == 0) {
+    options.candidate_pool = 4 * quota;
+    selector = std::make_unique<ptk::core::Hrs2Selector>(db, options);
+  } else if (std::strcmp(name, "rand") == 0) {
+    selector = std::make_unique<ptk::core::RandomSelector>(
+        db, options, ptk::core::RandomSelector::Mode::kUniform);
+  } else {
+    return Usage();
+  }
+  std::vector<ptk::core::ScoredPair> pairs;
+  if (ptk::util::Status s = selector->SelectPairs(quota, &pairs); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("# %s selected %zu pairs (oid_a,oid_b,ei_estimate)\n",
+              selector->name().c_str(), pairs.size());
+  for (const auto& p : pairs) {
+    std::printf("%d,%d,%.6f\n", p.a, p.b, p.ei_estimate);
+  }
+  return 0;
+}
+
+int RunSemantics(const ptk::model::Database& db, int k) {
+  ptk::pw::ResultKey utopk;
+  double prob = 0.0;
+  if (ptk::util::Status s = ptk::topk::UTopK(
+          db, k, ptk::pw::OrderMode::kInsensitive, {}, &utopk, &prob);
+      !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("U-Top%d: ", k);
+  PrintKey(utopk);
+  std::printf("  p = %.6f\n", prob);
+
+  std::vector<ptk::topk::ScoredObject> ranks;
+  if (ptk::util::Status s = ptk::topk::UKRanks(db, k, &ranks); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("U-kRanks:");
+  for (size_t r = 0; r < ranks.size(); ++r) {
+    std::printf(" #%zu=%d(%.3f)", r + 1, ranks[r].oid, ranks[r].score);
+  }
+  std::printf("\n");
+
+  std::printf("Global-Top%d:", k);
+  for (const auto& so : ptk::topk::GlobalTopK(db, k)) {
+    std::printf(" %d(%.3f)", so.oid, so.score);
+  }
+  std::printf("\nExpectedRank-Top%d:", k);
+  for (const auto& so : ptk::topk::ExpectedRankTopK(db, k)) {
+    std::printf(" %d(%.2f)", so.oid, so.score);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int RunClean(const ptk::model::Database& db, int k, const char* answers) {
+  std::ifstream in(answers);
+  if (!in) {
+    std::fprintf(stderr, "error: cannot open %s\n", answers);
+    return 1;
+  }
+  ptk::pw::ConstraintSet cons;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream row(line);
+    int64_t smaller, larger;
+    char comma;
+    if (!(row >> smaller >> comma >> larger) || comma != ',') {
+      std::fprintf(stderr, "error: malformed answer line: %s\n",
+                   line.c_str());
+      return 1;
+    }
+    cons.Add(static_cast<ptk::model::ObjectId>(smaller),
+             static_cast<ptk::model::ObjectId>(larger));
+  }
+  ptk::core::QualityEvaluator evaluator(db, k,
+                                        ptk::pw::OrderMode::kInsensitive);
+  double before = 0.0, after = 0.0;
+  if (ptk::util::Status s = evaluator.Quality(nullptr, &before); !s.ok()) {
+    return Fail(s);
+  }
+  if (ptk::util::Status s = evaluator.Quality(&cons, &after); !s.ok()) {
+    return Fail(s);
+  }
+  std::printf("answers applied: %d\nH before = %.6f\nH after  = %.6f\n"
+              "improvement = %.6f\n",
+              cons.size(), before, after, before - after);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string command = argv[1];
+  ptk::model::Database db;
+  if (ptk::util::Status s = ptk::data::LoadCsv(argv[2], &db); !s.ok()) {
+    return Fail(s);
+  }
+  const int k = std::atoi(argv[3]);
+  if (k < 1 || k > db.num_objects()) {
+    std::fprintf(stderr, "error: k must be in [1, %d]\n", db.num_objects());
+    return 1;
+  }
+
+  if (command == "topk") return RunTopK(db, k, argc, argv);
+  if (command == "quality") return RunQuality(db, k, argc, argv);
+  if (command == "select") {
+    if (argc < 5) return Usage();
+    return RunSelect(db, k, std::atoi(argv[4]), argc, argv);
+  }
+  if (command == "semantics") return RunSemantics(db, k);
+  if (command == "clean") {
+    if (argc < 5) return Usage();
+    return RunClean(db, k, argv[4]);
+  }
+  return Usage();
+}
