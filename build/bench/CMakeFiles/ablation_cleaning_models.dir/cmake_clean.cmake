@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cleaning_models.dir/ablation_cleaning_models.cc.o"
+  "CMakeFiles/ablation_cleaning_models.dir/ablation_cleaning_models.cc.o.d"
+  "ablation_cleaning_models"
+  "ablation_cleaning_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cleaning_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

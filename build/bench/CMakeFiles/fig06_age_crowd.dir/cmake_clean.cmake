@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_age_crowd.dir/fig06_age_crowd.cc.o"
+  "CMakeFiles/fig06_age_crowd.dir/fig06_age_crowd.cc.o.d"
+  "fig06_age_crowd"
+  "fig06_age_crowd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_age_crowd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_single_quota_insensitive.dir/fig07_single_quota_insensitive.cc.o"
+  "CMakeFiles/fig07_single_quota_insensitive.dir/fig07_single_quota_insensitive.cc.o.d"
+  "fig07_single_quota_insensitive"
+  "fig07_single_quota_insensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_single_quota_insensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_single_quota_sensitive.dir/fig08_single_quota_sensitive.cc.o"
+  "CMakeFiles/fig08_single_quota_sensitive.dir/fig08_single_quota_sensitive.cc.o.d"
+  "fig08_single_quota_sensitive"
+  "fig08_single_quota_sensitive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_single_quota_sensitive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

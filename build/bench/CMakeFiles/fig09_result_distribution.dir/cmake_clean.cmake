@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_result_distribution.dir/fig09_result_distribution.cc.o"
+  "CMakeFiles/fig09_result_distribution.dir/fig09_result_distribution.cc.o.d"
+  "fig09_result_distribution"
+  "fig09_result_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_result_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_multi_quota.dir/fig10_multi_quota.cc.o"
+  "CMakeFiles/fig10_multi_quota.dir/fig10_multi_quota.cc.o.d"
+  "fig10_multi_quota"
+  "fig10_multi_quota.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_multi_quota.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_delta_deviation.dir/fig11_delta_deviation.cc.o"
+  "CMakeFiles/fig11_delta_deviation.dir/fig11_delta_deviation.cc.o.d"
+  "fig11_delta_deviation"
+  "fig11_delta_deviation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_delta_deviation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

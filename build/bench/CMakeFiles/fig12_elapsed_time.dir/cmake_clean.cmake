@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_elapsed_time.dir/fig12_elapsed_time.cc.o"
+  "CMakeFiles/fig12_elapsed_time.dir/fig12_elapsed_time.cc.o.d"
+  "fig12_elapsed_time"
+  "fig12_elapsed_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_elapsed_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_crowd_accuracy.dir/table2_crowd_accuracy.cc.o"
+  "CMakeFiles/table2_crowd_accuracy.dir/table2_crowd_accuracy.cc.o.d"
+  "table2_crowd_accuracy"
+  "table2_crowd_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_crowd_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

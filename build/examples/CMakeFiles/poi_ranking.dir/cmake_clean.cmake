@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poi_ranking.dir/poi_ranking.cc.o"
+  "CMakeFiles/poi_ranking.dir/poi_ranking.cc.o.d"
+  "poi_ranking"
+  "poi_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poi_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/product_ranking.dir/product_ranking.cc.o"
+  "CMakeFiles/product_ranking.dir/product_ranking.cc.o.d"
+  "product_ranking"
+  "product_ranking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/product_ranking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

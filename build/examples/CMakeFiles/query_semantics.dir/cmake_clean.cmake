@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_semantics.dir/query_semantics.cc.o"
+  "CMakeFiles/query_semantics.dir/query_semantics.cc.o.d"
+  "query_semantics"
+  "query_semantics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/bound_selector.cc" "src/CMakeFiles/ptk.dir/core/bound_selector.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/bound_selector.cc.o.d"
+  "/root/repo/src/core/brute_force_selector.cc" "src/CMakeFiles/ptk.dir/core/brute_force_selector.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/brute_force_selector.cc.o.d"
+  "/root/repo/src/core/cluster_selector.cc" "src/CMakeFiles/ptk.dir/core/cluster_selector.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/cluster_selector.cc.o.d"
+  "/root/repo/src/core/delta_bounds.cc" "src/CMakeFiles/ptk.dir/core/delta_bounds.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/delta_bounds.cc.o.d"
+  "/root/repo/src/core/ei_estimator.cc" "src/CMakeFiles/ptk.dir/core/ei_estimator.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/ei_estimator.cc.o.d"
+  "/root/repo/src/core/multi_quota.cc" "src/CMakeFiles/ptk.dir/core/multi_quota.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/multi_quota.cc.o.d"
+  "/root/repo/src/core/quality.cc" "src/CMakeFiles/ptk.dir/core/quality.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/quality.cc.o.d"
+  "/root/repo/src/core/random_selector.cc" "src/CMakeFiles/ptk.dir/core/random_selector.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/random_selector.cc.o.d"
+  "/root/repo/src/core/selector.cc" "src/CMakeFiles/ptk.dir/core/selector.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/selector.cc.o.d"
+  "/root/repo/src/core/singleton_cleaner.cc" "src/CMakeFiles/ptk.dir/core/singleton_cleaner.cc.o" "gcc" "src/CMakeFiles/ptk.dir/core/singleton_cleaner.cc.o.d"
+  "/root/repo/src/crowd/adaptive.cc" "src/CMakeFiles/ptk.dir/crowd/adaptive.cc.o" "gcc" "src/CMakeFiles/ptk.dir/crowd/adaptive.cc.o.d"
+  "/root/repo/src/crowd/aggregation.cc" "src/CMakeFiles/ptk.dir/crowd/aggregation.cc.o" "gcc" "src/CMakeFiles/ptk.dir/crowd/aggregation.cc.o.d"
+  "/root/repo/src/crowd/crowd_model.cc" "src/CMakeFiles/ptk.dir/crowd/crowd_model.cc.o" "gcc" "src/CMakeFiles/ptk.dir/crowd/crowd_model.cc.o.d"
+  "/root/repo/src/crowd/session.cc" "src/CMakeFiles/ptk.dir/crowd/session.cc.o" "gcc" "src/CMakeFiles/ptk.dir/crowd/session.cc.o.d"
+  "/root/repo/src/data/csv.cc" "src/CMakeFiles/ptk.dir/data/csv.cc.o" "gcc" "src/CMakeFiles/ptk.dir/data/csv.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "src/CMakeFiles/ptk.dir/data/synthetic.cc.o" "gcc" "src/CMakeFiles/ptk.dir/data/synthetic.cc.o.d"
+  "/root/repo/src/model/database.cc" "src/CMakeFiles/ptk.dir/model/database.cc.o" "gcc" "src/CMakeFiles/ptk.dir/model/database.cc.o.d"
+  "/root/repo/src/model/instance.cc" "src/CMakeFiles/ptk.dir/model/instance.cc.o" "gcc" "src/CMakeFiles/ptk.dir/model/instance.cc.o.d"
+  "/root/repo/src/model/uncertain_object.cc" "src/CMakeFiles/ptk.dir/model/uncertain_object.cc.o" "gcc" "src/CMakeFiles/ptk.dir/model/uncertain_object.cc.o.d"
+  "/root/repo/src/pbtree/bound_object.cc" "src/CMakeFiles/ptk.dir/pbtree/bound_object.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pbtree/bound_object.cc.o.d"
+  "/root/repo/src/pbtree/pair_stream.cc" "src/CMakeFiles/ptk.dir/pbtree/pair_stream.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pbtree/pair_stream.cc.o.d"
+  "/root/repo/src/pbtree/pbtree.cc" "src/CMakeFiles/ptk.dir/pbtree/pbtree.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pbtree/pbtree.cc.o.d"
+  "/root/repo/src/pw/constraint.cc" "src/CMakeFiles/ptk.dir/pw/constraint.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pw/constraint.cc.o.d"
+  "/root/repo/src/pw/joint_component.cc" "src/CMakeFiles/ptk.dir/pw/joint_component.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pw/joint_component.cc.o.d"
+  "/root/repo/src/pw/possible_world.cc" "src/CMakeFiles/ptk.dir/pw/possible_world.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pw/possible_world.cc.o.d"
+  "/root/repo/src/pw/sampler.cc" "src/CMakeFiles/ptk.dir/pw/sampler.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pw/sampler.cc.o.d"
+  "/root/repo/src/pw/topk_distribution.cc" "src/CMakeFiles/ptk.dir/pw/topk_distribution.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pw/topk_distribution.cc.o.d"
+  "/root/repo/src/pw/topk_enumerator.cc" "src/CMakeFiles/ptk.dir/pw/topk_enumerator.cc.o" "gcc" "src/CMakeFiles/ptk.dir/pw/topk_enumerator.cc.o.d"
+  "/root/repo/src/rank/membership.cc" "src/CMakeFiles/ptk.dir/rank/membership.cc.o" "gcc" "src/CMakeFiles/ptk.dir/rank/membership.cc.o.d"
+  "/root/repo/src/rank/pairwise_prob.cc" "src/CMakeFiles/ptk.dir/rank/pairwise_prob.cc.o" "gcc" "src/CMakeFiles/ptk.dir/rank/pairwise_prob.cc.o.d"
+  "/root/repo/src/rank/poisson_binomial.cc" "src/CMakeFiles/ptk.dir/rank/poisson_binomial.cc.o" "gcc" "src/CMakeFiles/ptk.dir/rank/poisson_binomial.cc.o.d"
+  "/root/repo/src/topk/semantics.cc" "src/CMakeFiles/ptk.dir/topk/semantics.cc.o" "gcc" "src/CMakeFiles/ptk.dir/topk/semantics.cc.o.d"
+  "/root/repo/src/util/entropy.cc" "src/CMakeFiles/ptk.dir/util/entropy.cc.o" "gcc" "src/CMakeFiles/ptk.dir/util/entropy.cc.o.d"
+  "/root/repo/src/util/rng.cc" "src/CMakeFiles/ptk.dir/util/rng.cc.o" "gcc" "src/CMakeFiles/ptk.dir/util/rng.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/ptk.dir/util/status.cc.o" "gcc" "src/CMakeFiles/ptk.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/ptk.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/ptk.dir/util/stopwatch.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_object_test.dir/bound_object_test.cc.o"
+  "CMakeFiles/bound_object_test.dir/bound_object_test.cc.o.d"
+  "bound_object_test"
+  "bound_object_test.pdb"
+  "bound_object_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_object_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delta_bounds_test.dir/delta_bounds_test.cc.o"
+  "CMakeFiles/delta_bounds_test.dir/delta_bounds_test.cc.o.d"
+  "delta_bounds_test"
+  "delta_bounds_test.pdb"
+  "delta_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delta_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

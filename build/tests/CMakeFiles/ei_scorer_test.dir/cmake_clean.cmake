@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ei_scorer_test.dir/ei_scorer_test.cc.o"
+  "CMakeFiles/ei_scorer_test.dir/ei_scorer_test.cc.o.d"
+  "ei_scorer_test"
+  "ei_scorer_test.pdb"
+  "ei_scorer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ei_scorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

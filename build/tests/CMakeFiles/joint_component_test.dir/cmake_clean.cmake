@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/joint_component_test.dir/joint_component_test.cc.o"
+  "CMakeFiles/joint_component_test.dir/joint_component_test.cc.o.d"
+  "joint_component_test"
+  "joint_component_test.pdb"
+  "joint_component_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/joint_component_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_quota_test.dir/multi_quota_test.cc.o"
+  "CMakeFiles/multi_quota_test.dir/multi_quota_test.cc.o.d"
+  "multi_quota_test"
+  "multi_quota_test.pdb"
+  "multi_quota_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_quota_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

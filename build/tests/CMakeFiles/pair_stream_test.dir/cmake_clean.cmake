@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pair_stream_test.dir/pair_stream_test.cc.o"
+  "CMakeFiles/pair_stream_test.dir/pair_stream_test.cc.o.d"
+  "pair_stream_test"
+  "pair_stream_test.pdb"
+  "pair_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pair_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pairwise_prob_test.dir/pairwise_prob_test.cc.o"
+  "CMakeFiles/pairwise_prob_test.dir/pairwise_prob_test.cc.o.d"
+  "pairwise_prob_test"
+  "pairwise_prob_test.pdb"
+  "pairwise_prob_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pairwise_prob_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbtree_test.dir/pbtree_test.cc.o"
+  "CMakeFiles/pbtree_test.dir/pbtree_test.cc.o.d"
+  "pbtree_test"
+  "pbtree_test.pdb"
+  "pbtree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbtree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/singleton_cleaner_test.dir/singleton_cleaner_test.cc.o"
+  "CMakeFiles/singleton_cleaner_test.dir/singleton_cleaner_test.cc.o.d"
+  "singleton_cleaner_test"
+  "singleton_cleaner_test.pdb"
+  "singleton_cleaner_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/singleton_cleaner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tightest_bounds_test.dir/tightest_bounds_test.cc.o"
+  "CMakeFiles/tightest_bounds_test.dir/tightest_bounds_test.cc.o.d"
+  "tightest_bounds_test"
+  "tightest_bounds_test.pdb"
+  "tightest_bounds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tightest_bounds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/topk_enumerator_test.dir/topk_enumerator_test.cc.o"
+  "CMakeFiles/topk_enumerator_test.dir/topk_enumerator_test.cc.o.d"
+  "topk_enumerator_test"
+  "topk_enumerator_test.pdb"
+  "topk_enumerator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/topk_enumerator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

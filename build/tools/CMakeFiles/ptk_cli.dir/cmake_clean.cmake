@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptk_cli.dir/ptk_cli.cc.o"
+  "CMakeFiles/ptk_cli.dir/ptk_cli.cc.o.d"
+  "ptk_cli"
+  "ptk_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptk_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
