@@ -11,6 +11,7 @@
 // methods by orders of magnitude; OPT is the fastest.
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "core/quality.h"
 #include "data/synthetic.h"
 #include "harness.h"
+#include "rank/membership.h"
 #include "util/stopwatch.h"
 
 namespace {
@@ -51,8 +53,10 @@ double BruteForceSeconds(const ptk::model::Database& db, int k,
 }
 
 void RunDataset(const std::string& name, const ptk::model::Database& db,
-                const std::vector<int>& ks) {
-  std::printf("\n[%s] objects=%d\n", name.c_str(), db.num_objects());
+                const std::vector<int>& ks, ptk::bench::JsonWriter* json) {
+  const int threads = ptk::bench::JsonWriter::DefaultThreads();
+  std::printf("\n[%s] objects=%d threads=%d\n", name.c_str(),
+              db.num_objects(), threads);
   ptk::bench::Row({"k", "BF (extrap.)", "PBTREE", "OPT"});
   for (const int k : ks) {
     const double bf = BruteForceSeconds(db, k, k >= 15 ? 3 : 8);
@@ -60,6 +64,9 @@ void RunDataset(const std::string& name, const ptk::model::Database& db,
     ptk::core::SelectorOptions options;
     options.k = k;
     options.fanout = 8;
+    // One membership calculator serves both index-based selectors.
+    options.membership =
+        std::make_shared<ptk::rank::MembershipCalculator>(db, k);
     ptk::util::Stopwatch watch;
     ptk::core::BoundSelector basic(db, options,
                                    ptk::core::BoundSelector::Mode::kBasic);
@@ -75,6 +82,12 @@ void RunDataset(const std::string& name, const ptk::model::Database& db,
 
     ptk::bench::Row({std::to_string(k), ptk::bench::FmtSci(bf),
                      ptk::bench::FmtSci(t_basic), ptk::bench::FmtSci(t_opt)});
+    json->Record("fig12/" + name + "/BF_extrapolated", bf, threads,
+                 db.num_objects(), k);
+    json->Record("fig12/" + name + "/PBTREE", t_basic, threads,
+                 db.num_objects(), k);
+    json->Record("fig12/" + name + "/OPT", t_opt, threads, db.num_objects(),
+                 k);
   }
 }
 
@@ -82,12 +95,14 @@ void RunDataset(const std::string& name, const ptk::model::Database& db,
 
 int main() {
   ptk::bench::Banner("Fig. 12: overall elapsed time (seconds)");
+  ptk::bench::JsonWriter json;
   ptk::data::AgeOptions age;
   age.num_objects = ptk::bench::Scaled(100);
-  RunDataset("AGE", ptk::data::MakeAgeDataset(age).db, {3, 5, 8, 10});
+  RunDataset("AGE", ptk::data::MakeAgeDataset(age).db, {3, 5, 8, 10}, &json);
 
   ptk::data::ImdbOptions imdb;
   imdb.num_movies = ptk::bench::Scaled(300);
-  RunDataset("IMDB", ptk::data::MakeImdbDataset(imdb), {5, 10, 15, 20});
+  RunDataset("IMDB", ptk::data::MakeImdbDataset(imdb), {5, 10, 15, 20},
+             &json);
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <vector>
 
 #include "core/bound_selector.h"
@@ -21,6 +22,7 @@
 #include "data/synthetic.h"
 #include "harness.h"
 #include "pbtree/pair_stream.h"
+#include "rank/membership.h"
 #include "rank/pairwise_prob.h"
 #include "util/entropy.h"
 #include "util/stopwatch.h"
@@ -74,6 +76,8 @@ double BoundDeltaSeconds(const ptk::model::Database& db, int k,
 int main() {
   using ptk::bench::FmtSci;
   ptk::bench::Banner("Fig. 13(a): overall elapsed time vs cardinality (s)");
+  ptk::bench::JsonWriter json;
+  const int threads = ptk::bench::JsonWriter::DefaultThreads();
   std::vector<int> cardinalities = {1000, 2000, 5000};
   if (ptk::bench::Scale() >= 2.0) cardinalities.push_back(10000);
   if (ptk::bench::Scale() >= 8.0) cardinalities.push_back(100000);
@@ -89,6 +93,9 @@ int main() {
     ptk::core::SelectorOptions options;
     options.k = k;
     options.fanout = 8;
+    // One membership calculator serves both index-based selectors.
+    options.membership =
+        std::make_shared<ptk::rank::MembershipCalculator>(db, k);
     ptk::util::Stopwatch watch;
     ptk::core::BoundSelector basic(db, options,
                                    ptk::core::BoundSelector::Mode::kBasic);
@@ -102,6 +109,9 @@ int main() {
     const double t_opt = watch.ElapsedSeconds();
     ptk::bench::Row({std::to_string(n), FmtSci(bf), FmtSci(t_basic),
                      FmtSci(t_opt)});
+    json.Record("fig13a/BF_extrapolated", bf, threads, n, k);
+    json.Record("fig13a/PBTREE", t_basic, threads, n, k);
+    json.Record("fig13a/OPT", t_opt, threads, n, k);
   }
 
   ptk::bench::Banner(

@@ -1,20 +1,30 @@
 // Micro-benchmarks (google-benchmark) for the library's hot kernels:
 // pairwise probability, membership scans, Δ bounds, PB-tree construction,
-// and the top-k enumerator. These are the building blocks whose costs
-// compose into the Figs. 12-13 end-to-end numbers.
+// the top-k enumerator, and the parallel selection/sampling paths. These
+// are the building blocks whose costs compose into the Figs. 12-13
+// end-to-end numbers. Set PTK_BENCH_JSON=<path> to also write the results
+// as a JSON array (see bench/harness.h).
 
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
+#include <string>
+#include <vector>
 
+#include "core/bound_selector.h"
+#include "core/brute_force_selector.h"
 #include "core/delta_bounds.h"
 #include "data/synthetic.h"
+#include "harness.h"
 #include "pbtree/pair_stream.h"
 #include "pbtree/pbtree.h"
+#include "pw/sampler.h"
 #include "pw/topk_enumerator.h"
 #include "rank/membership.h"
 #include "rank/pairwise_prob.h"
 #include "util/entropy.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -130,6 +140,102 @@ void BM_TopKEnumerate(benchmark::State& state) {
 }
 BENCHMARK(BM_TopKEnumerate)->Arg(5)->Arg(10)->Arg(15);
 
+// A pool per requested thread count, built once and reused so pool
+// construction stays out of the timed region.
+ptk::util::ParallelConfig ParallelFor(int threads) {
+  static std::map<int, ptk::util::ThreadPool>* pools =
+      new std::map<int, ptk::util::ThreadPool>();
+  ptk::util::ParallelConfig config;
+  config.threads = threads;
+  config.pool = &pools->try_emplace(threads, threads).first->second;
+  return config;
+}
+
+void BM_BruteForceSelect(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto& db = SynDb(m);
+  ptk::core::SelectorOptions options;
+  options.k = static_cast<int>(state.range(2));
+  options.enumerator.epsilon = 1e-9;
+  options.parallel = ParallelFor(static_cast<int>(state.range(1)));
+  ptk::core::BruteForceSelector selector(db, options);
+  for (auto _ : state) {
+    std::vector<ptk::core::ScoredPair> out;
+    const auto s = selector.SelectPairs(5, &out);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BruteForceSelect)
+    ->ArgNames({"m", "threads", "k"})
+    ->Args({24, 1, 3})
+    ->Args({24, 2, 3})
+    ->Args({24, 4, 3})
+    ->Args({24, 8, 3});
+
+void BM_BoundSelectorSelect(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto& db = SynDb(m);
+  ptk::core::SelectorOptions options;
+  options.k = static_cast<int>(state.range(2));
+  options.fanout = 8;
+  options.parallel = ParallelFor(static_cast<int>(state.range(1)));
+  options.membership =
+      std::make_shared<ptk::rank::MembershipCalculator>(db, options.k);
+  for (auto _ : state) {
+    ptk::core::BoundSelector selector(
+        db, options, ptk::core::BoundSelector::Mode::kOptimized);
+    std::vector<ptk::core::ScoredPair> out;
+    const auto s = selector.SelectPairs(10, &out);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BoundSelectorSelect)
+    ->ArgNames({"m", "threads", "k"})
+    ->Args({2000, 1, 10})
+    ->Args({2000, 8, 10});
+
+void BM_WorldSamplerEstimate(benchmark::State& state) {
+  const int m = static_cast<int>(state.range(0));
+  const auto& db = SynDb(m);
+  const ptk::pw::WorldSampler sampler(db);
+  const auto parallel = ParallelFor(static_cast<int>(state.range(1)));
+  const int k = static_cast<int>(state.range(2));
+  for (auto _ : state) {
+    ptk::pw::WorldSampler::Result result;
+    const auto s =
+        sampler.Estimate(k, ptk::pw::OrderMode::kInsensitive, nullptr,
+                         20'000, 17, &result, parallel);
+    if (!s.ok()) state.SkipWithError(s.ToString().c_str());
+    benchmark::DoNotOptimize(result.accepted);
+  }
+}
+BENCHMARK(BM_WorldSamplerEstimate)
+    ->ArgNames({"m", "threads", "k"})
+    ->Args({200, 1, 10})
+    ->Args({200, 2, 10})
+    ->Args({200, 4, 10})
+    ->Args({200, 8, 10});
+
+void BM_PairTablesBatch(benchmark::State& state) {
+  const auto& db = SynDb(2000);
+  ptk::rank::MembershipCalculator calc(db, 10);
+  const auto parallel = ParallelFor(static_cast<int>(state.range(0)));
+  std::vector<std::pair<ptk::model::ObjectId, ptk::model::ObjectId>> pairs;
+  for (int i = 0; i < 64; ++i) {
+    const ptk::model::ObjectId a = (i * 7) % db.num_objects();
+    const ptk::model::ObjectId b = (a + 11) % db.num_objects();
+    pairs.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  for (auto _ : state) {
+    std::vector<ptk::rank::MembershipCalculator::PairTables> tables;
+    calc.ComputePairTablesBatch(pairs, parallel, &tables);
+    benchmark::DoNotOptimize(tables);
+  }
+}
+BENCHMARK(BM_PairTablesBatch)->ArgName("threads")->Arg(1)->Arg(8);
+
 void BM_BoundObjectConstruction(benchmark::State& state) {
   const auto& db = SynDb(1000);
   std::vector<ptk::pbtree::BoundObject::Input> inputs;
@@ -143,6 +249,45 @@ void BM_BoundObjectConstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_BoundObjectConstruction);
 
+// Extracts an "/name:123" argument from a benchmark's display name
+// ("BM_X/m:24/threads:8"); returns fallback when absent.
+int NameArg(const std::string& name, const std::string& key, int fallback) {
+  const std::string tag = "/" + key + ":";
+  const size_t at = name.find(tag);
+  if (at == std::string::npos) return fallback;
+  return std::atoi(name.c_str() + at + tag.size());
+}
+
+// Console output as usual, plus one JsonWriter record per run so
+// PTK_BENCH_JSON captures the same numbers machine-readably.
+class JsonTeeReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonTeeReporter(ptk::bench::JsonWriter* json) : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      const std::string name = run.benchmark_name();
+      json_->Record(
+          name, run.real_accumulated_time / run.iterations,
+          NameArg(name, "threads", ptk::bench::JsonWriter::DefaultThreads()),
+          NameArg(name, "m", 0), NameArg(name, "k", 0));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  ptk::bench::JsonWriter* json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ptk::bench::JsonWriter json;
+  JsonTeeReporter reporter(&json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

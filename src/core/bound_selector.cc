@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <queue>
+#include <utility>
 
 namespace ptk::core {
 
@@ -21,10 +22,10 @@ BoundSelector::BoundSelector(const model::Database& db,
       options_(options),
       mode_(mode),
       tree_(db, TreeOptions(options)),
-      membership_(db, options.k),
-      estimator_(db, membership_, options.order),
+      membership_(options.MembershipFor(db)),
+      estimator_(db, *membership_, options.order),
       h_scorer_(db),
-      ei_scorer_(db, membership_, options.order) {}
+      ei_scorer_(db, *membership_, options.order) {}
 
 util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
   stats_ = Stats();
@@ -42,22 +43,68 @@ util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
       best(worse);
   double threshold = -1.0;  // t-th best EI estimate once `best` is full
 
-  while (auto pair = stream.Next()) {
-    const bool full = static_cast<int>(best.size()) >= t;
-    // pair->score is H(A(P_1)), an upper bound of this pair's EI: skip the
-    // Δ computation when it cannot enter the top t (Algorithm 1 line 5).
-    if (!full || pair->score > threshold) {
-      const EIEstimate est = estimator_.Estimate(pair->a, pair->b);
-      ++stats_.pairs_evaluated;
-      best.push(ScoredPair{pair->a, pair->b, est.estimate(), est.lower(),
-                           est.upper()});
-      if (static_cast<int>(best.size()) > t) best.pop();
-    }
-    if (static_cast<int>(best.size()) >= t) {
-      threshold = best.top().ei_estimate;
+  // With one shard the batch degenerates to a single pair and the loop
+  // below is exactly Algorithm 1. With more shards, each batch speculates
+  // against the threshold as of the batch start; since the threshold only
+  // rises, the speculative set is a superset of the pairs the serial run
+  // evaluates, and the merge re-applies the serial rule pair by pair in
+  // pop order — the selected set is bit-identical, only pairs_evaluated
+  // can overshoot.
+  const int shards = options_.parallel.Shards();
+  const size_t batch_size = shards <= 1 ? 1 : static_cast<size_t>(2 * shards);
+  std::vector<pbtree::ScoredObjectPair> batch;
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> batch_pairs;
+
+  for (;;) {
+    // Pop phase: collect candidates that could still enter the top t under
+    // the current threshold (Algorithm 1 line 5). pair->score is
+    // H(A(P_1)), an upper bound of the pair's EI.
+    batch.clear();
+    bool exhausted = false;
+    while (batch.size() < batch_size) {
+      const bool full = static_cast<int>(best.size()) >= t;
       // Algorithm 1 line 8: nothing left can beat the t-th best.
-      if (stream.RemainingUpperBound() <= threshold) break;
+      if (full && stream.RemainingUpperBound() <= threshold) {
+        exhausted = true;
+        break;
+      }
+      const auto pair = stream.Next();
+      if (!pair) {
+        exhausted = true;
+        break;
+      }
+      if (full && pair->score <= threshold) continue;
+      batch.push_back(*pair);
     }
+    if (batch.empty()) break;
+
+    // Evaluate phase: Δ bounds for the whole batch, sharded.
+    std::vector<EIEstimate> estimates;
+    if (batch.size() == 1) {
+      estimates.push_back(estimator_.Estimate(batch[0].a, batch[0].b));
+    } else {
+      batch_pairs.clear();
+      for (const pbtree::ScoredObjectPair& p : batch) {
+        batch_pairs.emplace_back(p.a, p.b);
+      }
+      estimates = estimator_.EstimateBatch(batch_pairs, options_.parallel);
+    }
+    stats_.pairs_evaluated += static_cast<int64_t>(batch.size());
+
+    // Merge phase: replay the serial acceptance rule in pop order.
+    for (size_t i = 0; i < batch.size(); ++i) {
+      const bool full = static_cast<int>(best.size()) >= t;
+      if (!full || batch[i].score > threshold) {
+        const EIEstimate& est = estimates[i];
+        best.push(ScoredPair{batch[i].a, batch[i].b, est.estimate(),
+                             est.lower(), est.upper()});
+        if (static_cast<int>(best.size()) > t) best.pop();
+      }
+      if (static_cast<int>(best.size()) >= t) {
+        threshold = best.top().ei_estimate;
+      }
+    }
+    if (exhausted) break;
   }
   stats_.stream = stream.stats();
 

@@ -1,6 +1,7 @@
 #ifndef PTK_CORE_BOUND_SELECTOR_H_
 #define PTK_CORE_BOUND_SELECTOR_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -20,6 +21,13 @@ namespace ptk::core {
 ///
 /// kBasic is the paper's PBTREE (node pairs ranked by Ĥ, Eq. 16); kOptimized
 /// is OPT (node pairs ranked by ÊI, Eq. 18, Section 4.4).
+///
+/// With options.parallel resolving to more than one shard, candidate pairs
+/// are popped from the stream in speculative batches whose Δ bounds are
+/// evaluated in parallel, then merged in pop order under Algorithm 1's
+/// exact threshold rule — so the selected pairs are bit-identical to the
+/// serial run; the only difference is that pairs_evaluated may overshoot
+/// by the batch tail (observable in Stats).
 class BoundSelector : public PairSelector {
  public:
   enum class Mode { kBasic, kOptimized };
@@ -34,13 +42,15 @@ class BoundSelector : public PairSelector {
 
   /// Counters from the most recent SelectPairs call (Figs. 12-13).
   struct Stats {
-    int64_t pairs_evaluated = 0;  // Δ-bound computations
+    int64_t pairs_evaluated = 0;  // Δ-bound computations (incl. overshoot)
     pbtree::PairStream::Stats stream;
   };
   const Stats& stats() const { return stats_; }
 
   const pbtree::PBTree& tree() const { return tree_; }
-  const rank::MembershipCalculator& membership() const { return membership_; }
+  const rank::MembershipCalculator& membership() const {
+    return *membership_;
+  }
   const EIEstimator& estimator() const { return estimator_; }
 
  private:
@@ -48,7 +58,10 @@ class BoundSelector : public PairSelector {
   SelectorOptions options_;
   Mode mode_;
   pbtree::PBTree tree_;
-  rank::MembershipCalculator membership_;
+  // Shared across this selector's estimator and scorer (and, via
+  // SelectorOptions::membership, across selectors), so each lazy top-k
+  // scan runs once.
+  std::shared_ptr<const rank::MembershipCalculator> membership_;
   EIEstimator estimator_;
   pbtree::HEntropyScorer h_scorer_;
   pbtree::EIScorer ei_scorer_;

@@ -2,28 +2,56 @@
 
 #include <algorithm>
 
+#include "util/thread_pool.h"
+
 namespace ptk::core {
 
 BruteForceSelector::BruteForceSelector(const model::Database& db,
                                        const SelectorOptions& options)
-    : db_(&db),
-      options_(options),
-      evaluator_(db, options.k, options.order, options.enumerator) {}
+    : db_(&db), options_(options) {}
 
 util::Status BruteForceSelector::SelectPairs(int t,
                                              std::vector<ScoredPair>* out) {
-  std::vector<ScoredPair> scored;
   const int m = db_->num_objects();
-  scored.reserve(static_cast<size_t>(m) * (m - 1) / 2);
+  const int64_t total = static_cast<int64_t>(m) * (m - 1) / 2;
+  std::vector<ScoredPair> scored(total);
+  int64_t idx = 0;
   for (model::ObjectId a = 0; a < m; ++a) {
     for (model::ObjectId b = a + 1; b < m; ++b) {
-      double ei = 0.0;
-      util::Status s =
-          evaluator_.ExactExpectedImprovement(a, b, nullptr, &ei);
-      if (!s.ok()) return s;
-      scored.push_back(ScoredPair{a, b, ei, ei, ei});
+      scored[idx].a = a;
+      scored[idx].b = b;
+      ++idx;
     }
   }
+
+  // Every pair's exact EI is independent, so the quadratic sweep shards
+  // cleanly; each shard reuses one evaluator (the enumerator is stateless,
+  // but per-shard instances keep the loop free of shared writes). Scores
+  // land in the pair's own slot, so the merge below is the same
+  // deterministic sort as the serial path and the output is bit-identical
+  // for every shard count.
+  std::vector<util::Status> shard_status(
+      std::max(1, options_.parallel.Shards()), util::Status::OK());
+  util::ParallelFor(
+      options_.parallel, total, [&](int shard, int64_t begin, int64_t end) {
+        const QualityEvaluator evaluator(*db_, options_.k, options_.order,
+                                         options_.enumerator);
+        for (int64_t i = begin; i < end; ++i) {
+          double ei = 0.0;
+          const util::Status s = evaluator.ExactExpectedImprovement(
+              scored[i].a, scored[i].b, nullptr, &ei);
+          if (!s.ok()) {
+            shard_status[shard] = s;
+            return;
+          }
+          scored[i].ei_estimate = scored[i].ei_lower = scored[i].ei_upper =
+              ei;
+        }
+      });
+  for (const util::Status& s : shard_status) {
+    if (!s.ok()) return s;
+  }
+
   std::sort(scored.begin(), scored.end(),
             [](const ScoredPair& x, const ScoredPair& y) {
               if (x.ei_estimate != y.ei_estimate) {

@@ -13,6 +13,9 @@ namespace ptk::core {
 /// distribution on both comparison outcomes (Eqs. 6-7). Cost is
 /// O(n^2 · enumeration), which is why Figs. 12-13 show it taking days at
 /// scale — use it only on small inputs and as the correctness oracle.
+///
+/// The pair sweep runs in parallel per options.parallel; output is
+/// bit-identical for every shard count.
 class BruteForceSelector : public PairSelector {
  public:
   BruteForceSelector(const model::Database& db,
@@ -24,7 +27,6 @@ class BruteForceSelector : public PairSelector {
  private:
   const model::Database* db_;
   SelectorOptions options_;
-  QualityEvaluator evaluator_;
 };
 
 }  // namespace ptk::core

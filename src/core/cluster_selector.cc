@@ -15,8 +15,8 @@ ClusterSelector::ClusterSelector(const model::Database& db,
                                  double max_cluster_spread)
     : db_(&db),
       options_(options),
-      membership_(db, options.k),
-      estimator_(db, membership_, options.order) {
+      membership_(options.MembershipFor(db)),
+      estimator_(db, *membership_, options.order) {
   BuildClusters(max_cluster_spread);
 }
 
@@ -58,7 +58,7 @@ void ClusterSelector::BuildClusters(double max_cluster_spread) {
     model::ObjectId best = cluster.front();
     double best_p = -1.0;
     for (model::ObjectId o : cluster) {
-      const double p = membership_.ObjectTopKProbability(o);
+      const double p = membership_->ObjectTopKProbability(o);
       if (p > best_p) {
         best_p = p;
         best = o;

@@ -1,6 +1,7 @@
 #ifndef PTK_CORE_CLUSTER_SELECTOR_H_
 #define PTK_CORE_CLUSTER_SELECTOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/ei_estimator.h"
@@ -49,7 +50,7 @@ class ClusterSelector : public PairSelector {
 
   const model::Database* db_;
   SelectorOptions options_;
-  rank::MembershipCalculator membership_;
+  std::shared_ptr<const rank::MembershipCalculator> membership_;
   EIEstimator estimator_;
   std::vector<std::vector<model::ObjectId>> clusters_;
   std::vector<model::ObjectId> representatives_;

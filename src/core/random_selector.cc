@@ -14,10 +14,10 @@ RandomSelector::RandomSelector(const model::Database& db,
   pool_.resize(m);
   std::iota(pool_.begin(), pool_.end(), 0);
   if (mode_ == Mode::kTopFraction) {
-    rank::MembershipCalculator membership(db, options_.k);
+    const auto membership = options.MembershipFor(db);
     std::vector<double> score(m);
     for (model::ObjectId o = 0; o < m; ++o) {
-      score[o] = membership.ObjectTopKProbability(o);
+      score[o] = membership->ObjectTopKProbability(o);
     }
     std::sort(pool_.begin(), pool_.end(),
               [&score](model::ObjectId a, model::ObjectId b) {

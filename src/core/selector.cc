@@ -1,5 +1,17 @@
 #include "core/selector.h"
 
-// The selector interface is header-only; concrete strategies live in
-// brute_force_selector.cc, bound_selector.cc, random_selector.cc, and
-// multi_quota.cc.
+#include <algorithm>
+
+namespace ptk::core {
+
+std::shared_ptr<const rank::MembershipCalculator>
+SelectorOptions::MembershipFor(const model::Database& db) const {
+  const int clamped = std::clamp(k, 1, db.num_objects());
+  if (membership != nullptr && &membership->db() == &db &&
+      membership->k() == clamped) {
+    return membership;
+  }
+  return std::make_shared<const rank::MembershipCalculator>(db, k);
+}
+
+}  // namespace ptk::core

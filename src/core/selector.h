@@ -2,13 +2,16 @@
 #define PTK_CORE_SELECTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "model/database.h"
 #include "pw/topk_distribution.h"
 #include "pw/topk_enumerator.h"
+#include "rank/membership.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ptk::core {
 
@@ -32,6 +35,20 @@ struct SelectorOptions {
 
   /// HRS2 greedily combines pairs from a candidate pool of this size.
   int candidate_pool = 64;
+
+  /// Shard count / pool for the parallel hot paths. Selector output is
+  /// bit-identical for every setting (see DESIGN.md, "Parallel execution").
+  util::ParallelConfig parallel;
+
+  /// Optional membership calculator shared across selectors so the lazy
+  /// top-k scans run once per (db, k) instead of once per selector. It is
+  /// used only when it was built for the same database and the same
+  /// (clamped) k; otherwise the selector builds its own.
+  std::shared_ptr<const rank::MembershipCalculator> membership;
+
+  /// options.membership when compatible with (db, k), else a fresh one.
+  std::shared_ptr<const rank::MembershipCalculator> MembershipFor(
+      const model::Database& db) const;
 };
 
 /// A selected candidate pair with the selector's improvement estimate.

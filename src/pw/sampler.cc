@@ -38,34 +38,55 @@ void WorldSampler::SampleWorld(util::Rng& rng,
 util::Status WorldSampler::Estimate(int k, OrderMode order,
                                     const ConstraintSet* constraints,
                                     int64_t samples, uint64_t seed,
-                                    Result* out) const {
+                                    Result* out,
+                                    const util::ParallelConfig& parallel)
+    const {
   if (k < 1 || k > db_->num_objects()) {
     return util::Status::InvalidArgument("k must be in [1, num_objects]");
   }
   if (samples < 1) {
     return util::Status::InvalidArgument("samples must be positive");
   }
-  util::Rng rng(seed);
+  // Shard count fixes the RNG streams, so the estimate depends only on
+  // (seed, shards) — never on how shards are scheduled across threads.
+  const int shards = static_cast<int>(
+      std::min<int64_t>(parallel.Shards(), samples));
+  std::vector<Result> partial(shards);
+  const double weight = 1.0;  // normalized after the merge
+  parallel.Pool().Run(shards, [&](int s) {
+    Result& local = partial[s];
+    local.distribution = TopKDistribution(order);
+    // Shard s draws its contiguous share of the sample budget from its own
+    // stream; stream 0 reproduces the historical single-threaded sequence.
+    const int64_t begin = samples * s / shards;
+    const int64_t end = samples * (s + 1) / shards;
+    util::Rng rng(util::StreamSeed(seed, s));
+    std::vector<model::InstanceId> iids;
+    for (int64_t i = begin; i < end; ++i) {
+      SampleWorld(rng, &iids);
+      ++local.samples;
+      if (constraints != nullptr) {
+        bool ok = true;
+        for (const PairwiseConstraint& c : constraints->constraints()) {
+          if (db_->PositionOf({c.smaller, iids[c.smaller]}) >=
+              db_->PositionOf({c.larger, iids[c.larger]})) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+      }
+      ++local.accepted;
+      local.distribution.Add(WorldTopK(*db_, iids, k), weight);
+    }
+  });
+
   Result result;
   result.distribution = TopKDistribution(order);
-  std::vector<model::InstanceId> iids;
-  const double weight = 1.0;  // normalized after the loop
-  for (int64_t s = 0; s < samples; ++s) {
-    SampleWorld(rng, &iids);
-    ++result.samples;
-    if (constraints != nullptr) {
-      bool ok = true;
-      for (const PairwiseConstraint& c : constraints->constraints()) {
-        if (db_->PositionOf({c.smaller, iids[c.smaller]}) >=
-            db_->PositionOf({c.larger, iids[c.larger]})) {
-          ok = false;
-          break;
-        }
-      }
-      if (!ok) continue;
-    }
-    ++result.accepted;
-    result.distribution.Add(WorldTopK(*db_, iids, k), weight);
+  for (const Result& local : partial) {  // fixed order: deterministic sums
+    result.samples += local.samples;
+    result.accepted += local.accepted;
+    result.distribution.Merge(local.distribution);
   }
   if (result.accepted == 0) {
     return util::Status::InvalidArgument(

@@ -8,6 +8,7 @@
 #include "pw/topk_distribution.h"
 #include "util/rng.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace ptk::pw {
 
@@ -37,9 +38,17 @@ class WorldSampler {
   /// results of those consistent with `constraints` (all, when null).
   /// The returned distribution is normalized over accepted samples.
   /// Fails with InvalidArgument if no sample satisfies the constraints.
+  ///
+  /// Sampling shards across `parallel`: shard s draws its share of the
+  /// samples from an independent RNG stream seeded by (seed, s), and the
+  /// partial distributions merge in shard order. The result therefore
+  /// depends only on (seed, shard count) — a fixed seed at a fixed
+  /// PTK_THREADS / parallel.threads setting is reproducible bit-for-bit,
+  /// and a single shard reproduces the historical serial stream exactly.
   util::Status Estimate(int k, OrderMode order,
                         const ConstraintSet* constraints, int64_t samples,
-                        uint64_t seed, Result* out) const;
+                        uint64_t seed, Result* out,
+                        const util::ParallelConfig& parallel = {}) const;
 
   /// Samples one world: iids[o] receives the chosen instance per object.
   void SampleWorld(util::Rng& rng, std::vector<model::InstanceId>* iids) const;

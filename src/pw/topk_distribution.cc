@@ -59,4 +59,12 @@ void TopKDistribution::Scale(double factor) {
   lost_mass_ *= factor;
 }
 
+void TopKDistribution::Merge(const TopKDistribution& other) {
+  for (const auto& [key, p] : other.entries_) {
+    entries_[key] += p;
+    total_mass_ += p;
+  }
+  lost_mass_ += other.lost_mass_;
+}
+
 }  // namespace ptk::pw

@@ -82,6 +82,11 @@ class TopKDistribution {
   /// distributions into joint ones).
   void Scale(double factor);
 
+  /// Adds every entry of `other` (same order mode) into this distribution,
+  /// including lost mass. Used to combine per-shard partial distributions;
+  /// merging shards in a fixed order keeps the summation deterministic.
+  void Merge(const TopKDistribution& other);
+
  private:
   OrderMode order_;
   std::unordered_map<ResultKey, double, ResultKeyHash> entries_;

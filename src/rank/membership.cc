@@ -72,7 +72,10 @@ void MembershipCalculator::ScanPositions(
 }
 
 void MembershipCalculator::EnsureSingles() const {
-  if (singles_ready_) return;
+  std::call_once(singles_once_, [this] { BuildSingles(); });
+}
+
+void MembershipCalculator::BuildSingles() const {
   pt_single_.assign(prefix_.size(), 0.0);
   const auto& sorted = db_->sorted_instances();
   PoissonBinomialTracker tracker;
@@ -89,7 +92,6 @@ void MembershipCalculator::EnsureSingles() const {
     const double q_new = PrefixMass(inst.oid, inst.iid + 1);
     tracker.Update(q_old, q_new);
   }
-  singles_ready_ = true;
 }
 
 double MembershipCalculator::TopKProbability(model::InstanceRef ref) const {
@@ -158,6 +160,23 @@ MembershipCalculator::PairTables MembershipCalculator::ComputePairTables(
     }
   }
   return tables;
+}
+
+void MembershipCalculator::ComputePairTablesBatch(
+    std::span<const std::pair<model::ObjectId, model::ObjectId>> pairs,
+    const util::ParallelConfig& parallel,
+    std::vector<PairTables>* out) const {
+  out->clear();
+  out->resize(pairs.size());
+  // Pair scans read only the immutable prefix masses, so each shard's only
+  // writes are its own output slots.
+  util::ParallelFor(parallel, static_cast<int64_t>(pairs.size()),
+                    [&](int /*shard*/, int64_t begin, int64_t end) {
+                      for (int64_t i = begin; i < end; ++i) {
+                        (*out)[i] = ComputePairTables(pairs[i].first,
+                                                      pairs[i].second);
+                      }
+                    });
 }
 
 MembershipCalculator::PairConditionals

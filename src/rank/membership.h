@@ -1,11 +1,14 @@
 #ifndef PTK_RANK_MEMBERSHIP_H_
 #define PTK_RANK_MEMBERSHIP_H_
 
+#include <mutex>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "model/database.h"
 #include "model/instance.h"
+#include "util/thread_pool.h"
 
 namespace ptk::rank {
 
@@ -26,12 +29,19 @@ namespace ptk::rank {
 /// Scans terminate early once k objects are certainly ranked above the scan
 /// point (all later memberships are exactly zero), which makes the cost
 /// depend on k and data density rather than on database size.
+///
+/// Thread safety: all const methods are safe to call concurrently. The
+/// lazily-built singles table is initialized exactly once behind
+/// std::call_once; every other scan works on per-call local state. One
+/// calculator is therefore meant to be shared across selectors and worker
+/// threads (see SelectorOptions::membership).
 class MembershipCalculator {
  public:
   /// `db` must be finalized. k is clamped to [1, num_objects].
   MembershipCalculator(const model::Database& db, int k);
 
   int k() const { return k_; }
+  const model::Database& db() const { return *db_; }
 
   /// PT_k(i, O). Lazily computes all instances' values in one scan.
   double TopKProbability(model::InstanceRef ref) const;
@@ -48,6 +58,15 @@ class MembershipCalculator {
     std::vector<std::vector<double>> npt;
   };
   PairTables ComputePairTables(model::ObjectId o1, model::ObjectId o2) const;
+
+  /// Batched entry point used by the selectors: computes the joint tables
+  /// of every pair in `pairs`, sharded across `parallel`. out->at(i) holds
+  /// the tables of pairs[i]; results are identical to calling
+  /// ComputePairTables per pair (each pair's scan is independent).
+  void ComputePairTablesBatch(
+      std::span<const std::pair<model::ObjectId, model::ObjectId>> pairs,
+      const util::ParallelConfig& parallel,
+      std::vector<PairTables>* out) const;
 
   /// Normalized conditionals for the Eq. 18 node-pair bound:
   /// both    = Pr(both objects in top-k | both instances chosen)
@@ -80,12 +99,13 @@ class MembershipCalculator {
   }
 
   void EnsureSingles() const;
+  void BuildSingles() const;
 
   const model::Database* db_;
   int k_;
   std::vector<int> flat_offset_;     // oid -> start in prefix_/pt_single_
   std::vector<double> prefix_;       // exact per-object prefix masses by iid
-  mutable bool singles_ready_ = false;
+  mutable std::once_flag singles_once_;
   mutable std::vector<double> pt_single_;  // PT_k per (oid,iid), flat
 };
 

@@ -41,6 +41,22 @@ class Rng {
   std::uniform_real_distribution<double> unit_{0.0, 1.0};
 };
 
+/// SplitMix64 finalizer: the standard 64-bit mixer used to derive
+/// well-separated seeds from nearby inputs.
+inline uint64_t MixBits(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// Seed of the `stream`-th independent RNG stream derived from `seed`.
+/// Stream 0 is the base seed itself, so single-stream consumers are
+/// bit-compatible with code that seeded Rng(seed) directly.
+inline uint64_t StreamSeed(uint64_t seed, int stream) {
+  return stream == 0 ? seed : MixBits(seed + static_cast<uint64_t>(stream));
+}
+
 }  // namespace ptk::util
 
 #endif  // PTK_UTIL_RNG_H_

@@ -1,0 +1,128 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace ptk::util {
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  workers_.reserve(num_threads_ - 1);
+  for (int i = 0; i < num_threads_ - 1; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+// Claims task indices in [base, limit) from the shared monotonic counter.
+// The counter is never reset, and claims are CAS-bounded by the limit, so a
+// worker waking late for an already-finished batch observes counter >=
+// its snapshot's limit and exits without touching the new batch's range
+// (or the possibly-dangling fn).
+bool ThreadPool::ClaimTask(int64_t limit, int64_t* index) {
+  int64_t c = next_task_.load(std::memory_order_relaxed);
+  while (c < limit) {
+    if (next_task_.compare_exchange_weak(c, c + 1,
+                                         std::memory_order_relaxed)) {
+      *index = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
+  if (num_tasks <= 0) return;
+  if (workers_.empty() || num_tasks == 1) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  // One batch at a time; concurrent Run callers queue up here.
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  int64_t base = 0;
+  int64_t limit = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fn_ = &fn;
+    num_tasks_ = num_tasks;
+    done_count_ = 0;
+    base = next_task_.load(std::memory_order_relaxed);
+    limit = base + num_tasks;
+    limit_ = limit;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  // The calling thread claims tasks alongside the workers.
+  int64_t claimed = 0;
+  while (ClaimTask(limit, &claimed)) {
+    fn(static_cast<int>(claimed - base));
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_count_;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [this] { return done_count_ == num_tasks_; });
+  fn_ = nullptr;
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    const std::function<void(int)>* fn = fn_;
+    const int num_tasks = num_tasks_;
+    const int64_t limit = limit_;
+    const int64_t base = limit - num_tasks;
+    lock.unlock();
+    int64_t claimed = 0;
+    while (ClaimTask(limit, &claimed)) {
+      (*fn)(static_cast<int>(claimed - base));
+      std::lock_guard<std::mutex> task_lock(mu_);
+      if (++done_count_ == num_tasks) done_cv_.notify_all();
+    }
+    lock.lock();
+  }
+}
+
+ThreadPool& ThreadPool::Global() {
+  static ThreadPool* pool = new ThreadPool(ResolveThreads(0));
+  return *pool;
+}
+
+int ThreadPool::ResolveThreads(int requested) {
+  if (requested > 0) return requested;
+  if (const char* env = std::getenv("PTK_THREADS")) {
+    const int v = std::atoi(env);
+    if (v > 0) return v;
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+void ParallelFor(const ParallelConfig& config, int64_t n,
+                 const std::function<void(int, int64_t, int64_t)>& fn) {
+  if (n <= 0) return;
+  const int shards =
+      static_cast<int>(std::min<int64_t>(config.Shards(), n));
+  if (shards <= 1) {
+    fn(0, 0, n);
+    return;
+  }
+  config.Pool().Run(shards, [&](int s) {
+    const int64_t begin = n * s / shards;
+    const int64_t end = n * (s + 1) / shards;
+    if (begin < end) fn(s, begin, end);
+  });
+}
+
+}  // namespace ptk::util

@@ -1,0 +1,100 @@
+#ifndef PTK_UTIL_THREAD_POOL_H_
+#define PTK_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ptk::util {
+
+/// A fixed-size pool of worker threads for the library's embarrassingly
+/// parallel hot paths (exact-EI sweeps, Δ-bound batches, possible-world
+/// sampling). The calling thread participates in every batch, so a pool of
+/// size N spawns N-1 workers and a pool of size 1 spawns none and runs
+/// everything inline.
+///
+/// Determinism contract: callers split their work into a *shard* count that
+/// depends only on their configuration (never on how many threads happen to
+/// execute), compute each shard independently, and merge shard results in
+/// shard order on the calling thread. Under that discipline, results are
+/// identical no matter how shards are scheduled across threads.
+class ThreadPool {
+ public:
+  /// Creates a pool that runs batches on `num_threads` threads total
+  /// (clamped to >= 1); num_threads - 1 workers are spawned.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs fn(0) ... fn(num_tasks - 1), each exactly once, across the pool
+  /// (including the calling thread) and returns when all have completed.
+  /// fn must not call Run on the same pool (no nesting).
+  void Run(int num_tasks, const std::function<void(int)>& fn);
+
+  /// Process-wide pool sized by ResolveThreads(0). Created on first use.
+  static ThreadPool& Global();
+
+  /// Resolves a requested thread count: `requested` when > 0, otherwise the
+  /// PTK_THREADS environment variable when set to a positive integer,
+  /// otherwise std::thread::hardware_concurrency().
+  static int ResolveThreads(int requested);
+
+ private:
+  void WorkerLoop();
+  bool ClaimTask(int64_t limit, int64_t* index);
+
+  const int num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex run_mu_;  // serializes concurrent Run callers
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  // Current batch, guarded by mu_ except for the task-claim counter, which
+  // is monotonic across batches (see ClaimTask).
+  const std::function<void(int)>* fn_ = nullptr;
+  int num_tasks_ = 0;
+  int done_count_ = 0;
+  int64_t limit_ = 0;
+  uint64_t generation_ = 0;
+  bool shutdown_ = false;
+  std::atomic<int64_t> next_task_{0};
+};
+
+/// How a parallel call splits and executes its work.
+struct ParallelConfig {
+  /// Shard count: > 0 uses exactly that many shards; 0 resolves through
+  /// ThreadPool::ResolveThreads (PTK_THREADS, then hardware concurrency).
+  /// Shard count — not physical thread count — is what sharded-RNG results
+  /// (WorldSampler) depend on.
+  int threads = 0;
+
+  /// Pool that executes the shards; null uses ThreadPool::Global().
+  ThreadPool* pool = nullptr;
+
+  int Shards() const { return ThreadPool::ResolveThreads(threads); }
+  ThreadPool& Pool() const {
+    return pool != nullptr ? *pool : ThreadPool::Global();
+  }
+};
+
+/// Chunked parallel-for: splits [0, n) into at most config.Shards()
+/// contiguous ranges and invokes fn(shard, begin, end) for each. Runs
+/// inline (serially, in shard order) when only one shard results or the
+/// pool is single-threaded; the split itself never depends on the pool, so
+/// any per-shard state a caller derives (RNG streams, scratch evaluators)
+/// is reproducible.
+void ParallelFor(const ParallelConfig& config, int64_t n,
+                 const std::function<void(int, int64_t, int64_t)>& fn);
+
+}  // namespace ptk::util
+
+#endif  // PTK_UTIL_THREAD_POOL_H_
