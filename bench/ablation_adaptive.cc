@@ -47,6 +47,7 @@ int main() {
         ptk::crowd::AdaptiveCleaner::Options options;
         options.k = k;
         ptk::crowd::AdaptiveCleaner cleaner(db, &oracle, options);
+        if (!cleaner.Init().ok()) return 1;
         std::vector<ptk::crowd::AdaptiveCleaner::StepReport> steps;
         if (!cleaner.Run(budget, &steps).ok()) return 1;
         h_adaptive += steps.back().true_quality;
@@ -62,6 +63,7 @@ int main() {
         ptk::crowd::CleaningSession::Options sess;
         sess.k = k;
         ptk::crowd::CleaningSession session(db, &selector, &oracle, sess);
+        if (!session.Init().ok()) return 1;
         ptk::crowd::CleaningSession::RoundReport report;
         if (!session.RunRound(budget, &report).ok()) return 1;
         h_batch += report.quality_after;
@@ -77,6 +79,7 @@ int main() {
         ptk::crowd::CleaningSession::Options sess;
         sess.k = k;
         ptk::crowd::CleaningSession session(db, &selector, &oracle, sess);
+        if (!session.Init().ok()) return 1;
         ptk::crowd::CleaningSession::RoundReport report;
         if (!session.RunRound(budget, &report).ok()) return 1;
         h_rand += report.quality_after;

@@ -59,6 +59,10 @@ int main() {
   session_options.order = ptk::pw::OrderMode::kSensitive;
   ptk::crowd::CleaningSession session(db, &selector, &committee,
                                       session_options);
+  if (ptk::util::Status s = session.Init(); !s.ok()) {
+    std::fprintf(stderr, "session init failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
 
   std::printf("Ordered top-3 uncertainty before deliberation: H = %.4f\n",
               session.initial_quality());

@@ -80,6 +80,10 @@ int main(int argc, char** argv) {
   session_options.k = options.k;
   ptk::crowd::CleaningSession session(db, &selector, &panel,
                                       session_options);
+  if (ptk::util::Status s = session.Init(); !s.ok()) {
+    std::fprintf(stderr, "session init failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
   std::printf("Initial top-%d quality H(S_k) = %.4f\n", options.k,
               session.initial_quality());
 

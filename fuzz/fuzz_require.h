@@ -1,0 +1,19 @@
+#ifndef PTK_FUZZ_FUZZ_REQUIRE_H_
+#define PTK_FUZZ_FUZZ_REQUIRE_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// assert() is compiled out under NDEBUG (the default RelWithDebInfo
+// build), which would turn every fuzz invariant into a no-op. This macro
+// is always on: a violated invariant aborts so the fuzzer records a crash.
+#define PTK_FUZZ_REQUIRE(cond)                                          \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "fuzz invariant failed: %s at %s:%d\n",      \
+                   #cond, __FILE__, __LINE__);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (0)
+
+#endif  // PTK_FUZZ_FUZZ_REQUIRE_H_

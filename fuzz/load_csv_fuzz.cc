@@ -1,0 +1,62 @@
+// Fuzz target for the strict serving-boundary parsers: arbitrary bytes
+// through LoadCsvFromString (headered and headerless) and
+// ParseAnswersFromString must either produce a finalized database that
+// satisfies every model invariant, or a non-OK Status with a non-empty
+// diagnostic — never a crash, hang, or silently corrupt database.
+
+#include <cmath>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "data/answers.h"
+#include "data/csv.h"
+#include "fuzz_require.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  if (size > (1u << 20)) return 0;  // bound per-input parse time
+  const std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  for (const bool require_header : {true, false}) {
+    ptk::data::CsvOptions options;
+    options.require_header = require_header;
+    ptk::model::Database db;
+    const ptk::util::Status s =
+        ptk::data::LoadCsvFromString(text, options, &db, "fuzz");
+    if (!s.ok()) {
+      PTK_FUZZ_REQUIRE(!s.message().empty());
+      continue;
+    }
+    // Accepted input: the database must be fully valid.
+    PTK_FUZZ_REQUIRE(db.finalized());
+    PTK_FUZZ_REQUIRE(db.num_objects() > 0);
+    for (const auto& obj : db.objects()) {
+      PTK_FUZZ_REQUIRE(obj.num_instances() > 0);
+      double total = 0.0;
+      for (const auto& inst : obj.instances()) {
+        PTK_FUZZ_REQUIRE(std::isfinite(inst.value));
+        PTK_FUZZ_REQUIRE(inst.prob > 0.0);
+        PTK_FUZZ_REQUIRE(inst.prob <= 1.0 + 1e-9);
+        total += inst.prob;
+      }
+      PTK_FUZZ_REQUIRE(std::fabs(total - 1.0) < 1e-6);
+    }
+  }
+
+  // The answers parser guards the same boundary; drive it with the same
+  // bytes against a nominal 64-object database.
+  std::vector<ptk::data::ParsedAnswer> answers;
+  const ptk::util::Status s =
+      ptk::data::ParseAnswersFromString(text, 64, &answers, "fuzz");
+  if (!s.ok()) {
+    PTK_FUZZ_REQUIRE(!s.message().empty());
+  } else {
+    for (const auto& a : answers) {
+      PTK_FUZZ_REQUIRE(a.smaller >= 0 && a.smaller < 64);
+      PTK_FUZZ_REQUIRE(a.larger >= 0 && a.larger < 64);
+      PTK_FUZZ_REQUIRE(a.smaller != a.larger);
+      PTK_FUZZ_REQUIRE(a.line_no >= 1);
+    }
+  }
+  return 0;
+}

@@ -39,12 +39,19 @@ AdaptiveCleaner::AdaptiveCleaner(const model::Database& db,
       oracle_(oracle),
       options_(options),
       evaluator_(db, options.k, options.order, options.enumerator) {
-  double h = 0.0;
-  const util::Status s = evaluator_.Quality(nullptr, &h);
-  initial_quality_ = s.ok() ? h : 0.0;
   // The working database starts as a copy of the original.
   working_ = Reweighted(db, model::kInvalidObject, {}, model::kInvalidObject,
                         {});
+}
+
+util::Status AdaptiveCleaner::Init() {
+  if (initialized_) return util::Status::OK();
+  double h = 0.0;
+  const util::Status s = evaluator_.Quality(nullptr, &h);
+  if (!s.ok()) return s.WithContext("AdaptiveCleaner::Init: H(S_k)");
+  initial_quality_ = h;
+  initialized_ = true;
+  return util::Status::OK();
 }
 
 bool AdaptiveCleaner::FoldIn(model::ObjectId smaller,
@@ -73,6 +80,10 @@ bool AdaptiveCleaner::FoldIn(model::ObjectId smaller,
 
 util::Status AdaptiveCleaner::Run(int budget,
                                   std::vector<StepReport>* steps) {
+  if (!initialized_) {
+    return util::Status::FailedPrecondition(
+        "AdaptiveCleaner::Run called without a successful Init()");
+  }
   steps->clear();
   for (int step = 0; step < budget; ++step) {
     core::SelectorOptions sel_options;

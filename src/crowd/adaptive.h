@@ -40,6 +40,12 @@ class AdaptiveCleaner {
   AdaptiveCleaner(const model::Database& db, ComparisonOracle* oracle,
                   const Options& options);
 
+  /// Evaluates the prior quality H(S_k). Must succeed before Run; calling
+  /// Run without a successful Init() fails with FailedPrecondition.
+  /// Idempotent. (Same contract as CleaningSession::Init — constructor
+  /// failures are surfaced, never folded into initial_quality() == 0.)
+  util::Status Init();
+
   struct StepReport {
     core::ScoredPair pair;
     bool first_greater = false;  // the crowd's verdict: value(a) > value(b)
@@ -52,6 +58,7 @@ class AdaptiveCleaner {
   /// answer in, and evaluate the exact conditioned quality.
   util::Status Run(int budget, std::vector<StepReport>* steps);
 
+  /// Valid after a successful Init().
   double initial_quality() const { return initial_quality_; }
   const pw::ConstraintSet& constraints() const { return constraints_; }
   const model::Database& working_db() const { return working_; }
@@ -68,6 +75,7 @@ class AdaptiveCleaner {
   model::Database working_;
   pw::ConstraintSet constraints_;
   std::set<std::pair<model::ObjectId, model::ObjectId>> asked_;
+  bool initialized_ = false;
   double initial_quality_ = 0.0;
 };
 

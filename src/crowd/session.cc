@@ -1,6 +1,7 @@
 #include "crowd/session.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace ptk::crowd {
 
@@ -12,32 +13,90 @@ CleaningSession::CleaningSession(const model::Database& db,
       selector_(selector),
       oracle_(oracle),
       options_(options),
-      evaluator_(db, options.k, options.order, options.enumerator) {
+      evaluator_(db, options.k, options.order, options.enumerator) {}
+
+util::Status CleaningSession::Init() {
+  if (initialized_) return util::Status::OK();
   double h = 0.0;
   const util::Status s = evaluator_.Quality(nullptr, &h);
-  initial_quality_ = s.ok() ? h : 0.0;
-  current_quality_ = initial_quality_;
+  if (!s.ok()) return s.WithContext("CleaningSession::Init: H(S_k)");
+  initial_quality_ = h;
+  current_quality_ = h;
+  initialized_ = true;
+  return util::Status::OK();
 }
 
 util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
+  if (!initialized_) {
+    return util::Status::FailedPrecondition(
+        "CleaningSession::RunRound called without a successful Init()");
+  }
+  if (quota <= 0) {
+    return util::Status::InvalidArgument(
+        "round quota must be positive, got " + std::to_string(quota));
+  }
   report->selected.clear();
   report->answers.clear();
+  report->skipped.clear();
+  report->skip_reasons.clear();
   report->quality_before = current_quality_;
 
-  // Over-request so that previously asked pairs can be filtered out.
-  const int want = quota + static_cast<int>(asked_.size());
-  std::vector<core::ScoredPair> candidates;
-  util::Status s = selector_->SelectPairs(want, &candidates);
-  if (!s.ok()) return s;
-  for (const core::ScoredPair& pair : candidates) {
+  // Over-request so that previously asked pairs can be filtered out. A
+  // single batch can still come back short of `quota` unasked pairs (the
+  // best-first stream may overlap heavily with asked_), so escalate the
+  // request until the quota is met or the stream is truly exhausted.
+  const int64_t n = db_->num_objects();
+  const int64_t total_pairs = n * (n - 1) / 2;
+  int64_t want = static_cast<int64_t>(quota) + asked_.size();
+  bool escalated = false;
+  for (;;) {
+    want = std::min<int64_t>(want, std::numeric_limits<int>::max());
+    std::vector<core::ScoredPair> candidates;
+    util::Status s =
+        selector_->SelectPairs(static_cast<int>(want), &candidates);
+    if (!s.ok()) {
+      // Selectors with a bounded candidate pool (e.g. RAND_K) reject
+      // escalated over-requests outright; that is stream exhaustion, not
+      // a caller error. First-attempt failures propagate untouched.
+      if (escalated &&
+          s.code() == util::Status::Code::kInvalidArgument) {
+        break;
+      }
+      return s.WithContext("selector '" + selector_->name() + "'");
+    }
+    report->selected.clear();
+    std::set<std::pair<model::ObjectId, model::ObjectId>> in_round;
+    for (const core::ScoredPair& pair : candidates) {
+      if (static_cast<int>(report->selected.size()) >= quota) break;
+      const auto key = std::minmax(pair.a, pair.b);
+      if (asked_.contains({key.first, key.second})) continue;
+      // A duplicate inside one candidate batch must not be posted twice.
+      if (!in_round.insert({key.first, key.second}).second) continue;
+      report->selected.push_back(pair);
+    }
     if (static_cast<int>(report->selected.size()) >= quota) break;
-    const auto key = std::minmax(pair.a, pair.b);
-    if (asked_.contains({key.first, key.second})) continue;
-    report->selected.push_back(pair);
+    // Exhausted only when the selector ran dry (returned fewer candidates
+    // than requested) or every pair of the database has been observed —
+    // a batch full of duplicates or already-asked pairs merely escalates.
+    std::set<std::pair<model::ObjectId, model::ObjectId>> seen = asked_;
+    for (const core::ScoredPair& pair : candidates) {
+      const auto key = std::minmax(pair.a, pair.b);
+      seen.insert({key.first, key.second});
+    }
+    if (static_cast<int64_t>(candidates.size()) < want ||
+        static_cast<int64_t>(seen.size()) >= total_pairs) {
+      break;
+    }
+    want *= 2;
+    escalated = true;
   }
   if (static_cast<int>(report->selected.size()) < quota) {
     return util::Status::ResourceExhausted(
-        "selector produced fewer unasked pairs than the quota");
+        "selector '" + selector_->name() + "' produced only " +
+        std::to_string(report->selected.size()) +
+        " unasked pairs for quota " + std::to_string(quota) + " (" +
+        std::to_string(asked_.size()) + " of " +
+        std::to_string(total_pairs) + " pairs already asked)");
   }
 
   for (const core::ScoredPair& pair : report->selected) {
@@ -52,7 +111,17 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
     pw::ConstraintSet candidate = constraints_;
     candidate.Add(answer.smaller, answer.larger);
     if (evaluator_.ConstraintProbability(candidate) <= 0.0) {
+      std::string reason = "answer '" + std::to_string(answer.smaller) +
+                           " < " + std::to_string(answer.larger) +
+                           "' leaves zero surviving possible worlds";
+      const std::vector<pw::PairwiseConstraint> chain =
+          constraints_.FindChain(answer.larger, answer.smaller);
+      if (!chain.empty()) {
+        reason += "; conflicts with accepted chain " +
+                  pw::ConstraintSet::FormatChain(chain);
+      }
       report->skipped.push_back(answer);
+      report->skip_reasons.push_back(std::move(reason));
       continue;
     }
     constraints_ = std::move(candidate);
@@ -60,8 +129,8 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
   }
 
   double h = 0.0;
-  s = evaluator_.Quality(&constraints_, &h);
-  if (!s.ok()) return s;
+  util::Status s = evaluator_.Quality(&constraints_, &h);
+  if (!s.ok()) return s.WithContext("evaluating H(S_k | answers)");
   current_quality_ = h;
   report->quality_after = h;
   return util::Status::OK();

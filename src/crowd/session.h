@@ -2,6 +2,7 @@
 #define PTK_CROWD_SESSION_H_
 
 #include <set>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -17,6 +18,11 @@ namespace ptk::crowd {
 /// constraint set, and track the realized quality H(S_k | answers) round
 /// by round. Selection operates on the original database (the paper's
 /// batch model); already-asked pairs are never re-posted.
+///
+/// Lifecycle: construct, then call Init() and check its Status before the
+/// first round. Init() evaluates the prior quality H(S_k); a failure there
+/// (k out of range, enumeration budget exceeded, ...) is a real error and
+/// is returned — never swallowed into a fake initial quality of 0.
 class CleaningSession {
  public:
   struct Options {
@@ -28,6 +34,11 @@ class CleaningSession {
   CleaningSession(const model::Database& db, core::PairSelector* selector,
                   ComparisonOracle* oracle, const Options& options);
 
+  /// Evaluates the prior quality H(S_k). Must succeed before RunRound;
+  /// calling RunRound without a successful Init() fails with
+  /// FailedPrecondition. Idempotent.
+  util::Status Init();
+
   struct RoundReport {
     std::vector<core::ScoredPair> selected;
     std::vector<pw::PairwiseConstraint> answers;
@@ -35,17 +46,22 @@ class CleaningSession {
     /// surviving possible worlds) and were therefore discarded — the
     /// conflict-resolution behaviour of Fig. 2's server.
     std::vector<pw::PairwiseConstraint> skipped;
+    /// One human-readable diagnosis per skipped answer, including the
+    /// accepted constraint chain it conflicts with when one exists.
+    std::vector<std::string> skip_reasons;
     double quality_before = 0.0;
     double quality_after = 0.0;
 
     double improvement() const { return quality_before - quality_after; }
   };
 
-  /// Runs one round with the given quota. Fails with ResourceExhausted if
-  /// the selector cannot produce enough unasked pairs.
+  /// Runs one round with the given quota. The selector is re-queried with
+  /// an escalating request size until the quota is met or the selector's
+  /// pair stream is genuinely exhausted, in which case the round fails
+  /// with ResourceExhausted (describing how many unasked pairs remain).
   util::Status RunRound(int quota, RoundReport* report);
 
-  /// H(S_k) before any crowdsourcing.
+  /// H(S_k) before any crowdsourcing. Valid after a successful Init().
   double initial_quality() const { return initial_quality_; }
 
   /// All accumulated comparison outcomes.
@@ -65,6 +81,7 @@ class CleaningSession {
   core::QualityEvaluator evaluator_;
   pw::ConstraintSet constraints_;
   std::set<std::pair<model::ObjectId, model::ObjectId>> asked_;
+  bool initialized_ = false;
   double initial_quality_ = 0.0;
   double current_quality_ = 0.0;
 };

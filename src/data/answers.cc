@@ -1,0 +1,76 @@
+#include "data/answers.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "data/field_parse.h"
+
+namespace ptk::data {
+
+namespace {
+
+using internal::LineError;
+using internal::ParseInt64Field;
+using internal::SplitFields;
+using internal::TrimField;
+
+}  // namespace
+
+util::Status ParseAnswersFromString(std::string_view text, int num_objects,
+                                    std::vector<ParsedAnswer>* out,
+                                    const std::string& source) {
+  out->clear();
+  return internal::ForEachLine(
+      text, [&](int line_no, std::string_view line) -> util::Status {
+        const std::string_view trimmed = TrimField(line);
+        if (trimmed.empty() || trimmed.front() == '#') {
+          return util::Status::OK();
+        }
+        const std::vector<std::string_view> fields = SplitFields(line);
+        if (fields.size() != 2) {
+          return LineError(source, line_no,
+                           "expected 2 comma-separated fields "
+                           "(smaller_oid,larger_oid), got " +
+                               std::to_string(fields.size()),
+                           line);
+        }
+        int64_t smaller, larger;
+        if (!ParseInt64Field(fields[0], &smaller) ||
+            !ParseInt64Field(fields[1], &larger)) {
+          return LineError(source, line_no,
+                           "oids must be integers (trailing characters "
+                           "count as errors)",
+                           line);
+        }
+        if (smaller < 0 || larger < 0 || smaller >= num_objects ||
+            larger >= num_objects) {
+          return LineError(source, line_no,
+                           "oid out of range [0, " +
+                               std::to_string(num_objects - 1) + "]",
+                           line);
+        }
+        if (smaller == larger) {
+          return LineError(source, line_no,
+                           "an object cannot be compared with itself", line);
+        }
+        ParsedAnswer answer;
+        answer.smaller = static_cast<model::ObjectId>(smaller);
+        answer.larger = static_cast<model::ObjectId>(larger);
+        answer.line_no = line_no;
+        answer.text = std::string(trimmed);
+        out->push_back(std::move(answer));
+        return util::Status::OK();
+      });
+}
+
+util::Status LoadAnswers(const std::string& path, int num_objects,
+                         std::vector<ParsedAnswer>* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return util::Status::IoError("read failed for " + path);
+  return ParseAnswersFromString(buffer.str(), num_objects, out, path);
+}
+
+}  // namespace ptk::data

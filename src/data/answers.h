@@ -1,0 +1,40 @@
+#ifndef PTK_DATA_ANSWERS_H_
+#define PTK_DATA_ANSWERS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace ptk::data {
+
+/// One parsed crowd answer "smaller_oid,larger_oid" — value(smaller) <
+/// value(larger) — together with where it came from, so feasibility
+/// failures can point at the exact offending line.
+struct ParsedAnswer {
+  model::ObjectId smaller = model::kInvalidObject;
+  model::ObjectId larger = model::kInvalidObject;
+  int line_no = 0;     ///< 1-based line in the answers file.
+  std::string text;    ///< The raw (trimmed) line, for diagnostics.
+};
+
+/// Strict parser for answers files (the `ptk_cli clean` input format):
+/// one "smaller_oid,larger_oid" pair per line, '#' comments and blank
+/// lines skipped. Rejects — with a "<source>:<line>: <reason>" diagnostic —
+/// trailing garbage after the second field, non-integer or negative oids,
+/// and self-comparisons (x,x). `num_objects` bounds the oid range; pass a
+/// database's num_objects() so out-of-range answers fail at parse time
+/// rather than corrupting downstream indexing.
+util::Status ParseAnswersFromString(std::string_view text, int num_objects,
+                                    std::vector<ParsedAnswer>* out,
+                                    const std::string& source = "<string>");
+
+/// File-reading wrapper around ParseAnswersFromString.
+util::Status LoadAnswers(const std::string& path, int num_objects,
+                         std::vector<ParsedAnswer>* out);
+
+}  // namespace ptk::data
+
+#endif  // PTK_DATA_ANSWERS_H_

@@ -1,11 +1,84 @@
 #include "data/csv.h"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <utility>
 #include <vector>
 
+#include "data/field_parse.h"
+
 namespace ptk::data {
+
+namespace {
+
+using internal::Excerpt;
+using internal::LineError;
+using internal::ParseDoubleField;
+using internal::ParseInt64Field;
+using internal::SplitFields;
+using internal::TrimField;
+
+bool IsHeader(std::string_view line) {
+  const std::vector<std::string_view> fields = SplitFields(line);
+  return fields.size() == 3 && TrimField(fields[0]) == "oid" &&
+         TrimField(fields[1]) == "value" && TrimField(fields[2]) == "prob";
+}
+
+bool SkippableLine(std::string_view line) {
+  const std::string_view t = TrimField(line);
+  return t.empty() || t.front() == '#';
+}
+
+/// Parses one data row into (oid, value, prob) with a full diagnosis of
+/// everything that can go wrong on the line.
+util::Status ParseRow(const std::string& source, int line_no,
+                      std::string_view line, int64_t* oid, double* value,
+                      double* prob) {
+  const std::vector<std::string_view> fields = SplitFields(line);
+  if (fields.size() != 3) {
+    return LineError(source, line_no,
+                     "expected 3 comma-separated fields (oid,value,prob), "
+                     "got " +
+                         std::to_string(fields.size()),
+                     line);
+  }
+  if (!ParseInt64Field(fields[0], oid)) {
+    return LineError(source, line_no,
+                     "oid is not an integer: " + Excerpt(fields[0]), line);
+  }
+  if (*oid < 0) {
+    return LineError(source, line_no, "oid must be non-negative", line);
+  }
+  if (!ParseDoubleField(fields[1], value)) {
+    return LineError(
+        source, line_no,
+        "value is not a number (trailing characters count as errors)", line);
+  }
+  if (!std::isfinite(*value)) {
+    return LineError(source, line_no, "value must be finite (got NaN or inf)",
+                     line);
+  }
+  if (!ParseDoubleField(fields[2], prob)) {
+    return LineError(
+        source, line_no,
+        "prob is not a number (trailing characters count as errors)", line);
+  }
+  if (!std::isfinite(*prob)) {
+    return LineError(source, line_no, "prob must be finite (got NaN or inf)",
+                     line);
+  }
+  if (*prob <= 0.0) {
+    return LineError(source, line_no, "prob must be positive", line);
+  }
+  if (*prob > 1.0) {
+    return LineError(source, line_no, "prob must be at most 1", line);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
 
 util::Status SaveCsv(const model::Database& db, const std::string& path) {
   std::ofstream out(path);
@@ -21,43 +94,80 @@ util::Status SaveCsv(const model::Database& db, const std::string& path) {
   return util::Status::OK();
 }
 
-util::Status LoadCsv(const std::string& path, model::Database* out) {
-  std::ifstream in(path);
-  if (!in) return util::Status::IoError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line)) {
-    return util::Status::IoError("empty file: " + path);
-  }
-  // Instances grouped by oid in file order; oids must be contiguous from 0.
+util::Status LoadCsvFromString(std::string_view text,
+                               const CsvOptions& options,
+                               model::Database* out,
+                               const std::string& source) {
+  // Instances grouped by oid; oids must be contiguous from 0.
   std::map<int64_t, std::vector<std::pair<double, double>>> objects;
-  int line_no = 1;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (line.empty()) continue;
-    std::istringstream row(line);
-    int64_t oid;
-    double value, prob;
-    char c1, c2;
-    if (!(row >> oid >> c1 >> value >> c2 >> prob) || c1 != ',' ||
-        c2 != ',') {
-      return util::Status::InvalidArgument(
-          path + ": malformed line " + std::to_string(line_no));
-    }
-    objects[oid].emplace_back(value, prob);
+  bool header_seen = !options.require_header;
+  util::Status s = internal::ForEachLine(
+      text, [&](int line_no, std::string_view line) -> util::Status {
+        if (SkippableLine(line)) return util::Status::OK();
+        if (!header_seen) {
+          if (!IsHeader(line)) {
+            int64_t oid;
+            double value, prob;
+            if (ParseRow(source, line_no, line, &oid, &value, &prob).ok()) {
+              return LineError(
+                  source, line_no,
+                  "missing header: first line must be 'oid,value,prob' but "
+                  "looks like a data row (use headerless mode to accept it)",
+                  line);
+            }
+            return LineError(source, line_no,
+                             "missing or malformed header: first line must "
+                             "be 'oid,value,prob'",
+                             line);
+          }
+          header_seen = true;
+          return util::Status::OK();
+        }
+        int64_t oid;
+        double value, prob;
+        util::Status row = ParseRow(source, line_no, line, &oid, &value,
+                                    &prob);
+        if (!row.ok()) return row;
+        objects[oid].emplace_back(value, prob);
+        return util::Status::OK();
+      });
+  if (!s.ok()) return s;
+  if (!header_seen) {
+    return util::Status::InvalidArgument(
+        source + ": missing header 'oid,value,prob' (empty input)");
+  }
+  if (objects.empty()) {
+    return util::Status::InvalidArgument(source + ": no data rows");
   }
   model::Database db;
   int64_t expected = 0;
   for (auto& [oid, pairs] : objects) {
     if (oid != expected++) {
       return util::Status::InvalidArgument(
-          path + ": object ids must be contiguous from 0");
+          source + ": object ids must be contiguous from 0 (missing oid " +
+          std::to_string(expected - 1) + ", saw oid " + std::to_string(oid) +
+          ")");
     }
     db.AddObject(std::move(pairs));
   }
-  util::Status s = db.Finalize();
-  if (!s.ok()) return s;
+  s = db.Finalize();
+  if (!s.ok()) return s.WithContext(source);
   *out = std::move(db);
   return util::Status::OK();
+}
+
+util::Status LoadCsv(const std::string& path, const CsvOptions& options,
+                     model::Database* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return util::Status::IoError("read failed for " + path);
+  return LoadCsvFromString(buffer.str(), options, out, path);
+}
+
+util::Status LoadCsv(const std::string& path, model::Database* out) {
+  return LoadCsv(path, CsvOptions{}, out);
 }
 
 }  // namespace ptk::data

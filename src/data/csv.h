@@ -2,11 +2,23 @@
 #define PTK_DATA_CSV_H_
 
 #include <string>
+#include <string_view>
 
 #include "model/database.h"
 #include "util/status.h"
 
 namespace ptk::data {
+
+/// Parsing policy for LoadCsv / LoadCsvFromString. The loader is strict by
+/// design: serving-boundary inputs must fail loudly with a line-level
+/// diagnostic instead of silently producing a corrupted database.
+struct CsvOptions {
+  /// When true (default) the first line must be exactly the header
+  /// "oid,value,prob" (surrounding whitespace tolerated). A first line that
+  /// parses as a data row is rejected with a hint to use headerless mode —
+  /// never silently dropped. When false, line 1 is parsed as data.
+  bool require_header = true;
+};
 
 /// Saves a database as CSV with header "oid,value,prob" (one instance per
 /// line, objects contiguous). Labels are not persisted.
@@ -15,7 +27,26 @@ util::Status SaveCsv(const model::Database& db, const std::string& path);
 /// Loads a database saved by SaveCsv (or hand-written in the same format:
 /// instances of one object grouped by equal oid, probabilities per object
 /// summing to 1). The loaded database is finalized.
+///
+/// Strictness guarantees (each violation is an InvalidArgument carrying
+/// "<source>:<line>: <reason>"):
+///   - exactly three comma-separated fields per row, no trailing characters
+///     after the probability ("0,1.5,0.5xyz" and "0,1.5,0.5,7" both fail);
+///   - oid is a non-negative integer; oids contiguous from 0;
+///   - value and prob are finite (NaN / inf rejected);
+///   - prob is in (0, 1];
+///   - blank lines and '#' comment lines are skipped.
 util::Status LoadCsv(const std::string& path, model::Database* out);
+util::Status LoadCsv(const std::string& path, const CsvOptions& options,
+                     model::Database* out);
+
+/// Same parser over an in-memory buffer; `source` names the buffer in
+/// diagnostics. This is the entry point the fuzz targets and property
+/// tests drive (no filesystem in the loop).
+util::Status LoadCsvFromString(std::string_view text,
+                               const CsvOptions& options,
+                               model::Database* out,
+                               const std::string& source = "<string>");
 
 }  // namespace ptk::data
 

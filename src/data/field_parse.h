@@ -1,0 +1,109 @@
+#ifndef PTK_DATA_FIELD_PARSE_H_
+#define PTK_DATA_FIELD_PARSE_H_
+
+// Internal helpers shared by the strict boundary parsers (csv.cc,
+// answers.cc). Every helper is full-match: trailing characters after a
+// syntactically valid prefix are a parse failure, never silently ignored.
+
+#include <charconv>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ptk::data::internal {
+
+/// Strips ASCII spaces, tabs, and carriage returns from both ends (CRLF
+/// files reach us with a trailing '\r' on every line).
+inline std::string_view TrimField(std::string_view f) {
+  while (!f.empty() &&
+         (f.front() == ' ' || f.front() == '\t' || f.front() == '\r')) {
+    f.remove_prefix(1);
+  }
+  while (!f.empty() &&
+         (f.back() == ' ' || f.back() == '\t' || f.back() == '\r')) {
+    f.remove_suffix(1);
+  }
+  return f;
+}
+
+/// Whole-field integer parse; rejects empty fields, trailing garbage, and
+/// out-of-range values.
+inline bool ParseInt64Field(std::string_view f, int64_t* out) {
+  f = TrimField(f);
+  if (f.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), *out);
+  return ec == std::errc{} && ptr == f.data() + f.size();
+}
+
+/// Whole-field double parse; rejects empty fields, trailing garbage
+/// ("0.5xyz"), and values the representation cannot hold. "nan"/"inf"
+/// parse successfully here — finiteness is the caller's policy.
+inline bool ParseDoubleField(std::string_view f, double* out) {
+  f = TrimField(f);
+  if (f.empty()) return false;
+  const auto [ptr, ec] = std::from_chars(f.data(), f.data() + f.size(), *out);
+  return ec == std::errc{} && ptr == f.data() + f.size();
+}
+
+/// Splits one line on ','. Empty fields are preserved so the caller can
+/// report "expected 3 fields, got N" accurately.
+inline std::vector<std::string_view> SplitFields(std::string_view line) {
+  std::vector<std::string_view> fields;
+  size_t start = 0;
+  for (;;) {
+    const size_t comma = line.find(',', start);
+    if (comma == std::string_view::npos) {
+      fields.push_back(line.substr(start));
+      return fields;
+    }
+    fields.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
+}
+
+/// The offending line, quoted and truncated, for diagnostics.
+inline std::string Excerpt(std::string_view line) {
+  line = TrimField(line);
+  constexpr size_t kMax = 48;
+  std::string out = "'";
+  out.append(line.substr(0, kMax));
+  if (line.size() > kMax) out += "...";
+  out += "'";
+  return out;
+}
+
+/// InvalidArgument carrying "<source>:<line>: <reason>: '<excerpt>'".
+inline util::Status LineError(const std::string& source, int line_no,
+                              const std::string& reason,
+                              std::string_view line) {
+  return util::Status::InvalidArgument(source + ":" +
+                                       std::to_string(line_no) + ": " +
+                                       reason + ": " + Excerpt(line));
+}
+
+/// Calls `fn(line_no, line)` for every '\n'-separated line (1-based); a
+/// trailing newline does not produce an extra empty line. `fn` returns a
+/// Status; the first failure stops iteration.
+template <typename Fn>
+util::Status ForEachLine(std::string_view text, Fn&& fn) {
+  int line_no = 0;
+  size_t start = 0;
+  while (start < text.size()) {
+    const size_t nl = text.find('\n', start);
+    const std::string_view line =
+        nl == std::string_view::npos ? text.substr(start)
+                                     : text.substr(start, nl - start);
+    util::Status s = fn(++line_no, line);
+    if (!s.ok()) return s;
+    if (nl == std::string_view::npos) break;
+    start = nl + 1;
+  }
+  return util::Status::OK();
+}
+
+}  // namespace ptk::data::internal
+
+#endif  // PTK_DATA_FIELD_PARSE_H_

@@ -1,6 +1,7 @@
 #include "pw/constraint.h"
 
 #include <algorithm>
+#include <deque>
 #include <functional>
 #include <map>
 
@@ -19,6 +20,47 @@ bool ConstraintSet::Mentions(model::ObjectId oid) const {
     if (c.smaller == oid || c.larger == oid) return true;
   }
   return false;
+}
+
+std::vector<PairwiseConstraint> ConstraintSet::FindChain(
+    model::ObjectId from, model::ObjectId to) const {
+  if (from == to) return {};
+  // BFS over directed smaller→larger edges, remembering the edge that
+  // discovered each node so the chain can be reconstructed.
+  std::map<model::ObjectId, PairwiseConstraint> discovered_by;
+  std::deque<model::ObjectId> frontier{from};
+  while (!frontier.empty()) {
+    const model::ObjectId node = frontier.front();
+    frontier.pop_front();
+    for (const PairwiseConstraint& c : constraints_) {
+      if (c.smaller != node) continue;
+      if (discovered_by.contains(c.larger) || c.larger == from) continue;
+      discovered_by[c.larger] = c;
+      if (c.larger == to) {
+        std::vector<PairwiseConstraint> chain;
+        for (model::ObjectId cur = to; cur != from;) {
+          const PairwiseConstraint& edge = discovered_by.at(cur);
+          chain.push_back(edge);
+          cur = edge.smaller;
+        }
+        std::reverse(chain.begin(), chain.end());
+        return chain;
+      }
+      frontier.push_back(c.larger);
+    }
+  }
+  return {};
+}
+
+std::string ConstraintSet::FormatChain(
+    const std::vector<PairwiseConstraint>& chain) {
+  if (chain.empty()) return "";
+  std::string out = std::to_string(chain.front().smaller);
+  for (const PairwiseConstraint& c : chain) {
+    out += " < ";
+    out += std::to_string(c.larger);
+  }
+  return out;
 }
 
 std::vector<ConstraintSet::Component> ConstraintSet::Components() const {

@@ -1,6 +1,7 @@
 #ifndef PTK_PW_CONSTRAINT_H_
 #define PTK_PW_CONSTRAINT_H_
 
+#include <string>
 #include <vector>
 
 #include "model/instance.h"
@@ -50,6 +51,19 @@ class ConstraintSet {
   /// Connected components of the comparison graph; objects not mentioned by
   /// any constraint are omitted (they remain independent singletons).
   std::vector<Component> Components() const;
+
+  /// Shortest directed chain `from < ... < to` implied by the set (BFS over
+  /// smaller→larger edges), or empty when the set does not order `from`
+  /// below `to`. The primary use is contradiction diagnostics: a new answer
+  /// "s < l" conflicts with an accepted chain FindChain(l, s), and that
+  /// chain names exactly the earlier answers the new one fights with.
+  std::vector<PairwiseConstraint> FindChain(model::ObjectId from,
+                                            model::ObjectId to) const;
+
+  /// Renders a chain as "3 < 7 < 5" for error messages; empty chains
+  /// render as "".
+  static std::string FormatChain(
+      const std::vector<PairwiseConstraint>& chain);
 
  private:
   std::vector<PairwiseConstraint> constraints_;

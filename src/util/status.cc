@@ -18,11 +18,21 @@ const char* CodeName(Status::Code code) {
       return "IoError";
     case Status::Code::kInternal:
       return "Internal";
+    case Status::Code::kFailedPrecondition:
+      return "FailedPrecondition";
   }
   return "Unknown";
 }
 
 }  // namespace
+
+Status Status::WithContext(std::string context) const {
+  if (ok()) return *this;
+  if (message_.empty()) return Status(code_, std::move(context));
+  context += ": ";
+  context += message_;
+  return Status(code_, std::move(context));
+}
 
 std::string Status::ToString() const {
   if (ok()) return "OK";

@@ -18,6 +18,7 @@ class Status {
     kResourceExhausted,
     kIoError,
     kInternal,
+    kFailedPrecondition,
   };
 
   Status() : code_(Code::kOk) {}
@@ -38,10 +39,20 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(Code::kInternal, std::move(msg));
   }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(Code::kFailedPrecondition, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
   const std::string& message() const { return message_; }
+
+  /// Returns the same status with `context` prefixed onto the message
+  /// ("context: message"), preserving the code. OK statuses pass through
+  /// unchanged. Boundary layers use this to grow a breadcrumb trail as an
+  /// error propagates outward, e.g.
+  ///   "clean: answers.csv:7: trailing characters after third field".
+  Status WithContext(std::string context) const;
 
   /// "OK" or "<code>: <message>" for logs and test failure output.
   std::string ToString() const;

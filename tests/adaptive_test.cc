@@ -12,12 +12,37 @@
 namespace ptk {
 namespace {
 
+TEST(AdaptiveCleaner, RunRequiresSuccessfulInit) {
+  const model::Database db = testing::PaperExampleDb();
+  crowd::GroundTruthOracle oracle({23.0, 24.0, 22.0});
+  crowd::AdaptiveCleaner::Options options;
+  options.k = 2;
+  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
+
+  // Run before Init is refused.
+  crowd::AdaptiveCleaner cleaner(db, &oracle, options);
+  EXPECT_EQ(cleaner.Run(1, &steps).code(),
+            util::Status::Code::kFailedPrecondition);
+
+  // A failing evaluation surfaces through Init instead of being folded
+  // into initial_quality() == 0.0 (the seed behaviour), and Run stays
+  // blocked afterwards.
+  options.enumerator.max_states = 1;
+  crowd::AdaptiveCleaner broken(db, &oracle, options);
+  const util::Status init = broken.Init();
+  ASSERT_FALSE(init.ok());
+  EXPECT_EQ(init.code(), util::Status::Code::kResourceExhausted);
+  EXPECT_EQ(broken.Run(1, &steps).code(),
+            util::Status::Code::kFailedPrecondition);
+}
+
 TEST(AdaptiveCleaner, SequentialStepsReduceTrueQuality) {
   const model::Database db = testing::RandomDb(10, 3, 55);
   crowd::GroundTruthOracle oracle(crowd::SampleWorldValues(db, 777));
   crowd::AdaptiveCleaner::Options options;
   options.k = 3;
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
+  ASSERT_TRUE(cleaner.Init().ok());
   EXPECT_GT(cleaner.initial_quality(), 0.0);
 
   std::vector<crowd::AdaptiveCleaner::StepReport> steps;
@@ -38,6 +63,7 @@ TEST(AdaptiveCleaner, NeverRepeatsAPair) {
   crowd::AdaptiveCleaner::Options options;
   options.k = 2;
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
+  ASSERT_TRUE(cleaner.Init().ok());
   std::vector<crowd::AdaptiveCleaner::StepReport> steps;
   ASSERT_TRUE(cleaner.Run(6, &steps).ok());
   std::set<std::pair<model::ObjectId, model::ObjectId>> seen;
@@ -53,6 +79,7 @@ TEST(AdaptiveCleaner, WorkingDatabaseStaysValid) {
   crowd::AdaptiveCleaner::Options options;
   options.k = 3;
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
+  ASSERT_TRUE(cleaner.Init().ok());
   std::vector<crowd::AdaptiveCleaner::StepReport> steps;
   ASSERT_TRUE(cleaner.Run(4, &steps).ok());
   const model::Database& working = cleaner.working_db();
@@ -72,6 +99,7 @@ TEST(AdaptiveCleaner, FoldInSharpensTheAskedObjects) {
   crowd::AdaptiveCleaner::Options options;
   options.k = 2;
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
+  ASSERT_TRUE(cleaner.Init().ok());
   std::vector<crowd::AdaptiveCleaner::StepReport> steps;
   ASSERT_TRUE(cleaner.Run(1, &steps).ok());
   ASSERT_TRUE(steps[0].applied);
@@ -100,6 +128,7 @@ TEST(AdaptiveCleaner, MatchesBatchBudgetOrBetterOnFixture) {
   crowd::AdaptiveCleaner::Options aopts;
   aopts.k = k;
   crowd::AdaptiveCleaner adaptive(db, &oracle1, aopts);
+  ASSERT_TRUE(adaptive.Init().ok());
   std::vector<crowd::AdaptiveCleaner::StepReport> steps;
   ASSERT_TRUE(adaptive.Run(budget, &steps).ok());
   const double adaptive_quality = steps.back().true_quality;
@@ -111,6 +140,7 @@ TEST(AdaptiveCleaner, MatchesBatchBudgetOrBetterOnFixture) {
   crowd::CleaningSession::Options sess;
   sess.k = k;
   crowd::CleaningSession session(db, &batch_selector, &oracle2, sess);
+  ASSERT_TRUE(session.Init().ok());
   crowd::CleaningSession::RoundReport report;
   ASSERT_TRUE(session.RunRound(budget, &report).ok());
 

@@ -2,7 +2,10 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <string>
+#include <vector>
 
+#include "data/answers.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
 
@@ -114,6 +117,123 @@ TEST(Csv, LoadRejectsMalformedInput) {
   EXPECT_FALSE(data::LoadCsv(path, &db).ok());
   std::remove(path.c_str());
   EXPECT_FALSE(data::LoadCsv("/nonexistent/file.csv", &db).ok());
+}
+
+TEST(Csv, MissingHeaderIsAnErrorNotADroppedRow) {
+  // The seed parser discarded the first line unconditionally, silently
+  // eating a data row of headerless files. Now: headered mode rejects the
+  // file with a pointer at line 1, and headerless mode keeps every row.
+  const std::string text = "0,1.5,0.5\n0,2.5,0.5\n1,2.0,1.0\n";
+  model::Database db;
+  const util::Status s = data::LoadCsvFromString(text, {}, &db, "in.csv");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("missing header"), std::string::npos);
+  EXPECT_NE(s.message().find("in.csv:1"), std::string::npos);
+
+  data::CsvOptions headerless;
+  headerless.require_header = false;
+  ASSERT_TRUE(data::LoadCsvFromString(text, headerless, &db).ok());
+  EXPECT_EQ(db.num_objects(), 2);
+  EXPECT_EQ(db.object(0).num_instances(), 2);  // first row not dropped
+}
+
+TEST(Csv, RejectsTrailingGarbageAfterThirdField) {
+  model::Database db;
+  const util::Status s = data::LoadCsvFromString(
+      "oid,value,prob\n0,1.5,0.5xyz\n", {}, &db, "in.csv");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("in.csv:2"), std::string::npos);
+  EXPECT_FALSE(
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,0.5,7\n", {}, &db)
+          .ok());
+  EXPECT_FALSE(
+      data::LoadCsvFromString("oid,value,prob\n0x1,1.5,0.5\n", {}, &db)
+          .ok());
+  EXPECT_FALSE(
+      data::LoadCsvFromString("oid,value,prob\n0,1.5e2q,0.5\n", {}, &db)
+          .ok());
+}
+
+TEST(Csv, RejectsNonFiniteValuesAndProbabilities) {
+  model::Database db;
+  for (const char* text :
+       {"oid,value,prob\n0,nan,0.5\n0,2.0,0.5\n",
+        "oid,value,prob\n0,inf,1.0\n", "oid,value,prob\n0,-inf,1.0\n",
+        "oid,value,prob\n0,1.5,nan\n", "oid,value,prob\n0,1.5,inf\n",
+        "oid,value,prob\n0,1e999,1.0\n"}) {
+    const util::Status s = data::LoadCsvFromString(text, {}, &db, "in.csv");
+    EXPECT_FALSE(s.ok()) << text;
+    EXPECT_FALSE(s.message().empty()) << text;
+  }
+}
+
+TEST(Csv, RejectsOutOfRangeProbabilities) {
+  model::Database db;
+  EXPECT_FALSE(
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,-0.5\n", {}, &db).ok());
+  EXPECT_FALSE(
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,0\n", {}, &db).ok());
+  EXPECT_FALSE(
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,1.5\n", {}, &db).ok());
+}
+
+TEST(Csv, RejectsNegativeAndNonContiguousOids) {
+  model::Database db;
+  EXPECT_FALSE(
+      data::LoadCsvFromString("oid,value,prob\n-1,1.5,1.0\n", {}, &db).ok());
+  const util::Status s =
+      data::LoadCsvFromString("oid,value,prob\n0,1.0,1.0\n2,2.0,1.0\n", {},
+                              &db, "in.csv");
+  ASSERT_FALSE(s.ok());
+  EXPECT_NE(s.message().find("contiguous"), std::string::npos);
+}
+
+TEST(Csv, RejectsEmptyAndHeaderOnlyInput) {
+  model::Database db;
+  EXPECT_FALSE(data::LoadCsvFromString("", {}, &db).ok());
+  EXPECT_FALSE(data::LoadCsvFromString("oid,value,prob\n", {}, &db).ok());
+  data::CsvOptions headerless;
+  headerless.require_header = false;
+  EXPECT_FALSE(data::LoadCsvFromString("", headerless, &db).ok());
+  EXPECT_FALSE(data::LoadCsvFromString("# only a comment\n", headerless, &db)
+                   .ok());
+}
+
+TEST(Csv, AcceptsCommentsBlankLinesAndCrlf) {
+  model::Database db;
+  const std::string text =
+      "# leading comment\r\noid,value,prob\r\n\r\n0,1.5,0.5\r\n# mid\n"
+      "0,2.5,0.5\r\n1,2.0,1.0\r\n";
+  ASSERT_TRUE(data::LoadCsvFromString(text, {}, &db).ok());
+  EXPECT_EQ(db.num_objects(), 2);
+  EXPECT_EQ(db.num_instances(), 3);
+}
+
+TEST(Answers, ParsesStrictlyWithLineNumbers) {
+  std::vector<data::ParsedAnswer> answers;
+  const std::string text = "# resolved by majority vote\n0,1\n\n 2 , 3 \n";
+  ASSERT_TRUE(
+      data::ParseAnswersFromString(text, /*num_objects=*/4, &answers).ok());
+  ASSERT_EQ(answers.size(), 2u);
+  EXPECT_EQ(answers[0].smaller, 0);
+  EXPECT_EQ(answers[0].larger, 1);
+  EXPECT_EQ(answers[0].line_no, 2);
+  EXPECT_EQ(answers[1].smaller, 2);
+  EXPECT_EQ(answers[1].larger, 3);
+  EXPECT_EQ(answers[1].line_no, 4);
+}
+
+TEST(Answers, RejectsMalformedLines) {
+  std::vector<data::ParsedAnswer> answers;
+  for (const char* text :
+       {"0,1x\n", "0,1,2\n", "0\n", "a,b\n", "0,9\n", "-1,1\n", "2,2\n",
+        "0, 1 trailing\n"}) {
+    const util::Status s =
+        data::ParseAnswersFromString(text, /*num_objects=*/4, &answers,
+                                     "answers.csv");
+    EXPECT_FALSE(s.ok()) << text;
+    EXPECT_NE(s.message().find("answers.csv:1"), std::string::npos) << text;
+  }
 }
 
 }  // namespace

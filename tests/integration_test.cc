@@ -85,6 +85,7 @@ TEST(Integration, RepeatedCleaningDrivesEntropyDown) {
   crowd::CleaningSession::Options session_opts;
   session_opts.k = 4;
   crowd::CleaningSession session(db, &selector, &oracle, session_opts);
+  ASSERT_TRUE(session.Init().ok());
 
   crowd::CleaningSession::RoundReport report;
   double final_quality = session.initial_quality();

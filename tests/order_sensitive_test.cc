@@ -91,6 +91,7 @@ TEST(SensitivePipeline, SessionReducesSequenceEntropy) {
   sess.k = 3;
   sess.order = pw::OrderMode::kSensitive;
   crowd::CleaningSession session(db, &selector, &oracle, sess);
+  ASSERT_TRUE(session.Init().ok());
   crowd::CleaningSession::RoundReport report;
   double quality = session.initial_quality();
   for (int round = 0; round < 3; ++round) {

@@ -1,0 +1,187 @@
+// Randomized property tests for the serving boundary: every malformed
+// input must come back as a non-OK Status with a diagnostic — never a
+// crash, hang, or silently wrong database. These are the in-tree,
+// always-on cousins of the fuzz targets in fuzz/ (same invariants,
+// bounded iteration counts so ctest stays fast).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "crowd/crowd_model.h"
+#include "crowd/session.h"
+#include "data/answers.h"
+#include "data/csv.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+std::string SerializeCsv(const model::Database& db) {
+  std::string text = "oid,value,prob\n";
+  char row[96];
+  for (const auto& obj : db.objects()) {
+    for (const auto& inst : obj.instances()) {
+      std::snprintf(row, sizeof(row), "%d,%.17g,%.17g\n", inst.oid,
+                    inst.value, inst.prob);
+      text += row;
+    }
+  }
+  return text;
+}
+
+// The standalone fuzz driver's mutation set, miniaturized: byte
+// overwrite, spiced insertion, truncation, slice duplication.
+std::string Mutate(std::string text, std::mt19937_64& rng) {
+  static const char kSpice[] = "0123456789,.-+einfa#\n\r x";
+  const int edits = 1 + static_cast<int>(rng() % 4);
+  for (int e = 0; e < edits; ++e) {
+    switch (rng() % 4) {
+      case 0:
+        if (!text.empty()) {
+          text[rng() % text.size()] = static_cast<char>(rng() % 256);
+        }
+        break;
+      case 1:
+        text.insert(text.begin() + static_cast<long>(rng() % (text.size() + 1)),
+                    kSpice[rng() % (sizeof(kSpice) - 1)]);
+        break;
+      case 2:
+        if (!text.empty()) text.resize(rng() % text.size());
+        break;
+      case 3:
+        if (!text.empty()) {
+          const size_t start = rng() % text.size();
+          const size_t len = rng() % (text.size() - start) + 1;
+          text += text.substr(start, len);
+        }
+        break;
+    }
+  }
+  return text;
+}
+
+void CheckLoadedInvariants(const model::Database& db) {
+  ASSERT_TRUE(db.finalized());
+  ASSERT_GT(db.num_objects(), 0);
+  for (const auto& obj : db.objects()) {
+    ASSERT_GT(obj.num_instances(), 0);
+    double total = 0.0;
+    for (const auto& inst : obj.instances()) {
+      ASSERT_TRUE(std::isfinite(inst.value));
+      ASSERT_GT(inst.prob, 0.0);
+      total += inst.prob;
+    }
+    ASSERT_NEAR(total, 1.0, 1e-6);
+  }
+}
+
+TEST(CsvProperty, RandomValidDatabasesRoundTrip) {
+  for (uint64_t seed = 0; seed < 20; ++seed) {
+    const model::Database original =
+        testing::RandomDb(2 + static_cast<int>(seed % 6), 3, seed + 100);
+    model::Database loaded;
+    ASSERT_TRUE(
+        data::LoadCsvFromString(SerializeCsv(original), {}, &loaded).ok())
+        << "seed " << seed;
+    ASSERT_EQ(loaded.num_objects(), original.num_objects());
+    ASSERT_EQ(loaded.num_instances(), original.num_instances());
+    for (int o = 0; o < original.num_objects(); ++o) {
+      for (int i = 0; i < original.object(o).num_instances(); ++i) {
+        EXPECT_DOUBLE_EQ(loaded.object(o).instance(i).value,
+                         original.object(o).instance(i).value);
+        EXPECT_NEAR(loaded.object(o).instance(i).prob,
+                    original.object(o).instance(i).prob, 1e-15);
+      }
+    }
+  }
+}
+
+TEST(CsvProperty, RandomMutationsEitherParseCleanOrFailLoudly) {
+  std::mt19937_64 rng(0xfeedbeef);
+  const std::string base = SerializeCsv(testing::RandomDb(4, 3, 9));
+  data::CsvOptions headerless;
+  headerless.require_header = false;
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::string text = Mutate(base, rng);
+    for (const data::CsvOptions& options : {data::CsvOptions{}, headerless}) {
+      model::Database db;
+      const util::Status s = data::LoadCsvFromString(text, options, &db);
+      if (s.ok()) {
+        CheckLoadedInvariants(db);
+      } else {
+        EXPECT_FALSE(s.message().empty());
+      }
+    }
+  }
+}
+
+TEST(AnswersProperty, RandomMutationsNeverProduceOutOfRangeAnswers) {
+  std::mt19937_64 rng(0xabad1dea);
+  const std::string base = "0,1\n1,2\n# comment\n2,3\n3,0\n";
+  for (int iter = 0; iter < 3000; ++iter) {
+    const std::string text = Mutate(base, rng);
+    std::vector<data::ParsedAnswer> answers;
+    const util::Status s =
+        data::ParseAnswersFromString(text, /*num_objects=*/4, &answers);
+    if (!s.ok()) {
+      EXPECT_FALSE(s.message().empty());
+      continue;
+    }
+    for (const data::ParsedAnswer& a : answers) {
+      ASSERT_GE(a.smaller, 0);
+      ASSERT_LT(a.smaller, 4);
+      ASSERT_GE(a.larger, 0);
+      ASSERT_LT(a.larger, 4);
+      ASSERT_NE(a.smaller, a.larger);
+    }
+  }
+}
+
+TEST(SessionProperty, RoundsEitherSucceedOrExhaustCleanly) {
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    const model::Database db =
+        testing::RandomDb(4 + static_cast<int>(seed % 3), 2, seed + 40);
+    core::SelectorOptions sel_opts;
+    sel_opts.k = 2;
+    sel_opts.fanout = 2;
+    core::BoundSelector selector(db, sel_opts,
+                                 core::BoundSelector::Mode::kOptimized);
+    crowd::BiasedCrowd crowd(db, 0.19, seed + 1);
+    crowd::CleaningSession::Options opts;
+    opts.k = 2;
+    crowd::CleaningSession session(db, &selector, &crowd, opts);
+    ASSERT_TRUE(session.Init().ok());
+    ASSERT_TRUE(std::isfinite(session.initial_quality()));
+
+    bool exhausted = false;
+    for (int round = 0; round < 12 && !exhausted; ++round) {
+      crowd::CleaningSession::RoundReport report;
+      const util::Status s = session.RunRound(2, &report);
+      if (s.code() == util::Status::Code::kResourceExhausted) {
+        exhausted = true;
+        break;
+      }
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      ASSERT_TRUE(std::isfinite(report.quality_after));
+      ASSERT_GE(report.quality_after, -1e-9);
+      ASSERT_EQ(report.answers.size() + report.skipped.size(),
+                report.selected.size());
+      ASSERT_EQ(report.skip_reasons.size(), report.skipped.size());
+    }
+    // A biased (sometimes lying) crowd on a small database must end in
+    // clean exhaustion, and exhaustion is sticky.
+    ASSERT_TRUE(exhausted);
+    crowd::CleaningSession::RoundReport report;
+    EXPECT_EQ(session.RunRound(2, &report).code(),
+              util::Status::Code::kResourceExhausted);
+  }
+}
+
+}  // namespace
+}  // namespace ptk

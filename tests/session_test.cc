@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 #include <set>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "core/bound_selector.h"
 #include "core/random_selector.h"
@@ -18,6 +22,66 @@ std::vector<double> Truth(const model::Database& db) {
   return crowd::SampleWorldValues(db, 12345);
 }
 
+// Replays a fixed pair stream, best first — full control over what the
+// session sees, including duplicates inside one batch.
+class ScriptedSelector : public core::PairSelector {
+ public:
+  explicit ScriptedSelector(std::vector<core::ScoredPair> stream)
+      : stream_(std::move(stream)) {}
+
+  util::Status SelectPairs(int t, std::vector<core::ScoredPair>* out)
+      override {
+    out->clear();
+    for (const core::ScoredPair& p : stream_) {
+      if (static_cast<int>(out->size()) >= t) break;
+      out->push_back(p);
+    }
+    return util::Status::OK();
+  }
+
+  std::string name() const override { return "SCRIPTED"; }
+
+ private:
+  std::vector<core::ScoredPair> stream_;
+};
+
+// Answers from a fixed verdict table: Compare(x, y) == "value(x) >
+// value(y)". Unlisted pairs answer via the reversed entry.
+class ScriptedOracle : public crowd::ComparisonOracle {
+ public:
+  explicit ScriptedOracle(
+      std::map<std::pair<model::ObjectId, model::ObjectId>, bool> greater)
+      : greater_(std::move(greater)) {}
+
+  bool Compare(model::ObjectId x, model::ObjectId y) override {
+    if (const auto it = greater_.find({x, y}); it != greater_.end()) {
+      return it->second;
+    }
+    return !greater_.at({y, x});
+  }
+
+ private:
+  std::map<std::pair<model::ObjectId, model::ObjectId>, bool> greater_;
+};
+
+// Three objects whose supports interleave: every pairwise order has
+// positive probability, so contradictions only arise transitively.
+model::Database InterleavedDb() {
+  model::Database db;
+  db.AddObject({{1.0, 0.5}, {4.0, 0.5}});
+  db.AddObject({{2.0, 0.5}, {5.0, 0.5}});
+  db.AddObject({{3.0, 0.5}, {6.0, 0.5}});
+  EXPECT_TRUE(db.Finalize().ok());
+  return db;
+}
+
+core::ScoredPair Pair(model::ObjectId a, model::ObjectId b) {
+  core::ScoredPair p;
+  p.a = a;
+  p.b = b;
+  return p;
+}
+
 TEST(CleaningSession, RoundsAccumulateConstraintsAndReduceEntropy) {
   const model::Database db = testing::RandomDb(10, 3, 17);
   core::SelectorOptions opts;
@@ -29,6 +93,7 @@ TEST(CleaningSession, RoundsAccumulateConstraintsAndReduceEntropy) {
   crowd::CleaningSession::Options session_opts;
   session_opts.k = 3;
   crowd::CleaningSession session(db, &selector, &oracle, session_opts);
+  ASSERT_TRUE(session.Init().ok());
 
   EXPECT_GT(session.initial_quality(), 0.0);
   double last = session.initial_quality();
@@ -59,6 +124,7 @@ TEST(CleaningSession, NeverRepeatsAPair) {
   crowd::CleaningSession::Options session_opts;
   session_opts.k = 2;
   crowd::CleaningSession session(db, &selector, &oracle, session_opts);
+  ASSERT_TRUE(session.Init().ok());
 
   std::set<std::pair<model::ObjectId, model::ObjectId>> seen;
   for (int round = 0; round < 5; ++round) {
@@ -83,6 +149,7 @@ TEST(CleaningSession, CurrentDistributionReflectsAnswers) {
   crowd::CleaningSession::Options session_opts;
   session_opts.k = 2;
   crowd::CleaningSession session(db, &selector, &oracle, session_opts);
+  ASSERT_TRUE(session.Init().ok());
 
   crowd::CleaningSession::RoundReport report;
   ASSERT_TRUE(session.RunRound(1, &report).ok());
@@ -90,6 +157,145 @@ TEST(CleaningSession, CurrentDistributionReflectsAnswers) {
   ASSERT_TRUE(session.CurrentDistribution(&dist).ok());
   EXPECT_NEAR(dist.total_mass(), 1.0, 1e-9);
   EXPECT_LE(report.quality_after, session.initial_quality() + 1e-9);
+}
+
+TEST(CleaningSession, RunRoundBeforeInitFailsPrecondition) {
+  const model::Database db = InterleavedDb();
+  ScriptedSelector selector({Pair(0, 1)});
+  crowd::GroundTruthOracle oracle(Truth(db));
+  crowd::CleaningSession::Options opts;
+  opts.k = 2;
+  crowd::CleaningSession session(db, &selector, &oracle, opts);
+  crowd::CleaningSession::RoundReport report;
+  const util::Status s = session.RunRound(1, &report);
+  EXPECT_EQ(s.code(), util::Status::Code::kFailedPrecondition);
+}
+
+TEST(CleaningSession, FailedInitSurfacesErrorAndBlocksRounds) {
+  const model::Database db = InterleavedDb();
+  ScriptedSelector selector({Pair(0, 1)});
+  crowd::GroundTruthOracle oracle(Truth(db));
+  crowd::CleaningSession::Options opts;
+  opts.k = 2;
+  opts.enumerator.max_states = 1;  // guarantees the evaluation fails
+  crowd::CleaningSession session(db, &selector, &oracle, opts);
+  const util::Status init = session.Init();
+  ASSERT_FALSE(init.ok());
+  EXPECT_EQ(init.code(), util::Status::Code::kResourceExhausted);
+  EXPECT_NE(init.message().find("Init"), std::string::npos);
+  // The seed behaviour was initial_quality() == 0.0 with rounds running
+  // against a garbage baseline; now rounds are refused outright.
+  crowd::CleaningSession::RoundReport report;
+  EXPECT_EQ(session.RunRound(1, &report).code(),
+            util::Status::Code::kFailedPrecondition);
+}
+
+TEST(CleaningSession, InitIsIdempotent) {
+  const model::Database db = InterleavedDb();
+  ScriptedSelector selector({Pair(0, 1)});
+  crowd::GroundTruthOracle oracle(Truth(db));
+  crowd::CleaningSession::Options opts;
+  opts.k = 2;
+  crowd::CleaningSession session(db, &selector, &oracle, opts);
+  ASSERT_TRUE(session.Init().ok());
+  const double q = session.initial_quality();
+  ASSERT_TRUE(session.Init().ok());
+  EXPECT_DOUBLE_EQ(session.initial_quality(), q);
+}
+
+TEST(CleaningSession, NonPositiveQuotaIsInvalid) {
+  const model::Database db = InterleavedDb();
+  ScriptedSelector selector({Pair(0, 1)});
+  crowd::GroundTruthOracle oracle(Truth(db));
+  crowd::CleaningSession::Options opts;
+  opts.k = 2;
+  crowd::CleaningSession session(db, &selector, &oracle, opts);
+  ASSERT_TRUE(session.Init().ok());
+  crowd::CleaningSession::RoundReport report;
+  EXPECT_EQ(session.RunRound(0, &report).code(),
+            util::Status::Code::kInvalidArgument);
+  EXPECT_EQ(session.RunRound(-3, &report).code(),
+            util::Status::Code::kInvalidArgument);
+}
+
+TEST(CleaningSession, QuotaBeyondRemainingPairsIsResourceExhausted) {
+  const model::Database db = InterleavedDb();  // 3 objects -> 3 pairs
+  core::SelectorOptions sel_opts;
+  sel_opts.k = 2;
+  sel_opts.fanout = 2;
+  core::BoundSelector selector(db, sel_opts,
+                               core::BoundSelector::Mode::kOptimized);
+  crowd::GroundTruthOracle oracle(Truth(db));
+  crowd::CleaningSession::Options opts;
+  opts.k = 2;
+  crowd::CleaningSession session(db, &selector, &oracle, opts);
+  ASSERT_TRUE(session.Init().ok());
+
+  crowd::CleaningSession::RoundReport report;
+  const util::Status too_many = session.RunRound(5, &report);
+  ASSERT_EQ(too_many.code(), util::Status::Code::kResourceExhausted);
+  EXPECT_NE(too_many.message().find("quota 5"), std::string::npos);
+
+  // The exact quota still works, and the next round finds nothing left.
+  ASSERT_TRUE(session.RunRound(3, &report).ok());
+  EXPECT_EQ(report.selected.size(), 3u);
+  EXPECT_EQ(session.RunRound(1, &report).code(),
+            util::Status::Code::kResourceExhausted);
+}
+
+TEST(CleaningSession, EscalatesPastDuplicateHeavyBatches) {
+  const model::Database db = InterleavedDb();
+  // Every batch is dominated by duplicates; the seed logic would have
+  // posted a pair twice within a round (or failed), the escalation loop
+  // re-requests until the quota is met with distinct unasked pairs.
+  ScriptedSelector selector({Pair(0, 1), Pair(0, 1), Pair(0, 2), Pair(0, 2),
+                             Pair(1, 2), Pair(1, 2)});
+  crowd::GroundTruthOracle oracle(Truth(db));
+  crowd::CleaningSession::Options opts;
+  opts.k = 2;
+  crowd::CleaningSession session(db, &selector, &oracle, opts);
+  ASSERT_TRUE(session.Init().ok());
+
+  crowd::CleaningSession::RoundReport report;
+  ASSERT_TRUE(session.RunRound(2, &report).ok());
+  ASSERT_EQ(report.selected.size(), 2u);
+  EXPECT_NE(std::minmax(report.selected[0].a, report.selected[0].b),
+            std::minmax(report.selected[1].a, report.selected[1].b));
+
+  ASSERT_TRUE(session.RunRound(1, &report).ok());
+  ASSERT_EQ(report.selected.size(), 1u);
+  EXPECT_EQ(std::minmax(report.selected[0].a, report.selected[0].b),
+            std::minmax(model::ObjectId{1}, model::ObjectId{2}));
+}
+
+TEST(CleaningSession, EveryAnswerSkippedRoundReportsConflictChain) {
+  const model::Database db = InterleavedDb();
+  ScriptedSelector selector({Pair(0, 1), Pair(1, 2), Pair(0, 2)});
+  // Verdicts 0 < 1, 1 < 2, then 0 > 2: the last answer closes a cycle.
+  ScriptedOracle oracle({{{0, 1}, false}, {{1, 2}, false}, {{0, 2}, true}});
+  crowd::CleaningSession::Options opts;
+  opts.k = 2;
+  crowd::CleaningSession session(db, &selector, &oracle, opts);
+  ASSERT_TRUE(session.Init().ok());
+
+  crowd::CleaningSession::RoundReport report;
+  ASSERT_TRUE(session.RunRound(2, &report).ok());
+  ASSERT_EQ(report.answers.size(), 2u);
+  EXPECT_TRUE(report.skipped.empty());
+  const double before = report.quality_after;
+
+  // The whole round is contradictory answers: nothing folds in, the
+  // quality is unchanged, and each skip names the chain it fights with.
+  ASSERT_TRUE(session.RunRound(1, &report).ok());
+  EXPECT_TRUE(report.answers.empty());
+  ASSERT_EQ(report.skipped.size(), 1u);
+  ASSERT_EQ(report.skip_reasons.size(), 1u);
+  EXPECT_EQ(report.skipped[0].smaller, 2);
+  EXPECT_EQ(report.skipped[0].larger, 0);
+  EXPECT_NE(report.skip_reasons[0].find("0 < 1 < 2"), std::string::npos)
+      << report.skip_reasons[0];
+  EXPECT_DOUBLE_EQ(report.quality_after, before);
+  EXPECT_EQ(session.constraints().size(), 2);
 }
 
 }  // namespace

@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 build + tests, then an ASan/UBSan build
+# running the robustness tests and a timed fuzz smoke pass over the
+# committed seed corpus. Usage: tools/check.sh [fuzz_seconds]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+FUZZ_SECONDS="${1:-30}"
+JOBS="$(nproc 2>/dev/null || echo 2)"
+
+echo "== tier-1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+(cd build && ctest --output-on-failure -j "$JOBS")
+
+echo "== ASan/UBSan: robustness tests + fuzz smoke (${FUZZ_SECONDS}s/target) =="
+cmake -B build-asan -S . \
+  -DPTK_SANITIZE=address,undefined -DPTK_FUZZ=ON >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target load_csv_fuzz constraint_fold_fuzz robustness_test data_test \
+  session_test
+(cd build-asan && ./tests/data_test && ./tests/session_test \
+  && ./tests/robustness_test)
+
+run_fuzz() {
+  local target="$1" corpus="$2"
+  if ./build-asan/fuzz/"$target" --help 2>&1 | grep -q libFuzzer; then
+    # libFuzzer engine (clang): real fuzzing for the time budget.
+    ./build-asan/fuzz/"$target" -max_total_time="$FUZZ_SECONDS" \
+      -timeout=10 "$corpus"
+  else
+    # Standalone driver (gcc): corpus replay + deterministic mutations.
+    ./build-asan/fuzz/"$target" "$corpus" --seconds "$FUZZ_SECONDS"
+  fi
+}
+
+run_fuzz load_csv_fuzz fuzz/corpus/load_csv
+run_fuzz constraint_fold_fuzz fuzz/corpus/constraint_fold
+
+echo "== all checks passed =="

@@ -15,11 +15,10 @@
 // CSV format for databases: header "oid,value,prob", one instance per row
 // (see data::SaveCsv / data::LoadCsv).
 
+#include <charconv>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <memory>
-#include <sstream>
 #include <string>
 #include <vector>
 
@@ -27,10 +26,26 @@
 #include "core/multi_quota.h"
 #include "core/quality.h"
 #include "core/random_selector.h"
+#include "data/answers.h"
 #include "data/csv.h"
 #include "topk/semantics.h"
 
 namespace {
+
+/// Whole-argument checked parse: "12" is 12; "abc", "1x", "" and
+/// out-of-range values all fail instead of silently becoming 0 the way
+/// std::atoi would.
+bool ParseInt(const char* arg, int* out) {
+  if (arg == nullptr || *arg == '\0') return false;
+  const char* end = arg + std::strlen(arg);
+  const auto [ptr, ec] = std::from_chars(arg, end, *out);
+  return ec == std::errc{} && ptr == end;
+}
+
+int FailBadInt(const char* what, const char* arg) {
+  std::fprintf(stderr, "error: %s must be an integer, got '%s'\n", what, arg);
+  return 2;
+}
 
 int Usage() {
   std::fprintf(
@@ -77,7 +92,9 @@ int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
                                        ? ptk::pw::OrderMode::kSensitive
                                        : ptk::pw::OrderMode::kInsensitive;
   int limit = 20;
-  if (const char* v = FlagValue(argc, argv, "--limit")) limit = std::atoi(v);
+  if (const char* v = FlagValue(argc, argv, "--limit")) {
+    if (!ParseInt(v, &limit) || limit < 0) return FailBadInt("--limit", v);
+  }
   ptk::core::QualityEvaluator evaluator(db, k, order);
   ptk::pw::TopKDistribution dist;
   if (ptk::util::Status s = evaluator.Distribution(nullptr, &dist); !s.ok()) {
@@ -177,28 +194,36 @@ int RunSemantics(const ptk::model::Database& db, int k) {
 }
 
 int RunClean(const ptk::model::Database& db, int k, const char* answers) {
-  std::ifstream in(answers);
-  if (!in) {
-    std::fprintf(stderr, "error: cannot open %s\n", answers);
-    return 1;
-  }
-  ptk::pw::ConstraintSet cons;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (line.empty() || line[0] == '#') continue;
-    std::istringstream row(line);
-    int64_t smaller, larger;
-    char comma;
-    if (!(row >> smaller >> comma >> larger) || comma != ',') {
-      std::fprintf(stderr, "error: malformed answer line: %s\n",
-                   line.c_str());
-      return 1;
-    }
-    cons.Add(static_cast<ptk::model::ObjectId>(smaller),
-             static_cast<ptk::model::ObjectId>(larger));
+  std::vector<ptk::data::ParsedAnswer> parsed;
+  if (ptk::util::Status s =
+          ptk::data::LoadAnswers(answers, db.num_objects(), &parsed);
+      !s.ok()) {
+    return Fail(s);
   }
   ptk::core::QualityEvaluator evaluator(db, k,
                                         ptk::pw::OrderMode::kInsensitive);
+  // Feasibility pre-check: fold answers in file order and stop at the
+  // first one that leaves zero surviving possible worlds, naming the line
+  // and the accepted chain it conflicts with.
+  ptk::pw::ConstraintSet cons;
+  for (const ptk::data::ParsedAnswer& answer : parsed) {
+    ptk::pw::ConstraintSet candidate = cons;
+    candidate.Add(answer.smaller, answer.larger);
+    if (evaluator.ConstraintProbability(candidate) <= 0.0) {
+      std::string detail = "answer '" + answer.text + "' (line " +
+                           std::to_string(answer.line_no) +
+                           ") is infeasible: it leaves zero surviving "
+                           "possible worlds given the answers before it";
+      const auto chain = cons.FindChain(answer.larger, answer.smaller);
+      if (!chain.empty()) {
+        detail += "; it contradicts the accepted chain " +
+                  ptk::pw::ConstraintSet::FormatChain(chain);
+      }
+      return Fail(ptk::util::Status::InvalidArgument(detail).WithContext(
+          std::string(answers)));
+    }
+    cons = std::move(candidate);
+  }
   double before = 0.0, after = 0.0;
   if (ptk::util::Status s = evaluator.Quality(nullptr, &before); !s.ok()) {
     return Fail(s);
@@ -221,7 +246,8 @@ int main(int argc, char** argv) {
   if (ptk::util::Status s = ptk::data::LoadCsv(argv[2], &db); !s.ok()) {
     return Fail(s);
   }
-  const int k = std::atoi(argv[3]);
+  int k = 0;
+  if (!ParseInt(argv[3], &k)) return FailBadInt("k", argv[3]);
   if (k < 1 || k > db.num_objects()) {
     std::fprintf(stderr, "error: k must be in [1, %d]\n", db.num_objects());
     return 1;
@@ -231,7 +257,13 @@ int main(int argc, char** argv) {
   if (command == "quality") return RunQuality(db, k, argc, argv);
   if (command == "select") {
     if (argc < 5) return Usage();
-    return RunSelect(db, k, std::atoi(argv[4]), argc, argv);
+    int quota = 0;
+    if (!ParseInt(argv[4], &quota)) return FailBadInt("quota", argv[4]);
+    if (quota < 1) {
+      std::fprintf(stderr, "error: quota must be positive\n");
+      return 1;
+    }
+    return RunSelect(db, k, quota, argc, argv);
   }
   if (command == "semantics") return RunSemantics(db, k);
   if (command == "clean") {
