@@ -1,0 +1,204 @@
+// Engine latency benchmark (PR: RankingEngine incremental conditioning).
+//
+// Three measurements, all recorded to $PTK_BENCH_JSON when set:
+//
+//   1. engine_fold_step — per-answer cost of RankingEngine::Fold with
+//      update_working=true and the shared membership calculator + PB-tree
+//      already built, swept over database sizes. This is the acceptance
+//      check that AdaptiveCleaner's per-answer maintenance no longer
+//      rebuilds a full model::Database: the copy-on-write overlay touches
+//      only the two answered objects, so per-fold time must stay (near)
+//      flat while m grows. The `legacy_db_rebuild` rows time what the old
+//      implementation did every step — reconstruct and Finalize a full
+//      working database — and grow linearly with m for contrast.
+//
+//   2. session_round_r<i> — per-round latency of a CleaningSession driven
+//      by the OPT bound selector (batch model, Section 5.1).
+//
+//   3. adaptive_step_s<i> — per-step latency of AdaptiveCleaner (select,
+//      ask, fold, exact conditioned quality). Unlike engine_fold_step this
+//      includes selection and the exact evaluation, both of which depend
+//      on m and on the accumulated constraints by design.
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/bound_selector.h"
+#include "crowd/adaptive.h"
+#include "crowd/crowd_model.h"
+#include "crowd/session.h"
+#include "data/synthetic.h"
+#include "engine/ranking_engine.h"
+#include "harness.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+// Full reconstruct + Finalize of a working database — the per-answer cost
+// of the pre-engine AdaptiveCleaner, timed for contrast.
+double LegacyRebuildSeconds(const ptk::model::Database& db, int reps) {
+  ptk::util::Stopwatch watch;
+  for (int r = 0; r < reps; ++r) {
+    ptk::model::Database copy;
+    for (int oid = 0; oid < db.num_objects(); ++oid) {
+      const auto& object = db.object(oid);
+      std::vector<std::pair<double, double>> pairs;
+      pairs.reserve(object.instances().size());
+      for (const auto& inst : object.instances()) {
+        pairs.emplace_back(inst.value, inst.prob);
+      }
+      copy.AddObject(std::move(pairs));
+    }
+    if (!copy.Finalize().ok()) std::exit(1);
+  }
+  return watch.ElapsedSeconds() / reps;
+}
+
+int BenchFoldScaling(ptk::bench::JsonWriter* json) {
+  using ptk::bench::Fmt;
+  using ptk::bench::FmtSci;
+  const int k = 10;
+  const int folds = 50;
+  ptk::bench::Banner(
+      "Fold maintenance vs database size (flat = overlay works)");
+  std::printf("%d disjoint-pair folds, update_working=true, membership + "
+              "PB-tree maintained in place\n\n", folds);
+  ptk::bench::Row({"m", "fold avg", "legacy rebuild", "ratio"}, 16);
+
+  for (const int base : {200, 400, 800, 1600}) {
+    const int m = ptk::bench::Scaled(base);
+    ptk::data::SynOptions syn;
+    syn.num_objects = m;
+    syn.avg_instances = 3;
+    syn.seed = 11 + m;
+    const ptk::model::Database db = ptk::data::MakeSynDataset(syn);
+    const std::vector<double> truth =
+        ptk::crowd::SampleWorldValues(db, 21 + m);
+
+    ptk::engine::RankingEngine::Options options;
+    options.k = k;
+    ptk::engine::RankingEngine engine(db, options);
+    engine.membership();  // build the shared artifacts up front so the
+    engine.tree();        // timed folds pay the maintenance, not the build
+
+    ptk::util::Stopwatch watch;
+    for (int f = 0; f < folds; ++f) {
+      // Disjoint pairs: answers can never contradict each other, so all
+      // `folds` folds are applied and each joint component stays tiny.
+      const ptk::model::ObjectId a = 2 * f;
+      const ptk::model::ObjectId b = 2 * f + 1;
+      const ptk::model::ObjectId smaller = truth[a] < truth[b] ? a : b;
+      const ptk::model::ObjectId larger = smaller == a ? b : a;
+      ptk::engine::RankingEngine::FoldOutcome outcome;
+      if (!engine.Fold(smaller, larger, /*update_working=*/true, &outcome)
+               .ok()) {
+        return 1;
+      }
+    }
+    const double fold_avg = watch.ElapsedSeconds() / folds;
+    if (engine.counters().folds_applied != folds) {
+      std::fprintf(stderr, "expected %d applied folds, got %lld\n", folds,
+                   static_cast<long long>(engine.counters().folds_applied));
+      return 1;
+    }
+
+    const double rebuild = LegacyRebuildSeconds(db, 5);
+    ptk::bench::Row({std::to_string(m), FmtSci(fold_avg),
+                     FmtSci(rebuild), Fmt(rebuild / fold_avg, 1)},
+                    16);
+    json->Record("engine_fold_step", fold_avg,
+                 ptk::bench::JsonWriter::DefaultThreads(), m, k);
+    json->Record("legacy_db_rebuild", rebuild,
+                 ptk::bench::JsonWriter::DefaultThreads(), m, k);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int BenchSessionRounds(ptk::bench::JsonWriter* json) {
+  const int k = 5;
+  const int quota = 4;
+  const int rounds = 3;
+  ptk::data::ImdbOptions imdb;
+  imdb.num_movies = ptk::bench::Scaled(120);
+  imdb.seed = 501;
+  const ptk::model::Database db = ptk::data::MakeImdbDataset(imdb);
+  const std::vector<double> truth = ptk::crowd::SampleWorldValues(db, 601);
+
+  ptk::bench::Banner("CleaningSession per-round latency (OPT selector)");
+  std::printf("IMDB-like m=%d, k=%d, quota=%d\n\n", db.num_objects(), k,
+              quota);
+
+  ptk::core::SelectorOptions selector_options;
+  selector_options.k = k;
+  ptk::core::BoundSelector selector(
+      db, selector_options, ptk::core::BoundSelector::Mode::kOptimized);
+  ptk::crowd::GroundTruthOracle oracle(truth);
+  ptk::crowd::CleaningSession::Options sess;
+  sess.k = k;
+  ptk::crowd::CleaningSession session(db, &selector, &oracle, sess);
+  if (!session.Init().ok()) return 1;
+
+  ptk::bench::Row({"round", "seconds", "H after"}, 14);
+  for (int round = 1; round <= rounds; ++round) {
+    ptk::util::Stopwatch watch;
+    ptk::crowd::CleaningSession::RoundReport report;
+    if (!session.RunRound(quota, &report).ok()) return 1;
+    const double seconds = watch.ElapsedSeconds();
+    ptk::bench::Row({std::to_string(round), ptk::bench::FmtSci(seconds),
+                     ptk::bench::Fmt(report.quality_after, 4)},
+                    14);
+    json->Record("session_round_r" + std::to_string(round), seconds,
+                 ptk::bench::JsonWriter::DefaultThreads(), db.num_objects(),
+                 k);
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int BenchAdaptiveSteps(ptk::bench::JsonWriter* json) {
+  const int k = 5;
+  const int steps = 6;
+  ptk::data::ImdbOptions imdb;
+  imdb.num_movies = ptk::bench::Scaled(120);
+  imdb.seed = 502;
+  const ptk::model::Database db = ptk::data::MakeImdbDataset(imdb);
+  const std::vector<double> truth = ptk::crowd::SampleWorldValues(db, 602);
+
+  ptk::bench::Banner("AdaptiveCleaner per-step latency");
+  std::printf("IMDB-like m=%d, k=%d; step = select + ask + fold + exact "
+              "quality\n\n", db.num_objects(), k);
+
+  ptk::crowd::GroundTruthOracle oracle(truth);
+  ptk::crowd::AdaptiveCleaner::Options options;
+  options.k = k;
+  ptk::crowd::AdaptiveCleaner cleaner(db, &oracle, options);
+  if (!cleaner.Init().ok()) return 1;
+
+  ptk::bench::Row({"step", "seconds", "true H"}, 14);
+  for (int step = 1; step <= steps; ++step) {
+    ptk::util::Stopwatch watch;
+    std::vector<ptk::crowd::AdaptiveCleaner::StepReport> reports;
+    if (!cleaner.Run(1, &reports).ok()) return 1;
+    const double seconds = watch.ElapsedSeconds();
+    ptk::bench::Row({std::to_string(step), ptk::bench::FmtSci(seconds),
+                     ptk::bench::Fmt(reports.back().true_quality, 4)},
+                    14);
+    json->Record("adaptive_step_s" + std::to_string(step), seconds,
+                 ptk::bench::JsonWriter::DefaultThreads(), db.num_objects(),
+                 k);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main() {
+  ptk::bench::JsonWriter json;
+  if (int rc = BenchFoldScaling(&json)) return rc;
+  if (int rc = BenchSessionRounds(&json)) return rc;
+  if (int rc = BenchAdaptiveSteps(&json)) return rc;
+  return 0;
+}

@@ -75,6 +75,8 @@ int main() {
                 db.object(pair.b).label().c_str(), report.quality_after);
   }
 
+  // CurrentDistribution is served from the engine's memo: the quality read
+  // at the end of the last round already enumerated this constraint set.
   ptk::pw::TopKDistribution dist;
   if (!session.CurrentDistribution(&dist).ok()) return 1;
   const auto ranked = dist.SortedByProbDesc();
@@ -84,5 +86,9 @@ int main() {
   for (ptk::model::ObjectId oid : ranked.front().first) {
     std::printf("  %d. %s\n", place++, db.object(oid).label().c_str());
   }
+  const auto& counters = session.engine().counters();
+  std::printf("\nEngine: %lld enumerations, %lld memoized serves\n",
+              static_cast<long long>(counters.enumerations),
+              static_cast<long long>(counters.distribution_hits));
   return 0;
 }

@@ -3,14 +3,17 @@
 // result distribution and its quality, pick the best pair to crowdsource,
 // and condition on the answer.
 //
+// All of it runs through engine::RankingEngine, the conditioning layer the
+// cleaning sessions and the CLI share.
+//
 // Run: ./quickstart
 // Every printed number matches the paper's Section 1-3 walk-through.
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 
-#include "core/bound_selector.h"
-#include "core/quality.h"
+#include "engine/ranking_engine.h"
 #include "pw/constraint.h"
 #include "rank/pairwise_prob.h"
 
@@ -34,12 +37,15 @@ int main() {
   db.AddObject({{22.0, 0.6}, {25.0, 0.4}}, "photo o3");
   Check(db.Finalize().ok(), "database validation");
 
+  ptk::engine::RankingEngine::Options options;
+  options.k = 2;
+  options.fanout = 2;
+  ptk::engine::RankingEngine engine(db, options);
+
   // The distribution over top-2 (youngest) photo sets across all possible
   // worlds, and its entropy — the paper's quality metric (Eq. 4).
-  ptk::core::QualityEvaluator evaluator(db, /*k=*/2,
-                                        ptk::pw::OrderMode::kInsensitive);
   ptk::pw::TopKDistribution dist;
-  Check(evaluator.Distribution(nullptr, &dist).ok(), "top-k enumeration");
+  Check(engine.Distribution(&dist).ok(), "top-k enumeration");
   std::printf("Top-2 result distribution (order-insensitive):\n");
   for (const auto& [key, prob] : dist.SortedByProbDesc()) {
     std::printf("  {");
@@ -57,29 +63,32 @@ int main() {
   // Which single pair should we crowdsource? The bound-based selector
   // (PB-tree + Algorithm 5) finds the pair with the highest expected
   // quality improvement.
-  ptk::core::SelectorOptions options;
-  options.k = 2;
-  options.fanout = 2;
-  ptk::core::BoundSelector selector(
-      db, options, ptk::core::BoundSelector::Mode::kOptimized);
+  std::unique_ptr<ptk::core::PairSelector> selector =
+      engine.MakeSelector(ptk::engine::SelectorKind::kOpt);
   std::vector<ptk::core::ScoredPair> best;
-  Check(selector.SelectPairs(1, &best).ok() && best.size() == 1,
+  Check(selector->SelectPairs(1, &best).ok() && best.size() == 1,
         "pair selection");
   std::printf("Best pair to crowdsource: (%s, %s), estimated EI = %.3f\n",
               db.object(best[0].a).label().c_str(),
               db.object(best[0].b).label().c_str(), best[0].ei_estimate);
 
   double exact_ei = 0.0;
-  Check(evaluator.ExactExpectedImprovement(0, 1, nullptr, &exact_ei).ok(),
+  Check(engine.evaluator()
+            .ExactExpectedImprovement(0, 1, nullptr, &exact_ei)
+            .ok(),
         "exact EI");
   std::printf("Exact EI of (o1, o2) = %.3f  (paper: 0.26)\n\n", exact_ei);
 
-  // Suppose the expert answers "o3 is younger than o1": condition the
-  // distribution on the comparison (Eq. 5) and observe the confidence jump.
-  ptk::pw::ConstraintSet answer;
-  answer.Add(/*smaller=*/2, /*larger=*/0);
+  // Suppose the expert answers "o3 is younger than o1": fold the comparison
+  // into the engine (Eq. 5 conditioning) and observe the confidence jump.
+  ptk::engine::RankingEngine::FoldOutcome outcome;
+  Check(engine.Fold(/*smaller=*/2, /*larger=*/0, /*update_working=*/false,
+                    &outcome)
+                .ok() &&
+            outcome == ptk::engine::RankingEngine::FoldOutcome::kApplied,
+        "conditioning");
   ptk::pw::TopKDistribution cleaned;
-  Check(evaluator.Distribution(&answer, &cleaned).ok(), "conditioning");
+  Check(engine.Distribution(&cleaned).ok(), "conditioned distribution");
   std::printf("After the crowd answers 'o3 < o1':\n");
   std::printf("  P({o1, o3}) = %.2f  (paper: 0.80)\n",
               cleaned.ProbOf({0, 2}));

@@ -21,7 +21,11 @@ BoundSelector::BoundSelector(const model::Database& db,
     : db_(&db),
       options_(options),
       mode_(mode),
-      tree_(db, TreeOptions(options)),
+      owned_tree_(options.SharedTreeFor(db) == nullptr
+                      ? std::make_unique<pbtree::PBTree>(db, TreeOptions(options))
+                      : nullptr),
+      tree_(owned_tree_ != nullptr ? owned_tree_.get()
+                                   : options.SharedTreeFor(db)),
       membership_(options.MembershipFor(db)),
       estimator_(db, *membership_, options.order),
       h_scorer_(db),
@@ -33,7 +37,7 @@ util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
       (mode_ == Mode::kBasic)
           ? static_cast<const pbtree::PairScorer&>(h_scorer_)
           : static_cast<const pbtree::PairScorer&>(ei_scorer_);
-  pbtree::PairStream stream(tree_, scorer);
+  pbtree::PairStream stream(*tree_, scorer);
 
   // Min-heap of the best t estimates found so far.
   const auto worse = [](const ScoredPair& a, const ScoredPair& b) {

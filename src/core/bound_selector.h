@@ -47,7 +47,7 @@ class BoundSelector : public PairSelector {
   };
   const Stats& stats() const { return stats_; }
 
-  const pbtree::PBTree& tree() const { return tree_; }
+  const pbtree::PBTree& tree() const { return *tree_; }
   const rank::MembershipCalculator& membership() const {
     return *membership_;
   }
@@ -57,7 +57,11 @@ class BoundSelector : public PairSelector {
   const model::Database* db_;
   SelectorOptions options_;
   Mode mode_;
-  pbtree::PBTree tree_;
+  // Owned only when options.shared_tree is absent or indexes a different
+  // database; the RankingEngine path borrows its incrementally-maintained
+  // tree instead of re-indexing per selector.
+  std::unique_ptr<pbtree::PBTree> owned_tree_;
+  const pbtree::PBTree* tree_;
   // Shared across this selector's estimator and scorer (and, via
   // SelectorOptions::membership, across selectors), so each lazy top-k
   // scan runs once.

@@ -2,13 +2,28 @@
 
 #include <algorithm>
 
+#include "pbtree/pbtree.h"
+
 namespace ptk::core {
+
+const pbtree::PBTree* SelectorOptions::SharedTreeFor(
+    const model::Database& db) const {
+  if (shared_tree != nullptr && &shared_tree->db() == &db) {
+    return shared_tree;
+  }
+  return nullptr;
+}
 
 std::shared_ptr<const rank::MembershipCalculator>
 SelectorOptions::MembershipFor(const model::Database& db) const {
   const int clamped = std::clamp(k, 1, db.num_objects());
+  // The version check is what makes the reuse sound across conditioning:
+  // a calculator built before DatabaseOverlay::Reweight mutated the
+  // database (and never RefreshObjects'ed since) would silently serve
+  // pre-fold probabilities under the old (db, k)-only test.
   if (membership != nullptr && &membership->db() == &db &&
-      membership->k() == clamped) {
+      membership->k() == clamped &&
+      membership->db_version() == db.mutation_version()) {
     return membership;
   }
   return std::make_shared<const rank::MembershipCalculator>(db, k);

@@ -13,6 +13,10 @@
 #include "util/status.h"
 #include "util/thread_pool.h"
 
+namespace ptk::pbtree {
+class PBTree;
+}
+
 namespace ptk::core {
 
 /// Options shared by the selection algorithms.
@@ -42,13 +46,26 @@ struct SelectorOptions {
 
   /// Optional membership calculator shared across selectors so the lazy
   /// top-k scans run once per (db, k) instead of once per selector. It is
-  /// used only when it was built for the same database and the same
-  /// (clamped) k; otherwise the selector builds its own.
+  /// used only when it was built for the same database, the same (clamped)
+  /// k, and the database's current mutation_version() — a calculator whose
+  /// cached state predates an in-place reweight (DatabaseOverlay) is
+  /// stale and a fresh one is built instead.
   std::shared_ptr<const rank::MembershipCalculator> membership;
 
-  /// options.membership when compatible with (db, k), else a fresh one.
+  /// Optional prebuilt PB-tree shared across selectors (the RankingEngine
+  /// maintains one incrementally via PBTree::UpdateObject). Used by the
+  /// index-based selectors only when it indexes the same database;
+  /// otherwise each selector builds its own. The tree must outlive the
+  /// selector and already reflect the database's current probabilities.
+  const pbtree::PBTree* shared_tree = nullptr;
+
+  /// options.membership when compatible with (db, k, version), else a
+  /// fresh one.
   std::shared_ptr<const rank::MembershipCalculator> MembershipFor(
       const model::Database& db) const;
+
+  /// options.shared_tree when it indexes `db`, else nullptr.
+  const pbtree::PBTree* SharedTreeFor(const model::Database& db) const;
 };
 
 /// A selected candidate pair with the selector's improvement estimate.

@@ -1,33 +1,21 @@
 #include "crowd/adaptive.h"
 
 #include <algorithm>
-#include <cassert>
-
-#include "core/bound_selector.h"
+#include <memory>
+#include <utility>
 
 namespace ptk::crowd {
 
 namespace {
 
-// Rebuilds a database with two objects' instance probabilities replaced.
-model::Database Reweighted(const model::Database& db, model::ObjectId a,
-                           const std::vector<double>& pa, model::ObjectId b,
-                           const std::vector<double>& pb) {
-  model::Database out;
-  for (const auto& obj : db.objects()) {
-    std::vector<std::pair<double, double>> pairs;
-    const std::vector<double>* repl =
-        obj.id() == a ? &pa : (obj.id() == b ? &pb : nullptr);
-    for (const auto& inst : obj.instances()) {
-      const double p = repl != nullptr ? (*repl)[inst.iid] : inst.prob;
-      if (p > 0.0) pairs.emplace_back(inst.value, p);
-    }
-    out.AddObject(std::move(pairs), obj.label());
-  }
-  const util::Status s = out.Finalize();
-  assert(s.ok());  // normalized positive probabilities cannot fail
-  (void)s;
-  return out;
+engine::RankingEngine::Options EngineOptions(
+    const AdaptiveCleaner::Options& options) {
+  engine::RankingEngine::Options engine_options;
+  engine_options.k = options.k;
+  engine_options.order = options.order;
+  engine_options.enumerator = options.enumerator;
+  engine_options.fanout = options.fanout;
+  return engine_options;
 }
 
 }  // namespace
@@ -35,47 +23,18 @@ model::Database Reweighted(const model::Database& db, model::ObjectId a,
 AdaptiveCleaner::AdaptiveCleaner(const model::Database& db,
                                  ComparisonOracle* oracle,
                                  const Options& options)
-    : original_(&db),
-      oracle_(oracle),
+    : oracle_(oracle),
       options_(options),
-      evaluator_(db, options.k, options.order, options.enumerator) {
-  // The working database starts as a copy of the original.
-  working_ = Reweighted(db, model::kInvalidObject, {}, model::kInvalidObject,
-                        {});
-}
+      engine_(db, EngineOptions(options)) {}
 
 util::Status AdaptiveCleaner::Init() {
   if (initialized_) return util::Status::OK();
   double h = 0.0;
-  const util::Status s = evaluator_.Quality(nullptr, &h);
+  const util::Status s = engine_.Quality(&h);
   if (!s.ok()) return s.WithContext("AdaptiveCleaner::Init: H(S_k)");
   initial_quality_ = h;
   initialized_ = true;
   return util::Status::OK();
-}
-
-bool AdaptiveCleaner::FoldIn(model::ObjectId smaller,
-                             model::ObjectId larger) {
-  const auto& so = working_.object(smaller);
-  const auto& lo = working_.object(larger);
-  // p'_smaller(i) ∝ p(i) · Pr(larger > i); p'_larger(j) ∝ p(j) ·
-  // Pr(smaller < j); both with pre-update marginals.
-  std::vector<double> ps(so.num_instances());
-  std::vector<double> pl(lo.num_instances());
-  double total_s = 0.0, total_l = 0.0;
-  for (const auto& inst : so.instances()) {
-    ps[inst.iid] = inst.prob * lo.MassGreater(inst);
-    total_s += ps[inst.iid];
-  }
-  for (const auto& inst : lo.instances()) {
-    pl[inst.iid] = inst.prob * so.MassLess(inst);
-    total_l += pl[inst.iid];
-  }
-  if (total_s <= 0.0 || total_l <= 0.0) return false;
-  for (double& p : ps) p /= total_s;
-  for (double& p : pl) p /= total_l;
-  working_ = Reweighted(working_, smaller, ps, larger, pl);
-  return true;
 }
 
 util::Status AdaptiveCleaner::Run(int budget,
@@ -86,18 +45,16 @@ util::Status AdaptiveCleaner::Run(int budget,
   }
   steps->clear();
   for (int step = 0; step < budget; ++step) {
-    core::SelectorOptions sel_options;
-    sel_options.k = options_.k;
-    sel_options.order = options_.order;
-    sel_options.fanout = options_.fanout;
-    sel_options.enumerator = options_.enumerator;
-    core::BoundSelector selector(working_, sel_options,
-                                 core::BoundSelector::Mode::kOptimized);
-    // Over-request so previously asked pairs can be skipped. Note: working
-    // databases may drop zero-probability instances but never objects, so
-    // object ids are stable across folds.
+    // A fresh selector per step borrows the engine's incrementally
+    // maintained membership calculator and PB-tree, so construction does
+    // not re-scan or re-index the untouched objects.
+    std::unique_ptr<core::PairSelector> selector =
+        engine_.MakeSelector(engine::SelectorKind::kOpt);
+    // Over-request so previously asked pairs can be skipped. Object ids
+    // are stable across folds: the overlay reweights marginals in place
+    // and never drops objects.
     std::vector<core::ScoredPair> candidates;
-    util::Status s = selector.SelectPairs(
+    util::Status s = selector->SelectPairs(
         static_cast<int>(asked_.size()) + 1, &candidates);
     if (!s.ok()) return s;
     const core::ScoredPair* chosen = nullptr;
@@ -124,18 +81,16 @@ util::Status AdaptiveCleaner::Run(int budget,
         report.first_greater ? chosen->a : chosen->b;
 
     // Accept the answer only if it is consistent with the accepted set
-    // (same rule as CleaningSession).
-    pw::ConstraintSet candidate = constraints_;
-    candidate.Add(smaller, larger);
-    if (evaluator_.ConstraintProbability(candidate) > 0.0 &&
-        FoldIn(smaller, larger)) {
-      constraints_ = std::move(candidate);
-      report.applied = true;
-    }
+    // (same rule as CleaningSession) and the marginal fold is
+    // non-degenerate; the engine then updates the two objects in place.
+    engine::RankingEngine::FoldOutcome outcome;
+    s = engine_.Fold(smaller, larger, /*update_working=*/true, &outcome);
+    if (!s.ok()) return s;
+    report.applied =
+        outcome == engine::RankingEngine::FoldOutcome::kApplied;
 
     double h = 0.0;
-    s = evaluator_.Quality(constraints_.empty() ? nullptr : &constraints_,
-                           &h);
+    s = engine_.Quality(&h);
     if (!s.ok()) return s;
     report.true_quality = h;
     steps->push_back(std::move(report));

@@ -4,9 +4,9 @@
 #include <set>
 #include <vector>
 
-#include "core/quality.h"
 #include "core/selector.h"
 #include "crowd/crowd_model.h"
+#include "engine/ranking_engine.h"
 #include "model/database.h"
 #include "pw/constraint.h"
 
@@ -19,8 +19,8 @@ namespace ptk::crowd {
 ///
 /// Exact re-selection would need the selection machinery (membership,
 /// PB-tree bounds) under arbitrary constraint sets, which breaks their
-/// factorization. Instead each answer is folded into a *working database*
-/// by updating the two objects' marginals:
+/// factorization. Instead each answer is folded into the engine's
+/// *working database* by updating the two objects' marginals:
 ///   after "y < x":  p'_x(i) ∝ p_x(i) · Pr_y(y < i),
 ///                   p'_y(j) ∝ p_y(j) · Pr_x(x > j),
 /// both with the pre-update marginals. This drops the cross-object
@@ -28,6 +28,13 @@ namespace ptk::crowd {
 /// keeps every selector applicable unchanged. Realized quality is always
 /// reported against the *exact* conditioned distribution of the original
 /// database with all answers as constraints.
+///
+/// The fold is engine::RankingEngine::Fold with update_working: a
+/// copy-on-write overlay reweights just the two objects in place, and the
+/// shared membership calculator and PB-tree are refreshed per object —
+/// per-step maintenance cost is independent of how many untouched objects
+/// the database holds (the pre-engine implementation rebuilt the entire
+/// working database after every answer).
 class AdaptiveCleaner {
  public:
   struct Options {
@@ -54,26 +61,26 @@ class AdaptiveCleaner {
   };
 
   /// Runs `budget` sequential steps. Each step: select the best pair on
-  /// the current working database (OPT selector), ask the oracle, fold the
-  /// answer in, and evaluate the exact conditioned quality.
+  /// the current working database (OPT selector over the engine's shared
+  /// artifacts), ask the oracle, fold the answer in, and evaluate the
+  /// exact conditioned quality.
   util::Status Run(int budget, std::vector<StepReport>* steps);
 
   /// Valid after a successful Init().
   double initial_quality() const { return initial_quality_; }
-  const pw::ConstraintSet& constraints() const { return constraints_; }
-  const model::Database& working_db() const { return working_; }
+  const pw::ConstraintSet& constraints() const {
+    return engine_.constraints();
+  }
+  const model::Database& working_db() const { return engine_.working_db(); }
+
+  /// The underlying conditioning engine (fold counters, memoization
+  /// counters, shared artifacts).
+  const engine::RankingEngine& engine() const { return engine_; }
 
  private:
-  // Folds one answer (smaller ranks above larger) into the working
-  // database's marginals. Returns false if a marginal would vanish.
-  bool FoldIn(model::ObjectId smaller, model::ObjectId larger);
-
-  const model::Database* original_;
   ComparisonOracle* oracle_;
   Options options_;
-  core::QualityEvaluator evaluator_;  // on the original database
-  model::Database working_;
-  pw::ConstraintSet constraints_;
+  engine::RankingEngine engine_;
   std::set<std::pair<model::ObjectId, model::ObjectId>> asked_;
   bool initialized_ = false;
   double initial_quality_ = 0.0;

@@ -5,6 +5,19 @@
 
 namespace ptk::crowd {
 
+namespace {
+
+engine::RankingEngine::Options EngineOptions(
+    const CleaningSession::Options& options) {
+  engine::RankingEngine::Options engine_options;
+  engine_options.k = options.k;
+  engine_options.order = options.order;
+  engine_options.enumerator = options.enumerator;
+  return engine_options;
+}
+
+}  // namespace
+
 CleaningSession::CleaningSession(const model::Database& db,
                                  core::PairSelector* selector,
                                  ComparisonOracle* oracle,
@@ -13,12 +26,12 @@ CleaningSession::CleaningSession(const model::Database& db,
       selector_(selector),
       oracle_(oracle),
       options_(options),
-      evaluator_(db, options.k, options.order, options.enumerator) {}
+      engine_(db, EngineOptions(options)) {}
 
 util::Status CleaningSession::Init() {
   if (initialized_) return util::Status::OK();
   double h = 0.0;
-  const util::Status s = evaluator_.Quality(nullptr, &h);
+  const util::Status s = engine_.Quality(&h);
   if (!s.ok()) return s.WithContext("CleaningSession::Init: H(S_k)");
   initial_quality_ = h;
   current_quality_ = h;
@@ -106,16 +119,21 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
     const pw::PairwiseConstraint answer =
         a_greater ? pw::PairwiseConstraint{pair.b, pair.a}
                   : pw::PairwiseConstraint{pair.a, pair.b};
-    // Discard answers that leave no surviving possible world (Eq. 5 is
-    // undefined there); everything else is folded in.
-    pw::ConstraintSet candidate = constraints_;
-    candidate.Add(answer.smaller, answer.larger);
-    if (evaluator_.ConstraintProbability(candidate) <= 0.0) {
+    // The engine discards answers that leave no surviving possible world
+    // (Eq. 5 is undefined there); everything else is folded in. The batch
+    // model never touches the working database — selection stays on the
+    // original probabilities.
+    engine::RankingEngine::FoldOutcome outcome;
+    util::Status s =
+        engine_.Fold(answer.smaller, answer.larger,
+                     /*update_working=*/false, &outcome);
+    if (!s.ok()) return s.WithContext("folding answer");
+    if (outcome != engine::RankingEngine::FoldOutcome::kApplied) {
       std::string reason = "answer '" + std::to_string(answer.smaller) +
                            " < " + std::to_string(answer.larger) +
                            "' leaves zero surviving possible worlds";
       const std::vector<pw::PairwiseConstraint> chain =
-          constraints_.FindChain(answer.larger, answer.smaller);
+          engine_.constraints().FindChain(answer.larger, answer.smaller);
       if (!chain.empty()) {
         reason += "; conflicts with accepted chain " +
                   pw::ConstraintSet::FormatChain(chain);
@@ -124,12 +142,11 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
       report->skip_reasons.push_back(std::move(reason));
       continue;
     }
-    constraints_ = std::move(candidate);
     report->answers.push_back(answer);
   }
 
   double h = 0.0;
-  util::Status s = evaluator_.Quality(&constraints_, &h);
+  util::Status s = engine_.Quality(&h);
   if (!s.ok()) return s.WithContext("evaluating H(S_k | answers)");
   current_quality_ = h;
   report->quality_after = h;

@@ -6,9 +6,9 @@
 #include <utility>
 #include <vector>
 
-#include "core/quality.h"
 #include "core/selector.h"
 #include "crowd/crowd_model.h"
+#include "engine/ranking_engine.h"
 #include "pw/constraint.h"
 
 namespace ptk::crowd {
@@ -18,6 +18,13 @@ namespace ptk::crowd {
 /// constraint set, and track the realized quality H(S_k | answers) round
 /// by round. Selection operates on the original database (the paper's
 /// batch model); already-asked pairs are never re-posted.
+///
+/// Constraint accumulation, contradiction handling, and the exact
+/// conditioned evaluation all live in the shared engine::RankingEngine;
+/// the session adds the quota/round loop and the asked-pair bookkeeping.
+/// Quality and CurrentDistribution are memoized behind the engine's
+/// constraint-set version counter, so repeated reads between rounds cost
+/// one enumeration total (observable via engine().counters()).
 ///
 /// Lifecycle: construct, then call Init() and check its Status before the
 /// first round. Init() evaluates the prior quality H(S_k); a failure there
@@ -65,21 +72,26 @@ class CleaningSession {
   double initial_quality() const { return initial_quality_; }
 
   /// All accumulated comparison outcomes.
-  const pw::ConstraintSet& constraints() const { return constraints_; }
-
-  /// The current conditioned top-k distribution.
-  util::Status CurrentDistribution(pw::TopKDistribution* out) const {
-    return evaluator_.Distribution(
-        constraints_.empty() ? nullptr : &constraints_, out);
+  const pw::ConstraintSet& constraints() const {
+    return engine_.constraints();
   }
+
+  /// The current conditioned top-k distribution (memoized: repeated calls
+  /// between rounds serve the engine's cache instead of re-enumerating).
+  util::Status CurrentDistribution(pw::TopKDistribution* out) const {
+    return engine_.Distribution(out);
+  }
+
+  /// The underlying conditioning engine, exposed for observability
+  /// (memoization counters) and advanced consumers.
+  const engine::RankingEngine& engine() const { return engine_; }
 
  private:
   const model::Database* db_;
   core::PairSelector* selector_;
   ComparisonOracle* oracle_;
   Options options_;
-  core::QualityEvaluator evaluator_;
-  pw::ConstraintSet constraints_;
+  engine::RankingEngine engine_;
   std::set<std::pair<model::ObjectId, model::ObjectId>> asked_;
   bool initialized_ = false;
   double initial_quality_ = 0.0;

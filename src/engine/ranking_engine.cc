@@ -1,0 +1,223 @@
+#include "engine/ranking_engine.h"
+
+#include <array>
+#include <utility>
+
+#include "core/bound_selector.h"
+#include "core/brute_force_selector.h"
+#include "core/multi_quota.h"
+#include "core/random_selector.h"
+
+namespace ptk::engine {
+
+namespace {
+
+constexpr std::array<std::pair<SelectorKind, std::string_view>, 7> kKindNames =
+    {{
+        {SelectorKind::kBruteForce, "BF"},
+        {SelectorKind::kPBTree, "PBTREE"},
+        {SelectorKind::kOpt, "OPT"},
+        {SelectorKind::kRand, "RAND"},
+        {SelectorKind::kRandK, "RAND_K"},
+        {SelectorKind::kHrs1, "HRS1"},
+        {SelectorKind::kHrs2, "HRS2"},
+    }};
+
+}  // namespace
+
+std::string_view SelectorKindName(SelectorKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "?";
+}
+
+std::optional<SelectorKind> SelectorKindFromName(std::string_view name) {
+  for (const auto& [kind, kind_name] : kKindNames) {
+    if (kind_name == name) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<SelectorKind> AllSelectorKinds() {
+  std::vector<SelectorKind> kinds;
+  kinds.reserve(kKindNames.size());
+  for (const auto& [kind, name] : kKindNames) kinds.push_back(kind);
+  return kinds;
+}
+
+RankingEngine::RankingEngine(const model::Database& db, const Options& options)
+    : base_(&db),
+      options_(options),
+      evaluator_(db, options.k, options.order, options.enumerator),
+      overlay_(db) {}
+
+std::shared_ptr<const rank::MembershipCalculator> RankingEngine::membership() {
+  if (membership_ == nullptr) {
+    membership_ = std::make_shared<rank::MembershipCalculator>(working_db(),
+                                                               options_.k);
+  }
+  return membership_;
+}
+
+const pbtree::PBTree& RankingEngine::tree() {
+  if (tree_ == nullptr) {
+    pbtree::PBTree::Options tree_options;
+    tree_options.fanout = options_.fanout;
+    tree_ = std::make_unique<pbtree::PBTree>(working_db(), tree_options);
+  }
+  return *tree_;
+}
+
+util::Status RankingEngine::Fold(model::ObjectId smaller,
+                                 model::ObjectId larger, bool update_working,
+                                 FoldOutcome* outcome) {
+  if (smaller < 0 || smaller >= base_->num_objects() || larger < 0 ||
+      larger >= base_->num_objects() || smaller == larger) {
+    return util::Status::InvalidArgument(
+        "Fold: invalid pair (" + std::to_string(smaller) + ", " +
+        std::to_string(larger) + ")");
+  }
+
+  // Exact feasibility gate: Eq. 5 is undefined when no possible world
+  // survives, so such answers are discarded (the conflict-resolution
+  // behaviour of Fig. 2's server).
+  pw::ConstraintSet candidate = constraints_;
+  candidate.Add(smaller, larger);
+  if (evaluator_.ConstraintProbability(candidate) <= 0.0) {
+    ++counters_.folds_rejected;
+    *outcome = FoldOutcome::kContradictory;
+    return util::Status::OK();
+  }
+
+  if (update_working) {
+    const auto& so = working_db().object(smaller);
+    const auto& lo = working_db().object(larger);
+    // p'_smaller(i) ∝ p(i) · Pr(larger > i); p'_larger(j) ∝ p(j) ·
+    // Pr(smaller < j); both with pre-update marginals. The overlay
+    // normalizes, so the raw products are passed through.
+    std::vector<double> ps(so.num_instances());
+    std::vector<double> pl(lo.num_instances());
+    double total_s = 0.0, total_l = 0.0;
+    for (const auto& inst : so.instances()) {
+      ps[inst.iid] = inst.prob * lo.MassGreater(inst);
+      total_s += ps[inst.iid];
+    }
+    for (const auto& inst : lo.instances()) {
+      pl[inst.iid] = inst.prob * so.MassLess(inst);
+      total_l += pl[inst.iid];
+    }
+    if (total_s <= 0.0 || total_l <= 0.0) {
+      // The marginal approximation zeroed an object even though the exact
+      // joint accepts the answer; keep the engine consistent by dropping
+      // the answer entirely, as AdaptiveCleaner always has.
+      ++counters_.folds_rejected;
+      *outcome = FoldOutcome::kDegenerate;
+      return util::Status::OK();
+    }
+    util::Status s = overlay_.Reweight(smaller, ps);
+    if (!s.ok()) return s.WithContext("Fold: reweight smaller");
+    s = overlay_.Reweight(larger, pl);
+    if (!s.ok()) return s.WithContext("Fold: reweight larger");
+
+    // Per-object artifact maintenance — the whole point of the overlay:
+    // everything else the calculator and the tree cache is untouched.
+    if (membership_ != nullptr) {
+      const std::array<model::ObjectId, 2> touched = {smaller, larger};
+      membership_->RefreshObjects(touched);
+    }
+    if (tree_ != nullptr) {
+      tree_->UpdateObject(smaller);
+      tree_->UpdateObject(larger);
+    }
+  }
+
+  constraints_ = std::move(candidate);
+  ++version_;
+  ++counters_.folds_applied;
+  *outcome = FoldOutcome::kApplied;
+  return util::Status::OK();
+}
+
+core::SelectorOptions RankingEngine::BaseSelectorOptions() const {
+  core::SelectorOptions o;
+  o.k = options_.k;
+  o.order = options_.order;
+  o.enumerator = options_.enumerator;
+  o.fanout = options_.fanout;
+  o.seed = options_.seed;
+  o.rand_k_fraction = options_.rand_k_fraction;
+  o.candidate_pool = options_.candidate_pool;
+  o.parallel = options_.parallel;
+  return o;
+}
+
+std::unique_ptr<core::PairSelector> RankingEngine::MakeSelector(
+    SelectorKind kind) {
+  core::SelectorOptions o = BaseSelectorOptions();
+  // Attach only the artifacts the kind consumes, so e.g. a BF run never
+  // pays for a PB-tree build.
+  const bool needs_membership =
+      kind != SelectorKind::kBruteForce && kind != SelectorKind::kRand;
+  const bool needs_tree =
+      kind == SelectorKind::kPBTree || kind == SelectorKind::kOpt ||
+      kind == SelectorKind::kHrs1 || kind == SelectorKind::kHrs2;
+  if (needs_membership) o.membership = membership();
+  if (needs_tree) o.shared_tree = &tree();
+
+  const model::Database& db = working_db();
+  switch (kind) {
+    case SelectorKind::kBruteForce:
+      return std::make_unique<core::BruteForceSelector>(db, o);
+    case SelectorKind::kPBTree:
+      return std::make_unique<core::BoundSelector>(
+          db, o, core::BoundSelector::Mode::kBasic);
+    case SelectorKind::kOpt:
+      return std::make_unique<core::BoundSelector>(
+          db, o, core::BoundSelector::Mode::kOptimized);
+    case SelectorKind::kRand:
+      return std::make_unique<core::RandomSelector>(
+          db, o, core::RandomSelector::Mode::kUniform);
+    case SelectorKind::kRandK:
+      return std::make_unique<core::RandomSelector>(
+          db, o, core::RandomSelector::Mode::kTopFraction);
+    case SelectorKind::kHrs1:
+      return std::make_unique<core::Hrs1Selector>(db, o);
+    case SelectorKind::kHrs2:
+      return std::make_unique<core::Hrs2Selector>(db, o);
+  }
+  return nullptr;  // unreachable
+}
+
+util::Status RankingEngine::EnsureDistribution() const {
+  if (dist_valid_ && dist_version_ == version_) {
+    ++counters_.distribution_hits;
+    return util::Status::OK();
+  }
+  pw::TopKDistribution dist;
+  util::Status s = evaluator_.Distribution(
+      constraints_.empty() ? nullptr : &constraints_, &dist);
+  if (!s.ok()) return s;
+  ++counters_.enumerations;
+  dist_ = std::move(dist);
+  quality_ = dist_.Entropy();
+  dist_valid_ = true;
+  dist_version_ = version_;
+  return util::Status::OK();
+}
+
+util::Status RankingEngine::Distribution(pw::TopKDistribution* out) const {
+  util::Status s = EnsureDistribution();
+  if (!s.ok()) return s;
+  *out = dist_;
+  return util::Status::OK();
+}
+
+util::Status RankingEngine::Quality(double* h) const {
+  util::Status s = EnsureDistribution();
+  if (!s.ok()) return s;
+  *h = quality_;
+  return util::Status::OK();
+}
+
+}  // namespace ptk::engine

@@ -1,0 +1,186 @@
+#ifndef PTK_ENGINE_RANKING_ENGINE_H_
+#define PTK_ENGINE_RANKING_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/quality.h"
+#include "core/selector.h"
+#include "model/database.h"
+#include "model/database_overlay.h"
+#include "pbtree/pbtree.h"
+#include "pw/constraint.h"
+#include "pw/topk_distribution.h"
+#include "rank/membership.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace ptk::engine {
+
+/// The selection strategies the engine can instantiate, named as in the
+/// paper's experiment tables (Section 6.2).
+enum class SelectorKind {
+  kBruteForce,  // BF
+  kPBTree,      // PBTREE (Algorithm 1, Ĥ-ordered)
+  kOpt,         // OPT (Algorithm 1, ÊI-ordered)
+  kRand,        // RAND
+  kRandK,       // RAND_K
+  kHrs1,        // HRS1 (multi-quota, relaxed stop rule)
+  kHrs2,        // HRS2 (multi-quota, greedy joint objective)
+};
+
+/// "BF", "PBTREE", ... — the experiment-table name.
+std::string_view SelectorKindName(SelectorKind kind);
+
+/// Inverse of SelectorKindName (case-sensitive); nullopt for unknown names.
+std::optional<SelectorKind> SelectorKindFromName(std::string_view name);
+
+/// Every kind, in declaration order — for sweeping experiments and tests.
+std::vector<SelectorKind> AllSelectorKinds();
+
+/// The incremental conditioning layer shared by cleaning sessions, the
+/// adaptive cleaner, the CLI, and the examples.
+///
+/// One engine owns, for one base database and one (k, order) query:
+///   - the accumulated pairwise constraint set and its version counter,
+///   - the exact evaluation path (QualityEvaluator on the *base* database,
+///     so reported distributions/qualities are always the exact Eq. 5
+///     conditioning, never the marginal approximation),
+///   - a copy-on-write working database (model::DatabaseOverlay) that
+///     selection operates on: folding an answer reweights only the two
+///     affected objects' marginals in place,
+///   - lazily built, incrementally maintained selection artifacts on the
+///     working database: the shared rank::MembershipCalculator (per-object
+///     refresh) and the pbtree::PBTree (path-local bound recompute),
+///   - memoized conditioned top-k distribution and quality H(S_k | A),
+///     invalidated by the constraint-set version counter.
+///
+/// Contract (pinned by tests/engine_test.cc): every engine-served result is
+/// bit-identical — or within 1e-12 where a different summation order is
+/// inherent — to recomputing the same quantity from scratch on a freshly
+/// built database carrying the working probabilities.
+///
+/// Not thread-safe: one engine serves one logical cleaning loop.
+class RankingEngine {
+ public:
+  struct Options {
+    int k = 10;
+    pw::OrderMode order = pw::OrderMode::kInsensitive;
+    pw::EnumeratorOptions enumerator;
+
+    /// Selector knobs, passed through to MakeSelector.
+    int fanout = 8;
+    uint64_t seed = 42;
+    double rand_k_fraction = 0.2;
+    int candidate_pool = 64;
+    util::ParallelConfig parallel;
+  };
+
+  /// What Fold did with an answer.
+  enum class FoldOutcome {
+    kApplied,        // accepted: constraints extended, working db updated
+    kContradictory,  // zero surviving possible worlds — discarded
+    kDegenerate,     // marginal fold would zero out an object — discarded
+  };
+
+  /// `db` must be finalized and outlive the engine.
+  RankingEngine(const model::Database& db, const Options& options);
+
+  const model::Database& base_db() const { return *base_; }
+  /// The copy-on-write database selection operates on. Identical to
+  /// base_db() until the first update_working fold.
+  const model::Database& working_db() const { return overlay_.db(); }
+  const Options& options() const { return options_; }
+  const pw::ConstraintSet& constraints() const { return constraints_; }
+  /// Bumped once per applied fold; memoized artifacts key on it.
+  uint64_t version() const { return version_; }
+
+  /// The shared membership calculator on the working database, built on
+  /// first use and refreshed per-object after every applied fold.
+  std::shared_ptr<const rank::MembershipCalculator> membership();
+
+  /// The shared PB-tree on the working database, built on first use and
+  /// maintained with path-local bound updates after every applied fold.
+  const pbtree::PBTree& tree();
+
+  /// Folds the answer "smaller ranks above larger" into the engine:
+  /// rejects it as kContradictory when it leaves zero surviving possible
+  /// worlds (exact check on the base database, Eq. 5's domain), otherwise
+  /// extends the constraint set. With `update_working`, additionally folds
+  /// the answer into the working database's marginals
+  ///   p'_s(i) ∝ p_s(i)·Pr_l(l > i),  p'_l(j) ∝ p_l(j)·Pr_s(s < j)
+  /// (pre-update marginals; the documented cross-object-correlation-
+  /// dropping approximation of AdaptiveCleaner) and refreshes the two
+  /// objects in every built artifact — O(instances + height·fanout) work,
+  /// independent of how many other objects the database holds. Returns a
+  /// non-OK status only for errors (invalid ids); rejected answers are
+  /// reported through `outcome`.
+  util::Status Fold(model::ObjectId smaller, model::ObjectId larger,
+                    bool update_working, FoldOutcome* outcome);
+
+  /// A fresh selector of the given kind on the working database, borrowing
+  /// the engine's shared artifacts (membership; PB-tree for the
+  /// index-based kinds). Create one per selection step: construction is
+  /// cheap once the shared artifacts exist, and a selector created before
+  /// a Fold would keep serving the refreshed artifacts without re-reading
+  /// options.
+  std::unique_ptr<core::PairSelector> MakeSelector(SelectorKind kind);
+
+  /// The exact top-k distribution conditioned on the accumulated
+  /// constraints (on the base database). Memoized per version().
+  util::Status Distribution(pw::TopKDistribution* out) const;
+
+  /// H(S_k | constraints), from the same memoized distribution.
+  util::Status Quality(double* h) const;
+
+  /// Pr(constraints hold) on the base database (exact, Eq. 5 numerator).
+  double ConstraintProbability(const pw::ConstraintSet& constraints) const {
+    return evaluator_.ConstraintProbability(constraints);
+  }
+
+  /// The exact evaluation path, for consumers that need the full
+  /// QualityEvaluator surface (EI oracles, crowd-expectation queries).
+  const core::QualityEvaluator& evaluator() const { return evaluator_; }
+
+  /// Observability for tests and benchmarks.
+  struct Counters {
+    int64_t enumerations = 0;       // full conditioned-distribution builds
+    int64_t distribution_hits = 0;  // memoized Distribution/Quality serves
+    int64_t folds_applied = 0;
+    int64_t folds_rejected = 0;     // contradictory + degenerate
+  };
+  const Counters& counters() const { return counters_; }
+
+ private:
+  // Engine options projected onto SelectorOptions, without artifacts.
+  core::SelectorOptions BaseSelectorOptions() const;
+  // Builds/refreshes the memoized distribution for the current version.
+  util::Status EnsureDistribution() const;
+
+  const model::Database* base_;
+  Options options_;
+  core::QualityEvaluator evaluator_;  // exact path, base database
+  model::DatabaseOverlay overlay_;    // working copy, reweighted in place
+  pw::ConstraintSet constraints_;
+  uint64_t version_ = 0;
+
+  // Lazily built shared artifacts on the working database. membership_ is
+  // held non-const so Fold can refresh it; consumers only see const.
+  std::shared_ptr<rank::MembershipCalculator> membership_;
+  std::unique_ptr<pbtree::PBTree> tree_;
+
+  // Memoized exact conditioning, keyed on version_.
+  mutable bool dist_valid_ = false;
+  mutable uint64_t dist_version_ = 0;
+  mutable pw::TopKDistribution dist_;
+  mutable double quality_ = 0.0;
+  mutable Counters counters_;
+};
+
+}  // namespace ptk::engine
+
+#endif  // PTK_ENGINE_RANKING_ENGINE_H_

@@ -84,7 +84,27 @@ util::Status Database::Finalize(double tolerance) {
     }
   }
   finalized_ = true;
+  ++mutation_version_;
   return util::Status::OK();
+}
+
+void Database::ReweightObjectInPlace(ObjectId oid,
+                                     const std::vector<double>& probs) {
+  UncertainObject& obj = objects_[oid];
+  double total = 0.0;
+  for (double p : probs) total += p;
+  for (int i = 0; i < obj.num_instances(); ++i) {
+    const double p = probs[i] / total;
+    obj.instances_[i].prob = p;
+    sorted_[position_[offset_[oid] + i]].prob = p;
+  }
+  // Suffix masses over the object's sorted positions (MassBeyond/Before).
+  const auto& positions = obj_positions_[oid];
+  auto& suffix = obj_suffix_mass_[oid];
+  for (int i = static_cast<int>(positions.size()) - 1; i >= 0; --i) {
+    suffix[i] = suffix[i + 1] + sorted_[positions[i]].prob;
+  }
+  ++mutation_version_;
 }
 
 double Database::MassBeyond(ObjectId oid, Position pos) const {

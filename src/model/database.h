@@ -17,7 +17,11 @@ using Position = int32_t;
 /// A probabilistic database: a set of independent uncertain objects under
 /// possible-world semantics (Section 3.1). After Finalize() the database is
 /// immutable and exposes a global value-sorted instance index used by the
-/// top-k enumerator and the membership calculator.
+/// top-k enumerator and the membership calculator. The only sanctioned
+/// post-Finalize mutation is DatabaseOverlay's in-place marginal reweight,
+/// which keeps every value (and therefore the sorted index) intact and
+/// bumps mutation_version() so cached derived artifacts can detect
+/// staleness (SelectorOptions::MembershipFor).
 class Database {
  public:
   Database() = default;
@@ -34,6 +38,12 @@ class Database {
   util::Status Finalize(double tolerance = 1e-6);
 
   bool finalized() const { return finalized_; }
+
+  /// Monotonic counter of state changes: bumped by Finalize() and by every
+  /// in-place marginal reweight (DatabaseOverlay). Consumers that cache
+  /// per-database artifacts (membership tables, PB-trees) record the
+  /// version they were built against and treat a mismatch as stale.
+  uint64_t mutation_version() const { return mutation_version_; }
 
   int num_objects() const { return static_cast<int>(objects_.size()); }
   int num_instances() const { return static_cast<int>(sorted_.size()); }
@@ -65,7 +75,20 @@ class Database {
   double MassBefore(ObjectId oid, Position pos) const;
 
  private:
+  friend class DatabaseOverlay;
+
+  /// Replaces object `oid`'s instance probabilities in place (values and
+  /// instance count unchanged), renormalizing `probs` to sum exactly to 1.
+  /// Probabilities may be zero — a zero-probability instance keeps its slot
+  /// in the sorted index but carries no mass anywhere downstream. Only the
+  /// object's own instances, their copies in the sorted index, and the
+  /// object's suffix masses are touched: O(num_instances(oid)), independent
+  /// of database size. Requires finalized(), probs.size() ==
+  /// num_instances(oid), all probs >= 0, and a positive total.
+  void ReweightObjectInPlace(ObjectId oid, const std::vector<double>& probs);
+
   bool finalized_ = false;
+  uint64_t mutation_version_ = 0;
   std::vector<UncertainObject> objects_;
 
   // Sorted index, built by Finalize().

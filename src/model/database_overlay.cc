@@ -1,0 +1,46 @@
+#include "model/database_overlay.h"
+
+#include <cassert>
+#include <cmath>
+#include <string>
+
+namespace ptk::model {
+
+DatabaseOverlay::DatabaseOverlay(const Database& base) : db_(base) {
+  assert(base.finalized());
+}
+
+util::Status DatabaseOverlay::Reweight(ObjectId oid,
+                                       const std::vector<double>& probs) {
+  if (oid < 0 || oid >= db_.num_objects()) {
+    return util::Status::InvalidArgument(
+        "DatabaseOverlay::Reweight: object id " + std::to_string(oid) +
+        " out of range [0, " + std::to_string(db_.num_objects()) + ")");
+  }
+  const int n = db_.object(oid).num_instances();
+  if (static_cast<int>(probs.size()) != n) {
+    return util::Status::InvalidArgument(
+        "DatabaseOverlay::Reweight: object " + std::to_string(oid) +
+        " has " + std::to_string(n) + " instances, got " +
+        std::to_string(probs.size()) + " probabilities");
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      return util::Status::InvalidArgument(
+          "DatabaseOverlay::Reweight: probabilities must be finite and "
+          ">= 0");
+    }
+    total += p;
+  }
+  if (!(total > 0.0)) {
+    return util::Status::InvalidArgument(
+        "DatabaseOverlay::Reweight: object " + std::to_string(oid) +
+        "'s marginal would vanish (total mass " + std::to_string(total) +
+        ")");
+  }
+  db_.ReweightObjectInPlace(oid, probs);
+  return util::Status::OK();
+}
+
+}  // namespace ptk::model

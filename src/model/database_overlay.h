@@ -1,0 +1,57 @@
+#ifndef PTK_MODEL_DATABASE_OVERLAY_H_
+#define PTK_MODEL_DATABASE_OVERLAY_H_
+
+#include <vector>
+
+#include "model/database.h"
+#include "util/status.h"
+
+namespace ptk::model {
+
+/// A copy-on-write working view of a finalized database whose per-object
+/// marginals evolve as crowd answers are folded in (the AdaptiveCleaner
+/// update rule). The base database is copied exactly once, at
+/// construction; every Reweight afterwards mutates only the touched
+/// object's instances, their copies in the global sorted index, and the
+/// object's suffix masses — O(instances of that object), independent of
+/// how many other objects the database holds.
+///
+/// Two deliberate deviations from rebuilding a fresh Database per answer:
+///
+///  * Instance *values* never change and instances are never dropped, so
+///    the global (value, oid, iid) sorted order — and with it every
+///    Position — is stable across reweights. This is what makes the
+///    incremental artifact maintenance (membership refresh, PB-tree
+///    UpdateObject) possible.
+///  * An instance whose reweighted probability is 0 keeps its slot with
+///    exactly 0 mass instead of being removed. Zero-mass instances are
+///    exact no-ops everywhere downstream (prefix masses, bound objects,
+///    entropies, enumeration), so results match a zero-dropping rebuild
+///    to the last bit; only iid numbering differs.
+///
+/// db() stays finalized() and valid at all times; consumers read it like
+/// any other database. Each successful Reweight bumps the database's
+/// mutation_version(), which version-aware caches key on.
+class DatabaseOverlay {
+ public:
+  /// Copies `base` (which must be finalized). The copy is this overlay's
+  /// working database; `base` itself is never touched.
+  explicit DatabaseOverlay(const Database& base);
+
+  const Database& db() const { return db_; }
+  uint64_t version() const { return db_.mutation_version(); }
+
+  /// Replaces object `oid`'s instance probabilities (parallel to its
+  /// value-sorted instance list) and renormalizes them to sum exactly
+  /// to 1. Entries may be zero; a non-positive total (the object's
+  /// marginal would vanish) fails with InvalidArgument and leaves the
+  /// overlay untouched.
+  util::Status Reweight(ObjectId oid, const std::vector<double>& probs);
+
+ private:
+  Database db_;
+};
+
+}  // namespace ptk::model
+
+#endif  // PTK_MODEL_DATABASE_OVERLAY_H_

@@ -196,6 +196,38 @@ void PBTree::InsertAll() {
   }
 }
 
+void PBTree::EnsureNavigation() {
+  if (!leaf_of_.empty()) return;
+  leaf_of_.assign(db_->num_objects(), nullptr);
+  std::function<void(Node*, Node*)> walk = [&](Node* node, Node* parent) {
+    parent_[node] = parent;
+    if (node->leaf) {
+      for (model::ObjectId oid : node->objects) leaf_of_[oid] = node;
+      return;
+    }
+    for (const auto& child : node->children) walk(child.get(), node);
+  };
+  walk(root_.get(), nullptr);
+}
+
+void PBTree::UpdateObject(model::ObjectId oid) {
+  // The structure is fixed after construction, so an oid -> leaf index and
+  // parent links make the update strictly path-local: one O(n) walk the
+  // first time, O(height) navigation afterwards.
+  EnsureNavigation();
+  for (Node* node = leaf_of_[oid]; node != nullptr; node = parent_[node]) {
+    RecomputeBounds(node);
+  }
+}
+
+void PBTree::RefreshAllBounds() {
+  std::function<void(Node*)> refresh = [&](Node* node) {
+    for (const auto& child : node->children) refresh(child.get());
+    RecomputeBounds(node);
+  };
+  refresh(root_.get());
+}
+
 int PBTree::height() const {
   int h = 1;
   for (const Node* n = root_.get(); !n->leaf; n = n->children.front().get()) {

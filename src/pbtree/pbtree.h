@@ -2,6 +2,7 @@
 #define PTK_PBTREE_PBTREE_H_
 
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "model/database.h"
@@ -51,6 +52,25 @@ class PBTree {
   int height() const;
   int64_t num_nodes() const;
 
+  /// In-place maintenance after DatabaseOverlay::Reweight changed object
+  /// `oid`'s instance probabilities (values unchanged): recomputes the
+  /// bound pseudo-objects along the root-to-leaf path containing `oid`,
+  /// bottom-up, reusing RecomputeBounds. Every dominance invariant
+  /// (Definition 4, Lemma 1) holds afterwards exactly as if each touched
+  /// node's bounds had been rebuilt from scratch — they are. Cost is
+  /// O(height · fanout · bound rebuild), independent of how many other
+  /// objects the tree indexes. The object stays in its original leaf, so
+  /// clustering quality can drift from the expected-value packing a fresh
+  /// bulk load would choose; bounds stay tight for the actual leaf
+  /// contents, which is all Theorem 1 pruning needs.
+  void UpdateObject(model::ObjectId oid);
+
+  /// Recomputes every node's bounds bottom-up on the current structure.
+  /// Used by the engine equivalence tests to pin UpdateObject: after any
+  /// sequence of updates, a full refresh must leave every bound bitwise
+  /// unchanged.
+  void RefreshAllBounds();
+
   /// Checks the structural invariants: bound dominance (lbo ⪯ o ⪯ ubo for
   /// every object under every node, Definition 4) and Lemma 1 between
   /// parents and children. O(n · height · instances); intended for tests.
@@ -60,6 +80,9 @@ class PBTree {
   void BulkLoad();
   void InsertAll();
   void Insert(model::ObjectId oid);
+  // Builds the oid -> leaf and child -> parent maps UpdateObject navigates
+  // by (lazily; the structure is immutable once constructed).
+  void EnsureNavigation();
   // Recomputes node's bounds from its payload (leaf) or children (inner).
   void RecomputeBounds(Node* node);
   // Splits an overfull node, returning the new right sibling.
@@ -70,6 +93,8 @@ class PBTree {
   const model::Database* db_;
   Options options_;
   std::unique_ptr<Node> root_;
+  std::vector<Node*> leaf_of_;                     // oid -> owning leaf
+  std::unordered_map<const Node*, Node*> parent_;  // child -> parent
 };
 
 }  // namespace ptk::pbtree

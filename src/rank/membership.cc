@@ -8,7 +8,9 @@
 namespace ptk::rank {
 
 MembershipCalculator::MembershipCalculator(const model::Database& db, int k)
-    : db_(&db), k_(std::clamp(k, 1, db.num_objects())) {
+    : db_(&db),
+      k_(std::clamp(k, 1, db.num_objects())),
+      db_version_(db.mutation_version()) {
   assert(db.finalized());
   // Exact per-object prefix masses, indexed by (oid, iid). prefix_ has one
   // extra slot per object so PrefixMass(oid, num_instances) == 1 exactly,
@@ -20,17 +22,26 @@ MembershipCalculator::MembershipCalculator(const model::Database& db, int k)
     total += db.object(o).num_instances() + 1;
   }
   prefix_.assign(total, 0.0);
-  for (int o = 0; o < db.num_objects(); ++o) {
-    const auto& insts = db.object(o).instances();
-    double acc = 0.0;
-    for (size_t i = 0; i < insts.size(); ++i) {
-      prefix_[flat_offset_[o] + i] = acc;
-      acc += insts[i].prob;
-    }
-    // The final slot is exactly 1: the object certainly ranks below any
-    // point past its last instance.
-    prefix_[flat_offset_[o] + insts.size()] = 1.0;
+  for (int o = 0; o < db.num_objects(); ++o) FillPrefixColumn(o);
+}
+
+void MembershipCalculator::FillPrefixColumn(model::ObjectId oid) {
+  const auto& insts = db_->object(oid).instances();
+  double acc = 0.0;
+  for (size_t i = 0; i < insts.size(); ++i) {
+    prefix_[flat_offset_[oid] + i] = acc;
+    acc += insts[i].prob;
   }
+  // The final slot is exactly 1: the object certainly ranks below any
+  // point past its last instance.
+  prefix_[flat_offset_[oid] + insts.size()] = 1.0;
+}
+
+void MembershipCalculator::RefreshObjects(
+    std::span<const model::ObjectId> objects) {
+  for (model::ObjectId oid : objects) FillPrefixColumn(oid);
+  singles_ready_.store(false, std::memory_order_release);
+  db_version_ = db_->mutation_version();
 }
 
 void MembershipCalculator::ScanPositions(
@@ -62,7 +73,10 @@ void MembershipCalculator::ScanPositions(
     if (skip) continue;
     const double q_old = PrefixMass(inst.oid, inst.iid);
     const double q_new = PrefixMass(inst.oid, inst.iid + 1);
-    tracker.Update(q_old, q_new);
+    // Zero-mass instances (possible in DatabaseOverlay working databases)
+    // leave their object's below-mass Bernoulli unchanged: skipping the
+    // update is exact, and bitwise identical to a database without them.
+    if (q_new > q_old) tracker.Update(q_old, q_new);
   }
   // Saturated or exhausted: every remaining query is exactly zero.
   for (; qi < queries.size(); ++qi) {
@@ -72,7 +86,11 @@ void MembershipCalculator::ScanPositions(
 }
 
 void MembershipCalculator::EnsureSingles() const {
-  std::call_once(singles_once_, [this] { BuildSingles(); });
+  if (singles_ready_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(singles_mutex_);
+  if (singles_ready_.load(std::memory_order_relaxed)) return;
+  BuildSingles();
+  singles_ready_.store(true, std::memory_order_release);
 }
 
 void MembershipCalculator::BuildSingles() const {
@@ -90,7 +108,7 @@ void MembershipCalculator::BuildSingles() const {
         tracker.CumulativeAtMostExcluding(k_ - 1, q_old);
     pt_single_[flat_offset_[inst.oid] + inst.iid] = inst.prob * others_le;
     const double q_new = PrefixMass(inst.oid, inst.iid + 1);
-    tracker.Update(q_old, q_new);
+    if (q_new > q_old) tracker.Update(q_old, q_new);  // zero-mass: no-op
   }
 }
 

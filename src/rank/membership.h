@@ -1,6 +1,8 @@
 #ifndef PTK_RANK_MEMBERSHIP_H_
 #define PTK_RANK_MEMBERSHIP_H_
 
+#include <atomic>
+#include <cstdint>
 #include <mutex>
 #include <span>
 #include <utility>
@@ -31,10 +33,12 @@ namespace ptk::rank {
 /// depend on k and data density rather than on database size.
 ///
 /// Thread safety: all const methods are safe to call concurrently. The
-/// lazily-built singles table is initialized exactly once behind
-/// std::call_once; every other scan works on per-call local state. One
-/// calculator is therefore meant to be shared across selectors and worker
-/// threads (see SelectorOptions::membership).
+/// lazily-built singles table is initialized behind a mutex (and rebuilt
+/// after a RefreshObjects invalidation); every other scan works on
+/// per-call local state. One calculator is therefore meant to be shared
+/// across selectors and worker threads (see SelectorOptions::membership).
+/// RefreshObjects itself must not race with queries — it is the engine's
+/// single-writer maintenance hook, not a concurrent entry point.
 class MembershipCalculator {
  public:
   /// `db` must be finalized. k is clamped to [1, num_objects].
@@ -42,6 +46,21 @@ class MembershipCalculator {
 
   int k() const { return k_; }
   const model::Database& db() const { return *db_; }
+
+  /// The db mutation_version() this calculator's cached state reflects.
+  /// SelectorOptions::MembershipFor treats a mismatch with the live
+  /// database as stale and builds a fresh calculator instead.
+  uint64_t db_version() const { return db_version_; }
+
+  /// Re-reads the per-object Poisson-binomial inputs (prefix masses) of
+  /// just the given objects after DatabaseOverlay::Reweight mutated their
+  /// probabilities in place, and invalidates the lazily-built singles
+  /// table (rebuilt on next use). Cost is O(sum of touched objects'
+  /// instances); untouched objects' columns are reused as-is, which is
+  /// exact because a prefix column depends only on its own object's
+  /// marginal. Call with *all* objects reweighted since the last refresh;
+  /// not safe against concurrent queries.
+  void RefreshObjects(std::span<const model::ObjectId> objects);
 
   /// PT_k(i, O). Lazily computes all instances' values in one scan.
   double TopKProbability(model::InstanceRef ref) const;
@@ -101,11 +120,16 @@ class MembershipCalculator {
   void EnsureSingles() const;
   void BuildSingles() const;
 
+  // Recomputes one object's prefix-mass column from the live database.
+  void FillPrefixColumn(model::ObjectId oid);
+
   const model::Database* db_;
   int k_;
+  uint64_t db_version_ = 0;
   std::vector<int> flat_offset_;     // oid -> start in prefix_/pt_single_
   std::vector<double> prefix_;       // exact per-object prefix masses by iid
-  mutable std::once_flag singles_once_;
+  mutable std::atomic<bool> singles_ready_{false};
+  mutable std::mutex singles_mutex_;
   mutable std::vector<double> pt_single_;  // PT_k per (oid,iid), flat
 };
 

@@ -1,26 +1,30 @@
 #!/usr/bin/env bash
-# Full pre-merge check: tier-1 build + tests, then an ASan/UBSan build
-# running the robustness tests and a timed fuzz smoke pass over the
-# committed seed corpus. Usage: tools/check.sh [fuzz_seconds]
+# Full pre-merge check: tier-1 fast gate, then the long-running property
+# and stress suites, then an ASan/UBSan build running the robustness and
+# engine-equivalence tests and a timed fuzz smoke pass over the committed
+# seed corpus. Usage: tools/check.sh [fuzz_seconds]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 FUZZ_SECONDS="${1:-30}"
 JOBS="$(nproc 2>/dev/null || echo 2)"
 
-echo "== tier-1: build + ctest =="
+echo "== tier-1 fast gate: build + ctest -L tier1 =="
 cmake -B build -S . >/dev/null
 cmake --build build -j "$JOBS"
-(cd build && ctest --output-on-failure -j "$JOBS")
+(cd build && ctest --output-on-failure -j "$JOBS" -L tier1)
 
-echo "== ASan/UBSan: robustness tests + fuzz smoke (${FUZZ_SECONDS}s/target) =="
+echo "== property + stress suites =="
+(cd build && ctest --output-on-failure -j "$JOBS" -L 'property|stress')
+
+echo "== ASan/UBSan: robustness + engine equivalence + fuzz smoke (${FUZZ_SECONDS}s/target) =="
 cmake -B build-asan -S . \
   -DPTK_SANITIZE=address,undefined -DPTK_FUZZ=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target load_csv_fuzz constraint_fold_fuzz robustness_test data_test \
-  session_test
+  session_test engine_test
 (cd build-asan && ./tests/data_test && ./tests/session_test \
-  && ./tests/robustness_test)
+  && ./tests/robustness_test && ./tests/engine_test)
 
 run_fuzz() {
   local target="$1" corpus="$2"

@@ -5,7 +5,8 @@
 // Usage:
 //   ptk_cli topk      <db.csv> <k> [--order-sensitive] [--limit N]
 //   ptk_cli quality   <db.csv> <k> [--order-sensitive]
-//   ptk_cli select    <db.csv> <k> <quota> [--selector opt|pbtree|hrs2|rand]
+//   ptk_cli select    <db.csv> <k> <quota>
+//             [--selector bf|pbtree|opt|rand|rand_k|hrs1|hrs2]
 //   ptk_cli semantics <db.csv> <k>
 //   ptk_cli clean     <db.csv> <k> <answers.csv>
 //
@@ -14,7 +15,11 @@
 //
 // CSV format for databases: header "oid,value,prob", one instance per row
 // (see data::SaveCsv / data::LoadCsv).
+//
+// Every command runs through engine::RankingEngine, the same conditioning
+// layer the cleaning sessions use.
 
+#include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -22,12 +27,9 @@
 #include <string>
 #include <vector>
 
-#include "core/bound_selector.h"
-#include "core/multi_quota.h"
-#include "core/quality.h"
-#include "core/random_selector.h"
 #include "data/answers.h"
 #include "data/csv.h"
+#include "engine/ranking_engine.h"
 #include "topk/semantics.h"
 
 namespace {
@@ -54,7 +56,7 @@ int Usage() {
       "  ptk_cli topk      <db.csv> <k> [--order-sensitive] [--limit N]\n"
       "  ptk_cli quality   <db.csv> <k> [--order-sensitive]\n"
       "  ptk_cli select    <db.csv> <k> <quota> [--selector "
-      "opt|pbtree|hrs2|rand]\n"
+      "bf|pbtree|opt|rand|rand_k|hrs1|hrs2]\n"
       "  ptk_cli semantics <db.csv> <k>\n"
       "  ptk_cli clean     <db.csv> <k> <answers.csv>\n");
   return 2;
@@ -87,17 +89,24 @@ void PrintKey(const ptk::pw::ResultKey& key) {
   std::printf("}");
 }
 
+ptk::engine::RankingEngine::Options EngineOptions(int k, int argc,
+                                                  char** argv) {
+  ptk::engine::RankingEngine::Options options;
+  options.k = k;
+  options.order = HasFlag(argc, argv, "--order-sensitive")
+                      ? ptk::pw::OrderMode::kSensitive
+                      : ptk::pw::OrderMode::kInsensitive;
+  return options;
+}
+
 int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
-  const ptk::pw::OrderMode order = HasFlag(argc, argv, "--order-sensitive")
-                                       ? ptk::pw::OrderMode::kSensitive
-                                       : ptk::pw::OrderMode::kInsensitive;
   int limit = 20;
   if (const char* v = FlagValue(argc, argv, "--limit")) {
     if (!ParseInt(v, &limit) || limit < 0) return FailBadInt("--limit", v);
   }
-  ptk::core::QualityEvaluator evaluator(db, k, order);
+  ptk::engine::RankingEngine engine(db, EngineOptions(k, argc, argv));
   ptk::pw::TopKDistribution dist;
-  if (ptk::util::Status s = evaluator.Distribution(nullptr, &dist); !s.ok()) {
+  if (ptk::util::Status s = engine.Distribution(&dist); !s.ok()) {
     return Fail(s);
   }
   std::printf("# %zu distinct top-%d results, H = %.6f\n", dist.size(), k,
@@ -114,12 +123,9 @@ int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
 
 int RunQuality(const ptk::model::Database& db, int k, int argc,
                char** argv) {
-  const ptk::pw::OrderMode order = HasFlag(argc, argv, "--order-sensitive")
-                                       ? ptk::pw::OrderMode::kSensitive
-                                       : ptk::pw::OrderMode::kInsensitive;
-  ptk::core::QualityEvaluator evaluator(db, k, order);
+  ptk::engine::RankingEngine engine(db, EngineOptions(k, argc, argv));
   double h = 0.0;
-  if (ptk::util::Status s = evaluator.Quality(nullptr, &h); !s.ok()) {
+  if (ptk::util::Status s = engine.Quality(&h); !s.ok()) {
     return Fail(s);
   }
   std::printf("H(S_%d) = %.6f\n", k, h);
@@ -128,25 +134,18 @@ int RunQuality(const ptk::model::Database& db, int k, int argc,
 
 int RunSelect(const ptk::model::Database& db, int k, int quota, int argc,
               char** argv) {
-  ptk::core::SelectorOptions options;
-  options.k = k;
+  ptk::engine::RankingEngine::Options options = EngineOptions(k, argc, argv);
   const char* name = FlagValue(argc, argv, "--selector");
-  std::unique_ptr<ptk::core::PairSelector> selector;
-  if (name == nullptr || std::strcmp(name, "opt") == 0) {
-    selector = std::make_unique<ptk::core::BoundSelector>(
-        db, options, ptk::core::BoundSelector::Mode::kOptimized);
-  } else if (std::strcmp(name, "pbtree") == 0) {
-    selector = std::make_unique<ptk::core::BoundSelector>(
-        db, options, ptk::core::BoundSelector::Mode::kBasic);
-  } else if (std::strcmp(name, "hrs2") == 0) {
+  std::string upper = name == nullptr ? "OPT" : name;
+  for (char& c : upper) c = static_cast<char>(std::toupper(c));
+  const auto kind = ptk::engine::SelectorKindFromName(upper);
+  if (!kind.has_value()) return Usage();
+  if (*kind == ptk::engine::SelectorKind::kHrs2) {
     options.candidate_pool = 4 * quota;
-    selector = std::make_unique<ptk::core::Hrs2Selector>(db, options);
-  } else if (std::strcmp(name, "rand") == 0) {
-    selector = std::make_unique<ptk::core::RandomSelector>(
-        db, options, ptk::core::RandomSelector::Mode::kUniform);
-  } else {
-    return Usage();
   }
+  ptk::engine::RankingEngine engine(db, options);
+  std::unique_ptr<ptk::core::PairSelector> selector =
+      engine.MakeSelector(*kind);
   std::vector<ptk::core::ScoredPair> pairs;
   if (ptk::util::Status s = selector->SelectPairs(quota, &pairs); !s.ok()) {
     return Fail(s);
@@ -200,21 +199,31 @@ int RunClean(const ptk::model::Database& db, int k, const char* answers) {
       !s.ok()) {
     return Fail(s);
   }
-  ptk::core::QualityEvaluator evaluator(db, k,
-                                        ptk::pw::OrderMode::kInsensitive);
-  // Feasibility pre-check: fold answers in file order and stop at the
-  // first one that leaves zero surviving possible worlds, naming the line
-  // and the accepted chain it conflicts with.
-  ptk::pw::ConstraintSet cons;
+  ptk::engine::RankingEngine::Options options;
+  options.k = k;
+  ptk::engine::RankingEngine engine(db, options);
+  double before = 0.0, after = 0.0;
+  if (ptk::util::Status s = engine.Quality(&before); !s.ok()) {
+    return Fail(s);
+  }
+  // Fold answers in file order through the engine and stop at the first
+  // one that leaves zero surviving possible worlds, naming the line and
+  // the accepted chain it conflicts with.
   for (const ptk::data::ParsedAnswer& answer : parsed) {
-    ptk::pw::ConstraintSet candidate = cons;
-    candidate.Add(answer.smaller, answer.larger);
-    if (evaluator.ConstraintProbability(candidate) <= 0.0) {
+    ptk::engine::RankingEngine::FoldOutcome outcome;
+    if (ptk::util::Status s =
+            engine.Fold(answer.smaller, answer.larger,
+                        /*update_working=*/false, &outcome);
+        !s.ok()) {
+      return Fail(s);
+    }
+    if (outcome != ptk::engine::RankingEngine::FoldOutcome::kApplied) {
       std::string detail = "answer '" + answer.text + "' (line " +
                            std::to_string(answer.line_no) +
                            ") is infeasible: it leaves zero surviving "
                            "possible worlds given the answers before it";
-      const auto chain = cons.FindChain(answer.larger, answer.smaller);
+      const auto chain =
+          engine.constraints().FindChain(answer.larger, answer.smaller);
       if (!chain.empty()) {
         detail += "; it contradicts the accepted chain " +
                   ptk::pw::ConstraintSet::FormatChain(chain);
@@ -222,18 +231,13 @@ int RunClean(const ptk::model::Database& db, int k, const char* answers) {
       return Fail(ptk::util::Status::InvalidArgument(detail).WithContext(
           std::string(answers)));
     }
-    cons = std::move(candidate);
   }
-  double before = 0.0, after = 0.0;
-  if (ptk::util::Status s = evaluator.Quality(nullptr, &before); !s.ok()) {
-    return Fail(s);
-  }
-  if (ptk::util::Status s = evaluator.Quality(&cons, &after); !s.ok()) {
+  if (ptk::util::Status s = engine.Quality(&after); !s.ok()) {
     return Fail(s);
   }
   std::printf("answers applied: %d\nH before = %.6f\nH after  = %.6f\n"
               "improvement = %.6f\n",
-              cons.size(), before, after, before - after);
+              engine.constraints().size(), before, after, before - after);
   return 0;
 }
 
