@@ -10,8 +10,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/multi_quota.h"
-#include "core/random_selector.h"
+#include <memory>
+
+#include "core/selector.h"
 #include "crowd/adaptive.h"
 #include "crowd/crowd_model.h"
 #include "crowd/session.h"
@@ -59,10 +60,12 @@ int main() {
         ptk::core::SelectorOptions options;
         options.k = k;
         options.candidate_pool = 4 * budget;
-        ptk::core::Hrs2Selector selector(db, options);
+        const auto selector = ptk::core::MakeSelector(
+            db, ptk::core::SelectorKind::kHrs2, options);
         ptk::crowd::CleaningSession::Options sess;
         sess.k = k;
-        ptk::crowd::CleaningSession session(db, &selector, &oracle, sess);
+        ptk::crowd::CleaningSession session(db, selector.get(), &oracle,
+                                            sess);
         if (!session.Init().ok()) return 1;
         ptk::crowd::CleaningSession::RoundReport report;
         if (!session.RunRound(budget, &report).ok()) return 1;
@@ -74,11 +77,12 @@ int main() {
         ptk::core::SelectorOptions options;
         options.k = k;
         options.seed = 700 + trial;
-        ptk::core::RandomSelector selector(
-            db, options, ptk::core::RandomSelector::Mode::kUniform);
+        const auto selector = ptk::core::MakeSelector(
+            db, ptk::core::SelectorKind::kRand, options);
         ptk::crowd::CleaningSession::Options sess;
         sess.k = k;
-        ptk::crowd::CleaningSession session(db, &selector, &oracle, sess);
+        ptk::crowd::CleaningSession session(db, selector.get(), &oracle,
+                                            sess);
         if (!session.Init().ok()) return 1;
         ptk::crowd::CleaningSession::RoundReport report;
         if (!session.RunRound(budget, &report).ok()) return 1;

@@ -24,8 +24,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/bound_selector.h"
 #include "core/quality.h"
+#include "core/selector.h"
 #include "core/singleton_cleaner.h"
 #include "crowd/crowd_model.h"
 #include "data/synthetic.h"
@@ -88,10 +88,10 @@ int main() {
 
     // PAIRWISE: one question to a 10-worker panel.
     {
-      ptk::core::BoundSelector selector(
-          age.db, options, ptk::core::BoundSelector::Mode::kOptimized);
+      const auto selector = ptk::core::MakeSelector(
+          age.db, ptk::core::SelectorKind::kOpt, options);
       std::vector<ptk::core::ScoredPair> best;
-      if (!selector.SelectPairs(1, &best).ok()) return 1;
+      if (!selector->SelectPairs(1, &best).ok()) return 1;
       ptk::crowd::WorkerPanel panel(age.true_ages, 10, 0.75,
                                     300 + trial);
       ptk::pw::ConstraintSet cons;

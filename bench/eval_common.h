@@ -11,7 +11,6 @@
 #include <vector>
 
 #include "core/quality.h"
-#include "core/random_selector.h"
 #include "core/selector.h"
 #include "crowd/crowd_model.h"
 
@@ -60,15 +59,15 @@ inline double BatchEI(const core::QualityEvaluator& evaluator,
 inline double AverageRandomEI(const model::Database& db,
                               const core::QualityEvaluator& evaluator,
                               core::SelectorOptions options,
-                              core::RandomSelector::Mode mode, int quota,
-                              int draws, const RealProbFn& preal,
-                              double base_quality) {
+                              core::SelectorKind kind, int quota, int draws,
+                              const RealProbFn& preal, double base_quality) {
   double total = 0.0;
   for (int d = 0; d < draws; ++d) {
     options.seed = 1000 + d;
-    core::RandomSelector selector(db, options, mode);
+    const std::unique_ptr<core::PairSelector> selector =
+        core::MakeSelector(db, kind, options);
     std::vector<core::ScoredPair> batch;
-    if (!selector.SelectPairs(quota, &batch).ok()) continue;
+    if (!selector->SelectPairs(quota, &batch).ok()) continue;
     total += BatchEI(evaluator, batch, preal, base_quality);
   }
   return total / draws;

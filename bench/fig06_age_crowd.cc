@@ -12,8 +12,9 @@
 
 #include <cstdio>
 
-#include "core/bound_selector.h"
-#include "core/multi_quota.h"
+#include <memory>
+
+#include "core/selector.h"
 #include "crowd/crowd_model.h"
 #include "data/synthetic.h"
 #include "eval_common.h"
@@ -45,27 +46,29 @@ int main() {
         age.db, k, ptk::pw::OrderMode::kInsensitive, options.enumerator);
     const double base_h = ptk::bench::BaseQuality(evaluator);
 
-    ptk::core::BoundSelector sq(age.db, options,
-                                ptk::core::BoundSelector::Mode::kOptimized);
+    const auto sq = ptk::core::MakeSelector(
+        age.db, ptk::core::SelectorKind::kOpt, options);
     std::vector<ptk::core::ScoredPair> best;
-    if (!sq.SelectPairs(1, &best).ok()) return 1;
+    if (!sq->SelectPairs(1, &best).ok()) return 1;
     const double ei_sq = ptk::bench::BatchEI(evaluator, best, preal, base_h);
 
-    ptk::core::Hrs1Selector hrs1(age.db, options);
+    const auto hrs1 = ptk::core::MakeSelector(
+        age.db, ptk::core::SelectorKind::kHrs1, options);
     std::vector<ptk::core::ScoredPair> batch1;
-    if (!hrs1.SelectPairs(quota, &batch1).ok()) return 1;
+    if (!hrs1->SelectPairs(quota, &batch1).ok()) return 1;
     const double ei_hrs1 = ptk::bench::BatchEI(evaluator, batch1, preal, base_h);
 
-    ptk::core::Hrs2Selector hrs2(age.db, options);
+    const auto hrs2 = ptk::core::MakeSelector(
+        age.db, ptk::core::SelectorKind::kHrs2, options);
     std::vector<ptk::core::ScoredPair> batch2;
-    if (!hrs2.SelectPairs(quota, &batch2).ok()) return 1;
+    if (!hrs2->SelectPairs(quota, &batch2).ok()) return 1;
     const double ei_hrs2 = ptk::bench::BatchEI(evaluator, batch2, preal, base_h);
 
     const double ei_randk = ptk::bench::AverageRandomEI(
         age.db, evaluator, options,
-        ptk::core::RandomSelector::Mode::kTopFraction, 1, rand_draws, preal, base_h);
+        ptk::core::SelectorKind::kRandK, 1, rand_draws, preal, base_h);
     const double ei_rand = ptk::bench::AverageRandomEI(
-        age.db, evaluator, options, ptk::core::RandomSelector::Mode::kUniform,
+        age.db, evaluator, options, ptk::core::SelectorKind::kRand,
         1, rand_draws, preal, base_h);
 
     ptk::bench::Row({std::to_string(k), Fmt(ei_sq), Fmt(ei_hrs1),

@@ -7,7 +7,9 @@
 #include <string>
 #include <vector>
 
-#include "core/bound_selector.h"
+#include <memory>
+
+#include "core/selector.h"
 #include "data/synthetic.h"
 #include "eval_common.h"
 #include "harness.h"
@@ -35,17 +37,17 @@ void RunDataset(const std::string& name, const ptk::model::Database& db) {
         db, k, ptk::pw::OrderMode::kSensitive, options.enumerator);
     const double base_h = ptk::bench::BaseQuality(evaluator);
 
-    ptk::core::BoundSelector sq(db, options,
-                                ptk::core::BoundSelector::Mode::kOptimized);
+    const auto sq =
+        ptk::core::MakeSelector(db, ptk::core::SelectorKind::kOpt, options);
     std::vector<ptk::core::ScoredPair> best;
-    if (!sq.SelectPairs(1, &best).ok()) std::exit(1);
+    if (!sq->SelectPairs(1, &best).ok()) std::exit(1);
     const double ei_sq = ptk::bench::BatchEI(evaluator, best, preal, base_h);
 
     const double ei_randk = ptk::bench::AverageRandomEI(
         db, evaluator, options,
-        ptk::core::RandomSelector::Mode::kTopFraction, 1, rand_draws, preal, base_h);
+        ptk::core::SelectorKind::kRandK, 1, rand_draws, preal, base_h);
     const double ei_rand = ptk::bench::AverageRandomEI(
-        db, evaluator, options, ptk::core::RandomSelector::Mode::kUniform, 1,
+        db, evaluator, options, ptk::core::SelectorKind::kRand, 1,
         rand_draws, preal, base_h);
     ptk::bench::Row({std::to_string(k), ptk::bench::Fmt(ei_sq),
                      ptk::bench::Fmt(ei_randk), ptk::bench::Fmt(ei_rand)});

@@ -9,8 +9,9 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/bound_selector.h"
-#include "core/random_selector.h"
+#include <memory>
+
+#include "core/selector.h"
 #include "crowd/crowd_model.h"
 #include "data/synthetic.h"
 #include "eval_common.h"
@@ -71,24 +72,24 @@ int main() {
   }
   before.resize(ranks, 0.0);
 
-  ptk::core::BoundSelector sq(db, options,
-                              ptk::core::BoundSelector::Mode::kOptimized);
+  const auto sq =
+      ptk::core::MakeSelector(db, ptk::core::SelectorKind::kOpt, options);
   std::vector<ptk::core::ScoredPair> best;
-  if (!sq.SelectPairs(1, &best).ok()) return 1;
+  if (!sq->SelectPairs(1, &best).ok()) return 1;
   const std::vector<double> after_sq =
       DistributionAfter(evaluator, crowd, best[0], ranks);
 
-  ptk::core::RandomSelector randk(
-      db, options, ptk::core::RandomSelector::Mode::kTopFraction);
+  const auto randk =
+      ptk::core::MakeSelector(db, ptk::core::SelectorKind::kRandK, options);
   std::vector<ptk::core::ScoredPair> randk_pair;
-  if (!randk.SelectPairs(1, &randk_pair).ok()) return 1;
+  if (!randk->SelectPairs(1, &randk_pair).ok()) return 1;
   const std::vector<double> after_randk =
       DistributionAfter(evaluator, crowd, randk_pair[0], ranks);
 
-  ptk::core::RandomSelector rand(db, options,
-                                 ptk::core::RandomSelector::Mode::kUniform);
+  const auto rand =
+      ptk::core::MakeSelector(db, ptk::core::SelectorKind::kRand, options);
   std::vector<ptk::core::ScoredPair> rand_pair;
-  if (!rand.SelectPairs(1, &rand_pair).ok()) return 1;
+  if (!rand->SelectPairs(1, &rand_pair).ok()) return 1;
   const std::vector<double> after_rand =
       DistributionAfter(evaluator, crowd, rand_pair[0], ranks);
 

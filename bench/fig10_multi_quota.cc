@@ -8,7 +8,9 @@
 #include <cstdio>
 #include <string>
 
-#include "core/multi_quota.h"
+#include <memory>
+
+#include "core/selector.h"
 #include "data/synthetic.h"
 #include "eval_common.h"
 #include "harness.h"
@@ -31,19 +33,21 @@ void RunDataset(const std::string& name, const ptk::model::Database& db,
         db, k, ptk::pw::OrderMode::kInsensitive, options.enumerator);
     const double base_h = ptk::bench::BaseQuality(evaluator);
 
-    ptk::core::Hrs1Selector hrs1(db, options);
-    ptk::core::Hrs2Selector hrs2(db, options);
+    const auto hrs1 =
+        ptk::core::MakeSelector(db, ptk::core::SelectorKind::kHrs1, options);
+    const auto hrs2 =
+        ptk::core::MakeSelector(db, ptk::core::SelectorKind::kHrs2, options);
     std::printf("\n[%s] objects=%d k=%d\n", name.c_str(), db.num_objects(),
                 k);
     ptk::bench::Row({"quota", "HRS1", "HRS2", "RAND"});
     for (int quota = 1; quota <= max_quota; ++quota) {
       std::vector<ptk::core::ScoredPair> batch1, batch2;
-      if (!hrs1.SelectPairs(quota, &batch1).ok()) std::exit(1);
-      if (!hrs2.SelectPairs(quota, &batch2).ok()) std::exit(1);
+      if (!hrs1->SelectPairs(quota, &batch1).ok()) std::exit(1);
+      if (!hrs2->SelectPairs(quota, &batch2).ok()) std::exit(1);
       const double ei1 = ptk::bench::BatchEI(evaluator, batch1, preal, base_h);
       const double ei2 = ptk::bench::BatchEI(evaluator, batch2, preal, base_h);
       const double ei_rand = ptk::bench::AverageRandomEI(
-          db, evaluator, options, ptk::core::RandomSelector::Mode::kUniform,
+          db, evaluator, options, ptk::core::SelectorKind::kRand,
           quota, rand_draws, preal, base_h);
       ptk::bench::Row({std::to_string(quota), ptk::bench::Fmt(ei1),
                        ptk::bench::Fmt(ei2), ptk::bench::Fmt(ei_rand)});

@@ -15,8 +15,8 @@
 #include <string>
 #include <vector>
 
-#include "core/bound_selector.h"
 #include "core/quality.h"
+#include "core/selector.h"
 #include "data/synthetic.h"
 #include "harness.h"
 #include "rank/membership.h"
@@ -68,16 +68,16 @@ void RunDataset(const std::string& name, const ptk::model::Database& db,
     options.membership =
         std::make_shared<ptk::rank::MembershipCalculator>(db, k);
     ptk::util::Stopwatch watch;
-    ptk::core::BoundSelector basic(db, options,
-                                   ptk::core::BoundSelector::Mode::kBasic);
+    const auto basic = ptk::core::MakeSelector(
+        db, ptk::core::SelectorKind::kPBTree, options);
     std::vector<ptk::core::ScoredPair> out;
-    if (!basic.SelectPairs(1, &out).ok()) std::exit(1);
+    if (!basic->SelectPairs(1, &out).ok()) std::exit(1);
     const double t_basic = watch.ElapsedSeconds();
 
     watch.Restart();
-    ptk::core::BoundSelector opt(db, options,
-                                 ptk::core::BoundSelector::Mode::kOptimized);
-    if (!opt.SelectPairs(1, &out).ok()) std::exit(1);
+    const auto opt =
+        ptk::core::MakeSelector(db, ptk::core::SelectorKind::kOpt, options);
+    if (!opt->SelectPairs(1, &out).ok()) std::exit(1);
     const double t_opt = watch.ElapsedSeconds();
 
     ptk::bench::Row({std::to_string(k), ptk::bench::FmtSci(bf),

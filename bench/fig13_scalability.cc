@@ -16,9 +16,9 @@
 #include <memory>
 #include <vector>
 
-#include "core/bound_selector.h"
 #include "core/delta_bounds.h"
 #include "core/quality.h"
+#include "core/selector.h"
 #include "data/synthetic.h"
 #include "harness.h"
 #include "pbtree/pair_stream.h"
@@ -97,15 +97,15 @@ int main() {
     options.membership =
         std::make_shared<ptk::rank::MembershipCalculator>(db, k);
     ptk::util::Stopwatch watch;
-    ptk::core::BoundSelector basic(db, options,
-                                   ptk::core::BoundSelector::Mode::kBasic);
+    const auto basic = ptk::core::MakeSelector(
+        db, ptk::core::SelectorKind::kPBTree, options);
     std::vector<ptk::core::ScoredPair> out;
-    if (!basic.SelectPairs(1, &out).ok()) return 1;
+    if (!basic->SelectPairs(1, &out).ok()) return 1;
     const double t_basic = watch.ElapsedSeconds();
     watch.Restart();
-    ptk::core::BoundSelector opt(db, options,
-                                 ptk::core::BoundSelector::Mode::kOptimized);
-    if (!opt.SelectPairs(1, &out).ok()) return 1;
+    const auto opt =
+        ptk::core::MakeSelector(db, ptk::core::SelectorKind::kOpt, options);
+    if (!opt->SelectPairs(1, &out).ok()) return 1;
     const double t_opt = watch.ElapsedSeconds();
     ptk::bench::Row({std::to_string(n), FmtSci(bf), FmtSci(t_basic),
                      FmtSci(t_opt)});

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/export.h"
 #include "util/thread_pool.h"
 
 namespace ptk::bench {
@@ -56,58 +57,31 @@ inline std::string FmtSci(double v) {
 /// (BENCH_*.json). Each record carries the benchmark name, wall time in
 /// seconds, the thread/shard count it ran with, and the m / k / scale
 /// shape parameters (pass 0 when not applicable). Disabled (no-op) when
-/// the variable is unset.
+/// the variable is unset. The buffering and serialization live in
+/// obs::BenchJsonWriter; this wrapper only injects the bench Scale().
 class JsonWriter {
  public:
-  JsonWriter() {
-    const char* path = std::getenv("PTK_BENCH_JSON");
-    if (path != nullptr && path[0] != '\0') path_ = path;
-  }
-
-  ~JsonWriter() { Flush(); }
+  JsonWriter() = default;
 
   JsonWriter(const JsonWriter&) = delete;
   JsonWriter& operator=(const JsonWriter&) = delete;
 
-  bool enabled() const { return !path_.empty(); }
+  bool enabled() const { return writer_.enabled(); }
 
   void Record(const std::string& name, double wall_seconds, int threads,
               int m, int k) {
-    if (!enabled()) return;
-    char buf[512];
-    std::snprintf(buf, sizeof(buf),
-                  "  {\"name\": \"%s\", \"wall_s\": %.9g, \"threads\": %d, "
-                  "\"m\": %d, \"k\": %d, \"scale\": %g}",
-                  name.c_str(), wall_seconds, threads, m, k, Scale());
-    records_.push_back(buf);
+    writer_.Record(name, wall_seconds, threads, m, k, Scale());
   }
 
   /// Writes buffered records (if any) and clears the buffer.
-  void Flush() {
-    if (!enabled() || records_.empty()) return;
-    std::FILE* f = std::fopen(path_.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "PTK_BENCH_JSON: cannot open %s\n", path_.c_str());
-      records_.clear();
-      return;
-    }
-    std::fprintf(f, "[\n");
-    for (size_t i = 0; i < records_.size(); ++i) {
-      std::fprintf(f, "%s%s\n", records_[i].c_str(),
-                   i + 1 < records_.size() ? "," : "");
-    }
-    std::fprintf(f, "]\n");
-    std::fclose(f);
-    records_.clear();
-  }
+  void Flush() { writer_.Flush(); }
 
   /// The thread count benchmarks run with by default (PTK_THREADS or
   /// hardware concurrency) — recorded so JSON rows are self-describing.
   static int DefaultThreads() { return util::ThreadPool::ResolveThreads(0); }
 
  private:
-  std::string path_;
-  std::vector<std::string> records_;
+  obs::BenchJsonWriter writer_;
 };
 
 }  // namespace ptk::bench

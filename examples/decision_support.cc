@@ -8,11 +8,12 @@
 // Run: ./decision_support
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/bound_selector.h"
 #include "core/quality.h"
+#include "core/selector.h"
 #include "crowd/crowd_model.h"
 #include "crowd/session.h"
 #include "util/rng.h"
@@ -50,14 +51,14 @@ int main() {
   options.k = 3;
   options.order = ptk::pw::OrderMode::kSensitive;
   options.fanout = 4;
-  ptk::core::BoundSelector selector(
-      db, options, ptk::core::BoundSelector::Mode::kOptimized);
+  const std::unique_ptr<ptk::core::PairSelector> selector =
+      ptk::core::MakeSelector(db, ptk::core::SelectorKind::kOpt, options);
 
   ptk::crowd::GroundTruthOracle committee(true_demerit);
   ptk::crowd::CleaningSession::Options session_options;
   session_options.k = options.k;
   session_options.order = ptk::pw::OrderMode::kSensitive;
-  ptk::crowd::CleaningSession session(db, &selector, &committee,
+  ptk::crowd::CleaningSession session(db, selector.get(), &committee,
                                       session_options);
   if (ptk::util::Status s = session.Init(); !s.ok()) {
     std::fprintf(stderr, "session init failed: %s\n", s.ToString().c_str());

@@ -9,10 +9,11 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
-#include "core/multi_quota.h"
+#include "core/selector.h"
 #include "crowd/crowd_model.h"
 #include "crowd/session.h"
 #include "util/rng.h"
@@ -70,7 +71,8 @@ int main(int argc, char** argv) {
   options.k = 5;
   options.fanout = 8;
   options.candidate_pool = 24;
-  ptk::core::Hrs2Selector selector(db, options);
+  std::unique_ptr<ptk::core::PairSelector> selector = ptk::core::MakeSelector(
+      db, ptk::core::SelectorKind::kHrs2, options);
 
   std::vector<double> truth;
   for (const Poi& poi : pois) truth.push_back(6.0 - poi.true_quality);
@@ -78,7 +80,7 @@ int main(int argc, char** argv) {
 
   ptk::crowd::CleaningSession::Options session_options;
   session_options.k = options.k;
-  ptk::crowd::CleaningSession session(db, &selector, &panel,
+  ptk::crowd::CleaningSession session(db, selector.get(), &panel,
                                       session_options);
   if (ptk::util::Status s = session.Init(); !s.ok()) {
     std::fprintf(stderr, "session init failed: %s\n", s.ToString().c_str());

@@ -11,9 +11,8 @@
 #include <memory>
 #include <vector>
 
-#include "core/bound_selector.h"
 #include "core/quality.h"
-#include "core/random_selector.h"
+#include "core/selector.h"
 #include "crowd/crowd_model.h"
 #include "data/synthetic.h"
 
@@ -55,20 +54,21 @@ int main(int argc, char** argv) {
     return ei;
   };
 
-  ptk::core::BoundSelector opt(db, options,
-                               ptk::core::BoundSelector::Mode::kOptimized);
-  const double ei_opt = evaluate_first_pair(opt);
+  const std::unique_ptr<ptk::core::PairSelector> opt =
+      ptk::core::MakeSelector(db, ptk::core::SelectorKind::kOpt, options);
+  const double ei_opt = evaluate_first_pair(*opt);
   std::printf("OPT    picks one pair: expected improvement %.5f\n", ei_opt);
 
   // Random baselines: average over several draws.
-  const auto average_random = [&](ptk::core::RandomSelector::Mode mode) {
+  const auto average_random = [&](ptk::core::SelectorKind kind) {
     double total = 0.0;
     int runs = 0;
     for (uint64_t seed = 1; seed <= 20; ++seed) {
       ptk::core::SelectorOptions random_options = options;
       random_options.seed = seed;
-      ptk::core::RandomSelector selector(db, random_options, mode);
-      const double ei = evaluate_first_pair(selector);
+      const std::unique_ptr<ptk::core::PairSelector> selector =
+          ptk::core::MakeSelector(db, kind, random_options);
+      const double ei = evaluate_first_pair(*selector);
       if (ei >= 0.0) {
         total += ei;
         ++runs;
@@ -76,10 +76,8 @@ int main(int argc, char** argv) {
     }
     return runs > 0 ? total / runs : 0.0;
   };
-  const double ei_randk =
-      average_random(ptk::core::RandomSelector::Mode::kTopFraction);
-  const double ei_rand =
-      average_random(ptk::core::RandomSelector::Mode::kUniform);
+  const double ei_randk = average_random(ptk::core::SelectorKind::kRandK);
+  const double ei_rand = average_random(ptk::core::SelectorKind::kRand);
   std::printf("RAND_K average over 20 draws: %.5f\n", ei_randk);
   std::printf("RAND   average over 20 draws: %.5f\n", ei_rand);
   if (ei_rand > 0.0) {

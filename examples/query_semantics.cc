@@ -9,9 +9,10 @@
 // Run: ./query_semantics
 
 #include <cstdio>
+#include <memory>
 
-#include "core/bound_selector.h"
 #include "core/quality.h"
+#include "core/selector.h"
 #include "data/synthetic.h"
 #include "topk/semantics.h"
 
@@ -72,10 +73,10 @@ int main() {
 
   ptk::core::SelectorOptions options;
   options.k = k;
-  ptk::core::BoundSelector selector(
-      db, options, ptk::core::BoundSelector::Mode::kOptimized);
+  std::unique_ptr<ptk::core::PairSelector> selector = ptk::core::MakeSelector(
+      db, ptk::core::SelectorKind::kOpt, options);
   std::vector<ptk::core::ScoredPair> best;
-  if (!selector.SelectPairs(1, &best).ok() || best.empty()) return 1;
+  if (!selector->SelectPairs(1, &best).ok() || best.empty()) return 1;
   std::printf(
       "One comparison of (%s, %s) is expected to remove %.4f nats — "
       "%.0f%% of the uncertainty.\n",

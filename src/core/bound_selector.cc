@@ -4,6 +4,9 @@
 #include <queue>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ptk::core {
 
 namespace {
@@ -13,6 +16,28 @@ pbtree::PBTree::Options TreeOptions(const SelectorOptions& options) {
   tree_options.fanout = options.fanout;
   return tree_options;
 }
+
+struct BoundSelectorMetrics {
+  obs::Counter* pairs_evaluated;
+  obs::Counter* prunes;
+  obs::Counter* overshoot;
+  obs::Histogram* ei_sweep_seconds;
+
+  static const BoundSelectorMetrics& Get() {
+    static const BoundSelectorMetrics metrics = {
+        obs::GetCounter("ptk_selector_pairs_evaluated_total",
+                        "Candidate pairs whose EI was computed"),
+        obs::GetCounter("ptk_selector_delta_prunes_total",
+                        "Candidate pairs skipped by the Δ-bound threshold"),
+        obs::GetCounter(
+            "ptk_selector_speculative_overshoot_total",
+            "Pairs evaluated speculatively that the serial rule rejects"),
+        obs::GetHistogram("ptk_selector_ei_sweep_seconds",
+                          "Latency of one sharded Δ-bound batch evaluation"),
+    };
+    return metrics;
+  }
+};
 
 }  // namespace
 
@@ -32,6 +57,9 @@ BoundSelector::BoundSelector(const model::Database& db,
       ei_scorer_(db, *membership_, options.order) {}
 
 util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
+  const BoundSelectorMetrics& metrics = BoundSelectorMetrics::Get();
+  obs::Span span(name() == "OPT" ? "BoundSelector::SelectPairs(OPT)"
+                                 : "BoundSelector::SelectPairs(PBTREE)");
   stats_ = Stats();
   const pbtree::PairScorer& scorer =
       (mode_ == Mode::kBasic)
@@ -77,23 +105,30 @@ util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
         exhausted = true;
         break;
       }
-      if (full && pair->score <= threshold) continue;
+      if (full && pair->score <= threshold) {
+        metrics.prunes->Add();
+        continue;
+      }
       batch.push_back(*pair);
     }
     if (batch.empty()) break;
 
     // Evaluate phase: Δ bounds for the whole batch, sharded.
     std::vector<EIEstimate> estimates;
-    if (batch.size() == 1) {
-      estimates.push_back(estimator_.Estimate(batch[0].a, batch[0].b));
-    } else {
-      batch_pairs.clear();
-      for (const pbtree::ScoredObjectPair& p : batch) {
-        batch_pairs.emplace_back(p.a, p.b);
+    {
+      obs::ScopedTimer sweep_timer(metrics.ei_sweep_seconds);
+      if (batch.size() == 1) {
+        estimates.push_back(estimator_.Estimate(batch[0].a, batch[0].b));
+      } else {
+        batch_pairs.clear();
+        for (const pbtree::ScoredObjectPair& p : batch) {
+          batch_pairs.emplace_back(p.a, p.b);
+        }
+        estimates = estimator_.EstimateBatch(batch_pairs, options_.parallel);
       }
-      estimates = estimator_.EstimateBatch(batch_pairs, options_.parallel);
     }
     stats_.pairs_evaluated += static_cast<int64_t>(batch.size());
+    metrics.pairs_evaluated->Add(static_cast<int64_t>(batch.size()));
 
     // Merge phase: replay the serial acceptance rule in pop order.
     for (size_t i = 0; i < batch.size(); ++i) {
@@ -103,6 +138,10 @@ util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
         best.push(ScoredPair{batch[i].a, batch[i].b, est.estimate(),
                              est.lower(), est.upper()});
         if (static_cast<int>(best.size()) > t) best.pop();
+      } else {
+        // Evaluated only because the batch speculated past the threshold
+        // the serial run would have stopped at.
+        metrics.overshoot->Add();
       }
       if (static_cast<int>(best.size()) >= t) {
         threshold = best.top().ei_estimate;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/thread_pool.h"
 
 namespace ptk::core {
@@ -12,6 +14,14 @@ BruteForceSelector::BruteForceSelector(const model::Database& db,
 
 util::Status BruteForceSelector::SelectPairs(int t,
                                              std::vector<ScoredPair>* out) {
+  static obs::Counter* const pairs_evaluated =
+      obs::GetCounter("ptk_selector_pairs_evaluated_total",
+                      "Candidate pairs whose EI was computed");
+  static obs::Histogram* const sweep_seconds =
+      obs::GetHistogram("ptk_selector_ei_sweep_seconds",
+                        "Latency of one sharded Δ-bound batch evaluation");
+  obs::Span span("BruteForceSelector::SelectPairs");
+  obs::ScopedTimer sweep_timer(sweep_seconds);
   const int m = db_->num_objects();
   const int64_t total = static_cast<int64_t>(m) * (m - 1) / 2;
   std::vector<ScoredPair> scored(total);
@@ -51,6 +61,7 @@ util::Status BruteForceSelector::SelectPairs(int t,
   for (const util::Status& s : shard_status) {
     if (!s.ok()) return s;
   }
+  pairs_evaluated->Add(total);
 
   std::sort(scored.begin(), scored.end(),
             [](const ScoredPair& x, const ScoredPair& y) {

@@ -1,10 +1,90 @@
 #include "core/selector.h"
 
 #include <algorithm>
+#include <array>
+#include <cctype>
+#include <utility>
 
+#include "core/bound_selector.h"
+#include "core/brute_force_selector.h"
+#include "core/multi_quota.h"
+#include "core/random_selector.h"
 #include "pbtree/pbtree.h"
 
 namespace ptk::core {
+
+namespace {
+
+constexpr std::array<std::pair<SelectorKind, std::string_view>, 7> kKindNames =
+    {{
+        {SelectorKind::kBruteForce, "BF"},
+        {SelectorKind::kPBTree, "PBTREE"},
+        {SelectorKind::kOpt, "OPT"},
+        {SelectorKind::kRand, "RAND"},
+        {SelectorKind::kRandK, "RAND_K"},
+        {SelectorKind::kHrs1, "HRS1"},
+        {SelectorKind::kHrs2, "HRS2"},
+    }};
+
+bool EqualsIgnoreCase(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(a[i])) !=
+        std::toupper(static_cast<unsigned char>(b[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string_view SelectorKindName(SelectorKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "?";
+}
+
+std::optional<SelectorKind> SelectorKindFromName(std::string_view name) {
+  for (const auto& [kind, kind_name] : kKindNames) {
+    if (EqualsIgnoreCase(kind_name, name)) return kind;
+  }
+  return std::nullopt;
+}
+
+std::vector<SelectorKind> AllSelectorKinds() {
+  std::vector<SelectorKind> kinds;
+  kinds.reserve(kKindNames.size());
+  for (const auto& [kind, name] : kKindNames) kinds.push_back(kind);
+  return kinds;
+}
+
+std::unique_ptr<PairSelector> MakeSelector(const model::Database& db,
+                                           SelectorKind kind,
+                                           const SelectorOptions& options) {
+  switch (kind) {
+    case SelectorKind::kBruteForce:
+      return std::make_unique<BruteForceSelector>(db, options);
+    case SelectorKind::kPBTree:
+      return std::make_unique<BoundSelector>(db, options,
+                                             BoundSelector::Mode::kBasic);
+    case SelectorKind::kOpt:
+      return std::make_unique<BoundSelector>(db, options,
+                                             BoundSelector::Mode::kOptimized);
+    case SelectorKind::kRand:
+      return std::make_unique<RandomSelector>(db, options,
+                                              RandomSelector::Mode::kUniform);
+    case SelectorKind::kRandK:
+      return std::make_unique<RandomSelector>(
+          db, options, RandomSelector::Mode::kTopFraction);
+    case SelectorKind::kHrs1:
+      return std::make_unique<Hrs1Selector>(db, options);
+    case SelectorKind::kHrs2:
+      return std::make_unique<Hrs2Selector>(db, options);
+  }
+  return nullptr;  // unreachable
+}
 
 const pbtree::PBTree* SelectorOptions::SharedTreeFor(
     const model::Database& db) const {

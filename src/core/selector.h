@@ -3,7 +3,9 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "model/database.h"
@@ -92,6 +94,38 @@ class PairSelector {
   /// Short name used in experiment tables ("BF", "PBTREE", "OPT", ...).
   virtual std::string name() const = 0;
 };
+
+/// The selection strategies, named as in the paper's experiment tables
+/// (Section 6.2). This is the construction surface consumers use; the
+/// concrete selector classes stay available for white-box tests that poke
+/// at class internals (modes, stats).
+enum class SelectorKind {
+  kBruteForce,  // BF
+  kPBTree,      // PBTREE (Algorithm 1, Ĥ-ordered)
+  kOpt,         // OPT (Algorithm 1, ÊI-ordered)
+  kRand,        // RAND
+  kRandK,       // RAND_K
+  kHrs1,        // HRS1 (multi-quota, relaxed stop rule)
+  kHrs2,        // HRS2 (multi-quota, greedy joint objective)
+};
+
+/// "BF", "PBTREE", ... — the experiment-table name.
+std::string_view SelectorKindName(SelectorKind kind);
+
+/// Inverse of SelectorKindName, case-insensitive ("opt" and "OPT" both
+/// resolve); nullopt for unknown names.
+std::optional<SelectorKind> SelectorKindFromName(std::string_view name);
+
+/// Every kind, in declaration order — for sweeping experiments and tests.
+std::vector<SelectorKind> AllSelectorKinds();
+
+/// The one constructor every consumer (CLI, benches, examples, sessions)
+/// goes through: builds the selector of `kind` on `db`, applying the
+/// shared options — membership / shared_tree reuse, parallel config, seed
+/// — uniformly. `db` must be finalized and outlive the selector.
+std::unique_ptr<PairSelector> MakeSelector(const model::Database& db,
+                                           SelectorKind kind,
+                                           const SelectorOptions& options);
 
 }  // namespace ptk::core
 

@@ -4,6 +4,9 @@
 #include <memory>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ptk::crowd {
 
 namespace {
@@ -43,8 +46,18 @@ util::Status AdaptiveCleaner::Run(int budget,
     return util::Status::FailedPrecondition(
         "AdaptiveCleaner::Run called without a successful Init()");
   }
+  static obs::Histogram* const step_seconds =
+      obs::GetHistogram("ptk_adaptive_step_seconds",
+                        "Latency of one AdaptiveCleaner select-ask-fold step");
+  static obs::Counter* const steps_run = obs::GetCounter(
+      "ptk_adaptive_steps_total", "Adaptive select-ask-fold steps completed");
+  static obs::Counter* const steps_contradictory = obs::GetCounter(
+      "ptk_adaptive_steps_contradictory_total",
+      "Adaptive steps whose answer was discarded as inconsistent");
   steps->clear();
   for (int step = 0; step < budget; ++step) {
+    obs::Span span("AdaptiveCleaner::Step");
+    obs::ScopedTimer step_timer(step_seconds);
     // A fresh selector per step borrows the engine's incrementally
     // maintained membership calculator and PB-tree, so construction does
     // not re-scan or re-index the untouched objects.
@@ -88,6 +101,8 @@ util::Status AdaptiveCleaner::Run(int budget,
     if (!s.ok()) return s;
     report.applied =
         outcome == engine::RankingEngine::FoldOutcome::kApplied;
+    steps_run->Add();
+    if (!report.applied) steps_contradictory->Add();
 
     double h = 0.0;
     s = engine_.Quality(&h);

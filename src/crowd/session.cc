@@ -3,9 +3,34 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ptk::crowd {
 
 namespace {
+
+struct SessionMetrics {
+  obs::Histogram* round_seconds;
+  obs::Counter* rounds;
+  obs::Counter* asked;
+  obs::Counter* skipped;
+
+  static const SessionMetrics& Get() {
+    static const SessionMetrics metrics = {
+        obs::GetHistogram("ptk_session_round_seconds",
+                          "Latency of one CleaningSession round"),
+        obs::GetCounter("ptk_session_rounds_total",
+                        "Cleaning rounds completed"),
+        obs::GetCounter("ptk_session_questions_asked_total",
+                        "Pairs posted to the comparison oracle"),
+        obs::GetCounter(
+            "ptk_session_answers_skipped_total",
+            "Answers discarded as contradictory with the accepted set"),
+    };
+    return metrics;
+  }
+};
 
 engine::RankingEngine::Options EngineOptions(
     const CleaningSession::Options& options) {
@@ -48,6 +73,9 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
     return util::Status::InvalidArgument(
         "round quota must be positive, got " + std::to_string(quota));
   }
+  const SessionMetrics& metrics = SessionMetrics::Get();
+  obs::Span span("CleaningSession::RunRound");
+  obs::ScopedTimer round_timer(metrics.round_seconds);
   report->selected.clear();
   report->answers.clear();
   report->skipped.clear();
@@ -144,12 +172,15 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
     }
     report->answers.push_back(answer);
   }
+  metrics.asked->Add(static_cast<int64_t>(report->selected.size()));
+  metrics.skipped->Add(static_cast<int64_t>(report->skipped.size()));
 
   double h = 0.0;
   util::Status s = engine_.Quality(&h);
   if (!s.ok()) return s.WithContext("evaluating H(S_k | answers)");
   current_quality_ = h;
   report->quality_after = h;
+  metrics.rounds->Add();
   return util::Status::OK();
 }
 

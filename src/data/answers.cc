@@ -16,11 +16,11 @@ using internal::TrimField;
 
 }  // namespace
 
-util::Status ParseAnswersFromString(std::string_view text, int num_objects,
-                                    std::vector<ParsedAnswer>* out,
-                                    const std::string& source) {
-  out->clear();
-  return internal::ForEachLine(
+util::StatusOr<std::vector<ParsedAnswer>> ParseAnswersFromString(
+    std::string_view text, int num_objects, const std::string& source) {
+  std::vector<ParsedAnswer> answers;
+  std::vector<ParsedAnswer>* out = &answers;
+  util::Status s = internal::ForEachLine(
       text, [&](int line_no, std::string_view line) -> util::Status {
         const std::string_view trimmed = TrimField(line);
         if (trimmed.empty() || trimmed.front() == '#') {
@@ -61,16 +61,43 @@ util::Status ParseAnswersFromString(std::string_view text, int num_objects,
         out->push_back(std::move(answer));
         return util::Status::OK();
       });
+  if (!s.ok()) return s;
+  return answers;
 }
 
-util::Status LoadAnswers(const std::string& path, int num_objects,
-                         std::vector<ParsedAnswer>* out) {
+util::StatusOr<std::vector<ParsedAnswer>> LoadAnswers(const std::string& path,
+                                                      int num_objects) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::IoError("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return util::Status::IoError("read failed for " + path);
-  return ParseAnswersFromString(buffer.str(), num_objects, out, path);
+  return ParseAnswersFromString(buffer.str(), num_objects, path);
+}
+
+util::Status ParseAnswersFromString(std::string_view text, int num_objects,
+                                    std::vector<ParsedAnswer>* out,
+                                    const std::string& source) {
+  util::StatusOr<std::vector<ParsedAnswer>> answers =
+      ParseAnswersFromString(text, num_objects, source);
+  if (!answers.ok()) {
+    out->clear();
+    return answers.status();
+  }
+  *out = *std::move(answers);
+  return util::Status::OK();
+}
+
+util::Status LoadAnswers(const std::string& path, int num_objects,
+                         std::vector<ParsedAnswer>* out) {
+  util::StatusOr<std::vector<ParsedAnswer>> answers =
+      LoadAnswers(path, num_objects);
+  if (!answers.ok()) {
+    out->clear();
+    return answers.status();
+  }
+  *out = *std::move(answers);
+  return util::Status::OK();
 }
 
 }  // namespace ptk::data

@@ -7,6 +7,7 @@
 
 #include "model/instance.h"
 #include "util/status.h"
+#include "util/statusor.h"
 
 namespace ptk::data {
 
@@ -27,11 +28,19 @@ struct ParsedAnswer {
 /// and self-comparisons (x,x). `num_objects` bounds the oid range; pass a
 /// database's num_objects() so out-of-range answers fail at parse time
 /// rather than corrupting downstream indexing.
+util::StatusOr<std::vector<ParsedAnswer>> ParseAnswersFromString(
+    std::string_view text, int num_objects,
+    const std::string& source = "<string>");
+
+/// File-reading wrapper around ParseAnswersFromString.
+util::StatusOr<std::vector<ParsedAnswer>> LoadAnswers(const std::string& path,
+                                                      int num_objects);
+
+/// Deprecated out-parameter shims for the parsers above; new code should
+/// use the StatusOr forms. Kept for one PR.
 util::Status ParseAnswersFromString(std::string_view text, int num_objects,
                                     std::vector<ParsedAnswer>* out,
                                     const std::string& source = "<string>");
-
-/// File-reading wrapper around ParseAnswersFromString.
 util::Status LoadAnswers(const std::string& path, int num_objects,
                          std::vector<ParsedAnswer>* out);
 

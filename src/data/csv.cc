@@ -94,10 +94,9 @@ util::Status SaveCsv(const model::Database& db, const std::string& path) {
   return util::Status::OK();
 }
 
-util::Status LoadCsvFromString(std::string_view text,
-                               const CsvOptions& options,
-                               model::Database* out,
-                               const std::string& source) {
+util::StatusOr<model::Database> LoadCsvFromString(std::string_view text,
+                                                  const CsvOptions& options,
+                                                  const std::string& source) {
   // Instances grouped by oid; oids must be contiguous from 0.
   std::map<int64_t, std::vector<std::pair<double, double>>> objects;
   bool header_seen = !options.require_header;
@@ -152,18 +151,40 @@ util::Status LoadCsvFromString(std::string_view text,
   }
   s = db.Finalize();
   if (!s.ok()) return s.WithContext(source);
-  *out = std::move(db);
-  return util::Status::OK();
+  return db;
 }
 
-util::Status LoadCsv(const std::string& path, const CsvOptions& options,
-                     model::Database* out) {
+util::StatusOr<model::Database> LoadCsv(const std::string& path,
+                                        const CsvOptions& options) {
   std::ifstream in(path, std::ios::binary);
   if (!in) return util::Status::IoError("cannot open " + path);
   std::ostringstream buffer;
   buffer << in.rdbuf();
   if (in.bad()) return util::Status::IoError("read failed for " + path);
-  return LoadCsvFromString(buffer.str(), options, out, path);
+  return LoadCsvFromString(buffer.str(), options, path);
+}
+
+util::StatusOr<model::Database> LoadCsv(const std::string& path) {
+  return LoadCsv(path, CsvOptions{});
+}
+
+util::Status LoadCsvFromString(std::string_view text,
+                               const CsvOptions& options,
+                               model::Database* out,
+                               const std::string& source) {
+  util::StatusOr<model::Database> db =
+      LoadCsvFromString(text, options, source);
+  if (!db.ok()) return db.status();
+  *out = *std::move(db);
+  return util::Status::OK();
+}
+
+util::Status LoadCsv(const std::string& path, const CsvOptions& options,
+                     model::Database* out) {
+  util::StatusOr<model::Database> db = LoadCsv(path, options);
+  if (!db.ok()) return db.status();
+  *out = *std::move(db);
+  return util::Status::OK();
 }
 
 util::Status LoadCsv(const std::string& path, model::Database* out) {

@@ -6,6 +6,7 @@
 
 #include "model/database.h"
 #include "util/status.h"
+#include "util/statusor.h"
 
 namespace ptk::data {
 
@@ -36,13 +37,22 @@ util::Status SaveCsv(const model::Database& db, const std::string& path);
 ///   - value and prob are finite (NaN / inf rejected);
 ///   - prob is in (0, 1];
 ///   - blank lines and '#' comment lines are skipped.
-util::Status LoadCsv(const std::string& path, model::Database* out);
-util::Status LoadCsv(const std::string& path, const CsvOptions& options,
-                     model::Database* out);
+util::StatusOr<model::Database> LoadCsv(const std::string& path);
+util::StatusOr<model::Database> LoadCsv(const std::string& path,
+                                        const CsvOptions& options);
 
 /// Same parser over an in-memory buffer; `source` names the buffer in
 /// diagnostics. This is the entry point the fuzz targets and property
 /// tests drive (no filesystem in the loop).
+util::StatusOr<model::Database> LoadCsvFromString(
+    std::string_view text, const CsvOptions& options,
+    const std::string& source = "<string>");
+
+/// Deprecated out-parameter shims for the loaders above; new code should
+/// use the StatusOr forms. Kept for one PR.
+util::Status LoadCsv(const std::string& path, model::Database* out);
+util::Status LoadCsv(const std::string& path, const CsvOptions& options,
+                     model::Database* out);
 util::Status LoadCsvFromString(std::string_view text,
                                const CsvOptions& options,
                                model::Database* out,

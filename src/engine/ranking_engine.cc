@@ -3,48 +3,42 @@
 #include <array>
 #include <utility>
 
-#include "core/bound_selector.h"
-#include "core/brute_force_selector.h"
-#include "core/multi_quota.h"
-#include "core/random_selector.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace ptk::engine {
 
 namespace {
 
-constexpr std::array<std::pair<SelectorKind, std::string_view>, 7> kKindNames =
-    {{
-        {SelectorKind::kBruteForce, "BF"},
-        {SelectorKind::kPBTree, "PBTREE"},
-        {SelectorKind::kOpt, "OPT"},
-        {SelectorKind::kRand, "RAND"},
-        {SelectorKind::kRandK, "RAND_K"},
-        {SelectorKind::kHrs1, "HRS1"},
-        {SelectorKind::kHrs2, "HRS2"},
-    }};
+/// Registry handles for the engine layer, resolved once per process.
+struct EngineMetrics {
+  obs::Histogram* fold_seconds;
+  obs::Counter* folds_applied;
+  obs::Counter* folds_rejected;
+  obs::Counter* overlay_reweights;
+  obs::Counter* distribution_builds;
+  obs::Counter* distribution_memo_hits;
+
+  static const EngineMetrics& Get() {
+    static const EngineMetrics metrics = {
+        obs::GetHistogram("ptk_engine_fold_seconds",
+                          "Latency of RankingEngine::Fold"),
+        obs::GetCounter("ptk_engine_folds_applied_total",
+                        "Answers folded into the constraint set"),
+        obs::GetCounter("ptk_engine_folds_rejected_total",
+                        "Answers rejected (contradictory or degenerate)"),
+        obs::GetCounter("ptk_engine_overlay_reweights_total",
+                        "Per-object in-place marginal reweights"),
+        obs::GetCounter("ptk_engine_distribution_builds_total",
+                        "Full conditioned top-k distribution builds"),
+        obs::GetCounter("ptk_engine_distribution_memo_hits_total",
+                        "Distribution/Quality reads served by the memo"),
+    };
+    return metrics;
+  }
+};
 
 }  // namespace
-
-std::string_view SelectorKindName(SelectorKind kind) {
-  for (const auto& [k, name] : kKindNames) {
-    if (k == kind) return name;
-  }
-  return "?";
-}
-
-std::optional<SelectorKind> SelectorKindFromName(std::string_view name) {
-  for (const auto& [kind, kind_name] : kKindNames) {
-    if (kind_name == name) return kind;
-  }
-  return std::nullopt;
-}
-
-std::vector<SelectorKind> AllSelectorKinds() {
-  std::vector<SelectorKind> kinds;
-  kinds.reserve(kKindNames.size());
-  for (const auto& [kind, name] : kKindNames) kinds.push_back(kind);
-  return kinds;
-}
 
 RankingEngine::RankingEngine(const model::Database& db, const Options& options)
     : base_(&db),
@@ -72,6 +66,8 @@ const pbtree::PBTree& RankingEngine::tree() {
 util::Status RankingEngine::Fold(model::ObjectId smaller,
                                  model::ObjectId larger, bool update_working,
                                  FoldOutcome* outcome) {
+  const EngineMetrics& metrics = EngineMetrics::Get();
+  obs::ScopedTimer fold_timer(metrics.fold_seconds);
   if (smaller < 0 || smaller >= base_->num_objects() || larger < 0 ||
       larger >= base_->num_objects() || smaller == larger) {
     return util::Status::InvalidArgument(
@@ -85,7 +81,8 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
   pw::ConstraintSet candidate = constraints_;
   candidate.Add(smaller, larger);
   if (evaluator_.ConstraintProbability(candidate) <= 0.0) {
-    ++counters_.folds_rejected;
+    folds_rejected_.fetch_add(1, std::memory_order_relaxed);
+    metrics.folds_rejected->Add();
     *outcome = FoldOutcome::kContradictory;
     return util::Status::OK();
   }
@@ -111,7 +108,8 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
       // The marginal approximation zeroed an object even though the exact
       // joint accepts the answer; keep the engine consistent by dropping
       // the answer entirely, as AdaptiveCleaner always has.
-      ++counters_.folds_rejected;
+      folds_rejected_.fetch_add(1, std::memory_order_relaxed);
+      metrics.folds_rejected->Add();
       *outcome = FoldOutcome::kDegenerate;
       return util::Status::OK();
     }
@@ -119,6 +117,7 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
     if (!s.ok()) return s.WithContext("Fold: reweight smaller");
     s = overlay_.Reweight(larger, pl);
     if (!s.ok()) return s.WithContext("Fold: reweight larger");
+    metrics.overlay_reweights->Add(2);
 
     // Per-object artifact maintenance — the whole point of the overlay:
     // everything else the calculator and the tree cache is untouched.
@@ -134,7 +133,8 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
 
   constraints_ = std::move(candidate);
   ++version_;
-  ++counters_.folds_applied;
+  folds_applied_.fetch_add(1, std::memory_order_relaxed);
+  metrics.folds_applied->Add();
   *outcome = FoldOutcome::kApplied;
   return util::Status::OK();
 }
@@ -164,41 +164,22 @@ std::unique_ptr<core::PairSelector> RankingEngine::MakeSelector(
       kind == SelectorKind::kHrs1 || kind == SelectorKind::kHrs2;
   if (needs_membership) o.membership = membership();
   if (needs_tree) o.shared_tree = &tree();
-
-  const model::Database& db = working_db();
-  switch (kind) {
-    case SelectorKind::kBruteForce:
-      return std::make_unique<core::BruteForceSelector>(db, o);
-    case SelectorKind::kPBTree:
-      return std::make_unique<core::BoundSelector>(
-          db, o, core::BoundSelector::Mode::kBasic);
-    case SelectorKind::kOpt:
-      return std::make_unique<core::BoundSelector>(
-          db, o, core::BoundSelector::Mode::kOptimized);
-    case SelectorKind::kRand:
-      return std::make_unique<core::RandomSelector>(
-          db, o, core::RandomSelector::Mode::kUniform);
-    case SelectorKind::kRandK:
-      return std::make_unique<core::RandomSelector>(
-          db, o, core::RandomSelector::Mode::kTopFraction);
-    case SelectorKind::kHrs1:
-      return std::make_unique<core::Hrs1Selector>(db, o);
-    case SelectorKind::kHrs2:
-      return std::make_unique<core::Hrs2Selector>(db, o);
-  }
-  return nullptr;  // unreachable
+  return core::MakeSelector(working_db(), kind, o);
 }
 
 util::Status RankingEngine::EnsureDistribution() const {
+  const EngineMetrics& metrics = EngineMetrics::Get();
   if (dist_valid_ && dist_version_ == version_) {
-    ++counters_.distribution_hits;
+    distribution_hits_.fetch_add(1, std::memory_order_relaxed);
+    metrics.distribution_memo_hits->Add();
     return util::Status::OK();
   }
   pw::TopKDistribution dist;
   util::Status s = evaluator_.Distribution(
       constraints_.empty() ? nullptr : &constraints_, &dist);
   if (!s.ok()) return s;
-  ++counters_.enumerations;
+  enumerations_.fetch_add(1, std::memory_order_relaxed);
+  metrics.distribution_builds->Add();
   dist_ = std::move(dist);
   quality_ = dist_.Entropy();
   dist_valid_ = true;
@@ -206,17 +187,29 @@ util::Status RankingEngine::EnsureDistribution() const {
   return util::Status::OK();
 }
 
-util::Status RankingEngine::Distribution(pw::TopKDistribution* out) const {
+util::StatusOr<pw::TopKDistribution> RankingEngine::Distribution() const {
   util::Status s = EnsureDistribution();
   if (!s.ok()) return s;
-  *out = dist_;
+  return dist_;
+}
+
+util::StatusOr<double> RankingEngine::Quality() const {
+  util::Status s = EnsureDistribution();
+  if (!s.ok()) return s;
+  return quality_;
+}
+
+util::Status RankingEngine::Distribution(pw::TopKDistribution* out) const {
+  util::StatusOr<pw::TopKDistribution> dist = Distribution();
+  if (!dist.ok()) return dist.status();
+  *out = *std::move(dist);
   return util::Status::OK();
 }
 
 util::Status RankingEngine::Quality(double* h) const {
-  util::Status s = EnsureDistribution();
-  if (!s.ok()) return s;
-  *h = quality_;
+  util::StatusOr<double> quality = Quality();
+  if (!quality.ok()) return quality.status();
+  *h = *quality;
   return util::Status::OK();
 }
 

@@ -1,6 +1,7 @@
 #ifndef PTK_ENGINE_RANKING_ENGINE_H_
 #define PTK_ENGINE_RANKING_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -17,30 +18,26 @@
 #include "pw/topk_distribution.h"
 #include "rank/membership.h"
 #include "util/status.h"
+#include "util/statusor.h"
 #include "util/thread_pool.h"
 
 namespace ptk::engine {
 
-/// The selection strategies the engine can instantiate, named as in the
-/// paper's experiment tables (Section 6.2).
-enum class SelectorKind {
-  kBruteForce,  // BF
-  kPBTree,      // PBTREE (Algorithm 1, Ĥ-ordered)
-  kOpt,         // OPT (Algorithm 1, ÊI-ordered)
-  kRand,        // RAND
-  kRandK,       // RAND_K
-  kHrs1,        // HRS1 (multi-quota, relaxed stop rule)
-  kHrs2,        // HRS2 (multi-quota, greedy joint objective)
-};
+/// Selector kinds and their helpers live in core/selector.h now (they are
+/// the construction surface of the selection layer, not an engine
+/// concept); these aliases keep the historical engine:: spellings valid.
+using SelectorKind = core::SelectorKind;
 
-/// "BF", "PBTREE", ... — the experiment-table name.
-std::string_view SelectorKindName(SelectorKind kind);
-
-/// Inverse of SelectorKindName (case-sensitive); nullopt for unknown names.
-std::optional<SelectorKind> SelectorKindFromName(std::string_view name);
-
-/// Every kind, in declaration order — for sweeping experiments and tests.
-std::vector<SelectorKind> AllSelectorKinds();
+inline std::string_view SelectorKindName(SelectorKind kind) {
+  return core::SelectorKindName(kind);
+}
+inline std::optional<SelectorKind> SelectorKindFromName(
+    std::string_view name) {
+  return core::SelectorKindFromName(name);
+}
+inline std::vector<SelectorKind> AllSelectorKinds() {
+  return core::AllSelectorKinds();
+}
 
 /// The incremental conditioning layer shared by cleaning sessions, the
 /// adaptive cleaner, the CLI, and the examples.
@@ -132,9 +129,14 @@ class RankingEngine {
 
   /// The exact top-k distribution conditioned on the accumulated
   /// constraints (on the base database). Memoized per version().
-  util::Status Distribution(pw::TopKDistribution* out) const;
+  util::StatusOr<pw::TopKDistribution> Distribution() const;
 
   /// H(S_k | constraints), from the same memoized distribution.
+  util::StatusOr<double> Quality() const;
+
+  /// Deprecated out-parameter shims for the accessors above; new code
+  /// should use the StatusOr forms. Kept for one PR.
+  util::Status Distribution(pw::TopKDistribution* out) const;
   util::Status Quality(double* h) const;
 
   /// Pr(constraints hold) on the base database (exact, Eq. 5 numerator).
@@ -146,14 +148,29 @@ class RankingEngine {
   /// QualityEvaluator surface (EI oracles, crowd-expectation queries).
   const core::QualityEvaluator& evaluator() const { return evaluator_; }
 
-  /// Observability for tests and benchmarks.
+  /// Per-engine observability snapshot for tests and benchmarks. The same
+  /// events also feed the process-wide obs::MetricsRegistry (see DESIGN.md
+  /// §4.10: ptk_engine_fold_seconds, ptk_engine_folds_applied_total, ...),
+  /// which aggregates across engines; this accessor stays per-instance.
   struct Counters {
     int64_t enumerations = 0;       // full conditioned-distribution builds
     int64_t distribution_hits = 0;  // memoized Distribution/Quality serves
     int64_t folds_applied = 0;
     int64_t folds_rejected = 0;     // contradictory + degenerate
   };
-  const Counters& counters() const { return counters_; }
+  /// Returns a consistent-enough snapshot assembled from atomic reads: it
+  /// is safe to call while another thread is folding (each field is an
+  /// atomic load; the struct is not a cross-field transaction). This used
+  /// to hand out a reference into a plain struct mutated by const
+  /// accessors — a data race under any concurrent reader.
+  Counters counters() const {
+    Counters c;
+    c.enumerations = enumerations_.load(std::memory_order_relaxed);
+    c.distribution_hits = distribution_hits_.load(std::memory_order_relaxed);
+    c.folds_applied = folds_applied_.load(std::memory_order_relaxed);
+    c.folds_rejected = folds_rejected_.load(std::memory_order_relaxed);
+    return c;
+  }
 
  private:
   // Engine options projected onto SelectorOptions, without artifacts.
@@ -178,7 +195,14 @@ class RankingEngine {
   mutable uint64_t dist_version_ = 0;
   mutable pw::TopKDistribution dist_;
   mutable double quality_ = 0.0;
-  mutable Counters counters_;
+
+  // counters() storage. Atomics, not a struct: the memo counters are
+  // bumped from const accessors and folds_* from Fold, while counters()
+  // may be read concurrently (e.g. a metrics scrape).
+  mutable std::atomic<int64_t> enumerations_{0};
+  mutable std::atomic<int64_t> distribution_hits_{0};
+  std::atomic<int64_t> folds_applied_{0};
+  std::atomic<int64_t> folds_rejected_{0};
 };
 
 }  // namespace ptk::engine

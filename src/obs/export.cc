@@ -1,0 +1,189 @@
+#include "obs/export.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ptk::obs {
+
+namespace {
+
+std::string FmtDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string FmtInt(int64_t v) { return std::to_string(v); }
+
+}  // namespace
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    out += "counter " + c.name + " " + FmtInt(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "gauge " + g.name + " " + FmtInt(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "histogram " + h.name + " count=" + FmtInt(h.count) +
+           " sum=" + FmtDouble(h.sum);
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      const std::string le =
+          i < h.bounds.size() ? FmtDouble(h.bounds[i]) : "inf";
+      out += " le_" + le + "=" + FmtInt(h.counts[i]);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+std::string FormatJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{\n  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& c = snapshot.counters[i];
+    out += i ? "," : "";
+    out += "\n    \"" + JsonEscape(c.name) + "\": " + FmtInt(c.value);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& g = snapshot.gauges[i];
+    out += i ? "," : "";
+    out += "\n    \"" + JsonEscape(g.name) + "\": " + FmtInt(g.value);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    out += i ? "," : "";
+    out += "\n    \"" + JsonEscape(h.name) + "\": {\"count\": " +
+           FmtInt(h.count) + ", \"sum\": " + FmtDouble(h.sum) +
+           ", \"buckets\": [";
+    for (size_t b = 0; b < h.counts.size(); ++b) {
+      const std::string le =
+          b < h.bounds.size() ? FmtDouble(h.bounds[b]) : "\"+Inf\"";
+      out += b ? ", " : "";
+      out += "{\"le\": " + le + ", \"count\": " + FmtInt(h.counts[b]) + "}";
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::string FormatPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& c : snapshot.counters) {
+    out += "# HELP " + c.name + " " + c.help + "\n";
+    out += "# TYPE " + c.name + " counter\n";
+    out += c.name + " " + FmtInt(c.value) + "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    out += "# HELP " + g.name + " " + g.help + "\n";
+    out += "# TYPE " + g.name + " gauge\n";
+    out += g.name + " " + FmtInt(g.value) + "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    out += "# HELP " + h.name + " " + h.help + "\n";
+    out += "# TYPE " + h.name + " histogram\n";
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < h.counts.size(); ++i) {
+      cumulative += h.counts[i];
+      const std::string le =
+          i < h.bounds.size() ? FmtDouble(h.bounds[i]) : "+Inf";
+      out += h.name + "_bucket{le=\"" + le + "\"} " + FmtInt(cumulative) +
+             "\n";
+    }
+    out += h.name + "_sum " + FmtDouble(h.sum) + "\n";
+    out += h.name + "_count " + FmtInt(h.count) + "\n";
+  }
+  return out;
+}
+
+std::string FormatTrace(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& e : events) {
+    out.append(static_cast<size_t>(e.depth) * 2, ' ');
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), " %.3fms\n", e.duration_seconds * 1e3);
+    out += e.name + buf;
+  }
+  return out;
+}
+
+BenchJsonWriter::BenchJsonWriter() {
+  const char* path = std::getenv("PTK_BENCH_JSON");
+  if (path != nullptr && path[0] != '\0') path_ = path;
+}
+
+BenchJsonWriter::BenchJsonWriter(std::string path)
+    : path_(std::move(path)) {}
+
+BenchJsonWriter::~BenchJsonWriter() { Flush(); }
+
+void BenchJsonWriter::Record(const std::string& name, double wall_seconds,
+                             int threads, int m, int k, double scale) {
+  if (!enabled()) return;
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  {\"name\": \"%s\", \"wall_s\": %.9g, \"threads\": %d, "
+                "\"m\": %d, \"k\": %d, \"scale\": %g}",
+                JsonEscape(name).c_str(), wall_seconds, threads, m, k,
+                scale);
+  records_.push_back(buf);
+}
+
+void BenchJsonWriter::Flush() {
+  if (!enabled() || records_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "PTK_BENCH_JSON: cannot open %s\n", path_.c_str());
+    records_.clear();
+    return;
+  }
+  std::fprintf(f, "[\n");
+  for (size_t i = 0; i < records_.size(); ++i) {
+    std::fprintf(f, "%s%s\n", records_[i].c_str(),
+                 i + 1 < records_.size() ? "," : "");
+  }
+  std::fprintf(f, "]\n");
+  std::fclose(f);
+  records_.clear();
+}
+
+}  // namespace ptk::obs

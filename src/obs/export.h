@@ -1,0 +1,81 @@
+#ifndef PTK_OBS_EXPORT_H_
+#define PTK_OBS_EXPORT_H_
+
+// Exporters for MetricsSnapshot and TraceEvent streams. Three formats,
+// all deterministic (metrics sorted by name, doubles via %.9g) so they
+// can be golden-tested:
+//
+//   FormatText        "name value" lines for humans / CLI output;
+//   FormatJson        one JSON object {"counters": {...}, "gauges": {...},
+//                     "histograms": {...}};
+//   FormatPrometheus  the Prometheus text exposition format (# HELP /
+//                     # TYPE headers, cumulative _bucket{le="..."} series).
+//
+// BenchJsonWriter is the benchmark-record sink that used to live in
+// bench/harness.h: Record() calls buffer {name, wall_s, threads, m, k,
+// scale} rows and Flush()/destruction writes them as a JSON array to the
+// PTK_BENCH_JSON path. bench/harness.h now wraps this class instead of
+// owning a private implementation, so bench output and `ptk_cli
+// --metrics=json` speak JSON through one module.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ptk::obs {
+
+/// "counter name value", "gauge name value", and per-histogram summary
+/// lines ("histogram name count=N sum=S le_0.001=4 ..."). Ends with '\n'
+/// when non-empty.
+std::string FormatText(const MetricsSnapshot& snapshot);
+
+/// One JSON document; histograms carry per-bucket counts with their upper
+/// bounds plus sum and count.
+std::string FormatJson(const MetricsSnapshot& snapshot);
+
+/// Prometheus text exposition format, version 0.0.4.
+std::string FormatPrometheus(const MetricsSnapshot& snapshot);
+
+/// Indented one-line-per-span rendering of a trace, oldest first:
+/// "  selector.select 1.23ms" at two spaces per nesting depth.
+std::string FormatTrace(const std::vector<TraceEvent>& events);
+
+/// JSON string escaping shared by the exporters ('"', '\\', control
+/// characters).
+std::string JsonEscape(std::string_view s);
+
+/// Buffered writer for benchmark result rows; see file comment. Pass the
+/// output path explicitly or default to the PTK_BENCH_JSON environment
+/// variable (disabled when unset/empty).
+class BenchJsonWriter {
+ public:
+  BenchJsonWriter();  ///< Path from PTK_BENCH_JSON.
+  explicit BenchJsonWriter(std::string path);
+  ~BenchJsonWriter();
+
+  BenchJsonWriter(const BenchJsonWriter&) = delete;
+  BenchJsonWriter& operator=(const BenchJsonWriter&) = delete;
+
+  bool enabled() const { return !path_.empty(); }
+
+  /// One benchmark row. `scale` is the PTK_BENCH_SCALE multiplier the
+  /// run used (bench/harness.h injects it); m / k are shape parameters,
+  /// 0 when not applicable.
+  void Record(const std::string& name, double wall_seconds, int threads,
+              int m, int k, double scale = 1.0);
+
+  /// Writes buffered records (if any) as a JSON array and clears the
+  /// buffer.
+  void Flush();
+
+ private:
+  std::string path_;
+  std::vector<std::string> records_;
+};
+
+}  // namespace ptk::obs
+
+#endif  // PTK_OBS_EXPORT_H_

@@ -1,0 +1,124 @@
+#include "obs/metrics.h"
+
+#include <cassert>
+
+namespace ptk::obs {
+
+#if PTK_METRICS
+
+namespace internal {
+
+int ThreadStripe() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const int stripe =
+      static_cast<int>(next.fetch_add(1, std::memory_order_relaxed) %
+                       static_cast<uint32_t>(kStripes));
+  return stripe;
+}
+
+}  // namespace internal
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked intentionally: instrumentation handles cached in function-local
+  // statics across the library must outlive every other static destructor.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name,
+                                     std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.help = std::string(help);
+    entry.counter.reset(new Counter(&enabled_));
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  assert(it->second.counter != nullptr &&
+         "metric name already registered as a different type");
+  if (it->second.counter == nullptr) {
+    // Type clash in a release build: hand out a detached metric rather
+    // than corrupting the registered one.
+    static Counter* orphan = new Counter(&enabled_);
+    return orphan;
+  }
+  return it->second.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name,
+                                 std::string_view help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.help = std::string(help);
+    entry.gauge.reset(new Gauge(&enabled_));
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  assert(it->second.gauge != nullptr &&
+         "metric name already registered as a different type");
+  if (it->second.gauge == nullptr) {
+    static Gauge* orphan = new Gauge(&enabled_);
+    return orphan;
+  }
+  return it->second.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         std::string_view help,
+                                         const HistogramBuckets& buckets) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    Entry entry;
+    entry.help = std::string(help);
+    entry.histogram.reset(new Histogram(&enabled_, buckets));
+    it = entries_.emplace(std::string(name), std::move(entry)).first;
+  }
+  assert(it->second.histogram != nullptr &&
+         "metric name already registered as a different type");
+  if (it->second.histogram == nullptr) {
+    static Histogram* orphan =
+        new Histogram(&enabled_, HistogramBuckets::DefaultLatency());
+    return orphan;
+  }
+  return it->second.histogram.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, entry] : entries_) {
+    if (entry.counter != nullptr) {
+      snapshot.counters.push_back({name, entry.help, entry.counter->Value()});
+    } else if (entry.gauge != nullptr) {
+      snapshot.gauges.push_back({name, entry.help, entry.gauge->Value()});
+    } else if (entry.histogram != nullptr) {
+      MetricsSnapshot::HistogramValue h;
+      h.name = name;
+      h.help = entry.help;
+      h.bounds = entry.histogram->bounds_;
+      h.counts.reserve(entry.histogram->counts_.size());
+      for (const auto& c : entry.histogram->counts_) {
+        h.counts.push_back(c.value.load(std::memory_order_relaxed));
+      }
+      h.sum = entry.histogram->Sum();
+      h.count = 0;
+      for (const int64_t c : h.counts) h.count += c;
+      snapshot.histograms.push_back(std::move(h));
+    }
+  }
+  return snapshot;
+}
+
+#else  // !PTK_METRICS
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+#endif  // PTK_METRICS
+
+}  // namespace ptk::obs

@@ -1,0 +1,325 @@
+#ifndef PTK_OBS_METRICS_H_
+#define PTK_OBS_METRICS_H_
+
+// Zero-dependency observability: a process-wide registry of named
+// monotonic counters, gauges, and fixed-bucket histograms, designed so the
+// parallel hot paths (EI sweeps, Δ-bound batches, fold maintenance) can be
+// instrumented without serializing on a shared lock:
+//
+//   - Counter increments land on one of kStripes cache-line-padded atomic
+//     slots chosen by a per-thread index, so concurrent writers from the
+//     thread pool never contend on the same cache line; Value() sums the
+//     stripes.
+//   - Histogram observations are one relaxed atomic bucket increment plus
+//     a CAS-add into the running sum.
+//   - Registration (GetCounter/GetGauge/GetHistogram) takes a mutex, but
+//     call sites cache the returned handle in a function-local static, so
+//     the hot path never touches the registry again. Handles are owned by
+//     the registry and stay valid for its lifetime.
+//
+// Two off switches, both required to leave results bit-identical:
+//   - runtime: MetricsRegistry::set_enabled(false) turns every recording
+//     into a relaxed load + branch (ScopedTimer also skips its clock
+//     reads);
+//   - compile time: building with -DPTK_METRICS=0 (cmake -DPTK_METRICS=OFF)
+//     swaps in the no-op stubs below — same API, empty bodies — so the
+//     instrumented hot paths compile down to nothing.
+//
+// Instrumentation only ever *observes* values; nothing in the library
+// reads a metric to make a decision, which is what keeps selector output
+// byte-identical in all three modes (pinned by tests/obs_test.cc and the
+// cross-build check in tools/check.sh).
+//
+// Naming convention (see DESIGN.md §4.10): ptk_<layer>_<what>[_total for
+// monotonic counters | _seconds for latency histograms], e.g.
+// ptk_engine_fold_seconds, ptk_selector_pairs_evaluated_total.
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#ifndef PTK_METRICS
+#define PTK_METRICS 1
+#endif
+
+namespace ptk::obs {
+
+/// A point-in-time copy of every metric in a registry, sorted by name.
+/// This is the one structure the exporters (obs/export.h) consume; taking
+/// it is the only operation that walks the registry under its mutex.
+struct MetricsSnapshot {
+  struct CounterValue {
+    std::string name;
+    std::string help;
+    int64_t value = 0;
+  };
+  struct GaugeValue {
+    std::string name;
+    std::string help;
+    int64_t value = 0;
+  };
+  struct HistogramValue {
+    std::string name;
+    std::string help;
+    /// Finite upper bounds, ascending; counts has bounds.size() + 1
+    /// entries, the last being the overflow (+Inf) bucket. Counts are
+    /// per-bucket (not cumulative; the Prometheus exporter accumulates).
+    std::vector<double> bounds;
+    std::vector<int64_t> counts;
+    double sum = 0.0;
+    int64_t count = 0;
+  };
+  std::vector<CounterValue> counters;
+  std::vector<GaugeValue> gauges;
+  std::vector<HistogramValue> histograms;
+};
+
+/// Upper bucket bounds for a Histogram, ascending and finite; an implicit
+/// +Inf overflow bucket is always appended.
+struct HistogramBuckets {
+  std::vector<double> bounds;
+
+  /// 1µs .. 10s in decades — wide enough for everything from a single
+  /// Δ-bound evaluation to a full BF sweep.
+  static HistogramBuckets DefaultLatency() {
+    return {{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0}};
+  }
+};
+
+#if PTK_METRICS
+
+namespace internal {
+/// Stripe index of the calling thread: threads get round-robin ids, so
+/// up-to-kStripes concurrent writers hit distinct cache lines.
+int ThreadStripe();
+inline constexpr int kStripes = 8;
+struct alignas(64) PaddedCounter {
+  std::atomic<int64_t> value{0};
+};
+}  // namespace internal
+
+class MetricsRegistry;
+
+/// Monotonic counter. Add() with a negative delta is undefined (checked
+/// only by the exporters' tests, not at runtime — this is a hot path).
+class Counter {
+ public:
+  void Add(int64_t delta = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    stripes_[internal::ThreadStripe()].value.fetch_add(
+        delta, std::memory_order_relaxed);
+  }
+
+  int64_t Value() const {
+    int64_t total = 0;
+    for (const auto& s : stripes_) {
+      total += s.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Counter(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  std::array<internal::PaddedCounter, internal::kStripes> stripes_;
+  const std::atomic<bool>* enabled_;
+};
+
+/// Last-write-wins instantaneous value (queue depths, sizes). Unlike
+/// Counter it supports decrements, so it is a single atomic — gauges sit
+/// on coarse paths (batch entry/exit), not per-item loops.
+class Gauge {
+ public:
+  void Set(int64_t value) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.store(value, std::memory_order_relaxed);
+  }
+  void Add(int64_t delta = 1) {
+    if (!enabled_->load(std::memory_order_relaxed)) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void Sub(int64_t delta = 1) { Add(-delta); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  explicit Gauge(const std::atomic<bool>* enabled) : enabled_(enabled) {}
+  std::atomic<int64_t> value_{0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Fixed-bucket histogram (latency distributions). Observation cost: one
+/// branch per bucket bound (bounds are few and cache-resident), one
+/// relaxed increment, one CAS-add for the sum.
+class Histogram {
+ public:
+  void Observe(double value) {
+    if (!enabled()) return;
+    size_t b = 0;
+    while (b < bounds_.size() && value > bounds_[b]) ++b;
+    counts_[b].value.fetch_add(1, std::memory_order_relaxed);
+    double sum = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(sum, sum + value,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Whether observations are currently recorded; ScopedTimer checks this
+  /// before paying for clock reads.
+  bool enabled() const { return enabled_->load(std::memory_order_relaxed); }
+
+  int64_t Count() const {
+    int64_t total = 0;
+    for (const auto& c : counts_) {
+      total += c.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  Histogram(const std::atomic<bool>* enabled, HistogramBuckets buckets)
+      : bounds_(std::move(buckets.bounds)),
+        counts_(bounds_.size() + 1),
+        enabled_(enabled) {}
+  std::vector<double> bounds_;
+  std::vector<internal::PaddedCounter> counts_;
+  std::atomic<double> sum_{0.0};
+  const std::atomic<bool>* enabled_;
+};
+
+/// Owns every metric registered against it. Default() is the process-wide
+/// instance all library instrumentation uses; tests build private
+/// registries for golden-output checks.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  /// Finds or creates; the first registration's help string wins. A name
+  /// registered as one type must not be re-requested as another (returns
+  /// the existing metric of the requested type or aborts via assert in
+  /// debug builds; release builds return a detached dummy to stay total).
+  Counter* GetCounter(std::string_view name, std::string_view help);
+  Gauge* GetGauge(std::string_view name, std::string_view help);
+  Histogram* GetHistogram(
+      std::string_view name, std::string_view help,
+      const HistogramBuckets& buckets = HistogramBuckets::DefaultLatency());
+
+  /// Runtime switch. Disabling stops all recording (existing values are
+  /// kept and still exported); it never invalidates handles.
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::atomic<bool> enabled_{true};
+};
+
+/// Registry-of-Default() conveniences — the form the instrumentation call
+/// sites use, cached in a function-local static:
+///   static obs::Counter* const c =
+///       obs::GetCounter("ptk_x_total", "what it counts");
+inline Counter* GetCounter(std::string_view name, std::string_view help) {
+  return MetricsRegistry::Default().GetCounter(name, help);
+}
+inline Gauge* GetGauge(std::string_view name, std::string_view help) {
+  return MetricsRegistry::Default().GetGauge(name, help);
+}
+inline Histogram* GetHistogram(
+    std::string_view name, std::string_view help,
+    const HistogramBuckets& buckets = HistogramBuckets::DefaultLatency()) {
+  return MetricsRegistry::Default().GetHistogram(name, help, buckets);
+}
+
+#else  // !PTK_METRICS — no-op stubs with the identical surface.
+
+class Counter {
+ public:
+  void Add(int64_t = 1) {}
+  int64_t Value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void Set(int64_t) {}
+  void Add(int64_t = 1) {}
+  void Sub(int64_t = 1) {}
+  int64_t Value() const { return 0; }
+};
+
+class Histogram {
+ public:
+  void Observe(double) {}
+  bool enabled() const { return false; }
+  int64_t Count() const { return 0; }
+  double Sum() const { return 0.0; }
+};
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(std::string_view, std::string_view) {
+    return &counter_;
+  }
+  Gauge* GetGauge(std::string_view, std::string_view) { return &gauge_; }
+  Histogram* GetHistogram(
+      std::string_view, std::string_view,
+      const HistogramBuckets& = HistogramBuckets::DefaultLatency()) {
+    return &histogram_;
+  }
+
+  void set_enabled(bool) {}
+  bool enabled() const { return false; }
+  MetricsSnapshot Snapshot() const { return {}; }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+inline Counter* GetCounter(std::string_view name, std::string_view help) {
+  return MetricsRegistry::Default().GetCounter(name, help);
+}
+inline Gauge* GetGauge(std::string_view name, std::string_view help) {
+  return MetricsRegistry::Default().GetGauge(name, help);
+}
+inline Histogram* GetHistogram(
+    std::string_view name, std::string_view help,
+    const HistogramBuckets& buckets = HistogramBuckets::DefaultLatency()) {
+  return MetricsRegistry::Default().GetHistogram(name, help, buckets);
+}
+
+#endif  // PTK_METRICS
+
+}  // namespace ptk::obs
+
+#endif  // PTK_OBS_METRICS_H_

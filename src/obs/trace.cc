@@ -1,0 +1,115 @@
+#include "obs/trace.h"
+
+#include <chrono>
+
+namespace ptk::obs {
+
+#if PTK_METRICS
+
+namespace {
+
+// The innermost live span of the calling thread; parent of the next one.
+thread_local Span* tls_current_span = nullptr;
+
+uint64_t NextSpanId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+double TraceClockSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - epoch).count();
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : capacity_(capacity > 0 ? capacity : 1) {
+  ring_.reserve(capacity_);
+}
+
+TraceBuffer& TraceBuffer::Default() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::Record(TraceEvent event) {
+  if (!enabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(event));
+  } else {
+    ring_[next_] = std::move(event);
+  }
+  next_ = (next_ + 1) % capacity_;
+  ++recorded_;
+}
+
+std::vector<TraceEvent> TraceBuffer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> events;
+  events.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    events = ring_;
+  } else {
+    // next_ is the oldest slot once the ring has wrapped.
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      events.push_back(ring_[(next_ + i) % capacity_]);
+    }
+  }
+  return events;
+}
+
+void TraceBuffer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  recorded_ = 0;
+}
+
+int64_t TraceBuffer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_ - static_cast<int64_t>(ring_.size());
+}
+
+Span::Span(std::string_view name, TraceBuffer* buffer)
+    : buffer_(buffer != nullptr ? buffer : &TraceBuffer::Default()) {
+  if (!buffer_->enabled()) {
+    buffer_ = nullptr;
+    return;
+  }
+  name_ = std::string(name);
+  id_ = NextSpanId();
+  parent_ = tls_current_span;
+  if (parent_ != nullptr && parent_->buffer_ != nullptr) {
+    parent_id_ = parent_->id_;
+    depth_ = parent_->depth_ + 1;
+  }
+  start_ = TraceClockSeconds();
+  tls_current_span = this;
+}
+
+Span::~Span() {
+  if (buffer_ == nullptr) return;
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.id = id_;
+  event.parent_id = parent_id_;
+  event.depth = depth_;
+  event.start_seconds = start_;
+  event.duration_seconds = TraceClockSeconds() - start_;
+  buffer_->Record(std::move(event));
+  tls_current_span = parent_;
+}
+
+#else  // !PTK_METRICS
+
+TraceBuffer& TraceBuffer::Default() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+#endif  // PTK_METRICS
+
+}  // namespace ptk::obs

@@ -1,0 +1,163 @@
+#ifndef PTK_OBS_TRACE_H_
+#define PTK_OBS_TRACE_H_
+
+// RAII trace spans and histogram timers.
+//
+// A Span marks one timed region ("session.round", "selector.select", ...).
+// Spans nest: the innermost live Span on the current thread is the parent
+// of the next one constructed there, so a round's span ends up the parent
+// of the selection and fold spans it encloses. On destruction the span is
+// recorded into a bounded ring buffer (TraceBuffer) that overwrites its
+// oldest entry when full — tracing never allocates without bound and never
+// fails.
+//
+// ScopedTimer is the metrics-side sibling: it observes its lifetime into a
+// Histogram (obs/metrics.h) and reads no clock when the histogram is
+// null or recording is disabled.
+//
+// Like the metrics registry, tracing observes and never steers: results
+// are identical with tracing on, off, or compiled out (PTK_METRICS=0
+// stubs both).
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ptk::obs {
+
+/// One completed span. Times are seconds on the steady clock, relative to
+/// the process's first use of the trace clock (so they order and subtract
+/// meaningfully within one process).
+struct TraceEvent {
+  std::string name;
+  uint64_t id = 0;
+  uint64_t parent_id = 0;  ///< 0 when the span had no live parent.
+  int depth = 0;           ///< 0 for roots, parent.depth + 1 otherwise.
+  double start_seconds = 0.0;
+  double duration_seconds = 0.0;
+};
+
+#if PTK_METRICS
+
+/// Seconds since the process's trace epoch (first call).
+double TraceClockSeconds();
+
+/// Bounded ring of completed spans. Default() is what Span records into;
+/// tests build private buffers.
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t capacity = 1024);
+
+  static TraceBuffer& Default();
+
+  void Record(TraceEvent event);
+
+  /// Buffered events, oldest first. At most capacity(); earlier events
+  /// are gone (see dropped()).
+  std::vector<TraceEvent> Events() const;
+
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  /// Events overwritten so far — how much history the ring has shed.
+  int64_t dropped() const;
+
+  void set_enabled(bool enabled) {
+    enabled_.store(enabled, std::memory_order_relaxed);
+  }
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  size_t next_ = 0;         // ring slot of the next write
+  int64_t recorded_ = 0;    // total Record() calls while enabled
+  std::atomic<bool> enabled_{true};
+};
+
+/// RAII span; see file comment. Cheap when the buffer is disabled (one
+/// relaxed load, no clock).
+class Span {
+ public:
+  explicit Span(std::string_view name, TraceBuffer* buffer = nullptr);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  TraceBuffer* buffer_;  // null when inactive
+  Span* parent_ = nullptr;
+  std::string name_;
+  uint64_t id_ = 0;
+  uint64_t parent_id_ = 0;
+  int depth_ = 0;
+  double start_ = 0.0;
+};
+
+/// Observes its lifetime (seconds) into `histogram` on destruction.
+/// Null histogram or disabled recording → no clock reads at all.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram* histogram)
+      : histogram_(histogram != nullptr && histogram->enabled() ? histogram
+                                                                : nullptr),
+        start_(histogram_ != nullptr ? TraceClockSeconds() : 0.0) {}
+
+  ~ScopedTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->Observe(TraceClockSeconds() - start_);
+    }
+  }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Histogram* histogram_;
+  double start_;
+};
+
+#else  // !PTK_METRICS
+
+inline double TraceClockSeconds() { return 0.0; }
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(size_t = 1024) {}
+  static TraceBuffer& Default();
+  void Record(TraceEvent) {}
+  std::vector<TraceEvent> Events() const { return {}; }
+  void Clear() {}
+  size_t capacity() const { return 0; }
+  int64_t dropped() const { return 0; }
+  void set_enabled(bool) {}
+  bool enabled() const { return false; }
+};
+
+class Span {
+ public:
+  explicit Span(std::string_view, TraceBuffer* = nullptr) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  uint64_t id() const { return 0; }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram*) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif  // PTK_METRICS
+
+}  // namespace ptk::obs
+
+#endif  // PTK_OBS_TRACE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
 #include "rank/poisson_binomial.h"
 
 namespace ptk::rank {
@@ -39,7 +40,11 @@ void MembershipCalculator::FillPrefixColumn(model::ObjectId oid) {
 
 void MembershipCalculator::RefreshObjects(
     std::span<const model::ObjectId> objects) {
+  static obs::Counter* const refreshes =
+      obs::GetCounter("ptk_membership_object_refreshes_total",
+                      "Per-object prefix-column refreshes after folds");
   for (model::ObjectId oid : objects) FillPrefixColumn(oid);
+  refreshes->Add(static_cast<int64_t>(objects.size()));
   singles_ready_.store(false, std::memory_order_release);
   db_version_ = db_->mutation_version();
 }
@@ -94,6 +99,10 @@ void MembershipCalculator::EnsureSingles() const {
 }
 
 void MembershipCalculator::BuildSingles() const {
+  static obs::Counter* const builds =
+      obs::GetCounter("ptk_membership_table_builds_total",
+                      "Full single-object membership table (re)builds");
+  builds->Add();
   pt_single_.assign(prefix_.size(), 0.0);
   const auto& sorted = db_->sorted_instances();
   PoissonBinomialTracker tracker;

@@ -1,0 +1,75 @@
+#ifndef PTK_UTIL_STATUSOR_H_
+#define PTK_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ptk::util {
+
+/// Status-or-value, in the Abseil style but minimal: a StatusOr<T> holds
+/// either a non-OK Status or a T. Library-boundary functions that used to
+/// return `Status` plus an out-parameter (loaders, engine accessors) now
+/// return StatusOr so call sites read
+///
+///   auto db = data::LoadCsv(path);
+///   if (!db.ok()) return db.status();
+///   Use(*db);
+///
+/// Constructing from an OK status without a value is a caller bug; it is
+/// stored as an Internal error rather than undefined behaviour.
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from a (non-OK) status — enables `return status;`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK without a value");
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr: OK status carried no value");
+    }
+  }
+
+  /// Implicit from a value — enables `return db;`.
+  StatusOr(T value) : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+
+  /// OK when a value is held, the stored error otherwise.
+  const Status& status() const { return status_; }
+
+  /// Value access; undefined unless ok() (asserted in debug builds).
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  /// The value, or `fallback` when this holds an error.
+  template <typename U>
+  T value_or(U&& fallback) const& {
+    return ok() ? *value_ : static_cast<T>(std::forward<U>(fallback));
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds
+  std::optional<T> value_;
+};
+
+}  // namespace ptk::util
+
+#endif  // PTK_UTIL_STATUSOR_H_

@@ -3,7 +3,37 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace ptk::util {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* tasks;
+  obs::Counter* batches;
+  obs::Gauge* queue_depth;
+  obs::Histogram* shard_seconds;
+
+  static const PoolMetrics& Get() {
+    static const PoolMetrics metrics = {
+        obs::GetCounter("ptk_pool_tasks_total",
+                        "Tasks executed by the thread pool"),
+        obs::GetCounter("ptk_pool_batches_total",
+                        "Run/ParallelFor batches submitted"),
+        obs::GetGauge("ptk_pool_queue_depth",
+                      "Tasks of the in-flight batch not yet claimed"),
+        obs::GetHistogram(
+            "ptk_pool_shard_seconds",
+            "Per-shard ParallelFor body time; the spread across one batch "
+            "is the shard imbalance"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(1, num_threads)) {
@@ -33,6 +63,7 @@ bool ThreadPool::ClaimTask(int64_t limit, int64_t* index) {
     if (next_task_.compare_exchange_weak(c, c + 1,
                                          std::memory_order_relaxed)) {
       *index = c;
+      PoolMetrics::Get().queue_depth->Add(-1);
       return true;
     }
   }
@@ -41,6 +72,9 @@ bool ThreadPool::ClaimTask(int64_t limit, int64_t* index) {
 
 void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
   if (num_tasks <= 0) return;
+  const PoolMetrics& metrics = PoolMetrics::Get();
+  metrics.batches->Add();
+  metrics.tasks->Add(num_tasks);
   if (workers_.empty() || num_tasks == 1) {
     for (int i = 0; i < num_tasks; ++i) fn(i);
     return;
@@ -57,6 +91,9 @@ void ThreadPool::Run(int num_tasks, const std::function<void(int)>& fn) {
     base = next_task_.load(std::memory_order_relaxed);
     limit = base + num_tasks;
     limit_ = limit;
+    // Set before the workers wake (they take mu_ to observe the new
+    // generation), so claims can only ever decrement from here.
+    metrics.queue_depth->Set(num_tasks);
     ++generation_;
   }
   work_cv_.notify_all();
@@ -118,7 +155,9 @@ void ParallelFor(const ParallelConfig& config, int64_t n,
     fn(0, 0, n);
     return;
   }
+  obs::Histogram* const shard_seconds = PoolMetrics::Get().shard_seconds;
   config.Pool().Run(shards, [&](int s) {
+    obs::ScopedTimer shard_timer(shard_seconds);
     const int64_t begin = n * s / shards;
     const int64_t end = n * (s + 1) / shards;
     if (begin < end) fn(s, begin, end);

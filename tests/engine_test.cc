@@ -18,10 +18,8 @@
 #include <gtest/gtest.h>
 
 #include "core/bound_selector.h"
-#include "core/brute_force_selector.h"
-#include "core/multi_quota.h"
 #include "core/quality.h"
-#include "core/random_selector.h"
+#include "core/selector.h"
 #include "crowd/adaptive.h"
 #include "crowd/crowd_model.h"
 #include "crowd/session.h"
@@ -115,34 +113,8 @@ void ExpectSelectorMatches(engine::RankingEngine& eng,
   options.seed = eng.options().seed;
   options.rand_k_fraction = eng.options().rand_k_fraction;
   options.candidate_pool = eng.options().candidate_pool;
-  std::unique_ptr<core::PairSelector> scratch;
-  switch (kind) {
-    case engine::SelectorKind::kBruteForce:
-      scratch = std::make_unique<core::BruteForceSelector>(rebuilt, options);
-      break;
-    case engine::SelectorKind::kPBTree:
-      scratch = std::make_unique<core::BoundSelector>(
-          rebuilt, options, core::BoundSelector::Mode::kBasic);
-      break;
-    case engine::SelectorKind::kOpt:
-      scratch = std::make_unique<core::BoundSelector>(
-          rebuilt, options, core::BoundSelector::Mode::kOptimized);
-      break;
-    case engine::SelectorKind::kRand:
-      scratch = std::make_unique<core::RandomSelector>(
-          rebuilt, options, core::RandomSelector::Mode::kUniform);
-      break;
-    case engine::SelectorKind::kRandK:
-      scratch = std::make_unique<core::RandomSelector>(
-          rebuilt, options, core::RandomSelector::Mode::kTopFraction);
-      break;
-    case engine::SelectorKind::kHrs1:
-      scratch = std::make_unique<core::Hrs1Selector>(rebuilt, options);
-      break;
-    case engine::SelectorKind::kHrs2:
-      scratch = std::make_unique<core::Hrs2Selector>(rebuilt, options);
-      break;
-  }
+  std::unique_ptr<core::PairSelector> scratch =
+      core::MakeSelector(rebuilt, kind, options);
   std::vector<core::ScoredPair> scr_pairs;
   s = scratch->SelectPairs(t, &scr_pairs);
   ASSERT_TRUE(s.ok()) << SelectorKindName(kind) << ": " << s.ToString();

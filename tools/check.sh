@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 fast gate, then the long-running property
-# and stress suites, then an ASan/UBSan build running the robustness and
-# engine-equivalence tests and a timed fuzz smoke pass over the committed
-# seed corpus. Usage: tools/check.sh [fuzz_seconds]
+# and stress suites, then a TSan pass over the metrics/trace layer, a
+# PTK_METRICS=OFF cross-build proving the instrumentation is inert (same
+# selector output, byte-identical CLI stdout), and an ASan/UBSan build
+# running the robustness and engine-equivalence tests and a timed fuzz
+# smoke pass over the committed seed corpus.
+# Usage: tools/check.sh [fuzz_seconds]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,6 +19,31 @@ cmake --build build -j "$JOBS"
 
 echo "== property + stress suites =="
 (cd build && ctest --output-on-failure -j "$JOBS" -L 'property|stress')
+
+echo "== TSan: metrics-on observability + parallel layer =="
+cmake -B build-tsan -S . -DPTK_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" --target obs_test parallel_test
+./build-tsan/tests/obs_test
+./build-tsan/tests/parallel_test
+
+echo "== PTK_METRICS=OFF cross-build: instrumentation must be inert =="
+cmake -B build-nometrics -S . -DPTK_METRICS=OFF >/dev/null
+cmake --build build-nometrics -j "$JOBS" \
+  --target selector_test obs_test ptk_cli
+./build-nometrics/tests/selector_test
+./build-nometrics/tests/obs_test
+# Byte-compare CLI stdout between the metrics-on and metrics-off builds
+# (and with/without --metrics, which writes only to stderr).
+CSV="$(mktemp)"
+printf 'oid,value,prob\n0,20,0.2\n0,23,0.8\n1,21,0.2\n1,24,0.8\n2,22,0.6\n2,25,0.4\n' > "$CSV"
+./build/tools/ptk_cli select "$CSV" 2 3 --selector opt > /tmp/ptk_on.out
+./build/tools/ptk_cli select "$CSV" 2 3 --selector opt --metrics=json \
+  > /tmp/ptk_on_flag.out 2>/dev/null
+./build-nometrics/tools/ptk_cli select "$CSV" 2 3 --selector opt \
+  > /tmp/ptk_off.out
+cmp /tmp/ptk_on.out /tmp/ptk_off.out
+cmp /tmp/ptk_on.out /tmp/ptk_on_flag.out
+rm -f "$CSV"
 
 echo "== ASan/UBSan: robustness + engine equivalence + fuzz smoke (${FUZZ_SECONDS}s/target) =="
 cmake -B build-asan -S . \

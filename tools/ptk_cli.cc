@@ -10,6 +10,12 @@
 //   ptk_cli semantics <db.csv> <k>
 //   ptk_cli clean     <db.csv> <k> <answers.csv>
 //
+// Every command additionally accepts --metrics[=text|json|prom]: after the
+// command finishes, a snapshot of the process-wide metrics registry
+// (counters, gauges, latency histograms — see DESIGN.md §4.10) is written
+// to stderr in the requested format (default text), keeping stdout's
+// command output byte-identical with and without the flag.
+//
 // answers.csv rows are "smaller_oid,larger_oid" comparison outcomes
 // (value(smaller) < value(larger)).
 //
@@ -19,7 +25,6 @@
 // Every command runs through engine::RankingEngine, the same conditioning
 // layer the cleaning sessions use.
 
-#include <cctype>
 #include <charconv>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +35,8 @@
 #include "data/answers.h"
 #include "data/csv.h"
 #include "engine/ranking_engine.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "topk/semantics.h"
 
 namespace {
@@ -58,7 +65,9 @@ int Usage() {
       "  ptk_cli select    <db.csv> <k> <quota> [--selector "
       "bf|pbtree|opt|rand|rand_k|hrs1|hrs2]\n"
       "  ptk_cli semantics <db.csv> <k>\n"
-      "  ptk_cli clean     <db.csv> <k> <answers.csv>\n");
+      "  ptk_cli clean     <db.csv> <k> <answers.csv>\n"
+      "common flags:\n"
+      "  --metrics[=text|json|prom]  dump the metrics registry to stderr\n");
   return 2;
 }
 
@@ -79,6 +88,78 @@ const char* FlagValue(int argc, char** argv, const char* flag) {
 int Fail(const ptk::util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// --metrics handling: absent, or one of the exporter formats.
+enum class MetricsFormat { kNone, kText, kJson, kProm };
+
+/// Parses --metrics / --metrics=<fmt> anywhere on the command line.
+/// Returns false (with a diagnostic) for an unknown format.
+bool ParseMetricsFlag(int argc, char** argv, MetricsFormat* out) {
+  *out = MetricsFormat::kNone;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      *out = MetricsFormat::kText;
+      return true;
+    }
+    if (std::strncmp(argv[i], "--metrics=", 10) == 0) {
+      const char* fmt = argv[i] + 10;
+      if (std::strcmp(fmt, "text") == 0) {
+        *out = MetricsFormat::kText;
+      } else if (std::strcmp(fmt, "json") == 0) {
+        *out = MetricsFormat::kJson;
+      } else if (std::strcmp(fmt, "prom") == 0) {
+        *out = MetricsFormat::kProm;
+      } else {
+        std::fprintf(stderr,
+                     "error: --metrics format must be text, json or prom, "
+                     "got '%s'\n",
+                     fmt);
+        return false;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+void DumpMetrics(MetricsFormat format) {
+  if (format == MetricsFormat::kNone) return;
+  // Pre-register the headline families (find-or-create; name/help pairs
+  // match the instrumentation sites) so a snapshot always carries them —
+  // a `topk` run reports zero selector prunes rather than omitting the
+  // series, the Prometheus convention for "happened zero times".
+  ptk::obs::GetHistogram("ptk_engine_fold_seconds",
+                         "Latency of RankingEngine::Fold");
+  ptk::obs::GetCounter("ptk_engine_folds_applied_total",
+                       "Answers folded into the constraint set");
+  ptk::obs::GetCounter("ptk_engine_folds_rejected_total",
+                       "Answers rejected (contradictory or degenerate)");
+  ptk::obs::GetCounter("ptk_selector_pairs_evaluated_total",
+                       "Candidate pairs whose EI was computed");
+  ptk::obs::GetCounter("ptk_selector_delta_prunes_total",
+                       "Candidate pairs skipped by the Δ-bound threshold");
+  ptk::obs::GetHistogram("ptk_session_round_seconds",
+                         "Latency of one CleaningSession round");
+  ptk::obs::GetCounter("ptk_session_rounds_total",
+                       "Cleaning rounds completed");
+  const ptk::obs::MetricsSnapshot snapshot =
+      ptk::obs::MetricsRegistry::Default().Snapshot();
+  std::string text;
+  switch (format) {
+    case MetricsFormat::kText:
+      text = ptk::obs::FormatText(snapshot);
+      break;
+    case MetricsFormat::kJson:
+      text = ptk::obs::FormatJson(snapshot);
+      break;
+    case MetricsFormat::kProm:
+      text = ptk::obs::FormatPrometheus(snapshot);
+      break;
+    case MetricsFormat::kNone:
+      return;
+  }
+  std::fputs(text.c_str(), stderr);
 }
 
 void PrintKey(const ptk::pw::ResultKey& key) {
@@ -105,14 +186,12 @@ int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
     if (!ParseInt(v, &limit) || limit < 0) return FailBadInt("--limit", v);
   }
   ptk::engine::RankingEngine engine(db, EngineOptions(k, argc, argv));
-  ptk::pw::TopKDistribution dist;
-  if (ptk::util::Status s = engine.Distribution(&dist); !s.ok()) {
-    return Fail(s);
-  }
-  std::printf("# %zu distinct top-%d results, H = %.6f\n", dist.size(), k,
-              dist.Entropy());
+  ptk::util::StatusOr<ptk::pw::TopKDistribution> dist = engine.Distribution();
+  if (!dist.ok()) return Fail(dist.status());
+  std::printf("# %zu distinct top-%d results, H = %.6f\n", dist->size(), k,
+              dist->Entropy());
   int shown = 0;
-  for (const auto& [key, p] : dist.SortedByProbDesc()) {
+  for (const auto& [key, p] : dist->SortedByProbDesc()) {
     if (shown++ >= limit) break;
     std::printf("%.6f  ", p);
     PrintKey(key);
@@ -124,11 +203,9 @@ int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
 int RunQuality(const ptk::model::Database& db, int k, int argc,
                char** argv) {
   ptk::engine::RankingEngine engine(db, EngineOptions(k, argc, argv));
-  double h = 0.0;
-  if (ptk::util::Status s = engine.Quality(&h); !s.ok()) {
-    return Fail(s);
-  }
-  std::printf("H(S_%d) = %.6f\n", k, h);
+  ptk::util::StatusOr<double> h = engine.Quality();
+  if (!h.ok()) return Fail(h.status());
+  std::printf("H(S_%d) = %.6f\n", k, *h);
   return 0;
 }
 
@@ -136,9 +213,10 @@ int RunSelect(const ptk::model::Database& db, int k, int quota, int argc,
               char** argv) {
   ptk::engine::RankingEngine::Options options = EngineOptions(k, argc, argv);
   const char* name = FlagValue(argc, argv, "--selector");
-  std::string upper = name == nullptr ? "OPT" : name;
-  for (char& c : upper) c = static_cast<char>(std::toupper(c));
-  const auto kind = ptk::engine::SelectorKindFromName(upper);
+  // core::SelectorKindFromName is case-insensitive, so the historical
+  // lowercase spellings ("--selector opt") need no normalization here.
+  const auto kind =
+      ptk::core::SelectorKindFromName(name == nullptr ? "OPT" : name);
   if (!kind.has_value()) return Usage();
   if (*kind == ptk::engine::SelectorKind::kHrs2) {
     options.candidate_pool = 4 * quota;
@@ -193,23 +271,18 @@ int RunSemantics(const ptk::model::Database& db, int k) {
 }
 
 int RunClean(const ptk::model::Database& db, int k, const char* answers) {
-  std::vector<ptk::data::ParsedAnswer> parsed;
-  if (ptk::util::Status s =
-          ptk::data::LoadAnswers(answers, db.num_objects(), &parsed);
-      !s.ok()) {
-    return Fail(s);
-  }
+  ptk::util::StatusOr<std::vector<ptk::data::ParsedAnswer>> parsed =
+      ptk::data::LoadAnswers(answers, db.num_objects());
+  if (!parsed.ok()) return Fail(parsed.status());
   ptk::engine::RankingEngine::Options options;
   options.k = k;
   ptk::engine::RankingEngine engine(db, options);
-  double before = 0.0, after = 0.0;
-  if (ptk::util::Status s = engine.Quality(&before); !s.ok()) {
-    return Fail(s);
-  }
+  ptk::util::StatusOr<double> before = engine.Quality();
+  if (!before.ok()) return Fail(before.status());
   // Fold answers in file order through the engine and stop at the first
   // one that leaves zero surviving possible worlds, naming the line and
   // the accepted chain it conflicts with.
-  for (const ptk::data::ParsedAnswer& answer : parsed) {
+  for (const ptk::data::ParsedAnswer& answer : *parsed) {
     ptk::engine::RankingEngine::FoldOutcome outcome;
     if (ptk::util::Status s =
             engine.Fold(answer.smaller, answer.larger,
@@ -232,31 +305,18 @@ int RunClean(const ptk::model::Database& db, int k, const char* answers) {
           std::string(answers)));
     }
   }
-  if (ptk::util::Status s = engine.Quality(&after); !s.ok()) {
-    return Fail(s);
-  }
+  ptk::util::StatusOr<double> after = engine.Quality();
+  if (!after.ok()) return Fail(after.status());
   std::printf("answers applied: %d\nH before = %.6f\nH after  = %.6f\n"
               "improvement = %.6f\n",
-              engine.constraints().size(), before, after, before - after);
+              engine.constraints().size(), *before, *after, *before - *after);
   return 0;
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc < 4) return Usage();
-  const std::string command = argv[1];
-  ptk::model::Database db;
-  if (ptk::util::Status s = ptk::data::LoadCsv(argv[2], &db); !s.ok()) {
-    return Fail(s);
-  }
-  int k = 0;
-  if (!ParseInt(argv[3], &k)) return FailBadInt("k", argv[3]);
-  if (k < 1 || k > db.num_objects()) {
-    std::fprintf(stderr, "error: k must be in [1, %d]\n", db.num_objects());
-    return 1;
-  }
-
+int RunCommand(const std::string& command, const ptk::model::Database& db,
+               int k, int argc, char** argv) {
   if (command == "topk") return RunTopK(db, k, argc, argv);
   if (command == "quality") return RunQuality(db, k, argc, argv);
   if (command == "select") {
@@ -275,4 +335,25 @@ int main(int argc, char** argv) {
     return RunClean(db, k, argv[4]);
   }
   return Usage();
+}
+
+int main(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string command = argv[1];
+  MetricsFormat metrics_format = MetricsFormat::kNone;
+  if (!ParseMetricsFlag(argc, argv, &metrics_format)) return 2;
+  ptk::util::StatusOr<ptk::model::Database> db = ptk::data::LoadCsv(argv[2]);
+  if (!db.ok()) return Fail(db.status());
+  int k = 0;
+  if (!ParseInt(argv[3], &k)) return FailBadInt("k", argv[3]);
+  if (k < 1 || k > db->num_objects()) {
+    std::fprintf(stderr, "error: k must be in [1, %d]\n", db->num_objects());
+    return 1;
+  }
+
+  const int exit_code = RunCommand(command, *db, k, argc, argv);
+  // Dump after the command so the snapshot covers its work; stdout is
+  // already complete and identical to a run without --metrics.
+  DumpMetrics(metrics_format);
+  return exit_code;
 }
