@@ -49,9 +49,11 @@ int main() {
         options.k = k;
         ptk::crowd::AdaptiveCleaner cleaner(db, &oracle, options);
         if (!cleaner.Init().ok()) return 1;
-        std::vector<ptk::crowd::AdaptiveCleaner::StepReport> steps;
-        if (!cleaner.Run(budget, &steps).ok()) return 1;
-        h_adaptive += steps.back().true_quality;
+        const ptk::util::StatusOr<
+            std::vector<ptk::crowd::AdaptiveCleaner::StepReport>>
+            steps = cleaner.Run(budget);
+        if (!steps.ok()) return 1;
+        h_adaptive += steps->back().true_quality;
         h_init += cleaner.initial_quality();
       }
       // HRS2 batch (one round).
@@ -67,9 +69,10 @@ int main() {
         ptk::crowd::CleaningSession session(db, selector.get(), &oracle,
                                             sess);
         if (!session.Init().ok()) return 1;
-        ptk::crowd::CleaningSession::RoundReport report;
-        if (!session.RunRound(budget, &report).ok()) return 1;
-        h_batch += report.quality_after;
+        const ptk::util::StatusOr<ptk::crowd::CleaningSession::RoundReport>
+            report = session.RunRound(budget);
+        if (!report.ok()) return 1;
+        h_batch += report->quality_after;
       }
       // RAND batch.
       {
@@ -84,9 +87,10 @@ int main() {
         ptk::crowd::CleaningSession session(db, selector.get(), &oracle,
                                             sess);
         if (!session.Init().ok()) return 1;
-        ptk::crowd::CleaningSession::RoundReport report;
-        if (!session.RunRound(budget, &report).ok()) return 1;
-        h_rand += report.quality_after;
+        const ptk::util::StatusOr<ptk::crowd::CleaningSession::RoundReport>
+            report = session.RunRound(budget);
+        if (!report.ok()) return 1;
+        h_rand += report->quality_after;
       }
     }
     const double inv = 1.0 / trials;

@@ -144,11 +144,12 @@ int BenchSessionRounds(ptk::bench::JsonWriter* json) {
   ptk::bench::Row({"round", "seconds", "H after"}, 14);
   for (int round = 1; round <= rounds; ++round) {
     ptk::util::Stopwatch watch;
-    ptk::crowd::CleaningSession::RoundReport report;
-    if (!session.RunRound(quota, &report).ok()) return 1;
+    const ptk::util::StatusOr<ptk::crowd::CleaningSession::RoundReport>
+        report = session.RunRound(quota);
+    if (!report.ok()) return 1;
     const double seconds = watch.ElapsedSeconds();
     ptk::bench::Row({std::to_string(round), ptk::bench::FmtSci(seconds),
-                     ptk::bench::Fmt(report.quality_after, 4)},
+                     ptk::bench::Fmt(report->quality_after, 4)},
                     14);
     json->Record("session_round_r" + std::to_string(round), seconds,
                  ptk::bench::JsonWriter::DefaultThreads(), db.num_objects(),
@@ -180,11 +181,13 @@ int BenchAdaptiveSteps(ptk::bench::JsonWriter* json) {
   ptk::bench::Row({"step", "seconds", "true H"}, 14);
   for (int step = 1; step <= steps; ++step) {
     ptk::util::Stopwatch watch;
-    std::vector<ptk::crowd::AdaptiveCleaner::StepReport> reports;
-    if (!cleaner.Run(1, &reports).ok()) return 1;
+    const ptk::util::StatusOr<
+        std::vector<ptk::crowd::AdaptiveCleaner::StepReport>>
+        reports = cleaner.Run(1);
+    if (!reports.ok()) return 1;
     const double seconds = watch.ElapsedSeconds();
     ptk::bench::Row({std::to_string(step), ptk::bench::FmtSci(seconds),
-                     ptk::bench::Fmt(reports.back().true_quality, 4)},
+                     ptk::bench::Fmt(reports->back().true_quality, 4)},
                     14);
     json->Record("adaptive_step_s" + std::to_string(step), seconds,
                  ptk::bench::JsonWriter::DefaultThreads(), db.num_objects(),

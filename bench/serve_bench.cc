@@ -1,0 +1,152 @@
+// Serving runtime throughput/latency: requests per second, p50/p99
+// latency, and shed rate as the number of concurrent sessions grows.
+//
+// Each session runs a realistic op mix (next_pairs, post_answers,
+// quality) through the scheduler; sessions are independent and share the
+// base artifacts, so added sessions cost queueing, not index rebuilds.
+// The queue is sized below the total offered load on purpose so the
+// admission-control path (shed + retry) is part of what is measured.
+//
+// Run: ./serve_bench   (PTK_BENCH_JSON=<path> for machine-readable rows)
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "harness.h"
+#include "data/synthetic.h"
+#include "serve/scheduler.h"
+#include "serve/session_manager.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/stopwatch.h"
+
+namespace {
+
+constexpr int kRequestsPerSession = 30;
+
+double Percentile(std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  const size_t index = static_cast<size_t>(
+      p * static_cast<double>(sorted.size() - 1));
+  return sorted[index];
+}
+
+}  // namespace
+
+int main() {
+  using Clock = std::chrono::steady_clock;
+  ptk::bench::Banner(
+      "Serving runtime: req/s, p50/p99 latency, shed rate vs sessions");
+  ptk::bench::Row({"sessions", "req/s", "p50_ms", "p99_ms", "shed_rate"});
+
+  ptk::data::SynOptions data_options;
+  data_options.num_objects = ptk::bench::Scaled(24);
+  data_options.avg_instances = 3;
+  data_options.value_range = 100.0;
+  data_options.cluster_width = 30.0;
+  data_options.seed = 11;
+  const ptk::model::Database db = ptk::data::MakeSynDataset(data_options);
+
+  ptk::obs::BenchJsonWriter json;
+  for (const int sessions : {1, 2, 4, 8, 16}) {
+    ptk::serve::SessionManager::Options manager_options;
+    manager_options.k = 5;
+    manager_options.max_sessions = sessions;
+    ptk::serve::SessionManager manager(db, manager_options);
+
+    ptk::serve::Scheduler::Options scheduler_options;
+    scheduler_options.workers = 2;
+    scheduler_options.queue_capacity = 2 * sessions;
+    ptk::serve::Scheduler scheduler(scheduler_options);
+
+    std::vector<std::string> ids;
+    for (int s = 0; s < sessions; ++s) {
+      ptk::util::StatusOr<std::string> id = manager.CreateSession();
+      if (!id.ok()) {
+        std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+        return 1;
+      }
+      ids.push_back(*id);
+    }
+
+    std::mutex mu;
+    std::vector<double> latencies;  // seconds, completed requests only
+    std::atomic<int64_t> attempted{0};
+    std::atomic<int64_t> shed{0};
+
+    ptk::util::Stopwatch wall;
+    // Offered load: every session keeps kRequestsPerSession requests
+    // cycling through select / fold / quality. Submission is open-loop;
+    // rejected submissions count as shed, not latency.
+    for (int r = 0; r < kRequestsPerSession; ++r) {
+      for (int s = 0; s < sessions; ++s) {
+        const std::string& id = ids[s];
+        ptk::serve::Scheduler::Request request;
+        request.session_id = id;
+        request.cancel = manager.CancelSourceFor(id).source;
+        const auto submitted_at = Clock::now();
+        const int phase = r % 3;
+        request.work = [&manager, id, phase]() -> ptk::util::Status {
+          if (phase == 0) {
+            return manager.NextPairs(id, 1).status();
+          }
+          if (phase == 1) {
+            ptk::util::StatusOr<std::vector<ptk::core::ScoredPair>> pairs =
+                manager.NextPairs(id, 1);
+            if (!pairs.ok()) return pairs.status();
+            const auto a = (*pairs)[0].a;
+            const auto b = (*pairs)[0].b;
+            return manager
+                .PostAnswers(id, {{std::min(a, b), std::max(a, b)}})
+                .status();
+          }
+          return manager.Quality(id).status();
+        };
+        request.done = [&mu, &latencies, submitted_at](
+                           const ptk::util::Status&) {
+          const double seconds =
+              std::chrono::duration<double>(Clock::now() - submitted_at)
+                  .count();
+          std::lock_guard<std::mutex> lock(mu);
+          latencies.push_back(seconds);
+        };
+        // Closed-ish loop: a shed is retried after a short backoff (the
+        // admission status says "retry"), so shed_rate measures how often
+        // the bounded queue pushed back rather than lost work.
+        for (;;) {
+          attempted.fetch_add(1);
+          ptk::serve::Scheduler::Request attempt = request;
+          const ptk::util::Status admitted =
+              scheduler.Submit(std::move(attempt));
+          if (admitted.ok()) break;
+          shed.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+    }
+    scheduler.Shutdown();
+    const double elapsed = wall.ElapsedSeconds();
+
+    std::sort(latencies.begin(), latencies.end());
+    const double completed = static_cast<double>(latencies.size());
+    const double rps = completed / elapsed;
+    const double p50 = Percentile(latencies, 0.5) * 1e3;
+    const double p99 = Percentile(latencies, 0.99) * 1e3;
+    const double shed_rate =
+        static_cast<double>(shed.load()) /
+        static_cast<double>(attempted.load());
+    ptk::bench::Row({std::to_string(sessions), ptk::bench::Fmt(rps, 1),
+                     ptk::bench::Fmt(p50, 3), ptk::bench::Fmt(p99, 3),
+                     ptk::bench::Fmt(shed_rate, 3)});
+    json.Record("serve/sessions=" + std::to_string(sessions), elapsed,
+                scheduler_options.workers, sessions, manager_options.k,
+                ptk::bench::Scale());
+  }
+  return 0;
+}

@@ -10,13 +10,10 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/quality.h"
-#include "core/selector.h"
-#include "crowd/crowd_model.h"
-#include "crowd/session.h"
-#include "util/rng.h"
+#include "ptk.h"
 
 int main() {
   // 12 candidates, three criteria (experience, education, charisma) with
@@ -68,19 +65,21 @@ int main() {
   std::printf("Ordered top-3 uncertainty before deliberation: H = %.4f\n",
               session.initial_quality());
   for (int round = 1; round <= 4; ++round) {
-    ptk::crowd::CleaningSession::RoundReport report;
-    if (!session.RunRound(1, &report).ok()) return 1;
-    const auto& pair = report.selected.front();
+    ptk::util::StatusOr<ptk::crowd::CleaningSession::RoundReport> report =
+        session.RunRound(1);
+    if (!report.ok()) return 1;
+    const auto& pair = report->selected.front();
     std::printf("Round %d: committee compares %s vs %s -> H = %.4f\n",
                 round, db.object(pair.a).label().c_str(),
-                db.object(pair.b).label().c_str(), report.quality_after);
+                db.object(pair.b).label().c_str(), report->quality_after);
   }
 
   // CurrentDistribution is served from the engine's memo: the quality read
   // at the end of the last round already enumerated this constraint set.
-  ptk::pw::TopKDistribution dist;
-  if (!session.CurrentDistribution(&dist).ok()) return 1;
-  const auto ranked = dist.SortedByProbDesc();
+  ptk::util::StatusOr<ptk::pw::TopKDistribution> dist =
+      session.CurrentDistribution();
+  if (!dist.ok()) return 1;
+  const auto ranked = dist->SortedByProbDesc();
   std::printf("\nMost probable ordered shortlist (p = %.3f):\n",
               ranked.front().second);
   int place = 1;

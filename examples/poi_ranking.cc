@@ -7,16 +7,16 @@
 //
 // Run: ./poi_ranking [rounds] [quota]
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
-#include "core/selector.h"
-#include "crowd/crowd_model.h"
-#include "crowd/session.h"
-#include "util/rng.h"
+#include "ptk.h"
 
 namespace {
 
@@ -90,26 +90,28 @@ int main(int argc, char** argv) {
               session.initial_quality());
 
   for (int round = 1; round <= rounds; ++round) {
-    ptk::crowd::CleaningSession::RoundReport report;
-    const ptk::util::Status s = session.RunRound(quota, &report);
-    if (!s.ok()) {
-      std::fprintf(stderr, "round failed: %s\n", s.ToString().c_str());
+    const ptk::util::StatusOr<ptk::crowd::CleaningSession::RoundReport>
+        report = session.RunRound(quota);
+    if (!report.ok()) {
+      std::fprintf(stderr, "round failed: %s\n",
+                   report.status().ToString().c_str());
       return 1;
     }
     std::printf("Round %d: asked", round);
-    for (const auto& pair : report.selected) {
+    for (const auto& pair : report->selected) {
       std::printf(" (%s vs %s)", db.object(pair.a).label().c_str(),
                   db.object(pair.b).label().c_str());
     }
     std::printf("\n  quality %.4f -> %.4f (improvement %.4f)\n",
-                report.quality_before, report.quality_after,
-                report.improvement());
+                report->quality_before, report->quality_after,
+                report->improvement());
   }
 
   // Final answer: the most probable top-5 set under all collected answers.
-  ptk::pw::TopKDistribution dist;
-  if (!session.CurrentDistribution(&dist).ok()) return 1;
-  const auto ranked = dist.SortedByProbDesc();
+  ptk::util::StatusOr<ptk::pw::TopKDistribution> dist =
+      session.CurrentDistribution();
+  if (!dist.ok()) return 1;
+  const auto ranked = dist->SortedByProbDesc();
   std::printf("\nMost probable top-%d set (p = %.3f):\n", options.k,
               ranked.front().second);
   for (ptk::model::ObjectId oid : ranked.front().first) {

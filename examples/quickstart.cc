@@ -13,9 +13,7 @@
 #include <cstdlib>
 #include <memory>
 
-#include "engine/ranking_engine.h"
-#include "pw/constraint.h"
-#include "rank/pairwise_prob.h"
+#include "ptk.h"
 
 namespace {
 
@@ -44,8 +42,10 @@ int main() {
 
   // The distribution over top-2 (youngest) photo sets across all possible
   // worlds, and its entropy — the paper's quality metric (Eq. 4).
-  ptk::pw::TopKDistribution dist;
-  Check(engine.Distribution(&dist).ok(), "top-k enumeration");
+  ptk::util::StatusOr<ptk::pw::TopKDistribution> dist_or =
+      engine.Distribution();
+  Check(dist_or.ok(), "top-k enumeration");
+  const ptk::pw::TopKDistribution& dist = *dist_or;
   std::printf("Top-2 result distribution (order-insensitive):\n");
   for (const auto& [key, prob] : dist.SortedByProbDesc()) {
     std::printf("  {");
@@ -87,8 +87,10 @@ int main() {
                 .ok() &&
             outcome == ptk::engine::RankingEngine::FoldOutcome::kApplied,
         "conditioning");
-  ptk::pw::TopKDistribution cleaned;
-  Check(engine.Distribution(&cleaned).ok(), "conditioned distribution");
+  ptk::util::StatusOr<ptk::pw::TopKDistribution> cleaned_or =
+      engine.Distribution();
+  Check(cleaned_or.ok(), "conditioned distribution");
+  const ptk::pw::TopKDistribution& cleaned = *cleaned_or;
   std::printf("After the crowd answers 'o3 < o1':\n");
   std::printf("  P({o1, o3}) = %.2f  (paper: 0.80)\n",
               cleaned.ProbOf({0, 2}));

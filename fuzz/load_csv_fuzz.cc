@@ -12,6 +12,7 @@
 #include "data/answers.h"
 #include "data/csv.h"
 #include "fuzz_require.h"
+#include "util/statusor.h"
 
 extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   if (size > (1u << 20)) return 0;  // bound per-input parse time
@@ -20,17 +21,16 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
   for (const bool require_header : {true, false}) {
     ptk::data::CsvOptions options;
     options.require_header = require_header;
-    ptk::model::Database db;
-    const ptk::util::Status s =
-        ptk::data::LoadCsvFromString(text, options, &db, "fuzz");
-    if (!s.ok()) {
-      PTK_FUZZ_REQUIRE(!s.message().empty());
+    const ptk::util::StatusOr<ptk::model::Database> db =
+        ptk::data::LoadCsvFromString(text, options, "fuzz");
+    if (!db.ok()) {
+      PTK_FUZZ_REQUIRE(!db.status().message().empty());
       continue;
     }
     // Accepted input: the database must be fully valid.
-    PTK_FUZZ_REQUIRE(db.finalized());
-    PTK_FUZZ_REQUIRE(db.num_objects() > 0);
-    for (const auto& obj : db.objects()) {
+    PTK_FUZZ_REQUIRE(db->finalized());
+    PTK_FUZZ_REQUIRE(db->num_objects() > 0);
+    for (const auto& obj : db->objects()) {
       PTK_FUZZ_REQUIRE(obj.num_instances() > 0);
       double total = 0.0;
       for (const auto& inst : obj.instances()) {
@@ -45,13 +45,12 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
 
   // The answers parser guards the same boundary; drive it with the same
   // bytes against a nominal 64-object database.
-  std::vector<ptk::data::ParsedAnswer> answers;
-  const ptk::util::Status s =
-      ptk::data::ParseAnswersFromString(text, 64, &answers, "fuzz");
-  if (!s.ok()) {
-    PTK_FUZZ_REQUIRE(!s.message().empty());
+  const ptk::util::StatusOr<std::vector<ptk::data::ParsedAnswer>> answers =
+      ptk::data::ParseAnswersFromString(text, 64, "fuzz");
+  if (!answers.ok()) {
+    PTK_FUZZ_REQUIRE(!answers.status().message().empty());
   } else {
-    for (const auto& a : answers) {
+    for (const auto& a : *answers) {
       PTK_FUZZ_REQUIRE(a.smaller >= 0 && a.smaller < 64);
       PTK_FUZZ_REQUIRE(a.larger >= 0 && a.larger < 64);
       PTK_FUZZ_REQUIRE(a.smaller != a.larger);

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancellation.h"
 
 namespace ptk::core {
 
@@ -88,6 +89,9 @@ util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
   std::vector<std::pair<model::ObjectId, model::ObjectId>> batch_pairs;
 
   for (;;) {
+    if (util::CancelRequested(options_.cancel)) {
+      return util::Status::Cancelled(name() + " selection cancelled");
+    }
     // Pop phase: collect candidates that could still enter the top t under
     // the current threshold (Algorithm 1 line 5). pair->score is
     // H(A(P_1)), an upper bound of the pair's EI.

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/cancellation.h"
 #include "util/thread_pool.h"
 
 namespace ptk::core {
@@ -40,13 +41,23 @@ util::Status BruteForceSelector::SelectPairs(int t,
   // land in the pair's own slot, so the merge below is the same
   // deterministic sort as the serial path and the output is bit-identical
   // for every shard count.
+  // Cancellation reaches the sweep twice: the per-shard evaluator's
+  // enumerations poll the token internally, and the pair loop polls it
+  // between pairs so a shard of cheap enumerations still stops promptly.
+  pw::EnumeratorOptions enum_options = options_.enumerator;
+  if (enum_options.cancel == nullptr) enum_options.cancel = options_.cancel;
   std::vector<util::Status> shard_status(
       std::max(1, options_.parallel.Shards()), util::Status::OK());
   util::ParallelFor(
       options_.parallel, total, [&](int shard, int64_t begin, int64_t end) {
         const QualityEvaluator evaluator(*db_, options_.k, options_.order,
-                                         options_.enumerator);
+                                         enum_options);
         for (int64_t i = begin; i < end; ++i) {
+          if (util::CancelRequested(options_.cancel)) {
+            shard_status[shard] =
+                util::Status::Cancelled("BF selection cancelled");
+            return;
+          }
           double ei = 0.0;
           const util::Status s = evaluator.ExactExpectedImprovement(
               scored[i].a, scored[i].b, nullptr, &ei);

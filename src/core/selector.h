@@ -1,6 +1,7 @@
 #ifndef PTK_CORE_SELECTOR_H_
 #define PTK_CORE_SELECTOR_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -45,6 +46,13 @@ struct SelectorOptions {
   /// Shard count / pool for the parallel hot paths. Selector output is
   /// bit-identical for every setting (see DESIGN.md, "Parallel execution").
   util::ParallelConfig parallel;
+
+  /// Cooperative cancellation token (util::CancelSource::token()), polled
+  /// at batch boundaries of the selection loops; a set flag aborts
+  /// SelectPairs with util::Status::Cancelled. Null means "never
+  /// cancelled". Selectors also propagate it into `enumerator` so the
+  /// exact-EI sweeps it drives honor the same token.
+  const std::atomic<bool>* cancel = nullptr;
 
   /// Optional membership calculator shared across selectors so the lazy
   /// top-k scans run once per (db, k) instead of once per selector. It is

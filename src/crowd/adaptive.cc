@@ -32,16 +32,22 @@ AdaptiveCleaner::AdaptiveCleaner(const model::Database& db,
 
 util::Status AdaptiveCleaner::Init() {
   if (initialized_) return util::Status::OK();
-  double h = 0.0;
-  const util::Status s = engine_.Quality(&h);
-  if (!s.ok()) return s.WithContext("AdaptiveCleaner::Init: H(S_k)");
-  initial_quality_ = h;
+  // Every step folds with update_working, so materialize the working copy
+  // up front: the selection artifacts then build once on the private copy
+  // and are refreshed per-object by each fold, instead of being discarded
+  // when the first fold forces the copy into existence.
+  engine_.PrepareWorkingCopy();
+  const util::StatusOr<double> h = engine_.Quality();
+  if (!h.ok()) {
+    return h.status().WithContext("AdaptiveCleaner::Init: H(S_k)");
+  }
+  initial_quality_ = *h;
   initialized_ = true;
   return util::Status::OK();
 }
 
-util::Status AdaptiveCleaner::Run(int budget,
-                                  std::vector<StepReport>* steps) {
+util::StatusOr<std::vector<AdaptiveCleaner::StepReport>> AdaptiveCleaner::Run(
+    int budget) {
   if (!initialized_) {
     return util::Status::FailedPrecondition(
         "AdaptiveCleaner::Run called without a successful Init()");
@@ -54,7 +60,7 @@ util::Status AdaptiveCleaner::Run(int budget,
   static obs::Counter* const steps_contradictory = obs::GetCounter(
       "ptk_adaptive_steps_contradictory_total",
       "Adaptive steps whose answer was discarded as inconsistent");
-  steps->clear();
+  std::vector<StepReport> steps;
   for (int step = 0; step < budget; ++step) {
     obs::Span span("AdaptiveCleaner::Step");
     obs::ScopedTimer step_timer(step_seconds);
@@ -104,13 +110,12 @@ util::Status AdaptiveCleaner::Run(int budget,
     steps_run->Add();
     if (!report.applied) steps_contradictory->Add();
 
-    double h = 0.0;
-    s = engine_.Quality(&h);
-    if (!s.ok()) return s;
-    report.true_quality = h;
-    steps->push_back(std::move(report));
+    const util::StatusOr<double> h = engine_.Quality();
+    if (!h.ok()) return h.status();
+    report.true_quality = *h;
+    steps.push_back(std::move(report));
   }
-  return util::Status::OK();
+  return steps;
 }
 
 }  // namespace ptk::crowd

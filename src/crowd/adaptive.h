@@ -9,6 +9,7 @@
 #include "engine/ranking_engine.h"
 #include "model/database.h"
 #include "pw/constraint.h"
+#include "util/statusor.h"
 
 namespace ptk::crowd {
 
@@ -64,7 +65,7 @@ class AdaptiveCleaner {
   /// the current working database (OPT selector over the engine's shared
   /// artifacts), ask the oracle, fold the answer in, and evaluate the
   /// exact conditioned quality.
-  util::Status Run(int budget, std::vector<StepReport>* steps);
+  util::StatusOr<std::vector<StepReport>> Run(int budget);
 
   /// Valid after a successful Init().
   double initial_quality() const { return initial_quality_; }

@@ -55,16 +55,18 @@ CleaningSession::CleaningSession(const model::Database& db,
 
 util::Status CleaningSession::Init() {
   if (initialized_) return util::Status::OK();
-  double h = 0.0;
-  const util::Status s = engine_.Quality(&h);
-  if (!s.ok()) return s.WithContext("CleaningSession::Init: H(S_k)");
-  initial_quality_ = h;
-  current_quality_ = h;
+  const util::StatusOr<double> h = engine_.Quality();
+  if (!h.ok()) {
+    return h.status().WithContext("CleaningSession::Init: H(S_k)");
+  }
+  initial_quality_ = *h;
+  current_quality_ = *h;
   initialized_ = true;
   return util::Status::OK();
 }
 
-util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
+util::StatusOr<CleaningSession::RoundReport> CleaningSession::RunRound(
+    int quota) {
   if (!initialized_) {
     return util::Status::FailedPrecondition(
         "CleaningSession::RunRound called without a successful Init()");
@@ -76,11 +78,8 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
   const SessionMetrics& metrics = SessionMetrics::Get();
   obs::Span span("CleaningSession::RunRound");
   obs::ScopedTimer round_timer(metrics.round_seconds);
-  report->selected.clear();
-  report->answers.clear();
-  report->skipped.clear();
-  report->skip_reasons.clear();
-  report->quality_before = current_quality_;
+  RoundReport report;
+  report.quality_before = current_quality_;
 
   // Over-request so that previously asked pairs can be filtered out. A
   // single batch can still come back short of `quota` unasked pairs (the
@@ -105,17 +104,17 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
       }
       return s.WithContext("selector '" + selector_->name() + "'");
     }
-    report->selected.clear();
+    report.selected.clear();
     std::set<std::pair<model::ObjectId, model::ObjectId>> in_round;
     for (const core::ScoredPair& pair : candidates) {
-      if (static_cast<int>(report->selected.size()) >= quota) break;
+      if (static_cast<int>(report.selected.size()) >= quota) break;
       const auto key = std::minmax(pair.a, pair.b);
       if (asked_.contains({key.first, key.second})) continue;
       // A duplicate inside one candidate batch must not be posted twice.
       if (!in_round.insert({key.first, key.second}).second) continue;
-      report->selected.push_back(pair);
+      report.selected.push_back(pair);
     }
-    if (static_cast<int>(report->selected.size()) >= quota) break;
+    if (static_cast<int>(report.selected.size()) >= quota) break;
     // Exhausted only when the selector ran dry (returned fewer candidates
     // than requested) or every pair of the database has been observed —
     // a batch full of duplicates or already-asked pairs merely escalates.
@@ -131,16 +130,16 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
     want *= 2;
     escalated = true;
   }
-  if (static_cast<int>(report->selected.size()) < quota) {
+  if (static_cast<int>(report.selected.size()) < quota) {
     return util::Status::ResourceExhausted(
         "selector '" + selector_->name() + "' produced only " +
-        std::to_string(report->selected.size()) +
+        std::to_string(report.selected.size()) +
         " unasked pairs for quota " + std::to_string(quota) + " (" +
         std::to_string(asked_.size()) + " of " +
         std::to_string(total_pairs) + " pairs already asked)");
   }
 
-  for (const core::ScoredPair& pair : report->selected) {
+  for (const core::ScoredPair& pair : report.selected) {
     const auto key = std::minmax(pair.a, pair.b);
     asked_.insert({key.first, key.second});
     const bool a_greater = oracle_->Compare(pair.a, pair.b);
@@ -166,22 +165,23 @@ util::Status CleaningSession::RunRound(int quota, RoundReport* report) {
         reason += "; conflicts with accepted chain " +
                   pw::ConstraintSet::FormatChain(chain);
       }
-      report->skipped.push_back(answer);
-      report->skip_reasons.push_back(std::move(reason));
+      report.skipped.push_back(answer);
+      report.skip_reasons.push_back(std::move(reason));
       continue;
     }
-    report->answers.push_back(answer);
+    report.answers.push_back(answer);
   }
-  metrics.asked->Add(static_cast<int64_t>(report->selected.size()));
-  metrics.skipped->Add(static_cast<int64_t>(report->skipped.size()));
+  metrics.asked->Add(static_cast<int64_t>(report.selected.size()));
+  metrics.skipped->Add(static_cast<int64_t>(report.skipped.size()));
 
-  double h = 0.0;
-  util::Status s = engine_.Quality(&h);
-  if (!s.ok()) return s.WithContext("evaluating H(S_k | answers)");
-  current_quality_ = h;
-  report->quality_after = h;
+  const util::StatusOr<double> h = engine_.Quality();
+  if (!h.ok()) {
+    return h.status().WithContext("evaluating H(S_k | answers)");
+  }
+  current_quality_ = *h;
+  report.quality_after = *h;
   metrics.rounds->Add();
-  return util::Status::OK();
+  return report;
 }
 
 }  // namespace ptk::crowd

@@ -10,6 +10,7 @@
 #include "crowd/crowd_model.h"
 #include "engine/ranking_engine.h"
 #include "pw/constraint.h"
+#include "util/statusor.h"
 
 namespace ptk::crowd {
 
@@ -66,7 +67,7 @@ class CleaningSession {
   /// an escalating request size until the quota is met or the selector's
   /// pair stream is genuinely exhausted, in which case the round fails
   /// with ResourceExhausted (describing how many unasked pairs remain).
-  util::Status RunRound(int quota, RoundReport* report);
+  util::StatusOr<RoundReport> RunRound(int quota);
 
   /// H(S_k) before any crowdsourcing. Valid after a successful Init().
   double initial_quality() const { return initial_quality_; }
@@ -78,8 +79,8 @@ class CleaningSession {
 
   /// The current conditioned top-k distribution (memoized: repeated calls
   /// between rounds serve the engine's cache instead of re-enumerating).
-  util::Status CurrentDistribution(pw::TopKDistribution* out) const {
-    return engine_.Distribution(out);
+  util::StatusOr<pw::TopKDistribution> CurrentDistribution() const {
+    return engine_.Distribution();
   }
 
   /// The underlying conditioning engine, exposed for observability

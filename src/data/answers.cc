@@ -75,29 +75,4 @@ util::StatusOr<std::vector<ParsedAnswer>> LoadAnswers(const std::string& path,
   return ParseAnswersFromString(buffer.str(), num_objects, path);
 }
 
-util::Status ParseAnswersFromString(std::string_view text, int num_objects,
-                                    std::vector<ParsedAnswer>* out,
-                                    const std::string& source) {
-  util::StatusOr<std::vector<ParsedAnswer>> answers =
-      ParseAnswersFromString(text, num_objects, source);
-  if (!answers.ok()) {
-    out->clear();
-    return answers.status();
-  }
-  *out = *std::move(answers);
-  return util::Status::OK();
-}
-
-util::Status LoadAnswers(const std::string& path, int num_objects,
-                         std::vector<ParsedAnswer>* out) {
-  util::StatusOr<std::vector<ParsedAnswer>> answers =
-      LoadAnswers(path, num_objects);
-  if (!answers.ok()) {
-    out->clear();
-    return answers.status();
-  }
-  *out = *std::move(answers);
-  return util::Status::OK();
-}
-
 }  // namespace ptk::data

@@ -36,14 +36,6 @@ util::StatusOr<std::vector<ParsedAnswer>> ParseAnswersFromString(
 util::StatusOr<std::vector<ParsedAnswer>> LoadAnswers(const std::string& path,
                                                       int num_objects);
 
-/// Deprecated out-parameter shims for the parsers above; new code should
-/// use the StatusOr forms. Kept for one PR.
-util::Status ParseAnswersFromString(std::string_view text, int num_objects,
-                                    std::vector<ParsedAnswer>* out,
-                                    const std::string& source = "<string>");
-util::Status LoadAnswers(const std::string& path, int num_objects,
-                         std::vector<ParsedAnswer>* out);
-
 }  // namespace ptk::data
 
 #endif  // PTK_DATA_ANSWERS_H_

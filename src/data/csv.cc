@@ -168,27 +168,4 @@ util::StatusOr<model::Database> LoadCsv(const std::string& path) {
   return LoadCsv(path, CsvOptions{});
 }
 
-util::Status LoadCsvFromString(std::string_view text,
-                               const CsvOptions& options,
-                               model::Database* out,
-                               const std::string& source) {
-  util::StatusOr<model::Database> db =
-      LoadCsvFromString(text, options, source);
-  if (!db.ok()) return db.status();
-  *out = *std::move(db);
-  return util::Status::OK();
-}
-
-util::Status LoadCsv(const std::string& path, const CsvOptions& options,
-                     model::Database* out) {
-  util::StatusOr<model::Database> db = LoadCsv(path, options);
-  if (!db.ok()) return db.status();
-  *out = *std::move(db);
-  return util::Status::OK();
-}
-
-util::Status LoadCsv(const std::string& path, model::Database* out) {
-  return LoadCsv(path, CsvOptions{}, out);
-}
-
 }  // namespace ptk::data

@@ -48,16 +48,6 @@ util::StatusOr<model::Database> LoadCsvFromString(
     std::string_view text, const CsvOptions& options,
     const std::string& source = "<string>");
 
-/// Deprecated out-parameter shims for the loaders above; new code should
-/// use the StatusOr forms. Kept for one PR.
-util::Status LoadCsv(const std::string& path, model::Database* out);
-util::Status LoadCsv(const std::string& path, const CsvOptions& options,
-                     model::Database* out);
-util::Status LoadCsvFromString(std::string_view text,
-                               const CsvOptions& options,
-                               model::Database* out,
-                               const std::string& source = "<string>");
-
 }  // namespace ptk::data
 
 #endif  // PTK_DATA_CSV_H_

@@ -1,5 +1,6 @@
 #include "engine/ranking_engine.h"
 
+#include <algorithm>
 #include <array>
 #include <utility>
 
@@ -46,15 +47,39 @@ RankingEngine::RankingEngine(const model::Database& db, const Options& options)
       evaluator_(db, options.k, options.order, options.enumerator),
       overlay_(db) {}
 
+void RankingEngine::PrepareWorkingCopy() {
+  if (overlay_.materialized()) return;
+  // Anything built so far lives on the base database object, which db()
+  // stops referring to once the copy exists; drop it so the next access
+  // builds on the private copy (and folds refresh that build in place).
+  owned_membership_.reset();
+  tree_.reset();
+  overlay_.Materialize();
+}
+
 std::shared_ptr<const rank::MembershipCalculator> RankingEngine::membership() {
-  if (membership_ == nullptr) {
-    membership_ = std::make_shared<rank::MembershipCalculator>(working_db(),
-                                                               options_.k);
+  const model::Database& db = working_db();
+  const auto& shared = options_.shared_membership;
+  // Same compatibility test as SelectorOptions::MembershipFor: once the
+  // overlay materializes, db is no longer the object the shared calculator
+  // was built on and this borrow stops matching.
+  if (shared != nullptr && &shared->db() == &db &&
+      shared->k() == std::clamp(options_.k, 1, db.num_objects()) &&
+      shared->db_version() == db.mutation_version()) {
+    return shared;
   }
-  return membership_;
+  if (owned_membership_ == nullptr) {
+    owned_membership_ =
+        std::make_shared<rank::MembershipCalculator>(db, options_.k);
+  }
+  return owned_membership_;
 }
 
 const pbtree::PBTree& RankingEngine::tree() {
+  if (options_.shared_tree != nullptr &&
+      &options_.shared_tree->db() == &working_db()) {
+    return *options_.shared_tree;
+  }
   if (tree_ == nullptr) {
     pbtree::PBTree::Options tree_options;
     tree_options.fanout = options_.fanout;
@@ -113,6 +138,15 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
       *outcome = FoldOutcome::kDegenerate;
       return util::Status::OK();
     }
+    if (!overlay_.materialized()) {
+      // First reweight: db() switches from the base object to the private
+      // copy, so artifacts built against the base cannot be refreshed in
+      // place — drop them and let the next access rebuild on the copy.
+      // (PrepareWorkingCopy avoids this rebuild for callers that fold
+      // eagerly from the start.)
+      owned_membership_.reset();
+      tree_.reset();
+    }
     util::Status s = overlay_.Reweight(smaller, ps);
     if (!s.ok()) return s.WithContext("Fold: reweight smaller");
     s = overlay_.Reweight(larger, pl);
@@ -121,9 +155,9 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
 
     // Per-object artifact maintenance — the whole point of the overlay:
     // everything else the calculator and the tree cache is untouched.
-    if (membership_ != nullptr) {
+    if (owned_membership_ != nullptr) {
       const std::array<model::ObjectId, 2> touched = {smaller, larger};
-      membership_->RefreshObjects(touched);
+      owned_membership_->RefreshObjects(touched);
     }
     if (tree_ != nullptr) {
       tree_->UpdateObject(smaller);
@@ -149,6 +183,9 @@ core::SelectorOptions RankingEngine::BaseSelectorOptions() const {
   o.rand_k_fraction = options_.rand_k_fraction;
   o.candidate_pool = options_.candidate_pool;
   o.parallel = options_.parallel;
+  // o.enumerator already carries the token; mirroring it onto the selector
+  // options makes the batch loops poll it too.
+  o.cancel = options_.enumerator.cancel;
   return o;
 }
 
@@ -197,20 +234,6 @@ util::StatusOr<double> RankingEngine::Quality() const {
   util::Status s = EnsureDistribution();
   if (!s.ok()) return s;
   return quality_;
-}
-
-util::Status RankingEngine::Distribution(pw::TopKDistribution* out) const {
-  util::StatusOr<pw::TopKDistribution> dist = Distribution();
-  if (!dist.ok()) return dist.status();
-  *out = *std::move(dist);
-  return util::Status::OK();
-}
-
-util::Status RankingEngine::Quality(double* h) const {
-  util::StatusOr<double> quality = Quality();
-  if (!quality.ok()) return quality.status();
-  *h = *quality;
-  return util::Status::OK();
 }
 
 }  // namespace ptk::engine

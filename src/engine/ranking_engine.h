@@ -75,6 +75,19 @@ class RankingEngine {
     double rand_k_fraction = 0.2;
     int candidate_pool = 64;
     util::ParallelConfig parallel;
+
+    /// Shared read-only artifacts on the *base* database, borrowed instead
+    /// of built while the working database still aliases the base (i.e.
+    /// until the first update_working fold materializes a private copy).
+    /// The serving runtime builds these once per (db, k) / (db, fanout)
+    /// and hands them to every session's engine, so N concurrent sessions
+    /// pay for one membership scan and one tree build total. Both must
+    /// outlive the engine; compatibility (same database object, same k,
+    /// same mutation_version) is re-checked on every use, so a stale or
+    /// mismatched artifact silently degrades to a private build rather
+    /// than serving wrong data.
+    std::shared_ptr<const rank::MembershipCalculator> shared_membership;
+    const pbtree::PBTree* shared_tree = nullptr;
   };
 
   /// What Fold did with an answer.
@@ -88,20 +101,33 @@ class RankingEngine {
   RankingEngine(const model::Database& db, const Options& options);
 
   const model::Database& base_db() const { return *base_; }
-  /// The copy-on-write database selection operates on. Identical to
-  /// base_db() until the first update_working fold.
+  /// The copy-on-write database selection operates on. Until the first
+  /// update_working fold this *is* base_db() (same object — the overlay
+  /// copies lazily), which is what makes shared-artifact borrowing sound.
   const model::Database& working_db() const { return overlay_.db(); }
+
+  /// Forces the working copy into existence now, so artifacts built
+  /// afterwards live on the private copy and every update_working fold —
+  /// including the first — maintains them incrementally. Consumers that
+  /// know they will fold with update_working (AdaptiveCleaner) call this
+  /// once up front; without it the first such fold discards artifacts
+  /// built against the base aliasing and rebuilds them lazily. Idempotent.
+  void PrepareWorkingCopy();
   const Options& options() const { return options_; }
   const pw::ConstraintSet& constraints() const { return constraints_; }
   /// Bumped once per applied fold; memoized artifacts key on it.
   uint64_t version() const { return version_; }
 
-  /// The shared membership calculator on the working database, built on
-  /// first use and refreshed per-object after every applied fold.
+  /// The membership calculator on the working database: the borrowed
+  /// Options::shared_membership while it is compatible with the current
+  /// working database, otherwise a privately built one, refreshed
+  /// per-object after every applied update_working fold.
   std::shared_ptr<const rank::MembershipCalculator> membership();
 
-  /// The shared PB-tree on the working database, built on first use and
-  /// maintained with path-local bound updates after every applied fold.
+  /// The PB-tree on the working database: Options::shared_tree while the
+  /// working database still aliases the base it indexes, otherwise a
+  /// privately built tree maintained with path-local bound updates after
+  /// every applied update_working fold.
   const pbtree::PBTree& tree();
 
   /// Folds the answer "smaller ranks above larger" into the engine:
@@ -133,11 +159,6 @@ class RankingEngine {
 
   /// H(S_k | constraints), from the same memoized distribution.
   util::StatusOr<double> Quality() const;
-
-  /// Deprecated out-parameter shims for the accessors above; new code
-  /// should use the StatusOr forms. Kept for one PR.
-  util::Status Distribution(pw::TopKDistribution* out) const;
-  util::Status Quality(double* h) const;
 
   /// Pr(constraints hold) on the base database (exact, Eq. 5 numerator).
   double ConstraintProbability(const pw::ConstraintSet& constraints) const {
@@ -185,9 +206,12 @@ class RankingEngine {
   pw::ConstraintSet constraints_;
   uint64_t version_ = 0;
 
-  // Lazily built shared artifacts on the working database. membership_ is
-  // held non-const so Fold can refresh it; consumers only see const.
-  std::shared_ptr<rank::MembershipCalculator> membership_;
+  // Privately built artifacts on the working database, lazily created when
+  // no compatible shared artifact is available. owned_membership_ is held
+  // non-const so Fold can refresh it; consumers only see const. Reset when
+  // the working copy materializes (their db pointer would otherwise keep
+  // aliasing the immutable base).
+  std::shared_ptr<rank::MembershipCalculator> owned_membership_;
   std::unique_ptr<pbtree::PBTree> tree_;
 
   // Memoized exact conditioning, keyed on version_.

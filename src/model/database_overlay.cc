@@ -6,18 +6,22 @@
 
 namespace ptk::model {
 
-DatabaseOverlay::DatabaseOverlay(const Database& base) : db_(base) {
+DatabaseOverlay::DatabaseOverlay(const Database& base) : base_(&base) {
   assert(base.finalized());
+}
+
+void DatabaseOverlay::Materialize() {
+  if (!copy_.has_value()) copy_.emplace(*base_);
 }
 
 util::Status DatabaseOverlay::Reweight(ObjectId oid,
                                        const std::vector<double>& probs) {
-  if (oid < 0 || oid >= db_.num_objects()) {
+  if (oid < 0 || oid >= db().num_objects()) {
     return util::Status::InvalidArgument(
         "DatabaseOverlay::Reweight: object id " + std::to_string(oid) +
-        " out of range [0, " + std::to_string(db_.num_objects()) + ")");
+        " out of range [0, " + std::to_string(db().num_objects()) + ")");
   }
-  const int n = db_.object(oid).num_instances();
+  const int n = db().object(oid).num_instances();
   if (static_cast<int>(probs.size()) != n) {
     return util::Status::InvalidArgument(
         "DatabaseOverlay::Reweight: object " + std::to_string(oid) +
@@ -39,7 +43,8 @@ util::Status DatabaseOverlay::Reweight(ObjectId oid,
         "'s marginal would vanish (total mass " + std::to_string(total) +
         ")");
   }
-  db_.ReweightObjectInPlace(oid, probs);
+  Materialize();
+  copy_->ReweightObjectInPlace(oid, probs);
   return util::Status::OK();
 }
 

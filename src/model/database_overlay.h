@@ -1,6 +1,7 @@
 #ifndef PTK_MODEL_DATABASE_OVERLAY_H_
 #define PTK_MODEL_DATABASE_OVERLAY_H_
 
+#include <optional>
 #include <vector>
 
 #include "model/database.h"
@@ -10,11 +11,18 @@ namespace ptk::model {
 
 /// A copy-on-write working view of a finalized database whose per-object
 /// marginals evolve as crowd answers are folded in (the AdaptiveCleaner
-/// update rule). The base database is copied exactly once, at
-/// construction; every Reweight afterwards mutates only the touched
-/// object's instances, their copies in the global sorted index, and the
-/// object's suffix masses — O(instances of that object), independent of
-/// how many other objects the database holds.
+/// update rule). The copy is genuinely lazy: until the first Reweight (or
+/// an explicit Materialize()) db() returns the *base database itself*, so
+/// an overlay that is never written — every batch-model cleaning session,
+/// every serving session in the default mode — costs nothing and keeps
+/// pointer identity with the base. That identity is what lets the serving
+/// runtime share one read-only membership calculator and PB-tree across
+/// hundreds of sessions (SelectorOptions::MembershipFor and SharedTreeFor
+/// compare database addresses). The first Reweight copies the base once;
+/// every Reweight afterwards mutates only the touched object's instances,
+/// their copies in the global sorted index, and the object's suffix
+/// masses — O(instances of that object), independent of how many other
+/// objects the database holds.
 ///
 /// Two deliberate deviations from rebuilding a fresh Database per answer:
 ///
@@ -30,26 +38,43 @@ namespace ptk::model {
 ///    to the last bit; only iid numbering differs.
 ///
 /// db() stays finalized() and valid at all times; consumers read it like
-/// any other database. Each successful Reweight bumps the database's
-/// mutation_version(), which version-aware caches key on.
+/// any other database. Each successful Reweight bumps the working
+/// database's mutation_version(), which version-aware caches key on.
+/// Caution for artifact holders: Materialize() changes which Database
+/// object db() refers to, so anything built against the pre-copy db()
+/// (membership calculators, PB-trees) keeps pointing at the immutable
+/// base — consumers that intend to write must materialize *before*
+/// building artifacts (engine::RankingEngine::PrepareWorkingCopy) or
+/// rebuild them afterwards.
 class DatabaseOverlay {
  public:
-  /// Copies `base` (which must be finalized). The copy is this overlay's
-  /// working database; `base` itself is never touched.
+  /// Wraps `base` (which must be finalized and outlive the overlay).
+  /// Nothing is copied yet.
   explicit DatabaseOverlay(const Database& base);
 
-  const Database& db() const { return db_; }
-  uint64_t version() const { return db_.mutation_version(); }
+  const Database& db() const {
+    return copy_.has_value() ? *copy_ : *base_;
+  }
+  uint64_t version() const { return db().mutation_version(); }
+
+  /// Whether the private working copy exists (i.e., db() no longer
+  /// aliases the base database).
+  bool materialized() const { return copy_.has_value(); }
+
+  /// Forces the private copy into existence. Idempotent. Call before
+  /// building incremental artifacts on db() when Reweight will follow.
+  void Materialize();
 
   /// Replaces object `oid`'s instance probabilities (parallel to its
   /// value-sorted instance list) and renormalizes them to sum exactly
   /// to 1. Entries may be zero; a non-positive total (the object's
   /// marginal would vanish) fails with InvalidArgument and leaves the
-  /// overlay untouched.
+  /// overlay untouched. Materializes the working copy on first use.
   util::Status Reweight(ObjectId oid, const std::vector<double>& probs);
 
  private:
-  Database db_;
+  const Database* base_;
+  std::optional<Database> copy_;
 };
 
 }  // namespace ptk::model

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "pw/joint_component.h"
+#include "util/cancellation.h"
 
 namespace ptk::pw {
 
@@ -149,6 +150,9 @@ util::Status TopKEnumerator::Enumerate(int k, OrderMode order,
 
   for (model::Position pos = 0; pos < num_positions && !frontier.empty();
        ++pos) {
+    if (util::CancelRequested(options.cancel)) {
+      return util::Status::Cancelled("top-k enumeration cancelled");
+    }
     const model::Instance& inst = sorted[pos];
     const int ci = group_of[inst.oid];
     if (ci >= 0) factor_memo.clear();

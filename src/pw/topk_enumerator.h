@@ -1,6 +1,7 @@
 #ifndef PTK_PW_TOPK_ENUMERATOR_H_
 #define PTK_PW_TOPK_ENUMERATOR_H_
 
+#include <atomic>
 #include <cstdint>
 
 #include "model/database.h"
@@ -20,6 +21,12 @@ struct EnumeratorOptions {
 
   /// Hard cap on expanded states; exceeding it returns ResourceExhausted.
   int64_t max_states = int64_t{50'000'000};
+
+  /// Cooperative cancellation token (util::CancelSource::token()), polled
+  /// once per scan position; a set flag aborts the enumeration with
+  /// util::Status::Cancelled. Null means "never cancelled". The serving
+  /// runtime's deadline watchdog fires this mid-enumeration.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 /// Computes the distribution over top-k results across possible worlds

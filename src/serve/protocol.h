@@ -1,0 +1,69 @@
+#ifndef PTK_SERVE_PROTOCOL_H_
+#define PTK_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "model/instance.h"
+#include "serve/scheduler.h"
+#include "serve/session_manager.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::serve {
+
+/// The JSON-lines serving protocol: one request object per input line,
+/// one response object per output line. Strict in the PR-2 sense — an
+/// unknown key, a number with trailing garbage, or any structural noise
+/// is an InvalidArgument naming the offending token, never silently
+/// ignored. The value grammar is the subset the protocol needs (strings
+/// with the common escapes, 64-bit integers, and the answers array of
+/// [smaller, larger] id pairs); numbers parse through the same
+/// whole-field helpers as the CSV boundary (data/field_parse.h).
+///
+/// Requests:
+///   {"op":"create_session"}
+///   {"op":"next_pairs","session":"s1","count":2}
+///   {"op":"post_answers","session":"s1","answers":[[2,0],[1,0]]}
+///   {"op":"distribution","session":"s1","limit":3}
+///   {"op":"quality","session":"s1"}
+///   {"op":"metrics"}
+///   {"op":"close","session":"s1"}
+/// Every request may carry "id" (echoed back verbatim) and "deadline_ms"
+/// (per-request deadline, enforced by the scheduler).
+///
+/// Responses:
+///   {"id":...,"ok":true,<op payload>}
+///   {"id":...,"ok":false,"error":{"code":"NotFound","message":"..."}}
+struct RequestLine {
+  std::string op;
+  std::string session;
+  std::string id;         // client correlation tag, echoed back
+  int64_t count = 1;      // next_pairs
+  int64_t limit = 0;      // distribution: top sets listed (0 = all)
+  int64_t deadline_ms = 0;  // 0 = no deadline
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> answers;
+};
+
+/// Parses one request line. The returned line has a known op and
+/// validated field ranges.
+util::StatusOr<RequestLine> ParseRequestLine(std::string_view line);
+
+/// Executes the op against the manager (and scheduler, for "metrics";
+/// null omits the scheduler fields) and returns the response payload —
+/// the comma-led fragment spliced after `"ok":true` (empty for ops with
+/// no payload, e.g. close).
+util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
+                                           const Scheduler* scheduler,
+                                           const RequestLine& request);
+
+/// One full response line (no trailing newline). `id` may be empty.
+std::string RenderResponse(const std::string& id, const util::Status& status,
+                           const std::string& payload);
+
+}  // namespace ptk::serve
+
+#endif  // PTK_SERVE_PROTOCOL_H_

@@ -1,0 +1,223 @@
+#include "serve/session_manager.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ptk::serve {
+
+namespace {
+
+obs::Gauge* SessionsOpenGauge() {
+  static obs::Gauge* const gauge = obs::GetGauge(
+      "ptk_serve_sessions_open", "Currently open serving sessions");
+  return gauge;
+}
+
+engine::RankingEngine::Options EngineOptions(
+    const SessionManager::Options& options,
+    std::shared_ptr<const rank::MembershipCalculator> membership,
+    const pbtree::PBTree* tree) {
+  engine::RankingEngine::Options engine_options;
+  engine_options.k = options.k;
+  engine_options.order = options.order;
+  engine_options.enumerator = options.enumerator;
+  engine_options.fanout = options.fanout;
+  engine_options.seed = options.seed;
+  engine_options.rand_k_fraction = options.rand_k_fraction;
+  engine_options.candidate_pool = options.candidate_pool;
+  engine_options.shared_membership = std::move(membership);
+  engine_options.shared_tree = tree;
+  return engine_options;
+}
+
+}  // namespace
+
+SessionManager::SessionManager(const model::Database& db,
+                               const Options& options)
+    : db_(&db), options_(options) {
+  SessionsOpenGauge();  // register the family before any session exists
+  const int k = std::clamp(options_.k, 1, db.num_objects());
+  auto membership = std::make_shared<rank::MembershipCalculator>(db, k);
+  // Pre-warm the lazily-built singles table now, single-threaded: after
+  // this, every access from concurrent sessions is a pure read.
+  if (db.num_objects() > 0) membership->ObjectTopKProbability(0);
+  membership_ = std::move(membership);
+  pbtree::PBTree::Options tree_options;
+  tree_options.fanout = options_.fanout;
+  tree_ = std::make_unique<const pbtree::PBTree>(db, tree_options);
+}
+
+util::StatusOr<std::string> SessionManager::CreateSession() {
+  static obs::Counter* const created = obs::GetCounter(
+      "ptk_serve_sessions_total", "Serving sessions created");
+  std::shared_ptr<Session> session;
+  std::string id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+      return util::Status::ResourceExhausted(
+          "session table full (" + std::to_string(options_.max_sessions) +
+          " open); close a session and retry");
+    }
+    id = "s" + std::to_string(next_id_++);
+    session = std::make_shared<Session>(
+        *db_, EngineOptions(options_, membership_, tree_.get()));
+    sessions_.emplace(id, std::move(session));
+  }
+  created->Add();
+  SessionsOpenGauge()->Add();
+  return id;
+}
+
+std::shared_ptr<SessionManager::Session> SessionManager::Find(
+    const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = sessions_.find(id);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+util::StatusOr<std::vector<core::ScoredPair>> SessionManager::NextPairs(
+    const std::string& id, int count) {
+  if (count <= 0) {
+    return util::Status::InvalidArgument("next_pairs: count must be > 0");
+  }
+  const std::shared_ptr<Session> session = Find(id);
+  if (session == nullptr) {
+    return util::Status::NotFound("unknown session '" + id + "'");
+  }
+  obs::Span span("serve.next_pairs");
+  std::lock_guard<std::mutex> lock(session->mu);
+  std::unique_ptr<core::PairSelector> selector =
+      session->engine.MakeSelector(options_.selector);
+  // Over-request so already-posted pairs can be skipped, escalating until
+  // the quota is met or the selector's stream is genuinely exhausted
+  // (same policy as crowd::CleaningSession).
+  const int n = session->engine.working_db().num_objects();
+  const long long total_pairs = static_cast<long long>(n) * (n - 1) / 2;
+  std::vector<core::ScoredPair> picked;
+  int request = count + static_cast<int>(session->asked.size());
+  for (;;) {
+    std::vector<core::ScoredPair> candidates;
+    const util::Status s = selector->SelectPairs(request, &candidates);
+    if (!s.ok()) return s;
+    picked.clear();
+    for (const core::ScoredPair& pair : candidates) {
+      const auto key = std::minmax(pair.a, pair.b);
+      if (session->asked.contains({key.first, key.second})) continue;
+      picked.push_back(pair);
+      if (static_cast<int>(picked.size()) == count) break;
+    }
+    if (static_cast<int>(picked.size()) == count) break;
+    const bool exhausted =
+        static_cast<int>(candidates.size()) < request ||
+        static_cast<long long>(request) >= total_pairs;
+    if (exhausted) break;
+    request = static_cast<int>(
+        std::min<long long>(total_pairs, 2LL * request));
+  }
+  if (picked.empty()) {
+    return util::Status::ResourceExhausted(
+        "no unasked pair left for session '" + id + "' (" +
+        std::to_string(session->asked.size()) + " of " +
+        std::to_string(total_pairs) + " pairs posted)");
+  }
+  for (const core::ScoredPair& pair : picked) {
+    const auto key = std::minmax(pair.a, pair.b);
+    session->asked.insert({key.first, key.second});
+  }
+  return picked;
+}
+
+util::StatusOr<SessionManager::PostReport> SessionManager::PostAnswers(
+    const std::string& id,
+    const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
+        answers) {
+  const std::shared_ptr<Session> session = Find(id);
+  if (session == nullptr) {
+    return util::Status::NotFound("unknown session '" + id + "'");
+  }
+  obs::Span span("serve.post_answers");
+  std::lock_guard<std::mutex> lock(session->mu);
+  PostReport report;
+  for (const auto& [smaller, larger] : answers) {
+    engine::RankingEngine::FoldOutcome outcome;
+    const util::Status s = session->engine.Fold(
+        smaller, larger, options_.update_working, &outcome);
+    if (!s.ok()) return s;
+    switch (outcome) {
+      case engine::RankingEngine::FoldOutcome::kApplied:
+        ++report.applied;
+        break;
+      case engine::RankingEngine::FoldOutcome::kContradictory:
+        ++report.contradictory;
+        break;
+      case engine::RankingEngine::FoldOutcome::kDegenerate:
+        ++report.degenerate;
+        break;
+    }
+    const auto key = std::minmax(smaller, larger);
+    session->asked.insert({key.first, key.second});
+  }
+  report.version = session->engine.version();
+  return report;
+}
+
+util::StatusOr<pw::TopKDistribution> SessionManager::Distribution(
+    const std::string& id) {
+  const std::shared_ptr<Session> session = Find(id);
+  if (session == nullptr) {
+    return util::Status::NotFound("unknown session '" + id + "'");
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  return session->engine.Distribution();
+}
+
+util::StatusOr<double> SessionManager::Quality(const std::string& id) {
+  const std::shared_ptr<Session> session = Find(id);
+  if (session == nullptr) {
+    return util::Status::NotFound("unknown session '" + id + "'");
+  }
+  std::lock_guard<std::mutex> lock(session->mu);
+  return session->engine.Quality();
+}
+
+util::Status SessionManager::Close(const std::string& id) {
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      return util::Status::NotFound("unknown session '" + id + "'");
+    }
+    session = std::move(it->second);
+    sessions_.erase(it);
+  }
+  // An in-flight operation may still hold the session alive; unblock it
+  // rather than leaving it running against a closed session.
+  session->cancel.RequestCancel();
+  SessionsOpenGauge()->Sub();
+  return util::Status::OK();
+}
+
+SessionManager::CancelHandle SessionManager::CancelSourceFor(
+    const std::string& id) {
+  CancelHandle handle;
+  if (std::shared_ptr<Session> session = Find(id)) {
+    handle.source =
+        std::shared_ptr<util::CancelSource>(session, &session->cancel);
+  }
+  return handle;
+}
+
+int SessionManager::open_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+}  // namespace ptk::serve

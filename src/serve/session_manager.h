@@ -1,0 +1,178 @@
+#ifndef PTK_SERVE_SESSION_MANAGER_H_
+#define PTK_SERVE_SESSION_MANAGER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/selector.h"
+#include "engine/ranking_engine.h"
+#include "model/database.h"
+#include "pbtree/pbtree.h"
+#include "pw/topk_distribution.h"
+#include "rank/membership.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::serve {
+
+/// The session layer of the serving runtime: one immutable base database,
+/// shared read-only selection artifacts, and N independent cleaning
+/// sessions keyed by id.
+///
+/// Every session owns a private engine::RankingEngine (constraint set,
+/// copy-on-write working overlay, memoized conditioning) plus the
+/// asked-pair bookkeeping of a cleaning loop. The expensive artifacts —
+/// the rank::MembershipCalculator and the pbtree::PBTree on the base
+/// database — are built once here, pre-warmed, and handed to every
+/// session's engine via Options::shared_membership / shared_tree, so N
+/// sessions pay for one membership scan and one tree build total. A
+/// session that folds with update_working materializes a private working
+/// copy and its engine transparently stops borrowing (the artifact
+/// compatibility check fails on the copied database), so sharing never
+/// serves stale data.
+///
+/// Thread safety: all public methods are safe to call concurrently.
+/// Create/lookup/close synchronize on the session-table mutex; each
+/// operation on a session then serializes on that session's own mutex, so
+/// operations on *different* sessions run in parallel while one session's
+/// engine only ever sees one caller at a time. The shared artifacts are
+/// only read through const methods that MembershipCalculator / PBTree
+/// document as concurrency-safe.
+///
+/// Cancellation: each session carries one util::CancelSource whose token
+/// is threaded into its engine's enumeration and selection hot loops. The
+/// scheduler's deadline watchdog fires it from outside the worker running
+/// the request; an affected operation returns util::Status::Cancelled.
+/// The source is re-armed between requests of the same session (which the
+/// scheduler serializes) — see CancelScope.
+class SessionManager {
+ public:
+  struct Options {
+    /// Query shape shared by every session.
+    int k = 10;
+    pw::OrderMode order = pw::OrderMode::kInsensitive;
+    pw::EnumeratorOptions enumerator;
+
+    /// Selection strategy and its knobs (see core::SelectorOptions).
+    core::SelectorKind selector = core::SelectorKind::kOpt;
+    int fanout = 8;
+    uint64_t seed = 42;
+    double rand_k_fraction = 0.2;
+    int candidate_pool = 64;
+
+    /// When true, applied answers also reweight the session's private
+    /// working copy (the adaptive marginal fold); the default keeps
+    /// selection on the base database (the paper's batch model), which is
+    /// what lets sessions keep borrowing the shared artifacts forever.
+    bool update_working = false;
+
+    /// Admission limit: CreateSession beyond this sheds with
+    /// kResourceExhausted instead of growing without bound.
+    int max_sessions = 64;
+  };
+
+  /// `db` must be finalized and outlive the manager. Builds and pre-warms
+  /// the shared artifacts (one membership scan, one tree build).
+  SessionManager(const model::Database& db, const Options& options);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Opens a session and returns its id ("s1", "s2", ...). Sheds with
+  /// kResourceExhausted once max_sessions are open (close one and retry).
+  util::StatusOr<std::string> CreateSession();
+
+  /// Selects up to `count` not-yet-asked pairs for the session, best
+  /// first, and marks them as posted (a repeated call keeps walking down
+  /// the selector's stream). Fails with kResourceExhausted when the
+  /// stream has no unasked pair left, kNotFound for an unknown id, and
+  /// kCancelled when the session's cancel token fires mid-selection.
+  util::StatusOr<std::vector<core::ScoredPair>> NextPairs(
+      const std::string& id, int count);
+
+  /// Outcome tally of one PostAnswers batch.
+  struct PostReport {
+    int applied = 0;        // constraints extended
+    int contradictory = 0;  // zero surviving worlds — discarded
+    int degenerate = 0;     // marginal fold would zero an object
+    uint64_t version = 0;   // engine constraint-set version afterwards
+  };
+
+  /// Folds crowd answers — each pair is (smaller, larger): the first
+  /// object ranks above (is smaller than) the second — into the session's
+  /// constraint set, in order. Stops at the first structural error
+  /// (invalid object id); rejected-but-well-formed answers are tallied,
+  /// not errors.
+  util::StatusOr<PostReport> PostAnswers(
+      const std::string& id,
+      const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
+          answers);
+
+  /// The session's conditioned top-k distribution (memoized per
+  /// constraint-set version).
+  util::StatusOr<pw::TopKDistribution> Distribution(const std::string& id);
+
+  /// H(S_k | answers) for the session.
+  util::StatusOr<double> Quality(const std::string& id);
+
+  /// Closes the session; its id is never reused. kNotFound when unknown.
+  util::Status Close(const std::string& id);
+
+  /// A handle that keeps the session's CancelSource alive independent of
+  /// Close() racing in; null `source` means the id was unknown. The
+  /// scheduler re-arms the source before each request it runs for the
+  /// session and hands it to the deadline watchdog.
+  struct CancelHandle {
+    std::shared_ptr<util::CancelSource> source;
+  };
+  CancelHandle CancelSourceFor(const std::string& id);
+
+  int open_sessions() const;
+  const model::Database& db() const { return *db_; }
+  const Options& options() const { return options_; }
+
+ private:
+  struct Session {
+    // `cancel` is declared before `engine` so Arm can thread its token
+    // into the engine options during construction.
+    Session(const model::Database& db,
+            engine::RankingEngine::Options options)
+        : engine(db, Arm(std::move(options), cancel)) {}
+
+    std::mutex mu;  // serializes all operations on this session
+    util::CancelSource cancel;
+    engine::RankingEngine engine;
+    std::set<std::pair<model::ObjectId, model::ObjectId>> asked;
+
+   private:
+    static engine::RankingEngine::Options Arm(
+        engine::RankingEngine::Options options,
+        const util::CancelSource& source) {
+      options.enumerator.cancel = source.token();
+      return options;
+    }
+  };
+
+  std::shared_ptr<Session> Find(const std::string& id) const;
+
+  const model::Database* db_;
+  Options options_;
+  std::shared_ptr<const rank::MembershipCalculator> membership_;
+  std::unique_ptr<const pbtree::PBTree> tree_;
+
+  mutable std::mutex mu_;  // guards sessions_ and next_id_
+  std::map<std::string, std::shared_ptr<Session>> sessions_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace ptk::serve
+
+#endif  // PTK_SERVE_SESSION_MANAGER_H_

@@ -2,9 +2,7 @@
 
 namespace ptk::util {
 
-namespace {
-
-const char* CodeName(Status::Code code) {
+const char* StatusCodeName(Status::Code code) {
   switch (code) {
     case Status::Code::kOk:
       return "OK";
@@ -20,11 +18,13 @@ const char* CodeName(Status::Code code) {
       return "Internal";
     case Status::Code::kFailedPrecondition:
       return "FailedPrecondition";
+    case Status::Code::kCancelled:
+      return "Cancelled";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
-
-}  // namespace
 
 Status Status::WithContext(std::string context) const {
   if (ok()) return *this;
@@ -36,7 +36,7 @@ Status Status::WithContext(std::string context) const {
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
-  std::string out = CodeName(code_);
+  std::string out = StatusCodeName(code_);
   if (!message_.empty()) {
     out += ": ";
     out += message_;

@@ -19,6 +19,8 @@ class Status {
     kIoError,
     kInternal,
     kFailedPrecondition,
+    kCancelled,
+    kDeadlineExceeded,
   };
 
   Status() : code_(Code::kOk) {}
@@ -42,6 +44,12 @@ class Status {
   static Status FailedPrecondition(std::string msg) {
     return Status(Code::kFailedPrecondition, std::move(msg));
   }
+  static Status Cancelled(std::string msg) {
+    return Status(Code::kCancelled, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   Code code() const { return code_; }
@@ -64,6 +72,10 @@ class Status {
   Code code_;
   std::string message_;
 };
+
+/// The code's stable wire/name form ("OK", "NotFound", ...), as used by
+/// ToString() and the serving protocol's error responses.
+const char* StatusCodeName(Status::Code code);
 
 }  // namespace ptk::util
 

@@ -17,11 +17,10 @@ TEST(AdaptiveCleaner, RunRequiresSuccessfulInit) {
   crowd::GroundTruthOracle oracle({23.0, 24.0, 22.0});
   crowd::AdaptiveCleaner::Options options;
   options.k = 2;
-  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
 
   // Run before Init is refused.
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
-  EXPECT_EQ(cleaner.Run(1, &steps).code(),
+  EXPECT_EQ(cleaner.Run(1).status().code(),
             util::Status::Code::kFailedPrecondition);
 
   // A failing evaluation surfaces through Init instead of being folded
@@ -32,7 +31,7 @@ TEST(AdaptiveCleaner, RunRequiresSuccessfulInit) {
   const util::Status init = broken.Init();
   ASSERT_FALSE(init.ok());
   EXPECT_EQ(init.code(), util::Status::Code::kResourceExhausted);
-  EXPECT_EQ(broken.Run(1, &steps).code(),
+  EXPECT_EQ(broken.Run(1).status().code(),
             util::Status::Code::kFailedPrecondition);
 }
 
@@ -45,15 +44,16 @@ TEST(AdaptiveCleaner, SequentialStepsReduceTrueQuality) {
   ASSERT_TRUE(cleaner.Init().ok());
   EXPECT_GT(cleaner.initial_quality(), 0.0);
 
-  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
-  ASSERT_TRUE(cleaner.Run(5, &steps).ok());
-  ASSERT_EQ(steps.size(), 5u);
-  for (const auto& step : steps) {
+  const util::StatusOr<std::vector<crowd::AdaptiveCleaner::StepReport>>
+      steps = cleaner.Run(5);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 5u);
+  for (const auto& step : *steps) {
     EXPECT_TRUE(step.applied);  // sampled-world truth is never
                                 // contradictory
     EXPECT_NE(step.pair.a, step.pair.b);
   }
-  EXPECT_LT(steps.back().true_quality, cleaner.initial_quality());
+  EXPECT_LT(steps->back().true_quality, cleaner.initial_quality());
   EXPECT_EQ(cleaner.constraints().size(), 5);
 }
 
@@ -64,10 +64,11 @@ TEST(AdaptiveCleaner, NeverRepeatsAPair) {
   options.k = 2;
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
   ASSERT_TRUE(cleaner.Init().ok());
-  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
-  ASSERT_TRUE(cleaner.Run(6, &steps).ok());
+  const util::StatusOr<std::vector<crowd::AdaptiveCleaner::StepReport>>
+      steps = cleaner.Run(6);
+  ASSERT_TRUE(steps.ok());
   std::set<std::pair<model::ObjectId, model::ObjectId>> seen;
-  for (const auto& step : steps) {
+  for (const auto& step : *steps) {
     EXPECT_TRUE(
         seen.insert(std::minmax(step.pair.a, step.pair.b)).second);
   }
@@ -80,8 +81,7 @@ TEST(AdaptiveCleaner, WorkingDatabaseStaysValid) {
   options.k = 3;
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
   ASSERT_TRUE(cleaner.Init().ok());
-  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
-  ASSERT_TRUE(cleaner.Run(4, &steps).ok());
+  ASSERT_TRUE(cleaner.Run(4).ok());
   const model::Database& working = cleaner.working_db();
   ASSERT_TRUE(working.finalized());
   ASSERT_EQ(working.num_objects(), db.num_objects());
@@ -100,13 +100,14 @@ TEST(AdaptiveCleaner, FoldInSharpensTheAskedObjects) {
   options.k = 2;
   crowd::AdaptiveCleaner cleaner(db, &oracle, options);
   ASSERT_TRUE(cleaner.Init().ok());
-  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
-  ASSERT_TRUE(cleaner.Run(1, &steps).ok());
-  ASSERT_TRUE(steps[0].applied);
-  const model::ObjectId a = steps[0].pair.a;
-  const model::ObjectId b = steps[0].pair.b;
-  const model::ObjectId smaller = steps[0].first_greater ? b : a;
-  const model::ObjectId larger = steps[0].first_greater ? a : b;
+  const util::StatusOr<std::vector<crowd::AdaptiveCleaner::StepReport>>
+      steps = cleaner.Run(1);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_TRUE((*steps)[0].applied);
+  const model::ObjectId a = (*steps)[0].pair.a;
+  const model::ObjectId b = (*steps)[0].pair.b;
+  const model::ObjectId smaller = (*steps)[0].first_greater ? b : a;
+  const model::ObjectId larger = (*steps)[0].first_greater ? a : b;
   const double gap_before = db.object(larger).ExpectedValue() -
                             db.object(smaller).ExpectedValue();
   const double gap_after =
@@ -129,9 +130,10 @@ TEST(AdaptiveCleaner, MatchesBatchBudgetOrBetterOnFixture) {
   aopts.k = k;
   crowd::AdaptiveCleaner adaptive(db, &oracle1, aopts);
   ASSERT_TRUE(adaptive.Init().ok());
-  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
-  ASSERT_TRUE(adaptive.Run(budget, &steps).ok());
-  const double adaptive_quality = steps.back().true_quality;
+  const util::StatusOr<std::vector<crowd::AdaptiveCleaner::StepReport>>
+      steps = adaptive.Run(budget);
+  ASSERT_TRUE(steps.ok());
+  const double adaptive_quality = steps->back().true_quality;
 
   crowd::GroundTruthOracle oracle2(truth);
   core::SelectorOptions sopts;
@@ -141,10 +143,11 @@ TEST(AdaptiveCleaner, MatchesBatchBudgetOrBetterOnFixture) {
   sess.k = k;
   crowd::CleaningSession session(db, &batch_selector, &oracle2, sess);
   ASSERT_TRUE(session.Init().ok());
-  crowd::CleaningSession::RoundReport report;
-  ASSERT_TRUE(session.RunRound(budget, &report).ok());
+  const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+      session.RunRound(budget);
+  ASSERT_TRUE(report.ok());
 
-  EXPECT_LE(adaptive_quality, report.quality_after + 0.05);
+  EXPECT_LE(adaptive_quality, report->quality_after + 0.05);
 }
 
 }  // namespace

@@ -3,11 +3,13 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "data/answers.h"
 #include "data/csv.h"
 #include "data/synthetic.h"
+#include "util/statusor.h"
 
 namespace ptk {
 namespace {
@@ -89,8 +91,9 @@ TEST(Csv, RoundTrip) {
   const std::string path =
       (std::filesystem::temp_directory_path() / "ptk_csv_test.csv").string();
   ASSERT_TRUE(data::SaveCsv(original, path).ok());
-  model::Database loaded;
-  ASSERT_TRUE(data::LoadCsv(path, &loaded).ok());
+  util::StatusOr<model::Database> loaded_or = data::LoadCsv(path);
+  ASSERT_TRUE(loaded_or.ok());
+  const model::Database loaded = *std::move(loaded_or);
   std::remove(path.c_str());
   ASSERT_EQ(loaded.num_objects(), original.num_objects());
   ASSERT_EQ(loaded.num_instances(), original.num_instances());
@@ -113,10 +116,9 @@ TEST(Csv, LoadRejectsMalformedInput) {
     std::fputs("oid,value,prob\n0,1.0\n", f);  // missing column
     std::fclose(f);
   }
-  model::Database db;
-  EXPECT_FALSE(data::LoadCsv(path, &db).ok());
+  EXPECT_FALSE(data::LoadCsv(path).ok());
   std::remove(path.c_str());
-  EXPECT_FALSE(data::LoadCsv("/nonexistent/file.csv", &db).ok());
+  EXPECT_FALSE(data::LoadCsv("/nonexistent/file.csv").ok());
 }
 
 TEST(Csv, MissingHeaderIsAnErrorNotADroppedRow) {
@@ -124,113 +126,110 @@ TEST(Csv, MissingHeaderIsAnErrorNotADroppedRow) {
   // eating a data row of headerless files. Now: headered mode rejects the
   // file with a pointer at line 1, and headerless mode keeps every row.
   const std::string text = "0,1.5,0.5\n0,2.5,0.5\n1,2.0,1.0\n";
-  model::Database db;
-  const util::Status s = data::LoadCsvFromString(text, {}, &db, "in.csv");
+  const util::Status s =
+      data::LoadCsvFromString(text, {}, "in.csv").status();
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("missing header"), std::string::npos);
   EXPECT_NE(s.message().find("in.csv:1"), std::string::npos);
 
   data::CsvOptions headerless;
   headerless.require_header = false;
-  ASSERT_TRUE(data::LoadCsvFromString(text, headerless, &db).ok());
-  EXPECT_EQ(db.num_objects(), 2);
-  EXPECT_EQ(db.object(0).num_instances(), 2);  // first row not dropped
+  util::StatusOr<model::Database> db =
+      data::LoadCsvFromString(text, headerless);
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_objects(), 2);
+  EXPECT_EQ(db->object(0).num_instances(), 2);  // first row not dropped
 }
 
 TEST(Csv, RejectsTrailingGarbageAfterThirdField) {
-  model::Database db;
-  const util::Status s = data::LoadCsvFromString(
-      "oid,value,prob\n0,1.5,0.5xyz\n", {}, &db, "in.csv");
+  const util::Status s =
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,0.5xyz\n", {}, "in.csv")
+          .status();
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("in.csv:2"), std::string::npos);
   EXPECT_FALSE(
-      data::LoadCsvFromString("oid,value,prob\n0,1.5,0.5,7\n", {}, &db)
-          .ok());
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,0.5,7\n", {}).ok());
   EXPECT_FALSE(
-      data::LoadCsvFromString("oid,value,prob\n0x1,1.5,0.5\n", {}, &db)
-          .ok());
+      data::LoadCsvFromString("oid,value,prob\n0x1,1.5,0.5\n", {}).ok());
   EXPECT_FALSE(
-      data::LoadCsvFromString("oid,value,prob\n0,1.5e2q,0.5\n", {}, &db)
-          .ok());
+      data::LoadCsvFromString("oid,value,prob\n0,1.5e2q,0.5\n", {}).ok());
 }
 
 TEST(Csv, RejectsNonFiniteValuesAndProbabilities) {
-  model::Database db;
   for (const char* text :
        {"oid,value,prob\n0,nan,0.5\n0,2.0,0.5\n",
         "oid,value,prob\n0,inf,1.0\n", "oid,value,prob\n0,-inf,1.0\n",
         "oid,value,prob\n0,1.5,nan\n", "oid,value,prob\n0,1.5,inf\n",
         "oid,value,prob\n0,1e999,1.0\n"}) {
-    const util::Status s = data::LoadCsvFromString(text, {}, &db, "in.csv");
+    const util::Status s =
+        data::LoadCsvFromString(text, {}, "in.csv").status();
     EXPECT_FALSE(s.ok()) << text;
     EXPECT_FALSE(s.message().empty()) << text;
   }
 }
 
 TEST(Csv, RejectsOutOfRangeProbabilities) {
-  model::Database db;
   EXPECT_FALSE(
-      data::LoadCsvFromString("oid,value,prob\n0,1.5,-0.5\n", {}, &db).ok());
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,-0.5\n", {}).ok());
   EXPECT_FALSE(
-      data::LoadCsvFromString("oid,value,prob\n0,1.5,0\n", {}, &db).ok());
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,0\n", {}).ok());
   EXPECT_FALSE(
-      data::LoadCsvFromString("oid,value,prob\n0,1.5,1.5\n", {}, &db).ok());
+      data::LoadCsvFromString("oid,value,prob\n0,1.5,1.5\n", {}).ok());
 }
 
 TEST(Csv, RejectsNegativeAndNonContiguousOids) {
-  model::Database db;
   EXPECT_FALSE(
-      data::LoadCsvFromString("oid,value,prob\n-1,1.5,1.0\n", {}, &db).ok());
+      data::LoadCsvFromString("oid,value,prob\n-1,1.5,1.0\n", {}).ok());
   const util::Status s =
       data::LoadCsvFromString("oid,value,prob\n0,1.0,1.0\n2,2.0,1.0\n", {},
-                              &db, "in.csv");
+                              "in.csv")
+          .status();
   ASSERT_FALSE(s.ok());
   EXPECT_NE(s.message().find("contiguous"), std::string::npos);
 }
 
 TEST(Csv, RejectsEmptyAndHeaderOnlyInput) {
-  model::Database db;
-  EXPECT_FALSE(data::LoadCsvFromString("", {}, &db).ok());
-  EXPECT_FALSE(data::LoadCsvFromString("oid,value,prob\n", {}, &db).ok());
+  EXPECT_FALSE(data::LoadCsvFromString("", {}).ok());
+  EXPECT_FALSE(data::LoadCsvFromString("oid,value,prob\n", {}).ok());
   data::CsvOptions headerless;
   headerless.require_header = false;
-  EXPECT_FALSE(data::LoadCsvFromString("", headerless, &db).ok());
-  EXPECT_FALSE(data::LoadCsvFromString("# only a comment\n", headerless, &db)
-                   .ok());
+  EXPECT_FALSE(data::LoadCsvFromString("", headerless).ok());
+  EXPECT_FALSE(
+      data::LoadCsvFromString("# only a comment\n", headerless).ok());
 }
 
 TEST(Csv, AcceptsCommentsBlankLinesAndCrlf) {
-  model::Database db;
   const std::string text =
       "# leading comment\r\noid,value,prob\r\n\r\n0,1.5,0.5\r\n# mid\n"
       "0,2.5,0.5\r\n1,2.0,1.0\r\n";
-  ASSERT_TRUE(data::LoadCsvFromString(text, {}, &db).ok());
-  EXPECT_EQ(db.num_objects(), 2);
-  EXPECT_EQ(db.num_instances(), 3);
+  const util::StatusOr<model::Database> db =
+      data::LoadCsvFromString(text, {});
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->num_objects(), 2);
+  EXPECT_EQ(db->num_instances(), 3);
 }
 
 TEST(Answers, ParsesStrictlyWithLineNumbers) {
-  std::vector<data::ParsedAnswer> answers;
   const std::string text = "# resolved by majority vote\n0,1\n\n 2 , 3 \n";
-  ASSERT_TRUE(
-      data::ParseAnswersFromString(text, /*num_objects=*/4, &answers).ok());
-  ASSERT_EQ(answers.size(), 2u);
-  EXPECT_EQ(answers[0].smaller, 0);
-  EXPECT_EQ(answers[0].larger, 1);
-  EXPECT_EQ(answers[0].line_no, 2);
-  EXPECT_EQ(answers[1].smaller, 2);
-  EXPECT_EQ(answers[1].larger, 3);
-  EXPECT_EQ(answers[1].line_no, 4);
+  const util::StatusOr<std::vector<data::ParsedAnswer>> answers =
+      data::ParseAnswersFromString(text, /*num_objects=*/4);
+  ASSERT_TRUE(answers.ok());
+  ASSERT_EQ(answers->size(), 2u);
+  EXPECT_EQ((*answers)[0].smaller, 0);
+  EXPECT_EQ((*answers)[0].larger, 1);
+  EXPECT_EQ((*answers)[0].line_no, 2);
+  EXPECT_EQ((*answers)[1].smaller, 2);
+  EXPECT_EQ((*answers)[1].larger, 3);
+  EXPECT_EQ((*answers)[1].line_no, 4);
 }
 
 TEST(Answers, RejectsMalformedLines) {
-  std::vector<data::ParsedAnswer> answers;
   for (const char* text :
        {"0,1x\n", "0,1,2\n", "0\n", "a,b\n", "0,9\n", "-1,1\n", "2,2\n",
         "0, 1 trailing\n"}) {
     const util::Status s =
-        data::ParseAnswersFromString(text, /*num_objects=*/4, &answers,
-                                     "answers.csv");
+        data::ParseAnswersFromString(text, /*num_objects=*/4, "answers.csv")
+            .status();
     EXPECT_FALSE(s.ok()) << text;
     EXPECT_NE(s.message().find("answers.csv:1"), std::string::npos) << text;
   }

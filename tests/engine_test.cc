@@ -245,16 +245,19 @@ TEST(EngineEquivalence, RandomFoldSequencesMatchScratchRecompute) {
       // evaluator over the same base database and constraints.
       const core::QualityEvaluator scratch_eval(base, options.k,
                                                 options.order);
-      pw::TopKDistribution engine_dist, scratch_dist;
-      ASSERT_TRUE(eng.Distribution(&engine_dist).ok());
+      const util::StatusOr<pw::TopKDistribution> engine_dist =
+          eng.Distribution();
+      ASSERT_TRUE(engine_dist.ok());
+      pw::TopKDistribution scratch_dist;
       ASSERT_TRUE(
           scratch_eval.Distribution(&eng.constraints(), &scratch_dist).ok());
-      ExpectDistributionMatches(engine_dist, scratch_dist);
-      double engine_h = 0.0, scratch_h = 0.0;
-      ASSERT_TRUE(eng.Quality(&engine_h).ok());
+      ExpectDistributionMatches(*engine_dist, scratch_dist);
+      const util::StatusOr<double> engine_h = eng.Quality();
+      ASSERT_TRUE(engine_h.ok());
+      double scratch_h = 0.0;
       ASSERT_TRUE(
           scratch_eval.Quality(&eng.constraints(), &scratch_h).ok());
-      EXPECT_NEAR(engine_h, scratch_h, kTol);
+      EXPECT_NEAR(*engine_h, scratch_h, kTol);
     }
 
     const model::Database rebuilt = ScratchRebuild(eng.working_db());
@@ -329,21 +332,22 @@ TEST(PBTreeMaintenance, PathLocalUpdateMatchesFullRefreshBitwise) {
 TEST(SelectorOptionsTest, MembershipForRejectsStaleCalculatorAfterReweight) {
   const model::Database base = testing::PaperExampleDb();
   model::DatabaseOverlay overlay(base);
-  const model::Database& db = overlay.db();
   core::SelectorOptions options;
   options.k = 2;
-  options.membership = options.MembershipFor(db);
-  // Fresh calculator: reused.
-  EXPECT_EQ(options.MembershipFor(db), options.membership);
+  options.membership = options.MembershipFor(overlay.db());
+  // Fresh calculator: reused. (overlay.db() still aliases the base — the
+  // copy is lazy — so a calculator built on the base qualifies too.)
+  EXPECT_EQ(options.MembershipFor(overlay.db()), options.membership);
 
   const util::Status s = overlay.Reweight(0, {1.0, 3.0});
   ASSERT_TRUE(s.ok()) << s.ToString();
-  // Stale after the reweight: a fresh calculator must be built.
-  const auto fresh = options.MembershipFor(db);
+  // The reweight materialized a private copy; overlay.db() now names a
+  // different database object, so the old calculator must not be reused.
+  const auto fresh = options.MembershipFor(overlay.db());
   EXPECT_NE(fresh, options.membership);
-  EXPECT_EQ(fresh->db_version(), db.mutation_version());
-  // And the stale one is refreshable back into service.
-  EXPECT_NE(options.membership->db_version(), db.mutation_version());
+  EXPECT_EQ(&fresh->db(), &overlay.db());
+  EXPECT_EQ(fresh->db_version(), overlay.db().mutation_version());
+  EXPECT_NE(&options.membership->db(), &overlay.db());
 }
 
 // The engine's Fold formula matches the documented marginal rule
@@ -396,19 +400,17 @@ TEST(RankingEngineTest, DistributionIsMemoizedPerVersion) {
   options.k = 2;
   engine::RankingEngine eng(base, options);
 
-  double h = 0.0;
-  pw::TopKDistribution dist;
-  ASSERT_TRUE(eng.Quality(&h).ok());
-  ASSERT_TRUE(eng.Distribution(&dist).ok());
-  ASSERT_TRUE(eng.Quality(&h).ok());
+  ASSERT_TRUE(eng.Quality().ok());
+  ASSERT_TRUE(eng.Distribution().ok());
+  ASSERT_TRUE(eng.Quality().ok());
   EXPECT_EQ(eng.counters().enumerations, 1);
   EXPECT_EQ(eng.counters().distribution_hits, 2);
 
   engine::RankingEngine::FoldOutcome outcome;
   ASSERT_TRUE(eng.Fold(2, 0, /*update_working=*/false, &outcome).ok());
   ASSERT_EQ(outcome, engine::RankingEngine::FoldOutcome::kApplied);
-  ASSERT_TRUE(eng.Quality(&h).ok());
-  ASSERT_TRUE(eng.Quality(&h).ok());
+  ASSERT_TRUE(eng.Quality().ok());
+  ASSERT_TRUE(eng.Quality().ok());
   EXPECT_EQ(eng.counters().enumerations, 2);
   EXPECT_EQ(eng.counters().distribution_hits, 3);
 }
@@ -428,17 +430,21 @@ TEST(CleaningSessionTest, CurrentDistributionIsMemoized) {
   crowd::CleaningSession session(db, &selector, &oracle, options);
   ASSERT_TRUE(session.Init().ok());
 
-  crowd::CleaningSession::RoundReport report;
-  ASSERT_TRUE(session.RunRound(1, &report).ok());
+  const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+      session.RunRound(1);
+  ASSERT_TRUE(report.ok());
   const int64_t enumerations = session.engine().counters().enumerations;
 
-  pw::TopKDistribution first, second;
-  ASSERT_TRUE(session.CurrentDistribution(&first).ok());
-  ASSERT_TRUE(session.CurrentDistribution(&second).ok());
+  const util::StatusOr<pw::TopKDistribution> first =
+      session.CurrentDistribution();
+  const util::StatusOr<pw::TopKDistribution> second =
+      session.CurrentDistribution();
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
   EXPECT_EQ(session.engine().counters().enumerations, enumerations);
   EXPECT_GE(session.engine().counters().distribution_hits, 2);
-  ExpectDistributionMatches(first, second);
-  EXPECT_NEAR(first.Entropy(), report.quality_after, kTol);
+  ExpectDistributionMatches(*first, *second);
+  EXPECT_NEAR(first->Entropy(), report->quality_after, kTol);
 }
 
 // Acceptance: the adaptive cleaner no longer rebuilds the working database
@@ -454,13 +460,14 @@ TEST(AdaptiveCleanerTest, WorkingDatabaseIsStableAcrossSteps) {
   ASSERT_TRUE(cleaner.Init().ok());
   const model::Database* working_before = &cleaner.working_db();
 
-  std::vector<crowd::AdaptiveCleaner::StepReport> steps;
-  ASSERT_TRUE(cleaner.Run(5, &steps).ok());
-  ASSERT_EQ(steps.size(), 5u);
+  const util::StatusOr<std::vector<crowd::AdaptiveCleaner::StepReport>>
+      steps = cleaner.Run(5);
+  ASSERT_TRUE(steps.ok());
+  ASSERT_EQ(steps->size(), 5u);
   EXPECT_EQ(&cleaner.working_db(), working_before);
 
   int64_t applied = 0;
-  for (const auto& step : steps) applied += step.applied ? 1 : 0;
+  for (const auto& step : *steps) applied += step.applied ? 1 : 0;
   EXPECT_EQ(cleaner.engine().counters().folds_applied, applied);
   // The original database still carries its original marginals.
   for (const auto& obj : db.objects()) {

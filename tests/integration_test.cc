@@ -87,11 +87,12 @@ TEST(Integration, RepeatedCleaningDrivesEntropyDown) {
   crowd::CleaningSession session(db, &selector, &oracle, session_opts);
   ASSERT_TRUE(session.Init().ok());
 
-  crowd::CleaningSession::RoundReport report;
   double final_quality = session.initial_quality();
   for (int round = 0; round < 4; ++round) {
-    ASSERT_TRUE(session.RunRound(2, &report).ok());
-    final_quality = report.quality_after;
+    const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+        session.RunRound(2);
+    ASSERT_TRUE(report.ok());
+    final_quality = report->quality_after;
   }
   EXPECT_LT(final_quality, session.initial_quality())
       << "eight truthful comparisons should reduce ranking uncertainty";

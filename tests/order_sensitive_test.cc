@@ -92,11 +92,12 @@ TEST(SensitivePipeline, SessionReducesSequenceEntropy) {
   sess.order = pw::OrderMode::kSensitive;
   crowd::CleaningSession session(db, &selector, &oracle, sess);
   ASSERT_TRUE(session.Init().ok());
-  crowd::CleaningSession::RoundReport report;
   double quality = session.initial_quality();
   for (int round = 0; round < 3; ++round) {
-    ASSERT_TRUE(session.RunRound(2, &report).ok());
-    quality = report.quality_after;
+    const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+        session.RunRound(2);
+    ASSERT_TRUE(report.ok());
+    quality = report->quality_after;
   }
   EXPECT_LT(quality, session.initial_quality());
 }

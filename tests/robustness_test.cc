@@ -18,6 +18,7 @@
 #include "data/answers.h"
 #include "data/csv.h"
 #include "test_util.h"
+#include "util/statusor.h"
 
 namespace ptk {
 namespace {
@@ -85,17 +86,16 @@ TEST(CsvProperty, RandomValidDatabasesRoundTrip) {
   for (uint64_t seed = 0; seed < 20; ++seed) {
     const model::Database original =
         testing::RandomDb(2 + static_cast<int>(seed % 6), 3, seed + 100);
-    model::Database loaded;
-    ASSERT_TRUE(
-        data::LoadCsvFromString(SerializeCsv(original), {}, &loaded).ok())
-        << "seed " << seed;
-    ASSERT_EQ(loaded.num_objects(), original.num_objects());
-    ASSERT_EQ(loaded.num_instances(), original.num_instances());
+    const util::StatusOr<model::Database> loaded =
+        data::LoadCsvFromString(SerializeCsv(original), {});
+    ASSERT_TRUE(loaded.ok()) << "seed " << seed;
+    ASSERT_EQ(loaded->num_objects(), original.num_objects());
+    ASSERT_EQ(loaded->num_instances(), original.num_instances());
     for (int o = 0; o < original.num_objects(); ++o) {
       for (int i = 0; i < original.object(o).num_instances(); ++i) {
-        EXPECT_DOUBLE_EQ(loaded.object(o).instance(i).value,
+        EXPECT_DOUBLE_EQ(loaded->object(o).instance(i).value,
                          original.object(o).instance(i).value);
-        EXPECT_NEAR(loaded.object(o).instance(i).prob,
+        EXPECT_NEAR(loaded->object(o).instance(i).prob,
                     original.object(o).instance(i).prob, 1e-15);
       }
     }
@@ -110,12 +110,12 @@ TEST(CsvProperty, RandomMutationsEitherParseCleanOrFailLoudly) {
   for (int iter = 0; iter < 3000; ++iter) {
     const std::string text = Mutate(base, rng);
     for (const data::CsvOptions& options : {data::CsvOptions{}, headerless}) {
-      model::Database db;
-      const util::Status s = data::LoadCsvFromString(text, options, &db);
-      if (s.ok()) {
-        CheckLoadedInvariants(db);
+      const util::StatusOr<model::Database> db =
+          data::LoadCsvFromString(text, options);
+      if (db.ok()) {
+        CheckLoadedInvariants(*db);
       } else {
-        EXPECT_FALSE(s.message().empty());
+        EXPECT_FALSE(db.status().message().empty());
       }
     }
   }
@@ -126,14 +126,13 @@ TEST(AnswersProperty, RandomMutationsNeverProduceOutOfRangeAnswers) {
   const std::string base = "0,1\n1,2\n# comment\n2,3\n3,0\n";
   for (int iter = 0; iter < 3000; ++iter) {
     const std::string text = Mutate(base, rng);
-    std::vector<data::ParsedAnswer> answers;
-    const util::Status s =
-        data::ParseAnswersFromString(text, /*num_objects=*/4, &answers);
-    if (!s.ok()) {
-      EXPECT_FALSE(s.message().empty());
+    const util::StatusOr<std::vector<data::ParsedAnswer>> answers =
+        data::ParseAnswersFromString(text, /*num_objects=*/4);
+    if (!answers.ok()) {
+      EXPECT_FALSE(answers.status().message().empty());
       continue;
     }
-    for (const data::ParsedAnswer& a : answers) {
+    for (const data::ParsedAnswer& a : *answers) {
       ASSERT_GE(a.smaller, 0);
       ASSERT_LT(a.smaller, 4);
       ASSERT_GE(a.larger, 0);
@@ -161,24 +160,24 @@ TEST(SessionProperty, RoundsEitherSucceedOrExhaustCleanly) {
 
     bool exhausted = false;
     for (int round = 0; round < 12 && !exhausted; ++round) {
-      crowd::CleaningSession::RoundReport report;
-      const util::Status s = session.RunRound(2, &report);
-      if (s.code() == util::Status::Code::kResourceExhausted) {
+      const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+          session.RunRound(2);
+      if (report.status().code() ==
+          util::Status::Code::kResourceExhausted) {
         exhausted = true;
         break;
       }
-      ASSERT_TRUE(s.ok()) << s.ToString();
-      ASSERT_TRUE(std::isfinite(report.quality_after));
-      ASSERT_GE(report.quality_after, -1e-9);
-      ASSERT_EQ(report.answers.size() + report.skipped.size(),
-                report.selected.size());
-      ASSERT_EQ(report.skip_reasons.size(), report.skipped.size());
+      ASSERT_TRUE(report.ok()) << report.status().ToString();
+      ASSERT_TRUE(std::isfinite(report->quality_after));
+      ASSERT_GE(report->quality_after, -1e-9);
+      ASSERT_EQ(report->answers.size() + report->skipped.size(),
+                report->selected.size());
+      ASSERT_EQ(report->skip_reasons.size(), report->skipped.size());
     }
     // A biased (sometimes lying) crowd on a small database must end in
     // clean exhaustion, and exhaustion is sticky.
     ASSERT_TRUE(exhausted);
-    crowd::CleaningSession::RoundReport report;
-    EXPECT_EQ(session.RunRound(2, &report).code(),
+    EXPECT_EQ(session.RunRound(2).status().code(),
               util::Status::Code::kResourceExhausted);
   }
 }

@@ -1,0 +1,509 @@
+// The concurrent serving runtime (src/serve/): session manager, deadline
+// scheduler, and the JSON-lines protocol.
+//
+// The load-bearing guarantee is pinned by ConcurrentMatchesSequential: N
+// sessions interleaved across scheduler workers produce results
+// bit-identical to the same operations run back-to-back on one thread —
+// sharing the base artifacts buys throughput, never different answers.
+// The suite is run under TSan by tools/check.sh.
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "engine/ranking_engine.h"
+#include "pbtree/pbtree.h"
+#include "rank/membership.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session_manager.h"
+#include "util/cancellation.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+model::Database TestDb(int num_objects = 16) {
+  data::SynOptions options;
+  options.num_objects = num_objects;
+  options.avg_instances = 3;
+  options.value_range = 100.0;
+  options.cluster_width = 30.0;  // overlapping clusters: real uncertainty
+  options.seed = 7;
+  return data::MakeSynDataset(options);
+}
+
+serve::SessionManager::Options ManagerOptions(int k = 4) {
+  serve::SessionManager::Options options;
+  options.k = k;
+  options.fanout = 4;
+  return options;
+}
+
+/// The deterministic "crowd": ranks by expected value.
+std::vector<std::pair<model::ObjectId, model::ObjectId>> AnswerByExpectation(
+    const model::Database& db, const std::vector<core::ScoredPair>& pairs) {
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> answers;
+  for (const core::ScoredPair& pair : pairs) {
+    const bool a_smaller =
+        db.object(pair.a).ExpectedValue() <= db.object(pair.b).ExpectedValue();
+    answers.emplace_back(a_smaller ? pair.a : pair.b,
+                         a_smaller ? pair.b : pair.a);
+  }
+  return answers;
+}
+
+struct SessionResult {
+  std::vector<std::pair<pw::ResultKey, double>> ranked;
+  double quality = 0.0;
+};
+
+// The per-session script: (session_index % 3) + 1 rounds of select-2 /
+// answer / fold, then read distribution and quality.
+Status RunScript(serve::SessionManager& manager, const model::Database& db,
+                 int session_index, const std::string& id,
+                 SessionResult* result) {
+  const int rounds = session_index % 3 + 1;
+  for (int round = 0; round < rounds; ++round) {
+    StatusOr<std::vector<core::ScoredPair>> pairs = manager.NextPairs(id, 2);
+    if (!pairs.ok()) return pairs.status();
+    StatusOr<serve::SessionManager::PostReport> report =
+        manager.PostAnswers(id, AnswerByExpectation(db, *pairs));
+    if (!report.ok()) return report.status();
+  }
+  StatusOr<pw::TopKDistribution> dist = manager.Distribution(id);
+  if (!dist.ok()) return dist.status();
+  result->ranked = dist->SortedByProbDesc();
+  StatusOr<double> quality = manager.Quality(id);
+  if (!quality.ok()) return quality.status();
+  result->quality = *quality;
+  return Status::OK();
+}
+
+TEST(SessionManagerTest, ConcurrentMatchesSequential) {
+  constexpr int kSessions = 8;
+  const model::Database db = TestDb();
+
+  // Sequential baseline: one session at a time, direct manager calls.
+  std::vector<SessionResult> sequential(kSessions);
+  {
+    serve::SessionManager manager(db, ManagerOptions());
+    for (int i = 0; i < kSessions; ++i) {
+      StatusOr<std::string> id = manager.CreateSession();
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ASSERT_TRUE(
+          RunScript(manager, db, i, *id, &sequential[i]).ok());
+    }
+  }
+
+  // Concurrent: every session's whole script runs as one scheduler
+  // request per session, interleaved across 4 workers.
+  std::vector<SessionResult> concurrent(kSessions);
+  {
+    serve::SessionManager manager(db, ManagerOptions());
+    serve::Scheduler::Options scheduler_options;
+    scheduler_options.workers = 4;
+    scheduler_options.queue_capacity = 2 * kSessions;
+    serve::Scheduler scheduler(scheduler_options);
+    std::vector<Status> outcomes(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+      StatusOr<std::string> id = manager.CreateSession();
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      serve::Scheduler::Request request;
+      request.session_id = *id;
+      const std::string session_id = *id;
+      request.work = [&manager, &db, i, session_id, &concurrent] {
+        return RunScript(manager, db, i, session_id, &concurrent[i]);
+      };
+      request.done = [&outcomes, i](const Status& status) {
+        outcomes[i] = status;
+      };
+      ASSERT_TRUE(scheduler.Submit(std::move(request)).ok());
+    }
+    scheduler.Shutdown();
+    for (int i = 0; i < kSessions; ++i) {
+      ASSERT_TRUE(outcomes[i].ok()) << i << ": " << outcomes[i].ToString();
+    }
+  }
+
+  for (int i = 0; i < kSessions; ++i) {
+    ASSERT_EQ(sequential[i].ranked.size(), concurrent[i].ranked.size());
+    for (size_t j = 0; j < sequential[i].ranked.size(); ++j) {
+      EXPECT_EQ(sequential[i].ranked[j].first, concurrent[i].ranked[j].first)
+          << "session " << i << " set " << j;
+      // Bit-identical, not approximately equal: same operations, same
+      // summation order, regardless of interleaving.
+      EXPECT_EQ(sequential[i].ranked[j].second,
+                concurrent[i].ranked[j].second)
+          << "session " << i << " set " << j;
+    }
+    EXPECT_EQ(sequential[i].quality, concurrent[i].quality) << i;
+  }
+}
+
+TEST(SessionManagerTest, SharedArtifactsAreBorrowedUntilMaterialization) {
+  const model::Database db = TestDb(10);
+  auto membership = std::make_shared<rank::MembershipCalculator>(db, 4);
+  pbtree::PBTree tree(db);
+
+  engine::RankingEngine::Options options;
+  options.k = 4;
+  options.fanout = tree.fanout();
+  options.shared_membership = membership;
+  options.shared_tree = &tree;
+  engine::RankingEngine engine(db, options);
+
+  EXPECT_EQ(engine.membership().get(), membership.get());
+  EXPECT_EQ(&engine.tree(), &tree);
+
+  // An update_working fold materializes the private copy; borrowing must
+  // stop (the shared artifacts still describe the base database).
+  engine::RankingEngine::FoldOutcome outcome;
+  ASSERT_TRUE(engine.Fold(0, 1, /*update_working=*/true, &outcome).ok());
+  ASSERT_EQ(outcome, engine::RankingEngine::FoldOutcome::kApplied);
+  EXPECT_NE(engine.membership().get(), membership.get());
+  EXPECT_NE(&engine.tree(), &tree);
+}
+
+TEST(SessionManagerTest, LifecycleAndAdmission) {
+  const model::Database db = TestDb(8);
+  serve::SessionManager::Options options = ManagerOptions(3);
+  options.max_sessions = 2;
+  serve::SessionManager manager(db, options);
+
+  StatusOr<std::string> s1 = manager.CreateSession();
+  StatusOr<std::string> s2 = manager.CreateSession();
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(manager.open_sessions(), 2);
+
+  const StatusOr<std::string> s3 = manager.CreateSession();
+  EXPECT_EQ(s3.status().code(), Status::Code::kResourceExhausted);
+
+  EXPECT_EQ(manager.NextPairs("nope", 1).status().code(),
+            Status::Code::kNotFound);
+  EXPECT_EQ(manager.Quality("nope").status().code(), Status::Code::kNotFound);
+
+  ASSERT_TRUE(manager.Close(*s1).ok());
+  EXPECT_EQ(manager.Close(*s1).code(), Status::Code::kNotFound);
+  EXPECT_EQ(manager.open_sessions(), 1);
+  // Ids are never reused; the freed slot admits a fresh session.
+  const StatusOr<std::string> s4 = manager.CreateSession();
+  ASSERT_TRUE(s4.ok());
+  EXPECT_NE(*s4, *s1);
+}
+
+TEST(SessionManagerTest, PairStreamExhaustionIsResourceExhausted) {
+  const model::Database db = TestDb(4);  // 6 pairs total
+  serve::SessionManager manager(db, ManagerOptions(2));
+  const StatusOr<std::string> id = manager.CreateSession();
+  ASSERT_TRUE(id.ok());
+  int delivered = 0;
+  for (;;) {
+    StatusOr<std::vector<core::ScoredPair>> pairs = manager.NextPairs(*id, 2);
+    if (!pairs.ok()) {
+      EXPECT_EQ(pairs.status().code(), Status::Code::kResourceExhausted);
+      break;
+    }
+    delivered += static_cast<int>(pairs->size());
+    ASSERT_LE(delivered, 6);
+  }
+  EXPECT_GT(delivered, 0);
+}
+
+TEST(SessionManagerTest, CancellationAbortsSelectionCleanly) {
+  const model::Database db = TestDb();
+  serve::SessionManager manager(db, ManagerOptions());
+  const StatusOr<std::string> id = manager.CreateSession();
+  ASSERT_TRUE(id.ok());
+
+  const serve::SessionManager::CancelHandle handle =
+      manager.CancelSourceFor(*id);
+  ASSERT_NE(handle.source, nullptr);
+  EXPECT_EQ(manager.CancelSourceFor("nope").source, nullptr);
+
+  handle.source->RequestCancel();
+  EXPECT_EQ(manager.NextPairs(*id, 1).status().code(),
+            Status::Code::kCancelled);
+
+  // Re-armed, the same session serves again — cancellation left no
+  // residue in the engine.
+  handle.source->Reset();
+  const StatusOr<std::vector<core::ScoredPair>> pairs =
+      manager.NextPairs(*id, 1);
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(pairs->size(), 1u);
+}
+
+TEST(SchedulerTest, DeadlineExpiredWhileQueuedSkipsExecution) {
+  serve::Scheduler::Options options;
+  options.workers = 1;
+  serve::Scheduler scheduler(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_started = false;
+
+  serve::Scheduler::Request blocker;
+  blocker.session_id = "a";
+  blocker.work = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    blocker_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return Status::OK();
+  };
+  ASSERT_TRUE(scheduler.Submit(std::move(blocker)).ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return blocker_started; });
+  }
+
+  std::atomic<bool> ran{false};
+  Status observed = Status::OK();
+  std::atomic<bool> done{false};
+  serve::Scheduler::Request doomed;
+  doomed.session_id = "b";
+  doomed.deadline = std::chrono::milliseconds(1);
+  doomed.work = [&] {
+    ran.store(true);
+    return Status::OK();
+  };
+  doomed.done = [&](const Status& status) {
+    observed = status;
+    done.store(true);
+  };
+  ASSERT_TRUE(scheduler.Submit(std::move(doomed)).ok());
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Shutdown();
+
+  EXPECT_TRUE(done.load());
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(observed.code(), Status::Code::kDeadlineExceeded);
+  EXPECT_EQ(scheduler.stats().deadline_misses, 1);
+}
+
+TEST(SchedulerTest, WatchdogCancelsMidExecutionAsDeadlineExceeded) {
+  serve::Scheduler::Options options;
+  options.workers = 1;
+  serve::Scheduler scheduler(options);
+
+  auto source = std::make_shared<util::CancelSource>();
+  Status observed = Status::OK();
+  std::atomic<bool> saw_cancel{false};
+
+  serve::Scheduler::Request request;
+  request.session_id = "a";
+  request.deadline = std::chrono::milliseconds(5);
+  request.cancel = source;
+  request.work = [&]() -> Status {
+    // A cooperative hot loop: poll the token like the selectors do.
+    const auto give_up =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (std::chrono::steady_clock::now() < give_up) {
+      if (util::CancelRequested(source->token())) {
+        saw_cancel.store(true);
+        return Status::Cancelled("selection sweep aborted");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return Status::Internal("watchdog never fired");
+  };
+  request.done = [&](const Status& status) { observed = status; };
+  ASSERT_TRUE(scheduler.Submit(std::move(request)).ok());
+  scheduler.Shutdown();
+
+  EXPECT_TRUE(saw_cancel.load());
+  EXPECT_EQ(observed.code(), Status::Code::kDeadlineExceeded)
+      << observed.ToString();
+  EXPECT_EQ(scheduler.stats().deadline_misses, 1);
+}
+
+TEST(SchedulerTest, FullQueueShedsWithoutBlockingOrDeadlock) {
+  serve::Scheduler::Options options;
+  options.workers = 1;
+  options.queue_capacity = 2;
+  serve::Scheduler scheduler(options);
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  bool blocker_started = false;
+  std::atomic<int> completed{0};
+
+  serve::Scheduler::Request blocker;
+  blocker.session_id = "hog";
+  blocker.work = [&] {
+    std::unique_lock<std::mutex> lock(mu);
+    blocker_started = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    return Status::OK();
+  };
+  blocker.done = [&](const Status&) { completed.fetch_add(1); };
+  ASSERT_TRUE(scheduler.Submit(std::move(blocker)).ok());
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return blocker_started; });
+  }
+
+  // The worker is busy; capacity 2 admits exactly two more.
+  for (int i = 0; i < 2; ++i) {
+    serve::Scheduler::Request queued;
+    queued.session_id = "q" + std::to_string(i);
+    queued.work = [] { return Status::OK(); };
+    queued.done = [&](const Status&) { completed.fetch_add(1); };
+    ASSERT_TRUE(scheduler.Submit(std::move(queued)).ok());
+  }
+  serve::Scheduler::Request overflow;
+  overflow.work = [] { return Status::OK(); };
+  overflow.done = [](const Status&) {
+    FAIL() << "done must not fire for shed requests";
+  };
+  const Status shed = scheduler.Submit(std::move(overflow));
+  EXPECT_EQ(shed.code(), Status::Code::kResourceExhausted);
+  EXPECT_NE(shed.message().find("retry"), std::string::npos)
+      << shed.ToString();
+  EXPECT_EQ(scheduler.stats().shed, 1);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  scheduler.Shutdown();
+  EXPECT_EQ(completed.load(), 3);
+  EXPECT_EQ(scheduler.stats().executed, 3);
+}
+
+TEST(SchedulerTest, SameSessionRequestsSerializeInOrder) {
+  serve::Scheduler::Options options;
+  options.workers = 4;
+  serve::Scheduler scheduler(options);
+
+  std::mutex mu;
+  std::vector<int> order;
+  std::atomic<int> concurrent{0};
+  std::atomic<int> max_concurrent{0};
+  for (int i = 0; i < 16; ++i) {
+    serve::Scheduler::Request request;
+    request.session_id = "one";
+    request.work = [&, i] {
+      const int now = concurrent.fetch_add(1) + 1;
+      int seen = max_concurrent.load();
+      while (now > seen && !max_concurrent.compare_exchange_weak(seen, now)) {
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      order.push_back(i);
+      concurrent.fetch_sub(1);
+      return Status::OK();
+    };
+    ASSERT_TRUE(scheduler.Submit(std::move(request)).ok());
+  }
+  scheduler.Shutdown();
+
+  EXPECT_EQ(max_concurrent.load(), 1) << "session lane must serialize";
+  ASSERT_EQ(order.size(), 16u);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ProtocolTest, ParsesAndValidatesStrictly) {
+  StatusOr<serve::RequestLine> ok = serve::ParseRequestLine(
+      R"({"op":"post_answers","session":"s1","id":"x7",)"
+      R"("deadline_ms":250,"answers":[[2,0],[1,3]]})");
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->op, "post_answers");
+  EXPECT_EQ(ok->session, "s1");
+  EXPECT_EQ(ok->id, "x7");
+  EXPECT_EQ(ok->deadline_ms, 250);
+  ASSERT_EQ(ok->answers.size(), 2u);
+  EXPECT_EQ(ok->answers[0], (std::pair<model::ObjectId, model::ObjectId>{
+                                2, 0}));
+
+  // Strictness: unknown keys, missing op, trailing garbage, malformed
+  // numbers, negative ids — all InvalidArgument, never silently dropped.
+  const char* bad[] = {
+      R"({"op":"quality","session":"s1","frobnicate":1})",
+      R"({"session":"s1"})",
+      R"({"op":"quality"} trailing)",
+      R"({"op":"next_pairs","count":1.5})",
+      R"({"op":"next_pairs","count":0})",
+      R"({"op":"post_answers","answers":[[1,-2]]})",
+      R"(not json at all)",
+      R"({"op":"quality","deadline_ms":-4})",
+  };
+  for (const char* line : bad) {
+    EXPECT_EQ(serve::ParseRequestLine(line).status().code(),
+              Status::Code::kInvalidArgument)
+        << line;
+  }
+}
+
+TEST(ProtocolTest, ExecutesOpsAgainstManager) {
+  const model::Database db = TestDb(8);
+  serve::SessionManager manager(db, ManagerOptions(3));
+
+  auto run = [&](const std::string& line) -> StatusOr<std::string> {
+    StatusOr<serve::RequestLine> request = serve::ParseRequestLine(line);
+    if (!request.ok()) return request.status();
+    return serve::ExecuteRequest(manager, nullptr, *request);
+  };
+
+  StatusOr<std::string> created = run(R"({"op":"create_session"})");
+  ASSERT_TRUE(created.ok()) << created.status().ToString();
+  EXPECT_EQ(*created, ",\"session\":\"s1\"");
+
+  StatusOr<std::string> pairs =
+      run(R"({"op":"next_pairs","session":"s1","count":1})");
+  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
+  EXPECT_EQ(pairs->find(",\"pairs\":[["), 0u) << *pairs;
+
+  StatusOr<std::string> posted =
+      run(R"({"op":"post_answers","session":"s1","answers":[[0,1]]})");
+  ASSERT_TRUE(posted.ok()) << posted.status().ToString();
+  EXPECT_NE(posted->find("\"version\":"), std::string::npos);
+
+  StatusOr<std::string> quality =
+      run(R"({"op":"quality","session":"s1"})");
+  ASSERT_TRUE(quality.ok());
+  EXPECT_EQ(quality->find(",\"quality\":"), 0u);
+
+  StatusOr<std::string> metrics = run(R"({"op":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(*metrics, ",\"sessions_open\":1");
+
+  ASSERT_TRUE(run(R"({"op":"close","session":"s1"})").ok());
+  EXPECT_EQ(run(R"({"op":"quality","session":"s1"})").status().code(),
+            Status::Code::kNotFound);
+
+  // Error rendering carries the stable code name and the id tag.
+  const std::string rendered = serve::RenderResponse(
+      "x1", Status::NotFound("unknown session 's9'"), "");
+  EXPECT_EQ(rendered,
+            "{\"id\":\"x1\",\"ok\":false,\"error\":{\"code\":\"NotFound\","
+            "\"message\":\"unknown session 's9'\"}}");
+  EXPECT_EQ(serve::RenderResponse("", Status::OK(), ",\"quality\":0.5"),
+            "{\"ok\":true,\"quality\":0.5}");
+}
+
+}  // namespace
+}  // namespace ptk

@@ -99,13 +99,14 @@ TEST(CleaningSession, RoundsAccumulateConstraintsAndReduceEntropy) {
   double last = session.initial_quality();
   double total_improvement = 0.0;
   for (int round = 0; round < 3; ++round) {
-    crowd::CleaningSession::RoundReport report;
-    ASSERT_TRUE(session.RunRound(2, &report).ok());
-    EXPECT_EQ(report.selected.size(), 2u);
-    EXPECT_EQ(report.answers.size(), 2u);
-    EXPECT_DOUBLE_EQ(report.quality_before, last);
-    last = report.quality_after;
-    total_improvement += report.improvement();
+    const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+        session.RunRound(2);
+    ASSERT_TRUE(report.ok());
+    EXPECT_EQ(report->selected.size(), 2u);
+    EXPECT_EQ(report->answers.size(), 2u);
+    EXPECT_DOUBLE_EQ(report->quality_before, last);
+    last = report->quality_after;
+    total_improvement += report->improvement();
   }
   EXPECT_EQ(session.constraints().size(), 6);
   // With a truthful oracle the realized entropy typically falls; it is not
@@ -128,9 +129,10 @@ TEST(CleaningSession, NeverRepeatsAPair) {
 
   std::set<std::pair<model::ObjectId, model::ObjectId>> seen;
   for (int round = 0; round < 5; ++round) {
-    crowd::CleaningSession::RoundReport report;
-    ASSERT_TRUE(session.RunRound(2, &report).ok());
-    for (const auto& p : report.selected) {
+    const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+        session.RunRound(2);
+    ASSERT_TRUE(report.ok());
+    for (const auto& p : report->selected) {
       EXPECT_TRUE(seen.insert(std::minmax(p.a, p.b)).second)
           << "pair repeated in round " << round;
     }
@@ -151,12 +153,14 @@ TEST(CleaningSession, CurrentDistributionReflectsAnswers) {
   crowd::CleaningSession session(db, &selector, &oracle, session_opts);
   ASSERT_TRUE(session.Init().ok());
 
-  crowd::CleaningSession::RoundReport report;
-  ASSERT_TRUE(session.RunRound(1, &report).ok());
-  pw::TopKDistribution dist;
-  ASSERT_TRUE(session.CurrentDistribution(&dist).ok());
-  EXPECT_NEAR(dist.total_mass(), 1.0, 1e-9);
-  EXPECT_LE(report.quality_after, session.initial_quality() + 1e-9);
+  const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+      session.RunRound(1);
+  ASSERT_TRUE(report.ok());
+  const util::StatusOr<pw::TopKDistribution> dist =
+      session.CurrentDistribution();
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->total_mass(), 1.0, 1e-9);
+  EXPECT_LE(report->quality_after, session.initial_quality() + 1e-9);
 }
 
 TEST(CleaningSession, RunRoundBeforeInitFailsPrecondition) {
@@ -166,9 +170,8 @@ TEST(CleaningSession, RunRoundBeforeInitFailsPrecondition) {
   crowd::CleaningSession::Options opts;
   opts.k = 2;
   crowd::CleaningSession session(db, &selector, &oracle, opts);
-  crowd::CleaningSession::RoundReport report;
-  const util::Status s = session.RunRound(1, &report);
-  EXPECT_EQ(s.code(), util::Status::Code::kFailedPrecondition);
+  EXPECT_EQ(session.RunRound(1).status().code(),
+            util::Status::Code::kFailedPrecondition);
 }
 
 TEST(CleaningSession, FailedInitSurfacesErrorAndBlocksRounds) {
@@ -185,8 +188,7 @@ TEST(CleaningSession, FailedInitSurfacesErrorAndBlocksRounds) {
   EXPECT_NE(init.message().find("Init"), std::string::npos);
   // The seed behaviour was initial_quality() == 0.0 with rounds running
   // against a garbage baseline; now rounds are refused outright.
-  crowd::CleaningSession::RoundReport report;
-  EXPECT_EQ(session.RunRound(1, &report).code(),
+  EXPECT_EQ(session.RunRound(1).status().code(),
             util::Status::Code::kFailedPrecondition);
 }
 
@@ -211,10 +213,9 @@ TEST(CleaningSession, NonPositiveQuotaIsInvalid) {
   opts.k = 2;
   crowd::CleaningSession session(db, &selector, &oracle, opts);
   ASSERT_TRUE(session.Init().ok());
-  crowd::CleaningSession::RoundReport report;
-  EXPECT_EQ(session.RunRound(0, &report).code(),
+  EXPECT_EQ(session.RunRound(0).status().code(),
             util::Status::Code::kInvalidArgument);
-  EXPECT_EQ(session.RunRound(-3, &report).code(),
+  EXPECT_EQ(session.RunRound(-3).status().code(),
             util::Status::Code::kInvalidArgument);
 }
 
@@ -231,15 +232,16 @@ TEST(CleaningSession, QuotaBeyondRemainingPairsIsResourceExhausted) {
   crowd::CleaningSession session(db, &selector, &oracle, opts);
   ASSERT_TRUE(session.Init().ok());
 
-  crowd::CleaningSession::RoundReport report;
-  const util::Status too_many = session.RunRound(5, &report);
+  const util::Status too_many = session.RunRound(5).status();
   ASSERT_EQ(too_many.code(), util::Status::Code::kResourceExhausted);
   EXPECT_NE(too_many.message().find("quota 5"), std::string::npos);
 
   // The exact quota still works, and the next round finds nothing left.
-  ASSERT_TRUE(session.RunRound(3, &report).ok());
-  EXPECT_EQ(report.selected.size(), 3u);
-  EXPECT_EQ(session.RunRound(1, &report).code(),
+  const util::StatusOr<crowd::CleaningSession::RoundReport> report =
+      session.RunRound(3);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->selected.size(), 3u);
+  EXPECT_EQ(session.RunRound(1).status().code(),
             util::Status::Code::kResourceExhausted);
 }
 
@@ -256,15 +258,17 @@ TEST(CleaningSession, EscalatesPastDuplicateHeavyBatches) {
   crowd::CleaningSession session(db, &selector, &oracle, opts);
   ASSERT_TRUE(session.Init().ok());
 
-  crowd::CleaningSession::RoundReport report;
-  ASSERT_TRUE(session.RunRound(2, &report).ok());
-  ASSERT_EQ(report.selected.size(), 2u);
-  EXPECT_NE(std::minmax(report.selected[0].a, report.selected[0].b),
-            std::minmax(report.selected[1].a, report.selected[1].b));
+  util::StatusOr<crowd::CleaningSession::RoundReport> report =
+      session.RunRound(2);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->selected.size(), 2u);
+  EXPECT_NE(std::minmax(report->selected[0].a, report->selected[0].b),
+            std::minmax(report->selected[1].a, report->selected[1].b));
 
-  ASSERT_TRUE(session.RunRound(1, &report).ok());
-  ASSERT_EQ(report.selected.size(), 1u);
-  EXPECT_EQ(std::minmax(report.selected[0].a, report.selected[0].b),
+  report = session.RunRound(1);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->selected.size(), 1u);
+  EXPECT_EQ(std::minmax(report->selected[0].a, report->selected[0].b),
             std::minmax(model::ObjectId{1}, model::ObjectId{2}));
 }
 
@@ -278,23 +282,25 @@ TEST(CleaningSession, EveryAnswerSkippedRoundReportsConflictChain) {
   crowd::CleaningSession session(db, &selector, &oracle, opts);
   ASSERT_TRUE(session.Init().ok());
 
-  crowd::CleaningSession::RoundReport report;
-  ASSERT_TRUE(session.RunRound(2, &report).ok());
-  ASSERT_EQ(report.answers.size(), 2u);
-  EXPECT_TRUE(report.skipped.empty());
-  const double before = report.quality_after;
+  util::StatusOr<crowd::CleaningSession::RoundReport> report =
+      session.RunRound(2);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->answers.size(), 2u);
+  EXPECT_TRUE(report->skipped.empty());
+  const double before = report->quality_after;
 
   // The whole round is contradictory answers: nothing folds in, the
   // quality is unchanged, and each skip names the chain it fights with.
-  ASSERT_TRUE(session.RunRound(1, &report).ok());
-  EXPECT_TRUE(report.answers.empty());
-  ASSERT_EQ(report.skipped.size(), 1u);
-  ASSERT_EQ(report.skip_reasons.size(), 1u);
-  EXPECT_EQ(report.skipped[0].smaller, 2);
-  EXPECT_EQ(report.skipped[0].larger, 0);
-  EXPECT_NE(report.skip_reasons[0].find("0 < 1 < 2"), std::string::npos)
-      << report.skip_reasons[0];
-  EXPECT_DOUBLE_EQ(report.quality_after, before);
+  report = session.RunRound(1);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->answers.empty());
+  ASSERT_EQ(report->skipped.size(), 1u);
+  ASSERT_EQ(report->skip_reasons.size(), 1u);
+  EXPECT_EQ(report->skipped[0].smaller, 2);
+  EXPECT_EQ(report->skipped[0].larger, 0);
+  EXPECT_NE(report->skip_reasons[0].find("0 < 1 < 2"), std::string::npos)
+      << report->skip_reasons[0];
+  EXPECT_DOUBLE_EQ(report->quality_after, before);
   EXPECT_EQ(session.constraints().size(), 2);
 }
 

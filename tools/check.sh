@@ -20,11 +20,12 @@ cmake --build build -j "$JOBS"
 echo "== property + stress suites =="
 (cd build && ctest --output-on-failure -j "$JOBS" -L 'property|stress')
 
-echo "== TSan: metrics-on observability + parallel layer =="
+echo "== TSan: metrics-on observability + parallel layer + serving runtime =="
 cmake -B build-tsan -S . -DPTK_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target obs_test parallel_test
+cmake --build build-tsan -j "$JOBS" --target obs_test parallel_test serve_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/parallel_test
+./build-tsan/tests/serve_test
 
 echo "== PTK_METRICS=OFF cross-build: instrumentation must be inert =="
 cmake -B build-nometrics -S . -DPTK_METRICS=OFF >/dev/null
@@ -44,6 +45,29 @@ printf 'oid,value,prob\n0,20,0.2\n0,23,0.8\n1,21,0.2\n1,24,0.8\n2,22,0.6\n2,25,0
 cmp /tmp/ptk_on.out /tmp/ptk_off.out
 cmp /tmp/ptk_on.out /tmp/ptk_on_flag.out
 rm -f "$CSV"
+
+echo "== serving smoke: JSON-lines transcript vs golden =="
+SMOKE_CSV="$(mktemp)"
+printf 'oid,value,prob\n0,20,0.2\n0,23,0.8\n1,21,0.2\n1,24,0.8\n2,22,0.6\n2,25,0.4\n' > "$SMOKE_CSV"
+# The metrics op is session-less, so it can execute before laned requests
+# that were submitted earlier; queue_depth/submitted/executed are therefore
+# timing-dependent and normalized before the diff. Everything else in the
+# transcript — selector picks, distributions, error responses — is exact.
+./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 --metrics \
+  < tools/serve_smoke.in 2> /tmp/ptk_serve_metrics.txt \
+  | sed -E 's/"queue_depth":[0-9]+/"queue_depth":N/; s/"submitted":[0-9]+/"submitted":N/; s/"executed":[0-9]+/"executed":N/' \
+  > /tmp/ptk_serve_smoke.out
+diff tools/serve_smoke.golden /tmp/ptk_serve_smoke.out
+# --metrics must export every ptk_serve_* family, including the ones this
+# clean transcript never increments (shed, deadline misses).
+for fam in ptk_serve_sessions_open ptk_serve_sessions_total \
+    ptk_serve_queue_depth ptk_serve_inflight ptk_serve_requests_total \
+    ptk_serve_shed_total ptk_serve_deadline_miss_total \
+    ptk_serve_request_seconds; do
+  grep -q "^# TYPE $fam" /tmp/ptk_serve_metrics.txt \
+    || { echo "missing metric family: $fam"; exit 1; }
+done
+rm -f "$SMOKE_CSV"
 
 echo "== ASan/UBSan: robustness + engine equivalence + fuzz smoke (${FUZZ_SECONDS}s/target) =="
 cmake -B build-asan -S . \

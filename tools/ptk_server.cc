@@ -1,0 +1,194 @@
+// JSON-lines serving frontend over stdin/stdout.
+//
+// Reads one request object per line, executes it on the serving runtime
+// (serve::SessionManager + serve::Scheduler), and writes one response
+// object per line *in request order* — requests are pipelined through the
+// scheduler (per-session serialization, per-request deadlines, admission
+// shedding), and a reorder buffer flushes responses in submission order.
+//
+// Usage:
+//   ptk_server <data.csv> [--k N] [--selector NAME] [--order sensitive]
+//              [--fanout N] [--workers N] [--queue N] [--max-sessions N]
+//              [--update-working] [--metrics]
+//
+// See src/serve/protocol.h for the request/response grammar. With
+// --metrics, the process-wide metrics registry (the ptk_serve_* families
+// among them) is exported to stderr in Prometheus format at EOF.
+
+#include <condition_variable>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <chrono>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+
+#include "data/csv.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "serve/protocol.h"
+#include "serve/scheduler.h"
+#include "serve/session_manager.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace {
+
+// Flushes responses in ticket (submission) order regardless of the order
+// workers complete them.
+class OrderedWriter {
+ public:
+  void Push(uint64_t ticket, std::string line) {
+    std::lock_guard<std::mutex> lock(mu_);
+    pending_.emplace(ticket, std::move(line));
+    while (!pending_.empty() && pending_.begin()->first == next_) {
+      std::fputs(pending_.begin()->second.c_str(), stdout);
+      std::fputc('\n', stdout);
+      std::fflush(stdout);
+      pending_.erase(pending_.begin());
+      ++next_;
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<uint64_t, std::string> pending_;
+  uint64_t next_ = 0;
+};
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <data.csv> [--k N] [--selector NAME] "
+               "[--order sensitive] [--fanout N] [--workers N] [--queue N] "
+               "[--max-sessions N] [--update-working] [--metrics]\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage(argv[0]);
+  const char* csv_path = nullptr;
+  ptk::serve::SessionManager::Options manager_options;
+  ptk::serve::Scheduler::Options scheduler_options;
+  bool dump_metrics = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next_int = [&](int* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoi(argv[++i]);
+      return *out > 0;
+    };
+    if (arg == "--k") {
+      if (!next_int(&manager_options.k)) return Usage(argv[0]);
+    } else if (arg == "--fanout") {
+      if (!next_int(&manager_options.fanout)) return Usage(argv[0]);
+    } else if (arg == "--workers") {
+      if (!next_int(&scheduler_options.workers)) return Usage(argv[0]);
+    } else if (arg == "--queue") {
+      if (!next_int(&scheduler_options.queue_capacity)) return Usage(argv[0]);
+    } else if (arg == "--max-sessions") {
+      if (!next_int(&manager_options.max_sessions)) return Usage(argv[0]);
+    } else if (arg == "--selector") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const auto kind = ptk::core::SelectorKindFromName(argv[++i]);
+      if (!kind.has_value()) {
+        std::fprintf(stderr, "unknown selector '%s'\n", argv[i]);
+        return 2;
+      }
+      manager_options.selector = *kind;
+    } else if (arg == "--order") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const std::string mode = argv[++i];
+      if (mode == "sensitive") {
+        manager_options.order = ptk::pw::OrderMode::kSensitive;
+      } else if (mode == "insensitive") {
+        manager_options.order = ptk::pw::OrderMode::kInsensitive;
+      } else {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--update-working") {
+      manager_options.update_working = true;
+    } else if (arg == "--metrics") {
+      dump_metrics = true;
+    } else if (arg[0] == '-') {
+      return Usage(argv[0]);
+    } else if (csv_path == nullptr) {
+      csv_path = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (csv_path == nullptr) return Usage(argv[0]);
+
+  ptk::util::StatusOr<ptk::model::Database> db =
+      ptk::data::LoadCsv(csv_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+
+  ptk::serve::SessionManager manager(*db, manager_options);
+  ptk::serve::Scheduler scheduler(scheduler_options);
+  OrderedWriter writer;
+
+  std::string line;
+  uint64_t ticket = 0;
+  while (std::getline(std::cin, line)) {
+    const uint64_t t = ticket++;
+    if (line.empty()) {
+      writer.Push(t, "");  // keep tickets dense; echo blank lines as blank
+      continue;
+    }
+    ptk::util::StatusOr<ptk::serve::RequestLine> parsed =
+        ptk::serve::ParseRequestLine(line);
+    if (!parsed.ok()) {
+      writer.Push(t, ptk::serve::RenderResponse("", parsed.status(), ""));
+      continue;
+    }
+    auto request = std::make_shared<ptk::serve::RequestLine>(
+        *std::move(parsed));
+    auto payload = std::make_shared<std::string>();
+
+    ptk::serve::Scheduler::Request job;
+    job.session_id = request->session;
+    if (request->deadline_ms > 0) {
+      job.deadline = std::chrono::milliseconds(request->deadline_ms);
+    }
+    if (!request->session.empty()) {
+      job.cancel = manager.CancelSourceFor(request->session).source;
+    }
+    job.work = [&manager, &scheduler, request, payload] {
+      ptk::util::StatusOr<std::string> result =
+          ptk::serve::ExecuteRequest(manager, &scheduler, *request);
+      if (!result.ok()) return result.status();
+      *payload = *std::move(result);
+      return ptk::util::Status::OK();
+    };
+    job.done = [&writer, t, request, payload](
+                   const ptk::util::Status& status) {
+      writer.Push(
+          t, ptk::serve::RenderResponse(request->id, status, *payload));
+    };
+    if (ptk::util::Status admitted = scheduler.Submit(std::move(job));
+        !admitted.ok()) {
+      writer.Push(t,
+                  ptk::serve::RenderResponse(request->id, admitted, ""));
+    }
+  }
+
+  scheduler.Shutdown();  // drain: every accepted request responds
+  if (dump_metrics) {
+    std::fputs(ptk::obs::FormatPrometheus(
+                   ptk::obs::MetricsRegistry::Default().Snapshot())
+                   .c_str(),
+               stderr);
+  }
+  return 0;
+}
