@@ -23,6 +23,8 @@
 #include "pw/topk_enumerator.h"
 #include "rank/membership.h"
 #include "rank/pairwise_prob.h"
+#include "rank/poisson_binomial.h"
+#include "simd/kernels.h"
 #include "util/entropy.h"
 #include "util/thread_pool.h"
 
@@ -235,6 +237,107 @@ void BM_PairTablesBatch(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_PairTablesBatch)->ArgName("threads")->Arg(1)->Arg(8);
+
+// --------------------------------------------------------------------------
+// simd kernel benchmarks (DESIGN.md §4.12): each runs once pinned to the
+// scalar reference (level:0) and once at the widest available level
+// (level:2, clamped to what the CPU offers), so the scalar-vs-simd speedup
+// is a ratio of two adjacent rows in PTK_BENCH_JSON.
+
+ptk::simd::Level BenchLevel(int64_t arg) {
+  return arg == 0 ? ptk::simd::Level::kScalar : ptk::simd::Level::kAvx2;
+}
+
+struct BenchLevelGuard {
+  explicit BenchLevelGuard(int64_t arg) {
+    ptk::simd::SetLevelForTesting(BenchLevel(arg));
+  }
+  ~BenchLevelGuard() {
+    ptk::simd::SetLevelForTesting(ptk::simd::Level::kAvx2);
+  }
+};
+
+std::vector<double> BenchMasses(int n) {
+  std::vector<double> v(n);
+  for (int i = 0; i < n; ++i) v[i] = 0.001 + 0.998 * ((i * 2654435761u) % 997) / 997.0;
+  return v;
+}
+
+void BM_KernelConvolve(benchmark::State& state) {
+  BenchLevelGuard guard(state.range(0));
+  const ptk::simd::KernelOps& ops = ptk::simd::Ops();
+  std::vector<double> dp = BenchMasses(513);
+  dp.back() = 0.0;
+  for (auto _ : state) {
+    ops.convolve_step(dp.data(), 512, 0.37);
+    benchmark::DoNotOptimize(dp.data());
+  }
+}
+BENCHMARK(BM_KernelConvolve)->ArgName("level")->Arg(0)->Arg(2);
+
+void BM_KernelSum(benchmark::State& state) {
+  BenchLevelGuard guard(state.range(0));
+  const ptk::simd::KernelOps& ops = ptk::simd::Ops();
+  const std::vector<double> v = BenchMasses(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.sum(v.data(), 4096));
+  }
+}
+BENCHMARK(BM_KernelSum)->ArgName("level")->Arg(0)->Arg(2);
+
+void BM_KernelEntropySum(benchmark::State& state) {
+  BenchLevelGuard guard(state.range(0));
+  const ptk::simd::KernelOps& ops = ptk::simd::Ops();
+  const std::vector<double> v = BenchMasses(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ops.entropy_sum(v.data(), 4096));
+  }
+}
+BENCHMARK(BM_KernelEntropySum)->ArgName("level")->Arg(0)->Arg(2);
+
+// The sequential libm loop the entropy kernel replaces — the "seed
+// baseline" row for BM_KernelEntropySum.
+void BM_EntropySumLibm(benchmark::State& state) {
+  const std::vector<double> v = BenchMasses(4096);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ptk::util::DistributionEntropy(v));
+  }
+}
+BENCHMARK(BM_EntropySumLibm);
+
+void BM_KernelSweepTransfer(benchmark::State& state) {
+  BenchLevelGuard guard(state.range(0));
+  const ptk::simd::KernelOps& ops = ptk::simd::Ops();
+  const std::vector<double> joint = BenchMasses(4096);
+  std::vector<double> mask(4096);
+  for (int i = 0; i < 4096; ++i) mask[i] = (i % 2) ? 1.0 : 0.0;
+  std::vector<double> weight = BenchMasses(4096);
+  double t_true = 0.0, t_false = 0.0;
+  for (auto _ : state) {
+    ops.sweep_transfer(joint.data(), mask.data(), weight.data(), 4096,
+                       1e-6, &t_true, &t_false);
+    benchmark::DoNotOptimize(t_true);
+    benchmark::DoNotOptimize(t_false);
+  }
+}
+BENCHMARK(BM_KernelSweepTransfer)->ArgName("level")->Arg(0)->Arg(2);
+
+// Streaming exclusion queries on a live tracker: the deconvolve DP path
+// (copy-free since PR6; the forward direction is O(t) per query).
+void BM_PBStreamingExclusion(benchmark::State& state) {
+  ptk::rank::PoissonBinomialTracker tracker;
+  const std::vector<double> qs = BenchMasses(256);
+  for (double q : qs) tracker.Update(0.0, q);
+  size_t i = 0;
+  for (auto _ : state) {
+    const double q1 = qs[i % qs.size()];
+    const double q2 = qs[(i + 97) % qs.size()];
+    benchmark::DoNotOptimize(tracker.CumulativeAtMostExcluding(20, q1));
+    benchmark::DoNotOptimize(tracker.CumulativeAtMostExcluding2(20, q1, q2));
+    ++i;
+  }
+}
+BENCHMARK(BM_PBStreamingExclusion);
 
 void BM_BoundObjectConstruction(benchmark::State& state) {
   const auto& db = SynDb(1000);

@@ -1,6 +1,7 @@
 #include "pw/topk_distribution.h"
 
 #include <algorithm>
+#include <vector>
 
 #include "util/entropy.h"
 
@@ -19,19 +20,24 @@ double TopKDistribution::ProbOf(const ResultKey& key) const {
   return it == entries_.end() ? 0.0 : it->second;
 }
 
+// Both entropies gather the result-set masses into a scratch vector and
+// hand the batch to the simd entropy kernel. The gather order is the map's
+// iteration order — arbitrary but fixed for a given map state, and the
+// kernel's striped sum is bit-identical across PTK_SIMD builds, so the
+// whole computation is too.
 double TopKDistribution::Entropy() const {
-  double h = 0.0;
-  for (const auto& [_, p] : entries_) h += util::EntropyTerm(p);
-  return h;
+  std::vector<double> masses;
+  masses.reserve(entries_.size());
+  for (const auto& [_, p] : entries_) masses.push_back(p);
+  return util::DistributionEntropySimd(masses);
 }
 
 double TopKDistribution::NormalizedEntropy() const {
   if (total_mass_ <= 0.0) return 0.0;
-  double h = 0.0;
-  for (const auto& [_, p] : entries_) {
-    h += util::EntropyTerm(p / total_mass_);
-  }
-  return h;
+  std::vector<double> masses;
+  masses.reserve(entries_.size());
+  for (const auto& [_, p] : entries_) masses.push_back(p / total_mass_);
+  return util::DistributionEntropySimd(masses);
 }
 
 TopKDistribution TopKDistribution::Collapsed() const {

@@ -167,10 +167,11 @@ MembershipCalculator::PairTables MembershipCalculator::ComputePairTables(
   };
 
   PairTables tables;
-  tables.pt.assign(obj1.num_instances(),
-                   std::vector<double>(obj2.num_instances(), 0.0));
-  tables.npt = tables.pt;
+  tables.pt = PairMatrix(obj1.num_instances(), obj2.num_instances());
+  tables.npt = PairMatrix(obj1.num_instances(), obj2.num_instances());
   for (const model::Instance& i1 : obj1.instances()) {
+    double* const pt_row = tables.pt[i1.iid];
+    double* const npt_row = tables.npt[i1.iid];
     for (const model::Instance& i2 : obj2.instances()) {
       const bool i1_lower = model::InstanceLess(i1, i2);
       const model::Instance& lo = i1_lower ? i1 : i2;
@@ -180,10 +181,10 @@ MembershipCalculator::PairTables MembershipCalculator::ComputePairTables(
       const double joint = i1.prob * i2.prob;
       // Both in top-k: the lower instance is free; the higher one needs at
       // most k-2 other objects above it (the lower occupies one slot).
-      tables.pt[i1.iid][i2.iid] = joint * at_hi.ple_km2;
+      pt_row[i2.iid] = joint * at_hi.ple_km2;
       // Neither in top-k: the lower instance must already be pushed out,
       // i.e., at least k other objects rank above it.
-      tables.npt[i1.iid][i2.iid] = joint * (1.0 - at_lo.ple_km1);
+      npt_row[i2.iid] = joint * (1.0 - at_lo.ple_km1);
     }
   }
   return tables;

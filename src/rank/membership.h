@@ -14,6 +14,42 @@
 
 namespace ptk::rank {
 
+/// Dense row-major matrix of pair probabilities. Flat single-allocation
+/// storage (replacing a ragged vector<vector<double>>): rows are
+/// contiguous and unit-stride, which is what lets the Δ-bound estimator
+/// gather a pair table straight into its SoA sweep arrays (DESIGN.md
+/// §4.12). operator[] returns a row pointer, so m[r][c] indexing reads
+/// the same as the ragged form it replaced.
+class PairMatrix {
+ public:
+  PairMatrix() = default;
+  PairMatrix(int rows, int cols)
+      : rows_(rows),
+        cols_(cols),
+        data_(static_cast<size_t>(rows) * static_cast<size_t>(cols), 0.0) {}
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+
+  double* operator[](int row) {
+    return data_.data() + static_cast<size_t>(row) * cols_;
+  }
+  const double* operator[](int row) const {
+    return data_.data() + static_cast<size_t>(row) * cols_;
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  friend bool operator==(const PairMatrix&, const PairMatrix&) = default;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
 /// Top-k membership probabilities under possible-world semantics
 /// (Section 4.2, building on the Poisson-binomial DP of Bernecker et al.
 /// [4]):
@@ -73,8 +109,8 @@ class MembershipCalculator {
   /// (Algorithm 5). pt[a][b] = PT_k(i_a, i_b) and npt[a][b] =
   /// NPT_k(i_a, i_b), where a indexes o1's instances and b indexes o2's.
   struct PairTables {
-    std::vector<std::vector<double>> pt;
-    std::vector<std::vector<double>> npt;
+    PairMatrix pt;
+    PairMatrix npt;
   };
   PairTables ComputePairTables(model::ObjectId o1, model::ObjectId o2) const;
 

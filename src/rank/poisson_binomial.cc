@@ -3,16 +3,28 @@
 #include <algorithm>
 #include <cassert>
 
+#include "simd/kernels.h"
+
 namespace ptk::rank {
 
 void PoissonBinomialTracker::Convolve(double q) {
+  const int n = static_cast<int>(dp_.size());
   dp_.push_back(0.0);
-  for (int j = static_cast<int>(dp_.size()) - 1; j >= 1; --j) {
-    dp_[j] = dp_[j] * (1.0 - q) + dp_[j - 1] * q;
-  }
-  dp_[0] *= (1.0 - q);
+  simd::Ops().convolve_step(dp_.data(), n, q);
 }
 
+// In-place removal used by Update (the tracked vector itself changes).
+// Query paths never call this: they stream the same recurrence instead
+// (StreamingSumExcluding*) so no copy of dp_ is ever taken.
+//
+// Numerical audit (PR6): every slot written by either direction passes
+// through std::max(·, 0.0), including the backward path's first write
+// (dp[top-1] = max(dp[top]/q, 0)) and its final dp[0]; the previously
+// suspected un-clamped dp[top-1] store does not exist. Two real caveats
+// remain and are pinned by tests: (a) max(NaN, 0.0) keeps the NaN, so a
+// poisoned dp propagates rather than being silently zeroed, and (b) the
+// top >= 1 precondition is assert-only — callers (Update) guarantee the
+// excluded variable is tracked.
 void PoissonBinomialTracker::Deconvolve(std::vector<double>& dp, double q) {
   const int top = static_cast<int>(dp.size()) - 1;  // counts 0..top
   assert(top >= 1);
@@ -51,24 +63,117 @@ void PoissonBinomialTracker::Update(double q_old, double q_new) {
 double PoissonBinomialTracker::CumulativeAtMost(int t) const {
   const int eff = t - shift_;
   if (eff < 0) return 0.0;
-  const int top = std::min<int>(eff, static_cast<int>(dp_.size()) - 1);
-  double total = 0.0;
-  for (int j = 0; j <= top; ++j) total += dp_[j];
-  return std::min(total, 1.0);
+  const int top = std::min(eff, active());
+  return std::min(simd::Ops().sum(dp_.data(), top + 1), 1.0);
+}
+
+// Streams the forward (q <= 0.5) or backward (q > 0.5) deconvolution
+// recurrence and accumulates the removed-variable distribution at counts
+// <= eff on the fly. Replaces the former scratch_ = dp_ copy + full
+// Deconvolve + prefix sum: the forward direction is now O(eff) with zero
+// stores, the backward direction O(n) with zero stores.
+double PoissonBinomialTracker::StreamingSumExcluding(int eff, double q) const {
+  const int top = active();  // result has counts 0..top-1
+  assert(top >= 1);
+  if (q <= 0.5) {
+    const int jmax = std::min(eff, top - 1);
+    double prev = dp_[0] / (1.0 - q);  // D'[0], unclamped as in Deconvolve
+    double acc = prev;
+    for (int j = 1; j <= jmax; ++j) {
+      prev = std::max((dp_[j] - prev * q) / (1.0 - q), 0.0);
+      acc += prev;
+    }
+    return acc;
+  }
+  // Backward: values are produced from the top down, so the partial sum
+  // accumulates in descending count order (same clamped values as the
+  // materializing path; the sum is reassociated).
+  const int jmax = std::min(eff, top - 1);
+  double next = dp_[top] / q;  // candidate D'[top-1]
+  double acc = 0.0;
+  for (int j = top - 1; j >= 1; --j) {
+    const double val = std::max(next, 0.0);  // D'[j]
+    if (j <= jmax) acc += val;
+    next = std::max((dp_[j] - next * (1.0 - q)) / q, 0.0);
+  }
+  acc += std::max(next, 0.0);  // D'[0]; jmax >= 0 always holds here
+  return acc;
+}
+
+// Removes two variables in one pass. Same-direction pairs fuse both
+// recurrences (the second consumes the first's output as it is produced);
+// a mixed pair materializes the backward removal into scratch_ — written
+// in place, never copied from dp_ — and forward-streams over it.
+double PoissonBinomialTracker::StreamingSumExcluding2(int eff, double q1,
+                                                      double q2) const {
+  const int top = active();  // result has counts 0..top-2
+  assert(top >= 2);
+  const int jmax = std::min(eff, top - 2);
+  if (q1 <= 0.5 && q2 <= 0.5) {
+    // Fused forward/forward. a_j tracks the first removal's output A[j],
+    // b_j the second's B[j]; B only ever needs A[j] at step j, so both
+    // chains advance in lockstep. Bit-identical to applying the two
+    // forward Deconvolves sequentially and prefix-summing.
+    double a = dp_[0] / (1.0 - q1);
+    double b = a / (1.0 - q2);
+    double acc = b;
+    for (int j = 1; j <= jmax; ++j) {
+      a = std::max((dp_[j] - a * q1) / (1.0 - q1), 0.0);
+      b = std::max((a - b * q2) / (1.0 - q2), 0.0);
+      acc += b;
+    }
+    return acc;
+  }
+  if (q1 > 0.5 && q2 > 0.5) {
+    // Fused backward/backward: the first chain emits its clamped value
+    // C1[j] exactly when the second chain needs it. C1[0] is never
+    // consumed (the second removal shrinks the support by one more).
+    double next1 = dp_[top] / q1;  // candidate C1[top-1]
+    double next2 = 0.0;
+    double acc = 0.0;
+    for (int j = top - 1; j >= 1; --j) {
+      const double c1 = std::max(next1, 0.0);  // C1[j]
+      next1 = std::max((dp_[j] - next1 * (1.0 - q1)) / q1, 0.0);
+      if (j == top - 1) {
+        next2 = c1 / q2;  // candidate C2[top-2]
+      } else {
+        const double c2 = std::max(next2, 0.0);  // C2[j]
+        if (j <= jmax) acc += c2;
+        next2 = std::max((c1 - next2 * (1.0 - q2)) / q2, 0.0);
+      }
+    }
+    acc += std::max(next2, 0.0);  // C2[0]
+    return acc;
+  }
+  // Mixed directions: do the backward (q > 0.5) removal first into the
+  // scratch arena, then forward-stream the other removal over it. The
+  // removal order is fixed by direction (deconvolution commutes up to
+  // rounding), so the result no longer depends on argument order.
+  const double qb = (q1 > 0.5) ? q1 : q2;
+  const double qf = (q1 > 0.5) ? q2 : q1;
+  scratch_.resize(top);  // C[0..top-1]
+  double next = dp_[top] / qb;
+  for (int j = top - 1; j >= 1; --j) {
+    scratch_[j] = std::max(next, 0.0);
+    next = std::max((dp_[j] - next * (1.0 - qb)) / qb, 0.0);
+  }
+  scratch_[0] = std::max(next, 0.0);
+  double prev = scratch_[0] / (1.0 - qf);
+  double acc = prev;
+  for (int j = 1; j <= jmax; ++j) {
+    prev = std::max((scratch_[j] - prev * qf) / (1.0 - qf), 0.0);
+    acc += prev;
+  }
+  return acc;
 }
 
 double PoissonBinomialTracker::CumulativeAtMostExcluding(int t,
                                                          double q) const {
   if (q <= 0.0) return CumulativeAtMost(t);
   assert(q < 1.0);
-  scratch_ = dp_;
-  Deconvolve(scratch_, q);
   const int eff = t - shift_;
   if (eff < 0) return 0.0;
-  const int top = std::min<int>(eff, static_cast<int>(scratch_.size()) - 1);
-  double total = 0.0;
-  for (int j = 0; j <= top; ++j) total += scratch_[j];
-  return std::min(total, 1.0);
+  return std::min(StreamingSumExcluding(eff, q), 1.0);
 }
 
 double PoissonBinomialTracker::CumulativeAtMostExcluding2(int t, double q1,
@@ -76,31 +181,61 @@ double PoissonBinomialTracker::CumulativeAtMostExcluding2(int t, double q1,
   if (q1 <= 0.0) return CumulativeAtMostExcluding(t, q2);
   if (q2 <= 0.0) return CumulativeAtMostExcluding(t, q1);
   assert(q1 < 1.0 && q2 < 1.0);
-  scratch_ = dp_;
-  Deconvolve(scratch_, q1);
-  Deconvolve(scratch_, q2);
   const int eff = t - shift_;
   if (eff < 0) return 0.0;
-  const int top = std::min<int>(eff, static_cast<int>(scratch_.size()) - 1);
-  double total = 0.0;
-  for (int j = 0; j <= top; ++j) total += scratch_[j];
-  return std::min(total, 1.0);
+  return std::min(StreamingSumExcluding2(eff, q1, q2), 1.0);
 }
 
 void PoissonBinomialTracker::CumulativeVectorExcluding(
     int t_max, double q, std::vector<double>* out) const {
-  const std::vector<double>* dp = &dp_;
-  if (q > 0.0) {
-    assert(q < 1.0);
-    scratch_ = dp_;
-    Deconvolve(scratch_, q);
-    dp = &scratch_;
+  // resize, not assign: every slot below is overwritten, so the zero-fill
+  // the old assign() performed was pure waste (U-kRanks reuses one vector
+  // across all m objects, so this also keeps its capacity warm).
+  out->resize(t_max + 1);
+  const int top = active();
+  if (q <= 0.0) {
+    double acc = 0.0;
+    for (int t = 0; t <= t_max; ++t) {
+      const int eff = t - shift_;
+      if (eff >= 0 && eff <= top) acc += dp_[eff];
+      (*out)[t] = std::min(acc, 1.0);
+    }
+    return;
   }
-  out->assign(t_max + 1, 0.0);
+  assert(q < 1.0);
+  assert(top >= 1);
+  if (q <= 0.5) {
+    // Forward-stream the removal in step with t: eff advances by exactly
+    // one per iteration, so the recurrence value prev is always D'[eff].
+    // No materialization, no copy.
+    double acc = 0.0;
+    double prev = 0.0;
+    for (int t = 0; t <= t_max; ++t) {
+      const int eff = t - shift_;
+      if (eff >= 0 && eff <= top - 1) {
+        prev = (eff == 0)
+                   ? dp_[0] / (1.0 - q)
+                   : std::max((dp_[eff] - prev * q) / (1.0 - q), 0.0);
+        acc += prev;
+      }
+      (*out)[t] = std::min(acc, 1.0);
+    }
+    return;
+  }
+  // Backward removal produces counts top-down; materialize into the
+  // scratch arena (in place — the former scratch_ = dp_ copy is gone),
+  // then accumulate ascending exactly as before.
+  scratch_.resize(top);  // D'[0..top-1]
+  double next = dp_[top] / q;
+  for (int j = top - 1; j >= 1; --j) {
+    scratch_[j] = std::max(next, 0.0);
+    next = std::max((dp_[j] - next * (1.0 - q)) / q, 0.0);
+  }
+  scratch_[0] = std::max(next, 0.0);
   double acc = 0.0;
   for (int t = 0; t <= t_max; ++t) {
     const int eff = t - shift_;
-    if (eff >= 0 && eff < static_cast<int>(dp->size())) acc += (*dp)[eff];
+    if (eff >= 0 && eff <= top - 1) acc += scratch_[eff];
     (*out)[t] = std::min(acc, 1.0);
   }
 }

@@ -16,6 +16,14 @@ namespace ptk::rank {
 /// forward from count 0 when q <= 0.5 (error factor q/(1-q) <= 1) and
 /// backward from the top when q > 0.5 (error factor (1-q)/q < 1).
 /// Variables that reach q == 1 are folded into an integer `shift`.
+///
+/// Hot-path engineering (DESIGN.md §4.12): the convolve push and the
+/// cumulative prefix reductions run on the simd kernel layer; exclusion
+/// queries *stream* the deconvolution recurrence instead of copying the
+/// dp vector — the forward direction never materializes anything (O(t)
+/// per query instead of O(n) plus a copy) and the backward direction
+/// reuses a per-tracker scratch arena. The two-exclusion query fuses both
+/// removals into one pass when they share a direction.
 class PoissonBinomialTracker {
  public:
   PoissonBinomialTracker() : dp_{1.0} {}
@@ -45,6 +53,8 @@ class PoissonBinomialTracker {
   /// Fills out[t] = P(sum of others <= t) for t in [0, t_max], excluding
   /// one variable with probability q, using a single deconvolution. Used
   /// by the U-kRanks evaluator, which needs the whole rank profile.
+  /// Reuses the caller-provided capacity of *out; every slot in
+  /// [0, t_max] is overwritten.
   void CumulativeVectorExcluding(int t_max, double q,
                                  std::vector<double>* out) const;
 
@@ -53,9 +63,14 @@ class PoissonBinomialTracker {
   // Removes Bernoulli(q) from `dp` in place, choosing the stable direction.
   static void Deconvolve(std::vector<double>& dp, double q);
 
+  // Streams the clamped removal of Bernoulli(q) and returns the sum of the
+  // deconvolved masses at counts <= eff, without materializing the result.
+  double StreamingSumExcluding(int eff, double q) const;
+  double StreamingSumExcluding2(int eff, double q1, double q2) const;
+
   std::vector<double> dp_;  // dp_[j] = P(j active variables succeed)
   int shift_ = 0;
-  mutable std::vector<double> scratch_;  // query-time exclusion workspace
+  mutable std::vector<double> scratch_;  // backward-removal arena
 };
 
 }  // namespace ptk::rank

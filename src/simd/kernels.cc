@@ -1,0 +1,120 @@
+#include "simd/kernels.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "simd/kernels_impl.h"
+
+// Compiled with -ffp-contract=off (see src/CMakeLists.txt): the kernel
+// determinism contract in kernels.h forbids FMA contraction.
+
+namespace ptk::simd {
+namespace {
+
+// Internal-linkage wrapper types so instantiations in this TU can never
+// merge with the AVX2 TU's (which compiles the same templates under
+// different codegen flags).
+struct RefVec : ScalarVec {};
+
+const KernelOps& ScalarOps() {
+  static const KernelOps ops = MakeOps<RefVec>("scalar");
+  return ops;
+}
+
+#if PTK_SIMD
+struct BaselineVec : NativeVec {};
+
+const KernelOps& GenericOps() {
+  static const KernelOps ops = MakeOps<BaselineVec>(
+#if defined(__aarch64__)
+      "neon"
+#elif defined(__x86_64__) || defined(_M_X64)
+      "sse2"
+#else
+      "generic"
+#endif
+  );
+  return ops;
+}
+#endif  // PTK_SIMD
+
+bool Avx2Executable() {
+#if PTK_SIMD && defined(PTK_SIMD_HAVE_AVX2_TU)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+Level Resolve(Level level) {
+  if (level == Level::kAvx2 && !Avx2Executable()) level = Level::kGeneric;
+#if !PTK_SIMD
+  level = Level::kScalar;
+#endif
+  return level;
+}
+
+Level BestLevel() { return Resolve(Level::kAvx2); }
+
+Level LevelFromEnv(Level fallback) {
+  const char* env = std::getenv("PTK_SIMD_LEVEL");
+  if (env == nullptr || *env == '\0') return fallback;
+  if (std::strcmp(env, "scalar") == 0) return Level::kScalar;
+  if (std::strcmp(env, "generic") == 0 || std::strcmp(env, "sse2") == 0 ||
+      std::strcmp(env, "neon") == 0) {
+    return Resolve(Level::kGeneric);
+  }
+  if (std::strcmp(env, "avx2") == 0) return Resolve(Level::kAvx2);
+  return fallback;  // unknown value: keep the detected level
+}
+
+const KernelOps*& ActiveOpsSlot() {
+  static const KernelOps* active = &OpsFor(LevelFromEnv(BestLevel()));
+  return active;
+}
+
+}  // namespace
+
+#if PTK_SIMD && defined(PTK_SIMD_HAVE_AVX2_TU)
+// Defined in kernels_avx2.cc (compiled with -mavx2).
+const KernelOps& Avx2OpsImpl();
+#endif
+
+const KernelOps& OpsFor(Level level) {
+  switch (Resolve(level)) {
+    case Level::kScalar:
+      return ScalarOps();
+#if PTK_SIMD
+    case Level::kGeneric:
+      return GenericOps();
+#if defined(PTK_SIMD_HAVE_AVX2_TU)
+    case Level::kAvx2:
+      return Avx2OpsImpl();
+#endif
+#endif
+    default:
+      return ScalarOps();
+  }
+}
+
+bool LevelAvailable(Level level) {
+  switch (level) {
+    case Level::kScalar:
+      return true;
+    case Level::kGeneric:
+      return PTK_SIMD != 0;
+    case Level::kAvx2:
+      return Avx2Executable();
+  }
+  return false;
+}
+
+const KernelOps& Ops() { return *ActiveOpsSlot(); }
+
+const char* ActiveLevelName() { return Ops().name; }
+
+void SetLevelForTesting(Level level) {
+  ActiveOpsSlot() = &OpsFor(level);
+}
+
+}  // namespace ptk::simd

@@ -1,0 +1,99 @@
+#ifndef PTK_SIMD_KERNELS_H_
+#define PTK_SIMD_KERNELS_H_
+
+// Portable vectorized math kernels for the library's inner loops: the
+// Poisson-binomial convolve step and its prefix-sum reductions, the
+// batched entropy sum behind EI scoring, and the Δ-bound sweep's
+// proportional-transfer pass (DESIGN.md §4.12).
+//
+// Determinism contract: every kernel is defined over a fixed logical lane
+// group of kLanes = 4 doubles, independent of the instruction set that
+// executes it. The scalar reference, the baseline-ISA build (SSE2 on
+// x86-64, NEON on aarch64), and the AVX2 variant all instantiate the same
+// templated bodies (kernels_impl.h) and are compiled with
+// -ffp-contract=off, so they perform the identical sequence of IEEE-754
+// operations lane by lane and return bit-identical results. A PTK_SIMD=OFF
+// build therefore reproduces the PTK_SIMD=ON output byte for byte
+// (pinned by simd_test and tools/check.sh).
+//
+// Reductions are *striped*: element i accumulates into lane i % 4, the
+// tail folds into lanes 0..r-1 in order, and lanes combine as
+// (l0 + l1) + (l2 + l3). This reassociates relative to a sequential
+// left-to-right sum — by at most a few ULP for the probability masses
+// involved — but identically at every dispatch level.
+//
+// The batched entropy kernel uses a polynomial log (atanh form, see
+// kernels_impl.h) instead of libm: each -p ln p term is within 4 ULP of
+// the correctly-rounded value (documented bound; pinned by simd_test
+// against a long-double reference). It too is bit-identical across levels.
+
+#include <cstdint>
+
+// -DPTK_SIMD=0 (CMake option PTK_SIMD=OFF) compiles the scalar reference
+// only; vector instantiations and runtime dispatch disappear.
+#ifndef PTK_SIMD
+#define PTK_SIMD 1
+#endif
+
+namespace ptk::simd {
+
+inline constexpr int kLanes = 4;
+
+/// Dispatchable implementations, from portable reference to widest ISA.
+enum class Level : int {
+  kScalar = 0,   // lane-exact scalar reference (the PTK_SIMD=OFF build)
+  kGeneric = 1,  // compiler vector extensions at the baseline ISA
+  kAvx2 = 2,     // AVX2 (x86-64 only, runtime-detected)
+};
+
+struct KernelOps {
+  // In-place Poisson-binomial convolve push: dp[0..n-1] holds the current
+  // vector and dp[n] a zero slot; computes dp'[j] = dp[j](1-q) + dp[j-1] q
+  // for j = n..1 descending and dp'[0] = dp[0](1-q). Element-wise (no
+  // reassociation), so bit-identical to the textbook scalar loop.
+  void (*convolve_step)(double* dp, int n, double q);
+
+  // Striped sum of v[0..n-1] (see header comment for the lane order).
+  double (*sum)(const double* v, int n);
+
+  // Striped Σ -p ln p over p[0..n-1] with the polynomial log; terms with
+  // p <= 0 contribute exactly 0 (EntropyTerm's clamp convention).
+  double (*entropy_sum)(const double* p, int n);
+
+  // Striped masked totals: *s_true = Σ w[i]·mask[i], *s_false =
+  // Σ w[i]·(1-mask[i]); mask values are exactly 0.0 or 1.0.
+  void (*masked_pair_sums)(const double* w, const double* mask, int n,
+                           double* s_true, double* s_false);
+
+  // Δ-bound proportional transfer (Algorithm 5 inner loop): for each i,
+  // t = scale·joint[i]; weight[i] -= t; t accumulates (striped) into
+  // *t_true when mask[i] == 1.0, else into *t_false.
+  void (*sweep_transfer)(const double* joint, const double* mask,
+                         double* weight, int n, double scale,
+                         double* t_true, double* t_false);
+
+  const char* name;
+};
+
+/// The kernel table for one specific level. Requesting a level that is not
+/// compiled in (or not supported by the CPU) falls back to the best
+/// available one at or below it.
+const KernelOps& OpsFor(Level level);
+
+/// True when `level` is compiled in and executable on this CPU.
+bool LevelAvailable(Level level);
+
+/// The dispatched kernel table: the widest available level, overridable
+/// with PTK_SIMD_LEVEL=scalar|generic|avx2 (resolved once, at first use).
+const KernelOps& Ops();
+
+/// Name of the level Ops() resolved to ("scalar", "sse2"/"neon", "avx2").
+const char* ActiveLevelName();
+
+/// Test/bench hook: repoints Ops() at the given level (clamped to what is
+/// available). Not thread-safe; call only from single-threaded setup.
+void SetLevelForTesting(Level level);
+
+}  // namespace ptk::simd
+
+#endif  // PTK_SIMD_KERNELS_H_

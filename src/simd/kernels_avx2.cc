@@ -1,0 +1,29 @@
+// AVX2 instantiation of the shared kernel bodies (kernels_impl.h). This TU
+// is compiled with -mavx2 -ffp-contract=off on x86-64 builds only; runtime
+// dispatch in kernels.cc calls Avx2OpsImpl() after __builtin_cpu_supports
+// confirms the host executes AVX2. The bodies are identical to the scalar
+// and baseline instantiations, so results are bit-identical — only wider.
+
+#if defined(__AVX2__)
+
+#include "simd/kernels_impl.h"
+
+namespace ptk::simd {
+namespace {
+
+// Internal linkage: never merges with the baseline TU's instantiation.
+struct Avx2Vec : NativeVec {};
+
+}  // namespace
+
+const KernelOps& Avx2OpsImpl() {
+  static const KernelOps ops = MakeOps<Avx2Vec>("avx2");
+  return ops;
+}
+
+}  // namespace ptk::simd
+
+#else
+// Built without -mavx2 (non-x86 target): nothing to provide; dispatch
+// never references Avx2OpsImpl in that configuration.
+#endif

@@ -1,0 +1,362 @@
+#ifndef PTK_SIMD_KERNELS_IMPL_H_
+#define PTK_SIMD_KERNELS_IMPL_H_
+
+// Shared kernel bodies for every dispatch level (see kernels.h for the
+// determinism contract). The kernels are templates over a lane-group
+// abstraction V providing 4-double vectors (V::D) and their 4×int64
+// companions (V::I). Two implementations exist:
+//
+//   ScalarVec — plain arrays with per-lane loops; the reference. This is
+//               what a PTK_SIMD=OFF build runs.
+//   NativeVec — GCC/Clang vector extensions; lowers to SSE2/NEON in a
+//               baseline TU and to AVX2 in a TU compiled with -mavx2.
+//
+// Because both execute the same template body, and every kernel TU is
+// compiled with -ffp-contract=off (no FMA contraction), all levels perform
+// the identical element-wise IEEE-754 operation sequence and produce
+// bit-identical results. Each instantiating TU wraps its instantiation in
+// an anonymous namespace so differently-compiled copies never merge.
+//
+// The include is self-contained on purpose: no libm calls inside kernels
+// (the batched entropy uses the polynomial log below), so results cannot
+// vary with the host's math library either.
+
+#include <bit>
+#include <cstring>
+
+#include "simd/kernels.h"
+
+namespace ptk::simd {
+
+// ---------------------------------------------------------------------------
+// Lane-group abstractions.
+
+struct ScalarVec {
+  struct D {
+    double l[kLanes];
+  };
+  struct I {
+    long long l[kLanes];
+  };
+
+  static D LoadD(const double* p) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = p[i];
+    return v;
+  }
+  static void StoreD(double* p, D v) {
+    for (int i = 0; i < kLanes; ++i) p[i] = v.l[i];
+  }
+  static D Set1(double x) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = x;
+    return v;
+  }
+  static I Set1I(long long x) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = x;
+    return v;
+  }
+  static D Add(D a, D b) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] + b.l[i];
+    return v;
+  }
+  static D Sub(D a, D b) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] - b.l[i];
+    return v;
+  }
+  static D Mul(D a, D b) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] * b.l[i];
+    return v;
+  }
+  static D Div(D a, D b) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] / b.l[i];
+    return v;
+  }
+  static I CmpGt(D a, D b) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] > b.l[i] ? -1LL : 0LL;
+    return v;
+  }
+  static I CmpLt(D a, D b) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] < b.l[i] ? -1LL : 0LL;
+    return v;
+  }
+  static D Select(I m, D a, D b) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = m.l[i] ? a.l[i] : b.l[i];
+    return v;
+  }
+  static I SelectI(I m, I a, I b) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = m.l[i] ? a.l[i] : b.l[i];
+    return v;
+  }
+  static I BitcastI(D a) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = std::bit_cast<long long>(a.l[i]);
+    return v;
+  }
+  static D BitcastD(I a) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = std::bit_cast<double>(a.l[i]);
+    return v;
+  }
+  static I Shr(I a, int k) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] >> k;
+    return v;
+  }
+  static I AndI(I a, I b) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] & b.l[i];
+    return v;
+  }
+  static I OrI(I a, I b) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] | b.l[i];
+    return v;
+  }
+  static I SubI(I a, I b) {
+    I v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = a.l[i] - b.l[i];
+    return v;
+  }
+  static D ToD(I a) {
+    D v;
+    for (int i = 0; i < kLanes; ++i) v.l[i] = static_cast<double>(a.l[i]);
+    return v;
+  }
+};
+
+#if PTK_SIMD
+
+struct NativeVec {
+  typedef double D __attribute__((vector_size(kLanes * sizeof(double))));
+  typedef long long I
+      __attribute__((vector_size(kLanes * sizeof(long long))));
+
+  static D LoadD(const double* p) {
+    D v;
+    std::memcpy(&v, p, sizeof(v));
+    return v;
+  }
+  static void StoreD(double* p, D v) { std::memcpy(p, &v, sizeof(v)); }
+  static D Set1(double x) { return D{x, x, x, x}; }
+  static I Set1I(long long x) { return I{x, x, x, x}; }
+  static D Add(D a, D b) { return a + b; }
+  static D Sub(D a, D b) { return a - b; }
+  static D Mul(D a, D b) { return a * b; }
+  static D Div(D a, D b) { return a / b; }
+  static I CmpGt(D a, D b) { return (I)(a > b); }
+  static I CmpLt(D a, D b) { return (I)(a < b); }
+  static D Select(I m, D a, D b) {
+    return (D)((m & (I)a) | (~m & (I)b));
+  }
+  static I SelectI(I m, I a, I b) { return (m & a) | (~m & b); }
+  static I BitcastI(D a) { return (I)a; }
+  static D BitcastD(I a) { return (D)a; }
+  static I Shr(I a, int k) { return a >> k; }
+  static I AndI(I a, I b) { return a & b; }
+  static I OrI(I a, I b) { return a | b; }
+  static I SubI(I a, I b) { return a - b; }
+  static D ToD(I a) { return __builtin_convertvector(a, D); }
+};
+
+#endif  // PTK_SIMD
+
+// ---------------------------------------------------------------------------
+// Kernel bodies.
+
+template <class V>
+struct KernelsT {
+  using D = typename V::D;
+  using I = typename V::I;
+
+  // Fixed lane-combine order for every striped reduction: (l0+l1)+(l2+l3).
+  static double Combine(D acc) {
+    double a[kLanes];
+    V::StoreD(a, acc);
+    return (a[0] + a[1]) + (a[2] + a[3]);
+  }
+
+  // Loads the n < kLanes tail elements of v, zero-padded. Zero lanes are
+  // exact no-ops in every striped reduction here (they add +0.0 or
+  // multiply through a 0 weight), so padding preserves the stripe
+  // semantics bit for bit.
+  static D LoadTail(const double* v, int n) {
+    double buf[kLanes] = {0.0, 0.0, 0.0, 0.0};
+    for (int i = 0; i < n; ++i) buf[i] = v[i];
+    return V::LoadD(buf);
+  }
+
+  static void ConvolveStep(double* dp, int n, double q) {
+    // dp'[j] = dp[j](1-q) + dp[j-1]q, descending so every load sees the
+    // old value. Element-wise: vector blocks and the scalar remainder
+    // perform the identical per-element operations.
+    const double one_minus_q = 1.0 - q;
+    const D vq = V::Set1(q);
+    const D vomq = V::Set1(one_minus_q);
+    int j = n;
+    for (; j >= kLanes; j -= kLanes) {
+      const D cur = V::LoadD(dp + j - kLanes + 1);
+      const D prev = V::LoadD(dp + j - kLanes);
+      V::StoreD(dp + j - kLanes + 1,
+                V::Add(V::Mul(cur, vomq), V::Mul(prev, vq)));
+    }
+    for (; j >= 1; --j) dp[j] = dp[j] * one_minus_q + dp[j - 1] * q;
+    dp[0] *= one_minus_q;
+  }
+
+  static double Sum(const double* v, int n) {
+    D acc = V::Set1(0.0);
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) acc = V::Add(acc, V::LoadD(v + i));
+    if (i < n) acc = V::Add(acc, LoadTail(v + i, n - i));
+    return Combine(acc);
+  }
+
+  // ln(x) for 4 positive finite lanes via the atanh polynomial:
+  //   x = m·2^e with m ∈ [√2/2, √2), r = (m-1)/(m+1),
+  //   ln m = 2·atanh(r) = 2·(r + r·s·P(s)), s = r².
+  // P is the degree-8 truncation of Σ s^k/(2k+3); with s ≤ 0.0295 the
+  // truncation error is below 2^-55 relative, for a total bound of ≤ 4 ULP
+  // (pinned by simd_test against a long-double reference). Subnormals are
+  // pre-scaled by 2^54. Lanes must be > 0 (the caller sanitizes).
+  static D Log(D x) {
+    const D tiny_norm = V::Set1(2.2250738585072014e-308);  // DBL_MIN
+    const I is_tiny = V::CmpLt(x, tiny_norm);
+    const D xs = V::Select(is_tiny, V::Mul(x, V::Set1(0x1p54)), x);
+    I bits = V::BitcastI(xs);
+    // Biased exponent (sign bit is 0 for positive lanes); subtract the
+    // subnormal pre-scale where it was applied.
+    I e = V::SubI(V::Shr(bits, 52), V::Set1I(1023));
+    e = V::SubI(e, V::SelectI(is_tiny, V::Set1I(54), V::Set1I(0)));
+    D m = V::BitcastD(V::OrI(V::AndI(bits, V::Set1I(0x000FFFFFFFFFFFFFLL)),
+                             V::Set1I(0x3FF0000000000000LL)));
+    const I big = V::CmpGt(m, V::Set1(1.4142135623730951));  // m > √2
+    e = V::SubI(e, V::SelectI(big, V::Set1I(-1), V::Set1I(0)));
+    m = V::Select(big, V::Mul(m, V::Set1(0.5)), m);
+
+    const D one = V::Set1(1.0);
+    const D r = V::Div(V::Sub(m, one), V::Add(m, one));
+    const D s = V::Mul(r, r);
+    // Horner over 1/3, 1/5, …, 1/19.
+    D p = V::Set1(1.0 / 19.0);
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 17.0));
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 15.0));
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 13.0));
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 11.0));
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 9.0));
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 7.0));
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 5.0));
+    p = V::Add(V::Mul(p, s), V::Set1(1.0 / 3.0));
+    const D log_m =
+        V::Mul(V::Set1(2.0), V::Add(r, V::Mul(r, V::Mul(s, p))));
+
+    // e·ln2 split so the high product is exact (|e| < 2^11, 2^21-aligned
+    // mantissa in ln2_hi).
+    const D ed = V::ToD(e);
+    const D ln2_hi = V::Set1(6.93147180369123816490e-01);
+    const D ln2_lo = V::Set1(1.90821492927058770002e-10);
+    const D inner = V::Add(log_m, V::Mul(ed, ln2_lo));
+    return V::Add(V::Mul(ed, ln2_hi), inner);
+  }
+
+  // One lane group of h(p) = -p ln p, with h(p) = 0 for p <= 0 (the
+  // EntropyTerm clamp convention). Non-positive lanes are sanitized to 1
+  // before the log so no Inf/NaN is ever produced, then masked out.
+  static D EntropyTerms(D p) {
+    const D zero = V::Set1(0.0);
+    const I pos = V::CmpGt(p, zero);
+    const D safe = V::Select(pos, p, V::Set1(1.0));
+    const D h = V::Sub(zero, V::Mul(safe, Log(safe)));
+    return V::Select(pos, h, zero);
+  }
+
+  static double EntropySum(const double* p, int n) {
+    D acc = V::Set1(0.0);
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      acc = V::Add(acc, EntropyTerms(V::LoadD(p + i)));
+    }
+    if (i < n) acc = V::Add(acc, EntropyTerms(LoadTail(p + i, n - i)));
+    return Combine(acc);
+  }
+
+  static void MaskedPairSums(const double* w, const double* mask, int n,
+                             double* s_true, double* s_false) {
+    const D one = V::Set1(1.0);
+    D acc_t = V::Set1(0.0);
+    D acc_f = V::Set1(0.0);
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      const D wv = V::LoadD(w + i);
+      const D mv = V::LoadD(mask + i);
+      acc_t = V::Add(acc_t, V::Mul(wv, mv));
+      acc_f = V::Add(acc_f, V::Mul(wv, V::Sub(one, mv)));
+    }
+    if (i < n) {
+      // Zero-padded weights contribute exactly 0 to both totals.
+      const D wv = LoadTail(w + i, n - i);
+      const D mv = LoadTail(mask + i, n - i);
+      acc_t = V::Add(acc_t, V::Mul(wv, mv));
+      acc_f = V::Add(acc_f, V::Mul(wv, V::Sub(one, mv)));
+    }
+    *s_true = Combine(acc_t);
+    *s_false = Combine(acc_f);
+  }
+
+  static void SweepTransfer(const double* joint, const double* mask,
+                            double* weight, int n, double scale,
+                            double* t_true, double* t_false) {
+    const D vs = V::Set1(scale);
+    const D one = V::Set1(1.0);
+    D acc_t = V::Set1(0.0);
+    D acc_f = V::Set1(0.0);
+    int i = 0;
+    for (; i + kLanes <= n; i += kLanes) {
+      const D t = V::Mul(vs, V::LoadD(joint + i));
+      V::StoreD(weight + i, V::Sub(V::LoadD(weight + i), t));
+      const D mv = V::LoadD(mask + i);
+      acc_t = V::Add(acc_t, V::Mul(t, mv));
+      acc_f = V::Add(acc_f, V::Mul(t, V::Sub(one, mv)));
+    }
+    if (i < n) {
+      // Padded lanes see joint = 0 and mask = 0 (t = 0 exactly); only the
+      // live weight lanes are stored back.
+      const int r = n - i;
+      const D t = V::Mul(vs, LoadTail(joint + i, r));
+      const D wv = V::Sub(LoadTail(weight + i, r), t);
+      double wbuf[kLanes];
+      V::StoreD(wbuf, wv);
+      for (int j = 0; j < r; ++j) weight[i + j] = wbuf[j];
+      const D mv = LoadTail(mask + i, r);
+      acc_t = V::Add(acc_t, V::Mul(t, mv));
+      acc_f = V::Add(acc_f, V::Mul(t, V::Sub(one, mv)));
+    }
+    *t_true = Combine(acc_t);
+    *t_false = Combine(acc_f);
+  }
+};
+
+template <class V>
+inline KernelOps MakeOps(const char* name) {
+  KernelOps ops;
+  ops.convolve_step = &KernelsT<V>::ConvolveStep;
+  ops.sum = &KernelsT<V>::Sum;
+  ops.entropy_sum = &KernelsT<V>::EntropySum;
+  ops.masked_pair_sums = &KernelsT<V>::MaskedPairSums;
+  ops.sweep_transfer = &KernelsT<V>::SweepTransfer;
+  ops.name = name;
+  return ops;
+}
+
+}  // namespace ptk::simd
+
+#endif  // PTK_SIMD_KERNELS_IMPL_H_

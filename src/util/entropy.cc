@@ -2,21 +2,19 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
+
 namespace ptk::util {
-
-double EntropyTerm(double x) {
-  if (x <= 0.0) return 0.0;
-  return -x * std::log(x);
-}
-
-double BinaryEntropy(double x) {
-  return EntropyTerm(x) + EntropyTerm(1.0 - x);
-}
 
 double DistributionEntropy(std::span<const double> masses) {
   double total = 0.0;
   for (double p : masses) total += EntropyTerm(p);
   return total;
+}
+
+double DistributionEntropySimd(std::span<const double> masses) {
+  return simd::Ops().entropy_sum(masses.data(),
+                                 static_cast<int>(masses.size()));
 }
 
 double BinaryEntropyIntervalMax(double lo, double hi) {

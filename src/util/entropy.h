@@ -10,17 +10,35 @@ namespace ptk::util {
 /// Eq. 4 convention). Natural logarithm throughout, as in the paper.
 /// Negative inputs (which can arise from floating-point cancellation in
 /// bound arithmetic) are clamped to 0.
-double EntropyTerm(double x);
+///
+/// Defined inline (and side-effect-free for the optimizer) so the EI and
+/// Δ-bound sweeps can fold it into their inner loops; the guarded x > 0
+/// path never sets errno.
+[[gnu::const]] inline double EntropyTerm(double x) {
+  if (x <= 0.0) return 0.0;
+  return -x * std::log(x);
+}
 
 /// The binary-event entropy H(x) = h(x) + h(1 - x) used for H(A(P_1))
 /// (Eq. 12). Symmetric around 0.5, maximized at H(0.5) = ln 2, and
 /// monotonically increasing on [0, 0.5].
-double BinaryEntropy(double x);
+[[gnu::const]] inline double BinaryEntropy(double x) {
+  return EntropyTerm(x) + EntropyTerm(1.0 - x);
+}
 
 /// Entropy of a (sub-)distribution: sum of h(p) over the given masses.
 /// Masses need not sum to 1 (the enumerator may prune low-probability
-/// worlds; see pw::TopKDistribution::lost_mass()).
+/// worlds; see pw::TopKDistribution::lost_mass()). Sequential left-to-right
+/// summation with the libm log — the exact reference.
 double DistributionEntropy(std::span<const double> masses);
+
+/// Batched form over the simd kernel layer: striped 4-lane summation and a
+/// polynomial log (each h(p) term within 4 ULP of correctly rounded; see
+/// simd/kernels.h for the contract). Bit-identical across PTK_SIMD builds
+/// and dispatch levels, but NOT bit-identical to DistributionEntropy —
+/// callers choose per call site whether they need the libm reference or
+/// the throughput.
+double DistributionEntropySimd(std::span<const double> masses);
 
 /// Maximum of H(x) = h(x) + h(1-x) over the closed interval [lo, hi].
 /// Interval-correct: if the interval straddles 0.5 the maximum is

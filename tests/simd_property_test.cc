@@ -1,0 +1,231 @@
+// Property sweep for the streaming Poisson-binomial exclusion queries and
+// the simd kernel dispatch: random q-sequences flow through
+// Update/CumulativeAtMostExcluding{,2} and are checked against a
+// long-double from-scratch oracle, plus a bitwise cross-level replay.
+// Heavier than the tier1 simd_test; runs under the `property` ctest label.
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rank/poisson_binomial.h"
+#include "simd/kernels.h"
+
+namespace ptk {
+namespace {
+
+using simd::Level;
+
+uint64_t Bits(double x) {
+  uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+// From-scratch long-double Poisson-binomial over the given probabilities
+// (q == 1 entries convolve exactly into a shift).
+std::vector<long double> OracleDistribution(const std::vector<double>& qs) {
+  std::vector<long double> dp{1.0L};
+  for (double q : qs) {
+    dp.push_back(0.0L);
+    for (int j = static_cast<int>(dp.size()) - 1; j >= 1; --j) {
+      dp[j] = dp[j] * (1.0L - q) + dp[j - 1] * q;
+    }
+    dp[0] *= (1.0L - q);
+  }
+  return dp;
+}
+
+double OracleAtMost(const std::vector<long double>& dp, int t) {
+  long double acc = 0.0L;
+  for (int j = 0; j <= t && j < static_cast<int>(dp.size()); ++j) {
+    acc += dp[j];
+  }
+  return static_cast<double>(std::min(acc, 1.0L));
+}
+
+std::vector<double> Without(const std::vector<double>& qs, size_t drop) {
+  std::vector<double> out;
+  out.reserve(qs.size() - 1);
+  for (size_t i = 0; i < qs.size(); ++i) {
+    if (i != drop) out.push_back(qs[i]);
+  }
+  return out;
+}
+
+TEST(SimdProperty, RandomSequencesMatchLongDoubleOracle) {
+  for (int trial = 0; trial < 60; ++trial) {
+    std::mt19937 rng(1000 + trial);
+    std::uniform_real_distribution<double> qdist(0.01, 0.99);
+    std::uniform_real_distribution<double> u01(0.0, 1.0);
+    rank::PoissonBinomialTracker tracker;
+    std::vector<double> qs;  // live probability of every tracked variable
+    const int steps = 4 + trial % 44;
+    for (int step = 0; step < steps; ++step) {
+      const size_t idx = qs.empty() ? 0 : rng() % qs.size();
+      if (!qs.empty() && u01(rng) < 0.3 && qs[idx] < 1.0) {
+        const double q_old = qs[idx];
+        const double q_new =
+            (u01(rng) < 0.2) ? 1.0
+                             : q_old + (1.0 - q_old) * (0.02 + 0.9 * u01(rng));
+        tracker.Update(q_old, q_new);
+        qs[idx] = q_new;
+      } else {
+        const double q = qdist(rng);
+        tracker.Update(0.0, q);
+        qs.push_back(q);
+      }
+    }
+
+    const std::vector<long double> full = OracleDistribution(qs);
+    const int n = static_cast<int>(qs.size());
+    for (int t = 0; t <= n; ++t) {
+      ASSERT_NEAR(tracker.CumulativeAtMost(t), OracleAtMost(full, t), 2e-8)
+          << "trial=" << trial << " t=" << t;
+    }
+
+    // Single and double exclusion at a handful of random targets.
+    for (int probe = 0; probe < 6; ++probe) {
+      const size_t a = rng() % qs.size();
+      if (qs[a] >= 1.0) continue;
+      const auto wo_a = OracleDistribution(Without(qs, a));
+      for (int t = 0; t <= n; t += 1 + n / 5) {
+        ASSERT_NEAR(tracker.CumulativeAtMostExcluding(t, qs[a]),
+                    OracleAtMost(wo_a, t), 5e-8)
+            << "trial=" << trial << " t=" << t << " q=" << qs[a];
+      }
+      const size_t b = rng() % qs.size();
+      if (b == a || qs[b] >= 1.0) continue;
+      std::vector<double> wo_pair = Without(qs, std::max(a, b));
+      wo_pair = Without(wo_pair, std::min(a, b));
+      const auto wo_ab = OracleDistribution(wo_pair);
+      for (int t = 0; t <= n; t += 1 + n / 5) {
+        ASSERT_NEAR(tracker.CumulativeAtMostExcluding2(t, qs[a], qs[b]),
+                    OracleAtMost(wo_ab, t), 1e-7)
+            << "trial=" << trial << " t=" << t << " q1=" << qs[a]
+            << " q2=" << qs[b];
+      }
+    }
+
+    // The vectorized rank profile agrees with pointwise queries exactly.
+    for (int probe = 0; probe < 3; ++probe) {
+      const size_t a = rng() % qs.size();
+      if (qs[a] >= 1.0) continue;
+      std::vector<double> vec;
+      tracker.CumulativeVectorExcluding(n, qs[a], &vec);
+      ASSERT_EQ(static_cast<int>(vec.size()), n + 1);
+      const auto wo_a = OracleDistribution(Without(qs, a));
+      for (int t = 0; t <= n; ++t) {
+        ASSERT_NEAR(vec[t], OracleAtMost(wo_a, t), 5e-8);
+      }
+    }
+  }
+}
+
+// Degenerate-q sweep: probabilities crowded against both ends, repeatedly
+// crossing the 0.5 direction boundary, with certainty folds mixed in.
+TEST(SimdProperty, DegenerateSequencesStayValidCdfs) {
+  const double extremes[] = {1e-14, 1e-9,  1e-4, 0.5 - 1e-12, 0.5,
+                             0.5 + 1e-12, 0.9999, 1.0 - 1e-10};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::mt19937 rng(7000 + trial);
+    rank::PoissonBinomialTracker tracker;
+    std::vector<double> qs;
+    for (int step = 0; step < 24; ++step) {
+      const double q = extremes[rng() % std::size(extremes)];
+      tracker.Update(0.0, q);
+      qs.push_back(q);
+      if (step % 5 == 4) {
+        // Fold a random active variable to certainty.
+        for (size_t i = 0; i < qs.size(); ++i) {
+          const size_t idx = (i + rng()) % qs.size();
+          if (qs[idx] < 1.0) {
+            tracker.Update(qs[idx], 1.0);
+            qs[idx] = 1.0;
+            break;
+          }
+        }
+      }
+    }
+    const int n = static_cast<int>(qs.size());
+    double prev = 0.0;
+    for (int t = 0; t <= n; ++t) {
+      const double c = tracker.CumulativeAtMost(t);
+      ASSERT_FALSE(std::isnan(c));
+      ASSERT_GE(c, prev - 1e-12);
+      ASSERT_LE(c, 1.0);
+      prev = c;
+      for (double q : qs) {
+        if (q >= 1.0) continue;
+        const double e = tracker.CumulativeAtMostExcluding(t, q);
+        ASSERT_FALSE(std::isnan(e));
+        ASSERT_GE(e, 0.0);
+        ASSERT_LE(e, 1.0);
+        ASSERT_GE(e, c - 1e-9);
+      }
+    }
+  }
+}
+
+// Bitwise replay across dispatch levels on a long randomized schedule —
+// the property-scale version of simd_test's tier1 probe.
+TEST(SimdProperty, CrossLevelReplayBitIdentical) {
+  struct Restore {
+    ~Restore() { simd::SetLevelForTesting(Level::kAvx2); }
+  } restore;
+
+  auto replay = [](Level level) {
+    simd::SetLevelForTesting(level);
+    std::vector<double> out;
+    std::mt19937 rng(42);
+    std::uniform_real_distribution<double> qdist(0.001, 0.999);
+    std::uniform_real_distribution<double> u01(0.0, 1.0);
+    rank::PoissonBinomialTracker tracker;
+    std::vector<double> qs;
+    for (int step = 0; step < 400; ++step) {
+      const size_t idx = qs.empty() ? 0 : rng() % qs.size();
+      if (!qs.empty() && u01(rng) < 0.25 && qs[idx] < 1.0) {
+        const double q_new = (u01(rng) < 0.15)
+                                 ? 1.0
+                                 : qs[idx] + (1.0 - qs[idx]) * u01(rng) * 0.9;
+        tracker.Update(qs[idx], q_new);
+        qs[idx] = q_new;
+      } else {
+        const double q = qdist(rng);
+        tracker.Update(0.0, q);
+        qs.push_back(q);
+      }
+      if (step % 3 != 0) continue;
+      const int t = static_cast<int>(rng() % (qs.size() + 1));
+      out.push_back(tracker.CumulativeAtMost(t));
+      const size_t a = rng() % qs.size();
+      if (qs[a] < 1.0) {
+        out.push_back(tracker.CumulativeAtMostExcluding(t, qs[a]));
+        const size_t b = rng() % qs.size();
+        if (b != a && qs[b] < 1.0) {
+          out.push_back(tracker.CumulativeAtMostExcluding2(t, qs[a], qs[b]));
+        }
+      }
+    }
+    return out;
+  };
+
+  const std::vector<double> ref = replay(Level::kScalar);
+  ASSERT_GT(ref.size(), 100u);
+  for (Level level : {Level::kGeneric, Level::kAvx2}) {
+    if (!simd::LevelAvailable(level)) continue;
+    const std::vector<double> got = replay(level);
+    ASSERT_EQ(ref.size(), got.size());
+    for (size_t i = 0; i < ref.size(); ++i) {
+      ASSERT_EQ(Bits(ref[i]), Bits(got[i]))
+          << "i=" << i << " level=" << simd::OpsFor(level).name;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,0 +1,349 @@
+// Equivalence and accuracy tests for the simd kernel layer (DESIGN.md
+// §4.12). The determinism contract says every dispatch level performs the
+// identical IEEE-754 operation sequence, so cross-level comparisons here
+// are *bitwise*, not approximate; only the polynomial log's deviation from
+// the correctly-rounded libm value is a (documented, 4 ULP) tolerance.
+
+#include "simd/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rank/poisson_binomial.h"
+#include "util/entropy.h"
+
+namespace ptk {
+namespace {
+
+using simd::KernelOps;
+using simd::Level;
+
+uint64_t Bits(double x) {
+  uint64_t b;
+  std::memcpy(&b, &x, sizeof(b));
+  return b;
+}
+
+std::vector<Level> AvailableLevels() {
+  std::vector<Level> levels{Level::kScalar};
+  if (simd::LevelAvailable(Level::kGeneric)) levels.push_back(Level::kGeneric);
+  if (simd::LevelAvailable(Level::kAvx2)) levels.push_back(Level::kAvx2);
+  return levels;
+}
+
+// Restores the dispatched level (widest available) when a test that called
+// SetLevelForTesting goes out of scope.
+struct LevelGuard {
+  ~LevelGuard() { simd::SetLevelForTesting(Level::kAvx2); }
+};
+
+std::vector<double> RandomMasses(int n, uint32_t seed) {
+  std::mt19937 rng(seed);
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  std::vector<double> v(n);
+  for (double& x : v) x = dist(rng);
+  return v;
+}
+
+const int kSizes[] = {0, 1, 2, 3, 4, 5, 7, 8, 13, 31, 64, 100};
+
+TEST(SimdKernels, ScalarLevelAlwaysAvailable) {
+  EXPECT_TRUE(simd::LevelAvailable(Level::kScalar));
+  EXPECT_STREQ(simd::OpsFor(Level::kScalar).name, "scalar");
+  EXPECT_NE(simd::ActiveLevelName(), nullptr);
+}
+
+TEST(SimdKernels, SumBitIdenticalAcrossLevels) {
+  for (int n : kSizes) {
+    const std::vector<double> v = RandomMasses(n, 11u + n);
+    const double ref = simd::OpsFor(Level::kScalar).sum(v.data(), n);
+    for (Level level : AvailableLevels()) {
+      const double got = simd::OpsFor(level).sum(v.data(), n);
+      EXPECT_EQ(Bits(ref), Bits(got))
+          << "n=" << n << " level=" << simd::OpsFor(level).name;
+    }
+  }
+}
+
+TEST(SimdKernels, EntropySumBitIdenticalAcrossLevels) {
+  for (int n : kSizes) {
+    std::vector<double> v = RandomMasses(n, 23u + n);
+    if (n >= 4) {
+      v[0] = 0.0;       // clamp path
+      v[1] = -0.25;     // negative input clamps to 0 exactly
+      v[2] = 1.0;       // ln 1 == 0 exactly
+      v[3] = 1e-320;    // subnormal pre-scale path
+    }
+    const double ref = simd::OpsFor(Level::kScalar).entropy_sum(v.data(), n);
+    for (Level level : AvailableLevels()) {
+      const double got = simd::OpsFor(level).entropy_sum(v.data(), n);
+      EXPECT_EQ(Bits(ref), Bits(got))
+          << "n=" << n << " level=" << simd::OpsFor(level).name;
+    }
+  }
+}
+
+TEST(SimdKernels, ConvolveStepBitIdenticalAcrossLevels) {
+  for (int n : kSizes) {
+    if (n == 0) continue;
+    std::vector<double> init = RandomMasses(n + 1, 37u + n);
+    init.back() = 0.0;  // the freshly pushed slot
+    std::vector<double> ref = init;
+    simd::OpsFor(Level::kScalar).convolve_step(ref.data(), n, 0.37);
+    for (Level level : AvailableLevels()) {
+      std::vector<double> got = init;
+      simd::OpsFor(level).convolve_step(got.data(), n, 0.37);
+      for (int j = 0; j <= n; ++j) {
+        ASSERT_EQ(Bits(ref[j]), Bits(got[j]))
+            << "n=" << n << " j=" << j
+            << " level=" << simd::OpsFor(level).name;
+      }
+    }
+  }
+}
+
+TEST(SimdKernels, MaskedPairSumsBitIdenticalAcrossLevels) {
+  for (int n : kSizes) {
+    const std::vector<double> w = RandomMasses(n, 41u + n);
+    std::vector<double> mask(n);
+    for (int i = 0; i < n; ++i) mask[i] = (i % 3 == 0) ? 1.0 : 0.0;
+    double ref_t = 0.0, ref_f = 0.0;
+    simd::OpsFor(Level::kScalar)
+        .masked_pair_sums(w.data(), mask.data(), n, &ref_t, &ref_f);
+    for (Level level : AvailableLevels()) {
+      double got_t = 0.0, got_f = 0.0;
+      simd::OpsFor(level).masked_pair_sums(w.data(), mask.data(), n, &got_t,
+                                           &got_f);
+      EXPECT_EQ(Bits(ref_t), Bits(got_t)) << "n=" << n;
+      EXPECT_EQ(Bits(ref_f), Bits(got_f)) << "n=" << n;
+    }
+  }
+}
+
+TEST(SimdKernels, SweepTransferBitIdenticalAcrossLevels) {
+  for (int n : kSizes) {
+    const std::vector<double> joint = RandomMasses(n, 53u + n);
+    const std::vector<double> w0 = RandomMasses(n, 59u + n);
+    std::vector<double> mask(n);
+    for (int i = 0; i < n; ++i) mask[i] = (i % 2 == 0) ? 1.0 : 0.0;
+
+    std::vector<double> ref_w = w0;
+    double ref_t = 0.0, ref_f = 0.0;
+    simd::OpsFor(Level::kScalar)
+        .sweep_transfer(joint.data(), mask.data(), ref_w.data(), n, 0.8125,
+                        &ref_t, &ref_f);
+    for (Level level : AvailableLevels()) {
+      std::vector<double> got_w = w0;
+      double got_t = 0.0, got_f = 0.0;
+      simd::OpsFor(level).sweep_transfer(joint.data(), mask.data(),
+                                         got_w.data(), n, 0.8125, &got_t,
+                                         &got_f);
+      EXPECT_EQ(Bits(ref_t), Bits(got_t)) << "n=" << n;
+      EXPECT_EQ(Bits(ref_f), Bits(got_f)) << "n=" << n;
+      for (int i = 0; i < n; ++i) {
+        ASSERT_EQ(Bits(ref_w[i]), Bits(got_w[i])) << "n=" << n << " i=" << i;
+      }
+    }
+  }
+}
+
+// The polynomial-log entropy term: within 4 ULP of the correctly-rounded
+// -p ln p (computed in long double), across the full input range
+// including subnormals. p <= 0 and p == 1 must be exactly 0.
+TEST(SimdKernels, EntropyTermWithinDocumentedUlpBound) {
+  const double inputs[] = {5e-324,  1e-320,  2.2e-308, 1e-300, 1e-100,
+                           1e-10,   1e-3,    0.1,      0.25,   0.5,
+                           1.0 / 3, 0.4999,  0.50001,  0.75,   0.9,
+                           0.99,    0.999999, 1.0 - 1e-15};
+  for (Level level : AvailableLevels()) {
+    const KernelOps& ops = simd::OpsFor(level);
+    for (double p : inputs) {
+      const double got = ops.entropy_sum(&p, 1);
+      const double ref = static_cast<double>(
+          -static_cast<long double>(p) * logl(static_cast<long double>(p)));
+      const double ulp = std::nextafter(std::abs(ref),
+                                        std::numeric_limits<double>::infinity()) -
+                         std::abs(ref);
+      EXPECT_LE(std::abs(got - ref), 4.0 * ulp)
+          << "p=" << p << " got=" << got << " ref=" << ref
+          << " level=" << ops.name;
+    }
+    const double zero = 0.0, neg = -0.5, one = 1.0;
+    EXPECT_EQ(Bits(ops.entropy_sum(&zero, 1)), Bits(0.0));
+    EXPECT_EQ(Bits(ops.entropy_sum(&neg, 1)), Bits(0.0));
+    EXPECT_EQ(Bits(ops.entropy_sum(&one, 1)), Bits(0.0));
+  }
+}
+
+TEST(SimdKernels, DistributionEntropySimdTracksLibmReference) {
+  const std::vector<double> masses = RandomMasses(257, 71u);
+  const double simd_val = util::DistributionEntropySimd(masses);
+  const double libm_val = util::DistributionEntropy(masses);
+  EXPECT_NEAR(simd_val, libm_val, 1e-11 * std::abs(libm_val) + 1e-13);
+}
+
+// ---------------------------------------------------------------------------
+// Tracker-level equivalence: the Poisson-binomial tracker must return
+// bit-identical answers at every dispatch level (this is what makes the
+// PTK_SIMD=OFF build byte-identical).
+
+struct TrackerProbe {
+  std::vector<double> values;
+
+  static TrackerProbe Run(Level level) {
+    simd::SetLevelForTesting(level);
+    TrackerProbe probe;
+    rank::PoissonBinomialTracker tracker;
+    std::mt19937 rng(97);
+    std::uniform_real_distribution<double> dist(0.01, 0.99);
+    std::vector<double> qs;
+    for (int step = 0; step < 60; ++step) {
+      const size_t idx = qs.empty() ? 0 : step % qs.size();
+      if (!qs.empty() && step % 7 == 3 && qs[idx] < 1.0) {
+        // Advance an existing variable (deconvolve + convolve), sometimes
+        // all the way to certainty (the shift path).
+        const double q_old = qs[idx];
+        const double q_new =
+            (step % 14 == 3) ? 1.0 : q_old + (1.0 - q_old) * dist(rng);
+        tracker.Update(q_old, q_new);
+        qs[idx] = q_new;
+      } else {
+        const double q = dist(rng);
+        tracker.Update(0.0, q);
+        qs.push_back(q);
+      }
+      for (int t = 0; t <= static_cast<int>(qs.size()); t += 2) {
+        probe.values.push_back(tracker.CumulativeAtMost(t));
+        for (double q : {qs.front(), qs.back()}) {
+          if (q < 1.0) {
+            probe.values.push_back(tracker.CumulativeAtMostExcluding(t, q));
+          }
+        }
+        if (qs.size() >= 2 && qs.front() < 1.0 && qs.back() < 1.0 &&
+            &qs.front() != &qs.back()) {
+          probe.values.push_back(
+              tracker.CumulativeAtMostExcluding2(t, qs.front(), qs.back()));
+        }
+      }
+      if (qs.front() < 1.0) {
+        std::vector<double> vec;
+        tracker.CumulativeVectorExcluding(static_cast<int>(qs.size()),
+                                          qs.front(), &vec);
+        probe.values.insert(probe.values.end(), vec.begin(), vec.end());
+      }
+    }
+    return probe;
+  }
+};
+
+TEST(SimdTracker, QueriesBitIdenticalAcrossLevels) {
+  LevelGuard guard;
+  const TrackerProbe ref = TrackerProbe::Run(Level::kScalar);
+  ASSERT_FALSE(ref.values.empty());
+  for (Level level : AvailableLevels()) {
+    const TrackerProbe got = TrackerProbe::Run(level);
+    ASSERT_EQ(ref.values.size(), got.values.size());
+    for (size_t i = 0; i < ref.values.size(); ++i) {
+      ASSERT_EQ(Bits(ref.values[i]), Bits(got.values[i]))
+          << "i=" << i << " level=" << simd::OpsFor(level).name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Degenerate probabilities: q -> 0, q -> 1, the 0.5 direction boundary,
+// and the certainty (shift) path. Every cumulative query must stay a
+// valid, NaN-free CDF value.
+
+void ExpectValidCdfQueries(const rank::PoissonBinomialTracker& tracker,
+                           const std::vector<double>& qs) {
+  double prev = 0.0;
+  for (int t = 0; t <= static_cast<int>(qs.size()) + 1; ++t) {
+    const double c = tracker.CumulativeAtMost(t);
+    ASSERT_FALSE(std::isnan(c)) << "t=" << t;
+    ASSERT_GE(c, 0.0);
+    ASSERT_LE(c, 1.0);
+    ASSERT_GE(c, prev - 1e-12) << "CDF must be nondecreasing, t=" << t;
+    prev = c;
+    for (double q : qs) {
+      if (q >= 1.0) continue;
+      const double e = tracker.CumulativeAtMostExcluding(t, q);
+      ASSERT_FALSE(std::isnan(e)) << "t=" << t << " q=" << q;
+      ASSERT_GE(e, 0.0);
+      ASSERT_LE(e, 1.0);
+      // Removing a variable can only move mass toward smaller counts.
+      ASSERT_GE(e, c - 1e-9) << "t=" << t << " q=" << q;
+    }
+  }
+}
+
+TEST(SimdTracker, DegenerateProbabilitiesStayValid) {
+  const std::vector<double> qs = {1e-300, 1e-12, 0.5,  0.5 + 1e-15,
+                                  0.999,  1.0 - 1e-12, 0.25};
+  rank::PoissonBinomialTracker tracker;
+  for (double q : qs) tracker.Update(0.0, q);
+  ExpectValidCdfQueries(tracker, qs);
+
+  // Two-exclusion across every direction combination (fwd/fwd, bwd/bwd,
+  // mixed) at extreme q.
+  for (size_t a = 0; a < qs.size(); ++a) {
+    for (size_t b = 0; b < qs.size(); ++b) {
+      if (a == b) continue;
+      for (int t = 0; t <= static_cast<int>(qs.size()); ++t) {
+        const double e = tracker.CumulativeAtMostExcluding2(t, qs[a], qs[b]);
+        ASSERT_FALSE(std::isnan(e));
+        ASSERT_GE(e, 0.0);
+        ASSERT_LE(e, 1.0);
+      }
+    }
+  }
+}
+
+TEST(SimdTracker, ShiftPathFoldsCertainVariables) {
+  rank::PoissonBinomialTracker tracker;
+  tracker.Update(0.0, 0.3);
+  tracker.Update(0.3, 1.0);  // folds into shift
+  tracker.Update(0.0, 0.9);
+  EXPECT_EQ(tracker.shift(), 1);
+  EXPECT_EQ(tracker.CumulativeAtMost(0), 0.0);  // one variable is certain
+  EXPECT_NEAR(tracker.CumulativeAtMost(1), 0.1, 1e-12);
+  EXPECT_NEAR(tracker.CumulativeAtMost(2), 1.0, 1e-12);
+  // Excluding the active q = 0.9 variable leaves only the shifted one.
+  EXPECT_NEAR(tracker.CumulativeAtMostExcluding(1, 0.9), 1.0, 1e-12);
+  EXPECT_EQ(tracker.CumulativeAtMostExcluding(0, 0.9), 0.0);
+}
+
+// Regression pin for the Deconvolve numerical audit: the backward
+// (q > 0.5) removal path clamps every slot it writes — including the
+// first (count top-1) and last (count 0) — so heavy-tailed removals can
+// never surface negative mass. (The audit found the previously suspected
+// un-clamped store does not exist; this pins the invariant.)
+TEST(SimdTracker, BackwardDeconvolveClampsEverySlot) {
+  rank::PoissonBinomialTracker tracker;
+  // Values engineered for catastrophic cancellation in the backward
+  // recurrence: many near-certain variables.
+  const std::vector<double> qs = {0.999, 0.998, 0.997, 0.996, 0.995,
+                                  0.994, 0.99,  0.51,  0.7};
+  for (double q : qs) tracker.Update(0.0, q);
+  ExpectValidCdfQueries(tracker, qs);
+  // Update's in-place removal exercises the same backward path.
+  rank::PoissonBinomialTracker moving = tracker;
+  for (double q : qs) {
+    moving.Update(q, 1.0);  // remove backward, fold into shift
+  }
+  EXPECT_EQ(moving.shift(), static_cast<int>(qs.size()));
+  EXPECT_EQ(moving.CumulativeAtMost(static_cast<int>(qs.size()) - 1), 0.0);
+  // dp_[0] carries the rounding residue of nine removals; equal to 1 only
+  // up to accumulated error.
+  EXPECT_NEAR(moving.CumulativeAtMost(static_cast<int>(qs.size())), 1.0,
+              1e-9);
+}
+
+}  // namespace
+}  // namespace ptk

@@ -2,9 +2,11 @@
 # Full pre-merge check: tier-1 fast gate, then the long-running property
 # and stress suites, then a TSan pass over the metrics/trace layer, a
 # PTK_METRICS=OFF cross-build proving the instrumentation is inert (same
-# selector output, byte-identical CLI stdout), and an ASan/UBSan build
-# running the robustness and engine-equivalence tests and a timed fuzz
-# smoke pass over the committed seed corpus.
+# selector output, byte-identical CLI stdout), a PTK_SIMD=OFF cross-build
+# proving the scalar kernel fallback reproduces the vectorized build byte
+# for byte, and an ASan/UBSan build running the robustness, engine-
+# equivalence, and simd kernel tests and a timed fuzz smoke pass over the
+# committed seed corpus.
 # Usage: tools/check.sh [fuzz_seconds]
 set -euo pipefail
 
@@ -46,6 +48,26 @@ cmp /tmp/ptk_on.out /tmp/ptk_off.out
 cmp /tmp/ptk_on.out /tmp/ptk_on_flag.out
 rm -f "$CSV"
 
+echo "== PTK_SIMD=OFF cross-build: scalar fallback must be bit-identical =="
+cmake -B build-nosimd -S . -DPTK_SIMD=OFF >/dev/null
+cmake --build build-nosimd -j "$JOBS" --target simd_test ptk_cli
+./build-nosimd/tests/simd_test
+# The determinism contract (simd/kernels.h): the vector kernels replay the
+# scalar reference's exact IEEE operation sequence, so the two builds'
+# CLI stdout must match byte for byte — as must the ON build forced down
+# to the scalar level at runtime.
+CSV="$(mktemp)"
+printf 'oid,value,prob\n0,20,0.2\n0,23,0.8\n1,21,0.2\n1,24,0.8\n2,22,0.6\n2,25,0.4\n' > "$CSV"
+./build/tools/ptk_cli topk "$CSV" 2 > /tmp/ptk_simd_on.out
+./build-nosimd/tools/ptk_cli topk "$CSV" 2 > /tmp/ptk_simd_off.out
+PTK_SIMD_LEVEL=scalar ./build/tools/ptk_cli topk "$CSV" 2 > /tmp/ptk_simd_forced.out
+cmp /tmp/ptk_simd_on.out /tmp/ptk_simd_off.out
+cmp /tmp/ptk_simd_on.out /tmp/ptk_simd_forced.out
+./build/tools/ptk_cli select "$CSV" 2 3 --selector opt > /tmp/ptk_simd_on_sel.out
+./build-nosimd/tools/ptk_cli select "$CSV" 2 3 --selector opt > /tmp/ptk_simd_off_sel.out
+cmp /tmp/ptk_simd_on_sel.out /tmp/ptk_simd_off_sel.out
+rm -f "$CSV"
+
 echo "== serving smoke: JSON-lines transcript vs golden =="
 SMOKE_CSV="$(mktemp)"
 printf 'oid,value,prob\n0,20,0.2\n0,23,0.8\n1,21,0.2\n1,24,0.8\n2,22,0.6\n2,25,0.4\n' > "$SMOKE_CSV"
@@ -74,9 +96,10 @@ cmake -B build-asan -S . \
   -DPTK_SANITIZE=address,undefined -DPTK_FUZZ=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target load_csv_fuzz constraint_fold_fuzz robustness_test data_test \
-  session_test engine_test
+  session_test engine_test simd_test simd_property_test
 (cd build-asan && ./tests/data_test && ./tests/session_test \
-  && ./tests/robustness_test && ./tests/engine_test)
+  && ./tests/robustness_test && ./tests/engine_test \
+  && ./tests/simd_test && ./tests/simd_property_test)
 
 run_fuzz() {
   local target="$1" corpus="$2"
