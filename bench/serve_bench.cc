@@ -102,9 +102,9 @@ int main() {
             if (!pairs.ok()) return pairs.status();
             const auto a = (*pairs)[0].a;
             const auto b = (*pairs)[0].b;
-            return manager
-                .PostAnswers(id, {{std::min(a, b), std::max(a, b)}})
-                .status();
+            ptk::serve::SessionManager::PostReport report;
+            return manager.PostAnswers(
+                id, {{std::min(a, b), std::max(a, b)}}, &report);
           }
           return manager.Quality(id).status();
         };

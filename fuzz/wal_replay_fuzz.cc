@@ -1,0 +1,73 @@
+// Fuzz target for the durability layer's readers: ParseWal and
+// DecodeSnapshot must be total over arbitrary bytes — a crash-corrupted
+// journal is the *expected* input of the recovery path, not an edge case.
+// Invariants:
+//   * ParseWal never reads out of bounds, and what it accepts is a
+//     well-formed prefix: strictly increasing seq, known record types,
+//     valid_bytes within the image.
+//   * The valid prefix is a fixed point — re-parsing the first
+//     valid_bytes reproduces exactly the same records with no torn tail
+//     (this is what the tail-repair truncation relies on).
+//   * Accepted records round-trip through EncodeWalFrame bit-identically.
+//   * DecodeSnapshot either rejects the input or yields a snapshot whose
+//     re-encoding decodes to an equal snapshot.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fuzz_require.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::span<const uint8_t> bytes(data, size);
+
+  const ptk::persist::WalReadResult result = ptk::persist::ParseWal(bytes);
+  PTK_FUZZ_REQUIRE(result.valid_bytes <= size);
+  uint64_t last_seq = 0;
+  for (const ptk::persist::WalRecord& record : result.records) {
+    PTK_FUZZ_REQUIRE(record.seq > last_seq);
+    last_seq = record.seq;
+    PTK_FUZZ_REQUIRE(
+        record.type == ptk::persist::WalRecord::Type::kAnswer ||
+        record.type == ptk::persist::WalRecord::Type::kAsked);
+  }
+
+  // Tail repair truncates to valid_bytes and expects a clean re-read.
+  const ptk::persist::WalReadResult again = ptk::persist::ParseWal(
+      bytes.subspan(0, static_cast<size_t>(result.valid_bytes)));
+  PTK_FUZZ_REQUIRE(again.records == result.records);
+  PTK_FUZZ_REQUIRE(again.valid_bytes == result.valid_bytes);
+  PTK_FUZZ_REQUIRE(!again.torn_tail);
+
+  // Re-encode what was accepted: the writer's frames must parse back to
+  // the same records (the journal is its own round-trip oracle).
+  if (!result.records.empty()) {
+    std::vector<uint8_t> image(ptk::persist::WalMagic().begin(),
+                               ptk::persist::WalMagic().end());
+    for (const ptk::persist::WalRecord& record : result.records) {
+      const std::vector<uint8_t> frame =
+          ptk::persist::EncodeWalFrame(record);
+      image.insert(image.end(), frame.begin(), frame.end());
+    }
+    const ptk::persist::WalReadResult reparsed =
+        ptk::persist::ParseWal(image);
+    PTK_FUZZ_REQUIRE(reparsed.records == result.records);
+    PTK_FUZZ_REQUIRE(!reparsed.torn_tail);
+  }
+
+  // The snapshot reader shares the framing helpers; drive it with the
+  // same bytes. All-or-nothing: an accepted snapshot must re-encode to an
+  // image that decodes equal.
+  ptk::util::StatusOr<ptk::persist::SessionSnapshot> snapshot =
+      ptk::persist::DecodeSnapshot(bytes);
+  if (snapshot.ok()) {
+    ptk::util::StatusOr<ptk::persist::SessionSnapshot> rerun =
+        ptk::persist::DecodeSnapshot(
+            ptk::persist::EncodeSnapshot(*snapshot));
+    PTK_FUZZ_REQUIRE(rerun.ok());
+    PTK_FUZZ_REQUIRE(*rerun == *snapshot);
+  }
+  return 0;
+}

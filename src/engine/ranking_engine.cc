@@ -173,6 +173,48 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
   return util::Status::OK();
 }
 
+util::Status RankingEngine::RestoreSnapshot(
+    const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
+        constraints,
+    uint64_t version, const std::vector<RestoredWeights>& working) {
+  if (version_ != 0 || !constraints_.empty() || overlay_.materialized()) {
+    return util::Status::FailedPrecondition(
+        "RestoreSnapshot: engine already has state (restore targets a "
+        "fresh engine)");
+  }
+  // ConstraintSet::Add dedups, so the snapshotted set can be smaller than
+  // the fold count but never larger.
+  if (version < constraints.size()) {
+    return util::Status::InvalidArgument(
+        "RestoreSnapshot: version " + std::to_string(version) +
+        " below constraint count " + std::to_string(constraints.size()));
+  }
+  for (const auto& [smaller, larger] : constraints) {
+    if (smaller < 0 || smaller >= base_->num_objects() || larger < 0 ||
+        larger >= base_->num_objects() || smaller == larger) {
+      return util::Status::InvalidArgument(
+          "RestoreSnapshot: invalid constraint (" + std::to_string(smaller) +
+          ", " + std::to_string(larger) + ")");
+    }
+  }
+  pw::ConstraintSet restored;
+  for (const auto& [smaller, larger] : constraints) {
+    restored.Add(smaller, larger);
+  }
+  if (!working.empty()) {
+    PrepareWorkingCopy();
+    for (const RestoredWeights& weights : working) {
+      if (util::Status s = overlay_.RestoreExact(weights.oid, weights.probs);
+          !s.ok()) {
+        return s.WithContext("RestoreSnapshot");
+      }
+    }
+  }
+  constraints_ = std::move(restored);
+  version_ = version;
+  return util::Status::OK();
+}
+
 core::SelectorOptions RankingEngine::BaseSelectorOptions() const {
   core::SelectorOptions o;
   o.k = options_.k;

@@ -113,6 +113,11 @@ class RankingEngine {
   /// once up front; without it the first such fold discards artifacts
   /// built against the base aliasing and rebuilds them lazily. Idempotent.
   void PrepareWorkingCopy();
+  /// Whether the copy-on-write working database has split from the base
+  /// (some update_working fold, PrepareWorkingCopy, or a snapshot restore
+  /// with working weights happened). The persist layer snapshots working
+  /// marginals only when this is true.
+  bool working_materialized() const { return overlay_.materialized(); }
   const Options& options() const { return options_; }
   const pw::ConstraintSet& constraints() const { return constraints_; }
   /// Bumped once per applied fold; memoized artifacts key on it.
@@ -144,6 +149,28 @@ class RankingEngine {
   /// reported through `outcome`.
   util::Status Fold(model::ObjectId smaller, model::ObjectId larger,
                     bool update_working, FoldOutcome* outcome);
+
+  /// One working-database marginal to restore, bit-exact (persist layer).
+  struct RestoredWeights {
+    model::ObjectId oid = model::kInvalidObject;
+    std::vector<double> probs;
+  };
+
+  /// Fast-forwards a *fresh* engine to a snapshotted state without
+  /// re-running the folds it summarizes: installs the accepted constraints
+  /// in their original fold order, sets version() to `version`, and — when
+  /// `working` is non-empty — materializes the working copy and restores
+  /// each listed object's marginals verbatim (no renormalization, so the
+  /// working database is bitwise the one that was snapshotted; see
+  /// model::DatabaseOverlay::RestoreExact). Subsequent WAL replay folds
+  /// continue from here and land bit-identically where the uninterrupted
+  /// run did. kFailedPrecondition unless the engine is untouched (no folds,
+  /// no working copy); kInvalidArgument on out-of-range object ids or a
+  /// version inconsistent with the constraint count.
+  util::Status RestoreSnapshot(
+      const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
+          constraints,
+      uint64_t version, const std::vector<RestoredWeights>& working);
 
   /// A fresh selector of the given kind on the working database, borrowing
   /// the engine's shared artifacts (membership; PB-tree for the

@@ -53,7 +53,13 @@ util::Status Database::Finalize(double tolerance) {
     for (Instance& inst : obj.instances_) inst.prob /= total;
   }
 
-  // Build the global sorted index.
+  BuildIndex();
+  finalized_ = true;
+  ++mutation_version_;
+  return util::Status::OK();
+}
+
+void Database::BuildIndex() {
   sorted_.clear();
   for (const UncertainObject& obj : objects_) {
     sorted_.insert(sorted_.end(), obj.instances_.begin(),
@@ -83,9 +89,6 @@ util::Status Database::Finalize(double tolerance) {
       suffix[i] = suffix[i + 1] + sorted_[positions[i]].prob;
     }
   }
-  finalized_ = true;
-  ++mutation_version_;
-  return util::Status::OK();
 }
 
 void Database::ReweightObjectInPlace(ObjectId oid,
@@ -99,6 +102,21 @@ void Database::ReweightObjectInPlace(ObjectId oid,
     sorted_[position_[offset_[oid] + i]].prob = p;
   }
   // Suffix masses over the object's sorted positions (MassBeyond/Before).
+  const auto& positions = obj_positions_[oid];
+  auto& suffix = obj_suffix_mass_[oid];
+  for (int i = static_cast<int>(positions.size()) - 1; i >= 0; --i) {
+    suffix[i] = suffix[i + 1] + sorted_[positions[i]].prob;
+  }
+  ++mutation_version_;
+}
+
+void Database::SetObjectProbsInPlace(ObjectId oid,
+                                     const std::vector<double>& probs) {
+  UncertainObject& obj = objects_[oid];
+  for (int i = 0; i < obj.num_instances(); ++i) {
+    obj.instances_[i].prob = probs[i];
+    sorted_[position_[offset_[oid] + i]].prob = probs[i];
+  }
   const auto& positions = obj_positions_[oid];
   auto& suffix = obj_suffix_mass_[oid];
   for (int i = static_cast<int>(positions.size()) - 1; i >= 0; --i) {

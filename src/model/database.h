@@ -8,6 +8,10 @@
 #include "model/uncertain_object.h"
 #include "util/status.h"
 
+namespace ptk::persist {
+class CatalogIo;  // bit-exact Database (de)serialization, persist/catalog.cc
+}
+
 namespace ptk::model {
 
 /// Global position of an instance in the database-wide (value, oid, iid)
@@ -76,6 +80,7 @@ class Database {
 
  private:
   friend class DatabaseOverlay;
+  friend class ptk::persist::CatalogIo;
 
   /// Replaces object `oid`'s instance probabilities in place (values and
   /// instance count unchanged), renormalizing `probs` to sum exactly to 1.
@@ -86,6 +91,22 @@ class Database {
   /// of database size. Requires finalized(), probs.size() ==
   /// num_instances(oid), all probs >= 0, and a positive total.
   void ReweightObjectInPlace(ObjectId oid, const std::vector<double>& probs);
+
+  /// Persist-restore variant: sets object `oid`'s probabilities *verbatim*
+  /// (no renormalization) and refreshes the derived suffix masses. The
+  /// inputs are probabilities a previous run's ReweightObjectInPlace
+  /// produced, stored as exact bit patterns, so re-dividing by their
+  /// not-exactly-1.0 sum would break the bit-identical recovery contract.
+  /// Same preconditions as ReweightObjectInPlace otherwise.
+  void SetObjectProbsInPlace(ObjectId oid, const std::vector<double>& probs);
+
+  /// The index-construction half of Finalize(): rebuilds sorted_, offset_,
+  /// position_, obj_positions_ and obj_suffix_mass_ from objects_ exactly
+  /// as Finalize does, without validating or renormalizing. persist's
+  /// catalog loader calls it after restoring objects_ with already-
+  /// normalized probabilities, where Finalize's renormalization division
+  /// could perturb the restored bits.
+  void BuildIndex();
 
   bool finalized_ = false;
   uint64_t mutation_version_ = 0;

@@ -48,4 +48,38 @@ util::Status DatabaseOverlay::Reweight(ObjectId oid,
   return util::Status::OK();
 }
 
+util::Status DatabaseOverlay::RestoreExact(ObjectId oid,
+                                           const std::vector<double>& probs) {
+  if (oid < 0 || oid >= db().num_objects()) {
+    return util::Status::InvalidArgument(
+        "DatabaseOverlay::RestoreExact: object id " + std::to_string(oid) +
+        " out of range [0, " + std::to_string(db().num_objects()) + ")");
+  }
+  const int n = db().object(oid).num_instances();
+  if (static_cast<int>(probs.size()) != n) {
+    return util::Status::InvalidArgument(
+        "DatabaseOverlay::RestoreExact: object " + std::to_string(oid) +
+        " has " + std::to_string(n) + " instances, got " +
+        std::to_string(probs.size()) + " probabilities");
+  }
+  double total = 0.0;
+  for (double p : probs) {
+    if (!(p >= 0.0) || !std::isfinite(p)) {
+      return util::Status::InvalidArgument(
+          "DatabaseOverlay::RestoreExact: probabilities must be finite and "
+          ">= 0");
+    }
+    total += p;
+  }
+  if (!(total > 0.0)) {
+    return util::Status::InvalidArgument(
+        "DatabaseOverlay::RestoreExact: object " + std::to_string(oid) +
+        "'s marginal would vanish (total mass " + std::to_string(total) +
+        ")");
+  }
+  Materialize();
+  copy_->SetObjectProbsInPlace(oid, probs);
+  return util::Status::OK();
+}
+
 }  // namespace ptk::model

@@ -72,6 +72,14 @@ class DatabaseOverlay {
   /// overlay untouched. Materializes the working copy on first use.
   util::Status Reweight(ObjectId oid, const std::vector<double>& probs);
 
+  /// Persist-restore variant of Reweight: installs `probs` *verbatim*, no
+  /// renormalization. The values are a snapshot of what Reweight produced
+  /// in a previous process (already summing to exactly what they summed to
+  /// then), and re-dividing by that not-exactly-1.0 total would flip last
+  /// bits and break bit-identical recovery. Same validation otherwise;
+  /// materializes the working copy on first use.
+  util::Status RestoreExact(ObjectId oid, const std::vector<double>& probs);
+
  private:
   const Database* base_;
   std::optional<Database> copy_;

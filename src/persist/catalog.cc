@@ -1,0 +1,212 @@
+#include "persist/catalog.h"
+
+#include <array>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "persist/io_util.h"
+#include "persist/wal.h"
+
+namespace ptk::persist {
+
+namespace {
+
+constexpr std::array<uint8_t, 8> kMagic = {'P', 'T', 'K', 'C',
+                                           'A', 'T', '0', '1'};
+
+constexpr uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+constexpr uint64_t kFnvPrime = 0x100000001b3ull;
+
+void FnvMix(uint64_t* h, const uint8_t* data, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    *h ^= data[i];
+    *h *= kFnvPrime;
+  }
+}
+void FnvMixU64(uint64_t* h, uint64_t v) {
+  std::array<uint8_t, 8> bytes;
+  for (int i = 0; i < 8; ++i) bytes[i] = uint8_t(v >> (8 * i));
+  FnvMix(h, bytes.data(), bytes.size());
+}
+void FnvMixDouble(uint64_t* h, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  FnvMixU64(h, bits);
+}
+
+util::Status Corrupt(const std::string& what) {
+  return util::Status::IoError("catalog: " + what);
+}
+
+}  // namespace
+
+uint64_t DatabaseFingerprint(const model::Database& db) {
+  uint64_t h = kFnvOffset;
+  FnvMixU64(&h, static_cast<uint64_t>(db.num_objects()));
+  for (const model::UncertainObject& obj : db.objects()) {
+    const std::string& label = obj.label();
+    FnvMixU64(&h, label.size());
+    FnvMix(&h, reinterpret_cast<const uint8_t*>(label.data()), label.size());
+    FnvMixU64(&h, static_cast<uint64_t>(obj.num_instances()));
+    for (const model::Instance& inst : obj.instances()) {
+      FnvMixDouble(&h, inst.value);
+      FnvMixDouble(&h, inst.prob);
+    }
+  }
+  return h;
+}
+
+std::vector<uint8_t> CatalogIo::EncodeDatabase(const model::Database& db) {
+  std::vector<uint8_t> out;
+  io::PutU32(&out, static_cast<uint32_t>(db.num_objects()));
+  for (const model::UncertainObject& obj : db.objects()) {
+    const std::string& label = obj.label();
+    io::PutU32(&out, static_cast<uint32_t>(label.size()));
+    out.insert(out.end(), label.begin(), label.end());
+    io::PutU32(&out, static_cast<uint32_t>(obj.num_instances()));
+    for (const model::Instance& inst : obj.instances()) {
+      io::PutDouble(&out, inst.value);
+      io::PutDouble(&out, inst.prob);
+    }
+  }
+  return out;
+}
+
+util::StatusOr<model::Database> CatalogIo::DecodeDatabase(
+    std::span<const uint8_t> bytes) {
+  io::Cursor cursor(bytes);
+  uint32_t nobjects = 0;
+  if (!cursor.U32(&nobjects)) return Corrupt("truncated object count");
+  if (nobjects == 0) return Corrupt("database has no objects");
+
+  model::Database db;
+  for (uint32_t o = 0; o < nobjects; ++o) {
+    uint32_t label_len = 0;
+    std::span<const uint8_t> label_bytes;
+    if (!cursor.U32(&label_len) || !cursor.Bytes(label_len, &label_bytes)) {
+      return Corrupt("truncated object label");
+    }
+    uint32_t ninst = 0;
+    if (!cursor.U32(&ninst)) return Corrupt("truncated instance count");
+    if (ninst == 0) return Corrupt("object has no instances");
+    if (static_cast<size_t>(ninst) * 16 > cursor.remaining()) {
+      return Corrupt("instance count lie");
+    }
+    std::vector<std::pair<double, double>> pairs(ninst);
+    for (uint32_t i = 0; i < ninst; ++i) {
+      if (!cursor.Double(&pairs[i].first) ||
+          !cursor.Double(&pairs[i].second)) {
+        return Corrupt("truncated instance");
+      }
+      if (!std::isfinite(pairs[i].first)) {
+        return Corrupt("non-finite instance value");
+      }
+      if (!(pairs[i].second > 0.0) || !std::isfinite(pairs[i].second)) {
+        return Corrupt("instance probability outside (0, inf)");
+      }
+      // Instances are serialized in iid order, i.e., ascending by value
+      // with in-object ties forbidden (Finalize rejects them). Enforcing
+      // the order here means AddObject's sort is a no-op and the rebuilt
+      // object is byte-for-byte the one serialized.
+      if (i > 0 && !(pairs[i - 1].first < pairs[i].first)) {
+        return Corrupt("instance values not strictly ascending");
+      }
+    }
+    db.AddObject(std::move(pairs),
+                 std::string(label_bytes.begin(), label_bytes.end()));
+  }
+  if (!cursor.AtEnd()) return Corrupt("trailing bytes after database");
+
+  // The stored probabilities are Finalize's exact output; rebuild the
+  // index without re-running its renormalization division (see the friend
+  // contract in model/database.h).
+  db.BuildIndex();
+  db.finalized_ = true;
+  db.mutation_version_ = 1;
+  return db;
+}
+
+util::Status SaveCatalog(const std::string& path, const model::Database& db,
+                         const CatalogArtifacts& artifacts,
+                         bool fsync_writes) {
+  if (!db.finalized()) {
+    return util::Status::FailedPrecondition(
+        "SaveCatalog: database not finalized");
+  }
+  std::vector<uint8_t> payload;
+  io::PutU64(&payload, DatabaseFingerprint(db));
+  const std::vector<uint8_t> db_image = CatalogIo::EncodeDatabase(db);
+  io::PutU32(&payload, static_cast<uint32_t>(db_image.size()));
+  payload.insert(payload.end(), db_image.begin(), db_image.end());
+  io::PutU32(&payload, static_cast<uint32_t>(artifacts.membership_k));
+  io::PutU32(&payload, static_cast<uint32_t>(artifacts.warm_singles.size()));
+  for (const double v : artifacts.warm_singles) io::PutDouble(&payload, v);
+  io::PutU32(&payload, static_cast<uint32_t>(artifacts.tree_fanout));
+
+  std::vector<uint8_t> image;
+  image.reserve(kMagic.size() + 8 + payload.size());
+  image.insert(image.end(), kMagic.begin(), kMagic.end());
+  io::PutU32(&image, static_cast<uint32_t>(payload.size()));
+  io::PutU32(&image, Crc32c(payload));
+  image.insert(image.end(), payload.begin(), payload.end());
+  return io::WriteFileAtomic(path, image, fsync_writes);
+}
+
+util::StatusOr<LoadedCatalog> LoadCatalog(const std::string& path) {
+  util::StatusOr<std::vector<uint8_t>> bytes = io::ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  const std::span<const uint8_t> image = *bytes;
+  if (image.size() < kMagic.size() + 8 ||
+      std::memcmp(image.data(), kMagic.data(), kMagic.size()) != 0) {
+    return Corrupt("bad magic or truncated header");
+  }
+  io::Cursor header(image.subspan(kMagic.size(), 8));
+  uint32_t payload_len = 0, crc = 0;
+  header.U32(&payload_len);
+  header.U32(&crc);
+  const std::span<const uint8_t> payload = image.subspan(kMagic.size() + 8);
+  if (payload.size() != payload_len) {
+    return Corrupt("payload length mismatch");
+  }
+  if (Crc32c(payload) != crc) return Corrupt("CRC mismatch");
+
+  io::Cursor cursor(payload);
+  LoadedCatalog loaded;
+  uint64_t stored_fingerprint = 0;
+  uint32_t db_len = 0;
+  std::span<const uint8_t> db_image;
+  if (!cursor.U64(&stored_fingerprint) || !cursor.U32(&db_len) ||
+      !cursor.Bytes(db_len, &db_image)) {
+    return Corrupt("truncated database image");
+  }
+  util::StatusOr<model::Database> db = CatalogIo::DecodeDatabase(db_image);
+  if (!db.ok()) return db.status();
+  loaded.db = std::move(*db);
+  loaded.fingerprint = DatabaseFingerprint(loaded.db);
+  if (loaded.fingerprint != stored_fingerprint) {
+    return Corrupt("fingerprint mismatch (stored vs decoded database)");
+  }
+
+  uint32_t membership_k = 0, nsingles = 0;
+  if (!cursor.U32(&membership_k) || !cursor.U32(&nsingles)) {
+    return Corrupt("truncated artifacts");
+  }
+  if (static_cast<size_t>(nsingles) * 8 > cursor.remaining()) {
+    return Corrupt("warm-singles length lie");
+  }
+  loaded.artifacts.membership_k = static_cast<int>(membership_k);
+  loaded.artifacts.warm_singles.resize(nsingles);
+  for (uint32_t i = 0; i < nsingles; ++i) {
+    if (!cursor.Double(&loaded.artifacts.warm_singles[i])) {
+      return Corrupt("truncated warm singles");
+    }
+  }
+  uint32_t tree_fanout = 0;
+  if (!cursor.U32(&tree_fanout)) return Corrupt("truncated tree descriptor");
+  loaded.artifacts.tree_fanout = static_cast<int>(tree_fanout);
+  if (!cursor.AtEnd()) return Corrupt("trailing bytes after artifacts");
+  return loaded;
+}
+
+}  // namespace ptk::persist

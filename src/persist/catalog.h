@@ -1,0 +1,79 @@
+#ifndef PTK_PERSIST_CATALOG_H_
+#define PTK_PERSIST_CATALOG_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/database.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::persist {
+
+/// Order-sensitive 64-bit FNV-1a over the database's exact content: object
+/// labels, and every instance's value and probability as raw IEEE-754 bit
+/// patterns. Two databases fingerprint equal iff replaying a WAL against
+/// one lands bit-identically where it would against the other, so session
+/// metadata records the fingerprint and recovery refuses a mismatched
+/// catalog instead of silently diverging. Requires finalized().
+uint64_t DatabaseFingerprint(const model::Database& db);
+
+/// Pre-warmed derived artifacts stored alongside the database so a warm
+/// process skips the expensive lazy builds:
+///  * the membership calculator's singles table (the full-database
+///    Poisson-binomial scan, the dominant pre-warm cost), valid only for
+///    `membership_k` on the exact fingerprinted database;
+///  * the PB-tree as a build descriptor (fanout) rather than serialized
+///    nodes — the bulk load is deterministic and cheap relative to the
+///    membership scan, so re-running it is both simpler and bit-safe.
+struct CatalogArtifacts {
+  int membership_k = 0;             // k warm_singles was computed for
+  std::vector<double> warm_singles;  // flat PT_k table; empty = none stored
+  int tree_fanout = 0;               // PB-tree descriptor; 0 = none stored
+
+  friend bool operator==(const CatalogArtifacts&,
+                         const CatalogArtifacts&) = default;
+};
+
+/// Bit-exact Database (de)serialization. A friend of model::Database so
+/// the load path can rebuild the sorted index *without* re-running
+/// Finalize's renormalization division: the stored probabilities are
+/// already exactly what Finalize produced, and dividing them by their
+/// not-exactly-1.0 sum again would perturb last bits and defeat the
+/// bit-identical recovery contract.
+class CatalogIo {
+ public:
+  /// Serializes a finalized database (labels, instance values and
+  /// probabilities as exact bit patterns).
+  static std::vector<uint8_t> EncodeDatabase(const model::Database& db);
+
+  /// Rebuilds a finalized database from EncodeDatabase output. Validates
+  /// structure (nonempty, unique in-object values, finite positive probs)
+  /// but installs probabilities verbatim. kIoError on malformed input.
+  static util::StatusOr<model::Database> DecodeDatabase(
+      std::span<const uint8_t> bytes);
+};
+
+/// A loaded catalog: the database, its fingerprint (recomputed on load and
+/// cross-checked against the stored one), and the warm artifacts.
+struct LoadedCatalog {
+  model::Database db;
+  uint64_t fingerprint = 0;
+  CatalogArtifacts artifacts;
+};
+
+/// Writes `<path>` atomically (tmp + rename + dir fsync): CRC-framed image
+/// of the database plus `artifacts`.
+util::Status SaveCatalog(const std::string& path, const model::Database& db,
+                         const CatalogArtifacts& artifacts, bool fsync_writes);
+
+/// Reads and verifies a catalog file. kNotFound when absent; kIoError on
+/// any framing/CRC/structural violation or a fingerprint mismatch between
+/// the stored value and the decoded database.
+util::StatusOr<LoadedCatalog> LoadCatalog(const std::string& path);
+
+}  // namespace ptk::persist
+
+#endif  // PTK_PERSIST_CATALOG_H_

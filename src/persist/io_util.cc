@@ -1,0 +1,91 @@
+#include "persist/io_util.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+
+namespace ptk::persist::io {
+
+namespace {
+
+util::Status SyncDirOf(const std::string& path) {
+  const std::string dir = std::filesystem::path(path).parent_path().string();
+  const int fd = ::open(dir.empty() ? "." : dir.c_str(),
+                        O_RDONLY | O_CLOEXEC);
+  if (fd < 0) return ErrnoStatus("open dir", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync dir", dir);
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status ErrnoStatus(const std::string& what, const std::string& path) {
+  return util::Status::IoError(what + " '" + path +
+                               "': " + std::strerror(errno));
+}
+
+util::Status WriteFileAtomic(const std::string& path,
+                             std::span<const uint8_t> image,
+                             bool fsync_writes) {
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY | O_CLOEXEC, 0644);
+  if (fd < 0) return ErrnoStatus("open", tmp);
+  size_t done = 0;
+  while (done < image.size()) {
+    const ssize_t n = ::write(fd, image.data() + done, image.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const util::Status s = ErrnoStatus("write", tmp);
+      ::close(fd);
+      return s;
+    }
+    done += static_cast<size_t>(n);
+  }
+  if (fsync_writes && ::fsync(fd) != 0) {
+    const util::Status s = ErrnoStatus("fsync", tmp);
+    ::close(fd);
+    return s;
+  }
+  ::close(fd);
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    return ErrnoStatus("rename", tmp);
+  }
+  if (fsync_writes) {
+    if (util::Status s = SyncDirOf(path); !s.ok()) return s;
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return util::Status::NotFound("no file at '" + path + "'");
+    }
+    return ErrnoStatus("open", path);
+  }
+  std::vector<uint8_t> bytes;
+  std::array<uint8_t, 1 << 16> chunk;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return ErrnoStatus("read", path);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), chunk.data(), chunk.data() + n);
+  }
+  ::close(fd);
+  return bytes;
+}
+
+}  // namespace ptk::persist::io

@@ -1,0 +1,95 @@
+#ifndef PTK_PERSIST_IO_UTIL_H_
+#define PTK_PERSIST_IO_UTIL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::persist::io {
+
+/// Fixed-width little-endian encoding, independent of host byte order.
+/// Doubles travel as their exact IEEE-754 bit patterns — the persist
+/// layer's bit-identical recovery contract forbids any round-trip through
+/// decimal text.
+inline void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+inline void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+inline void PutDouble(std::vector<uint8_t>* out, double v) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+/// Bounds-checked little-endian reader; every getter reports failure
+/// instead of reading past the end (the fuzz-facing strictness the WAL
+/// reader has, applied to every persist image).
+class Cursor {
+ public:
+  explicit Cursor(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  bool U8(uint8_t* out) {
+    if (bytes_.size() - pos_ < 1) return false;
+    *out = bytes_[pos_++];
+    return true;
+  }
+  bool U32(uint32_t* out) {
+    if (bytes_.size() - pos_ < 4) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) v |= uint32_t(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+  bool U64(uint64_t* out) {
+    if (bytes_.size() - pos_ < 8) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v |= uint64_t(bytes_[pos_ + i]) << (8 * i);
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+  bool Double(double* out) {
+    uint64_t bits;
+    if (!U64(&bits)) return false;
+    std::memcpy(out, &bits, sizeof(*out));
+    return true;
+  }
+  bool Bytes(size_t n, std::span<const uint8_t>* out) {
+    if (bytes_.size() - pos_ < n) return false;
+    *out = bytes_.subspan(pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - pos_; }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+/// kIoError carrying strerror(errno) for a failed call on `path`.
+util::Status ErrnoStatus(const std::string& what, const std::string& path);
+
+/// Writes `image` to `path` atomically: `path`.tmp, optional fsync, rename
+/// over `path`, optional parent-directory fsync. A crash leaves either the
+/// old file or the new one, never a torn mix.
+util::Status WriteFileAtomic(const std::string& path,
+                             std::span<const uint8_t> image,
+                             bool fsync_writes);
+
+/// Slurps `path`; kNotFound when absent, kIoError on read failure.
+util::StatusOr<std::vector<uint8_t>> ReadFileBytes(const std::string& path);
+
+}  // namespace ptk::persist::io
+
+#endif  // PTK_PERSIST_IO_UTIL_H_

@@ -1,0 +1,232 @@
+#include "persist/session_store.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+
+#include "persist/io_util.h"
+
+namespace ptk::persist {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::array<uint8_t, 8> kMetaMagic = {'P', 'T', 'K', 'M',
+                                               'E', 'T', '0', '1'};
+
+std::string SessionDir(const std::string& root, const std::string& id) {
+  return (fs::path(root) / "sessions" / id).string();
+}
+
+std::vector<uint8_t> EncodeMeta(const SessionMeta& meta) {
+  std::vector<uint8_t> payload;
+  io::PutU32(&payload, static_cast<uint32_t>(meta.session_id.size()));
+  payload.insert(payload.end(), meta.session_id.begin(),
+                 meta.session_id.end());
+  io::PutU64(&payload, meta.db_fingerprint);
+  io::PutU32(&payload, static_cast<uint32_t>(meta.k));
+  payload.push_back(meta.order);
+  payload.push_back(meta.update_working ? 1 : 0);
+
+  std::vector<uint8_t> image;
+  image.insert(image.end(), kMetaMagic.begin(), kMetaMagic.end());
+  io::PutU32(&image, static_cast<uint32_t>(payload.size()));
+  io::PutU32(&image, Crc32c(payload));
+  image.insert(image.end(), payload.begin(), payload.end());
+  return image;
+}
+
+util::StatusOr<SessionMeta> DecodeMeta(std::span<const uint8_t> bytes) {
+  const auto corrupt = [](const std::string& what) {
+    return util::Status::IoError("session meta: " + what);
+  };
+  if (bytes.size() < kMetaMagic.size() + 8 ||
+      std::memcmp(bytes.data(), kMetaMagic.data(), kMetaMagic.size()) != 0) {
+    return corrupt("bad magic or truncated header");
+  }
+  io::Cursor header(bytes.subspan(kMetaMagic.size(), 8));
+  uint32_t payload_len = 0, crc = 0;
+  header.U32(&payload_len);
+  header.U32(&crc);
+  const std::span<const uint8_t> payload =
+      bytes.subspan(kMetaMagic.size() + 8);
+  if (payload.size() != payload_len) return corrupt("length mismatch");
+  if (Crc32c(payload) != crc) return corrupt("CRC mismatch");
+
+  io::Cursor cursor(payload);
+  SessionMeta meta;
+  uint32_t id_len = 0;
+  std::span<const uint8_t> id_bytes;
+  uint32_t k = 0;
+  uint8_t order = 0, update_working = 0;
+  if (!cursor.U32(&id_len) || !cursor.Bytes(id_len, &id_bytes) ||
+      !cursor.U64(&meta.db_fingerprint) || !cursor.U32(&k) ||
+      !cursor.U8(&order) || !cursor.U8(&update_working) || !cursor.AtEnd()) {
+    return corrupt("truncated body");
+  }
+  if (update_working > 1) return corrupt("bad update_working flag");
+  meta.session_id.assign(id_bytes.begin(), id_bytes.end());
+  meta.k = static_cast<int>(k);
+  meta.order = order;
+  meta.update_working = update_working != 0;
+  return meta;
+}
+
+}  // namespace
+
+util::StatusOr<SessionStore> SessionStore::Create(const std::string& root,
+                                                  const SessionMeta& meta,
+                                                  bool fsync_writes) {
+  const std::string dir = SessionDir(root, meta.session_id);
+  const std::string meta_path = (fs::path(dir) / "meta").string();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return util::Status::IoError("create session dir '" + dir +
+                                 "': " + ec.message());
+  }
+  if (fs::exists(meta_path)) {
+    return util::Status::FailedPrecondition(
+        "session '" + meta.session_id + "' already exists at '" + dir + "'");
+  }
+  if (util::Status s =
+          io::WriteFileAtomic(meta_path, EncodeMeta(meta), fsync_writes);
+      !s.ok()) {
+    return s;
+  }
+  SessionStore store;
+  store.wal_path_ = (fs::path(dir) / "wal.log").string();
+  store.snapshot_path_ = (fs::path(dir) / "snapshot.ptk").string();
+  store.fsync_writes_ = fsync_writes;
+  util::StatusOr<WalWriter> writer =
+      WalWriter::Open(store.wal_path_, fsync_writes);
+  if (!writer.ok()) return writer.status();
+  store.writer_ = std::move(*writer);
+  return store;
+}
+
+util::StatusOr<RecoveredSession> SessionStore::OpenExisting(
+    const std::string& root, const std::string& session_id,
+    bool fsync_writes) {
+  const std::string dir = SessionDir(root, session_id);
+  const std::string meta_path = (fs::path(dir) / "meta").string();
+
+  RecoveredSession recovered;
+  util::StatusOr<std::vector<uint8_t>> meta_bytes =
+      io::ReadFileBytes(meta_path);
+  if (!meta_bytes.ok()) {
+    return meta_bytes.status().WithContext("session '" + session_id + "'");
+  }
+  util::StatusOr<SessionMeta> meta = DecodeMeta(*meta_bytes);
+  if (!meta.ok()) {
+    return meta.status().WithContext("session '" + session_id + "'");
+  }
+  recovered.meta = std::move(*meta);
+  if (recovered.meta.session_id != session_id) {
+    return util::Status::IoError("session meta at '" + meta_path +
+                                 "' names '" + recovered.meta.session_id +
+                                 "'");
+  }
+
+  recovered.store.wal_path_ = (fs::path(dir) / "wal.log").string();
+  recovered.store.snapshot_path_ = (fs::path(dir) / "snapshot.ptk").string();
+  recovered.store.fsync_writes_ = fsync_writes;
+
+  util::StatusOr<SessionSnapshot> snapshot =
+      ReadSnapshotFile(recovered.store.snapshot_path_);
+  if (snapshot.ok()) {
+    recovered.snapshot = std::move(*snapshot);
+    recovered.store.last_seq_ = recovered.snapshot->last_seq;
+  } else if (snapshot.status().code() != util::Status::Code::kNotFound) {
+    // A torn snapshot cannot happen under the atomic-rename protocol; a
+    // corrupt one is real damage, not a crash artifact, so surface it.
+    return snapshot.status().WithContext("session '" + session_id + "'");
+  }
+
+  util::StatusOr<WalReadResult> wal =
+      ReadWalFile(recovered.store.wal_path_, /*repair_tail=*/true);
+  if (!wal.ok()) {
+    return wal.status().WithContext("session '" + session_id + "'");
+  }
+  recovered.wal_tail_repaired = wal->torn_tail;
+  recovered.records = std::move(wal->records);
+  if (!recovered.records.empty()) {
+    recovered.store.last_seq_ =
+        std::max(recovered.store.last_seq_, recovered.records.back().seq);
+  }
+
+  util::StatusOr<WalWriter> writer =
+      WalWriter::Open(recovered.store.wal_path_, fsync_writes);
+  if (!writer.ok()) return writer.status();
+  recovered.store.writer_ = std::move(*writer);
+  return recovered;
+}
+
+util::StatusOr<std::vector<std::string>> SessionStore::ListSessionIds(
+    const std::string& root) {
+  const fs::path dir = fs::path(root) / "sessions";
+  std::vector<std::string> ids;
+  std::error_code ec;
+  if (!fs::exists(dir, ec) || ec) return ids;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->is_directory()) ids.push_back(it->path().filename().string());
+  }
+  if (ec) {
+    return util::Status::IoError("list sessions under '" + dir.string() +
+                                 "': " + ec.message());
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+util::Status SessionStore::Remove(const std::string& root,
+                                  const std::string& session_id) {
+  std::error_code ec;
+  fs::remove_all(SessionDir(root, session_id), ec);
+  if (ec) {
+    return util::Status::IoError("remove session '" + session_id +
+                                 "': " + ec.message());
+  }
+  return util::Status::OK();
+}
+
+util::Status SessionStore::Append(const WalRecord& record) {
+  return writer_.Append(record);
+}
+
+util::Status SessionStore::Sync() { return writer_.Sync(); }
+
+util::Status SessionStore::TakeSnapshot(const SessionSnapshot& snapshot) {
+  if (snapshot.last_seq < last_seq_) {
+    return util::Status::FailedPrecondition(
+        "TakeSnapshot: snapshot at seq " + std::to_string(snapshot.last_seq) +
+        " would trim records up to seq " + std::to_string(last_seq_));
+  }
+  // Snapshot first, durably; only then drop the WAL records it covers. A
+  // crash in between leaves both — replay skips seq <= last_seq and loses
+  // nothing.
+  if (util::Status s =
+          WriteSnapshotFile(snapshot_path_, snapshot, fsync_writes_);
+      !s.ok()) {
+    return s;
+  }
+  writer_.Close();
+  if (::truncate(wal_path_.c_str(),
+                 static_cast<off_t>(WalMagic().size())) != 0) {
+    return io::ErrnoStatus("truncate", wal_path_);
+  }
+  util::StatusOr<WalWriter> writer =
+      WalWriter::Open(wal_path_, fsync_writes_);
+  if (!writer.ok()) return writer.status();
+  writer_ = std::move(*writer);
+  return Sync();
+}
+
+}  // namespace ptk::persist

@@ -1,0 +1,117 @@
+#ifndef PTK_PERSIST_SESSION_STORE_H_
+#define PTK_PERSIST_SESSION_STORE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::persist {
+
+/// Immutable per-session configuration written once at creation, so
+/// recovery can verify a WAL is being replayed against the engine
+/// configuration — and the exact database — that produced it. A mismatch
+/// means replay would not be bit-identical, and recovery refuses.
+struct SessionMeta {
+  std::string session_id;
+  uint64_t db_fingerprint = 0;  // persist::DatabaseFingerprint of the base
+  int k = 0;
+  uint8_t order = 0;  // pw::OrderMode, stored as its numeric value
+  bool update_working = false;
+
+  friend bool operator==(const SessionMeta&, const SessionMeta&) = default;
+};
+
+/// The durable home of one serving session:
+///
+///   <root>/sessions/<id>/meta          immutable SessionMeta
+///   <root>/sessions/<id>/wal.log       append-only WAL (persist/wal.h)
+///   <root>/sessions/<id>/snapshot.ptk  latest compact snapshot, atomic
+///
+/// Protocol invariants the store maintains:
+///  * fsync ordering — Append() then Sync() before the caller acks; an
+///    acknowledged record is durable.
+///  * snapshot-then-trim — TakeSnapshot() makes the snapshot durable
+///    *before* truncating the WAL, so a crash between the two leaves
+///    records the snapshot already covers (replay skips seq <=
+///    snapshot.last_seq) rather than losing any.
+///  * strict recovery — OpenExisting() truncates a torn WAL tail to the
+///    last intact record before reopening for append.
+struct RecoveredSession;
+
+class SessionStore {
+ public:
+  SessionStore() = default;
+  SessionStore(SessionStore&&) = default;
+  SessionStore& operator=(SessionStore&&) = default;
+
+  /// Creates `<root>/sessions/<meta.session_id>/`, writes the meta file,
+  /// and opens a fresh WAL. kFailedPrecondition if the session directory
+  /// already holds a meta file.
+  static util::StatusOr<SessionStore> Create(const std::string& root,
+                                             const SessionMeta& meta,
+                                             bool fsync_writes);
+
+  /// Reads everything a session left on disk — meta, latest snapshot if
+  /// any, the WAL's valid record prefix — repairs a torn WAL tail, and
+  /// reopens the store for appending. See RecoveredSession.
+  static util::StatusOr<RecoveredSession> OpenExisting(
+      const std::string& root, const std::string& session_id,
+      bool fsync_writes);
+
+  /// Session ids (directory names) present under `<root>/sessions/`,
+  /// sorted. An absent root is an empty list.
+  static util::StatusOr<std::vector<std::string>> ListSessionIds(
+      const std::string& root);
+
+  /// Removes a session's directory tree (Close on the manager side).
+  static util::Status Remove(const std::string& root,
+                             const std::string& session_id);
+
+  bool is_open() const { return writer_.is_open(); }
+
+  /// The next WAL sequence number, monotonic across snapshot and restart
+  /// (starts just past the highest seq recovered).
+  uint64_t NextSeq() { return ++last_seq_; }
+
+  /// The highest sequence number handed out (or recovered) so far.
+  uint64_t last_seq() const { return last_seq_; }
+
+  util::Status Append(const WalRecord& record);
+  util::Status Sync();
+
+  /// Writes the snapshot durably, then truncates the WAL to its header.
+  /// Requires snapshot.last_seq to cover every appended record (the
+  /// manager snapshots at batch boundaries, where that holds by
+  /// construction), so the trimmed log loses nothing the snapshot does
+  /// not carry.
+  util::Status TakeSnapshot(const SessionSnapshot& snapshot);
+
+ private:
+  std::string wal_path_;
+  std::string snapshot_path_;
+  WalWriter writer_;
+  bool fsync_writes_ = true;
+  uint64_t last_seq_ = 0;
+};
+
+/// Everything SessionStore::OpenExisting recovered from disk: the meta,
+/// the latest snapshot if one exists, the WAL's full valid record prefix
+/// (unfiltered — the caller skips seq <= snapshot->last_seq), and the
+/// store reopened for appending after tail repair.
+struct RecoveredSession {
+  SessionMeta meta;
+  std::optional<SessionSnapshot> snapshot;
+  std::vector<WalRecord> records;
+  bool wal_tail_repaired = false;
+  SessionStore store;
+};
+
+}  // namespace ptk::persist
+
+#endif  // PTK_PERSIST_SESSION_STORE_H_

@@ -1,0 +1,139 @@
+#include "persist/snapshot.h"
+
+#include <array>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "persist/io_util.h"
+#include "persist/wal.h"
+
+namespace ptk::persist {
+
+namespace {
+
+constexpr std::array<uint8_t, 8> kMagic = {'P', 'T', 'K', 'S',
+                                           'N', 'P', '0', '1'};
+
+bool ReadPairList(
+    io::Cursor* cursor,
+    std::vector<std::pair<model::ObjectId, model::ObjectId>>* out) {
+  uint32_t count = 0;
+  if (!cursor->U32(&count)) return false;
+  if (static_cast<size_t>(count) * 8 > cursor->remaining()) return false;
+  out->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t a = 0, b = 0;
+    if (!cursor->U32(&a) || !cursor->U32(&b)) return false;
+    out->emplace_back(static_cast<model::ObjectId>(a),
+                      static_cast<model::ObjectId>(b));
+  }
+  return true;
+}
+
+util::Status Corrupt(const std::string& what) {
+  return util::Status::IoError("snapshot: " + what);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeSnapshot(const SessionSnapshot& snapshot) {
+  std::vector<uint8_t> payload;
+  io::PutU64(&payload, snapshot.last_seq);
+  io::PutU64(&payload, snapshot.fold_version);
+  io::PutU32(&payload, static_cast<uint32_t>(snapshot.constraints.size()));
+  for (const auto& [smaller, larger] : snapshot.constraints) {
+    io::PutU32(&payload, static_cast<uint32_t>(smaller));
+    io::PutU32(&payload, static_cast<uint32_t>(larger));
+  }
+  io::PutU32(&payload, static_cast<uint32_t>(snapshot.asked.size()));
+  for (const auto& [a, b] : snapshot.asked) {
+    io::PutU32(&payload, static_cast<uint32_t>(a));
+    io::PutU32(&payload, static_cast<uint32_t>(b));
+  }
+  io::PutU32(&payload, static_cast<uint32_t>(snapshot.working.size()));
+  for (const SessionSnapshot::ObjectWeights& weights : snapshot.working) {
+    io::PutU32(&payload, static_cast<uint32_t>(weights.oid));
+    io::PutU32(&payload, static_cast<uint32_t>(weights.probs.size()));
+    for (const double p : weights.probs) io::PutDouble(&payload, p);
+  }
+
+  std::vector<uint8_t> image;
+  image.reserve(kMagic.size() + 8 + payload.size());
+  image.insert(image.end(), kMagic.begin(), kMagic.end());
+  io::PutU32(&image, static_cast<uint32_t>(payload.size()));
+  io::PutU32(&image, Crc32c(payload));
+  image.insert(image.end(), payload.begin(), payload.end());
+  return image;
+}
+
+util::StatusOr<SessionSnapshot> DecodeSnapshot(
+    std::span<const uint8_t> bytes) {
+  if (bytes.size() < kMagic.size() + 8 ||
+      std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0) {
+    return Corrupt("bad magic or truncated header");
+  }
+  io::Cursor header(bytes.subspan(kMagic.size(), 8));
+  uint32_t payload_len = 0, crc = 0;
+  header.U32(&payload_len);
+  header.U32(&crc);
+  const std::span<const uint8_t> payload = bytes.subspan(kMagic.size() + 8);
+  if (payload.size() != payload_len) {
+    return Corrupt("payload length mismatch");
+  }
+  if (Crc32c(payload) != crc) return Corrupt("CRC mismatch");
+
+  SessionSnapshot snapshot;
+  io::Cursor cursor(payload);
+  if (!cursor.U64(&snapshot.last_seq) ||
+      !cursor.U64(&snapshot.fold_version) ||
+      !ReadPairList(&cursor, &snapshot.constraints) ||
+      !ReadPairList(&cursor, &snapshot.asked)) {
+    return Corrupt("truncated body");
+  }
+  uint32_t nworking = 0;
+  if (!cursor.U32(&nworking)) return Corrupt("truncated body");
+  snapshot.working.reserve(nworking);
+  for (uint32_t i = 0; i < nworking; ++i) {
+    SessionSnapshot::ObjectWeights weights;
+    uint32_t oid = 0, ninst = 0;
+    if (!cursor.U32(&oid) || !cursor.U32(&ninst)) {
+      return Corrupt("truncated working-overlay entry");
+    }
+    if (static_cast<size_t>(ninst) * 8 > cursor.remaining()) {
+      return Corrupt("working-overlay length lie");
+    }
+    weights.oid = static_cast<model::ObjectId>(oid);
+    weights.probs.resize(ninst);
+    for (uint32_t j = 0; j < ninst; ++j) {
+      if (!cursor.Double(&weights.probs[j])) {
+        return Corrupt("truncated working-overlay probs");
+      }
+    }
+    snapshot.working.push_back(std::move(weights));
+  }
+  if (!cursor.AtEnd()) return Corrupt("trailing bytes after body");
+  return snapshot;
+}
+
+util::Status WriteSnapshotFile(const std::string& path,
+                               const SessionSnapshot& snapshot,
+                               bool fsync_writes) {
+  static obs::Counter* const snapshots = obs::GetCounter(
+      "ptk_persist_snapshots_total", "Session snapshots written");
+  const std::vector<uint8_t> image = EncodeSnapshot(snapshot);
+  if (util::Status s = io::WriteFileAtomic(path, image, fsync_writes);
+      !s.ok()) {
+    return s;
+  }
+  snapshots->Add();
+  return util::Status::OK();
+}
+
+util::StatusOr<SessionSnapshot> ReadSnapshotFile(const std::string& path) {
+  util::StatusOr<std::vector<uint8_t>> bytes = io::ReadFileBytes(path);
+  if (!bytes.ok()) return bytes.status();
+  return DecodeSnapshot(*bytes);
+}
+
+}  // namespace ptk::persist

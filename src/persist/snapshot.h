@@ -1,0 +1,73 @@
+#ifndef PTK_PERSIST_SNAPSHOT_H_
+#define PTK_PERSIST_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::persist {
+
+/// A compact, self-contained image of one serving session's durable state
+/// at a WAL position: everything RankingEngine::RestoreSnapshot and the
+/// session manager need so that replay cost after a restart is O(answers
+/// since the snapshot) instead of O(all answers ever).
+///
+/// Doubles are stored as their exact IEEE-754 bit patterns, so a restored
+/// working overlay is *bitwise* the one that was snapshotted — the
+/// bit-identical recovery contract (tests/persist_test.cc) rests on that.
+struct SessionSnapshot {
+  /// Highest WalRecord::seq folded into this image; replay resumes at
+  /// seq + 1.
+  uint64_t last_seq = 0;
+  /// Engine constraint-set version at last_seq.
+  uint64_t fold_version = 0;
+  /// Accepted constraints in fold order (smaller, larger).
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> constraints;
+  /// Asked-pair dedup set, minmax-normalized.
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> asked;
+
+  /// Working-overlay marginals that differ from the base database (empty
+  /// unless some update_working fold materialized the private copy).
+  struct ObjectWeights {
+    model::ObjectId oid = model::kInvalidObject;
+    std::vector<double> probs;  // parallel to the object's instance list
+
+    friend bool operator==(const ObjectWeights&,
+                           const ObjectWeights&) = default;
+  };
+  std::vector<ObjectWeights> working;
+
+  friend bool operator==(const SessionSnapshot&,
+                         const SessionSnapshot&) = default;
+};
+
+/// Serializes a snapshot into its CRC-framed on-disk image. Exposed for
+/// tests and the corruption sweep.
+std::vector<uint8_t> EncodeSnapshot(const SessionSnapshot& snapshot);
+
+/// Strict decode of an in-memory snapshot image; kIoError on any framing,
+/// CRC, or structural violation (a snapshot, unlike a WAL, has no useful
+/// valid prefix — it is all-or-nothing).
+util::StatusOr<SessionSnapshot> DecodeSnapshot(
+    std::span<const uint8_t> bytes);
+
+/// Writes atomically: the image goes to `path`.tmp, is fsynced, renamed
+/// over `path`, and the parent directory is fsynced — a crash leaves
+/// either the old snapshot or the new one, never a torn mix. With
+/// `fsync_writes` false the fsyncs are skipped (tests).
+util::Status WriteSnapshotFile(const std::string& path,
+                               const SessionSnapshot& snapshot,
+                               bool fsync_writes);
+
+/// Reads and decodes `path`; kNotFound when absent.
+util::StatusOr<SessionSnapshot> ReadSnapshotFile(const std::string& path);
+
+}  // namespace ptk::persist
+
+#endif  // PTK_PERSIST_SNAPSHOT_H_

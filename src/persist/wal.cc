@@ -1,0 +1,277 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace ptk::persist {
+
+namespace {
+
+// Registry handles for the WAL hot path, resolved once per process.
+struct WalMetrics {
+  obs::Counter* appends;
+  obs::Counter* bytes;
+  obs::Histogram* fsync_seconds;
+
+  static const WalMetrics& Get() {
+    static const WalMetrics metrics = {
+        obs::GetCounter("ptk_persist_wal_appends_total",
+                        "WAL records appended"),
+        obs::GetCounter("ptk_persist_wal_bytes_total",
+                        "WAL bytes written (frames, excluding header)"),
+        obs::GetHistogram("ptk_persist_fsync_seconds",
+                          "Latency of WAL/snapshot fsync calls"),
+    };
+    return metrics;
+  }
+};
+
+constexpr std::array<uint8_t, 8> kMagic = {'P', 'T', 'K', 'W',
+                                           'A', 'L', '0', '1'};
+
+// type(1) + seq(8) + smaller(4) + larger(4) + update_working(1) +
+// fold_version(8).
+constexpr size_t kPayloadSize = 26;
+constexpr size_t kFrameHeaderSize = 8;  // u32 len + u32 crc
+
+// Fixed-width little-endian encoding, independent of host byte order.
+void PutU32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+void PutU64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(uint8_t(v >> (8 * i)));
+}
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= uint32_t(p[i]) << (8 * i);
+  return v;
+}
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= uint64_t(p[i]) << (8 * i);
+  return v;
+}
+
+std::vector<uint8_t> EncodePayload(const WalRecord& record) {
+  std::vector<uint8_t> payload;
+  payload.reserve(kPayloadSize);
+  payload.push_back(static_cast<uint8_t>(record.type));
+  PutU64(&payload, record.seq);
+  PutU32(&payload, static_cast<uint32_t>(record.smaller));
+  PutU32(&payload, static_cast<uint32_t>(record.larger));
+  payload.push_back(record.update_working ? 1 : 0);
+  PutU64(&payload, record.fold_version);
+  return payload;
+}
+
+// Decodes one payload; false when the type tag or a flag byte is invalid.
+bool DecodePayload(const uint8_t* p, size_t len, WalRecord* out) {
+  if (len != kPayloadSize) return false;
+  const uint8_t type = p[0];
+  if (type != static_cast<uint8_t>(WalRecord::Type::kAnswer) &&
+      type != static_cast<uint8_t>(WalRecord::Type::kAsked)) {
+    return false;
+  }
+  out->type = static_cast<WalRecord::Type>(type);
+  out->seq = GetU64(p + 1);
+  out->smaller = static_cast<model::ObjectId>(GetU32(p + 9));
+  out->larger = static_cast<model::ObjectId>(GetU32(p + 13));
+  const uint8_t flag = p[17];
+  if (flag > 1) return false;
+  out->update_working = flag != 0;
+  out->fold_version = GetU64(p + 18);
+  return true;
+}
+
+util::Status Errno(const std::string& what, const std::string& path) {
+  return util::Status::IoError(what + " '" + path +
+                               "': " + std::strerror(errno));
+}
+
+util::Status WriteFully(int fd, const uint8_t* data, size_t size,
+                        const std::string& path) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+uint32_t Crc32c(std::span<const uint8_t> bytes) {
+  // Table-driven reflected CRC-32C (polynomial 0x1EDC6F41).
+  static const std::array<uint32_t, 256> table = [] {
+    std::array<uint32_t, 256> t{};
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int j = 0; j < 8; ++j) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  for (const uint8_t b : bytes) {
+    crc = (crc >> 8) ^ table[(crc ^ b) & 0xFFu];
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::span<const uint8_t> WalMagic() { return kMagic; }
+
+std::vector<uint8_t> EncodeWalFrame(const WalRecord& record) {
+  const std::vector<uint8_t> payload = EncodePayload(record);
+  std::vector<uint8_t> frame;
+  frame.reserve(kFrameHeaderSize + payload.size());
+  PutU32(&frame, static_cast<uint32_t>(payload.size()));
+  PutU32(&frame, Crc32c(payload));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  return frame;
+}
+
+WalReadResult ParseWal(std::span<const uint8_t> bytes) {
+  WalReadResult result;
+  if (bytes.empty()) return result;  // a fresh, never-opened log
+  if (bytes.size() < kMagic.size() ||
+      std::memcmp(bytes.data(), kMagic.data(), kMagic.size()) != 0) {
+    result.torn_tail = true;  // not a WAL at all: valid prefix is empty
+    return result;
+  }
+  size_t pos = kMagic.size();
+  result.valid_bytes = pos;
+  uint64_t last_seq = 0;
+  for (;;) {
+    if (bytes.size() - pos < kFrameHeaderSize) break;
+    const uint32_t len = GetU32(bytes.data() + pos);
+    const uint32_t crc = GetU32(bytes.data() + pos + 4);
+    if (len != kPayloadSize) break;          // length lie
+    if (bytes.size() - pos - kFrameHeaderSize < len) break;  // torn payload
+    const uint8_t* payload = bytes.data() + pos + kFrameHeaderSize;
+    if (Crc32c({payload, len}) != crc) break;  // bit rot / torn write
+    WalRecord record;
+    if (!DecodePayload(payload, len, &record)) break;
+    if (record.seq <= last_seq) break;  // seq must strictly increase
+    last_seq = record.seq;
+    result.records.push_back(record);
+    pos += kFrameHeaderSize + len;
+    result.valid_bytes = pos;
+  }
+  result.torn_tail = result.valid_bytes != bytes.size();
+  return result;
+}
+
+util::StatusOr<WalReadResult> ReadWalFile(const std::string& path,
+                                          bool repair_tail) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return WalReadResult{};  // missing = empty log
+    return Errno("open", path);
+  }
+  std::vector<uint8_t> bytes;
+  std::array<uint8_t, 1 << 16> chunk;
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk.data(), chunk.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Errno("read", path);
+    }
+    if (n == 0) break;
+    bytes.insert(bytes.end(), chunk.data(), chunk.data() + n);
+  }
+  ::close(fd);
+
+  WalReadResult result = ParseWal(bytes);
+  if (repair_tail && result.torn_tail && result.valid_bytes < bytes.size()) {
+    if (::truncate(path.c_str(),
+                   static_cast<off_t>(result.valid_bytes)) != 0) {
+      return Errno("truncate", path);
+    }
+  }
+  return result;
+}
+
+WalWriter::~WalWriter() { Close(); }
+
+WalWriter::WalWriter(WalWriter&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      fsync_writes_(other.fsync_writes_) {}
+
+WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+    fsync_writes_ = other.fsync_writes_;
+  }
+  return *this;
+}
+
+util::StatusOr<WalWriter> WalWriter::Open(const std::string& path,
+                                          bool fsync_writes) {
+  const int fd = ::open(path.c_str(),
+                        O_CREAT | O_WRONLY | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Errno("open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const util::Status s = Errno("fstat", path);
+    ::close(fd);
+    return s;
+  }
+  WalWriter writer;
+  writer.fd_ = fd;
+  writer.fsync_writes_ = fsync_writes;
+  if (st.st_size == 0) {
+    if (util::Status s = WriteFully(fd, kMagic.data(), kMagic.size(), path);
+        !s.ok()) {
+      return s;
+    }
+  }
+  return writer;
+}
+
+util::Status WalWriter::Append(const WalRecord& record) {
+  if (fd_ < 0) return util::Status::FailedPrecondition("WAL writer closed");
+  const std::vector<uint8_t> frame = EncodeWalFrame(record);
+  if (util::Status s = WriteFully(fd_, frame.data(), frame.size(), "wal");
+      !s.ok()) {
+    return s;
+  }
+  const WalMetrics& metrics = WalMetrics::Get();
+  metrics.appends->Add();
+  metrics.bytes->Add(static_cast<int64_t>(frame.size()));
+  return util::Status::OK();
+}
+
+util::Status WalWriter::Sync() {
+  if (fd_ < 0) return util::Status::FailedPrecondition("WAL writer closed");
+  if (!fsync_writes_) return util::Status::OK();
+  obs::ScopedTimer timer(WalMetrics::Get().fsync_seconds);
+  if (::fsync(fd_) != 0) return Errno("fsync", "wal");
+  return util::Status::OK();
+}
+
+void WalWriter::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace ptk::persist

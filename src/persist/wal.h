@@ -1,0 +1,120 @@
+#ifndef PTK_PERSIST_WAL_H_
+#define PTK_PERSIST_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::persist {
+
+/// CRC-32C (Castagnoli, the iSCSI/log-structured-storage polynomial) over
+/// `bytes`, table-driven. Exposed for the snapshot/catalog framing and the
+/// fuzz harness; the WAL uses it to frame every record.
+uint32_t Crc32c(std::span<const uint8_t> bytes);
+
+/// One durable event of a serving session, in the order the session
+/// manager applied it. Two kinds share the frame:
+///
+///   kAnswer  a crowd answer posted through PostAnswers. (smaller, larger)
+///            is the exact orientation handed to RankingEngine::Fold, and
+///            fold_version is the engine's constraint-set version *after*
+///            the fold — unchanged when the engine rejected the answer
+///            (contradictory/degenerate), bumped when it applied. Replay
+///            re-runs the same Fold and cross-checks the version, which
+///            pins the replayed accept/skip decision bit-identically.
+///   kAsked   a pair handed out by NextPairs (minmax-normalized), journaled
+///            so the asked-pair dedup survives a restart without the
+///            answer ever arriving.
+///
+/// seq is a per-session monotonic counter across both kinds; a snapshot
+/// records the highest seq it covers and replay starts just past it.
+struct WalRecord {
+  enum class Type : uint8_t { kAnswer = 1, kAsked = 2 };
+
+  Type type = Type::kAnswer;
+  uint64_t seq = 0;
+  model::ObjectId smaller = model::kInvalidObject;
+  model::ObjectId larger = model::kInvalidObject;
+  bool update_working = false;
+  uint64_t fold_version = 0;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// What a strict read of a WAL image produced. `records` is the longest
+/// prefix of intact frames; `valid_bytes` is its byte length (including
+/// the file header) — everything past it is a torn or corrupt tail that a
+/// recovering writer truncates before appending again.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  uint64_t valid_bytes = 0;
+  bool torn_tail = false;
+
+  friend bool operator==(const WalReadResult&, const WalReadResult&) =
+      default;
+};
+
+/// Serializes one record into its on-disk frame (length + CRC header plus
+/// fixed-size payload). Exposed for tests and the fuzz seed corpus.
+std::vector<uint8_t> EncodeWalFrame(const WalRecord& record);
+
+/// The 8-byte magic that opens every WAL file.
+std::span<const uint8_t> WalMagic();
+
+/// Strict parse of an in-memory WAL image. Total: never fails, never
+/// reads past `bytes`; any torn frame, CRC mismatch, unknown record type,
+/// length lie, or non-monotonic seq ends the valid prefix (torn_tail set,
+/// later bytes ignored). An empty image is a valid empty log. This is the
+/// libFuzzer entry point (fuzz/wal_replay_fuzz.cc).
+WalReadResult ParseWal(std::span<const uint8_t> bytes);
+
+/// Reads `path` and ParseWal()s it. With `repair_tail`, the file is
+/// truncated to the valid prefix so a subsequent writer appends after the
+/// last intact record instead of interleaving with garbage. A missing
+/// file is an empty log; read/IO failures are kIoError.
+util::StatusOr<WalReadResult> ReadWalFile(const std::string& path,
+                                          bool repair_tail);
+
+/// Append-only WAL writer. Append() buffers nothing: every record is
+/// written straight to the file descriptor; Sync() fsyncs, and the
+/// session manager acknowledges a batch only after its Sync() — the
+/// fsync-ordered discipline that makes an acknowledged answer durable.
+/// With `fsync_writes` false (tests, benchmarks), Sync() degrades to a
+/// no-op and only the write ordering survives a clean process exit.
+class WalWriter {
+ public:
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(WalWriter&& other) noexcept;
+  WalWriter& operator=(WalWriter&& other) noexcept;
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens `path` for appending, writing the magic header if the file is
+  /// new (or empty). The caller is expected to have repaired a torn tail
+  /// first (ReadWalFile with repair_tail).
+  static util::StatusOr<WalWriter> Open(const std::string& path,
+                                        bool fsync_writes);
+
+  bool is_open() const { return fd_ >= 0; }
+
+  util::Status Append(const WalRecord& record);
+
+  /// Flushes everything appended so far to stable storage.
+  util::Status Sync();
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+  bool fsync_writes_ = true;
+};
+
+}  // namespace ptk::persist
+
+#endif  // PTK_PERSIST_WAL_H_

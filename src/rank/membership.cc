@@ -121,6 +121,19 @@ void MembershipCalculator::BuildSingles() const {
   }
 }
 
+const std::vector<double>& MembershipCalculator::ExportWarmSingles() const {
+  EnsureSingles();
+  return pt_single_;
+}
+
+bool MembershipCalculator::ImportWarmSingles(std::span<const double> singles) {
+  if (singles.size() != prefix_.size()) return false;
+  std::lock_guard<std::mutex> lock(singles_mutex_);
+  pt_single_.assign(singles.begin(), singles.end());
+  singles_ready_.store(true, std::memory_order_release);
+  return true;
+}
+
 double MembershipCalculator::TopKProbability(model::InstanceRef ref) const {
   EnsureSingles();
   return pt_single_[flat_offset_[ref.oid] + ref.iid];

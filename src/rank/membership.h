@@ -135,6 +135,19 @@ class MembershipCalculator {
   PairConditionals ConditionalPairMembership(model::InstanceRef a,
                                              model::InstanceRef b) const;
 
+  /// Forces the lazily-built singles table and returns it (flat, one slot
+  /// per (oid, iid) plus the per-object sentinel, parallel to the prefix
+  /// table). The persist catalog stores this so a warm restart skips the
+  /// full pre-warm scan.
+  const std::vector<double>& ExportWarmSingles() const;
+
+  /// Installs a previously exported singles table, marking the lazy build
+  /// as done. Rejects a table whose size does not match this calculator's
+  /// layout (different database or k mismatch upstream). The caller is
+  /// responsible for the table matching this exact database state — the
+  /// catalog guards that with a database fingerprint.
+  bool ImportWarmSingles(std::span<const double> singles);
+
  private:
   struct PositionQuery {
     model::Position pos = 0;

@@ -199,7 +199,8 @@ util::StatusOr<RequestLine> ParseRequestLine(std::string_view line) {
 
 util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
                                            const Scheduler* scheduler,
-                                           const RequestLine& request) {
+                                           const RequestLine& request,
+                                           std::string* error_detail) {
   if (request.op == "create_session") {
     util::StatusOr<std::string> id = manager.CreateSession();
     if (!id.ok()) return id.status();
@@ -221,13 +222,24 @@ util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
     return payload;
   }
   if (request.op == "post_answers") {
-    util::StatusOr<SessionManager::PostReport> report =
-        manager.PostAnswers(request.session, request.answers);
-    if (!report.ok()) return report.status();
-    return ",\"applied\":" + std::to_string(report->applied) +
-           ",\"contradictory\":" + std::to_string(report->contradictory) +
-           ",\"degenerate\":" + std::to_string(report->degenerate) +
-           ",\"version\":" + std::to_string(report->version);
+    SessionManager::PostReport report;
+    const util::Status s =
+        manager.PostAnswers(request.session, request.answers, &report);
+    const std::string counts =
+        ",\"applied\":" + std::to_string(report.applied) +
+        ",\"contradictory\":" + std::to_string(report.contradictory) +
+        ",\"degenerate\":" + std::to_string(report.degenerate) +
+        ",\"version\":" + std::to_string(report.version);
+    if (!s.ok()) {
+      // Surface what the partial batch did: everything before the failing
+      // answer was folded (and journaled) for good.
+      if (error_detail != nullptr &&
+          s.code() != util::Status::Code::kNotFound) {
+        *error_detail = ",\"partial\":{" + counts.substr(1) + "}";
+      }
+      return s;
+    }
+    return counts;
   }
   if (request.op == "distribution") {
     util::StatusOr<pw::TopKDistribution> dist =
@@ -278,7 +290,8 @@ util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
 }
 
 std::string RenderResponse(const std::string& id, const util::Status& status,
-                           const std::string& payload) {
+                           const std::string& payload,
+                           const std::string& error_detail) {
   std::string out = "{";
   if (!id.empty()) out += "\"id\":\"" + obs::JsonEscape(id) + "\",";
   if (status.ok()) {
@@ -286,7 +299,9 @@ std::string RenderResponse(const std::string& id, const util::Status& status,
   } else {
     out += "\"ok\":false,\"error\":{\"code\":\"";
     out += util::StatusCodeName(status.code());
-    out += "\",\"message\":\"" + obs::JsonEscape(status.message()) + "\"}}";
+    out += "\",\"message\":\"" + obs::JsonEscape(status.message()) + "\"";
+    out += error_detail;
+    out += "}}";
   }
   return out;
 }

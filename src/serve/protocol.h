@@ -56,13 +56,24 @@ util::StatusOr<RequestLine> ParseRequestLine(std::string_view line);
 /// null omits the scheduler fields) and returns the response payload —
 /// the comma-led fragment spliced after `"ok":true` (empty for ops with
 /// no payload, e.g. close).
+///
+/// When `error_detail` is non-null and the op failed mid-way with partial
+/// effect (post_answers stopping at a malformed answer after folding
+/// earlier ones), it receives a comma-led fragment for the error object:
+///   ,"partial":{"applied":N,"contradictory":N,"degenerate":N,"version":V}
+/// so the client learns exactly which prefix of its batch took effect.
 util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
                                            const Scheduler* scheduler,
-                                           const RequestLine& request);
+                                           const RequestLine& request,
+                                           std::string* error_detail = nullptr);
 
 /// One full response line (no trailing newline). `id` may be empty.
+/// `error_detail` (comma-led, e.g. from ExecuteRequest) is spliced into
+/// the error object; ignored for OK responses. The default keeps the
+/// historical shape byte-for-byte.
 std::string RenderResponse(const std::string& id, const util::Status& status,
-                           const std::string& payload);
+                           const std::string& payload,
+                           const std::string& error_detail = std::string());
 
 }  // namespace ptk::serve
 

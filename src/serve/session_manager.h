@@ -3,6 +3,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -15,6 +16,7 @@
 #include "engine/ranking_engine.h"
 #include "model/database.h"
 #include "pbtree/pbtree.h"
+#include "persist/session_store.h"
 #include "pw/topk_distribution.h"
 #include "rank/membership.h"
 #include "util/cancellation.h"
@@ -77,11 +79,47 @@ class SessionManager {
     /// Admission limit: CreateSession beyond this sheds with
     /// kResourceExhausted instead of growing without bound.
     int max_sessions = 64;
+
+    /// Durability. With a non-empty `dir`, every session journals its
+    /// handed-out pairs and posted answers to a per-session write-ahead
+    /// log under `<dir>/sessions/<id>/` — appended and (with `fsync`)
+    /// fsynced *before* the operation is acknowledged — and periodically
+    /// folds the log into a compact snapshot so replay after a restart
+    /// costs O(answers since the last snapshot). RecoverSessions() brings
+    /// every journaled session back bit-identically. An empty dir keeps
+    /// the manager fully in-memory (the default, and the pre-existing
+    /// behaviour).
+    struct PersistOptions {
+      std::string dir;
+      /// fsync on every acknowledgement boundary. Turning this off keeps
+      /// the write ordering but trades crash durability for speed (tests,
+      /// benchmarks).
+      bool fsync = true;
+      /// Take a snapshot (and trim the WAL) after this many WAL records;
+      /// <= 0 disables snapshotting (replay then re-folds the full log).
+      int snapshot_every = 64;
+    };
+    PersistOptions persist;
+
+    /// Test hook: when set, NextPairs obtains its selector from this
+    /// factory instead of engine.MakeSelector(selector). Lets tests
+    /// inject selectors with pathological streams (duplicates, stalls)
+    /// that the real kinds never emit.
+    std::function<std::unique_ptr<core::PairSelector>(
+        engine::RankingEngine&)>
+        selector_factory;
   };
 
   /// `db` must be finalized and outlive the manager. Builds and pre-warms
   /// the shared artifacts (one membership scan, one tree build).
   SessionManager(const model::Database& db, const Options& options);
+
+  /// Drains the ptk_serve_sessions_open gauge for every still-open
+  /// session. Without this, a manager destroyed with open sessions (every
+  /// server shutdown path) leaked its count into the process-wide gauge
+  /// forever, so a monitoring scrape after a manager bounce reported
+  /// phantom sessions.
+  ~SessionManager();
 
   SessionManager(const SessionManager&) = delete;
   SessionManager& operator=(const SessionManager&) = delete;
@@ -89,6 +127,20 @@ class SessionManager {
   /// Opens a session and returns its id ("s1", "s2", ...). Sheds with
   /// kResourceExhausted once max_sessions are open (close one and retry).
   util::StatusOr<std::string> CreateSession();
+
+  /// Rebuilds every session journaled under Options::persist.dir: restores
+  /// each one's latest snapshot, replays the WAL records past it through
+  /// the same RankingEngine::Fold path that produced them (cross-checking
+  /// the journaled constraint-set version after every replayed answer, so
+  /// a divergent replay fails loudly instead of silently serving different
+  /// state), repairs torn WAL tails, and resumes the id sequence past the
+  /// recovered ids. Returns the number of sessions recovered.
+  ///
+  /// Only valid on a fresh manager (before any CreateSession) with
+  /// persistence configured; kFailedPrecondition otherwise, and kIoError /
+  /// kInternal when a journal is unreadable or inconsistent with this
+  /// manager's database and options (fingerprint or config mismatch).
+  util::StatusOr<int> RecoverSessions();
 
   /// Selects up to `count` not-yet-asked pairs for the session, best
   /// first, and marks them as posted (a repeated call keeps walking down
@@ -111,10 +163,17 @@ class SessionManager {
   /// constraint set, in order. Stops at the first structural error
   /// (invalid object id); rejected-but-well-formed answers are tallied,
   /// not errors.
-  util::StatusOr<PostReport> PostAnswers(
+  ///
+  /// `report` is an out-parameter precisely so it survives a mid-batch
+  /// failure: on a non-OK return it tallies the answers folded *before*
+  /// the failing one (the earlier StatusOr shape discarded that progress,
+  /// leaving callers unable to tell which answers of a partial batch took
+  /// effect). It is always written, never left stale.
+  util::Status PostAnswers(
       const std::string& id,
       const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
-          answers);
+          answers,
+      PostReport* report);
 
   /// The session's conditioned top-k distribution (memoized per
   /// constraint-set version).
@@ -152,6 +211,11 @@ class SessionManager {
     engine::RankingEngine engine;
     std::set<std::pair<model::ObjectId, model::ObjectId>> asked;
 
+    // Durability state (all guarded by mu). `store` is open iff the
+    // manager has persistence configured.
+    persist::SessionStore store;
+    int64_t records_since_snapshot = 0;
+
    private:
     static engine::RankingEngine::Options Arm(
         engine::RankingEngine::Options options,
@@ -163,8 +227,25 @@ class SessionManager {
 
   std::shared_ptr<Session> Find(const std::string& id) const;
 
+  bool persist_enabled() const { return !options_.persist.dir.empty(); }
+
+  /// Builds the compact durable image of a session's current state:
+  /// engine constraints + version, the asked set, and (when the working
+  /// copy materialized) the working marginals that differ bitwise from
+  /// the base. Caller holds session->mu.
+  persist::SessionSnapshot BuildSnapshot(const Session& session) const;
+
+  /// Appends the record, advances the snapshot countdown, and — at the
+  /// snapshot_every boundary — snapshots and trims. Caller holds
+  /// session->mu; caller still owns the batch-final Sync().
+  util::Status Journal(Session* session, persist::WalRecord record);
+
+  /// Snapshot-or-sync decision at the end of an acknowledged batch.
+  util::Status CommitJournal(Session* session);
+
   const model::Database* db_;
   Options options_;
+  uint64_t db_fingerprint_ = 0;  // computed once when persistence is on
   std::shared_ptr<const rank::MembershipCalculator> membership_;
   std::unique_ptr<const pbtree::PBTree> tree_;
 

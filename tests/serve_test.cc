@@ -80,9 +80,12 @@ Status RunScript(serve::SessionManager& manager, const model::Database& db,
   for (int round = 0; round < rounds; ++round) {
     StatusOr<std::vector<core::ScoredPair>> pairs = manager.NextPairs(id, 2);
     if (!pairs.ok()) return pairs.status();
-    StatusOr<serve::SessionManager::PostReport> report =
-        manager.PostAnswers(id, AnswerByExpectation(db, *pairs));
-    if (!report.ok()) return report.status();
+    serve::SessionManager::PostReport report;
+    if (Status s = manager.PostAnswers(id, AnswerByExpectation(db, *pairs),
+                                       &report);
+        !s.ok()) {
+      return s;
+    }
   }
   StatusOr<pw::TopKDistribution> dist = manager.Distribution(id);
   if (!dist.ok()) return dist.status();

@@ -4,9 +4,11 @@
 # PTK_METRICS=OFF cross-build proving the instrumentation is inert (same
 # selector output, byte-identical CLI stdout), a PTK_SIMD=OFF cross-build
 # proving the scalar kernel fallback reproduces the vectorized build byte
-# for byte, and an ASan/UBSan build running the robustness, engine-
-# equivalence, and simd kernel tests and a timed fuzz smoke pass over the
-# committed seed corpus.
+# for byte, a crash-recovery gate (SIGKILL a persisting server mid-stream,
+# restart with --recover, diff the rest of the transcript against an
+# uninterrupted golden run), and an ASan/UBSan build running the
+# robustness, engine-equivalence, simd kernel, and persistence tests and a
+# timed fuzz smoke pass over the committed seed corpus.
 # Usage: tools/check.sh [fuzz_seconds]
 set -euo pipefail
 
@@ -91,15 +93,66 @@ for fam in ptk_serve_sessions_open ptk_serve_sessions_total \
 done
 rm -f "$SMOKE_CSV"
 
+echo "== crash recovery gate: SIGKILL mid-stream, restart --recover, diff vs golden =="
+CRASH_CSV="$(mktemp)"
+printf 'oid,value,prob\n0,20,0.2\n0,23,0.8\n1,21,0.2\n1,24,0.8\n2,22,0.6\n2,25,0.4\n' > "$CRASH_CSV"
+CRASH_DIR="$(mktemp -d)"
+PART1='{"op":"create_session","id":"c1"}
+{"op":"next_pairs","session":"s1","count":2,"id":"n1"}
+{"op":"post_answers","session":"s1","answers":[[0,1]],"id":"a1"}'
+PART2='{"op":"post_answers","session":"s1","answers":[[1,2]],"id":"a2"}
+{"op":"distribution","session":"s1","id":"d1"}
+{"op":"quality","session":"s1","id":"q1"}
+{"op":"post_answers","session":"s1","answers":[[1,0]],"id":"a3"}'
+SERVE_ARGS=(--k 2 --fanout 2 --workers 1)
+# Golden: the whole transcript through one uninterrupted, non-persisting
+# process.
+printf '%s\n%s\n' "$PART1" "$PART2" \
+  | ./build/tools/ptk_server "$CRASH_CSV" "${SERVE_ARGS[@]}" \
+  > /tmp/ptk_crash_golden.out
+# Crashed run: feed part 1 through a FIFO, wait until all three responses
+# are acknowledged (and therefore fsync-durable), then SIGKILL — no
+# shutdown path runs.
+mkfifo "$CRASH_DIR/in"
+./build/tools/ptk_server "$CRASH_CSV" "${SERVE_ARGS[@]}" \
+  --persist-dir "$CRASH_DIR/journal" --snapshot-every 2 \
+  < "$CRASH_DIR/in" > /tmp/ptk_crash_part1.out &
+CRASH_PID=$!
+exec 3> "$CRASH_DIR/in"
+printf '%s\n' "$PART1" >&3
+for _ in $(seq 1 200); do
+  [ "$(wc -l < /tmp/ptk_crash_part1.out)" -ge 3 ] && break
+  sleep 0.1
+done
+[ "$(wc -l < /tmp/ptk_crash_part1.out)" -ge 3 ] \
+  || { echo "crash gate: server never answered part 1"; exit 1; }
+kill -9 "$CRASH_PID"
+wait "$CRASH_PID" 2>/dev/null || true
+exec 3>&-
+# Recovery: a fresh process replays the journal and serves the rest of
+# the transcript exactly as the uninterrupted run did — including the
+# contradictory answer in a3, whose rejection must replay identically.
+printf '%s\n' "$PART2" \
+  | ./build/tools/ptk_server "$CRASH_CSV" "${SERVE_ARGS[@]}" \
+    --persist-dir "$CRASH_DIR/journal" --recover \
+  > /tmp/ptk_crash_part2.out 2> /tmp/ptk_crash_recover.err
+grep -q 'recovered 1 session' /tmp/ptk_crash_recover.err \
+  || { echo "crash gate: --recover did not report the session"; exit 1; }
+diff <(head -n 3 /tmp/ptk_crash_golden.out) /tmp/ptk_crash_part1.out
+diff <(tail -n 4 /tmp/ptk_crash_golden.out) /tmp/ptk_crash_part2.out
+rm -rf "$CRASH_CSV" "$CRASH_DIR"
+
 echo "== ASan/UBSan: robustness + engine equivalence + fuzz smoke (${FUZZ_SECONDS}s/target) =="
 cmake -B build-asan -S . \
   -DPTK_SANITIZE=address,undefined -DPTK_FUZZ=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target load_csv_fuzz constraint_fold_fuzz robustness_test data_test \
-  session_test engine_test simd_test simd_property_test
+  --target load_csv_fuzz constraint_fold_fuzz wal_replay_fuzz \
+  robustness_test data_test session_test engine_test simd_test \
+  simd_property_test persist_test
 (cd build-asan && ./tests/data_test && ./tests/session_test \
   && ./tests/robustness_test && ./tests/engine_test \
-  && ./tests/simd_test && ./tests/simd_property_test)
+  && ./tests/simd_test && ./tests/simd_property_test \
+  && ./tests/persist_test)
 
 run_fuzz() {
   local target="$1" corpus="$2"
@@ -115,5 +168,6 @@ run_fuzz() {
 
 run_fuzz load_csv_fuzz fuzz/corpus/load_csv
 run_fuzz constraint_fold_fuzz fuzz/corpus/constraint_fold
+run_fuzz wal_replay_fuzz fuzz/corpus/wal_replay
 
 echo "== all checks passed =="

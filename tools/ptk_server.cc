@@ -10,10 +10,19 @@
 //   ptk_server <data.csv> [--k N] [--selector NAME] [--order sensitive]
 //              [--fanout N] [--workers N] [--queue N] [--max-sessions N]
 //              [--update-working] [--metrics]
+//              [--persist-dir PATH] [--no-fsync] [--snapshot-every N]
+//              [--recover]
 //
 // See src/serve/protocol.h for the request/response grammar. With
 // --metrics, the process-wide metrics registry (the ptk_serve_* families
 // among them) is exported to stderr in Prometheus format at EOF.
+//
+// Durability: --persist-dir journals every session under PATH (write-ahead
+// log per session, periodic snapshots, fsync-ordered acknowledgements);
+// --recover replays those journals at startup, rebuilding every session
+// bit-identically to the pre-crash process before the first request is
+// read. --no-fsync keeps the journal ordering but skips fsync (faster,
+// survives process kills but not power loss).
 
 #include <condition_variable>
 #include <cstdio>
@@ -64,7 +73,9 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <data.csv> [--k N] [--selector NAME] "
                "[--order sensitive] [--fanout N] [--workers N] [--queue N] "
-               "[--max-sessions N] [--update-working] [--metrics]\n",
+               "[--max-sessions N] [--update-working] [--metrics] "
+               "[--persist-dir PATH] [--no-fsync] [--snapshot-every N] "
+               "[--recover]\n",
                argv0);
   return 2;
 }
@@ -77,6 +88,7 @@ int main(int argc, char** argv) {
   ptk::serve::SessionManager::Options manager_options;
   ptk::serve::Scheduler::Options scheduler_options;
   bool dump_metrics = false;
+  bool recover = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -117,6 +129,17 @@ int main(int argc, char** argv) {
       manager_options.update_working = true;
     } else if (arg == "--metrics") {
       dump_metrics = true;
+    } else if (arg == "--persist-dir") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      manager_options.persist.dir = argv[++i];
+    } else if (arg == "--no-fsync") {
+      manager_options.persist.fsync = false;
+    } else if (arg == "--snapshot-every") {
+      if (!next_int(&manager_options.persist.snapshot_every)) {
+        return Usage(argv[0]);
+      }
+    } else if (arg == "--recover") {
+      recover = true;
     } else if (arg[0] == '-') {
       return Usage(argv[0]);
     } else if (csv_path == nullptr) {
@@ -135,6 +158,20 @@ int main(int argc, char** argv) {
   }
 
   ptk::serve::SessionManager manager(*db, manager_options);
+  if (recover) {
+    if (manager_options.persist.dir.empty()) {
+      std::fprintf(stderr, "--recover requires --persist-dir\n");
+      return 2;
+    }
+    ptk::util::StatusOr<int> recovered = manager.RecoverSessions();
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "recovery failed: %s\n",
+                   recovered.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "recovered %d session(s) from %s\n", *recovered,
+                 manager_options.persist.dir.c_str());
+  }
   ptk::serve::Scheduler scheduler(scheduler_options);
   OrderedWriter writer;
 
@@ -155,6 +192,7 @@ int main(int argc, char** argv) {
     auto request = std::make_shared<ptk::serve::RequestLine>(
         *std::move(parsed));
     auto payload = std::make_shared<std::string>();
+    auto error_detail = std::make_shared<std::string>();
 
     ptk::serve::Scheduler::Request job;
     job.session_id = request->session;
@@ -164,17 +202,17 @@ int main(int argc, char** argv) {
     if (!request->session.empty()) {
       job.cancel = manager.CancelSourceFor(request->session).source;
     }
-    job.work = [&manager, &scheduler, request, payload] {
-      ptk::util::StatusOr<std::string> result =
-          ptk::serve::ExecuteRequest(manager, &scheduler, *request);
+    job.work = [&manager, &scheduler, request, payload, error_detail] {
+      ptk::util::StatusOr<std::string> result = ptk::serve::ExecuteRequest(
+          manager, &scheduler, *request, error_detail.get());
       if (!result.ok()) return result.status();
       *payload = *std::move(result);
       return ptk::util::Status::OK();
     };
-    job.done = [&writer, t, request, payload](
+    job.done = [&writer, t, request, payload, error_detail](
                    const ptk::util::Status& status) {
-      writer.Push(
-          t, ptk::serve::RenderResponse(request->id, status, *payload));
+      writer.Push(t, ptk::serve::RenderResponse(request->id, status,
+                                                *payload, *error_detail));
     };
     if (ptk::util::Status admitted = scheduler.Submit(std::move(job));
         !admitted.ok()) {
