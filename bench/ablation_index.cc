@@ -30,7 +30,7 @@ double LeafBoundSpread(const ptk::pbtree::PBTree& tree) {
           total += ptk::pbtree::BoundDistance(n->lbo, n->ubo);
           return;
         }
-        for (const auto& c : n->children) walk(c.get());
+        for (const ptk::pbtree::Node* c : n->children) walk(c);
       };
   walk(tree.root());
   return total;

@@ -1,5 +1,9 @@
 // Serving runtime throughput/latency: requests per second, p50/p99
-// latency, and shed rate as the number of concurrent sessions grows.
+// latency, and shed rate as the number of concurrent sessions grows —
+// plus the shared-everything sweep: update_working sessions folding
+// answers against the ONE shared base (membership calculator, PB-tree,
+// epoch domain), reporting resident delta bytes per session from
+// SessionManager::MemoryReport().
 //
 // Each session runs a realistic op mix (next_pairs, post_answers,
 // quality) through the scheduler; sessions are independent and share the
@@ -147,6 +151,94 @@ int main() {
     json.Record("serve/sessions=" + std::to_string(sessions), elapsed,
                 scheduler_options.workers, sessions, manager_options.k,
                 ptk::bench::Scale());
+  }
+
+  // Shared-everything delta sessions: every session folds `answers`
+  // crowdsourced comparisons into its own working state. All sessions
+  // run concurrently against one manager — one base database, one
+  // membership calculator, one PB-tree — so the cost of an added session
+  // is its delta (overlay overrides, membership prefix columns, tree
+  // path copies), which MemoryReport() measures directly.
+  ptk::bench::Banner(
+      "Delta sessions (update_working): req/s, p50, resident bytes/session");
+  ptk::bench::Row({"sessions", "answers", "req/s", "p50_ms", "bytes/session"});
+  for (const int sessions : {4, 16, 64}) {
+    for (const int answers : {2, 8}) {
+      ptk::serve::SessionManager::Options manager_options;
+      manager_options.k = 5;
+      manager_options.update_working = true;
+      manager_options.max_sessions = sessions;
+      ptk::serve::SessionManager manager(db, manager_options);
+
+      std::vector<std::string> ids;
+      for (int s = 0; s < sessions; ++s) {
+        ptk::util::StatusOr<std::string> id = manager.CreateSession();
+        if (!id.ok()) {
+          std::fprintf(stderr, "%s\n", id.status().ToString().c_str());
+          return 1;
+        }
+        ids.push_back(*id);
+      }
+
+      std::mutex mu;
+      std::vector<double> latencies;  // seconds per op (select or fold)
+      ptk::util::Stopwatch wall;
+      std::vector<std::thread> threads;
+      threads.reserve(sessions);
+      for (int s = 0; s < sessions; ++s) {
+        threads.emplace_back([&manager, &mu, &latencies, &ids, s, answers] {
+          const std::string& id = ids[s];
+          for (int round = 0; round < answers; ++round) {
+            auto op_start = Clock::now();
+            ptk::util::StatusOr<std::vector<ptk::core::ScoredPair>> pairs =
+                manager.NextPairs(id, 1);
+            if (!pairs.ok() || pairs->empty()) return;
+            double select_s =
+                std::chrono::duration<double>(Clock::now() - op_start)
+                    .count();
+            const auto a = (*pairs)[0].a;
+            const auto b = (*pairs)[0].b;
+            // Deterministic answer direction, as a real crowd would split.
+            const bool forward = (s + round) % 2 == 0;
+            op_start = Clock::now();
+            ptk::serve::SessionManager::PostReport report;
+            const ptk::util::Status posted = manager.PostAnswers(
+                id,
+                {forward ? std::make_pair(std::min(a, b), std::max(a, b))
+                         : std::make_pair(std::max(a, b), std::min(a, b))},
+                &report);
+            if (!posted.ok()) return;
+            const double fold_s =
+                std::chrono::duration<double>(Clock::now() - op_start)
+                    .count();
+            std::lock_guard<std::mutex> lock(mu);
+            latencies.push_back(select_s);
+            latencies.push_back(fold_s);
+          }
+        });
+      }
+      for (std::thread& t : threads) t.join();
+      const double elapsed = wall.ElapsedSeconds();
+
+      int64_t total_bytes = 0;
+      for (const auto& session : manager.MemoryReport()) {
+        total_bytes += session.bytes;
+      }
+      const int64_t bytes_per_session = total_bytes / sessions;
+
+      std::sort(latencies.begin(), latencies.end());
+      const double rps = static_cast<double>(latencies.size()) / elapsed;
+      const double p50 = Percentile(latencies, 0.5) * 1e3;
+      ptk::bench::Row({std::to_string(sessions), std::to_string(answers),
+                       ptk::bench::Fmt(rps, 1), ptk::bench::Fmt(p50, 3),
+                       std::to_string(bytes_per_session)});
+      json.Record("serve/delta/sessions=" + std::to_string(sessions) +
+                      ",answers=" + std::to_string(answers) +
+                      ",bytes_per_session=" +
+                      std::to_string(bytes_per_session),
+                  elapsed, sessions, answers, manager_options.k,
+                  ptk::bench::Scale());
+    }
   }
   return 0;
 }

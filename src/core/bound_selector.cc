@@ -66,7 +66,10 @@ util::Status BoundSelector::SelectPairs(int t, std::vector<ScoredPair>* out) {
       (mode_ == Mode::kBasic)
           ? static_cast<const pbtree::PairScorer&>(h_scorer_)
           : static_cast<const pbtree::PairScorer&>(ei_scorer_);
-  pbtree::PairStream stream(*tree_, scorer);
+  // The pin (epoch guard for delta trees) must outlive the stream: every
+  // node the stream's heaps reference stays allocated until it drops.
+  const pbtree::TreeReader::Pinned pinned = tree_->Pin();
+  pbtree::PairStream stream(pinned.root, scorer);
 
   // Min-heap of the best t estimates found so far.
   const auto worse = [](const ScoredPair& a, const ScoredPair& b) {

@@ -47,7 +47,7 @@ class BoundSelector : public PairSelector {
   };
   const Stats& stats() const { return stats_; }
 
-  const pbtree::PBTree& tree() const { return *tree_; }
+  const pbtree::TreeReader& tree() const { return *tree_; }
   const rank::MembershipCalculator& membership() const {
     return *membership_;
   }
@@ -58,10 +58,10 @@ class BoundSelector : public PairSelector {
   SelectorOptions options_;
   Mode mode_;
   // Owned only when options.shared_tree is absent or indexes a different
-  // database; the RankingEngine path borrows its incrementally-maintained
-  // tree instead of re-indexing per selector.
+  // database; the RankingEngine path shares its base tree / per-session
+  // delta tree instead of re-indexing per selector.
   std::unique_ptr<pbtree::PBTree> owned_tree_;
-  const pbtree::PBTree* tree_;
+  const pbtree::TreeReader* tree_;
   // Shared across this selector's estimator and scorer (and, via
   // SelectorOptions::membership, across selectors), so each lazy top-k
   // scan runs once.

@@ -86,9 +86,9 @@ std::unique_ptr<PairSelector> MakeSelector(const model::Database& db,
   return nullptr;  // unreachable
 }
 
-const pbtree::PBTree* SelectorOptions::SharedTreeFor(
+const pbtree::TreeReader* SelectorOptions::SharedTreeFor(
     const model::Database& db) const {
-  if (shared_tree != nullptr && &shared_tree->db() == &db) {
+  if (shared_tree != nullptr && &shared_tree->indexed_db() == &db) {
     return shared_tree;
   }
   return nullptr;

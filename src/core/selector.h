@@ -17,7 +17,7 @@
 #include "util/thread_pool.h"
 
 namespace ptk::pbtree {
-class PBTree;
+class TreeReader;
 }
 
 namespace ptk::core {
@@ -62,12 +62,14 @@ struct SelectorOptions {
   /// stale and a fresh one is built instead.
   std::shared_ptr<const rank::MembershipCalculator> membership;
 
-  /// Optional prebuilt PB-tree shared across selectors (the RankingEngine
-  /// maintains one incrementally via PBTree::UpdateObject). Used by the
+  /// Optional prebuilt PB-tree reader shared across selectors: either the
+  /// immutable base PBTree or a session's DeltaTree (the RankingEngine
+  /// maintains the latter via copy-on-write path updates). Used by the
   /// index-based selectors only when it indexes the same database;
-  /// otherwise each selector builds its own. The tree must outlive the
-  /// selector and already reflect the database's current probabilities.
-  const pbtree::PBTree* shared_tree = nullptr;
+  /// otherwise each selector builds its own. The reader must outlive the
+  /// selector and already reflect the database's current probabilities;
+  /// selectors pin it (TreeReader::Pin) for each traversal.
+  const pbtree::TreeReader* shared_tree = nullptr;
 
   /// options.membership when compatible with (db, k, version), else a
   /// fresh one.
@@ -75,7 +77,7 @@ struct SelectorOptions {
       const model::Database& db) const;
 
   /// options.shared_tree when it indexes `db`, else nullptr.
-  const pbtree::PBTree* SharedTreeFor(const model::Database& db) const;
+  const pbtree::TreeReader* SharedTreeFor(const model::Database& db) const;
 };
 
 /// A selected candidate pair with the selector's improvement estimate.

@@ -47,45 +47,80 @@ RankingEngine::RankingEngine(const model::Database& db, const Options& options)
       evaluator_(db, options.k, options.order, options.enumerator),
       overlay_(db) {}
 
-void RankingEngine::PrepareWorkingCopy() {
-  if (overlay_.materialized()) return;
-  // Anything built so far lives on the base database object, which db()
-  // stops referring to once the copy exists; drop it so the next access
-  // builds on the private copy (and folds refresh that build in place).
-  owned_membership_.reset();
-  tree_.reset();
-  overlay_.Materialize();
+void RankingEngine::PrepareWorkingCopy() { overlay_.Materialize(); }
+
+std::shared_ptr<const rank::MembershipCalculator>
+RankingEngine::BaseMembership() {
+  if (base_membership_ == nullptr) {
+    const auto& shared = options_.shared_membership;
+    if (shared != nullptr && &shared->db() == base_ &&
+        shared->base_calc() == nullptr &&
+        shared->k() == std::clamp(options_.k, 1, base_->num_objects()) &&
+        shared->db_version() == base_->mutation_version()) {
+      base_membership_ = shared;
+    } else {
+      base_membership_ =
+          std::make_shared<rank::MembershipCalculator>(*base_, options_.k);
+    }
+  }
+  return base_membership_;
+}
+
+std::shared_ptr<const pbtree::PBTree> RankingEngine::BaseTree() {
+  if (base_tree_ == nullptr) {
+    const auto& shared = options_.shared_tree;
+    if (shared != nullptr && &shared->db() == base_) {
+      base_tree_ = shared;
+    } else {
+      pbtree::PBTree::Options tree_options;
+      tree_options.fanout = options_.fanout;
+      base_tree_ = std::make_shared<const pbtree::PBTree>(*base_,
+                                                          tree_options);
+    }
+  }
+  return base_tree_;
+}
+
+std::shared_ptr<util::EpochManager> RankingEngine::Epochs() {
+  if (epochs_ == nullptr) {
+    epochs_ = options_.epochs != nullptr
+                  ? options_.epochs
+                  : std::make_shared<util::EpochManager>();
+  }
+  return epochs_;
 }
 
 std::shared_ptr<const rank::MembershipCalculator> RankingEngine::membership() {
-  const model::Database& db = working_db();
-  const auto& shared = options_.shared_membership;
-  // Same compatibility test as SelectorOptions::MembershipFor: once the
-  // overlay materializes, db is no longer the object the shared calculator
-  // was built on and this borrow stops matching.
-  if (shared != nullptr && &shared->db() == &db &&
-      shared->k() == std::clamp(options_.k, 1, db.num_objects()) &&
-      shared->db_version() == db.mutation_version()) {
-    return shared;
+  if (!overlay_.materialized()) return BaseMembership();
+  if (delta_membership_ == nullptr) {
+    // Layers override prefix columns over the shared base calculator; the
+    // constructor scans the delta's current overrides, so building late
+    // (or after a snapshot restore) is equivalent to building eagerly.
+    delta_membership_ = std::make_shared<rank::MembershipCalculator>(
+        BaseMembership(), working_db());
   }
-  if (owned_membership_ == nullptr) {
-    owned_membership_ =
-        std::make_shared<rank::MembershipCalculator>(db, options_.k);
-  }
-  return owned_membership_;
+  return delta_membership_;
 }
 
-const pbtree::PBTree& RankingEngine::tree() {
-  if (options_.shared_tree != nullptr &&
-      &options_.shared_tree->db() == &working_db()) {
-    return *options_.shared_tree;
+const pbtree::TreeReader& RankingEngine::tree() {
+  if (!overlay_.materialized()) return *BaseTree();
+  if (delta_tree_ == nullptr) {
+    delta_tree_ = std::make_unique<pbtree::DeltaTree>(BaseTree(),
+                                                      working_db(), Epochs());
   }
-  if (tree_ == nullptr) {
-    pbtree::PBTree::Options tree_options;
-    tree_options.fanout = options_.fanout;
-    tree_ = std::make_unique<pbtree::PBTree>(working_db(), tree_options);
+  return *delta_tree_;
+}
+
+RankingEngine::MemoryFootprint RankingEngine::DeltaMemory() const {
+  MemoryFootprint footprint;
+  footprint.overlay_bytes = overlay_.DeltaBytes();
+  if (delta_membership_ != nullptr) {
+    footprint.membership_bytes = delta_membership_->DeltaBytes();
   }
-  return *tree_;
+  if (delta_tree_ != nullptr) {
+    footprint.tree_bytes = delta_tree_->delta_bytes();
+  }
+  return footprint;
 }
 
 util::Status RankingEngine::Fold(model::ObjectId smaller,
@@ -138,30 +173,22 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
       *outcome = FoldOutcome::kDegenerate;
       return util::Status::OK();
     }
-    if (!overlay_.materialized()) {
-      // First reweight: db() switches from the base object to the private
-      // copy, so artifacts built against the base cannot be refreshed in
-      // place — drop them and let the next access rebuild on the copy.
-      // (PrepareWorkingCopy avoids this rebuild for callers that fold
-      // eagerly from the start.)
-      owned_membership_.reset();
-      tree_.reset();
-    }
     util::Status s = overlay_.Reweight(smaller, ps);
     if (!s.ok()) return s.WithContext("Fold: reweight smaller");
     s = overlay_.Reweight(larger, pl);
     if (!s.ok()) return s.WithContext("Fold: reweight larger");
     metrics.overlay_reweights->Add(2);
 
-    // Per-object artifact maintenance — the whole point of the overlay:
-    // everything else the calculator and the tree cache is untouched.
-    if (owned_membership_ != nullptr) {
+    // Per-object artifact maintenance — the whole point of the delta
+    // layers: only the two touched objects' columns / tree paths move,
+    // everything else stays the shared base's.
+    if (delta_membership_ != nullptr) {
       const std::array<model::ObjectId, 2> touched = {smaller, larger};
-      owned_membership_->RefreshObjects(touched);
+      delta_membership_->RefreshObjects(touched);
     }
-    if (tree_ != nullptr) {
-      tree_->UpdateObject(smaller);
-      tree_->UpdateObject(larger);
+    if (delta_tree_ != nullptr) {
+      delta_tree_->UpdateObject(smaller);
+      delta_tree_->UpdateObject(larger);
     }
   }
 

@@ -13,10 +13,12 @@
 #include "core/selector.h"
 #include "model/database.h"
 #include "model/database_overlay.h"
+#include "pbtree/delta_tree.h"
 #include "pbtree/pbtree.h"
 #include "pw/constraint.h"
 #include "pw/topk_distribution.h"
 #include "rank/membership.h"
+#include "util/epoch.h"
 #include "util/status.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
@@ -47,14 +49,22 @@ inline std::vector<SelectorKind> AllSelectorKinds() {
 ///   - the exact evaluation path (QualityEvaluator on the *base* database,
 ///     so reported distributions/qualities are always the exact Eq. 5
 ///     conditioning, never the marginal approximation),
-///   - a copy-on-write working database (model::DatabaseOverlay) that
-///     selection operates on: folding an answer reweights only the two
-///     affected objects' marginals in place,
-///   - lazily built, incrementally maintained selection artifacts on the
-///     working database: the shared rank::MembershipCalculator (per-object
-///     refresh) and the pbtree::PBTree (path-local bound recompute),
+///   - a sparse copy-on-write working database (model::DatabaseOverlay
+///     over a delta Database) that selection operates on: folding an
+///     answer reweights only the two affected objects' overrides,
+///   - lazily built per-session *delta artifacts* layered over the shared
+///     base artifacts: a delta-mode rank::MembershipCalculator (override
+///     prefix columns over the shared base calculator) and a
+///     pbtree::DeltaTree (copy-on-write path copies over the shared base
+///     tree, reclaimed through the shared util::EpochManager),
 ///   - memoized conditioned top-k distribution and quality H(S_k | A),
 ///     invalidated by the constraint-set version counter.
+///
+/// The artifact-ownership contract: the base database, base membership
+/// calculator, and base PBTree are immutable and shared by every engine
+/// (many concurrent readers); each engine owns exactly one writer-side
+/// delta per artifact, kept O(answers folded). An engine never clones the
+/// base artifacts, before or after its first fold.
 ///
 /// Contract (pinned by tests/engine_test.cc): every engine-served result is
 /// bit-identical — or within 1e-12 where a different summation order is
@@ -76,18 +86,23 @@ class RankingEngine {
     int candidate_pool = 64;
     util::ParallelConfig parallel;
 
-    /// Shared read-only artifacts on the *base* database, borrowed instead
-    /// of built while the working database still aliases the base (i.e.
-    /// until the first update_working fold materializes a private copy).
-    /// The serving runtime builds these once per (db, k) / (db, fanout)
-    /// and hands them to every session's engine, so N concurrent sessions
-    /// pay for one membership scan and one tree build total. Both must
-    /// outlive the engine; compatibility (same database object, same k,
-    /// same mutation_version) is re-checked on every use, so a stale or
-    /// mismatched artifact silently degrades to a private build rather
-    /// than serving wrong data.
+    /// Shared read-only artifacts on the *base* database. The serving
+    /// runtime builds these once per (db, k) / (db, fanout) and hands them
+    /// to every session's engine, so N concurrent sessions pay for one
+    /// membership scan and one tree build total — and keep sharing them
+    /// for their whole lifetime: once a session folds with update_working,
+    /// the engine layers per-session deltas (override prefix columns,
+    /// copy-on-write tree paths) *over* these base artifacts instead of
+    /// cloning them. Compatibility (same database object, same k) is
+    /// checked on use; a mismatched artifact degrades to a private base
+    /// build rather than serving wrong data.
     std::shared_ptr<const rank::MembershipCalculator> shared_membership;
-    const pbtree::PBTree* shared_tree = nullptr;
+    std::shared_ptr<const pbtree::PBTree> shared_tree;
+
+    /// Epoch manager that reclaims retired DeltaTree node versions. Shared
+    /// across sessions by the serving runtime (one reclamation domain per
+    /// catalog); an engine without one lazily owns a private manager.
+    std::shared_ptr<util::EpochManager> epochs;
   };
 
   /// What Fold did with an answer.
@@ -106,12 +121,10 @@ class RankingEngine {
   /// copies lazily), which is what makes shared-artifact borrowing sound.
   const model::Database& working_db() const { return overlay_.db(); }
 
-  /// Forces the working copy into existence now, so artifacts built
-  /// afterwards live on the private copy and every update_working fold —
-  /// including the first — maintains them incrementally. Consumers that
-  /// know they will fold with update_working (AdaptiveCleaner) call this
-  /// once up front; without it the first such fold discards artifacts
-  /// built against the base aliasing and rebuilds them lazily. Idempotent.
+  /// Forces the sparse working delta into existence now. Idempotent and
+  /// cheap (no copy — the delta resolves against the base until objects
+  /// are overridden). Kept for callers that want working_db() to stop
+  /// aliasing the base before the first fold.
   void PrepareWorkingCopy();
   /// Whether the copy-on-write working database has split from the base
   /// (some update_working fold, PrepareWorkingCopy, or a snapshot restore
@@ -123,17 +136,31 @@ class RankingEngine {
   /// Bumped once per applied fold; memoized artifacts key on it.
   uint64_t version() const { return version_; }
 
-  /// The membership calculator on the working database: the borrowed
-  /// Options::shared_membership while it is compatible with the current
-  /// working database, otherwise a privately built one, refreshed
-  /// per-object after every applied update_working fold.
+  /// The membership calculator on the working database: the shared base
+  /// calculator while the working database still aliases the base, then a
+  /// per-session delta calculator layered over it (override prefix
+  /// columns, O(answers)), refreshed per-object after every applied
+  /// update_working fold.
   std::shared_ptr<const rank::MembershipCalculator> membership();
 
-  /// The PB-tree on the working database: Options::shared_tree while the
-  /// working database still aliases the base it indexes, otherwise a
-  /// privately built tree maintained with path-local bound updates after
-  /// every applied update_working fold.
-  const pbtree::PBTree& tree();
+  /// The PB-tree reader on the working database: the shared base tree
+  /// while the working database aliases the base, then a per-session
+  /// pbtree::DeltaTree layering copy-on-write path copies over it,
+  /// updated after every applied update_working fold.
+  const pbtree::TreeReader& tree();
+
+  /// Per-engine delta memory: bytes attributable to this session's
+  /// overlay overrides, membership delta columns, and tree node copies.
+  /// O(answers folded); stays 0 until the first update_working fold.
+  struct MemoryFootprint {
+    int64_t overlay_bytes = 0;
+    int64_t membership_bytes = 0;
+    int64_t tree_bytes = 0;
+    int64_t total() const {
+      return overlay_bytes + membership_bytes + tree_bytes;
+    }
+  };
+  MemoryFootprint DeltaMemory() const;
 
   /// Folds the answer "smaller ranks above larger" into the engine:
   /// rejects it as kContradictory when it leaves zero surviving possible
@@ -159,14 +186,18 @@ class RankingEngine {
   /// Fast-forwards a *fresh* engine to a snapshotted state without
   /// re-running the folds it summarizes: installs the accepted constraints
   /// in their original fold order, sets version() to `version`, and — when
-  /// `working` is non-empty — materializes the working copy and restores
-  /// each listed object's marginals verbatim (no renormalization, so the
-  /// working database is bitwise the one that was snapshotted; see
-  /// model::DatabaseOverlay::RestoreExact). Subsequent WAL replay folds
-  /// continue from here and land bit-identically where the uninterrupted
-  /// run did. kFailedPrecondition unless the engine is untouched (no folds,
-  /// no working copy); kInvalidArgument on out-of-range object ids or a
-  /// version inconsistent with the constraint count.
+  /// `working` is non-empty — materializes the sparse working delta and
+  /// restores each listed object's marginals verbatim (no renormalization,
+  /// so the working database is bitwise the one that was snapshotted; see
+  /// model::DatabaseOverlay::RestoreExact). The restored state is a delta
+  /// over the shared base, and the delta artifacts built afterwards pick
+  /// the restored overrides up on construction — a warm-restarted session
+  /// shares the base membership/tree exactly like a live one. Subsequent
+  /// WAL replay folds continue from here and land bit-identically where
+  /// the uninterrupted run did. kFailedPrecondition unless the engine is
+  /// untouched (no folds, no working copy); kInvalidArgument on
+  /// out-of-range object ids or a version inconsistent with the
+  /// constraint count.
   util::Status RestoreSnapshot(
       const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
           constraints,
@@ -225,21 +256,29 @@ class RankingEngine {
   core::SelectorOptions BaseSelectorOptions() const;
   // Builds/refreshes the memoized distribution for the current version.
   util::Status EnsureDistribution() const;
+  // The shared (or lazily owned) base artifacts — always on *base_.
+  std::shared_ptr<const rank::MembershipCalculator> BaseMembership();
+  std::shared_ptr<const pbtree::PBTree> BaseTree();
+  std::shared_ptr<util::EpochManager> Epochs();
 
   const model::Database* base_;
   Options options_;
   core::QualityEvaluator evaluator_;  // exact path, base database
-  model::DatabaseOverlay overlay_;    // working copy, reweighted in place
+  model::DatabaseOverlay overlay_;    // sparse working delta
   pw::ConstraintSet constraints_;
   uint64_t version_ = 0;
 
-  // Privately built artifacts on the working database, lazily created when
-  // no compatible shared artifact is available. owned_membership_ is held
-  // non-const so Fold can refresh it; consumers only see const. Reset when
-  // the working copy materializes (their db pointer would otherwise keep
-  // aliasing the immutable base).
-  std::shared_ptr<rank::MembershipCalculator> owned_membership_;
-  std::unique_ptr<pbtree::PBTree> tree_;
+  // Base artifacts: Options::shared_* when compatible, else built once on
+  // the base database and kept for the engine's lifetime.
+  std::shared_ptr<const rank::MembershipCalculator> base_membership_;
+  std::shared_ptr<const pbtree::PBTree> base_tree_;
+  std::shared_ptr<util::EpochManager> epochs_;
+  // Per-session deltas over the base artifacts, lazily created on first
+  // use after the working delta materializes. Fold refreshes the two
+  // touched objects in each; construction picks up overrides already in
+  // the delta (snapshot restore).
+  std::shared_ptr<rank::MembershipCalculator> delta_membership_;
+  std::unique_ptr<pbtree::DeltaTree> delta_tree_;
 
   // Memoized exact conditioning, keyed on version_.
   mutable bool dist_valid_ = false;

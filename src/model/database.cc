@@ -1,6 +1,7 @@
 #include "model/database.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <string>
 
@@ -93,6 +94,17 @@ void Database::BuildIndex() {
 
 void Database::ReweightObjectInPlace(ObjectId oid,
                                      const std::vector<double>& probs) {
+  if (delta_base_ != nullptr) {
+    UncertainObject& obj = EnsureOverride(oid);
+    double total = 0.0;
+    for (double p : probs) total += p;
+    for (int i = 0; i < obj.num_instances(); ++i) {
+      obj.instances_[i].prob = probs[i] / total;
+    }
+    RefreshOverrideSuffix(oid);
+    ++mutation_version_;
+    return;
+  }
   UncertainObject& obj = objects_[oid];
   double total = 0.0;
   for (double p : probs) total += p;
@@ -112,6 +124,15 @@ void Database::ReweightObjectInPlace(ObjectId oid,
 
 void Database::SetObjectProbsInPlace(ObjectId oid,
                                      const std::vector<double>& probs) {
+  if (delta_base_ != nullptr) {
+    UncertainObject& obj = EnsureOverride(oid);
+    for (int i = 0; i < obj.num_instances(); ++i) {
+      obj.instances_[i].prob = probs[i];
+    }
+    RefreshOverrideSuffix(oid);
+    ++mutation_version_;
+    return;
+  }
   UncertainObject& obj = objects_[oid];
   for (int i = 0; i < obj.num_instances(); ++i) {
     obj.instances_[i].prob = probs[i];
@@ -126,17 +147,117 @@ void Database::SetObjectProbsInPlace(ObjectId oid,
 }
 
 double Database::MassBeyond(ObjectId oid, Position pos) const {
-  const auto& positions = obj_positions_[oid];
+  const Database& idx = delta_base_ != nullptr ? *delta_base_ : *this;
+  const auto& positions = idx.obj_positions_[oid];
   // First of this object's positions strictly greater than pos.
   const auto it = std::upper_bound(positions.begin(), positions.end(), pos);
-  return obj_suffix_mass_[oid][it - positions.begin()];
+  const size_t slot = it - positions.begin();
+  if (delta_base_ != nullptr) {
+    const auto over = over_slot_.find(oid);
+    if (over != over_slot_.end()) return over_suffix_[over->second][slot];
+  }
+  return idx.obj_suffix_mass_[oid][slot];
 }
 
 double Database::MassBefore(ObjectId oid, Position pos) const {
-  const auto& positions = obj_positions_[oid];
+  const Database& idx = delta_base_ != nullptr ? *delta_base_ : *this;
+  const auto& positions = idx.obj_positions_[oid];
   const auto it = std::lower_bound(positions.begin(), positions.end(), pos);
-  const size_t idx = it - positions.begin();
-  return obj_suffix_mass_[oid][0] - obj_suffix_mass_[oid][idx];
+  const size_t slot = it - positions.begin();
+  if (delta_base_ != nullptr) {
+    const auto over = over_slot_.find(oid);
+    if (over != over_slot_.end()) {
+      const auto& suffix = over_suffix_[over->second];
+      return suffix[0] - suffix[slot];
+    }
+  }
+  const auto& suffix = idx.obj_suffix_mass_[oid];
+  return suffix[0] - suffix[slot];
+}
+
+Database Database::MakeDelta(const Database& base) {
+  assert(base.finalized_ && base.delta_base_ == nullptr);
+  Database delta;
+  delta.delta_base_ = &base;
+  delta.finalized_ = true;
+  delta.mutation_version_ = base.mutation_version_;
+  return delta;
+}
+
+const UncertainObject& Database::DeltaObject(ObjectId oid) const {
+  const auto it = over_slot_.find(oid);
+  if (it != over_slot_.end()) return over_objects_[it->second];
+  return delta_base_->objects_[oid];
+}
+
+UncertainObject& Database::EnsureOverride(ObjectId oid) {
+  auto it = over_slot_.find(oid);
+  if (it == over_slot_.end()) {
+    const int32_t slot = static_cast<int32_t>(over_objects_.size());
+    over_objects_.push_back(delta_base_->objects_[oid]);
+    over_suffix_.push_back(delta_base_->obj_suffix_mass_[oid]);
+    it = over_slot_.emplace(oid, slot).first;
+  }
+  return over_objects_[it->second];
+}
+
+void Database::RefreshOverrideSuffix(ObjectId oid) {
+  const int32_t slot = over_slot_.at(oid);
+  const UncertainObject& obj = over_objects_[slot];
+  auto& suffix = over_suffix_[slot];
+  // Within one object, ascending global position order is ascending value
+  // order is iid order, so suffix[i] accumulates the same doubles in the
+  // same order as the base-mode loop over sorted_[positions[i]].prob.
+  for (int i = obj.num_instances() - 1; i >= 0; --i) {
+    suffix[i] = suffix[i + 1] + obj.instances_[i].prob;
+  }
+}
+
+std::vector<ObjectId> Database::OverriddenObjects() const {
+  std::vector<ObjectId> oids;
+  oids.reserve(over_slot_.size());
+  for (const auto& [oid, slot] : over_slot_) oids.push_back(oid);
+  std::sort(oids.begin(), oids.end());
+  return oids;
+}
+
+int64_t Database::DeltaBytes() const {
+  int64_t bytes = 0;
+  for (const UncertainObject& obj : over_objects_) {
+    bytes += static_cast<int64_t>(sizeof(UncertainObject)) +
+             static_cast<int64_t>(obj.num_instances() * sizeof(Instance));
+  }
+  for (const auto& suffix : over_suffix_) {
+    bytes += static_cast<int64_t>(suffix.capacity() * sizeof(double));
+  }
+  // Hash map node + bucket overhead, approximated.
+  bytes += static_cast<int64_t>(over_slot_.size() * 64);
+  bytes += static_cast<int64_t>(bulk_objects_.capacity() *
+                                sizeof(UncertainObject)) +
+           static_cast<int64_t>(bulk_sorted_.capacity() * sizeof(Instance));
+  for (const UncertainObject& obj : bulk_objects_) {
+    bytes += static_cast<int64_t>(obj.num_instances() * sizeof(Instance));
+  }
+  return bytes;
+}
+
+void Database::EnsureBulk() const {
+  if (bulk_version_ == mutation_version_) return;
+  if (bulk_version_ == 0) {
+    bulk_objects_ = delta_base_->objects_;
+    bulk_sorted_ = delta_base_->sorted_;
+  }
+  // Re-patching every override over the existing view is correct because
+  // overrides never revert to base values.
+  for (const auto& [oid, slot] : over_slot_) {
+    const UncertainObject& obj = over_objects_[slot];
+    bulk_objects_[oid] = obj;
+    const auto& positions = delta_base_->obj_positions_[oid];
+    for (int i = 0; i < obj.num_instances(); ++i) {
+      bulk_sorted_[positions[i]].prob = obj.instance(i).prob;
+    }
+  }
+  bulk_version_ = mutation_version_;
 }
 
 }  // namespace ptk::model

@@ -1,6 +1,9 @@
 #ifndef PTK_MODEL_DATABASE_H_
 #define PTK_MODEL_DATABASE_H_
 
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -26,6 +29,21 @@ using Position = int32_t;
 /// which keeps every value (and therefore the sorted index) intact and
 /// bumps mutation_version() so cached derived artifacts can detect
 /// staleness (SelectorOptions::MembershipFor).
+///
+/// A Database can also be a *delta* over a shared immutable base
+/// (DatabaseOverlay::Materialize creates one). A delta stores only the
+/// objects whose marginals have been reweighted — memory is O(answers
+/// folded), not O(m) — and resolves everything else against the base:
+/// object() checks the override map first, MassBeyond/MassBefore read the
+/// base positions with override suffix masses, and PositionOf delegates
+/// outright (reweights never change values, so the global sorted order is
+/// shared verbatim). Consumers that genuinely need the full materialized
+/// arrays — objects() and sorted_instances() — get a lazily built bulk
+/// view patched with the overrides; that view costs O(m) and is the
+/// documented exception (brute-force selection, world sampling, exact
+/// semantics), never touched by the incremental serving path. A delta is
+/// single-writer: its owner serializes reweights, while any number of
+/// threads may concurrently read the (never-mutated) base.
 class Database {
  public:
   Database() = default;
@@ -49,23 +67,64 @@ class Database {
   /// version they were built against and treat a mismatch as stale.
   uint64_t mutation_version() const { return mutation_version_; }
 
-  int num_objects() const { return static_cast<int>(objects_.size()); }
-  int num_instances() const { return static_cast<int>(sorted_.size()); }
+  int num_objects() const {
+    return delta_base_ != nullptr ? delta_base_->num_objects()
+                                  : static_cast<int>(objects_.size());
+  }
+  int num_instances() const {
+    return delta_base_ != nullptr ? delta_base_->num_instances()
+                                  : static_cast<int>(sorted_.size());
+  }
 
-  const UncertainObject& object(ObjectId oid) const { return objects_[oid]; }
-  const std::vector<UncertainObject>& objects() const { return objects_; }
+  const UncertainObject& object(ObjectId oid) const {
+    if (delta_base_ == nullptr) [[likely]] return objects_[oid];
+    return DeltaObject(oid);
+  }
+
+  /// Full object array. In delta mode this materializes the O(m) bulk view
+  /// (base copy patched with overrides) on first use; incremental callers
+  /// should use object() instead.
+  const std::vector<UncertainObject>& objects() const {
+    if (delta_base_ == nullptr) [[likely]] return objects_;
+    EnsureBulk();
+    return bulk_objects_;
+  }
 
   const Instance& instance(InstanceRef ref) const {
-    return objects_[ref.oid].instance(ref.iid);
+    return object(ref.oid).instance(ref.iid);
   }
+
+  // ---- Delta mode ----
+
+  /// True if this database is a sparse delta over a shared base.
+  bool is_delta() const { return delta_base_ != nullptr; }
+
+  /// The base this delta resolves against, or nullptr in base mode. The
+  /// base's sorted index, positions, and non-overridden objects are shared
+  /// (reweights never change values, only probabilities).
+  const Database* delta_base() const { return delta_base_; }
+
+  /// Ids of objects with an override, ascending. Empty in base mode.
+  std::vector<ObjectId> OverriddenObjects() const;
+
+  /// Approximate resident bytes attributable to this delta: override
+  /// objects + suffix masses + map nodes + the bulk view if some consumer
+  /// forced it. Zero in base mode. Feeds the per-session memory gauge.
+  int64_t DeltaBytes() const;
 
   // ---- Global sorted index (available after Finalize) ----
 
-  /// All instances ascending by (value, oid, iid).
-  const std::vector<Instance>& sorted_instances() const { return sorted_; }
+  /// All instances ascending by (value, oid, iid). In delta mode this
+  /// materializes the O(m) bulk view on first use; see objects().
+  const std::vector<Instance>& sorted_instances() const {
+    if (delta_base_ == nullptr) [[likely]] return sorted_;
+    EnsureBulk();
+    return bulk_sorted_;
+  }
 
   /// Global position of an instance.
   Position PositionOf(InstanceRef ref) const {
+    if (delta_base_ != nullptr) return delta_base_->PositionOf(ref);
     return position_[offset_[ref.oid] + ref.iid];
   }
 
@@ -81,6 +140,28 @@ class Database {
  private:
   friend class DatabaseOverlay;
   friend class ptk::persist::CatalogIo;
+
+  /// Creates a sparse delta over `base` (which must be finalized and not
+  /// itself a delta). The caller must keep `base` alive and unmutated for
+  /// the delta's lifetime. Only DatabaseOverlay constructs deltas.
+  static Database MakeDelta(const Database& base);
+
+  /// Delta-mode object resolution: override slot if present, else base.
+  const UncertainObject& DeltaObject(ObjectId oid) const;
+
+  /// Delta mode: returns (creating on first touch) the override for `oid`,
+  /// seeded with a copy of the base object. Stored in a deque so existing
+  /// object() references stay valid across later overrides.
+  UncertainObject& EnsureOverride(ObjectId oid);
+
+  /// Delta mode: recomputes the override's suffix masses from its instance
+  /// probabilities — the same descending accumulation BuildIndex uses, so
+  /// MassBeyond/MassBefore answers are bitwise identical to a full copy.
+  void RefreshOverrideSuffix(ObjectId oid);
+
+  /// Delta mode: (re)builds the bulk view — a full copy of the base arrays
+  /// patched with every override — memoized on mutation_version().
+  void EnsureBulk() const;
 
   /// Replaces object `oid`'s instance probabilities in place (values and
   /// instance count unchanged), renormalizing `probs` to sum exactly to 1.
@@ -120,6 +201,18 @@ class Database {
   // probability mass starting at each of them.
   std::vector<std::vector<Position>> obj_positions_;
   std::vector<std::vector<double>> obj_suffix_mass_;
+
+  // ---- Delta mode state (empty in base mode) ----
+  const Database* delta_base_ = nullptr;
+  std::unordered_map<ObjectId, int32_t> over_slot_;  // oid -> deque index
+  std::deque<UncertainObject> over_objects_;
+  std::deque<std::vector<double>> over_suffix_;
+  // Lazy O(m) bulk view for objects()/sorted_instances() consumers;
+  // bulk_version_ == 0 means unbuilt (mutation_version() is >= 1 once
+  // finalized, so 0 never collides).
+  mutable std::vector<UncertainObject> bulk_objects_;
+  mutable std::vector<Instance> bulk_sorted_;
+  mutable uint64_t bulk_version_ = 0;
 };
 
 }  // namespace ptk::model

@@ -11,7 +11,7 @@ DatabaseOverlay::DatabaseOverlay(const Database& base) : base_(&base) {
 }
 
 void DatabaseOverlay::Materialize() {
-  if (!copy_.has_value()) copy_.emplace(*base_);
+  if (!copy_.has_value()) copy_.emplace(Database::MakeDelta(*base_));
 }
 
 util::Status DatabaseOverlay::Reweight(ObjectId oid,

@@ -11,18 +11,17 @@ namespace ptk::model {
 
 /// A copy-on-write working view of a finalized database whose per-object
 /// marginals evolve as crowd answers are folded in (the AdaptiveCleaner
-/// update rule). The copy is genuinely lazy: until the first Reweight (or
-/// an explicit Materialize()) db() returns the *base database itself*, so
-/// an overlay that is never written — every batch-model cleaning session,
-/// every serving session in the default mode — costs nothing and keeps
-/// pointer identity with the base. That identity is what lets the serving
-/// runtime share one read-only membership calculator and PB-tree across
-/// hundreds of sessions (SelectorOptions::MembershipFor and SharedTreeFor
-/// compare database addresses). The first Reweight copies the base once;
-/// every Reweight afterwards mutates only the touched object's instances,
-/// their copies in the global sorted index, and the object's suffix
-/// masses — O(instances of that object), independent of how many other
-/// objects the database holds.
+/// update rule). The working view is a sparse *delta database*
+/// (Database::MakeDelta): until the first Reweight (or an explicit
+/// Materialize()) db() returns the *base database itself*, and after that
+/// it returns a delta that stores only the reweighted objects' overrides
+/// and resolves everything else against the shared base. An overlay is
+/// therefore O(answers folded) in memory for its whole lifetime — never a
+/// full O(m) copy — which is what lets the serving runtime keep hundreds
+/// of written-to sessions sharing one base database, one membership
+/// calculator, and one PB-tree. Each Reweight mutates only the touched
+/// object's override (instances + suffix masses), O(instances of that
+/// object), independent of how many other objects the database holds.
 ///
 /// Two deliberate deviations from rebuilding a fresh Database per answer:
 ///
@@ -41,11 +40,10 @@ namespace ptk::model {
 /// any other database. Each successful Reweight bumps the working
 /// database's mutation_version(), which version-aware caches key on.
 /// Caution for artifact holders: Materialize() changes which Database
-/// object db() refers to, so anything built against the pre-copy db()
-/// (membership calculators, PB-trees) keeps pointing at the immutable
-/// base — consumers that intend to write must materialize *before*
-/// building artifacts (engine::RankingEngine::PrepareWorkingCopy) or
-/// rebuild them afterwards.
+/// object db() refers to (base -> delta). Artifacts built against the
+/// base stay valid for the base; per-session artifacts over the delta are
+/// themselves deltas (rank::MembershipCalculator's delta mode,
+/// pbtree::DeltaTree) that layer on the same shared base artifacts.
 class DatabaseOverlay {
  public:
   /// Wraps `base` (which must be finalized and outlive the overlay).
@@ -79,6 +77,11 @@ class DatabaseOverlay {
   /// bits and break bit-identical recovery. Same validation otherwise;
   /// materializes the working copy on first use.
   util::Status RestoreExact(ObjectId oid, const std::vector<double>& probs);
+
+  /// Resident bytes of the delta (0 while unmaterialized). O(answers).
+  int64_t DeltaBytes() const {
+    return copy_.has_value() ? copy_->DeltaBytes() : 0;
+  }
 
  private:
   const Database* base_;

@@ -1,0 +1,140 @@
+#include "pbtree/delta_tree.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "obs/metrics.h"
+
+namespace ptk::pbtree {
+
+namespace {
+
+struct DeltaTreeMetrics {
+  obs::Counter* node_copies;
+  obs::Counter* epoch_reclaims;
+
+  static const DeltaTreeMetrics& Get() {
+    static const DeltaTreeMetrics metrics = {
+        obs::GetCounter("ptk_pbtree_node_copies_total",
+                        "Copy-on-write PB-tree node versions created"),
+        obs::GetCounter("ptk_pbtree_epoch_reclaims_total",
+                        "Retired PB-tree node versions freed by epoch "
+                        "reclamation"),
+    };
+    return metrics;
+  }
+};
+
+}  // namespace
+
+DeltaTree::DeltaTree(std::shared_ptr<const PBTree> base,
+                     const model::Database& delta_db,
+                     std::shared_ptr<util::EpochManager> epochs)
+    : base_(std::move(base)),
+      db_(&delta_db),
+      epochs_(std::move(epochs)),
+      root_(base_->root()) {
+  assert(delta_db.is_delta());
+  assert(delta_db.delta_base() == &base_->db());
+  assert(epochs_ != nullptr);
+  // A delta created from a restored snapshot already carries overrides;
+  // fold their paths in now so the first Pin sees current bounds.
+  for (model::ObjectId oid : delta_db.OverriddenObjects()) {
+    UpdateObject(oid);
+  }
+}
+
+DeltaTree::~DeltaTree() {
+  // Readers pinned before destruction may still traverse the copies; hand
+  // them to the epoch manager instead of freeing inline. The manager
+  // drains them once every guard is gone (at the latest in its own
+  // destructor, which this shared_ptr participates in keeping alive).
+  for (auto& [base_node, copy] : current_) {
+    Node* node = copy;
+    epochs_->Retire([node] { delete node; });
+  }
+  current_.clear();
+  const int64_t freed = epochs_->Reclaim();
+  if (freed > 0) DeltaTreeMetrics::Get().epoch_reclaims->Add(freed);
+}
+
+TreeReader::Pinned DeltaTree::Pin() const {
+  Pinned pinned;
+  // Epoch entry MUST precede the root load: a version retired after this
+  // pin cannot be freed until the guard drops, so every node reachable
+  // from the loaded root stays allocated for the traversal.
+  pinned.guard = epochs_->Enter();
+  pinned.root = root_.load(std::memory_order_acquire);
+  return pinned;
+}
+
+const Node* DeltaTree::CurrentOf(const Node* base_node) const {
+  const auto it = current_.find(base_node);
+  return it == current_.end() ? base_node : it->second;
+}
+
+void DeltaTree::UpdateObject(model::ObjectId oid) {
+  const DeltaTreeMetrics& metrics = DeltaTreeMetrics::Get();
+  const Node* child_base = nullptr;   // base identity of the level below
+  const Node* child_fresh = nullptr;  // its fresh copy
+  for (const Node* bn = base_->leaf_of(oid); bn != nullptr;
+       bn = base_->parent_of(bn)) {
+    // Copy the node's *current* version: it already points at the live
+    // copies of children off this path (every ancestor of a copied node
+    // is itself copied, bottom-up, within the same update).
+    Node* fresh = new Node(*CurrentOf(bn));
+    fresh->version = ++next_version_;
+    if (!fresh->leaf) {
+      // Swing the on-path child slot. Copies preserve child order, so the
+      // base child's index addresses the same slot in the copy.
+      const auto& base_children = bn->children;
+      const auto slot = std::find(base_children.begin(), base_children.end(),
+                                  child_base);
+      assert(slot != base_children.end());
+      fresh->children[slot - base_children.begin()] = child_fresh;
+    }
+    // Same bound arithmetic as PBTree construction: leaf inputs resolve
+    // through the delta database's overrides, inner inputs through the
+    // just-refreshed children — bitwise what a full rebuild of this
+    // structure would compute.
+    const auto inputs = internal::NodeInputs(*db_, *fresh);
+    fresh->lbo = BoundObject::LowerBound(inputs);
+    fresh->ubo = BoundObject::UpperBound(inputs);
+    metrics.node_copies->Add();
+
+    const auto it = current_.find(bn);
+    if (it != current_.end()) {
+      Node* superseded = it->second;
+      epochs_->Retire([superseded] { delete superseded; });
+      it->second = fresh;
+    } else {
+      current_.emplace(bn, fresh);
+    }
+    child_base = bn;
+    child_fresh = fresh;
+  }
+  // child_fresh is the root copy: publish it, then try to reclaim what
+  // this update (and earlier ones) retired.
+  root_.store(child_fresh, std::memory_order_release);
+  const int64_t freed = epochs_->Reclaim();
+  if (freed > 0) metrics.epoch_reclaims->Add(freed);
+}
+
+int64_t DeltaTree::delta_bytes() const {
+  int64_t bytes = 0;
+  for (const auto& [base_node, copy] : current_) {
+    bytes += static_cast<int64_t>(sizeof(Node)) +
+             static_cast<int64_t>(copy->objects.capacity() *
+                                  sizeof(model::ObjectId)) +
+             static_cast<int64_t>(copy->children.capacity() *
+                                  sizeof(const Node*)) +
+             static_cast<int64_t>(
+                 (copy->lbo.instances().size() + copy->ubo.instances().size()) *
+                 sizeof(model::Instance)) +
+             64;  // map node overhead, approximated
+  }
+  return bytes;
+}
+
+}  // namespace ptk::pbtree

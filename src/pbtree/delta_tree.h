@@ -1,0 +1,91 @@
+#ifndef PTK_PBTREE_DELTA_TREE_H_
+#define PTK_PBTREE_DELTA_TREE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "model/database.h"
+#include "pbtree/pbtree.h"
+#include "util/epoch.h"
+
+namespace ptk::pbtree {
+
+/// A per-session copy-on-write view over a shared immutable base PBTree.
+///
+/// The base tree's structure (which objects live in which leaf, the child
+/// topology) is shared verbatim by every session; what a session's folds
+/// change are instance *probabilities*, which only move the bound
+/// pseudo-objects. A DeltaTree therefore keeps, per base node whose
+/// bounds have drifted, one current copy with recomputed bounds — memory
+/// O(answers · height), never O(m) — and publishes a root whose paths
+/// run through the copies and fall through to base nodes everywhere else.
+///
+/// Update protocol (single writer per DeltaTree — the session serializes
+/// its folds): UpdateObject copies the base leaf-to-root path, recomputes
+/// bounds bottom-up against the session's delta database (the identical
+/// arithmetic PBTree construction uses, so bounds match a from-scratch
+/// rebuild bit for bit), swings each copied parent's child link to the
+/// fresh child copy, and release-publishes the new root. Superseded
+/// copies are retired to the shared EpochManager, not freed: a reader
+/// that pinned the old root may still be traversing them.
+///
+/// Read protocol (any thread): Pin() enters the epoch manager *first*,
+/// then acquire-loads the published root. The epoch entry is what makes
+/// the load safe — a version retired after the reader's epoch pin cannot
+/// be reclaimed until the reader leaves.
+class DeltaTree : public TreeReader {
+ public:
+  /// `base` and `epochs` are shared with other sessions; `delta_db` is
+  /// this session's delta over base->db() (single writer). Overrides the
+  /// delta already carries (snapshot restore) are applied immediately.
+  DeltaTree(std::shared_ptr<const PBTree> base,
+            const model::Database& delta_db,
+            std::shared_ptr<util::EpochManager> epochs);
+
+  /// Retires every live copy to the epoch manager; in-flight readers keep
+  /// them alive until their guards drop.
+  ~DeltaTree() override;
+
+  DeltaTree(const DeltaTree&) = delete;
+  DeltaTree& operator=(const DeltaTree&) = delete;
+
+  // TreeReader.
+  Pinned Pin() const override;
+  const model::Database& indexed_db() const override { return *db_; }
+
+  /// Recomputes the bounds along `oid`'s leaf-to-root path from the delta
+  /// database and publishes a new root. Call after every reweight of
+  /// `oid`; the single-writer owner must serialize calls.
+  void UpdateObject(model::ObjectId oid);
+
+  /// Number of base nodes currently shadowed by a copy (<= height ·
+  /// distinct leaves touched; stable across repeated updates of the same
+  /// objects).
+  int64_t node_copies() const { return static_cast<int64_t>(current_.size()); }
+
+  /// Approximate resident bytes of the live copies.
+  int64_t delta_bytes() const;
+
+  const PBTree& base() const { return *base_; }
+
+ private:
+  // The node readers currently reach for `base_node`: its live copy if
+  // one exists, else the base node itself.
+  const Node* CurrentOf(const Node* base_node) const;
+
+  std::shared_ptr<const PBTree> base_;
+  const model::Database* db_;
+  std::shared_ptr<util::EpochManager> epochs_;
+
+  // base node -> live copy (owned until retired). Copies reference other
+  // copies or base nodes via plain child pointers.
+  std::unordered_map<const Node*, Node*> current_;
+  std::atomic<const Node*> root_;
+  uint64_t next_version_ = 0;
+};
+
+}  // namespace ptk::pbtree
+
+#endif  // PTK_PBTREE_DELTA_TREE_H_

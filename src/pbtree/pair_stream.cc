@@ -62,8 +62,10 @@ double EIScorer::NodePairUpper(const Node& n1, const Node& n2) const {
 }
 
 PairStream::PairStream(const PBTree& tree, const PairScorer& scorer)
-    : tree_(&tree), scorer_(&scorer) {
-  const Node* root = tree_->root();
+    : PairStream(tree.root(), scorer) {}
+
+PairStream::PairStream(const Node* root, const PairScorer& scorer)
+    : scorer_(&scorer) {
   node_heap_.push(
       NodeEntry{root, root, scorer_->NodePairUpper(*root, *root)});
   stats_.node_pairs_pushed = 1;
@@ -92,7 +94,7 @@ void PairStream::ExpandNodePair(const Node* n1, const Node* n2) {
     const size_t j_begin = (n1 == n2) ? i : 0;
     for (size_t j = j_begin; j < c2.size(); ++j) {
       node_heap_.push(NodeEntry{
-          c1[i].get(), c2[j].get(),
+          c1[i], c2[j],
           scorer_->NodePairUpper(*c1[i], *c2[j])});
       ++stats_.node_pairs_pushed;
     }

@@ -81,6 +81,10 @@ class PairStream {
  public:
   PairStream(const PBTree& tree, const PairScorer& scorer);
 
+  /// Streams over a pinned root (TreeReader::Pin) — the caller must keep
+  /// the pin's guard alive for the stream's lifetime.
+  PairStream(const Node* root, const PairScorer& scorer);
+
   /// Next pair, or nullopt when the pair space is exhausted.
   std::optional<ScoredObjectPair> Next();
 
@@ -115,7 +119,6 @@ class PairStream {
 
   void ExpandNodePair(const Node* n1, const Node* n2);
 
-  const PBTree* tree_;
   const PairScorer* scorer_;
   std::priority_queue<NodeEntry> node_heap_;
   std::priority_queue<PairEntry> pair_heap_;

@@ -7,9 +7,8 @@
 
 namespace ptk::pbtree {
 
-namespace {
+namespace internal {
 
-// Gathers Algorithm 4 inputs for a node's payload.
 std::vector<BoundObject::Input> NodeInputs(const model::Database& db,
                                            const Node& node) {
   std::vector<BoundObject::Input> inputs;
@@ -20,13 +19,23 @@ std::vector<BoundObject::Input> NodeInputs(const model::Database& db,
     }
   } else {
     inputs.reserve(2 * node.children.size());
-    for (const auto& child : node.children) {
+    for (const Node* child : node.children) {
       inputs.push_back(child->lbo.AsInput());
       inputs.push_back(child->ubo.AsInput());
     }
   }
   return inputs;
 }
+
+}  // namespace internal
+
+namespace {
+
+// Construction-time mutable access to arena-owned nodes. Children are
+// stored as const pointers because the published structure is immutable;
+// while the tree is still being built every node is exclusively owned
+// here, so shedding const is sound and confined to this file.
+Node* Mutable(const Node* node) { return const_cast<Node*>(node); }
 
 }  // namespace
 
@@ -41,10 +50,16 @@ PBTree::PBTree(const model::Database& db, const Options& options)
   } else {
     InsertAll();
   }
+  BuildNavigation();
+}
+
+Node* PBTree::NewNode() {
+  arena_.push_back(std::make_unique<Node>());
+  return arena_.back().get();
 }
 
 void PBTree::RecomputeBounds(Node* node) {
-  const auto inputs = NodeInputs(*db_, *node);
+  const auto inputs = internal::NodeInputs(*db_, *node);
   node->lbo = BoundObject::LowerBound(inputs);
   node->ubo = BoundObject::UpperBound(inputs);
 }
@@ -65,48 +80,48 @@ void PBTree::BulkLoad() {
             });
 
   // Build the leaf level.
-  std::vector<std::unique_ptr<Node>> level;
+  std::vector<Node*> level;
   for (size_t start = 0; start < order.size();
        start += options_.fanout) {
-    auto leaf = std::make_unique<Node>();
+    Node* leaf = NewNode();
     leaf->leaf = true;
     const size_t end = std::min(order.size(),
                                 start + static_cast<size_t>(options_.fanout));
     leaf->objects.assign(order.begin() + start, order.begin() + end);
-    RecomputeBounds(leaf.get());
-    level.push_back(std::move(leaf));
+    RecomputeBounds(leaf);
+    level.push_back(leaf);
   }
   // Build inner levels until a single root remains.
   while (level.size() > 1) {
-    std::vector<std::unique_ptr<Node>> next;
+    std::vector<Node*> next;
     for (size_t start = 0; start < level.size();
          start += options_.fanout) {
-      auto inner = std::make_unique<Node>();
+      Node* inner = NewNode();
       inner->leaf = false;
       const size_t end = std::min(
           level.size(), start + static_cast<size_t>(options_.fanout));
       for (size_t i = start; i < end; ++i) {
-        inner->children.push_back(std::move(level[i]));
+        inner->children.push_back(level[i]);
       }
-      RecomputeBounds(inner.get());
-      next.push_back(std::move(inner));
+      RecomputeBounds(inner);
+      next.push_back(inner);
     }
     level = std::move(next);
   }
-  root_ = std::move(level.front());
+  root_ = level.front();
 }
 
 double PBTree::GrowthIfAdded(const Node& node, model::ObjectId oid) const {
-  auto inputs = NodeInputs(*db_, node);
+  auto inputs = internal::NodeInputs(*db_, node);
   inputs.push_back(BoundObject::Input{db_->object(oid).instances(), {}});
   const BoundObject lbo = BoundObject::LowerBound(inputs);
   const BoundObject ubo = BoundObject::UpperBound(inputs);
   return BoundDistance(lbo, ubo) - BoundDistance(node.lbo, node.ubo);
 }
 
-std::unique_ptr<Node> PBTree::Split(Node* node) {
+Node* PBTree::Split(Node* node) {
   // Split by expected-value order, which keeps both halves' D-metric small.
-  auto right = std::make_unique<Node>();
+  Node* right = NewNode();
   right->leaf = node->leaf;
   if (node->leaf) {
     std::sort(node->objects.begin(), node->objects.end(),
@@ -119,18 +134,17 @@ std::unique_ptr<Node> PBTree::Split(Node* node) {
     node->objects.resize(half);
   } else {
     std::sort(node->children.begin(), node->children.end(),
-              [](const std::unique_ptr<Node>& a,
-                 const std::unique_ptr<Node>& b) {
+              [](const Node* a, const Node* b) {
                 return a->lbo.ExpectedValue() < b->lbo.ExpectedValue();
               });
     const size_t half = node->children.size() / 2;
     for (size_t i = half; i < node->children.size(); ++i) {
-      right->children.push_back(std::move(node->children[i]));
+      right->children.push_back(node->children[i]);
     }
     node->children.resize(half);
   }
   RecomputeBounds(node);
-  RecomputeBounds(right.get());
+  RecomputeBounds(right);
   return right;
 }
 
@@ -138,15 +152,15 @@ void PBTree::Insert(model::ObjectId oid) {
   // Descend to the leaf whose D-metric grows least (the paper's insertion
   // rule), then split bottom-up on overflow.
   std::vector<Node*> path;
-  Node* node = root_.get();
+  Node* node = Mutable(root_);
   while (!node->leaf) {
     path.push_back(node);
     Node* best = nullptr;
     double best_growth = 0.0;
-    for (const auto& child : node->children) {
+    for (const Node* child : node->children) {
       const double growth = GrowthIfAdded(*child, oid);
       if (best == nullptr || growth < best_growth) {
-        best = child.get();
+        best = Mutable(child);
         best_growth = growth;
       }
     }
@@ -166,71 +180,54 @@ void PBTree::Insert(model::ObjectId oid) {
       if (child == nullptr) break;
       continue;
     }
-    std::unique_ptr<Node> sibling = Split(child);
+    Node* sibling = Split(child);
     if (parent == nullptr) {
       // Root split: grow the tree by one level.
-      auto new_root = std::make_unique<Node>();
+      Node* new_root = NewNode();
       new_root->leaf = false;
-      new_root->children.push_back(std::move(root_));
-      new_root->children.push_back(std::move(sibling));
-      RecomputeBounds(new_root.get());
-      root_ = std::move(new_root);
+      new_root->children.push_back(child);
+      new_root->children.push_back(sibling);
+      RecomputeBounds(new_root);
+      root_ = new_root;
       return;
     }
-    parent->children.push_back(std::move(sibling));
+    parent->children.push_back(sibling);
     RecomputeBounds(parent);
     child = parent;
   }
 }
 
 void PBTree::InsertAll() {
-  root_ = std::make_unique<Node>();
-  root_->leaf = true;
+  Node* first = NewNode();
+  first->leaf = true;
+  root_ = first;
   for (model::ObjectId oid = 0; oid < db_->num_objects(); ++oid) {
     if (oid == 0) {
-      root_->objects.push_back(oid);
-      RecomputeBounds(root_.get());
+      first->objects.push_back(oid);
+      RecomputeBounds(first);
     } else {
       Insert(oid);
     }
   }
 }
 
-void PBTree::EnsureNavigation() {
-  if (!leaf_of_.empty()) return;
+void PBTree::BuildNavigation() {
   leaf_of_.assign(db_->num_objects(), nullptr);
-  std::function<void(Node*, Node*)> walk = [&](Node* node, Node* parent) {
-    parent_[node] = parent;
-    if (node->leaf) {
-      for (model::ObjectId oid : node->objects) leaf_of_[oid] = node;
-      return;
-    }
-    for (const auto& child : node->children) walk(child.get(), node);
-  };
-  walk(root_.get(), nullptr);
-}
-
-void PBTree::UpdateObject(model::ObjectId oid) {
-  // The structure is fixed after construction, so an oid -> leaf index and
-  // parent links make the update strictly path-local: one O(n) walk the
-  // first time, O(height) navigation afterwards.
-  EnsureNavigation();
-  for (Node* node = leaf_of_[oid]; node != nullptr; node = parent_[node]) {
-    RecomputeBounds(node);
-  }
-}
-
-void PBTree::RefreshAllBounds() {
-  std::function<void(Node*)> refresh = [&](Node* node) {
-    for (const auto& child : node->children) refresh(child.get());
-    RecomputeBounds(node);
-  };
-  refresh(root_.get());
+  std::function<void(const Node*, const Node*)> walk =
+      [&](const Node* node, const Node* parent) {
+        parent_[node] = parent;
+        if (node->leaf) {
+          for (model::ObjectId oid : node->objects) leaf_of_[oid] = node;
+          return;
+        }
+        for (const Node* child : node->children) walk(child, node);
+      };
+  walk(root_, nullptr);
 }
 
 int PBTree::height() const {
   int h = 1;
-  for (const Node* n = root_.get(); !n->leaf; n = n->children.front().get()) {
+  for (const Node* n = root_; !n->leaf; n = n->children.front()) {
     ++h;
   }
   return h;
@@ -239,10 +236,10 @@ int PBTree::height() const {
 int64_t PBTree::num_nodes() const {
   std::function<int64_t(const Node*)> count = [&](const Node* n) {
     int64_t total = 1;
-    for (const auto& c : n->children) total += count(c.get());
+    for (const Node* c : n->children) total += count(c);
     return total;
   };
-  return count(root_.get());
+  return count(root_);
 }
 
 util::Status PBTree::Validate() const {
@@ -256,8 +253,8 @@ util::Status PBTree::Validate() const {
       if (node->children.empty()) {
         return util::Status::Internal("inner node with no children");
       }
-      for (const auto& child : node->children) {
-        util::Status s = check(child.get(), &under);
+      for (const Node* child : node->children) {
+        util::Status s = check(child, &under);
         if (!s.ok()) return s;
         // Lemma 1: parent bounds dominate child bounds.
         if (!Dominates(node->lbo.instances(), child->lbo.instances())) {
@@ -280,7 +277,7 @@ util::Status PBTree::Validate() const {
     return util::Status::OK();
   };
   std::vector<model::ObjectId> all;
-  util::Status s = check(root_.get(), &all);
+  util::Status s = check(root_, &all);
   if (!s.ok()) return s;
   std::sort(all.begin(), all.end());
   for (int i = 0; i < db_->num_objects(); ++i) {

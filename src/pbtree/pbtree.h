@@ -1,12 +1,14 @@
 #ifndef PTK_PBTREE_PBTREE_H_
 #define PTK_PBTREE_PBTREE_H_
 
+#include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "model/database.h"
 #include "pbtree/bound_object.h"
+#include "util/epoch.h"
 #include "util/status.h"
 
 namespace ptk::pbtree {
@@ -14,10 +16,20 @@ namespace ptk::pbtree {
 /// One PB-tree node: (ptrs, lbo, ubo) in the paper's notation. Leaves hold
 /// object ids; inner nodes hold children. The bound pseudo-objects satisfy
 /// lbo ⪯ o ⪯ ubo for every object o under the node.
+///
+/// Nodes are *immutable once published*: child links are plain pointers
+/// into whichever store owns the node (the PBTree's arena for base nodes,
+/// a DeltaTree's copy set for per-session versions), and an update never
+/// mutates a reachable node — it copies the root-to-leaf path and swings
+/// the published root. `version` is 0 for every base node and the copy's
+/// creation stamp for delta copies, which makes "which store owns this
+/// node" and "which copy superseded which" answerable in tests and
+/// debuggers.
 struct Node {
   bool leaf = true;
-  std::vector<model::ObjectId> objects;          // leaf payload
-  std::vector<std::unique_ptr<Node>> children;   // inner payload
+  uint64_t version = 0;                // 0 = base node; > 0 = delta copy
+  std::vector<model::ObjectId> objects;  // leaf payload
+  std::vector<const Node*> children;     // inner payload
   BoundObject lbo;
   BoundObject ubo;
 
@@ -27,11 +39,51 @@ struct Node {
   }
 };
 
+/// Uniform read access to a PB-tree for selectors: pinning yields a root
+/// that stays valid (every node reachable from it remains allocated) until
+/// the returned guard is dropped. The immutable base PBTree pins for free
+/// (inactive guard); a DeltaTree enters its epoch manager *before* loading
+/// the published root so no concurrently retired node version can be freed
+/// underneath the traversal.
+class TreeReader {
+ public:
+  struct Pinned {
+    const Node* root = nullptr;
+    util::EpochManager::ReadGuard guard;  // inactive for immutable trees
+  };
+
+  virtual ~TreeReader() = default;
+
+  /// Pins the current published tree for traversal. Hold the result for
+  /// the whole traversal; dropping it allows retired nodes to be freed.
+  virtual Pinned Pin() const = 0;
+
+  /// The database whose objects this tree's bounds reflect. Selector
+  /// wiring compares addresses against the database it was handed
+  /// (SelectorOptions::SharedTreeFor).
+  virtual const model::Database& indexed_db() const = 0;
+};
+
+namespace internal {
+/// Gathers Algorithm 4 bound inputs for a node's payload: leaf inputs come
+/// from the database's live objects, inner inputs from the children's
+/// bound pseudo-objects. Shared by PBTree construction and DeltaTree's
+/// path recomputation so both produce bitwise-identical bounds.
+std::vector<BoundObject::Input> NodeInputs(const model::Database& db,
+                                           const Node& node);
+}  // namespace internal
+
 /// The Probabilistic B-tree (Section 4.1): clusters uncertain objects so
 /// that node-level bound objects yield tight P(o1 > o2) intervals
 /// (Theorem 1), which the pair stream uses to visit object pairs in
 /// descending score order while pruning most of the quadratic pair space.
-class PBTree {
+///
+/// After construction the tree is deeply immutable — every node lives in
+/// the arena, child links never change, bounds never change — so any
+/// number of threads may traverse it concurrently with no synchronization.
+/// Per-session bound maintenance after reweights lives in DeltaTree,
+/// which layers copy-on-write path copies over this structure.
+class PBTree : public TreeReader {
  public:
   struct Options {
     int fanout = 8;
@@ -46,30 +98,24 @@ class PBTree {
   PBTree(const model::Database& db, const Options& options);
 
   const model::Database& db() const { return *db_; }
-  const Node* root() const { return root_.get(); }
+  const Node* root() const { return root_; }
   int fanout() const { return options_.fanout; }
+
+  // TreeReader: the base tree is immutable, so pinning is free.
+  Pinned Pin() const override { return Pinned{root_, {}}; }
+  const model::Database& indexed_db() const override { return *db_; }
 
   int height() const;
   int64_t num_nodes() const;
 
-  /// In-place maintenance after DatabaseOverlay::Reweight changed object
-  /// `oid`'s instance probabilities (values unchanged): recomputes the
-  /// bound pseudo-objects along the root-to-leaf path containing `oid`,
-  /// bottom-up, reusing RecomputeBounds. Every dominance invariant
-  /// (Definition 4, Lemma 1) holds afterwards exactly as if each touched
-  /// node's bounds had been rebuilt from scratch — they are. Cost is
-  /// O(height · fanout · bound rebuild), independent of how many other
-  /// objects the tree indexes. The object stays in its original leaf, so
-  /// clustering quality can drift from the expected-value packing a fresh
-  /// bulk load would choose; bounds stay tight for the actual leaf
-  /// contents, which is all Theorem 1 pruning needs.
-  void UpdateObject(model::ObjectId oid);
-
-  /// Recomputes every node's bounds bottom-up on the current structure.
-  /// Used by the engine equivalence tests to pin UpdateObject: after any
-  /// sequence of updates, a full refresh must leave every bound bitwise
-  /// unchanged.
-  void RefreshAllBounds();
+  /// Navigation for DeltaTree's path copies: the leaf holding `oid`, and a
+  /// base node's parent (nullptr for the root). Built once at
+  /// construction; the structure never changes afterwards.
+  const Node* leaf_of(model::ObjectId oid) const { return leaf_of_[oid]; }
+  const Node* parent_of(const Node* node) const {
+    const auto it = parent_.find(node);
+    return it == parent_.end() ? nullptr : it->second;
+  }
 
   /// Checks the structural invariants: bound dominance (lbo ⪯ o ⪯ ubo for
   /// every object under every node, Definition 4) and Lemma 1 between
@@ -77,24 +123,26 @@ class PBTree {
   util::Status Validate() const;
 
  private:
+  Node* NewNode();
   void BulkLoad();
   void InsertAll();
   void Insert(model::ObjectId oid);
-  // Builds the oid -> leaf and child -> parent maps UpdateObject navigates
-  // by (lazily; the structure is immutable once constructed).
-  void EnsureNavigation();
+  // Builds the oid -> leaf and child -> parent maps once the structure is
+  // final.
+  void BuildNavigation();
   // Recomputes node's bounds from its payload (leaf) or children (inner).
   void RecomputeBounds(Node* node);
   // Splits an overfull node, returning the new right sibling.
-  std::unique_ptr<Node> Split(Node* node);
+  Node* Split(Node* node);
   // Returns how much D(lbo, ubo) grows if `oid` joins `node`.
   double GrowthIfAdded(const Node& node, model::ObjectId oid) const;
 
   const model::Database* db_;
   Options options_;
-  std::unique_ptr<Node> root_;
-  std::vector<Node*> leaf_of_;                     // oid -> owning leaf
-  std::unordered_map<const Node*, Node*> parent_;  // child -> parent
+  std::vector<std::unique_ptr<Node>> arena_;  // owns every node
+  const Node* root_ = nullptr;
+  std::vector<const Node*> leaf_of_;  // oid -> owning leaf
+  std::unordered_map<const Node*, const Node*> parent_;  // child -> parent
 };
 
 }  // namespace ptk::pbtree

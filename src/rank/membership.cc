@@ -26,8 +26,36 @@ MembershipCalculator::MembershipCalculator(const model::Database& db, int k)
   for (int o = 0; o < db.num_objects(); ++o) FillPrefixColumn(o);
 }
 
+MembershipCalculator::MembershipCalculator(
+    std::shared_ptr<const MembershipCalculator> base,
+    const model::Database& delta_db)
+    : db_(&delta_db),
+      k_(base->k_),
+      db_version_(delta_db.mutation_version()),
+      base_calc_(std::move(base)) {
+  assert(delta_db.is_delta());
+  assert(base_calc_->base_calc_ == nullptr);
+  assert(delta_db.delta_base() == &base_calc_->db());
+  // Columns for overrides the delta already carries (e.g. after a snapshot
+  // restore); later folds arrive through RefreshObjects as usual.
+  for (model::ObjectId oid : delta_db.OverriddenObjects()) {
+    FillPrefixColumn(oid);
+  }
+}
+
 void MembershipCalculator::FillPrefixColumn(model::ObjectId oid) {
   const auto& insts = db_->object(oid).instances();
+  if (base_calc_ != nullptr) {
+    auto& column = prefix_over_[oid];
+    column.assign(insts.size() + 1, 0.0);
+    double acc = 0.0;
+    for (size_t i = 0; i < insts.size(); ++i) {
+      column[i] = acc;
+      acc += insts[i].prob;
+    }
+    column[insts.size()] = 1.0;
+    return;
+  }
   double acc = 0.0;
   for (size_t i = 0; i < insts.size(); ++i) {
     prefix_[flat_offset_[oid] + i] = acc;
@@ -36,6 +64,16 @@ void MembershipCalculator::FillPrefixColumn(model::ObjectId oid) {
   // The final slot is exactly 1: the object certainly ranks below any
   // point past its last instance.
   prefix_[flat_offset_[oid] + insts.size()] = 1.0;
+}
+
+int64_t MembershipCalculator::DeltaBytes() const {
+  if (base_calc_ == nullptr) return 0;
+  int64_t bytes = 0;
+  for (const auto& [oid, column] : prefix_over_) {
+    bytes += static_cast<int64_t>(column.capacity() * sizeof(double)) + 64;
+  }
+  bytes += static_cast<int64_t>(pt_single_.capacity() * sizeof(double));
+  return bytes;
 }
 
 void MembershipCalculator::RefreshObjects(
@@ -56,7 +94,10 @@ void MembershipCalculator::ScanPositions(
                         [](const PositionQuery& a, const PositionQuery& b) {
                           return a.pos < b.pos;
                         }));
-  const auto& sorted = db_->sorted_instances();
+  // The scan reads instance identities and values from the sorted index
+  // (shared with the base in delta mode) and probabilities exclusively
+  // through PrefixMass, which resolves overrides.
+  const auto& sorted = index_db().sorted_instances();
   PoissonBinomialTracker tracker;
   size_t qi = 0;
   const model::Position last_pos =
@@ -103,8 +144,8 @@ void MembershipCalculator::BuildSingles() const {
       obs::GetCounter("ptk_membership_table_builds_total",
                       "Full single-object membership table (re)builds");
   builds->Add();
-  pt_single_.assign(prefix_.size(), 0.0);
-  const auto& sorted = db_->sorted_instances();
+  pt_single_.assign(flat_size(), 0.0);
+  const auto& sorted = index_db().sorted_instances();
   PoissonBinomialTracker tracker;
   for (model::Position pos = 0;
        pos < static_cast<model::Position>(sorted.size()); ++pos) {
@@ -115,7 +156,11 @@ void MembershipCalculator::BuildSingles() const {
     // Bernoulli (q_old) is deconvolved at query time.
     const double others_le =
         tracker.CumulativeAtMostExcluding(k_ - 1, q_old);
-    pt_single_[flat_offset_[inst.oid] + inst.iid] = inst.prob * others_le;
+    // inst.prob comes from the shared index in delta mode; the live value
+    // lives in the delta's override (bitwise equal in base mode — the
+    // reweight writes the same double into both stores).
+    const double prob = db_->object(inst.oid).instance(inst.iid).prob;
+    pt_single_[flat_offset(inst.oid) + inst.iid] = prob * others_le;
     const double q_new = PrefixMass(inst.oid, inst.iid + 1);
     if (q_new > q_old) tracker.Update(q_old, q_new);  // zero-mass: no-op
   }
@@ -127,7 +172,7 @@ const std::vector<double>& MembershipCalculator::ExportWarmSingles() const {
 }
 
 bool MembershipCalculator::ImportWarmSingles(std::span<const double> singles) {
-  if (singles.size() != prefix_.size()) return false;
+  if (singles.size() != flat_size()) return false;
   std::lock_guard<std::mutex> lock(singles_mutex_);
   pt_single_.assign(singles.begin(), singles.end());
   singles_ready_.store(true, std::memory_order_release);
@@ -136,7 +181,7 @@ bool MembershipCalculator::ImportWarmSingles(std::span<const double> singles) {
 
 double MembershipCalculator::TopKProbability(model::InstanceRef ref) const {
   EnsureSingles();
-  return pt_single_[flat_offset_[ref.oid] + ref.iid];
+  return pt_single_[flat_offset(ref.oid) + ref.iid];
 }
 
 double MembershipCalculator::ObjectTopKProbability(
@@ -144,7 +189,7 @@ double MembershipCalculator::ObjectTopKProbability(
   EnsureSingles();
   const int n = db_->object(oid).num_instances();
   double total = 0.0;
-  for (int i = 0; i < n; ++i) total += pt_single_[flat_offset_[oid] + i];
+  for (int i = 0; i < n; ++i) total += pt_single_[flat_offset(oid) + i];
   return total;
 }
 

@@ -3,8 +3,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <span>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -75,13 +77,39 @@ class PairMatrix {
 /// across selectors and worker threads (see SelectorOptions::membership).
 /// RefreshObjects itself must not race with queries — it is the engine's
 /// single-writer maintenance hook, not a concurrent entry point.
+/// Delta mode: a calculator can also be built *over* a shared base
+/// calculator for a delta database (Database::MakeDelta). It then stores
+/// prefix-mass columns only for the delta's overridden objects — memory
+/// O(answers folded) — and resolves every other column against the base
+/// calculator, whose tables are immutable and safely shared by any number
+/// of sessions. Scans iterate the base database's sorted index (values and
+/// order are shared verbatim) while probabilities resolve through the
+/// delta, so every answer is bitwise identical to a calculator built from
+/// scratch on a full working copy. The lazily-built singles table remains
+/// O(total instances) when forced (TopKProbability / RAND_K); the
+/// incremental serving path never touches it.
 class MembershipCalculator {
  public:
   /// `db` must be finalized. k is clamped to [1, num_objects].
   MembershipCalculator(const model::Database& db, int k);
 
+  /// Delta mode: layers per-overridden-object prefix columns over `base`
+  /// (which must not itself be a delta-mode calculator and must outlive
+  /// this one). `delta_db` must be a delta over base->db(). Picks up every
+  /// override already present in `delta_db`, so a calculator built after a
+  /// snapshot restore is immediately consistent.
+  MembershipCalculator(std::shared_ptr<const MembershipCalculator> base,
+                       const model::Database& delta_db);
+
   int k() const { return k_; }
   const model::Database& db() const { return *db_; }
+
+  /// The shared base calculator in delta mode, nullptr in base mode.
+  const MembershipCalculator* base_calc() const { return base_calc_.get(); }
+
+  /// Resident bytes of delta-mode state: override prefix columns plus the
+  /// singles table if some consumer forced it. Zero in base mode.
+  int64_t DeltaBytes() const;
 
   /// The db mutation_version() this calculator's cached state reflects.
   /// SelectorOptions::MembershipFor treats a mismatch with the live
@@ -162,14 +190,38 @@ class MembershipCalculator {
 
   // Exact probability mass of object oid's instances with index < iid
   // (partial sums; 0 for iid == 0, exactly 1 past the last instance).
+  // Delta mode checks the override map first, then the base's column.
   double PrefixMass(model::ObjectId oid, model::InstanceId iid) const {
+    if (base_calc_ != nullptr) {
+      const auto it = prefix_over_.find(oid);
+      if (it != prefix_over_.end()) return it->second[iid];
+      return base_calc_->prefix_[base_calc_->flat_offset_[oid] + iid];
+    }
     return prefix_[flat_offset_[oid] + iid];
+  }
+
+  // The database whose sorted index scans iterate: the shared base in
+  // delta mode (identical values and order; probabilities always resolve
+  // through PrefixMass / object()).
+  const model::Database& index_db() const {
+    return base_calc_ != nullptr ? base_calc_->db() : *db_;
+  }
+
+  // Flat (oid, iid) layout shared with the base in delta mode.
+  int flat_offset(model::ObjectId oid) const {
+    return base_calc_ != nullptr ? base_calc_->flat_offset_[oid]
+                                 : flat_offset_[oid];
+  }
+  size_t flat_size() const {
+    return base_calc_ != nullptr ? base_calc_->prefix_.size()
+                                 : prefix_.size();
   }
 
   void EnsureSingles() const;
   void BuildSingles() const;
 
-  // Recomputes one object's prefix-mass column from the live database.
+  // Recomputes one object's prefix-mass column from the live database
+  // (into the override map in delta mode).
   void FillPrefixColumn(model::ObjectId oid);
 
   const model::Database* db_;
@@ -177,6 +229,10 @@ class MembershipCalculator {
   uint64_t db_version_ = 0;
   std::vector<int> flat_offset_;     // oid -> start in prefix_/pt_single_
   std::vector<double> prefix_;       // exact per-object prefix masses by iid
+  // Delta mode: the shared base calculator and the overridden columns
+  // (each sized num_instances + 1, same sentinel contract as prefix_).
+  std::shared_ptr<const MembershipCalculator> base_calc_;
+  std::unordered_map<model::ObjectId, std::vector<double>> prefix_over_;
   mutable std::atomic<bool> singles_ready_{false};
   mutable std::mutex singles_mutex_;
   mutable std::vector<double> pt_single_;  // PT_k per (oid,iid), flat

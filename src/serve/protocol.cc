@@ -271,6 +271,18 @@ util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
   if (request.op == "metrics") {
     std::string payload =
         ",\"sessions_open\":" + std::to_string(manager.open_sessions());
+    // Per-session delta memory: what each open session adds on top of the
+    // shared base artifacts (O(answers folded), see SessionMemory).
+    const auto memory = manager.MemoryReport();
+    int64_t total_bytes = 0;
+    payload += ",\"session_bytes\":{";
+    for (size_t i = 0; i < memory.size(); ++i) {
+      if (i > 0) payload += ',';
+      payload += "\"" + obs::JsonEscape(memory[i].id) +
+                 "\":" + std::to_string(memory[i].bytes);
+      total_bytes += memory[i].bytes;
+    }
+    payload += "},\"session_bytes_total\":" + std::to_string(total_bytes);
     if (scheduler != nullptr) {
       const Scheduler::Stats stats = scheduler->stats();
       payload += ",\"queue_depth\":" + std::to_string(scheduler->queue_depth()) +

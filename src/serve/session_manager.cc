@@ -23,10 +23,19 @@ obs::Gauge* SessionsOpenGauge() {
   return gauge;
 }
 
+obs::Gauge* SessionBytesGauge() {
+  static obs::Gauge* const gauge = obs::GetGauge(
+      "ptk_serve_session_bytes",
+      "Per-session delta memory (overlay + membership columns + tree "
+      "copies) summed over open sessions");
+  return gauge;
+}
+
 engine::RankingEngine::Options EngineOptions(
     const SessionManager::Options& options,
     std::shared_ptr<const rank::MembershipCalculator> membership,
-    const pbtree::PBTree* tree) {
+    std::shared_ptr<const pbtree::PBTree> tree,
+    std::shared_ptr<util::EpochManager> epochs) {
   engine::RankingEngine::Options engine_options;
   engine_options.k = options.k;
   engine_options.order = options.order;
@@ -36,7 +45,8 @@ engine::RankingEngine::Options EngineOptions(
   engine_options.rand_k_fraction = options.rand_k_fraction;
   engine_options.candidate_pool = options.candidate_pool;
   engine_options.shared_membership = std::move(membership);
-  engine_options.shared_tree = tree;
+  engine_options.shared_tree = std::move(tree);
+  engine_options.epochs = std::move(epochs);
   return engine_options;
 }
 
@@ -55,7 +65,8 @@ SessionManager::SessionManager(const model::Database& db,
   static obs::Counter* const warm_loads = obs::GetCounter(
       "ptk_persist_catalog_warm_loads_total",
       "Pre-warm scans skipped by importing catalog artifacts");
-  SessionsOpenGauge();  // register the family before any session exists
+  SessionsOpenGauge();  // register the families before any session exists
+  SessionBytesGauge();
   const int k = std::clamp(options_.k, 1, db.num_objects());
   auto membership = std::make_shared<rank::MembershipCalculator>(db, k);
 
@@ -99,16 +110,34 @@ SessionManager::SessionManager(const model::Database& db,
   // records only its descriptor (fanout).
   pbtree::PBTree::Options tree_options;
   tree_options.fanout = options_.fanout;
-  tree_ = std::make_unique<const pbtree::PBTree>(db, tree_options);
+  tree_ = std::make_shared<const pbtree::PBTree>(db, tree_options);
+  epochs_ = std::make_shared<util::EpochManager>();
 }
 
 SessionManager::~SessionManager() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [id, session] : sessions_) {
     session->cancel.RequestCancel();
+    DrainSessionBytes(session.get());
   }
   SessionsOpenGauge()->Sub(static_cast<int64_t>(sessions_.size()));
+  // Destroying the sessions retires their delta-tree node copies into
+  // epochs_; the manager (or the last engine holding the shared_ptr)
+  // drains the limbo list in the EpochManager destructor.
   sessions_.clear();
+}
+
+void SessionManager::AccountSessionBytes(Session* session) const {
+  const int64_t now = session->engine.DeltaMemory().total();
+  const int64_t before =
+      session->reported_bytes.exchange(now, std::memory_order_acq_rel);
+  if (now != before) SessionBytesGauge()->Add(now - before);
+}
+
+void SessionManager::DrainSessionBytes(Session* session) {
+  const int64_t before =
+      session->reported_bytes.exchange(0, std::memory_order_acq_rel);
+  if (before != 0) SessionBytesGauge()->Sub(before);
 }
 
 util::StatusOr<std::string> SessionManager::CreateSession() {
@@ -125,7 +154,7 @@ util::StatusOr<std::string> SessionManager::CreateSession() {
     }
     id = "s" + std::to_string(next_id_++);
     session = std::make_shared<Session>(
-        *db_, EngineOptions(options_, membership_, tree_.get()));
+        *db_, EngineOptions(options_, membership_, tree_, epochs_));
     if (persist_enabled()) {
       persist::SessionMeta meta;
       meta.session_id = id;
@@ -166,7 +195,14 @@ persist::SessionSnapshot SessionManager::BuildSnapshot(
   snapshot.asked.assign(session.asked.begin(), session.asked.end());
   if (session.engine.working_materialized()) {
     const model::Database& working = session.engine.working_db();
-    for (model::ObjectId oid = 0; oid < working.num_objects(); ++oid) {
+    // Only overridden objects can differ from the base — the delta
+    // resolves everything else to the base object — so the snapshot scan
+    // is O(answers), not O(objects). The bit filter stays: an override
+    // whose weights happen to equal the base bitwise carries no
+    // information worth journaling.
+    std::vector<model::ObjectId> candidates = working.OverriddenObjects();
+    std::sort(candidates.begin(), candidates.end());
+    for (const model::ObjectId oid : candidates) {
       const auto& winst = working.object(oid).instances();
       const auto& binst = db_->object(oid).instances();
       bool differs = false;
@@ -295,6 +331,9 @@ util::StatusOr<std::vector<core::ScoredPair>> SessionManager::NextPairs(
     const auto key = std::minmax(pair.a, pair.b);
     session->asked.insert({key.first, key.second});
   }
+  // Selection may have just built the session's delta artifacts (they are
+  // lazy); fold their footprint into the memory gauge.
+  AccountSessionBytes(session.get());
   return picked;
 }
 
@@ -351,6 +390,9 @@ util::Status SessionManager::PostAnswers(
   if (util::Status s = CommitJournal(session.get()); !s.ok() && status.ok()) {
     status = s.WithContext("journal post_answers");
   }
+  // Folds grow the session's delta (overrides, columns, node copies);
+  // re-account its share of the memory gauge while mu is still held.
+  AccountSessionBytes(session.get());
   return status;
 }
 
@@ -387,6 +429,7 @@ util::Status SessionManager::Close(const std::string& id) {
   // An in-flight operation may still hold the session alive; unblock it
   // rather than leaving it running against a closed session.
   session->cancel.RequestCancel();
+  DrainSessionBytes(session.get());
   if (persist_enabled()) {
     // A closed session's journal is dead state: wait out any in-flight
     // operation, release the WAL, and drop the directory.
@@ -400,6 +443,12 @@ util::Status SessionManager::Close(const std::string& id) {
     }
   }
   SessionsOpenGauge()->Sub();
+  // Destroy the session now (unless an in-flight operation still holds
+  // it): its engine retires the delta-tree node copies into epochs_, and
+  // the Reclaim frees every retired version no in-flight reader of any
+  // session can still reach.
+  session.reset();
+  epochs_->Reclaim();
   return util::Status::OK();
 }
 
@@ -452,7 +501,7 @@ util::StatusOr<int> SessionManager::RecoverSessions() {
     }
 
     auto session = std::make_shared<Session>(
-        *db_, EngineOptions(options_, membership_, tree_.get()));
+        *db_, EngineOptions(options_, membership_, tree_, epochs_));
     uint64_t replay_from = 0;
     if (recovered->snapshot.has_value()) {
       const persist::SessionSnapshot& snapshot = *recovered->snapshot;
@@ -501,6 +550,9 @@ util::StatusOr<int> SessionManager::RecoverSessions() {
 
     session->store = std::move(recovered->store);
     session->records_since_snapshot = kept_records;
+    // A recovered session with restored working weights already carries a
+    // delta over the shared base; start its memory accounting now.
+    AccountSessionBytes(session.get());
     sessions_.emplace(id, std::move(session));
 
     // Resume the id sequence past every recovered "s<N>".
@@ -532,6 +584,31 @@ SessionManager::CancelHandle SessionManager::CancelSourceFor(
 int SessionManager::open_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(sessions_.size());
+}
+
+std::vector<SessionManager::SessionMemory> SessionManager::MemoryReport()
+    const {
+  std::vector<std::shared_ptr<Session>> sessions;
+  std::vector<SessionMemory> report;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    report.reserve(sessions_.size());
+    sessions.reserve(sessions_.size());
+    for (const auto& [id, session] : sessions_) {
+      report.push_back({id, 0, 0});
+      sessions.push_back(session);
+    }
+  }
+  // Lock each session outside the table lock (same order every operation
+  // takes them: table, then session), refreshing the gauge on the way.
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    std::lock_guard<std::mutex> lock(sessions[i]->mu);
+    AccountSessionBytes(sessions[i].get());
+    report[i].version = sessions[i]->engine.version();
+    report[i].bytes =
+        sessions[i]->reported_bytes.load(std::memory_order_acquire);
+  }
+  return report;
 }
 
 }  // namespace ptk::serve

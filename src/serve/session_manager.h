@@ -20,6 +20,7 @@
 #include "pw/topk_distribution.h"
 #include "rank/membership.h"
 #include "util/cancellation.h"
+#include "util/epoch.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -30,16 +31,17 @@ namespace ptk::serve {
 /// sessions keyed by id.
 ///
 /// Every session owns a private engine::RankingEngine (constraint set,
-/// copy-on-write working overlay, memoized conditioning) plus the
+/// sparse copy-on-write working delta, memoized conditioning) plus the
 /// asked-pair bookkeeping of a cleaning loop. The expensive artifacts —
 /// the rank::MembershipCalculator and the pbtree::PBTree on the base
 /// database — are built once here, pre-warmed, and handed to every
 /// session's engine via Options::shared_membership / shared_tree, so N
-/// sessions pay for one membership scan and one tree build total. A
-/// session that folds with update_working materializes a private working
-/// copy and its engine transparently stops borrowing (the artifact
-/// compatibility check fails on the copied database), so sharing never
-/// serves stale data.
+/// sessions pay for one membership scan and one tree build total — and
+/// keep sharing them for their whole lifetime. A session that folds with
+/// update_working layers per-session deltas (override prefix columns,
+/// copy-on-write tree path copies reclaimed through the manager-wide
+/// util::EpochManager) *over* the shared base; nothing is ever cloned,
+/// and per-session memory stays O(answers folded), not O(objects).
 ///
 /// Thread safety: all public methods are safe to call concurrently.
 /// Create/lookup/close synchronize on the session-table mutex; each
@@ -198,6 +200,21 @@ class SessionManager {
   const model::Database& db() const { return *db_; }
   const Options& options() const { return options_; }
 
+  /// Per-session delta memory, for the metrics server op and capacity
+  /// tests. `bytes` is the engine's MemoryFootprint total: overlay
+  /// overrides + membership delta columns + tree node copies —
+  /// O(answers folded with update_working), 0 for sessions that never
+  /// split from the base.
+  struct SessionMemory {
+    std::string id;
+    uint64_t version = 0;   // engine constraint-set version
+    int64_t bytes = 0;
+  };
+  /// Snapshot of every open session's delta memory (each session briefly
+  /// locked in turn — no cross-session transaction). Total matches the
+  /// ptk_serve_session_bytes gauge.
+  std::vector<SessionMemory> MemoryReport() const;
+
  private:
   struct Session {
     // `cancel` is declared before `engine` so Arm can thread its token
@@ -210,6 +227,11 @@ class SessionManager {
     util::CancelSource cancel;
     engine::RankingEngine engine;
     std::set<std::pair<model::ObjectId, model::ObjectId>> asked;
+
+    // Delta bytes last accounted into the ptk_serve_session_bytes gauge.
+    // Atomic so Close / the destructor can drain it without taking mu
+    // (an in-flight fold may hold mu while the manager shuts down).
+    std::atomic<int64_t> reported_bytes{0};
 
     // Durability state (all guarded by mu). `store` is open iff the
     // manager has persistence configured.
@@ -229,6 +251,13 @@ class SessionManager {
 
   bool persist_enabled() const { return !options_.persist.dir.empty(); }
 
+  /// Re-reads the session's delta memory and moves the
+  /// ptk_serve_session_bytes gauge by the difference from the last
+  /// accounting. Caller holds session->mu (reads the engine).
+  void AccountSessionBytes(Session* session) const;
+  /// Drains a departing session's contribution from the gauge.
+  static void DrainSessionBytes(Session* session);
+
   /// Builds the compact durable image of a session's current state:
   /// engine constraints + version, the asked set, and (when the working
   /// copy materialized) the working marginals that differ bitwise from
@@ -247,7 +276,11 @@ class SessionManager {
   Options options_;
   uint64_t db_fingerprint_ = 0;  // computed once when persistence is on
   std::shared_ptr<const rank::MembershipCalculator> membership_;
-  std::unique_ptr<const pbtree::PBTree> tree_;
+  std::shared_ptr<const pbtree::PBTree> tree_;
+  // One reclamation domain for every session's DeltaTree: retired node
+  // versions are freed once no in-flight reader (of any session) can
+  // still reach them.
+  std::shared_ptr<util::EpochManager> epochs_;
 
   mutable std::mutex mu_;  // guards sessions_ and next_id_
   std::map<std::string, std::shared_ptr<Session>> sessions_;

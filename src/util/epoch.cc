@@ -1,0 +1,118 @@
+#include "util/epoch.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace ptk::util {
+
+EpochManager::~EpochManager() { DrainAll(); }
+
+void EpochManager::ReadGuard::Release() {
+  if (manager_ == nullptr) return;
+  Slot& slot = manager_->slots_[slot_];
+  slot.epoch.store(UINT64_MAX, std::memory_order_seq_cst);
+  slot.used.store(false, std::memory_order_release);
+  manager_ = nullptr;
+  slot_ = -1;
+}
+
+EpochManager::ReadGuard EpochManager::Enter() {
+  for (;;) {
+    for (int i = 0; i < kSlots; ++i) {
+      Slot& slot = slots_[i];
+      bool expected = false;
+      if (!slot.used.compare_exchange_strong(expected, true,
+                                             std::memory_order_acq_rel)) {
+        continue;
+      }
+      // Publish the pinned epoch, then re-check the global counter: if a
+      // writer advanced it between our load and our store, the writer may
+      // not have seen our pin, so re-pin at the newer epoch. The loop
+      // terminates because retires (the only advancer) are finite.
+      uint64_t e = global_.load(std::memory_order_seq_cst);
+      for (;;) {
+        slot.epoch.store(e, std::memory_order_seq_cst);
+        const uint64_t now = global_.load(std::memory_order_seq_cst);
+        if (now == e) break;
+        e = now;
+      }
+      return ReadGuard(this, i);
+    }
+    std::this_thread::yield();  // all slots busy; rare by construction
+  }
+}
+
+void EpochManager::Retire(std::function<void()> deleter) {
+  // fetch_add makes the stamp unique and orders it against reader re-check
+  // loops: any reader that pins an epoch <= stamp entered before the
+  // object was unpublished and may still hold the old pointer.
+  const uint64_t stamp = global_.fetch_add(1, std::memory_order_seq_cst);
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  limbo_.push_back(Limbo{stamp, std::move(deleter)});
+  ++retired_;
+}
+
+uint64_t EpochManager::MinActiveEpoch() const {
+  uint64_t min_epoch = UINT64_MAX;
+  for (int i = 0; i < kSlots; ++i) {
+    min_epoch = std::min(
+        min_epoch, slots_[i].epoch.load(std::memory_order_seq_cst));
+  }
+  return min_epoch;
+}
+
+int64_t EpochManager::Reclaim() {
+  std::vector<Limbo> ready;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    if (limbo_.empty()) return 0;
+    const uint64_t horizon = MinActiveEpoch();
+    auto keep = limbo_.begin();
+    for (auto it = limbo_.begin(); it != limbo_.end(); ++it) {
+      if (it->stamp < horizon) {
+        ready.push_back(std::move(*it));
+      } else {
+        if (keep != it) *keep = std::move(*it);
+        ++keep;
+      }
+    }
+    limbo_.erase(keep, limbo_.end());
+    reclaimed_ += static_cast<int64_t>(ready.size());
+  }
+  // Run deleters outside the lock; they may be arbitrarily heavy.
+  for (Limbo& entry : ready) entry.deleter();
+  return static_cast<int64_t>(ready.size());
+}
+
+void EpochManager::DrainAll() {
+  for (;;) {
+    bool any_active = false;
+    for (int i = 0; i < kSlots; ++i) {
+      if (slots_[i].used.load(std::memory_order_acquire)) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) break;
+    std::this_thread::yield();
+  }
+  std::vector<Limbo> all;
+  {
+    std::lock_guard<std::mutex> lock(limbo_mu_);
+    all.swap(limbo_);
+    reclaimed_ += static_cast<int64_t>(all.size());
+  }
+  for (Limbo& entry : all) entry.deleter();
+}
+
+EpochManager::Stats EpochManager::stats() const {
+  std::lock_guard<std::mutex> lock(limbo_mu_);
+  Stats s;
+  s.retired = retired_;
+  s.reclaimed = reclaimed_;
+  s.pending = static_cast<int64_t>(limbo_.size());
+  return s;
+}
+
+}  // namespace ptk::util

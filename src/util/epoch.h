@@ -1,0 +1,131 @@
+#ifndef PTK_UTIL_EPOCH_H_
+#define PTK_UTIL_EPOCH_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+namespace ptk::util {
+
+/// Epoch-based memory reclamation for read-mostly shared structures.
+///
+/// Readers wrap each traversal in a ReadGuard: entering pins the current
+/// global epoch in a per-reader slot, leaving releases the slot. Writers
+/// retire superseded objects with a stamp drawn from the global epoch
+/// counter (which advances on every retire); a retired object is freed only
+/// once its stamp is strictly below the minimum epoch pinned by any active
+/// reader — i.e. once every traversal that could still have observed the
+/// old pointer has finished.
+///
+/// The protocol is deliberately coarse (one global counter, seq_cst
+/// operations, a mutexed limbo list) because retires here are rare —
+/// one per superseded PB-tree node copy, a handful per crowdsourcing
+/// answer — while reads are pin-once-per-selection, not per-node. The
+/// cost that matters is the reader Enter/Leave pair, which is two atomic
+/// stores and a bounded re-check loop, with no locks.
+class EpochManager {
+ public:
+  /// Upper bound on simultaneously active readers. Enter() falls back to
+  /// spinning for a slot if all are taken; with pin-per-selection usage
+  /// and bounded server concurrency this never triggers in practice.
+  static constexpr int kSlots = 256;
+
+  EpochManager() = default;
+  ~EpochManager();
+
+  EpochManager(const EpochManager&) = delete;
+  EpochManager& operator=(const EpochManager&) = delete;
+
+  /// RAII pin on the current epoch. Movable, not copyable.
+  class ReadGuard {
+   public:
+    ReadGuard() = default;
+    ReadGuard(ReadGuard&& other) noexcept
+        : manager_(other.manager_), slot_(other.slot_) {
+      other.manager_ = nullptr;
+      other.slot_ = -1;
+    }
+    ReadGuard& operator=(ReadGuard&& other) noexcept {
+      if (this != &other) {
+        Release();
+        manager_ = other.manager_;
+        slot_ = other.slot_;
+        other.manager_ = nullptr;
+        other.slot_ = -1;
+      }
+      return *this;
+    }
+    ReadGuard(const ReadGuard&) = delete;
+    ReadGuard& operator=(const ReadGuard&) = delete;
+    ~ReadGuard() { Release(); }
+
+    bool active() const { return manager_ != nullptr; }
+
+    /// Unpins early (idempotent); the destructor is the usual path.
+    void Release();
+
+   private:
+    friend class EpochManager;
+    ReadGuard(EpochManager* manager, int slot)
+        : manager_(manager), slot_(slot) {}
+
+    EpochManager* manager_ = nullptr;
+    int slot_ = -1;
+  };
+
+  /// Pins the current epoch until the returned guard is destroyed. The
+  /// caller must hold the guard across every dereference of an epoch-
+  /// protected pointer loaded after Enter().
+  ReadGuard Enter();
+
+  /// Hands `deleter` to the limbo list stamped with the epoch at which the
+  /// object became unreachable from the published structure. Safe to call
+  /// from any thread. The deleter runs during some later Reclaim() or at
+  /// manager destruction.
+  void Retire(std::function<void()> deleter);
+
+  /// Frees every limbo entry whose stamp precedes all active readers.
+  /// Returns the number of entries freed.
+  int64_t Reclaim();
+
+  /// Blocks until no reader is active, then frees the entire limbo list.
+  /// Used at shutdown (and by the ASan leak gate) to prove nothing stays
+  /// reachable once all sessions are closed.
+  void DrainAll();
+
+  struct Stats {
+    int64_t retired = 0;    // total objects handed to Retire()
+    int64_t reclaimed = 0;  // total freed so far
+    int64_t pending = 0;    // currently in limbo
+  };
+  Stats stats() const;
+
+  /// Lowest epoch pinned by any active reader, or UINT64_MAX if none.
+  uint64_t MinActiveEpoch() const;
+
+ private:
+  struct Slot {
+    std::atomic<uint64_t> epoch{UINT64_MAX};  // UINT64_MAX = idle
+    std::atomic<bool> used{false};
+    // Pad to a cache line so concurrent readers don't false-share.
+    char padding[64 - 2 * sizeof(std::atomic<uint64_t>)];
+  };
+  struct Limbo {
+    uint64_t stamp;
+    std::function<void()> deleter;
+  };
+
+  std::atomic<uint64_t> global_{0};
+  std::vector<Slot> slots_{kSlots};
+
+  mutable std::mutex limbo_mu_;
+  std::vector<Limbo> limbo_;
+  int64_t retired_ = 0;
+  int64_t reclaimed_ = 0;
+};
+
+}  // namespace ptk::util
+
+#endif  // PTK_UTIL_EPOCH_H_

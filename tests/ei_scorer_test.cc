@@ -24,7 +24,7 @@ void ObjectsUnder(const pbtree::Node* node,
     out->insert(out->end(), node->objects.begin(), node->objects.end());
     return;
   }
-  for (const auto& child : node->children) ObjectsUnder(child.get(), out);
+  for (const pbtree::Node* child : node->children) ObjectsUnder(child, out);
 }
 
 class EIScorerSweep : public ::testing::TestWithParam<uint64_t> {};
@@ -63,7 +63,7 @@ TEST_P(EIScorerSweep, NodePairUpperBoundsExactEI) {
     }
     std::vector<const pbtree::Node*> next;
     for (const pbtree::Node* n : level) {
-      for (const auto& child : n->children) next.push_back(child.get());
+      for (const pbtree::Node* child : n->children) next.push_back(child);
     }
     level = std::move(next);
   }
@@ -132,7 +132,7 @@ TEST(EIScorer, TighterThanPlainH) {
             EXPECT_LE(ei, h + 1e-6);
             if (ei < h - 1e-6) ++strictly_tighter;
           }
-          walk(n->children[i].get());
+          walk(n->children[i]);
         }
       };
   walk(tree.root());

@@ -24,8 +24,11 @@
 #include "crowd/crowd_model.h"
 #include "crowd/session.h"
 #include "model/database_overlay.h"
+#include "pbtree/bound_object.h"
+#include "pbtree/delta_tree.h"
 #include "pbtree/pbtree.h"
 #include "rank/membership.h"
+#include "util/epoch.h"
 #include "test_util.h"
 #include "util/rng.h"
 
@@ -267,15 +270,33 @@ TEST(EngineEquivalence, RandomFoldSequencesMatchScratchRecompute) {
   }
 }
 
-// In-place PB-tree maintenance: after a sequence of overlay reweights with
-// path-local UpdateObject calls, a full bottom-up refresh must leave every
-// bound bitwise unchanged, and the dominance invariants must hold.
-TEST(PBTreeMaintenance, PathLocalUpdateMatchesFullRefreshBitwise) {
+// Copy-on-write PB-tree maintenance: after a sequence of delta reweights
+// with path-local DeltaTree updates, recomputing every reachable node's
+// bounds bottom-up over the published structure must reproduce them
+// bitwise — path copies and untouched base nodes alike — and the base
+// tree's own bounds must be byte-for-byte untouched.
+TEST(PBTreeMaintenance, DeltaPathCopiesMatchBottomUpRecomputeBitwise) {
   const model::Database base = testing::RandomDb(24, 4, 7);
-  model::DatabaseOverlay overlay(base);
   pbtree::PBTree::Options tree_options;
   tree_options.fanout = 4;
-  pbtree::PBTree tree(overlay.db(), tree_options);
+  const auto base_tree =
+      std::make_shared<const pbtree::PBTree>(base, tree_options);
+  // Snapshot the base bounds: sharing means they must never move.
+  struct Snapshot {
+    std::vector<model::Instance> lbo, ubo;
+  };
+  std::vector<Snapshot> base_before;
+  const std::function<void(const pbtree::Node*)> snapshot =
+      [&](const pbtree::Node* node) {
+        base_before.push_back({node->lbo.instances(), node->ubo.instances()});
+        for (const pbtree::Node* child : node->children) snapshot(child);
+      };
+  snapshot(base_tree->root());
+
+  model::DatabaseOverlay overlay(base);
+  overlay.Materialize();
+  const auto epochs = std::make_shared<util::EpochManager>();
+  pbtree::DeltaTree tree(base_tree, overlay.db(), epochs);
   util::Rng rng(123);
   for (int step = 0; step < 24; ++step) {
     const model::ObjectId oid =
@@ -292,26 +313,41 @@ TEST(PBTreeMaintenance, PathLocalUpdateMatchesFullRefreshBitwise) {
     const util::Status s = overlay.Reweight(oid, weights);
     ASSERT_TRUE(s.ok()) << s.ToString();
     tree.UpdateObject(oid);
-    const util::Status valid = tree.Validate();
-    ASSERT_TRUE(valid.ok()) << "step " << step << ": " << valid.ToString();
-  }
 
-  // Snapshot every node's bounds, refresh everything, compare bitwise.
-  struct Snapshot {
-    std::vector<model::Instance> lbo, ubo;
-  };
-  std::vector<Snapshot> before;
-  const std::function<void(const pbtree::Node*)> snapshot =
-      [&](const pbtree::Node* node) {
-        before.push_back({node->lbo.instances(), node->ubo.instances()});
-        for (const auto& child : node->children) snapshot(child.get());
-      };
-  snapshot(tree.root());
-  tree.RefreshAllBounds();
+    // Bottom-up recompute over the *published* structure: every node's
+    // bounds must equal what Algorithm 4 produces from its current payload
+    // (leaf objects through the delta database, children through the live
+    // child pointers) — the bitwise contract that makes a delta tree
+    // indistinguishable from a full rebuild of the same shape.
+    const pbtree::TreeReader::Pinned pinned = tree.Pin();
+    const std::function<void(const pbtree::Node*)> check =
+        [&](const pbtree::Node* node) {
+          for (const pbtree::Node* child : node->children) check(child);
+          const auto inputs = pbtree::internal::NodeInputs(overlay.db(), *node);
+          const pbtree::BoundObject lbo = pbtree::BoundObject::LowerBound(inputs);
+          const pbtree::BoundObject ubo = pbtree::BoundObject::UpperBound(inputs);
+          ASSERT_EQ(lbo.instances().size(), node->lbo.instances().size());
+          ASSERT_EQ(ubo.instances().size(), node->ubo.instances().size());
+          for (size_t i = 0; i < lbo.instances().size(); ++i) {
+            EXPECT_EQ(lbo.instances()[i].value, node->lbo.instances()[i].value);
+            EXPECT_EQ(lbo.instances()[i].prob, node->lbo.instances()[i].prob);
+          }
+          for (size_t i = 0; i < ubo.instances().size(); ++i) {
+            EXPECT_EQ(ubo.instances()[i].value, node->ubo.instances()[i].value);
+            EXPECT_EQ(ubo.instances()[i].prob, node->ubo.instances()[i].prob);
+          }
+        };
+    check(pinned.root);
+  }
+  EXPECT_GT(tree.node_copies(), 0);
+  EXPECT_GT(tree.delta_bytes(), 0);
+
+  // The shared base tree is bitwise untouched.
   size_t index = 0;
   const std::function<void(const pbtree::Node*)> compare =
       [&](const pbtree::Node* node) {
-        const Snapshot& snap = before[index++];
+        EXPECT_EQ(node->version, uint64_t{0});
+        const Snapshot& snap = base_before[index++];
         ASSERT_EQ(snap.lbo.size(), node->lbo.instances().size());
         ASSERT_EQ(snap.ubo.size(), node->ubo.instances().size());
         for (size_t i = 0; i < snap.lbo.size(); ++i) {
@@ -322,9 +358,9 @@ TEST(PBTreeMaintenance, PathLocalUpdateMatchesFullRefreshBitwise) {
           EXPECT_EQ(snap.ubo[i].value, node->ubo.instances()[i].value);
           EXPECT_EQ(snap.ubo[i].prob, node->ubo.instances()[i].prob);
         }
-        for (const auto& child : node->children) compare(child.get());
+        for (const pbtree::Node* child : node->children) compare(child);
       };
-  compare(tree.root());
+  compare(base_tree->root());
 }
 
 // Satellite 1: a calculator built before an in-place reweight must not be

@@ -66,11 +66,11 @@ TEST(PBTree, BoundsTightenDownTheTree) {
   std::function<void(const pbtree::Node*)> walk =
       [&](const pbtree::Node* node) {
         const double parent_d = pbtree::BoundDistance(node->lbo, node->ubo);
-        for (const auto& child : node->children) {
+        for (const pbtree::Node* child : node->children) {
           const double child_d =
               pbtree::BoundDistance(child->lbo, child->ubo);
           EXPECT_LE(child_d, parent_d + 1e-9);
-          walk(child.get());
+          walk(child);
         }
       };
   walk(tree.root());

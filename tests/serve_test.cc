@@ -21,6 +21,7 @@
 
 #include "data/synthetic.h"
 #include "engine/ranking_engine.h"
+#include "pbtree/delta_tree.h"
 #include "pbtree/pbtree.h"
 #include "rank/membership.h"
 #include "serve/protocol.h"
@@ -157,28 +158,39 @@ TEST(SessionManagerTest, ConcurrentMatchesSequential) {
   }
 }
 
-TEST(SessionManagerTest, SharedArtifactsAreBorrowedUntilMaterialization) {
+TEST(SessionManagerTest, SharedArtifactsStaySharedAcrossMaterialization) {
   const model::Database db = TestDb(10);
   auto membership = std::make_shared<rank::MembershipCalculator>(db, 4);
-  pbtree::PBTree tree(db);
+  auto tree = std::make_shared<const pbtree::PBTree>(db);
 
   engine::RankingEngine::Options options;
   options.k = 4;
-  options.fanout = tree.fanout();
+  options.fanout = tree->fanout();
   options.shared_membership = membership;
-  options.shared_tree = &tree;
+  options.shared_tree = tree;
   engine::RankingEngine engine(db, options);
 
   EXPECT_EQ(engine.membership().get(), membership.get());
-  EXPECT_EQ(&engine.tree(), &tree);
+  EXPECT_EQ(&engine.tree(), tree.get());
+  EXPECT_EQ(engine.DeltaMemory().total(), 0);
 
-  // An update_working fold materializes the private copy; borrowing must
-  // stop (the shared artifacts still describe the base database).
+  // An update_working fold materializes the sparse working delta. The
+  // engine now serves per-session *delta* artifacts, but those stay
+  // layered over the shared base: the delta calculator wraps the shared
+  // calculator, the delta tree wraps the shared tree, and the session's
+  // own memory is bounded by its answers, not the database size.
   engine::RankingEngine::FoldOutcome outcome;
   ASSERT_TRUE(engine.Fold(0, 1, /*update_working=*/true, &outcome).ok());
   ASSERT_EQ(outcome, engine::RankingEngine::FoldOutcome::kApplied);
-  EXPECT_NE(engine.membership().get(), membership.get());
-  EXPECT_NE(&engine.tree(), &tree);
+  const auto delta_membership = engine.membership();
+  EXPECT_NE(delta_membership.get(), membership.get());
+  EXPECT_EQ(delta_membership->base_calc(), membership.get());
+  const pbtree::TreeReader& delta_tree = engine.tree();
+  EXPECT_NE(&delta_tree, tree.get());
+  const auto* as_delta = dynamic_cast<const pbtree::DeltaTree*>(&delta_tree);
+  ASSERT_NE(as_delta, nullptr);
+  EXPECT_EQ(&as_delta->base(), tree.get());
+  EXPECT_GT(engine.DeltaMemory().total(), 0);
 }
 
 TEST(SessionManagerTest, LifecycleAndAdmission) {
@@ -492,7 +504,9 @@ TEST(ProtocolTest, ExecutesOpsAgainstManager) {
 
   StatusOr<std::string> metrics = run(R"({"op":"metrics"})");
   ASSERT_TRUE(metrics.ok());
-  EXPECT_EQ(*metrics, ",\"sessions_open\":1");
+  EXPECT_EQ(*metrics,
+            ",\"sessions_open\":1,\"session_bytes\":{\"s1\":0},"
+            "\"session_bytes_total\":0");
 
   ASSERT_TRUE(run(R"({"op":"close","session":"s1"})").ok());
   EXPECT_EQ(run(R"({"op":"quality","session":"s1"})").status().code(),

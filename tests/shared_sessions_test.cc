@@ -1,0 +1,243 @@
+// The tentpole guarantee of the shared-everything serving design: 100+
+// concurrent update_working sessions fold against ONE base database, ONE
+// shared membership calculator, and ONE shared PB-tree for their whole
+// lifetime — per-session state is a sparse delta (overlay overrides,
+// membership prefix columns, copy-on-write tree path copies) whose size
+// scales with the answers folded, not with the database — and every
+// served result is bit-identical to running the same sessions one at a
+// time. tools/check.sh runs this suite under TSan and ASan.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "model/database.h"
+#include "obs/metrics.h"
+#include "pw/topk_distribution.h"
+#include "serve/session_manager.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk {
+namespace {
+
+using util::Status;
+using util::StatusOr;
+
+model::Database TestDb(int num_objects, uint64_t seed = 11) {
+  data::SynOptions options;
+  options.num_objects = num_objects;
+  options.avg_instances = 3;
+  options.value_range = 100.0;
+  options.cluster_width = 30.0;
+  options.seed = seed;
+  return data::MakeSynDataset(options);
+}
+
+serve::SessionManager::Options ManagerOptions() {
+  serve::SessionManager::Options options;
+  options.k = 3;
+  options.fanout = 4;
+  options.selector = core::SelectorKind::kOpt;
+  options.update_working = true;  // every applied answer grows a delta
+  options.max_sessions = 256;
+  return options;
+}
+
+struct SessionResult {
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> picked;
+  std::vector<std::pair<pw::ResultKey, double>> ranked;
+  double quality = 0.0;
+  int applied = 0;
+};
+
+// Deterministic per-session script: the handed-out pair is answered in a
+// direction fixed by (session_index + round) parity, so the whole
+// transcript depends only on the session index — never on interleaving.
+Status RunScript(serve::SessionManager& manager, int session_index,
+                 const std::string& id, int rounds, SessionResult* result) {
+  for (int round = 0; round < rounds; ++round) {
+    StatusOr<std::vector<core::ScoredPair>> pairs = manager.NextPairs(id, 1);
+    if (!pairs.ok()) return pairs.status();
+    const auto key = std::minmax((*pairs)[0].a, (*pairs)[0].b);
+    result->picked.emplace_back(key.first, key.second);
+    const bool forward = (session_index + round) % 2 == 0;
+    serve::SessionManager::PostReport report;
+    const std::pair<model::ObjectId, model::ObjectId> answer =
+        forward ? std::make_pair(key.first, key.second)
+                : std::make_pair(key.second, key.first);
+    if (Status s = manager.PostAnswers(id, {answer}, &report); !s.ok()) {
+      return s;
+    }
+    result->applied += report.applied;
+  }
+  StatusOr<pw::TopKDistribution> dist = manager.Distribution(id);
+  if (!dist.ok()) return dist.status();
+  result->ranked = dist->SortedByProbDesc();
+  StatusOr<double> quality = manager.Quality(id);
+  if (!quality.ok()) return quality.status();
+  result->quality = *quality;
+  return Status::OK();
+}
+
+TEST(SharedSessions, HundredConcurrentSessionsMatchSequentialBitwise) {
+  constexpr int kSessions = 104;
+  const model::Database db = TestDb(16);
+  const auto rounds = [](int i) { return i % 2 + 1; };
+
+  // Sequential baseline: all sessions created first (same id assignment
+  // as the concurrent run), then each script runs to completion alone.
+  std::vector<SessionResult> sequential(kSessions);
+  std::vector<std::string> ids(kSessions);
+  {
+    serve::SessionManager manager(db, ManagerOptions());
+    for (int i = 0; i < kSessions; ++i) {
+      StatusOr<std::string> id = manager.CreateSession();
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      ids[i] = *id;
+    }
+    for (int i = 0; i < kSessions; ++i) {
+      const Status s =
+          RunScript(manager, i, ids[i], rounds(i), &sequential[i]);
+      ASSERT_TRUE(s.ok()) << i << ": " << s.ToString();
+    }
+  }
+
+  // Concurrent: one thread per session, all scripts in flight at once
+  // against one manager — one base tree, one membership calculator, one
+  // epoch domain.
+  std::vector<SessionResult> concurrent(kSessions);
+  {
+    serve::SessionManager manager(db, ManagerOptions());
+    std::vector<std::string> cids(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+      StatusOr<std::string> id = manager.CreateSession();
+      ASSERT_TRUE(id.ok()) << id.status().ToString();
+      cids[i] = *id;
+      ASSERT_EQ(cids[i], ids[i]);
+    }
+    std::vector<Status> outcomes(kSessions);
+    {
+      std::vector<std::thread> threads;
+      threads.reserve(kSessions);
+      for (int i = 0; i < kSessions; ++i) {
+        threads.emplace_back([&manager, &cids, &concurrent, &outcomes, i,
+                              rounds] {
+          outcomes[i] =
+              RunScript(manager, i, cids[i], rounds(i), &concurrent[i]);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    }
+    for (int i = 0; i < kSessions; ++i) {
+      ASSERT_TRUE(outcomes[i].ok()) << i << ": " << outcomes[i].ToString();
+    }
+
+    // Per-session delta memory: a session that applied answers carries a
+    // nonzero delta; one that never split from the base carries none. The
+    // process gauge is the sum of the per-session accounting.
+    const auto report = manager.MemoryReport();
+    ASSERT_EQ(report.size(), static_cast<size_t>(kSessions));
+    int64_t total = 0;
+    for (int i = 0; i < kSessions; ++i) {
+      if (concurrent[i].applied > 0) {
+        EXPECT_GT(report[i].bytes, 0) << report[i].id;
+      }
+      total += report[i].bytes;
+    }
+#if PTK_METRICS
+    // The sequential manager is destroyed, so the gauge now carries only
+    // this manager's sessions.
+    EXPECT_EQ(obs::GetGauge("ptk_serve_session_bytes", "")->Value(), total);
+#endif
+  }
+
+  // Bit-identical, not approximately equal: the same folds over {base +
+  // delta} must produce the same doubles as the sequential run,
+  // regardless of 104-way interleaving.
+  for (int i = 0; i < kSessions; ++i) {
+    EXPECT_EQ(sequential[i].picked, concurrent[i].picked) << i;
+    EXPECT_EQ(sequential[i].applied, concurrent[i].applied) << i;
+    ASSERT_EQ(sequential[i].ranked.size(), concurrent[i].ranked.size()) << i;
+    for (size_t j = 0; j < sequential[i].ranked.size(); ++j) {
+      EXPECT_EQ(sequential[i].ranked[j].first, concurrent[i].ranked[j].first)
+          << "session " << i << " set " << j;
+      EXPECT_EQ(sequential[i].ranked[j].second,
+                concurrent[i].ranked[j].second)
+          << "session " << i << " set " << j;
+    }
+    EXPECT_EQ(sequential[i].quality, concurrent[i].quality) << i;
+  }
+}
+
+// Per-session delta memory scales with answers folded, not with database
+// size: quadrupling m must not remotely quadruple the per-session bytes
+// (the only m-dependence left is the tree path length, which grows
+// logarithmically).
+TEST(SharedSessions, SessionMemoryScalesWithAnswersNotDatabaseSize) {
+  const auto bytes_per_session = [](int num_objects) -> double {
+    const model::Database db = TestDb(num_objects, /*seed=*/23);
+    serve::SessionManager manager(db, ManagerOptions());
+    constexpr int kSessions = 6;
+    constexpr int kRounds = 2;
+    int64_t total = 0;
+    int counted = 0;
+    for (int i = 0; i < kSessions; ++i) {
+      const StatusOr<std::string> id = manager.CreateSession();
+      EXPECT_TRUE(id.ok());
+      SessionResult result;
+      const Status s = RunScript(manager, i, *id, kRounds, &result);
+      EXPECT_TRUE(s.ok()) << s.ToString();
+    }
+    for (const auto& session : manager.MemoryReport()) {
+      if (session.bytes == 0) continue;
+      total += session.bytes;
+      ++counted;
+    }
+    EXPECT_GT(counted, 0);
+    return counted == 0 ? 0.0 : static_cast<double>(total) / counted;
+  };
+
+  const double small = bytes_per_session(20);
+  const double large = bytes_per_session(80);
+  ASSERT_GT(small, 0.0);
+  ASSERT_GT(large, 0.0);
+  // 4x the objects, same answers per session: allow the logarithmic tree
+  // path growth and slack, but nothing close to linear in m.
+  EXPECT_LT(large, 2.5 * small)
+      << "per-session delta bytes grew with m: " << small << " -> " << large;
+}
+
+// Sessions keep sharing after restarts too: closing every session drains
+// the memory gauge back to zero and leaves nothing pending in the epoch
+// manager's limbo (the ASan build of check.sh turns a leak here into a
+// hard failure).
+TEST(SharedSessions, CloseDrainsMemoryAccounting) {
+  const model::Database db = TestDb(16);
+  serve::SessionManager manager(db, ManagerOptions());
+  std::vector<std::string> ids;
+  for (int i = 0; i < 8; ++i) {
+    StatusOr<std::string> id = manager.CreateSession();
+    ASSERT_TRUE(id.ok());
+    SessionResult result;
+    ASSERT_TRUE(RunScript(manager, i, *id, 2, &result).ok());
+    ids.push_back(*id);
+  }
+  for (const std::string& id : ids) {
+    ASSERT_TRUE(manager.Close(id).ok());
+  }
+  EXPECT_EQ(manager.open_sessions(), 0);
+  EXPECT_TRUE(manager.MemoryReport().empty());
+#if PTK_METRICS
+  EXPECT_EQ(obs::GetGauge("ptk_serve_session_bytes", "")->Value(), 0);
+#endif
+}
+
+}  // namespace
+}  // namespace ptk

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Full pre-merge check: tier-1 fast gate, then the long-running property
-# and stress suites, then a TSan pass over the metrics/trace layer, a
+# and stress suites, then a TSan pass over the metrics/trace layer, the
+# serving runtime, and the epoch-reclamation/shared-session suites, a
 # PTK_METRICS=OFF cross-build proving the instrumentation is inert (same
 # selector output, byte-identical CLI stdout), a PTK_SIMD=OFF cross-build
 # proving the scalar kernel fallback reproduces the vectorized build byte
@@ -24,12 +25,18 @@ cmake --build build -j "$JOBS"
 echo "== property + stress suites =="
 (cd build && ctest --output-on-failure -j "$JOBS" -L 'property|stress')
 
-echo "== TSan: metrics-on observability + parallel layer + serving runtime =="
+echo "== TSan: observability + parallel layer + serving runtime + shared sessions =="
 cmake -B build-tsan -S . -DPTK_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$JOBS" --target obs_test parallel_test serve_test
+cmake --build build-tsan -j "$JOBS" \
+  --target obs_test parallel_test serve_test epoch_test shared_sessions_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/serve_test
+# The epoch-reclamation protocol and the 100+-concurrent-session
+# bit-identity suite: any missed ordering in the versioned-tree publish /
+# pin / retire path shows up here as a TSan race.
+./build-tsan/tests/epoch_test
+./build-tsan/tests/shared_sessions_test
 
 echo "== PTK_METRICS=OFF cross-build: instrumentation must be inert =="
 cmake -B build-nometrics -S . -DPTK_METRICS=OFF >/dev/null
@@ -85,6 +92,7 @@ diff tools/serve_smoke.golden /tmp/ptk_serve_smoke.out
 # --metrics must export every ptk_serve_* family, including the ones this
 # clean transcript never increments (shed, deadline misses).
 for fam in ptk_serve_sessions_open ptk_serve_sessions_total \
+    ptk_serve_session_bytes \
     ptk_serve_queue_depth ptk_serve_inflight ptk_serve_requests_total \
     ptk_serve_shed_total ptk_serve_deadline_miss_total \
     ptk_serve_request_seconds; do
@@ -148,11 +156,15 @@ cmake -B build-asan -S . \
 cmake --build build-asan -j "$JOBS" \
   --target load_csv_fuzz constraint_fold_fuzz wal_replay_fuzz \
   robustness_test data_test session_test engine_test simd_test \
-  simd_property_test persist_test
+  simd_property_test persist_test epoch_test shared_sessions_test
+# epoch_test's reader hammer turns a premature reclamation into a
+# use-after-free; shared_sessions_test's close-all drain turns a node copy
+# that never reaches the limbo list into a leak (LeakSanitizer).
 (cd build-asan && ./tests/data_test && ./tests/session_test \
   && ./tests/robustness_test && ./tests/engine_test \
   && ./tests/simd_test && ./tests/simd_property_test \
-  && ./tests/persist_test)
+  && ./tests/persist_test && ./tests/epoch_test \
+  && ./tests/shared_sessions_test)
 
 run_fuzz() {
   local target="$1" corpus="$2"
