@@ -22,8 +22,16 @@
 #include <utility>
 #include <vector>
 
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <random>
+
 #include "harness.h"
 #include "data/synthetic.h"
+#include "serve/message.h"
+#include "serve/runtime.h"
 #include "serve/scheduler.h"
 #include "serve/session_manager.h"
 #include "util/status.h"
@@ -238,6 +246,196 @@ int main() {
                       std::to_string(bytes_per_session),
                   elapsed, sessions, answers, manager_options.k,
                   ptk::bench::Scale());
+    }
+  }
+
+  // Sharded runtime under open-loop Zipfian load: the SAME precomputed
+  // request schedule (session picked by popularity rank ~ 1/r^0.99, ~70%
+  // reads / 30% posts with posts arriving in same-session runs of 3 — a
+  // crowd answers a round in a clump — fixed wall-clock pacing) is
+  // offered to every {shards} x {coalesce} configuration. Submission
+  // never waits for completions and never retries — a request the
+  // admission gate rejects is counted shed and dropped, so shed_rate
+  // compares drain speed at equal offered load. Sessions are journaled
+  // with fsync on (the durable serving configuration), so every post
+  // group pays one commit fsync: coalescing merges a clump into ONE
+  // engine pass and one fsync, and batches reads under one epoch pin,
+  // which is exactly what drains the queue faster. The acceptance bar is
+  // shed(on) < shed(off) at every shard count. This section sizes its
+  // own dataset (fixed, not PTK_BENCH_SCALE-scaled): it measures
+  // queueing and coalescing, and must stay in the contended-but-not-
+  // saturated regime where drain speed decides shed.
+  ptk::bench::Banner(
+      "Sharded runtime (open-loop Zipfian): shed rate vs shards x coalesce");
+  ptk::bench::Row({"shards", "coalesce", "offered", "shed", "shed_rate",
+                   "merged_posts", "batched_reads", "req/s", "p50_ms",
+                   "p99_ms"});
+  {
+    constexpr int kZipfSessions = 24;
+    constexpr double kZipfExponent = 0.99;
+    constexpr int kWaves = 240;
+    constexpr int kWaveBurst = 24;
+    constexpr int kPostClump = 3;
+    constexpr auto kWavePace = std::chrono::microseconds(500);
+
+    ptk::data::SynOptions zipf_data_options = data_options;
+    zipf_data_options.num_objects = 12;
+    const ptk::model::Database zipf_db =
+        ptk::data::MakeSynDataset(zipf_data_options);
+
+    // Schedule: (session index, op kind) per request, shared verbatim by
+    // every configuration below.
+    struct Slot {
+      int session;
+      int op;  // 0 = quality, 1 = distribution, 2 = post_answers
+    };
+    std::vector<Slot> schedule;
+    {
+      std::mt19937_64 rng(0x5eed5eedULL);
+      std::vector<double> weights(kZipfSessions);
+      for (int r = 0; r < kZipfSessions; ++r) {
+        weights[r] = 1.0 / std::pow(static_cast<double>(r + 1), kZipfExponent);
+      }
+      std::discrete_distribution<int> pick_session(weights.begin(),
+                                                   weights.end());
+      std::uniform_real_distribution<double> u(0.0, 1.0);
+      schedule.reserve(static_cast<size_t>(kWaves) * kWaveBurst);
+      while (schedule.size() <
+             static_cast<size_t>(kWaves) * kWaveBurst) {
+        Slot slot;
+        slot.session = pick_session(rng);
+        const double roll = u(rng);
+        if (roll < 0.70) {
+          slot.op = roll < 0.35 ? 0 : 1;
+          schedule.push_back(slot);
+        } else {
+          slot.op = 2;
+          for (int c = 0; c < kPostClump; ++c) schedule.push_back(slot);
+        }
+      }
+      schedule.resize(static_cast<size_t>(kWaves) * kWaveBurst);
+    }
+    const int num_objects = zipf_data_options.num_objects;
+
+    for (const int shards : {1, 2, 4}) {
+      for (const bool coalesce : {true, false}) {
+        char dir_template[] = "/tmp/ptk_serve_bench_XXXXXX";
+        const char* persist_dir = mkdtemp(dir_template);
+        if (persist_dir == nullptr) {
+          std::fprintf(stderr, "mkdtemp failed\n");
+          return 1;
+        }
+
+        ptk::serve::Runtime::Options options;
+        options.shards = shards;
+        options.coalesce = coalesce;
+        options.manager.k = 5;
+        options.manager.max_sessions = kZipfSessions;
+        options.manager.persist.dir = persist_dir;
+        options.manager.persist.fsync = true;
+        options.scheduler.workers = 2;
+        options.scheduler.queue_capacity = 12;
+        ptk::serve::Runtime runtime(zipf_db, options);
+
+        // Pre-create the session population; ids are rank order ("s1" is
+        // the hottest). Creates are synchronous (count them in).
+        std::mutex mu;
+        std::condition_variable cv;
+        int64_t answered = 0;
+        std::vector<double> served_latencies;  // seconds, non-shed only
+        auto await = [&](int64_t target) {
+          std::unique_lock<std::mutex> lock(mu);
+          cv.wait(lock, [&] { return answered >= target; });
+        };
+        auto count_only = [&](ptk::serve::Response) {
+          std::lock_guard<std::mutex> lock(mu);
+          ++answered;
+          cv.notify_all();
+        };
+        for (int s = 0; s < kZipfSessions; ++s) {
+          ptk::serve::Request create;
+          create.op = ptk::serve::Op::kCreateSession;
+          runtime.Submit(std::move(create), count_only);
+        }
+        await(kZipfSessions);
+
+        ptk::util::Stopwatch wall;
+        const auto start = Clock::now();
+        int64_t sequence = 0;
+        for (int wave = 0; wave < kWaves; ++wave) {
+          for (int b = 0; b < kWaveBurst; ++b) {
+            const Slot& slot = schedule[static_cast<size_t>(wave) *
+                                            kWaveBurst + b];
+            ptk::serve::Request request;
+            request.session = "s" + std::to_string(slot.session + 1);
+            if (slot.op == 0) {
+              request.op = ptk::serve::Op::kQuality;
+            } else if (slot.op == 1) {
+              request.op = ptk::serve::Op::kDistribution;
+              request.limit = 3;
+            } else {
+              request.op = ptk::serve::Op::kPostAnswers;
+              const uint32_t a =
+                  static_cast<uint32_t>(sequence % num_objects);
+              const uint32_t b2 =
+                  static_cast<uint32_t>((sequence + 1) % num_objects);
+              request.answers = {{std::min(a, b2), std::max(a, b2)}};
+            }
+            ++sequence;
+            const auto submitted_at = Clock::now();
+            runtime.Submit(
+                std::move(request),
+                [&, submitted_at](ptk::serve::Response response) {
+                  const double seconds = std::chrono::duration<double>(
+                                             Clock::now() - submitted_at)
+                                             .count();
+                  std::lock_guard<std::mutex> lock(mu);
+                  if (response.status.code() !=
+                      ptk::util::Status::Code::kResourceExhausted) {
+                    served_latencies.push_back(seconds);
+                  }
+                  ++answered;
+                  cv.notify_all();
+                });
+          }
+          // Absolute pacing: the offered schedule is wall-clock fixed and
+          // identical for every configuration, drift-free.
+          std::this_thread::sleep_until(start + (wave + 1) * kWavePace);
+        }
+        const int64_t offered = kZipfSessions + kWaves * kWaveBurst;
+        await(offered);  // shed responses arrive inline, so this drains
+        const double elapsed = wall.ElapsedSeconds();
+        const ptk::serve::Runtime::Stats stats = runtime.stats();
+        runtime.Shutdown();
+        std::error_code ec;
+        std::filesystem::remove_all(persist_dir, ec);
+
+        const int64_t load = kWaves * kWaveBurst;
+        const double shed_rate = static_cast<double>(stats.shed) /
+                                 static_cast<double>(load);
+        const double rps =
+            static_cast<double>(stats.completed) / elapsed;
+        std::sort(served_latencies.begin(), served_latencies.end());
+        const double p50 = Percentile(served_latencies, 0.5) * 1e3;
+        const double p99 = Percentile(served_latencies, 0.99) * 1e3;
+        const char* mode = coalesce ? "on" : "off";
+        ptk::bench::Row({std::to_string(shards), mode, std::to_string(load),
+                         std::to_string(stats.shed),
+                         ptk::bench::Fmt(shed_rate, 3),
+                         std::to_string(stats.coalesced_posts),
+                         std::to_string(stats.batched_reads),
+                         ptk::bench::Fmt(rps, 1), ptk::bench::Fmt(p50, 3),
+                         ptk::bench::Fmt(p99, 3)});
+        json.Record("serve/runtime/shards=" + std::to_string(shards) +
+                        ",coalesce=" + mode + ",offered=" +
+                        std::to_string(load) + ",shed=" +
+                        std::to_string(stats.shed) + ",shed_rate=" +
+                        ptk::bench::Fmt(shed_rate, 4) + ",p50_ms=" +
+                        ptk::bench::Fmt(p50, 3) + ",p99_ms=" +
+                        ptk::bench::Fmt(p99, 3),
+                    elapsed, options.scheduler.workers, shards,
+                    options.manager.k, ptk::bench::Scale());
+      }
     }
   }
   return 0;

@@ -1,0 +1,101 @@
+// Fuzz target for the binary wire format's readers (src/serve/codec.h):
+// SplitFrame, DecodeRequest, and DecodeResponse must be total over
+// arbitrary bytes — the server points them at an untrusted socket.
+// Invariants:
+//   * SplitFrame never reads out of bounds: it either wants more bytes
+//     (consumed == 0), yields a frame fully inside the input, or rejects
+//     an oversized length prefix — and it is deterministic.
+//   * DecodeRequest accepts only requests that ValidateRequest admits,
+//     and every accepted request round-trips through EncodeRequest to an
+//     equal value (the codec is its own oracle).
+//   * DecodeResponse acceptance round-trips the same way, bit-exactly in
+//     the payload doubles (SameResponse compares them bitwise).
+//   * The JSON codec is fed the same bytes: one line of arbitrary garbage
+//     must decode-or-reject without crashing, and acceptance round-trips
+//     byte-identically through its encoder.
+
+#include <cstdint>
+
+#include <string>
+#include <string_view>
+
+#include "fuzz_require.h"
+#include "serve/codec.h"
+#include "serve/message.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  const std::string_view bytes(reinterpret_cast<const char*>(data), size);
+  const ptk::serve::Codec& binary =
+      ptk::serve::CodecFor(ptk::serve::WireFormat::kBinary);
+  const ptk::serve::Codec& json =
+      ptk::serve::CodecFor(ptk::serve::WireFormat::kJsonLines);
+
+  // Walk the whole input as a frame stream, the way the server does.
+  std::string_view rest = bytes;
+  while (!rest.empty()) {
+    ptk::util::StatusOr<ptk::serve::FrameSplit> split =
+        binary.SplitFrame(rest);
+    if (!split.ok() || !split->complete) break;
+    PTK_FUZZ_REQUIRE(split->consumed > 0);
+    PTK_FUZZ_REQUIRE(split->consumed <= rest.size());
+    PTK_FUZZ_REQUIRE(split->frame.size() <= split->consumed);
+
+    ptk::serve::Request request;
+    if (binary.DecodeRequest(split->frame, &request).ok()) {
+      PTK_FUZZ_REQUIRE(ptk::serve::ValidateRequest(request).ok());
+      const std::string reencoded = binary.EncodeRequest(request);
+      ptk::util::StatusOr<ptk::serve::FrameSplit> refr =
+          binary.SplitFrame(reencoded);
+      PTK_FUZZ_REQUIRE(refr.ok() && refr->complete);
+      ptk::serve::Request again;
+      PTK_FUZZ_REQUIRE(binary.DecodeRequest(refr->frame, &again).ok());
+      PTK_FUZZ_REQUIRE(again == request);
+    }
+
+    ptk::util::StatusOr<ptk::serve::Response> response =
+        binary.DecodeResponse(split->frame);
+    if (response.ok()) {
+      const std::string reencoded = binary.EncodeResponse(*response);
+      ptk::util::StatusOr<ptk::serve::FrameSplit> refr =
+          binary.SplitFrame(reencoded);
+      PTK_FUZZ_REQUIRE(refr.ok() && refr->complete);
+      ptk::util::StatusOr<ptk::serve::Response> again =
+          binary.DecodeResponse(refr->frame);
+      PTK_FUZZ_REQUIRE(again.ok());
+      PTK_FUZZ_REQUIRE(ptk::serve::SameResponse(*again, *response));
+    }
+    rest.remove_prefix(split->consumed);
+  }
+
+  // Same bytes as one JSON line (strip at the first newline, the line
+  // framing the JSON codec would apply).
+  const std::string_view line = bytes.substr(0, bytes.find('\n'));
+  ptk::serve::Request request;
+  if (json.DecodeRequest(line, &request).ok()) {
+    PTK_FUZZ_REQUIRE(ptk::serve::ValidateRequest(request).ok());
+    const std::string encoded = json.EncodeRequest(request);
+    PTK_FUZZ_REQUIRE(!encoded.empty() && encoded.back() == '\n');
+    ptk::serve::Request again;
+    PTK_FUZZ_REQUIRE(
+        json.DecodeRequest(
+                std::string_view(encoded).substr(0, encoded.size() - 1),
+                &again)
+            .ok());
+    PTK_FUZZ_REQUIRE(again == request);
+  }
+  ptk::util::StatusOr<ptk::serve::Response> response =
+      json.DecodeResponse(line);
+  if (response.ok()) {
+    // JSON doubles round-trip as bytes, not bits: re-encoding the decoded
+    // value must reproduce the encoder's canonical form exactly once
+    // stabilized (encode . decode is idempotent on its own output).
+    const std::string once = json.EncodeResponse(*response);
+    ptk::util::StatusOr<ptk::serve::Response> stable = json.DecodeResponse(
+        std::string_view(once).substr(0, once.size() - 1));
+    PTK_FUZZ_REQUIRE(stable.ok());
+    PTK_FUZZ_REQUIRE(json.EncodeResponse(*stable) == once);
+  }
+  return 0;
+}

@@ -15,6 +15,15 @@ std::string FmtDouble(double v) {
 
 std::string FmtInt(int64_t v) { return std::to_string(v); }
 
+/// Label-in-name convention: a metric registered as
+/// `family{label="x"}` exposes the Prometheus family `family` with that
+/// label set. HELP/TYPE must be emitted once per family, keyed on the
+/// name with its `{...}` suffix stripped.
+std::string_view FamilyOf(std::string_view name) {
+  const size_t brace = name.find('{');
+  return brace == std::string_view::npos ? name : name.substr(0, brace);
+}
+
 }  // namespace
 
 std::string JsonEscape(std::string_view s) {
@@ -108,14 +117,26 @@ std::string FormatJson(const MetricsSnapshot& snapshot) {
 
 std::string FormatPrometheus(const MetricsSnapshot& snapshot) {
   std::string out;
+  // Snapshots are name-sorted, so label sets of one family are adjacent:
+  // emit HELP/TYPE once per run of the same family.
+  std::string last_family;
   for (const auto& c : snapshot.counters) {
-    out += "# HELP " + c.name + " " + c.help + "\n";
-    out += "# TYPE " + c.name + " counter\n";
+    const std::string family(FamilyOf(c.name));
+    if (family != last_family) {
+      out += "# HELP " + family + " " + c.help + "\n";
+      out += "# TYPE " + family + " counter\n";
+      last_family = family;
+    }
     out += c.name + " " + FmtInt(c.value) + "\n";
   }
+  last_family.clear();
   for (const auto& g : snapshot.gauges) {
-    out += "# HELP " + g.name + " " + g.help + "\n";
-    out += "# TYPE " + g.name + " gauge\n";
+    const std::string family(FamilyOf(g.name));
+    if (family != last_family) {
+      out += "# HELP " + family + " " + g.help + "\n";
+      out += "# TYPE " + family + " gauge\n";
+      last_family = family;
+    }
     out += g.name + " " + FmtInt(g.value) + "\n";
   }
   for (const auto& h : snapshot.histograms) {

@@ -15,6 +15,11 @@
 //   crowd::CleaningSession, crowd::AdaptiveCleaner  the cleaning loops
 //   serve::SessionManager, serve::Scheduler      the concurrent serving
 //                                                runtime
+//   serve::Request / serve::Response             the typed protocol core
+//   serve::Codec (JsonCodec, BinaryCodec)        wire formats: JSON lines
+//                                                and length-prefixed binary
+//   serve::ExecuteRequest                        one op against a manager
+//   serve::Runtime                               sharded, coalescing front
 //   util::Status / util::StatusOr<T>             error reporting
 //   util::CancelSource                           cooperative cancellation
 //   obs:: metrics / trace / exporters            observability
@@ -45,6 +50,10 @@
 #include "pw/constraint.h"
 #include "pw/topk_distribution.h"
 #include "rank/pairwise_prob.h"
+#include "serve/codec.h"
+#include "serve/message.h"
+#include "serve/protocol.h"
+#include "serve/runtime.h"
 #include "serve/scheduler.h"
 #include "serve/session_manager.h"
 #include "util/cancellation.h"

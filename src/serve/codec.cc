@@ -1,0 +1,1298 @@
+#include "serve/codec.h"
+
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "data/field_parse.h"
+#include "obs/export.h"
+
+namespace ptk::serve {
+
+namespace {
+
+util::Status ParseError(std::string_view what, std::string_view around) {
+  return util::Status::InvalidArgument(
+      "protocol: " + std::string(what) + " near " +
+      data::internal::Excerpt(around));
+}
+
+std::string FormatDouble(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+util::Status StatusFromCode(util::Status::Code code, std::string message) {
+  using Code = util::Status::Code;
+  switch (code) {
+    case Code::kOk: return util::Status::OK();
+    case Code::kInvalidArgument:
+      return util::Status::InvalidArgument(std::move(message));
+    case Code::kNotFound: return util::Status::NotFound(std::move(message));
+    case Code::kResourceExhausted:
+      return util::Status::ResourceExhausted(std::move(message));
+    case Code::kIoError: return util::Status::IoError(std::move(message));
+    case Code::kInternal: return util::Status::Internal(std::move(message));
+    case Code::kFailedPrecondition:
+      return util::Status::FailedPrecondition(std::move(message));
+    case Code::kCancelled:
+      return util::Status::Cancelled(std::move(message));
+    case Code::kDeadlineExceeded:
+      return util::Status::DeadlineExceeded(std::move(message));
+  }
+  return util::Status::Internal(std::move(message));
+}
+
+std::optional<util::Status::Code> StatusCodeFromName(std::string_view name) {
+  using Code = util::Status::Code;
+  for (const Code code :
+       {Code::kOk, Code::kInvalidArgument, Code::kNotFound,
+        Code::kResourceExhausted, Code::kIoError, Code::kInternal,
+        Code::kFailedPrecondition, Code::kCancelled,
+        Code::kDeadlineExceeded}) {
+    if (name == util::StatusCodeName(code)) return code;
+  }
+  return std::nullopt;
+}
+
+uint64_t DoubleBits(double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+double DoubleFromBits(uint64_t bits) {
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+/// Single-line JSON reader for the protocol's value subset (strings with
+/// the common escapes, 64-bit integers, %.9g doubles, true/false). Strict:
+/// every syntax deviation is an error with the offending excerpt. Moved
+/// here from the legacy protocol.cc — the codec is the only boundary that
+/// touches wire text now.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AtEnd() {
+    SkipWs();
+    return pos_ == text_.size();
+  }
+
+  std::string_view Rest() const { return text_.substr(pos_); }
+
+  util::Status ParseString(std::string* out) {
+    if (!Consume('"')) return ParseError("expected string", Rest());
+    out->clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return util::Status::OK();
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (pos_ == text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          // \uXXXX, as JsonEscape emits for control characters. Decoded
+          // to UTF-8 so decode(encode(s)) == s for every byte string;
+          // surrogate halves are rejected rather than paired.
+          if (text_.size() - pos_ < 4) {
+            return ParseError("truncated \\u escape", text_.substr(pos_ - 2));
+          }
+          uint32_t cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<uint32_t>(h - 'A' + 10);
+            } else {
+              return ParseError("bad \\u escape digit",
+                                text_.substr(pos_ - 1));
+            }
+          }
+          if (cp >= 0xd800 && cp <= 0xdfff) {
+            return ParseError("surrogate in \\u escape",
+                              text_.substr(pos_ - 6));
+          }
+          if (cp < 0x80) {
+            out->push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out->push_back(static_cast<char>(0xc0 | (cp >> 6)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          } else {
+            out->push_back(static_cast<char>(0xe0 | (cp >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3f)));
+            out->push_back(static_cast<char>(0x80 | (cp & 0x3f)));
+          }
+          break;
+        }
+        default:
+          return ParseError("unsupported string escape",
+                            text_.substr(pos_ - 2));
+      }
+    }
+    return ParseError("unterminated string", text_);
+  }
+
+  util::Status ParseInt(int64_t* out) {
+    SkipWs();
+    const size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!data::internal::ParseInt64Field(token, out)) {
+      return ParseError("expected integer", text_.substr(start));
+    }
+    return util::Status::OK();
+  }
+
+  util::Status ParseDouble(double* out) {
+    SkipWs();
+    const size_t start = pos_;
+    // Token scan covers every %.9g spelling: sign, digits, '.', exponent,
+    // and the "inf"/"nan" words.
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      const bool numeric = (c >= '0' && c <= '9') || c == '-' || c == '+' ||
+                           c == '.' || (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z');
+      if (!numeric) break;
+      ++pos_;
+    }
+    const std::string_view token = text_.substr(start, pos_ - start);
+    if (!data::internal::ParseDoubleField(token, out)) {
+      return ParseError("expected number", text_.substr(start));
+    }
+    return util::Status::OK();
+  }
+
+  util::Status ParseBool(bool* out) {
+    SkipWs();
+    if (Rest().substr(0, 4) == "true") {
+      pos_ += 4;
+      *out = true;
+      return util::Status::OK();
+    }
+    if (Rest().substr(0, 5) == "false") {
+      pos_ += 5;
+      *out = false;
+      return util::Status::OK();
+    }
+    return ParseError("expected true/false", Rest());
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+/// Legacy payload renderers: these must keep producing byte-for-byte the
+/// fragments the string-spliced ExecuteRequest produced, which is what
+/// tools/serve_smoke.golden (and every recorded transcript) pins.
+struct JsonPayloadRender {
+  std::string operator()(const Response::None&) const { return {}; }
+  std::string operator()(const Response::Created& v) const {
+    return ",\"session\":\"" + obs::JsonEscape(v.session) + "\"";
+  }
+  std::string operator()(const Response::Pairs& v) const {
+    std::string out = ",\"pairs\":[";
+    for (size_t i = 0; i < v.pairs.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[' + std::to_string(v.pairs[i].a) + ',' +
+             std::to_string(v.pairs[i].b) + ',' +
+             FormatDouble(v.pairs[i].ei) + ']';
+    }
+    out += ']';
+    return out;
+  }
+  std::string operator()(const Response::Posted& v) const {
+    return ",\"applied\":" + std::to_string(v.report.applied) +
+           ",\"contradictory\":" + std::to_string(v.report.contradictory) +
+           ",\"degenerate\":" + std::to_string(v.report.degenerate) +
+           ",\"version\":" + std::to_string(v.report.version);
+  }
+  std::string operator()(const Response::Distribution& v) const {
+    std::string out = ",\"sets\":[";
+    for (size_t i = 0; i < v.sets.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "{\"objects\":[";
+      for (size_t j = 0; j < v.sets[i].objects.size(); ++j) {
+        if (j > 0) out += ',';
+        out += std::to_string(v.sets[i].objects[j]);
+      }
+      out += "],\"p\":" + FormatDouble(v.sets[i].p) + '}';
+    }
+    out += "],\"entropy\":" + FormatDouble(v.entropy);
+    return out;
+  }
+  std::string operator()(const Response::Quality& v) const {
+    return ",\"quality\":" + FormatDouble(v.quality);
+  }
+  std::string operator()(const Response::Metrics& v) const {
+    std::string out = ",\"sessions_open\":" + std::to_string(v.sessions_open);
+    out += ",\"session_bytes\":{";
+    for (size_t i = 0; i < v.session_bytes.size(); ++i) {
+      if (i > 0) out += ',';
+      out += "\"" + obs::JsonEscape(v.session_bytes[i].session) +
+             "\":" + std::to_string(v.session_bytes[i].bytes);
+    }
+    out += "},\"session_bytes_total\":" +
+           std::to_string(v.session_bytes_total);
+    if (v.has_scheduler) {
+      out += ",\"queue_depth\":" + std::to_string(v.queue_depth) +
+             ",\"submitted\":" + std::to_string(v.submitted) +
+             ",\"executed\":" + std::to_string(v.executed) +
+             ",\"shed\":" + std::to_string(v.shed) +
+             ",\"deadline_misses\":" + std::to_string(v.deadline_misses);
+    }
+    return out;
+  }
+};
+
+}  // namespace
+
+std::optional<WireFormat> WireFormatFromName(std::string_view name) {
+  if (name == "json") return WireFormat::kJsonLines;
+  if (name == "binary") return WireFormat::kBinary;
+  return std::nullopt;
+}
+
+// ---------------------------------------------------------------------------
+// JsonCodec
+
+util::StatusOr<FrameSplit> JsonCodec::SplitFrame(
+    std::string_view buffer) const {
+  const size_t newline = buffer.find('\n');
+  if (newline == std::string_view::npos) {
+    if (buffer.size() > kMaxFrameBytes) {
+      return util::Status::InvalidArgument(
+          "protocol: request line exceeds " +
+          std::to_string(kMaxFrameBytes) + " bytes");
+    }
+    return FrameSplit{};
+  }
+  FrameSplit split;
+  split.complete = true;
+  split.consumed = newline + 1;
+  split.frame = buffer.substr(0, newline);
+  return split;
+}
+
+util::Status JsonCodec::DecodeRequest(std::string_view frame,
+                                      Request* request) const {
+  *request = Request{};
+  JsonReader reader(frame);
+  if (!reader.Consume('{')) {
+    return ParseError("expected request object", frame);
+  }
+  std::string op_name;
+  bool first = true;
+  while (!reader.Consume('}')) {
+    if (!first && !reader.Consume(',')) {
+      return ParseError("expected ',' or '}'", reader.Rest());
+    }
+    first = false;
+    std::string key;
+    if (util::Status s = reader.ParseString(&key); !s.ok()) return s;
+    if (!reader.Consume(':')) {
+      return ParseError("expected ':' after key '" + key + "'",
+                        reader.Rest());
+    }
+    if (key == "op") {
+      if (util::Status s = reader.ParseString(&op_name); !s.ok()) return s;
+    } else if (key == "session") {
+      if (util::Status s = reader.ParseString(&request->session); !s.ok()) {
+        return s;
+      }
+    } else if (key == "id") {
+      if (util::Status s = reader.ParseString(&request->id); !s.ok()) {
+        return s;
+      }
+    } else if (key == "count") {
+      if (util::Status s = reader.ParseInt(&request->count); !s.ok()) {
+        return s;
+      }
+    } else if (key == "limit") {
+      if (util::Status s = reader.ParseInt(&request->limit); !s.ok()) {
+        return s;
+      }
+    } else if (key == "deadline_ms") {
+      if (util::Status s = reader.ParseInt(&request->deadline_ms); !s.ok()) {
+        return s;
+      }
+    } else if (key == "answers") {
+      if (!reader.Consume('[')) {
+        return ParseError("expected answers array", reader.Rest());
+      }
+      while (!reader.Consume(']')) {
+        if (!request->answers.empty() && !reader.Consume(',')) {
+          return ParseError("expected ',' or ']' in answers", reader.Rest());
+        }
+        if (!reader.Consume('[')) {
+          return ParseError("expected [smaller,larger] pair", reader.Rest());
+        }
+        int64_t smaller = 0;
+        int64_t larger = 0;
+        if (util::Status s = reader.ParseInt(&smaller); !s.ok()) return s;
+        if (!reader.Consume(',')) {
+          return ParseError("expected ',' in answer pair", reader.Rest());
+        }
+        if (util::Status s = reader.ParseInt(&larger); !s.ok()) return s;
+        if (!reader.Consume(']')) {
+          return ParseError("expected ']' closing answer pair",
+                            reader.Rest());
+        }
+        constexpr int64_t kMaxId =
+            std::numeric_limits<model::ObjectId>::max();
+        if (smaller < 0 || smaller > kMaxId || larger < 0 ||
+            larger > kMaxId) {
+          return util::Status::InvalidArgument(
+              "protocol: answer object id out of range");
+        }
+        request->answers.emplace_back(static_cast<model::ObjectId>(smaller),
+                                      static_cast<model::ObjectId>(larger));
+      }
+    } else {
+      return util::Status::InvalidArgument("protocol: unknown key '" + key +
+                                           "'");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return ParseError("trailing characters after request object",
+                      reader.Rest());
+  }
+  if (op_name.empty()) {
+    return util::Status::InvalidArgument("protocol: missing \"op\"");
+  }
+  // The op is validated after the full object parse so request->id is
+  // populated: the error response for an unknown op echoes the client's
+  // correlation tag, exactly as the legacy string pipeline did.
+  const std::optional<Op> op = OpFromName(op_name);
+  if (!op.has_value()) {
+    return util::Status::InvalidArgument("protocol: unknown op '" + op_name +
+                                         "'");
+  }
+  request->op = *op;
+  return ValidateRequest(*request);
+}
+
+std::string JsonCodec::EncodeRequest(const Request& request) const {
+  std::string out = "{\"op\":\"";
+  out += OpName(request.op);
+  out += '"';
+  if (!request.id.empty()) {
+    out += ",\"id\":\"" + obs::JsonEscape(request.id) + "\"";
+  }
+  if (!request.session.empty()) {
+    out += ",\"session\":\"" + obs::JsonEscape(request.session) + "\"";
+  }
+  if (request.count != 1) out += ",\"count\":" + std::to_string(request.count);
+  if (request.limit != 0) out += ",\"limit\":" + std::to_string(request.limit);
+  if (request.deadline_ms != 0) {
+    out += ",\"deadline_ms\":" + std::to_string(request.deadline_ms);
+  }
+  if (!request.answers.empty()) {
+    out += ",\"answers\":[";
+    for (size_t i = 0; i < request.answers.size(); ++i) {
+      if (i > 0) out += ',';
+      out += '[' + std::to_string(request.answers[i].first) + ',' +
+             std::to_string(request.answers[i].second) + ']';
+    }
+    out += ']';
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string JsonCodec::EncodeResponse(const Response& response) const {
+  std::string out = "{";
+  if (!response.id.empty()) {
+    out += "\"id\":\"" + obs::JsonEscape(response.id) + "\",";
+  }
+  if (response.status.ok()) {
+    out += "\"ok\":true";
+    out += std::visit(JsonPayloadRender{}, response.payload);
+    out += "}";
+  } else {
+    out += "\"ok\":false,\"error\":{\"code\":\"";
+    out += util::StatusCodeName(response.status.code());
+    out += "\",\"message\":\"" + obs::JsonEscape(response.status.message()) +
+           "\"";
+    if (response.partial.has_value()) {
+      out += ",\"partial\":{\"applied\":" +
+             std::to_string(response.partial->applied) +
+             ",\"contradictory\":" +
+             std::to_string(response.partial->contradictory) +
+             ",\"degenerate\":" + std::to_string(response.partial->degenerate) +
+             ",\"version\":" + std::to_string(response.partial->version) + "}";
+    }
+    if (response.retry_after_ms >= 0) {
+      out += ",\"retry_after_ms\":" + std::to_string(response.retry_after_ms);
+    }
+    out += "}}";
+  }
+  out += '\n';
+  return out;
+}
+
+util::StatusOr<Response> JsonCodec::DecodeResponse(
+    std::string_view frame) const {
+  Response response;
+  JsonReader reader(frame);
+  if (!reader.Consume('{')) {
+    return ParseError("expected response object", frame);
+  }
+  bool ok_value = false;
+  bool saw_ok = false;
+  bool saw_error = false;
+  // Payload accumulators; which kind the payload is follows from which
+  // keys appeared (each encoded payload has a disjoint key set).
+  std::optional<Response::Created> created;
+  std::optional<Response::Pairs> pairs;
+  PostReport posted;
+  int posted_fields = 0;
+  std::optional<std::vector<Response::RankedSet>> sets;
+  std::optional<double> entropy;
+  std::optional<double> quality;
+  std::optional<Response::Metrics> metrics;
+  int scheduler_fields = 0;
+
+  auto metrics_ref = [&]() -> Response::Metrics& {
+    if (!metrics.has_value()) metrics.emplace();
+    return *metrics;
+  };
+
+  bool first = true;
+  while (!reader.Consume('}')) {
+    if (!first && !reader.Consume(',')) {
+      return ParseError("expected ',' or '}'", reader.Rest());
+    }
+    first = false;
+    std::string key;
+    if (util::Status s = reader.ParseString(&key); !s.ok()) return s;
+    if (!reader.Consume(':')) {
+      return ParseError("expected ':' after key '" + key + "'",
+                        reader.Rest());
+    }
+    int64_t int_value = 0;
+    if (key == "id") {
+      if (util::Status s = reader.ParseString(&response.id); !s.ok()) {
+        return s;
+      }
+    } else if (key == "ok") {
+      if (util::Status s = reader.ParseBool(&ok_value); !s.ok()) return s;
+      saw_ok = true;
+    } else if (key == "session") {
+      created.emplace();
+      if (util::Status s = reader.ParseString(&created->session); !s.ok()) {
+        return s;
+      }
+    } else if (key == "pairs") {
+      pairs.emplace();
+      if (!reader.Consume('[')) {
+        return ParseError("expected pairs array", reader.Rest());
+      }
+      while (!reader.Consume(']')) {
+        if (!pairs->pairs.empty() && !reader.Consume(',')) {
+          return ParseError("expected ',' or ']' in pairs", reader.Rest());
+        }
+        if (!reader.Consume('[')) {
+          return ParseError("expected [a,b,ei] triple", reader.Rest());
+        }
+        Response::PairScore pair;
+        int64_t a = 0, b = 0;
+        if (util::Status s = reader.ParseInt(&a); !s.ok()) return s;
+        if (!reader.Consume(',')) {
+          return ParseError("expected ',' in pair", reader.Rest());
+        }
+        if (util::Status s = reader.ParseInt(&b); !s.ok()) return s;
+        if (!reader.Consume(',')) {
+          return ParseError("expected ',' in pair", reader.Rest());
+        }
+        if (util::Status s = reader.ParseDouble(&pair.ei); !s.ok()) return s;
+        if (!reader.Consume(']')) {
+          return ParseError("expected ']' closing pair", reader.Rest());
+        }
+        constexpr int64_t kMaxId =
+            std::numeric_limits<model::ObjectId>::max();
+        if (a < 0 || a > kMaxId || b < 0 || b > kMaxId) {
+          return util::Status::InvalidArgument(
+              "protocol: pair object id out of range");
+        }
+        pair.a = static_cast<model::ObjectId>(a);
+        pair.b = static_cast<model::ObjectId>(b);
+        pairs->pairs.push_back(pair);
+      }
+    } else if (key == "applied" || key == "contradictory" ||
+               key == "degenerate" || key == "version") {
+      if (util::Status s = reader.ParseInt(&int_value); !s.ok()) return s;
+      if (key == "applied") posted.applied = static_cast<int>(int_value);
+      if (key == "contradictory") {
+        posted.contradictory = static_cast<int>(int_value);
+      }
+      if (key == "degenerate") posted.degenerate = static_cast<int>(int_value);
+      if (key == "version") {
+        // version is unsigned on the wire; a negative here would wrap to
+        // 2^64-1 and re-encode as a value no int64 parser round-trips.
+        if (int_value < 0) {
+          return util::Status::InvalidArgument(
+              "protocol: version must be >= 0");
+        }
+        posted.version = static_cast<uint64_t>(int_value);
+      }
+      ++posted_fields;
+    } else if (key == "sets") {
+      sets.emplace();
+      if (!reader.Consume('[')) {
+        return ParseError("expected sets array", reader.Rest());
+      }
+      while (!reader.Consume(']')) {
+        if (!sets->empty() && !reader.Consume(',')) {
+          return ParseError("expected ',' or ']' in sets", reader.Rest());
+        }
+        if (!reader.Consume('{')) {
+          return ParseError("expected set object", reader.Rest());
+        }
+        Response::RankedSet set;
+        std::string set_key;
+        if (util::Status s = reader.ParseString(&set_key); !s.ok()) return s;
+        if (set_key != "objects" || !reader.Consume(':') ||
+            !reader.Consume('[')) {
+          return ParseError("expected \"objects\":[...]", reader.Rest());
+        }
+        while (!reader.Consume(']')) {
+          if (!set.objects.empty() && !reader.Consume(',')) {
+            return ParseError("expected ',' or ']' in objects",
+                              reader.Rest());
+          }
+          int64_t oid = 0;
+          if (util::Status s = reader.ParseInt(&oid); !s.ok()) return s;
+          constexpr int64_t kMaxId =
+              std::numeric_limits<model::ObjectId>::max();
+          if (oid < 0 || oid > kMaxId) {
+            return util::Status::InvalidArgument(
+                "protocol: set object id out of range");
+          }
+          set.objects.push_back(static_cast<model::ObjectId>(oid));
+        }
+        if (!reader.Consume(',')) {
+          return ParseError("expected ',' before \"p\"", reader.Rest());
+        }
+        if (util::Status s = reader.ParseString(&set_key); !s.ok()) return s;
+        if (set_key != "p" || !reader.Consume(':')) {
+          return ParseError("expected \"p\":", reader.Rest());
+        }
+        if (util::Status s = reader.ParseDouble(&set.p); !s.ok()) return s;
+        if (!reader.Consume('}')) {
+          return ParseError("expected '}' closing set", reader.Rest());
+        }
+        sets->push_back(std::move(set));
+      }
+    } else if (key == "entropy") {
+      entropy.emplace();
+      if (util::Status s = reader.ParseDouble(&*entropy); !s.ok()) return s;
+    } else if (key == "quality") {
+      quality.emplace();
+      if (util::Status s = reader.ParseDouble(&*quality); !s.ok()) return s;
+    } else if (key == "sessions_open") {
+      if (util::Status s = reader.ParseInt(&metrics_ref().sessions_open);
+          !s.ok()) {
+        return s;
+      }
+    } else if (key == "session_bytes") {
+      Response::Metrics& m = metrics_ref();
+      if (!reader.Consume('{')) {
+        return ParseError("expected session_bytes object", reader.Rest());
+      }
+      while (!reader.Consume('}')) {
+        if (!m.session_bytes.empty() && !reader.Consume(',')) {
+          return ParseError("expected ',' or '}' in session_bytes",
+                            reader.Rest());
+        }
+        Response::SessionBytes entry;
+        if (util::Status s = reader.ParseString(&entry.session); !s.ok()) {
+          return s;
+        }
+        if (!reader.Consume(':')) {
+          return ParseError("expected ':' in session_bytes", reader.Rest());
+        }
+        if (util::Status s = reader.ParseInt(&entry.bytes); !s.ok()) {
+          return s;
+        }
+        m.session_bytes.push_back(std::move(entry));
+      }
+    } else if (key == "session_bytes_total") {
+      if (util::Status s = reader.ParseInt(&metrics_ref().session_bytes_total);
+          !s.ok()) {
+        return s;
+      }
+    } else if (key == "queue_depth" || key == "submitted" ||
+               key == "executed" || key == "shed" ||
+               key == "deadline_misses") {
+      if (util::Status s = reader.ParseInt(&int_value); !s.ok()) return s;
+      Response::Metrics& m = metrics_ref();
+      m.has_scheduler = true;
+      if (key == "queue_depth") m.queue_depth = int_value;
+      if (key == "submitted") m.submitted = int_value;
+      if (key == "executed") m.executed = int_value;
+      if (key == "shed") m.shed = int_value;
+      if (key == "deadline_misses") m.deadline_misses = int_value;
+      ++scheduler_fields;
+    } else if (key == "error") {
+      saw_error = true;
+      if (!reader.Consume('{')) {
+        return ParseError("expected error object", reader.Rest());
+      }
+      std::string code_name;
+      std::string message;
+      bool first_error_key = true;
+      while (!reader.Consume('}')) {
+        if (!first_error_key && !reader.Consume(',')) {
+          return ParseError("expected ',' or '}' in error", reader.Rest());
+        }
+        first_error_key = false;
+        std::string error_key;
+        if (util::Status s = reader.ParseString(&error_key); !s.ok()) {
+          return s;
+        }
+        if (!reader.Consume(':')) {
+          return ParseError("expected ':' in error", reader.Rest());
+        }
+        if (error_key == "code") {
+          if (util::Status s = reader.ParseString(&code_name); !s.ok()) {
+            return s;
+          }
+        } else if (error_key == "message") {
+          if (util::Status s = reader.ParseString(&message); !s.ok()) {
+            return s;
+          }
+        } else if (error_key == "partial") {
+          if (!reader.Consume('{')) {
+            return ParseError("expected partial object", reader.Rest());
+          }
+          PostReport report;
+          bool first_partial_key = true;
+          while (!reader.Consume('}')) {
+            if (!first_partial_key && !reader.Consume(',')) {
+              return ParseError("expected ',' or '}' in partial",
+                                reader.Rest());
+            }
+            first_partial_key = false;
+            std::string partial_key;
+            if (util::Status s = reader.ParseString(&partial_key); !s.ok()) {
+              return s;
+            }
+            if (!reader.Consume(':')) {
+              return ParseError("expected ':' in partial", reader.Rest());
+            }
+            int64_t v = 0;
+            if (util::Status s = reader.ParseInt(&v); !s.ok()) return s;
+            if (partial_key == "applied") {
+              report.applied = static_cast<int>(v);
+            } else if (partial_key == "contradictory") {
+              report.contradictory = static_cast<int>(v);
+            } else if (partial_key == "degenerate") {
+              report.degenerate = static_cast<int>(v);
+            } else if (partial_key == "version") {
+              if (v < 0) {
+                return util::Status::InvalidArgument(
+                    "protocol: version must be >= 0");
+              }
+              report.version = static_cast<uint64_t>(v);
+            } else {
+              return util::Status::InvalidArgument(
+                  "protocol: unknown partial key '" + partial_key + "'");
+            }
+          }
+          response.partial = report;
+        } else if (error_key == "retry_after_ms") {
+          if (util::Status s = reader.ParseInt(&response.retry_after_ms);
+              !s.ok()) {
+            return s;
+          }
+        } else {
+          return util::Status::InvalidArgument(
+              "protocol: unknown error key '" + error_key + "'");
+        }
+      }
+      const std::optional<util::Status::Code> code =
+          StatusCodeFromName(code_name);
+      if (!code.has_value() || *code == util::Status::Code::kOk) {
+        return util::Status::InvalidArgument(
+            "protocol: unknown error code '" + code_name + "'");
+      }
+      response.status = StatusFromCode(*code, std::move(message));
+    } else {
+      return util::Status::InvalidArgument("protocol: unknown key '" + key +
+                                           "'");
+    }
+  }
+  if (!reader.AtEnd()) {
+    return ParseError("trailing characters after response object",
+                      reader.Rest());
+  }
+  if (!saw_ok) {
+    return util::Status::InvalidArgument("protocol: missing \"ok\"");
+  }
+  if (ok_value == saw_error) {
+    return util::Status::InvalidArgument(
+        "protocol: ok flag inconsistent with error object");
+  }
+
+  // Resolve the payload kind from the keys that appeared; the encoded
+  // payloads have disjoint key sets, so more than one kind is garbage.
+  int kinds = 0;
+  if (created.has_value()) ++kinds;
+  if (pairs.has_value()) ++kinds;
+  if (posted_fields > 0) ++kinds;
+  if (sets.has_value() || entropy.has_value()) ++kinds;
+  if (quality.has_value()) ++kinds;
+  if (metrics.has_value()) ++kinds;
+  if (kinds > 1) {
+    return util::Status::InvalidArgument(
+        "protocol: response mixes payload kinds");
+  }
+  if (!ok_value && kinds > 0) {
+    return util::Status::InvalidArgument(
+        "protocol: error response carries a payload");
+  }
+  if (created.has_value()) {
+    response.payload = *std::move(created);
+  } else if (pairs.has_value()) {
+    response.payload = *std::move(pairs);
+  } else if (posted_fields > 0) {
+    if (posted_fields != 4) {
+      return util::Status::InvalidArgument(
+          "protocol: incomplete post_answers payload");
+    }
+    response.payload = Response::Posted{posted};
+  } else if (sets.has_value() || entropy.has_value()) {
+    if (!sets.has_value() || !entropy.has_value()) {
+      return util::Status::InvalidArgument(
+          "protocol: incomplete distribution payload");
+    }
+    response.payload = Response::Distribution{*std::move(sets), *entropy};
+  } else if (quality.has_value()) {
+    response.payload = Response::Quality{*quality};
+  } else if (metrics.has_value()) {
+    if (metrics->has_scheduler && scheduler_fields != 5) {
+      return util::Status::InvalidArgument(
+          "protocol: incomplete scheduler metrics");
+    }
+    response.payload = *std::move(metrics);
+  }
+  return response;
+}
+
+// ---------------------------------------------------------------------------
+// BinaryCodec
+//
+// Frame: u32le body length, then the body. All integers little-endian;
+// strings are u32le length + raw bytes; doubles are IEEE-754 bit patterns
+// as u64le. Request body:
+//   u8 op, str id, str session, i64 count, i64 limit, i64 deadline_ms,
+//   u32 n_answers x { u32 smaller, u32 larger }
+// Response body:
+//   u8 flags (bit0 ok, bit1 partial, bit2 retry; rest zero)
+//   str id
+//   [!ok]      u8 status code, str message
+//   [partial]  u32 applied, u32 contradictory, u32 degenerate, u64 version
+//   [retry]    i64 retry_after_ms
+//   u8 payload kind (0 none, 1 created, 2 pairs, 3 posted,
+//                    4 distribution, 5 quality, 6 metrics), then payload.
+// Trailing bytes after the decoded body are an error.
+
+namespace {
+
+class ByteWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void U64(uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+  void Str(std::string_view s) {
+    U32(static_cast<uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  /// The finished frame: length prefix + body.
+  std::string Framed() const {
+    std::string framed;
+    framed.reserve(4 + out_.size());
+    const uint32_t length = static_cast<uint32_t>(out_.size());
+    for (int i = 0; i < 4; ++i) {
+      framed.push_back(static_cast<char>((length >> (8 * i)) & 0xff));
+    }
+    framed += out_;
+    return framed;
+  }
+
+ private:
+  std::string out_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view bytes) : bytes_(bytes) {}
+
+  bool U8(uint8_t* out) {
+    if (pos_ + 1 > bytes_.size()) return false;
+    *out = static_cast<uint8_t>(bytes_[pos_++]);
+    return true;
+  }
+  bool U32(uint32_t* out) {
+    if (pos_ + 4 > bytes_.size()) return false;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    *out = v;
+    return true;
+  }
+  bool U64(uint64_t* out) {
+    if (pos_ + 8 > bytes_.size()) return false;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<uint64_t>(static_cast<uint8_t>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    *out = v;
+    return true;
+  }
+  bool I64(int64_t* out) {
+    uint64_t v = 0;
+    if (!U64(&v)) return false;
+    *out = static_cast<int64_t>(v);
+    return true;
+  }
+  bool Str(std::string* out) {
+    uint32_t length = 0;
+    if (!U32(&length)) return false;
+    if (pos_ + length > bytes_.size()) return false;
+    out->assign(bytes_.substr(pos_, length));
+    pos_ += length;
+    return true;
+  }
+  bool AtEnd() const { return pos_ == bytes_.size(); }
+
+ private:
+  std::string_view bytes_;
+  size_t pos_ = 0;
+};
+
+util::Status Truncated() {
+  return util::Status::InvalidArgument("protocol: truncated binary frame");
+}
+
+bool ReadObjectId(ByteReader& reader, model::ObjectId* out) {
+  uint32_t v = 0;
+  if (!reader.U32(&v)) return false;
+  if (v > static_cast<uint32_t>(std::numeric_limits<model::ObjectId>::max())) {
+    return false;
+  }
+  *out = static_cast<model::ObjectId>(v);
+  return true;
+}
+
+}  // namespace
+
+util::StatusOr<FrameSplit> BinaryCodec::SplitFrame(
+    std::string_view buffer) const {
+  if (buffer.size() < 4) return FrameSplit{};
+  uint32_t length = 0;
+  for (int i = 0; i < 4; ++i) {
+    length |= static_cast<uint32_t>(static_cast<uint8_t>(buffer[i]))
+              << (8 * i);
+  }
+  if (length > kMaxFrameBytes) {
+    return util::Status::InvalidArgument(
+        "protocol: binary frame of " + std::to_string(length) +
+        " bytes exceeds " + std::to_string(kMaxFrameBytes));
+  }
+  if (buffer.size() < 4 + static_cast<size_t>(length)) return FrameSplit{};
+  FrameSplit split;
+  split.complete = true;
+  split.consumed = 4 + static_cast<size_t>(length);
+  split.frame = buffer.substr(4, length);
+  return split;
+}
+
+util::Status BinaryCodec::DecodeRequest(std::string_view frame,
+                                        Request* request) const {
+  *request = Request{};
+  ByteReader reader(frame);
+  uint8_t op = 0;
+  if (!reader.U8(&op)) return Truncated();
+  if (!reader.Str(&request->id) || !reader.Str(&request->session) ||
+      !reader.I64(&request->count) || !reader.I64(&request->limit) ||
+      !reader.I64(&request->deadline_ms)) {
+    return Truncated();
+  }
+  uint32_t n_answers = 0;
+  if (!reader.U32(&n_answers)) return Truncated();
+  if (n_answers > RequestLimits::kMaxAnswers) {
+    return util::Status::InvalidArgument(
+        "protocol: answers exceed " +
+        std::to_string(RequestLimits::kMaxAnswers) + " pairs");
+  }
+  request->answers.reserve(n_answers);
+  for (uint32_t i = 0; i < n_answers; ++i) {
+    model::ObjectId smaller = 0;
+    model::ObjectId larger = 0;
+    if (!ReadObjectId(reader, &smaller) || !ReadObjectId(reader, &larger)) {
+      return Truncated();
+    }
+    request->answers.emplace_back(smaller, larger);
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "protocol: trailing bytes after binary request");
+  }
+  if (op > static_cast<uint8_t>(Op::kClose)) {
+    return util::Status::InvalidArgument(
+        "protocol: unknown op " + std::to_string(op));
+  }
+  request->op = static_cast<Op>(op);
+  return ValidateRequest(*request);
+}
+
+std::string BinaryCodec::EncodeRequest(const Request& request) const {
+  ByteWriter writer;
+  writer.U8(static_cast<uint8_t>(request.op));
+  writer.Str(request.id);
+  writer.Str(request.session);
+  writer.I64(request.count);
+  writer.I64(request.limit);
+  writer.I64(request.deadline_ms);
+  writer.U32(static_cast<uint32_t>(request.answers.size()));
+  for (const auto& [smaller, larger] : request.answers) {
+    writer.U32(static_cast<uint32_t>(smaller));
+    writer.U32(static_cast<uint32_t>(larger));
+  }
+  return writer.Framed();
+}
+
+std::string BinaryCodec::EncodeResponse(const Response& response) const {
+  ByteWriter writer;
+  const bool ok = response.status.ok();
+  uint8_t flags = ok ? 1 : 0;
+  if (response.partial.has_value()) flags |= 2;
+  if (response.retry_after_ms >= 0) flags |= 4;
+  writer.U8(flags);
+  writer.Str(response.id);
+  if (!ok) {
+    writer.U8(static_cast<uint8_t>(response.status.code()));
+    writer.Str(response.status.message());
+  }
+  if (response.partial.has_value()) {
+    writer.U32(static_cast<uint32_t>(response.partial->applied));
+    writer.U32(static_cast<uint32_t>(response.partial->contradictory));
+    writer.U32(static_cast<uint32_t>(response.partial->degenerate));
+    writer.U64(response.partial->version);
+  }
+  if (response.retry_after_ms >= 0) writer.I64(response.retry_after_ms);
+  struct Render {
+    ByteWriter& w;
+    void operator()(const Response::None&) { w.U8(0); }
+    void operator()(const Response::Created& v) {
+      w.U8(1);
+      w.Str(v.session);
+    }
+    void operator()(const Response::Pairs& v) {
+      w.U8(2);
+      w.U32(static_cast<uint32_t>(v.pairs.size()));
+      for (const Response::PairScore& pair : v.pairs) {
+        w.U32(static_cast<uint32_t>(pair.a));
+        w.U32(static_cast<uint32_t>(pair.b));
+        w.U64(DoubleBits(pair.ei));
+      }
+    }
+    void operator()(const Response::Posted& v) {
+      w.U8(3);
+      w.U32(static_cast<uint32_t>(v.report.applied));
+      w.U32(static_cast<uint32_t>(v.report.contradictory));
+      w.U32(static_cast<uint32_t>(v.report.degenerate));
+      w.U64(v.report.version);
+    }
+    void operator()(const Response::Distribution& v) {
+      w.U8(4);
+      w.U32(static_cast<uint32_t>(v.sets.size()));
+      for (const Response::RankedSet& set : v.sets) {
+        w.U32(static_cast<uint32_t>(set.objects.size()));
+        for (const model::ObjectId oid : set.objects) {
+          w.U32(static_cast<uint32_t>(oid));
+        }
+        w.U64(DoubleBits(set.p));
+      }
+      w.U64(DoubleBits(v.entropy));
+    }
+    void operator()(const Response::Quality& v) {
+      w.U8(5);
+      w.U64(DoubleBits(v.quality));
+    }
+    void operator()(const Response::Metrics& v) {
+      w.U8(6);
+      w.I64(v.sessions_open);
+      w.U32(static_cast<uint32_t>(v.session_bytes.size()));
+      for (const Response::SessionBytes& entry : v.session_bytes) {
+        w.Str(entry.session);
+        w.I64(entry.bytes);
+      }
+      w.I64(v.session_bytes_total);
+      w.U8(v.has_scheduler ? 1 : 0);
+      if (v.has_scheduler) {
+        w.I64(v.queue_depth);
+        w.I64(v.submitted);
+        w.I64(v.executed);
+        w.I64(v.shed);
+        w.I64(v.deadline_misses);
+      }
+    }
+  };
+  std::visit(Render{writer}, response.payload);
+  return writer.Framed();
+}
+
+util::StatusOr<Response> BinaryCodec::DecodeResponse(
+    std::string_view frame) const {
+  Response response;
+  ByteReader reader(frame);
+  uint8_t flags = 0;
+  if (!reader.U8(&flags)) return Truncated();
+  if ((flags & ~uint8_t{7}) != 0) {
+    return util::Status::InvalidArgument(
+        "protocol: unknown response flags " + std::to_string(flags));
+  }
+  const bool ok = (flags & 1) != 0;
+  if (!reader.Str(&response.id)) return Truncated();
+  if (!ok) {
+    uint8_t code = 0;
+    std::string message;
+    if (!reader.U8(&code) || !reader.Str(&message)) return Truncated();
+    if (code == 0 ||
+        code > static_cast<uint8_t>(util::Status::Code::kDeadlineExceeded)) {
+      return util::Status::InvalidArgument(
+          "protocol: unknown status code " + std::to_string(code));
+    }
+    response.status = StatusFromCode(static_cast<util::Status::Code>(code),
+                                     std::move(message));
+  } else if ((flags & 6) != 0) {
+    return util::Status::InvalidArgument(
+        "protocol: ok response carries error extras");
+  }
+  if ((flags & 2) != 0) {
+    PostReport report;
+    uint32_t applied = 0, contradictory = 0, degenerate = 0;
+    if (!reader.U32(&applied) || !reader.U32(&contradictory) ||
+        !reader.U32(&degenerate) || !reader.U64(&report.version)) {
+      return Truncated();
+    }
+    report.applied = static_cast<int>(applied);
+    report.contradictory = static_cast<int>(contradictory);
+    report.degenerate = static_cast<int>(degenerate);
+    response.partial = report;
+  }
+  if ((flags & 4) != 0) {
+    if (!reader.I64(&response.retry_after_ms)) return Truncated();
+    if (response.retry_after_ms < 0) {
+      return util::Status::InvalidArgument(
+          "protocol: negative retry_after_ms");
+    }
+  }
+  uint8_t kind = 0;
+  if (!reader.U8(&kind)) return Truncated();
+  if (!ok && kind != 0) {
+    return util::Status::InvalidArgument(
+        "protocol: error response carries a payload");
+  }
+  switch (kind) {
+    case 0:
+      break;
+    case 1: {
+      Response::Created created;
+      if (!reader.Str(&created.session)) return Truncated();
+      response.payload = std::move(created);
+      break;
+    }
+    case 2: {
+      Response::Pairs pairs;
+      uint32_t n = 0;
+      if (!reader.U32(&n)) return Truncated();
+      if (n > RequestLimits::kMaxCount) {
+        return util::Status::InvalidArgument(
+            "protocol: pairs payload exceeds " +
+            std::to_string(RequestLimits::kMaxCount));
+      }
+      pairs.pairs.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Response::PairScore pair;
+        uint64_t bits = 0;
+        if (!ReadObjectId(reader, &pair.a) || !ReadObjectId(reader, &pair.b) ||
+            !reader.U64(&bits)) {
+          return Truncated();
+        }
+        pair.ei = DoubleFromBits(bits);
+        pairs.pairs.push_back(pair);
+      }
+      response.payload = std::move(pairs);
+      break;
+    }
+    case 3: {
+      PostReport report;
+      uint32_t applied = 0, contradictory = 0, degenerate = 0;
+      if (!reader.U32(&applied) || !reader.U32(&contradictory) ||
+          !reader.U32(&degenerate) || !reader.U64(&report.version)) {
+        return Truncated();
+      }
+      report.applied = static_cast<int>(applied);
+      report.contradictory = static_cast<int>(contradictory);
+      report.degenerate = static_cast<int>(degenerate);
+      response.payload = Response::Posted{report};
+      break;
+    }
+    case 4: {
+      Response::Distribution dist;
+      uint32_t n_sets = 0;
+      if (!reader.U32(&n_sets)) return Truncated();
+      if (n_sets > RequestLimits::kMaxLimit) {
+        return util::Status::InvalidArgument(
+            "protocol: sets payload exceeds " +
+            std::to_string(RequestLimits::kMaxLimit));
+      }
+      dist.sets.reserve(n_sets);
+      for (uint32_t i = 0; i < n_sets; ++i) {
+        Response::RankedSet set;
+        uint32_t n_objects = 0;
+        if (!reader.U32(&n_objects)) return Truncated();
+        // Bound by the frame itself: each object costs 4 bytes.
+        if (static_cast<size_t>(n_objects) * 4 > frame.size()) {
+          return Truncated();
+        }
+        set.objects.reserve(n_objects);
+        for (uint32_t j = 0; j < n_objects; ++j) {
+          model::ObjectId oid = 0;
+          if (!ReadObjectId(reader, &oid)) return Truncated();
+          set.objects.push_back(oid);
+        }
+        uint64_t bits = 0;
+        if (!reader.U64(&bits)) return Truncated();
+        set.p = DoubleFromBits(bits);
+        dist.sets.push_back(std::move(set));
+      }
+      uint64_t entropy_bits = 0;
+      if (!reader.U64(&entropy_bits)) return Truncated();
+      dist.entropy = DoubleFromBits(entropy_bits);
+      response.payload = std::move(dist);
+      break;
+    }
+    case 5: {
+      uint64_t bits = 0;
+      if (!reader.U64(&bits)) return Truncated();
+      response.payload = Response::Quality{DoubleFromBits(bits)};
+      break;
+    }
+    case 6: {
+      Response::Metrics metrics;
+      if (!reader.I64(&metrics.sessions_open)) return Truncated();
+      uint32_t n = 0;
+      if (!reader.U32(&n)) return Truncated();
+      // Each entry costs at least 12 bytes (string header + i64).
+      if (static_cast<size_t>(n) * 12 > frame.size()) return Truncated();
+      metrics.session_bytes.reserve(n);
+      for (uint32_t i = 0; i < n; ++i) {
+        Response::SessionBytes entry;
+        if (!reader.Str(&entry.session) || !reader.I64(&entry.bytes)) {
+          return Truncated();
+        }
+        metrics.session_bytes.push_back(std::move(entry));
+      }
+      if (!reader.I64(&metrics.session_bytes_total)) return Truncated();
+      uint8_t has_scheduler = 0;
+      if (!reader.U8(&has_scheduler)) return Truncated();
+      if (has_scheduler > 1) {
+        return util::Status::InvalidArgument(
+            "protocol: invalid has_scheduler flag");
+      }
+      metrics.has_scheduler = has_scheduler == 1;
+      if (metrics.has_scheduler) {
+        if (!reader.I64(&metrics.queue_depth) ||
+            !reader.I64(&metrics.submitted) ||
+            !reader.I64(&metrics.executed) || !reader.I64(&metrics.shed) ||
+            !reader.I64(&metrics.deadline_misses)) {
+          return Truncated();
+        }
+      }
+      response.payload = std::move(metrics);
+      break;
+    }
+    default:
+      return util::Status::InvalidArgument(
+          "protocol: unknown payload kind " + std::to_string(kind));
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument(
+        "protocol: trailing bytes after binary response");
+  }
+  return response;
+}
+
+const Codec& CodecFor(WireFormat format) {
+  static const JsonCodec json;
+  static const BinaryCodec binary;
+  return format == WireFormat::kBinary ? static_cast<const Codec&>(binary)
+                                       : static_cast<const Codec&>(json);
+}
+
+}  // namespace ptk::serve

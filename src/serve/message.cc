@@ -1,0 +1,153 @@
+#include "serve/message.h"
+
+#include <cstring>
+#include <limits>
+
+namespace ptk::serve {
+
+namespace {
+
+bool SameBits(double a, double b) {
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;
+}
+
+}  // namespace
+
+std::string_view OpName(Op op) {
+  switch (op) {
+    case Op::kCreateSession: return "create_session";
+    case Op::kNextPairs: return "next_pairs";
+    case Op::kPostAnswers: return "post_answers";
+    case Op::kDistribution: return "distribution";
+    case Op::kQuality: return "quality";
+    case Op::kMetrics: return "metrics";
+    case Op::kClose: return "close";
+  }
+  return "?";
+}
+
+std::optional<Op> OpFromName(std::string_view name) {
+  if (name == "create_session") return Op::kCreateSession;
+  if (name == "next_pairs") return Op::kNextPairs;
+  if (name == "post_answers") return Op::kPostAnswers;
+  if (name == "distribution") return Op::kDistribution;
+  if (name == "quality") return Op::kQuality;
+  if (name == "metrics") return Op::kMetrics;
+  if (name == "close") return Op::kClose;
+  return std::nullopt;
+}
+
+util::Status ValidateRequest(const Request& request) {
+  if (request.count <= 0) {
+    return util::Status::InvalidArgument("protocol: count must be > 0");
+  }
+  if (request.count > RequestLimits::kMaxCount) {
+    return util::Status::InvalidArgument(
+        "protocol: count exceeds " +
+        std::to_string(RequestLimits::kMaxCount));
+  }
+  if (request.limit < 0 || request.deadline_ms < 0) {
+    return util::Status::InvalidArgument(
+        "protocol: limit and deadline_ms must be >= 0");
+  }
+  if (request.limit > RequestLimits::kMaxLimit) {
+    return util::Status::InvalidArgument(
+        "protocol: limit exceeds " +
+        std::to_string(RequestLimits::kMaxLimit));
+  }
+  if (request.deadline_ms > RequestLimits::kMaxDeadlineMs) {
+    return util::Status::InvalidArgument(
+        "protocol: deadline_ms exceeds " +
+        std::to_string(RequestLimits::kMaxDeadlineMs));
+  }
+  if (static_cast<int64_t>(request.answers.size()) >
+      RequestLimits::kMaxAnswers) {
+    return util::Status::InvalidArgument(
+        "protocol: answers exceed " +
+        std::to_string(RequestLimits::kMaxAnswers) + " pairs");
+  }
+  if (static_cast<int64_t>(request.id.size()) > RequestLimits::kMaxTagBytes ||
+      static_cast<int64_t>(request.session.size()) >
+          RequestLimits::kMaxTagBytes) {
+    return util::Status::InvalidArgument(
+        "protocol: id/session tag exceeds " +
+        std::to_string(RequestLimits::kMaxTagBytes) + " bytes");
+  }
+  for (const auto& [smaller, larger] : request.answers) {
+    if (smaller < 0 || larger < 0) {
+      return util::Status::InvalidArgument(
+          "protocol: answer object id out of range");
+    }
+  }
+  return util::Status::OK();
+}
+
+Response ErrorResponse(std::string id, util::Status status) {
+  Response response;
+  response.id = std::move(id);
+  response.status = std::move(status);
+  return response;
+}
+
+bool SameResponse(const Response& a, const Response& b) {
+  if (a.id != b.id) return false;
+  if (a.status.code() != b.status.code() ||
+      a.status.message() != b.status.message()) {
+    return false;
+  }
+  if (a.partial != b.partial) return false;
+  const int64_t ra = a.retry_after_ms < 0 ? -1 : a.retry_after_ms;
+  const int64_t rb = b.retry_after_ms < 0 ? -1 : b.retry_after_ms;
+  if (ra != rb) return false;
+  if (a.payload.index() != b.payload.index()) return false;
+  // std::variant's operator== dispatches to the alternatives' defaulted
+  // comparisons, which compare doubles with ==; re-check every double
+  // bitwise so -0.0 vs 0.0 (or a NaN) cannot alias as equal.
+  struct BitwiseCheck {
+    const Response::Payload& other;
+    bool operator()(const Response::None&) const { return true; }
+    bool operator()(const Response::Created& v) const {
+      return v == std::get<Response::Created>(other);
+    }
+    bool operator()(const Response::Pairs& v) const {
+      const auto& o = std::get<Response::Pairs>(other);
+      if (v.pairs.size() != o.pairs.size()) return false;
+      for (size_t i = 0; i < v.pairs.size(); ++i) {
+        if (v.pairs[i].a != o.pairs[i].a || v.pairs[i].b != o.pairs[i].b ||
+            !SameBits(v.pairs[i].ei, o.pairs[i].ei)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    bool operator()(const Response::Posted& v) const {
+      return v == std::get<Response::Posted>(other);
+    }
+    bool operator()(const Response::Distribution& v) const {
+      const auto& o = std::get<Response::Distribution>(other);
+      if (!SameBits(v.entropy, o.entropy) || v.sets.size() != o.sets.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < v.sets.size(); ++i) {
+        if (v.sets[i].objects != o.sets[i].objects ||
+            !SameBits(v.sets[i].p, o.sets[i].p)) {
+          return false;
+        }
+      }
+      return true;
+    }
+    bool operator()(const Response::Quality& v) const {
+      return SameBits(v.quality,
+                      std::get<Response::Quality>(other).quality);
+    }
+    bool operator()(const Response::Metrics& v) const {
+      return v == std::get<Response::Metrics>(other);
+    }
+  };
+  return std::visit(BitwiseCheck{b.payload}, a.payload);
+}
+
+}  // namespace ptk::serve

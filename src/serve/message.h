@@ -1,0 +1,164 @@
+#ifndef PTK_SERVE_MESSAGE_H_
+#define PTK_SERVE_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "model/instance.h"
+#include "util/status.h"
+
+namespace ptk::serve {
+
+/// The typed core of the serving protocol. A request or response exists
+/// exactly once as a value of these structs; the wire formats (JSON-lines
+/// and the length-prefixed binary framing, see serve/codec.h) are pure
+/// encodings of them. Execution (serve/protocol.h), coalescing and
+/// sharding (serve/runtime.h) all operate on these values — never on
+/// strings — so every frontend and every shard count serves bit-identical
+/// results by construction.
+
+/// The protocol operations. Values are the binary wire encoding and must
+/// never be renumbered.
+enum class Op : uint8_t {
+  kCreateSession = 0,
+  kNextPairs = 1,
+  kPostAnswers = 2,
+  kDistribution = 3,
+  kQuality = 4,
+  kMetrics = 5,
+  kClose = 6,
+};
+
+/// Stable wire name ("create_session", ...), as used by the JSON codec.
+std::string_view OpName(Op op);
+std::optional<Op> OpFromName(std::string_view name);
+
+struct Request {
+  Op op = Op::kMetrics;
+  std::string id;       // client correlation tag, echoed back verbatim
+  std::string session;  // target session ("" for create_session/metrics)
+  int64_t count = 1;    // next_pairs: pairs requested
+  int64_t limit = 0;    // distribution: top sets listed (0 = all)
+  int64_t deadline_ms = 0;  // per-request deadline; 0 = none
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> answers;
+
+  bool operator==(const Request&) const = default;
+};
+
+/// Upper bounds shared by every codec. Unbounded count/limit/deadline_ms
+/// let one request monopolize a worker (or overflow downstream int
+/// arithmetic); both codecs reject requests beyond these with
+/// InvalidArgument before execution ever sees them.
+struct RequestLimits {
+  static constexpr int64_t kMaxCount = 4096;
+  static constexpr int64_t kMaxLimit = int64_t{1} << 20;
+  static constexpr int64_t kMaxDeadlineMs = 3'600'000;  // one hour
+  static constexpr int64_t kMaxAnswers = 65536;
+  static constexpr int64_t kMaxTagBytes = 1024;  // id / session strings
+};
+
+/// Field-range validation common to both codecs (the structural grammar
+/// is each codec's own concern). OK iff every field is within the
+/// protocol's documented bounds.
+util::Status ValidateRequest(const Request& request);
+
+/// Outcome tally of one post_answers batch. Lives here (not inside
+/// SessionManager) because it is protocol surface: a failed batch's
+/// partial-effect report travels inside the error response.
+struct PostReport {
+  int applied = 0;        // constraints extended
+  int contradictory = 0;  // zero surviving worlds — discarded
+  int degenerate = 0;     // marginal fold would zero an object
+  uint64_t version = 0;   // engine constraint-set version afterwards
+
+  bool operator==(const PostReport&) const = default;
+};
+
+/// One response, payload typed per op. `status` carries the outcome;
+/// `payload` is meaningful only when status.ok() (errors always carry
+/// None). The extras:
+///   * `partial`: post_answers failing mid-batch reports what the prefix
+///     did (folded and journaled for good) inside the error object.
+///   * `retry_after_ms`: structured retry hint on shed errors
+///     (kResourceExhausted from admission control), < 0 when absent.
+struct Response {
+  struct None {
+    bool operator==(const None&) const = default;
+  };
+  struct Created {
+    std::string session;
+    bool operator==(const Created&) const = default;
+  };
+  /// One scored pair as served to clients: the wire carries exactly the
+  /// fields the JSON protocol always exposed (a, b, ei_estimate) — not
+  /// core::ScoredPair, whose bound fields never left the process.
+  struct PairScore {
+    model::ObjectId a = 0;
+    model::ObjectId b = 0;
+    double ei = 0.0;
+    bool operator==(const PairScore&) const = default;
+  };
+  struct Pairs {
+    std::vector<PairScore> pairs;
+    bool operator==(const Pairs&) const = default;
+  };
+  struct Posted {
+    PostReport report;
+    bool operator==(const Posted&) const = default;
+  };
+  struct RankedSet {
+    std::vector<model::ObjectId> objects;
+    double p = 0.0;
+    bool operator==(const RankedSet&) const = default;
+  };
+  struct Distribution {
+    std::vector<RankedSet> sets;
+    double entropy = 0.0;
+    bool operator==(const Distribution&) const = default;
+  };
+  struct Quality {
+    double quality = 0.0;
+    bool operator==(const Quality&) const = default;
+  };
+  struct SessionBytes {
+    std::string session;
+    int64_t bytes = 0;
+    bool operator==(const SessionBytes&) const = default;
+  };
+  struct Metrics {
+    int64_t sessions_open = 0;
+    std::vector<SessionBytes> session_bytes;  // lexicographic by session
+    int64_t session_bytes_total = 0;
+    bool has_scheduler = false;  // scheduler fields below are meaningful
+    int64_t queue_depth = 0;
+    int64_t submitted = 0;
+    int64_t executed = 0;
+    int64_t shed = 0;
+    int64_t deadline_misses = 0;
+    bool operator==(const Metrics&) const = default;
+  };
+  using Payload = std::variant<None, Created, Pairs, Posted, Distribution,
+                               Quality, Metrics>;
+
+  std::string id;  // echo of Request::id
+  util::Status status;
+  std::optional<PostReport> partial;  // error extra (post_answers)
+  int64_t retry_after_ms = -1;        // error extra (shed); < 0 = absent
+  Payload payload;
+};
+
+/// Error response carrying only the echo tag and the status.
+Response ErrorResponse(std::string id, util::Status status);
+
+/// Field-by-field equality, comparing doubles bitwise — the serving
+/// bit-identity contract, usable directly by tests and gates.
+bool SameResponse(const Response& a, const Response& b);
+
+}  // namespace ptk::serve
+
+#endif  // PTK_SERVE_MESSAGE_H_

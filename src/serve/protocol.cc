@@ -1,321 +1,133 @@
 #include "serve/protocol.h"
 
 #include <algorithm>
-#include <cstdio>
-#include <limits>
-#include <string>
 #include <utility>
-#include <vector>
 
-#include "data/field_parse.h"
-#include "obs/export.h"
 #include "pw/topk_distribution.h"
 
 namespace ptk::serve {
 
-namespace {
-
-util::Status ParseError(std::string_view what, std::string_view around) {
-  return util::Status::InvalidArgument(
-      "protocol: " + std::string(what) + " near " +
-      data::internal::Excerpt(around));
+Response ExecuteRequest(SessionManager& manager, const Scheduler* scheduler,
+                        const Request& request) {
+  Response response;
+  response.id = request.id;
+  switch (request.op) {
+    case Op::kCreateSession: {
+      util::StatusOr<std::string> id = manager.CreateSession();
+      if (!id.ok()) {
+        response.status = id.status();
+        return response;
+      }
+      response.payload = Response::Created{*std::move(id)};
+      return response;
+    }
+    case Op::kNextPairs: {
+      util::StatusOr<std::vector<core::ScoredPair>> pairs =
+          manager.NextPairs(request.session, static_cast<int>(request.count));
+      if (!pairs.ok()) {
+        response.status = pairs.status();
+        return response;
+      }
+      Response::Pairs payload;
+      payload.pairs.reserve(pairs->size());
+      for (const core::ScoredPair& pair : *pairs) {
+        payload.pairs.push_back({pair.a, pair.b, pair.ei_estimate});
+      }
+      response.payload = std::move(payload);
+      return response;
+    }
+    case Op::kPostAnswers: {
+      PostReport report;
+      const util::Status s =
+          manager.PostAnswers(request.session, request.answers, &report);
+      if (!s.ok()) {
+        response.status = s;
+        // Surface what the partial batch did: everything before the
+        // failing answer was folded (and journaled) for good. An unknown
+        // session had no partial effect at all, so no report travels.
+        if (s.code() != util::Status::Code::kNotFound) {
+          response.partial = report;
+        }
+        return response;
+      }
+      response.payload = Response::Posted{report};
+      return response;
+    }
+    case Op::kDistribution: {
+      util::StatusOr<pw::TopKDistribution> dist =
+          manager.Distribution(request.session);
+      if (!dist.ok()) {
+        response.status = dist.status();
+        return response;
+      }
+      const auto ranked = dist->SortedByProbDesc();
+      const size_t shown =
+          request.limit == 0
+              ? ranked.size()
+              : std::min(ranked.size(), static_cast<size_t>(request.limit));
+      Response::Distribution payload;
+      payload.sets.reserve(shown);
+      for (size_t i = 0; i < shown; ++i) {
+        payload.sets.push_back({ranked[i].first, ranked[i].second});
+      }
+      payload.entropy = dist->Entropy();
+      response.payload = std::move(payload);
+      return response;
+    }
+    case Op::kQuality: {
+      util::StatusOr<double> quality = manager.Quality(request.session);
+      if (!quality.ok()) {
+        response.status = quality.status();
+        return response;
+      }
+      response.payload = Response::Quality{*quality};
+      return response;
+    }
+    case Op::kMetrics: {
+      std::vector<const Scheduler*> schedulers;
+      if (scheduler != nullptr) schedulers.push_back(scheduler);
+      response.payload = BuildMetrics({&manager}, schedulers);
+      return response;
+    }
+    case Op::kClose: {
+      response.status = manager.Close(request.session);
+      return response;
+    }
+  }
+  response.status = util::Status::Internal("protocol: unhandled op");
+  return response;
 }
 
-/// Single-line JSON reader for the protocol's value subset. Strict:
-/// every syntax deviation is an error with the offending excerpt.
-class JsonReader {
- public:
-  explicit JsonReader(std::string_view text) : text_(text) {}
-
-  void SkipWs() {
-    while (pos_ < text_.size() &&
-           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
-            text_[pos_] == '\r')) {
-      ++pos_;
+Response::Metrics BuildMetrics(
+    const std::vector<const SessionManager*>& managers,
+    const std::vector<const Scheduler*>& schedulers) {
+  Response::Metrics metrics;
+  for (const SessionManager* manager : managers) {
+    metrics.sessions_open += manager->open_sessions();
+    for (const SessionManager::SessionMemory& memory :
+         manager->MemoryReport()) {
+      metrics.session_bytes.push_back({memory.id, memory.bytes});
+      metrics.session_bytes_total += memory.bytes;
     }
   }
-
-  bool Consume(char c) {
-    SkipWs();
-    if (pos_ < text_.size() && text_[pos_] == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
+  // Each manager reports its sessions in lexicographic id order; restore
+  // that global order across shards so a sharded metrics payload is
+  // bit-identical to the single-manager one.
+  std::sort(metrics.session_bytes.begin(), metrics.session_bytes.end(),
+            [](const Response::SessionBytes& a,
+               const Response::SessionBytes& b) {
+              return a.session < b.session;
+            });
+  metrics.has_scheduler = !schedulers.empty();
+  for (const Scheduler* scheduler : schedulers) {
+    const Scheduler::Stats stats = scheduler->stats();
+    metrics.queue_depth += scheduler->queue_depth();
+    metrics.submitted += stats.submitted;
+    metrics.executed += stats.executed;
+    metrics.shed += stats.shed;
+    metrics.deadline_misses += stats.deadline_misses;
   }
-
-  bool AtEnd() {
-    SkipWs();
-    return pos_ == text_.size();
-  }
-
-  std::string_view Rest() const { return text_.substr(pos_); }
-
-  util::Status ParseString(std::string* out) {
-    if (!Consume('"')) return ParseError("expected string", Rest());
-    out->clear();
-    while (pos_ < text_.size()) {
-      const char c = text_[pos_++];
-      if (c == '"') return util::Status::OK();
-      if (c != '\\') {
-        out->push_back(c);
-        continue;
-      }
-      if (pos_ == text_.size()) break;
-      const char esc = text_[pos_++];
-      switch (esc) {
-        case '"': out->push_back('"'); break;
-        case '\\': out->push_back('\\'); break;
-        case '/': out->push_back('/'); break;
-        case 'b': out->push_back('\b'); break;
-        case 'f': out->push_back('\f'); break;
-        case 'n': out->push_back('\n'); break;
-        case 'r': out->push_back('\r'); break;
-        case 't': out->push_back('\t'); break;
-        default:
-          return ParseError("unsupported string escape",
-                            text_.substr(pos_ - 2));
-      }
-    }
-    return ParseError("unterminated string", text_);
-  }
-
-  util::Status ParseInt(int64_t* out) {
-    SkipWs();
-    const size_t start = pos_;
-    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
-      ++pos_;
-    }
-    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
-      ++pos_;
-    }
-    const std::string_view token = text_.substr(start, pos_ - start);
-    if (!data::internal::ParseInt64Field(token, out)) {
-      return ParseError("expected integer", text_.substr(start));
-    }
-    return util::Status::OK();
-  }
-
- private:
-  std::string_view text_;
-  size_t pos_ = 0;
-};
-
-std::string FormatDouble(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
-  return buffer;
-}
-
-}  // namespace
-
-util::StatusOr<RequestLine> ParseRequestLine(std::string_view line) {
-  JsonReader reader(line);
-  if (!reader.Consume('{')) {
-    return ParseError("expected request object", line);
-  }
-  RequestLine request;
-  bool first = true;
-  while (!reader.Consume('}')) {
-    if (!first && !reader.Consume(',')) {
-      return ParseError("expected ',' or '}'", reader.Rest());
-    }
-    first = false;
-    std::string key;
-    if (util::Status s = reader.ParseString(&key); !s.ok()) return s;
-    if (!reader.Consume(':')) {
-      return ParseError("expected ':' after key '" + key + "'",
-                        reader.Rest());
-    }
-    if (key == "op") {
-      if (util::Status s = reader.ParseString(&request.op); !s.ok()) return s;
-    } else if (key == "session") {
-      if (util::Status s = reader.ParseString(&request.session); !s.ok()) {
-        return s;
-      }
-    } else if (key == "id") {
-      if (util::Status s = reader.ParseString(&request.id); !s.ok()) return s;
-    } else if (key == "count") {
-      if (util::Status s = reader.ParseInt(&request.count); !s.ok()) return s;
-    } else if (key == "limit") {
-      if (util::Status s = reader.ParseInt(&request.limit); !s.ok()) return s;
-    } else if (key == "deadline_ms") {
-      if (util::Status s = reader.ParseInt(&request.deadline_ms); !s.ok()) {
-        return s;
-      }
-    } else if (key == "answers") {
-      if (!reader.Consume('[')) {
-        return ParseError("expected answers array", reader.Rest());
-      }
-      while (!reader.Consume(']')) {
-        if (!request.answers.empty() && !reader.Consume(',')) {
-          return ParseError("expected ',' or ']' in answers", reader.Rest());
-        }
-        if (!reader.Consume('[')) {
-          return ParseError("expected [smaller,larger] pair", reader.Rest());
-        }
-        int64_t smaller = 0;
-        int64_t larger = 0;
-        if (util::Status s = reader.ParseInt(&smaller); !s.ok()) return s;
-        if (!reader.Consume(',')) {
-          return ParseError("expected ',' in answer pair", reader.Rest());
-        }
-        if (util::Status s = reader.ParseInt(&larger); !s.ok()) return s;
-        if (!reader.Consume(']')) {
-          return ParseError("expected ']' closing answer pair",
-                            reader.Rest());
-        }
-        constexpr int64_t kMaxId =
-            std::numeric_limits<model::ObjectId>::max();
-        if (smaller < 0 || smaller > kMaxId || larger < 0 ||
-            larger > kMaxId) {
-          return util::Status::InvalidArgument(
-              "protocol: answer object id out of range");
-        }
-        request.answers.emplace_back(static_cast<model::ObjectId>(smaller),
-                                     static_cast<model::ObjectId>(larger));
-      }
-    } else {
-      return util::Status::InvalidArgument("protocol: unknown key '" + key +
-                                           "'");
-    }
-  }
-  if (!reader.AtEnd()) {
-    return ParseError("trailing characters after request object",
-                      reader.Rest());
-  }
-  if (request.op.empty()) {
-    return util::Status::InvalidArgument("protocol: missing \"op\"");
-  }
-  if (request.count <= 0) {
-    return util::Status::InvalidArgument("protocol: count must be > 0");
-  }
-  if (request.limit < 0 || request.deadline_ms < 0) {
-    return util::Status::InvalidArgument(
-        "protocol: limit and deadline_ms must be >= 0");
-  }
-  return request;
-}
-
-util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
-                                           const Scheduler* scheduler,
-                                           const RequestLine& request,
-                                           std::string* error_detail) {
-  if (request.op == "create_session") {
-    util::StatusOr<std::string> id = manager.CreateSession();
-    if (!id.ok()) return id.status();
-    return ",\"session\":\"" + obs::JsonEscape(*id) + "\"";
-  }
-  if (request.op == "next_pairs") {
-    util::StatusOr<std::vector<core::ScoredPair>> pairs =
-        manager.NextPairs(request.session, static_cast<int>(request.count));
-    if (!pairs.ok()) return pairs.status();
-    std::string payload = ",\"pairs\":[";
-    for (size_t i = 0; i < pairs->size(); ++i) {
-      const core::ScoredPair& pair = (*pairs)[i];
-      if (i > 0) payload += ',';
-      payload += '[' + std::to_string(pair.a) + ',' +
-                 std::to_string(pair.b) + ',' +
-                 FormatDouble(pair.ei_estimate) + ']';
-    }
-    payload += ']';
-    return payload;
-  }
-  if (request.op == "post_answers") {
-    SessionManager::PostReport report;
-    const util::Status s =
-        manager.PostAnswers(request.session, request.answers, &report);
-    const std::string counts =
-        ",\"applied\":" + std::to_string(report.applied) +
-        ",\"contradictory\":" + std::to_string(report.contradictory) +
-        ",\"degenerate\":" + std::to_string(report.degenerate) +
-        ",\"version\":" + std::to_string(report.version);
-    if (!s.ok()) {
-      // Surface what the partial batch did: everything before the failing
-      // answer was folded (and journaled) for good.
-      if (error_detail != nullptr &&
-          s.code() != util::Status::Code::kNotFound) {
-        *error_detail = ",\"partial\":{" + counts.substr(1) + "}";
-      }
-      return s;
-    }
-    return counts;
-  }
-  if (request.op == "distribution") {
-    util::StatusOr<pw::TopKDistribution> dist =
-        manager.Distribution(request.session);
-    if (!dist.ok()) return dist.status();
-    const auto ranked = dist->SortedByProbDesc();
-    const size_t shown =
-        request.limit == 0
-            ? ranked.size()
-            : std::min(ranked.size(), static_cast<size_t>(request.limit));
-    std::string payload = ",\"sets\":[";
-    for (size_t i = 0; i < shown; ++i) {
-      if (i > 0) payload += ',';
-      payload += "{\"objects\":[";
-      for (size_t j = 0; j < ranked[i].first.size(); ++j) {
-        if (j > 0) payload += ',';
-        payload += std::to_string(ranked[i].first[j]);
-      }
-      payload += "],\"p\":" + FormatDouble(ranked[i].second) + '}';
-    }
-    payload += "],\"entropy\":" + FormatDouble(dist->Entropy());
-    return payload;
-  }
-  if (request.op == "quality") {
-    util::StatusOr<double> quality = manager.Quality(request.session);
-    if (!quality.ok()) return quality.status();
-    return ",\"quality\":" + FormatDouble(*quality);
-  }
-  if (request.op == "metrics") {
-    std::string payload =
-        ",\"sessions_open\":" + std::to_string(manager.open_sessions());
-    // Per-session delta memory: what each open session adds on top of the
-    // shared base artifacts (O(answers folded), see SessionMemory).
-    const auto memory = manager.MemoryReport();
-    int64_t total_bytes = 0;
-    payload += ",\"session_bytes\":{";
-    for (size_t i = 0; i < memory.size(); ++i) {
-      if (i > 0) payload += ',';
-      payload += "\"" + obs::JsonEscape(memory[i].id) +
-                 "\":" + std::to_string(memory[i].bytes);
-      total_bytes += memory[i].bytes;
-    }
-    payload += "},\"session_bytes_total\":" + std::to_string(total_bytes);
-    if (scheduler != nullptr) {
-      const Scheduler::Stats stats = scheduler->stats();
-      payload += ",\"queue_depth\":" + std::to_string(scheduler->queue_depth()) +
-                 ",\"submitted\":" + std::to_string(stats.submitted) +
-                 ",\"executed\":" + std::to_string(stats.executed) +
-                 ",\"shed\":" + std::to_string(stats.shed) +
-                 ",\"deadline_misses\":" + std::to_string(stats.deadline_misses);
-    }
-    return payload;
-  }
-  if (request.op == "close") {
-    if (util::Status s = manager.Close(request.session); !s.ok()) return s;
-    return std::string();
-  }
-  return util::Status::InvalidArgument("protocol: unknown op '" +
-                                       request.op + "'");
-}
-
-std::string RenderResponse(const std::string& id, const util::Status& status,
-                           const std::string& payload,
-                           const std::string& error_detail) {
-  std::string out = "{";
-  if (!id.empty()) out += "\"id\":\"" + obs::JsonEscape(id) + "\",";
-  if (status.ok()) {
-    out += "\"ok\":true" + payload + "}";
-  } else {
-    out += "\"ok\":false,\"error\":{\"code\":\"";
-    out += util::StatusCodeName(status.code());
-    out += "\",\"message\":\"" + obs::JsonEscape(status.message()) + "\"";
-    out += error_detail;
-    out += "}}";
-  }
-  return out;
+  return metrics;
 }
 
 }  // namespace ptk::serve

@@ -1,79 +1,41 @@
 #ifndef PTK_SERVE_PROTOCOL_H_
 #define PTK_SERVE_PROTOCOL_H_
 
-#include <cstdint>
 #include <string>
-#include <string_view>
-#include <utility>
 #include <vector>
 
-#include "model/instance.h"
+#include "serve/message.h"
 #include "serve/scheduler.h"
 #include "serve/session_manager.h"
 #include "util/status.h"
-#include "util/statusor.h"
 
 namespace ptk::serve {
 
-/// The JSON-lines serving protocol: one request object per input line,
-/// one response object per output line. Strict in the PR-2 sense — an
-/// unknown key, a number with trailing garbage, or any structural noise
-/// is an InvalidArgument naming the offending token, never silently
-/// ignored. The value grammar is the subset the protocol needs (strings
-/// with the common escapes, 64-bit integers, and the answers array of
-/// [smaller, larger] id pairs); numbers parse through the same
-/// whole-field helpers as the CSV boundary (data/field_parse.h).
+/// Execution of the typed protocol (serve/message.h) against a
+/// SessionManager. This layer is pure value → value: wire text never
+/// appears here (that is serve/codec.h's job), and rendering decisions
+/// never leak in. The historical string-fragment ExecuteRequest contract
+/// (comma-led payload splices + an `error_detail` out-param) is gone;
+/// partial-effect reporting for post_answers travels inside
+/// Response::partial instead.
 ///
-/// Requests:
-///   {"op":"create_session"}
-///   {"op":"next_pairs","session":"s1","count":2}
-///   {"op":"post_answers","session":"s1","answers":[[2,0],[1,0]]}
-///   {"op":"distribution","session":"s1","limit":3}
-///   {"op":"quality","session":"s1"}
-///   {"op":"metrics"}
-///   {"op":"close","session":"s1"}
-/// Every request may carry "id" (echoed back verbatim) and "deadline_ms"
-/// (per-request deadline, enforced by the scheduler).
+/// Requests are assumed codec-validated (ValidateRequest). The request's
+/// correlation tag is echoed into Response::id.
 ///
-/// Responses:
-///   {"id":...,"ok":true,<op payload>}
-///   {"id":...,"ok":false,"error":{"code":"NotFound","message":"..."}}
-struct RequestLine {
-  std::string op;
-  std::string session;
-  std::string id;         // client correlation tag, echoed back
-  int64_t count = 1;      // next_pairs
-  int64_t limit = 0;      // distribution: top sets listed (0 = all)
-  int64_t deadline_ms = 0;  // 0 = no deadline
-  std::vector<std::pair<model::ObjectId, model::ObjectId>> answers;
-};
+/// For Op::kMetrics, `scheduler` (nullable) contributes the queue/stat
+/// fields; sharded frontends aggregate across shards with BuildMetrics
+/// instead of calling this per shard.
+Response ExecuteRequest(SessionManager& manager, const Scheduler* scheduler,
+                        const Request& request);
 
-/// Parses one request line. The returned line has a known op and
-/// validated field ranges.
-util::StatusOr<RequestLine> ParseRequestLine(std::string_view line);
-
-/// Executes the op against the manager (and scheduler, for "metrics";
-/// null omits the scheduler fields) and returns the response payload —
-/// the comma-led fragment spliced after `"ok":true` (empty for ops with
-/// no payload, e.g. close).
-///
-/// When `error_detail` is non-null and the op failed mid-way with partial
-/// effect (post_answers stopping at a malformed answer after folding
-/// earlier ones), it receives a comma-led fragment for the error object:
-///   ,"partial":{"applied":N,"contradictory":N,"degenerate":N,"version":V}
-/// so the client learns exactly which prefix of its batch took effect.
-util::StatusOr<std::string> ExecuteRequest(SessionManager& manager,
-                                           const Scheduler* scheduler,
-                                           const RequestLine& request,
-                                           std::string* error_detail = nullptr);
-
-/// One full response line (no trailing newline). `id` may be empty.
-/// `error_detail` (comma-led, e.g. from ExecuteRequest) is spliced into
-/// the error object; ignored for OK responses. The default keeps the
-/// historical shape byte-for-byte.
-std::string RenderResponse(const std::string& id, const util::Status& status,
-                           const std::string& payload,
-                           const std::string& error_detail = std::string());
+/// Aggregated metrics payload across shards: open sessions and memory
+/// reports are merged (per-session entries re-sorted lexicographically by
+/// id, matching the single-manager report order), scheduler stats are
+/// summed. `schedulers` may be empty (no scheduler fields) but must
+/// otherwise be free of nulls.
+Response::Metrics BuildMetrics(
+    const std::vector<const SessionManager*>& managers,
+    const std::vector<const Scheduler*>& schedulers);
 
 }  // namespace ptk::serve
 

@@ -1,0 +1,237 @@
+#ifndef PTK_SERVE_RUNTIME_H_
+#define PTK_SERVE_RUNTIME_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "model/database.h"
+#include "obs/metrics.h"
+#include "serve/message.h"
+#include "serve/scheduler.h"
+#include "serve/session_manager.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk::serve {
+
+/// Shard routing: FNV-1a 64 of the session id, reduced mod `shards`.
+/// Stable across processes and shard counts are a deployment choice — the
+/// same id always lands on hash(id) % shards.
+int ShardOfSession(std::string_view session_id, int shards);
+
+/// The sharded, coalescing front of the serving stack: N shards, each one
+/// owning its own SessionManager + Scheduler (hash session id -> shard),
+/// with request coalescing folding queued work into fewer engine passes.
+///
+/// Bit-identity: session ids are assigned from ONE runtime-global counter
+/// ("s1", "s2", ... in submission order), independent of the shard count,
+/// and every session op routes to the one shard owning its id — so the
+/// same request stream produces byte-identical responses on 1 shard and
+/// on N (pinned by tests/shared_sessions_test.cc and tools/check.sh).
+/// The metrics payload is the exception by nature: queue depths and
+/// scheduler tallies reflect scheduling, not session state.
+///
+/// Coalescing (Options::coalesce):
+///   * same-session post_answers: batches queued behind an in-flight or
+///     pending post group MERGE into it — one session lock, one engine
+///     pass, one journal fsync for the whole group — with per-batch
+///     reports identical to sequential execution (fold order is
+///     submission order; see SessionManager::PostAnswersBatched).
+///   * cross-session distribution/quality: concurrent reads on idle
+///     sessions of a shard join one read group executed under a single
+///     shared-artifact epoch pin (SessionManager::PinArtifacts) — one
+///     scheduler task and one epoch entry instead of N.
+/// Coalescing never reorders a session's requests: each session's groups
+/// execute one at a time, in submission order.
+///
+/// Admission: per shard, at most Options::scheduler.queue_capacity
+/// requests may be waiting (grouped or not). Beyond that Submit responds
+/// immediately with kResourceExhausted carrying the machine-readable
+/// Response::retry_after_ms hint (Options::shed_retry_after_ms). Because
+/// coalescing drains the backlog in fewer, fatter passes, the same
+/// offered load sheds strictly less with it on (bench/serve_bench.cc).
+///
+/// Deadlines: single (non-coalesced) ops keep the scheduler's full
+/// deadline machinery — expiry before execution and mid-execution
+/// cancellation through the session's CancelSource. Items inside a
+/// coalesced group are checked at group execution start: an expired item
+/// is answered kDeadlineExceeded without touching the engine (counted in
+/// Stats::deadline_misses); a started item runs to completion.
+class Runtime {
+ public:
+  struct Options {
+    /// Shard count (clamped to >= 1). Each shard owns one SessionManager
+    /// and one Scheduler, so `manager.max_sessions` and
+    /// `scheduler.queue_capacity` are PER-SHARD budgets.
+    int shards = 1;
+
+    /// Master switch for both coalescing paths (off = every request is
+    /// its own scheduler task, PR-5 behaviour behind the typed API).
+    bool coalesce = true;
+
+    /// Retry hint stamped into shed responses' retry_after_ms.
+    int64_t shed_retry_after_ms = 1;
+
+    /// Upper bound on items in one cross-session read group (clamped to
+    /// >= 1). Unbounded batches convoy: one scheduler task serializes
+    /// reads idle workers could run in parallel, and every involved
+    /// session head-of-line blocks its own posts behind the batch. A
+    /// full group stops accepting joiners; the next read opens a fresh
+    /// one. Same-session post merges stay unbounded — a session's posts
+    /// are serial either way, so merging them never costs parallelism.
+    int max_read_batch = 16;
+
+    /// Per-shard layers. With persistence configured, all shards share
+    /// manager.persist.dir — each journaled session belongs to exactly
+    /// one shard (its id's hash), so the stores never collide.
+    SessionManager::Options manager;
+    Scheduler::Options scheduler;
+  };
+
+  /// `db` must be finalized and outlive the runtime. Builds every shard's
+  /// manager (each pre-warms from the shared catalog when persistence is
+  /// on) and starts the shard schedulers.
+  Runtime(const model::Database& db, const Options& options);
+
+  /// Shutdown(), then tears the shards down.
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  /// Submits one request. `done` fires exactly once per call — from a
+  /// worker thread normally; inline from Submit for shed / shutdown
+  /// rejections and for kMetrics (see below). The request must be
+  /// codec-validated (ValidateRequest).
+  ///
+  /// kMetrics is a consistent-snapshot barrier: Submit waits for every
+  /// shard to drain its admitted work, then aggregates all shards
+  /// (BuildMetrics) inline. Concurrent Submit calls from other threads
+  /// are not fenced — the barrier orders the metrics read against
+  /// requests submitted before it on this thread.
+  void Submit(Request request, std::function<void(Response)> done);
+
+  /// Recovers every journaled session into the shard owning its id and
+  /// resumes the global id counter past the recovered ids. Same
+  /// preconditions as SessionManager::RecoverSessions: persistence
+  /// configured, nothing submitted yet. Returns sessions recovered.
+  util::StatusOr<int> Recover();
+
+  /// Stops admission (later Submits answer kFailedPrecondition), waits
+  /// for every admitted group to finish, then shuts the shard schedulers
+  /// down. Idempotent.
+  void Shutdown();
+
+  struct Stats {
+    int64_t submitted = 0;        // requests admitted
+    int64_t completed = 0;        // requests answered (non-shed)
+    int64_t shed = 0;             // requests rejected at admission
+    int64_t coalesced_posts = 0;  // post batches merged into a group
+    int64_t batched_reads = 0;    // reads that joined a read group
+    int64_t deadline_misses = 0;  // group items expired before start
+  };
+  Stats stats() const;
+
+  int shards() const { return static_cast<int>(shards_.size()); }
+  const SessionManager& manager(int shard) const {
+    return *shards_[shard]->manager;
+  }
+
+ private:
+  struct Item {
+    Request request;
+    std::function<void(Response)> done;
+    std::chrono::steady_clock::time_point deadline_at{};
+    bool has_deadline = false;
+  };
+
+  /// One scheduler task. kSingle carries exactly one item; kPosts is a
+  /// same-session post_answers merge; kReads spans idle sessions of one
+  /// shard. `closed` flips at execution start (under the shard mutex):
+  /// a closed group never accepts another item.
+  struct Group {
+    enum class Kind { kSingle, kPosts, kReads } kind = Kind::kSingle;
+    bool closed = false;
+    std::vector<Item> items;
+    std::set<std::string> sessions;  // sessions whose queues this heads
+    Response single_response;        // kSingle: filled by work()
+  };
+
+  /// Per-session FIFO of groups: `current` is dispatched to the shard
+  /// scheduler (and, until closed, may still accept merges); `pending`
+  /// dispatch one at a time as predecessors finish.
+  struct SessionQueue {
+    std::shared_ptr<Group> current;
+    std::deque<std::shared_ptr<Group>> pending;
+  };
+
+  struct Shard {
+    std::unique_ptr<SessionManager> manager;
+    std::unique_ptr<Scheduler> scheduler;
+
+    std::mutex mu;  // guards everything below
+    std::map<std::string, SessionQueue> sessions;
+    /// The shard-wide read group currently accepting joiners (null when
+    /// none is open). Always == some involved session's `current`.
+    std::shared_ptr<Group> open_reads;
+    int waiting = 0;      // admitted requests whose group hasn't started
+    int outstanding = 0;  // groups dispatched or pending
+    std::condition_variable drain_cv;  // outstanding == 0
+
+    // Per-shard labelled families (label-in-name convention, see
+    // obs::FormatPrometheus).
+    obs::Counter* requests_total = nullptr;
+    obs::Counter* shed_total = nullptr;
+    obs::Counter* coalesced_folds_total = nullptr;
+    obs::Counter* batched_reads_total = nullptr;
+  };
+
+  /// Hands the group to the shard scheduler (kSingle wires deadline +
+  /// cancel; group kinds run as plain tasks). Caller holds shard.mu.
+  void DispatchLocked(Shard& shard, int shard_index,
+                      const std::shared_ptr<Group>& group);
+  /// Flips the group closed (idempotent) and moves its items out of the
+  /// shard's waiting count; a closed open_reads stops accepting joiners.
+  void AccountStart(Shard& shard, const std::shared_ptr<Group>& group);
+  /// Runs the group on a worker: deadline triage, engine passes, and the
+  /// per-item done callbacks (group kinds; kSingle's fires from the
+  /// scheduler done hook so deadline post-processing applies).
+  void ExecuteGroup(int shard_index, const std::shared_ptr<Group>& group);
+  /// One non-coalesced op against the shard (create uses the runtime-
+  /// assigned id stashed in Request::session).
+  Response ExecuteSingle(int shard_index, const Request& request);
+  /// Advances every involved session's queue and the drain accounting.
+  void OnGroupDone(int shard_index, const std::shared_ptr<Group>& group);
+
+  void RespondShed(const Item& item, int waiting);
+  Response MetricsBarrier(const Request& request);
+
+  Options options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<bool> accepting_{true};
+  bool shut_down_ = false;  // guarded by shutdown_mu_
+  std::mutex shutdown_mu_;
+
+  std::atomic<int64_t> submitted_{0};
+  std::atomic<int64_t> completed_{0};
+  std::atomic<int64_t> shed_{0};
+  std::atomic<int64_t> coalesced_posts_{0};
+  std::atomic<int64_t> batched_reads_{0};
+  std::atomic<int64_t> deadline_misses_{0};
+};
+
+}  // namespace ptk::serve
+
+#endif  // PTK_SERVE_RUNTIME_H_

@@ -140,40 +140,71 @@ void SessionManager::DrainSessionBytes(Session* session) {
   if (before != 0) SessionBytesGauge()->Sub(before);
 }
 
+util::Status SessionManager::CreateSessionLocked(const std::string& id) {
+  if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
+    return util::Status::ResourceExhausted(
+        "session table full (" + std::to_string(options_.max_sessions) +
+        " open); close a session and retry");
+  }
+  if (sessions_.contains(id)) {
+    return util::Status::InvalidArgument("session '" + id +
+                                         "' already open");
+  }
+  auto session = std::make_shared<Session>(
+      *db_, EngineOptions(options_, membership_, tree_, epochs_));
+  if (persist_enabled()) {
+    persist::SessionMeta meta;
+    meta.session_id = id;
+    meta.db_fingerprint = db_fingerprint_;
+    meta.k = options_.k;
+    meta.order = static_cast<uint8_t>(options_.order);
+    meta.update_working = options_.update_working;
+    util::StatusOr<persist::SessionStore> store = persist::SessionStore::
+        Create(options_.persist.dir, meta, options_.persist.fsync);
+    if (!store.ok()) {
+      return store.status().WithContext("create session journal");
+    }
+    session->store = std::move(*store);
+  }
+  sessions_.emplace(id, std::move(session));
+  return util::Status::OK();
+}
+
 util::StatusOr<std::string> SessionManager::CreateSession() {
   static obs::Counter* const created = obs::GetCounter(
       "ptk_serve_sessions_total", "Serving sessions created");
-  std::shared_ptr<Session> session;
   std::string id;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
-      return util::Status::ResourceExhausted(
-          "session table full (" + std::to_string(options_.max_sessions) +
-          " open); close a session and retry");
-    }
-    id = "s" + std::to_string(next_id_++);
-    session = std::make_shared<Session>(
-        *db_, EngineOptions(options_, membership_, tree_, epochs_));
-    if (persist_enabled()) {
-      persist::SessionMeta meta;
-      meta.session_id = id;
-      meta.db_fingerprint = db_fingerprint_;
-      meta.k = options_.k;
-      meta.order = static_cast<uint8_t>(options_.order);
-      meta.update_working = options_.update_working;
-      util::StatusOr<persist::SessionStore> store = persist::SessionStore::
-          Create(options_.persist.dir, meta, options_.persist.fsync);
-      if (!store.ok()) {
-        return store.status().WithContext("create session journal");
-      }
-      session->store = std::move(*store);
-    }
-    sessions_.emplace(id, std::move(session));
+    // The id is only consumed on success: a shed create never burns one.
+    id = "s" + std::to_string(next_id_);
+    if (util::Status s = CreateSessionLocked(id); !s.ok()) return s;
+    ++next_id_;
   }
   created->Add();
   SessionsOpenGauge()->Add();
   return id;
+}
+
+util::Status SessionManager::CreateSession(const std::string& id) {
+  static obs::Counter* const created = obs::GetCounter(
+      "ptk_serve_sessions_total", "Serving sessions created");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (util::Status s = CreateSessionLocked(id); !s.ok()) return s;
+    // Keep the internal sequence ahead of caller-chosen numeric ids so a
+    // later CreateSession() cannot collide with one.
+    if (id.size() > 1 && id[0] == 's') {
+      char* end = nullptr;
+      const unsigned long long n = std::strtoull(id.c_str() + 1, &end, 10);
+      if (end != nullptr && *end == '\0' && n >= next_id_) {
+        next_id_ = n + 1;
+      }
+    }
+  }
+  created->Add();
+  SessionsOpenGauge()->Add();
+  return util::Status::OK();
 }
 
 std::shared_ptr<SessionManager::Session> SessionManager::Find(
@@ -337,17 +368,10 @@ util::StatusOr<std::vector<core::ScoredPair>> SessionManager::NextPairs(
   return picked;
 }
 
-util::Status SessionManager::PostAnswers(
-    const std::string& id,
+util::Status SessionManager::FoldBatch(
+    Session* session,
     const std::vector<std::pair<model::ObjectId, model::ObjectId>>& answers,
     PostReport* report) {
-  *report = PostReport{};
-  const std::shared_ptr<Session> session = Find(id);
-  if (session == nullptr) {
-    return util::Status::NotFound("unknown session '" + id + "'");
-  }
-  obs::Span span("serve.post_answers");
-  std::lock_guard<std::mutex> lock(session->mu);
   util::Status status = util::Status::OK();
   for (const auto& [smaller, larger] : answers) {
     engine::RankingEngine::FoldOutcome outcome;
@@ -377,13 +401,28 @@ util::Status SessionManager::PostAnswers(
     record.larger = larger;
     record.update_working = options_.update_working;
     record.fold_version = session->engine.version();
-    status = Journal(session.get(), record);
+    status = Journal(session, record);
     if (!status.ok()) {
       status = status.WithContext("journal post_answers");
       break;
     }
   }
   report->version = session->engine.version();
+  return status;
+}
+
+util::Status SessionManager::PostAnswers(
+    const std::string& id,
+    const std::vector<std::pair<model::ObjectId, model::ObjectId>>& answers,
+    PostReport* report) {
+  *report = PostReport{};
+  const std::shared_ptr<Session> session = Find(id);
+  if (session == nullptr) {
+    return util::Status::NotFound("unknown session '" + id + "'");
+  }
+  obs::Span span("serve.post_answers");
+  std::lock_guard<std::mutex> lock(session->mu);
+  util::Status status = FoldBatch(session.get(), answers, report);
   // Even a partially failed batch syncs what it journaled: the report
   // tells the caller which answers took effect, and those must be as
   // durable as a fully successful batch.
@@ -394,6 +433,35 @@ util::Status SessionManager::PostAnswers(
   // re-account its share of the memory gauge while mu is still held.
   AccountSessionBytes(session.get());
   return status;
+}
+
+util::Status SessionManager::PostAnswersBatched(
+    const std::string& id, std::vector<PostBatch>* batches) {
+  const std::shared_ptr<Session> session = Find(id);
+  if (session == nullptr) {
+    return util::Status::NotFound("unknown session '" + id + "'");
+  }
+  obs::Span span("serve.post_answers");
+  std::lock_guard<std::mutex> lock(session->mu);
+  // Folds run in list order, so every batch's report is identical to what
+  // sequential PostAnswers calls would have produced; a mid-batch failure
+  // stops that batch only, exactly like its own call would have.
+  for (PostBatch& batch : *batches) {
+    batch.report = PostReport{};
+    batch.status = FoldBatch(session.get(), batch.answers, &batch.report);
+  }
+  // The coalescing win: one journal commit (fsync or snapshot) for the
+  // whole group. A commit failure poisons every batch that thought it
+  // succeeded — their durability claim is what just failed.
+  if (util::Status s = CommitJournal(session.get()); !s.ok()) {
+    for (PostBatch& batch : *batches) {
+      if (batch.status.ok()) {
+        batch.status = s.WithContext("journal post_answers");
+      }
+    }
+  }
+  AccountSessionBytes(session.get());
+  return util::Status::OK();
 }
 
 util::StatusOr<pw::TopKDistribution> SessionManager::Distribution(
@@ -453,6 +521,11 @@ util::Status SessionManager::Close(const std::string& id) {
 }
 
 util::StatusOr<int> SessionManager::RecoverSessions() {
+  return RecoverSessions([](const std::string&) { return true; });
+}
+
+util::StatusOr<int> SessionManager::RecoverSessions(
+    const std::function<bool(const std::string&)>& filter) {
   static obs::Counter* const recovered_sessions = obs::GetCounter(
       "ptk_persist_recovery_sessions_total",
       "Sessions rebuilt from their journals at startup");
@@ -478,6 +551,8 @@ util::StatusOr<int> SessionManager::RecoverSessions() {
 
   int count = 0;
   for (const std::string& id : *ids) {
+    // Not this caller's shard: leave the journal on disk untouched.
+    if (!filter(id)) continue;
     obs::ScopedTimer timer(recovery_seconds);
     util::StatusOr<persist::RecoveredSession> recovered =
         persist::SessionStore::OpenExisting(options_.persist.dir, id,
@@ -584,6 +659,11 @@ SessionManager::CancelHandle SessionManager::CancelSourceFor(
 int SessionManager::open_sessions() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(sessions_.size());
+}
+
+uint64_t SessionManager::next_session_number() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_id_;
 }
 
 std::vector<SessionManager::SessionMemory> SessionManager::MemoryReport()

@@ -19,6 +19,7 @@
 #include "persist/session_store.h"
 #include "pw/topk_distribution.h"
 #include "rank/membership.h"
+#include "serve/message.h"
 #include "util/cancellation.h"
 #include "util/epoch.h"
 #include "util/status.h"
@@ -130,6 +131,15 @@ class SessionManager {
   /// kResourceExhausted once max_sessions are open (close one and retry).
   util::StatusOr<std::string> CreateSession();
 
+  /// Opens a session under a caller-chosen id. The sharded runtime
+  /// (serve/runtime.h) assigns globally sequential ids itself — so the
+  /// id stream is independent of the shard count — and places each one
+  /// in its owning shard through this overload. A currently-open
+  /// duplicate id is InvalidArgument; admission control applies as in
+  /// CreateSession(). Numeric "s<N>" ids advance the manager's own id
+  /// sequence past N, keeping the two entry points collision-free.
+  util::Status CreateSession(const std::string& id);
+
   /// Rebuilds every session journaled under Options::persist.dir: restores
   /// each one's latest snapshot, replays the WAL records past it through
   /// the same RankingEngine::Fold path that produced them (cross-checking
@@ -144,6 +154,14 @@ class SessionManager {
   /// manager's database and options (fingerprint or config mismatch).
   util::StatusOr<int> RecoverSessions();
 
+  /// Recovery restricted to the journaled ids the predicate accepts —
+  /// how a sharded runtime routes each persisted session to the one
+  /// manager that owns it (ids failing the predicate are left on disk,
+  /// untouched, for the other shards). Same preconditions as the
+  /// unfiltered overload.
+  util::StatusOr<int> RecoverSessions(
+      const std::function<bool(const std::string&)>& filter);
+
   /// Selects up to `count` not-yet-asked pairs for the session, best
   /// first, and marks them as posted (a repeated call keeps walking down
   /// the selector's stream). Fails with kResourceExhausted when the
@@ -152,13 +170,9 @@ class SessionManager {
   util::StatusOr<std::vector<core::ScoredPair>> NextPairs(
       const std::string& id, int count);
 
-  /// Outcome tally of one PostAnswers batch.
-  struct PostReport {
-    int applied = 0;        // constraints extended
-    int contradictory = 0;  // zero surviving worlds — discarded
-    int degenerate = 0;     // marginal fold would zero an object
-    uint64_t version = 0;   // engine constraint-set version afterwards
-  };
+  /// Outcome tally of one PostAnswers batch. Now protocol surface
+  /// (serve/message.h); the nested name stays as the historical spelling.
+  using PostReport = serve::PostReport;
 
   /// Folds crowd answers — each pair is (smaller, larger): the first
   /// object ranks above (is smaller than) the second — into the session's
@@ -176,6 +190,27 @@ class SessionManager {
       const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
           answers,
       PostReport* report);
+
+  /// One coalesced post_answers batch: the runtime folds several queued
+  /// same-session batches under ONE session lock, ONE engine pass, and
+  /// ONE journal commit (fsync / snapshot decision) instead of one each.
+  struct PostBatch {
+    /// In: the batch's answers, as in PostAnswers.
+    std::vector<std::pair<model::ObjectId, model::ObjectId>> answers;
+    /// Out: this batch's own outcome — identical, item for item, to what
+    /// the same batches issued as sequential PostAnswers calls would
+    /// have reported (folds happen in list order).
+    util::Status status;
+    PostReport report;
+  };
+
+  /// Applies the batches in order against one session. Returns kNotFound
+  /// (and touches no batch outcome) when the session is unknown;
+  /// otherwise OK, with every batch's own result in its status/report.
+  /// After a batch fails mid-way the remaining batches still run — just
+  /// as they would have under sequential PostAnswers calls.
+  util::Status PostAnswersBatched(const std::string& id,
+                                  std::vector<PostBatch>* batches);
 
   /// The session's conditioned top-k distribution (memoized per
   /// constraint-set version).
@@ -199,6 +234,19 @@ class SessionManager {
   int open_sessions() const;
   const model::Database& db() const { return *db_; }
   const Options& options() const { return options_; }
+
+  /// Pins this manager's epoch domain: delta-tree node versions retired
+  /// while the guard lives stay reachable. The runtime wraps one guard
+  /// around a whole batched read group so N coalesced distribution /
+  /// quality reads cost a single epoch entry instead of N.
+  util::EpochManager::ReadGuard PinArtifacts() const {
+    return epochs_->Enter();
+  }
+
+  /// The next value of the internal "s<N>" id sequence (1 on a fresh
+  /// manager). The sharded runtime resumes its global id counter at the
+  /// max across its shards after recovery.
+  uint64_t next_session_number() const;
 
   /// Per-session delta memory, for the metrics server op and capacity
   /// tests. `bytes` is the engine's MemoryFootprint total: overlay
@@ -248,6 +296,20 @@ class SessionManager {
   };
 
   std::shared_ptr<Session> Find(const std::string& id) const;
+
+  /// Admission check + table insert under mu_ (held by caller) for the
+  /// given id; shared by both CreateSession entry points.
+  util::Status CreateSessionLocked(const std::string& id);
+
+  /// Folds one batch's answers into the session (caller holds
+  /// session->mu), journaling each one — the per-answer core both
+  /// PostAnswers and PostAnswersBatched share. Does NOT commit the
+  /// journal; the caller owns the batch-final CommitJournal.
+  util::Status FoldBatch(
+      Session* session,
+      const std::vector<std::pair<model::ObjectId, model::ObjectId>>&
+          answers,
+      PostReport* report);
 
   bool persist_enabled() const { return !options_.persist.dir.empty(); }
 

@@ -1,0 +1,423 @@
+// The wire codecs (src/serve/codec.h): JSON-lines and the
+// length-prefixed binary format over the typed protocol core.
+//
+// The load-bearing guarantee is cross-codec equivalence: any valid
+// request or response round-trips through either codec to the same typed
+// value — doubles bit-exactly through binary, and through JSON's %.9g
+// text without drift (both sides render with the same formatter). The
+// same property is enforced end-to-end by the tools/check.sh cross-codec
+// transcript gate; fuzz/frame_fuzz.cc hammers the binary frame reader
+// with arbitrary bytes.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/codec.h"
+#include "serve/message.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk {
+namespace {
+
+using serve::Codec;
+using serve::CodecFor;
+using serve::FrameSplit;
+using serve::Request;
+using serve::Response;
+using serve::WireFormat;
+using util::Status;
+using util::StatusOr;
+
+const Codec& Json() { return CodecFor(WireFormat::kJsonLines); }
+const Codec& Binary() { return CodecFor(WireFormat::kBinary); }
+
+// A spread of requests covering every op and every optional field.
+std::vector<Request> SampleRequests() {
+  std::vector<Request> requests;
+  Request create;
+  create.op = serve::Op::kCreateSession;
+  create.id = "c1";
+  requests.push_back(create);
+
+  Request pairs;
+  pairs.op = serve::Op::kNextPairs;
+  pairs.id = "n1";
+  pairs.session = "s1";
+  pairs.count = 7;
+  pairs.deadline_ms = 250;
+  requests.push_back(pairs);
+
+  Request post;
+  post.op = serve::Op::kPostAnswers;
+  post.id = "a \"quoted\"\ttag";  // exercises JSON escaping
+  post.session = "s2";
+  post.answers = {{2, 0}, {1, 3}, {0, 4}};
+  requests.push_back(post);
+
+  Request dist;
+  dist.op = serve::Op::kDistribution;
+  dist.session = "s3";
+  dist.limit = 12;
+  requests.push_back(dist);
+
+  Request quality;
+  quality.op = serve::Op::kQuality;
+  quality.session = "s1";
+  requests.push_back(quality);
+
+  Request metrics;
+  metrics.op = serve::Op::kMetrics;
+  metrics.id = "m";
+  requests.push_back(metrics);
+
+  Request close;
+  close.op = serve::Op::kClose;
+  close.session = "s1";
+  requests.push_back(close);
+  return requests;
+}
+
+// A spread of responses covering every payload kind and both error
+// extras. The doubles are chosen to not survive naive text round-trips
+// (0.1 + 0.2, a subnormal, huge magnitudes) — binary must carry their
+// exact bits, and both codecs' %.9g rendering must agree byte-for-byte.
+std::vector<Response> SampleResponses() {
+  std::vector<Response> responses;
+  Response created;
+  created.id = "c1";
+  created.payload = Response::Created{"s1"};
+  responses.push_back(created);
+
+  Response pairs;
+  pairs.id = "n1";
+  pairs.payload =
+      Response::Pairs{{{2, 1, 0.1 + 0.2}, {0, 3, 5e-324}, {4, 5, 1e300}}};
+  responses.push_back(pairs);
+
+  Response posted;
+  posted.id = "a1";
+  posted.payload = Response::Posted{{3, 1, 0, 42}};
+  responses.push_back(posted);
+
+  Response dist;
+  dist.payload = Response::Distribution{
+      {{{0, 2}, 0.8}, {{1, 2}, 0.2}}, 0.500402424242};
+  responses.push_back(dist);
+
+  Response quality;
+  quality.id = "q";
+  quality.payload = Response::Quality{1.0 / 3.0};
+  responses.push_back(quality);
+
+  Response metrics;
+  metrics.payload =
+      Response::Metrics{2, {{"s1", 128}, {"s2", 0}}, 128, true, 1, 9, 8,
+                        0, 0};
+  responses.push_back(metrics);
+
+  Response closed;
+  closed.id = "g";
+  responses.push_back(closed);  // kClose success: None payload
+
+  Response error;
+  error.id = "h";
+  error.status = Status::NotFound("unknown session 's9'");
+  responses.push_back(error);
+
+  Response partial;
+  partial.id = "p";
+  partial.status =
+      Status::InvalidArgument("post_answers: contradictory answer");
+  partial.partial = serve::PostReport{2, 1, 0, 7};
+  responses.push_back(partial);
+
+  Response shed;
+  shed.id = "r";
+  shed.status = Status::ResourceExhausted(
+      "request queue full (32 waiting); retry after in-flight requests "
+      "drain");
+  shed.retry_after_ms = 5;
+  responses.push_back(shed);
+  return responses;
+}
+
+// Splits exactly one frame out of `encoded` and checks nothing trails it.
+std::string_view OneFrame(const Codec& codec, std::string_view encoded) {
+  StatusOr<FrameSplit> split = codec.SplitFrame(encoded);
+  EXPECT_TRUE(split.ok()) << split.status().ToString();
+  EXPECT_TRUE(split->complete);
+  EXPECT_EQ(split->consumed, encoded.size());
+  return split->frame;
+}
+
+TEST(CodecTest, RequestsRoundTripThroughBothCodecs) {
+  for (const Request& request : SampleRequests()) {
+    for (const Codec* codec : {&Json(), &Binary()}) {
+      const std::string encoded = codec->EncodeRequest(request);
+      Request decoded;
+      const Status status =
+          codec->DecodeRequest(OneFrame(*codec, encoded), &decoded);
+      ASSERT_TRUE(status.ok())
+          << status.ToString() << " encoding: " << encoded;
+      EXPECT_EQ(decoded, request);
+    }
+  }
+}
+
+TEST(CodecTest, ResponsesRoundTripThroughBothCodecs) {
+  for (const Response& response : SampleResponses()) {
+    // Binary round-trips the typed value exactly (doubles travel as their
+    // IEEE-754 bits).
+    const std::string binary = Binary().EncodeResponse(response);
+    StatusOr<Response> via_binary =
+        Binary().DecodeResponse(OneFrame(Binary(), binary));
+    ASSERT_TRUE(via_binary.ok()) << via_binary.status().ToString();
+    EXPECT_TRUE(serve::SameResponse(*via_binary, response));
+
+    // JSON's %.9g keeps 9 significant digits, so decode(encode(x)) may
+    // round the doubles — but it is byte-idempotent: re-encoding the
+    // decoded value reproduces the original bytes exactly. That is the
+    // transcript contract the serving gates rely on.
+    const std::string json = Json().EncodeResponse(response);
+    StatusOr<Response> via_json =
+        Json().DecodeResponse(OneFrame(Json(), json));
+    ASSERT_TRUE(via_json.ok())
+        << via_json.status().ToString() << " encoding: " << json;
+    EXPECT_EQ(Json().EncodeResponse(*via_json), json);
+  }
+}
+
+// The cross-codec property behind the check.sh transcript gate: decode
+// one codec's encoding, re-encode with the other, decode again — same
+// typed value, and the final JSON bytes match a direct JSON encoding.
+TEST(CodecTest, CrossCodecEquivalence) {
+  for (const Request& request : SampleRequests()) {
+    Request via_binary;
+    ASSERT_TRUE(Binary()
+                    .DecodeRequest(
+                        OneFrame(Binary(), Binary().EncodeRequest(request)),
+                        &via_binary)
+                    .ok());
+    EXPECT_EQ(Json().EncodeRequest(via_binary),
+              Json().EncodeRequest(request));
+  }
+  for (const Response& response : SampleResponses()) {
+    // A binary-served response re-encoded as JSON must match the native
+    // JSON encoding byte-for-byte (the check.sh transcript gate), because
+    // binary preserved the exact double bits %.9g formats from.
+    StatusOr<Response> via_binary = Binary().DecodeResponse(
+        OneFrame(Binary(), Binary().EncodeResponse(response)));
+    ASSERT_TRUE(via_binary.ok());
+    EXPECT_EQ(Json().EncodeResponse(*via_binary),
+              Json().EncodeResponse(response));
+  }
+}
+
+TEST(CodecTest, JsonRendersLegacyErrorExtras) {
+  Response shed;
+  shed.id = "r";
+  shed.status = Status::ResourceExhausted("request queue full (4 waiting)");
+  shed.retry_after_ms = 5;
+  EXPECT_EQ(Json().EncodeResponse(shed),
+            "{\"id\":\"r\",\"ok\":false,\"error\":{\"code\":"
+            "\"ResourceExhausted\",\"message\":\"request queue full "
+            "(4 waiting)\",\"retry_after_ms\":5}}\n");
+
+  Response partial;
+  partial.id = "p";
+  partial.status = Status::InvalidArgument("contradictory answer");
+  partial.partial = serve::PostReport{2, 1, 0, 7};
+  EXPECT_EQ(Json().EncodeResponse(partial),
+            "{\"id\":\"p\",\"ok\":false,\"error\":{\"code\":"
+            "\"InvalidArgument\",\"message\":\"contradictory answer\","
+            "\"partial\":{\"applied\":2,\"contradictory\":1,"
+            "\"degenerate\":0,\"version\":7}}}\n");
+}
+
+// Both found by fuzz/frame_fuzz.cc: JSON decode must stay symmetric with
+// encode so decode(encode(decode(x))) never fails on accepted input.
+TEST(CodecTest, JsonDecodeIsSymmetricWithEncodeOnEdgeCases) {
+  // JsonEscape renders control characters as \u00xx; the parser must
+  // read them back (or a tag with a 0x08 byte re-encodes undecodably).
+  Request request;
+  request.op = serve::Op::kQuality;
+  request.session = "s1";
+  ASSERT_TRUE(
+      Json()
+          .DecodeRequest("{\"op\":\"quality\",\"session\":\"s1\","
+                         "\"id\":\"a\\u0008b\"}",
+                         &request)
+          .ok());
+  EXPECT_EQ(request.id, std::string("a\bb"));
+  const std::string encoded = Json().EncodeRequest(request);
+  Request again;
+  ASSERT_TRUE(Json()
+                  .DecodeRequest(std::string_view(encoded).substr(
+                                     0, encoded.size() - 1),
+                                 &again)
+                  .ok());
+  EXPECT_EQ(again, request);
+
+  // A negative version would wrap to 2^64-1 in the unsigned field and
+  // re-encode as an integer no response parser accepts; reject it.
+  EXPECT_FALSE(Json()
+                   .DecodeResponse("{\"id\":\"c\",\"ok\":true,\"applied\":1,"
+                                   "\"contradictory\":0,\"degenerate\":0,"
+                                   "\"version\":-1}")
+                   .ok());
+  EXPECT_FALSE(Json()
+                   .DecodeResponse("{\"id\":\"c\",\"ok\":false,\"error\":"
+                                   "{\"code\":\"InvalidArgument\","
+                                   "\"message\":\"m\",\"partial\":"
+                                   "{\"applied\":0,\"contradictory\":0,"
+                                   "\"degenerate\":0,\"version\":-2}}}")
+                   .ok());
+}
+
+TEST(CodecTest, BinaryCarriesDoublesBitExactly) {
+  Response response;
+  response.payload = Response::Quality{std::nextafter(0.3, 1.0)};
+  StatusOr<Response> decoded = Binary().DecodeResponse(
+      OneFrame(Binary(), Binary().EncodeResponse(response)));
+  ASSERT_TRUE(decoded.ok());
+  const double in = std::get<Response::Quality>(response.payload).quality;
+  const double out = std::get<Response::Quality>(decoded->payload).quality;
+  uint64_t in_bits = 0;
+  uint64_t out_bits = 0;
+  std::memcpy(&in_bits, &in, sizeof(in));
+  std::memcpy(&out_bits, &out, sizeof(out));
+  EXPECT_EQ(in_bits, out_bits);
+}
+
+TEST(CodecTest, BinaryFramingIsIncrementalAndStrict) {
+  Request request;
+  request.op = serve::Op::kPostAnswers;
+  request.id = "x";
+  request.session = "s1";
+  request.answers = {{0, 1}};
+  const std::string encoded = Binary().EncodeRequest(request);
+
+  // Feeding the frame one byte at a time: incomplete until the last byte.
+  for (size_t n = 0; n < encoded.size(); ++n) {
+    StatusOr<FrameSplit> split =
+        Binary().SplitFrame(std::string_view(encoded).substr(0, n));
+    ASSERT_TRUE(split.ok());
+    EXPECT_FALSE(split->complete) << n;
+    EXPECT_EQ(split->consumed, 0u);
+  }
+  EXPECT_TRUE(Binary().SplitFrame(encoded)->complete);
+
+  // A truncated body inside a correctly framed payload is an error.
+  std::string_view frame = OneFrame(Binary(), encoded);
+  for (size_t n = 0; n < frame.size(); ++n) {
+    Request decoded;
+    EXPECT_EQ(Binary().DecodeRequest(frame.substr(0, n), &decoded).code(),
+              Status::Code::kInvalidArgument)
+        << n;
+  }
+
+  // Trailing bytes after a well-formed request are an error.
+  Request decoded;
+  std::string trailing(frame);
+  trailing.push_back('\0');
+  EXPECT_EQ(Binary().DecodeRequest(trailing, &decoded).code(),
+            Status::Code::kInvalidArgument);
+
+  // An oversized length prefix is an unrecoverable framing fault.
+  std::string oversized(4, '\xff');
+  EXPECT_EQ(Binary().SplitFrame(oversized).status().code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(CodecTest, BinaryUnknownOpStillEchoesId) {
+  Request request;
+  request.op = serve::Op::kQuality;
+  request.id = "tag9";
+  request.session = "s1";
+  std::string encoded = Binary().EncodeRequest(request);
+  encoded[4] = '\x63';  // op byte (first body byte) -> unknown op 99
+  Request decoded;
+  const Status status =
+      Binary().DecodeRequest(OneFrame(Binary(), encoded), &decoded);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(decoded.id, "tag9");
+}
+
+TEST(CodecTest, ValidateRequestClampsUpperBounds) {
+  Request request;
+  request.op = serve::Op::kNextPairs;
+  request.session = "s1";
+  request.count = serve::RequestLimits::kMaxCount;
+  EXPECT_TRUE(serve::ValidateRequest(request).ok());
+  request.count += 1;
+  EXPECT_EQ(serve::ValidateRequest(request).code(),
+            Status::Code::kInvalidArgument);
+
+  request.count = 1;
+  request.limit = serve::RequestLimits::kMaxLimit + 1;
+  EXPECT_EQ(serve::ValidateRequest(request).code(),
+            Status::Code::kInvalidArgument);
+
+  request.limit = 0;
+  request.deadline_ms = serve::RequestLimits::kMaxDeadlineMs + 1;
+  EXPECT_EQ(serve::ValidateRequest(request).code(),
+            Status::Code::kInvalidArgument);
+
+  request.deadline_ms = 0;
+  request.id.assign(serve::RequestLimits::kMaxTagBytes + 1, 'x');
+  EXPECT_EQ(serve::ValidateRequest(request).code(),
+            Status::Code::kInvalidArgument);
+
+  // Both decoders apply the same clamps (the JSON path is covered in
+  // serve_test's strict-parse list; the binary path here).
+  request = Request{};
+  request.op = serve::Op::kNextPairs;
+  request.session = "s1";
+  request.count = serve::RequestLimits::kMaxCount + 1;
+  Request decoded;
+  EXPECT_EQ(Binary()
+                .DecodeRequest(OneFrame(Binary(),
+                                        Binary().EncodeRequest(request)),
+                               &decoded)
+                .code(),
+            Status::Code::kInvalidArgument);
+}
+
+TEST(CodecTest, DecodersAreTotalOverArbitraryBytes) {
+  // A smoke version of fuzz/frame_fuzz.cc: deterministic mutations of a
+  // valid frame never crash, and every accepted mutation re-encodes.
+  Request request;
+  request.op = serve::Op::kPostAnswers;
+  request.id = "f";
+  request.session = "s1";
+  request.answers = {{0, 1}, {2, 3}};
+  const std::string frame =
+      std::string(OneFrame(Binary(), Binary().EncodeRequest(request)));
+  for (size_t i = 0; i < frame.size(); ++i) {
+    for (int delta : {1, 0x40, 0xff}) {
+      std::string mutated = frame;
+      mutated[i] = static_cast<char>(mutated[i] + delta);
+      Request decoded;
+      if (Binary().DecodeRequest(mutated, &decoded).ok()) {
+        Request again;
+        const std::string reencoded = Binary().EncodeRequest(decoded);
+        ASSERT_TRUE(Binary()
+                        .DecodeRequest(OneFrame(Binary(), reencoded),
+                                       &again)
+                        .ok());
+        EXPECT_EQ(again, decoded);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ptk

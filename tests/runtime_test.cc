@@ -1,0 +1,457 @@
+// The sharded, coalescing serving runtime (src/serve/runtime.h).
+//
+// The load-bearing guarantees:
+//   * bit-identity — the same request stream produces SameResponse-equal
+//     transcripts with coalescing on or off, and on 1 shard or N (the
+//     big-N version lives in shared_sessions_test; check.sh also pins the
+//     server transcript at --shards 2 against the golden);
+//   * coalescing really coalesces — posts queued behind a busy session
+//     merge into one engine pass, idle-session reads join one batch —
+//     without reordering any session's requests;
+//   * admission sheds with a structured retry_after_ms hint, inline.
+// The suite is run under TSan by tools/check.sh.
+
+#include <condition_variable>
+#include <cstdlib>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/selector.h"
+#include "data/synthetic.h"
+#include "engine/ranking_engine.h"
+#include "serve/message.h"
+#include "serve/runtime.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ptk {
+namespace {
+
+using serve::Op;
+using serve::Request;
+using serve::Response;
+using serve::Runtime;
+using util::Status;
+
+model::Database TestDb(int num_objects = 12) {
+  data::SynOptions options;
+  options.num_objects = num_objects;
+  options.avg_instances = 3;
+  options.value_range = 100.0;
+  options.cluster_width = 30.0;
+  options.seed = 7;
+  return data::MakeSynDataset(options);
+}
+
+Runtime::Options BaseOptions() {
+  Runtime::Options options;
+  options.manager.k = 3;
+  options.manager.fanout = 4;
+  options.scheduler.workers = 2;
+  options.scheduler.queue_capacity = 64;
+  return options;
+}
+
+Request Make(Op op, std::string id, std::string session = "") {
+  Request request;
+  request.op = op;
+  request.id = std::move(id);
+  request.session = std::move(session);
+  return request;
+}
+
+// Submits the whole script in order and waits for every response.
+std::vector<Response> RunThrough(Runtime& runtime,
+                                 const std::vector<Request>& script) {
+  std::vector<Response> responses(script.size());
+  std::mutex mu;
+  std::condition_variable cv;
+  size_t completed = 0;
+  for (size_t i = 0; i < script.size(); ++i) {
+    runtime.Submit(script[i], [&, i](Response response) {
+      std::lock_guard<std::mutex> lock(mu);
+      responses[i] = std::move(response);
+      ++completed;
+      cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return completed == script.size(); });
+  return responses;
+}
+
+// Four sessions created up front, then their op streams interleaved
+// round-robin — maximal opportunity for cross-session read batching and
+// same-session post merging, plus a NotFound probe.
+std::vector<Request> EquivalenceScript() {
+  std::vector<Request> script;
+  for (int s = 0; s < 4; ++s) {
+    script.push_back(Make(Op::kCreateSession, "c" + std::to_string(s)));
+  }
+  const std::vector<std::vector<std::pair<model::ObjectId,
+                                          model::ObjectId>>> posts = {
+      {{0, 1}}, {{1, 2}}, {{2, 3}}};
+  for (size_t round = 0; round < posts.size(); ++round) {
+    for (int s = 0; s < 4; ++s) {
+      const std::string session = "s" + std::to_string(s + 1);
+      const std::string tag = session + "." + std::to_string(round);
+      if (round == 0) {
+        Request pairs = Make(Op::kNextPairs, "n" + tag, session);
+        pairs.count = 2;
+        script.push_back(pairs);
+      }
+      Request post = Make(Op::kPostAnswers, "a" + tag, session);
+      post.answers = posts[round];
+      script.push_back(post);
+      Request dist = Make(Op::kDistribution, "d" + tag, session);
+      dist.limit = 3;
+      script.push_back(dist);
+      script.push_back(Make(Op::kQuality, "q" + tag, session));
+    }
+  }
+  script.push_back(Make(Op::kQuality, "ghost", "s99"));
+  return script;
+}
+
+void ExpectSameTranscript(const std::vector<Response>& a,
+                          const std::vector<Response>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_TRUE(serve::SameResponse(a[i], b[i]))
+        << "transcripts diverge at request " << i << " (id '" << a[i].id
+        << "')";
+  }
+}
+
+TEST(RuntimeTest, CoalescedMatchesUncoalesced) {
+  const model::Database db = TestDb();
+  const std::vector<Request> script = EquivalenceScript();
+
+  Runtime::Options coalesced = BaseOptions();
+  Runtime on(db, coalesced);
+  const std::vector<Response> with = RunThrough(on, script);
+  on.Shutdown();
+
+  Runtime::Options uncoalesced = BaseOptions();
+  uncoalesced.coalesce = false;
+  Runtime off(db, uncoalesced);
+  const std::vector<Response> without = RunThrough(off, script);
+  off.Shutdown();
+
+  ExpectSameTranscript(with, without);
+  const Response& ghost = with.back();
+  EXPECT_EQ(ghost.status.code(), Status::Code::kNotFound);
+}
+
+TEST(RuntimeTest, ShardedMatchesSingleShard) {
+  const model::Database db = TestDb();
+  const std::vector<Request> script = EquivalenceScript();
+
+  Runtime one(db, BaseOptions());
+  const std::vector<Response> single = RunThrough(one, script);
+  one.Shutdown();
+
+  Runtime::Options sharded_options = BaseOptions();
+  sharded_options.shards = 3;
+  Runtime three(db, sharded_options);
+  const std::vector<Response> sharded = RunThrough(three, script);
+  three.Shutdown();
+  EXPECT_EQ(three.shards(), 3);
+
+  ExpectSameTranscript(single, sharded);
+}
+
+// Blocks the first SelectPairs call until released, so a test can park a
+// shard's worker inside a session op at a deterministic point.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int entered = 0;
+  bool released = false;
+
+  void Enter() {
+    std::unique_lock<std::mutex> lock(mu);
+    ++entered;
+    cv.notify_all();
+    cv.wait(lock, [&] { return released; });
+  }
+  void AwaitEntered() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return entered > 0; });
+  }
+  void Release() {
+    std::lock_guard<std::mutex> lock(mu);
+    released = true;
+    cv.notify_all();
+  }
+};
+
+class GatedSelector : public core::PairSelector {
+ public:
+  GatedSelector(std::unique_ptr<core::PairSelector> inner, Gate* gate)
+      : inner_(std::move(inner)), gate_(gate) {}
+  Status SelectPairs(int t, std::vector<core::ScoredPair>* out) override {
+    gate_->Enter();
+    return inner_->SelectPairs(t, out);
+  }
+  std::string name() const override { return inner_->name(); }
+
+ private:
+  std::unique_ptr<core::PairSelector> inner_;
+  Gate* gate_;
+};
+
+Runtime::Options GatedOptions(Gate* gate) {
+  Runtime::Options options = BaseOptions();
+  options.scheduler.workers = 1;
+  options.manager.selector_factory =
+      [gate](engine::RankingEngine& engine) {
+        return std::make_unique<GatedSelector>(
+            engine.MakeSelector(core::SelectorKind::kOpt), gate);
+      };
+  return options;
+}
+
+TEST(RuntimeTest, PostsMergeBehindABusySession) {
+  const model::Database db = TestDb();
+  Gate gate;
+  Runtime runtime(db, GatedOptions(&gate));
+
+  ASSERT_TRUE(
+      RunThrough(runtime, {Make(Op::kCreateSession, "c")})[0].status.ok());
+  // Park the only worker inside next_pairs on s1 ...
+  std::mutex mu;
+  std::vector<Response> late;
+  auto collect = [&](Response response) {
+    std::lock_guard<std::mutex> lock(mu);
+    late.push_back(std::move(response));
+  };
+  Request pairs = Make(Op::kNextPairs, "n", "s1");
+  pairs.count = 1;
+  runtime.Submit(pairs, collect);
+  gate.AwaitEntered();
+  // ... then queue three posts behind it. The first opens a pending post
+  // group; the other two must merge into it — one engine pass — with
+  // per-batch reports identical to sequential execution.
+  const std::vector<std::pair<model::ObjectId, model::ObjectId>> folds[] =
+      {{{0, 1}}, {{1, 2}}, {{2, 3}}};
+  for (int i = 0; i < 3; ++i) {
+    Request post = Make(Op::kPostAnswers, "a" + std::to_string(i), "s1");
+    post.answers = folds[i];
+    runtime.Submit(post, collect);
+  }
+  gate.Release();
+  runtime.Shutdown();
+
+  EXPECT_EQ(runtime.stats().coalesced_posts, 2);
+  ASSERT_EQ(late.size(), 4u);
+  // Whatever each fold's outcome is in this dataset (applied,
+  // contradictory, ...), the merged group's per-batch reports must be
+  // identical to three sequential PostAnswers calls.
+  serve::SessionManager baseline(db, GatedOptions(&gate).manager);
+  ASSERT_TRUE(baseline.CreateSession().ok());  // "s1"
+  for (int i = 0; i < 3; ++i) {
+    serve::SessionManager::PostReport expected;
+    ASSERT_TRUE(baseline.PostAnswers("s1", folds[i], &expected).ok());
+    const Response& response = late[i + 1];
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_EQ(std::get<Response::Posted>(response.payload).report, expected)
+        << "batch " << i;
+  }
+}
+
+TEST(RuntimeTest, IdleReadsJoinOneBatch) {
+  const model::Database db = TestDb();
+  Gate gate;
+  Runtime runtime(db, GatedOptions(&gate));
+
+  for (const char* tag : {"c1", "c2", "c3"}) {
+    ASSERT_TRUE(
+        RunThrough(runtime, {Make(Op::kCreateSession, tag)})[0].status.ok());
+  }
+  std::mutex mu;
+  std::vector<Response> reads;
+  auto collect = [&](Response response) {
+    std::lock_guard<std::mutex> lock(mu);
+    reads.push_back(std::move(response));
+  };
+  Request pairs = Make(Op::kNextPairs, "n", "s1");
+  pairs.count = 1;
+  runtime.Submit(pairs, collect);
+  gate.AwaitEntered();
+  // With the worker parked on s1, reads on the idle s2/s3 share one
+  // group: the first opens it, the second joins — one scheduler task,
+  // one epoch pin.
+  runtime.Submit(Make(Op::kQuality, "q2", "s2"), collect);
+  runtime.Submit(Make(Op::kDistribution, "d3", "s3"), collect);
+  gate.Release();
+  runtime.Shutdown();
+
+  EXPECT_EQ(runtime.stats().batched_reads, 1);
+  ASSERT_EQ(reads.size(), 3u);
+  for (const Response& response : reads) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+TEST(RuntimeTest, ShedsInlineWithRetryHint) {
+  const model::Database db = TestDb();
+  Gate gate;
+  Runtime::Options options = GatedOptions(&gate);
+  options.scheduler.queue_capacity = 2;
+  options.shed_retry_after_ms = 7;
+  options.coalesce = false;
+  Runtime runtime(db, options);
+
+  ASSERT_TRUE(
+      RunThrough(runtime, {Make(Op::kCreateSession, "c")})[0].status.ok());
+  std::mutex mu;
+  std::vector<Response> responses;
+  auto collect = [&](Response response) {
+    std::lock_guard<std::mutex> lock(mu);
+    responses.push_back(std::move(response));
+  };
+  Request pairs = Make(Op::kNextPairs, "n", "s1");
+  pairs.count = 1;
+  runtime.Submit(pairs, collect);
+  gate.AwaitEntered();  // worker parked: its request no longer "waiting"
+  for (int i = 0; i < 2; ++i) {
+    Request post = Make(Op::kPostAnswers, "a" + std::to_string(i), "s1");
+    post.answers = {{0, 1}};
+    runtime.Submit(post, collect);
+  }
+  // Queue full: the third post is rejected before touching any queue,
+  // inline from Submit, with the structured retry hint.
+  Request overflow = Make(Op::kPostAnswers, "a2", "s1");
+  overflow.answers = {{1, 2}};
+  bool shed_inline = false;
+  runtime.Submit(overflow, [&](Response response) {
+    EXPECT_EQ(response.status.code(), Status::Code::kResourceExhausted);
+    EXPECT_EQ(response.retry_after_ms, 7);
+    EXPECT_EQ(response.id, "a2");
+    shed_inline = true;
+  });
+  EXPECT_TRUE(shed_inline);
+  gate.Release();
+  runtime.Shutdown();
+
+  EXPECT_EQ(runtime.stats().shed, 1);
+  ASSERT_EQ(responses.size(), 3u);
+  for (const Response& response : responses) {
+    EXPECT_TRUE(response.status.ok()) << response.status.ToString();
+  }
+}
+
+TEST(RuntimeTest, ShutdownRejectsNewWorkInline) {
+  const model::Database db = TestDb();
+  Runtime runtime(db, BaseOptions());
+  runtime.Shutdown();
+  bool rejected = false;
+  runtime.Submit(Make(Op::kQuality, "q", "s1"), [&](Response response) {
+    EXPECT_EQ(response.status.code(), Status::Code::kFailedPrecondition);
+    rejected = true;
+  });
+  EXPECT_TRUE(rejected);
+}
+
+TEST(RuntimeTest, MetricsBarrierAggregatesAllShards) {
+  const model::Database db = TestDb();
+  Runtime::Options options = BaseOptions();
+  options.shards = 2;
+  Runtime runtime(db, options);
+
+  std::vector<Request> script;
+  for (int i = 0; i < 3; ++i) {
+    script.push_back(Make(Op::kCreateSession, "c" + std::to_string(i)));
+  }
+  script.push_back(Make(Op::kMetrics, "m"));
+  const std::vector<Response> responses = RunThrough(runtime, script);
+  runtime.Shutdown();
+
+  const Response& metrics = responses.back();
+  ASSERT_TRUE(metrics.status.ok());
+  const auto& payload = std::get<Response::Metrics>(metrics.payload);
+  EXPECT_EQ(payload.sessions_open, 3);
+  ASSERT_EQ(payload.session_bytes.size(), 3u);
+  // Session ids are globally ordered even though two managers own them.
+  EXPECT_EQ(payload.session_bytes[0].session, "s1");
+  EXPECT_EQ(payload.session_bytes[1].session, "s2");
+  EXPECT_EQ(payload.session_bytes[2].session, "s3");
+  EXPECT_TRUE(payload.has_scheduler);
+  EXPECT_EQ(payload.submitted, 4);
+  EXPECT_EQ(payload.executed, 3);  // the metrics op itself runs inline
+}
+
+/// A scratch directory removed on scope exit.
+struct TempDir {
+  explicit TempDir(const std::string& tag) {
+    std::string pattern = testing::TempDir() + "ptk_" + tag + "_XXXXXX";
+    std::vector<char> buffer(pattern.begin(), pattern.end());
+    buffer.push_back('\0');
+    char* made = mkdtemp(buffer.data());
+    EXPECT_NE(made, nullptr);
+    path = made == nullptr ? pattern : made;
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
+
+TEST(RuntimeTest, RecoverReshardsJournaledSessions) {
+  const model::Database db = TestDb();
+  TempDir dir("runtime_recover");
+  Runtime::Options options = BaseOptions();
+  options.manager.persist.dir = dir.path;
+  options.manager.persist.fsync = false;
+
+  std::vector<Request> script;
+  for (int i = 0; i < 3; ++i) {
+    script.push_back(Make(Op::kCreateSession, "c" + std::to_string(i)));
+  }
+  for (int i = 0; i < 3; ++i) {
+    Request post =
+        Make(Op::kPostAnswers, "a" + std::to_string(i),
+             "s" + std::to_string(i + 1));
+    post.answers = {{static_cast<model::ObjectId>(i),
+                     static_cast<model::ObjectId>(i + 1)}};
+    script.push_back(post);
+  }
+  std::vector<Request> reads;
+  for (int i = 0; i < 3; ++i) {
+    reads.push_back(
+        Make(Op::kQuality, "q" + std::to_string(i),
+             "s" + std::to_string(i + 1)));
+  }
+  Runtime before(db, options);
+  ASSERT_EQ(RunThrough(before, script).size(), 6u);
+  const std::vector<Response> golden = RunThrough(before, reads);
+  before.Shutdown();
+
+  // A new process with a different shard count recovers every session
+  // into the shard owning its id and serves identical reads; the global
+  // id counter resumes past the recovered ids.
+  Runtime::Options sharded_options = options;
+  sharded_options.shards = 2;
+  Runtime after(db, sharded_options);
+  util::StatusOr<int> recovered = after.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, 3);
+  ExpectSameTranscript(golden, RunThrough(after, reads));
+  const std::vector<Response> fresh =
+      RunThrough(after, {Make(Op::kCreateSession, "c")});
+  ASSERT_TRUE(fresh[0].status.ok());
+  EXPECT_EQ(std::get<Response::Created>(fresh[0].payload).session, "s4");
+  after.Shutdown();
+}
+
+}  // namespace
+}  // namespace ptk

@@ -24,6 +24,8 @@
 #include "pbtree/delta_tree.h"
 #include "pbtree/pbtree.h"
 #include "rank/membership.h"
+#include "serve/codec.h"
+#include "serve/message.h"
 #include "serve/protocol.h"
 #include "serve/scheduler.h"
 #include "serve/session_manager.h"
@@ -442,20 +444,25 @@ TEST(SchedulerTest, SameSessionRequestsSerializeInOrder) {
 }
 
 TEST(ProtocolTest, ParsesAndValidatesStrictly) {
-  StatusOr<serve::RequestLine> ok = serve::ParseRequestLine(
-      R"({"op":"post_answers","session":"s1","id":"x7",)"
-      R"("deadline_ms":250,"answers":[[2,0],[1,3]]})");
-  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
-  EXPECT_EQ(ok->op, "post_answers");
-  EXPECT_EQ(ok->session, "s1");
-  EXPECT_EQ(ok->id, "x7");
-  EXPECT_EQ(ok->deadline_ms, 250);
-  ASSERT_EQ(ok->answers.size(), 2u);
-  EXPECT_EQ(ok->answers[0], (std::pair<model::ObjectId, model::ObjectId>{
-                                2, 0}));
+  const serve::Codec& json =
+      serve::CodecFor(serve::WireFormat::kJsonLines);
+  serve::Request ok;
+  ASSERT_TRUE(json.DecodeRequest(
+                      R"({"op":"post_answers","session":"s1","id":"x7",)"
+                      R"("deadline_ms":250,"answers":[[2,0],[1,3]]})",
+                      &ok)
+                  .ok());
+  EXPECT_EQ(ok.op, serve::Op::kPostAnswers);
+  EXPECT_EQ(ok.session, "s1");
+  EXPECT_EQ(ok.id, "x7");
+  EXPECT_EQ(ok.deadline_ms, 250);
+  ASSERT_EQ(ok.answers.size(), 2u);
+  EXPECT_EQ(ok.answers[0], (std::pair<model::ObjectId, model::ObjectId>{
+                               2, 0}));
 
   // Strictness: unknown keys, missing op, trailing garbage, malformed
-  // numbers, negative ids — all InvalidArgument, never silently dropped.
+  // numbers, negative ids, out-of-bound fields (RequestLimits) — all
+  // InvalidArgument, never silently dropped.
   const char* bad[] = {
       R"({"op":"quality","session":"s1","frobnicate":1})",
       R"({"session":"s1"})",
@@ -465,61 +472,88 @@ TEST(ProtocolTest, ParsesAndValidatesStrictly) {
       R"({"op":"post_answers","answers":[[1,-2]]})",
       R"(not json at all)",
       R"({"op":"quality","deadline_ms":-4})",
+      R"({"op":"next_pairs","session":"s1","count":4097})",
+      R"({"op":"distribution","session":"s1","limit":1048577})",
+      R"({"op":"quality","session":"s1","deadline_ms":3600001})",
   };
   for (const char* line : bad) {
-    EXPECT_EQ(serve::ParseRequestLine(line).status().code(),
+    serve::Request request;
+    EXPECT_EQ(json.DecodeRequest(line, &request).code(),
               Status::Code::kInvalidArgument)
         << line;
   }
+
+  // Unknown op still yields the correlation tag, so the transport can
+  // echo it in the error response (pinned by tools/serve_smoke.golden).
+  serve::Request unknown;
+  const Status status =
+      json.DecodeRequest(R"({"op":"bogus","id":"i"})", &unknown);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_EQ(unknown.id, "i");
 }
 
 TEST(ProtocolTest, ExecutesOpsAgainstManager) {
   const model::Database db = TestDb(8);
   serve::SessionManager manager(db, ManagerOptions(3));
+  const serve::Codec& json =
+      serve::CodecFor(serve::WireFormat::kJsonLines);
 
-  auto run = [&](const std::string& line) -> StatusOr<std::string> {
-    StatusOr<serve::RequestLine> request = serve::ParseRequestLine(line);
-    if (!request.ok()) return request.status();
-    return serve::ExecuteRequest(manager, nullptr, *request);
+  auto run = [&](const std::string& line) -> serve::Response {
+    serve::Request request;
+    Status decoded = json.DecodeRequest(line, &request);
+    if (!decoded.ok()) {
+      return serve::ErrorResponse(request.id, std::move(decoded));
+    }
+    return serve::ExecuteRequest(manager, nullptr, request);
   };
 
-  StatusOr<std::string> created = run(R"({"op":"create_session"})");
-  ASSERT_TRUE(created.ok()) << created.status().ToString();
-  EXPECT_EQ(*created, ",\"session\":\"s1\"");
+  const serve::Response created = run(R"({"op":"create_session"})");
+  ASSERT_TRUE(created.status.ok()) << created.status.ToString();
+  EXPECT_EQ(std::get<serve::Response::Created>(created.payload).session,
+            "s1");
 
-  StatusOr<std::string> pairs =
+  const serve::Response pairs =
       run(R"({"op":"next_pairs","session":"s1","count":1})");
-  ASSERT_TRUE(pairs.ok()) << pairs.status().ToString();
-  EXPECT_EQ(pairs->find(",\"pairs\":[["), 0u) << *pairs;
+  ASSERT_TRUE(pairs.status.ok()) << pairs.status.ToString();
+  EXPECT_EQ(std::get<serve::Response::Pairs>(pairs.payload).pairs.size(),
+            1u);
 
-  StatusOr<std::string> posted =
+  const serve::Response posted =
       run(R"({"op":"post_answers","session":"s1","answers":[[0,1]]})");
-  ASSERT_TRUE(posted.ok()) << posted.status().ToString();
-  EXPECT_NE(posted->find("\"version\":"), std::string::npos);
+  ASSERT_TRUE(posted.status.ok()) << posted.status.ToString();
+  EXPECT_EQ(std::get<serve::Response::Posted>(posted.payload).report.version,
+            1u);
 
-  StatusOr<std::string> quality =
-      run(R"({"op":"quality","session":"s1"})");
-  ASSERT_TRUE(quality.ok());
-  EXPECT_EQ(quality->find(",\"quality\":"), 0u);
+  const serve::Response quality = run(R"({"op":"quality","session":"s1"})");
+  ASSERT_TRUE(quality.status.ok());
+  EXPECT_GT(std::get<serve::Response::Quality>(quality.payload).quality,
+            0.0);
 
-  StatusOr<std::string> metrics = run(R"({"op":"metrics"})");
-  ASSERT_TRUE(metrics.ok());
-  EXPECT_EQ(*metrics,
-            ",\"sessions_open\":1,\"session_bytes\":{\"s1\":0},"
-            "\"session_bytes_total\":0");
+  const serve::Response metrics = run(R"({"op":"metrics"})");
+  ASSERT_TRUE(metrics.status.ok());
+  const auto& m = std::get<serve::Response::Metrics>(metrics.payload);
+  EXPECT_EQ(m.sessions_open, 1);
+  ASSERT_EQ(m.session_bytes.size(), 1u);
+  EXPECT_EQ(m.session_bytes[0].session, "s1");
+  EXPECT_FALSE(m.has_scheduler);
+  // Rendered without a scheduler, the metrics line carries no scheduler
+  // fields — the legacy single-manager shape.
+  EXPECT_EQ(json.EncodeResponse(metrics),
+            "{\"ok\":true,\"sessions_open\":1,"
+            "\"session_bytes\":{\"s1\":0},\"session_bytes_total\":0}\n");
 
-  ASSERT_TRUE(run(R"({"op":"close","session":"s1"})").ok());
-  EXPECT_EQ(run(R"({"op":"quality","session":"s1"})").status().code(),
+  ASSERT_TRUE(run(R"({"op":"close","session":"s1"})").status.ok());
+  EXPECT_EQ(run(R"({"op":"quality","session":"s1"})").status.code(),
             Status::Code::kNotFound);
 
   // Error rendering carries the stable code name and the id tag.
-  const std::string rendered = serve::RenderResponse(
-      "x1", Status::NotFound("unknown session 's9'"), "");
-  EXPECT_EQ(rendered,
+  EXPECT_EQ(json.EncodeResponse(serve::ErrorResponse(
+                "x1", Status::NotFound("unknown session 's9'"))),
             "{\"id\":\"x1\",\"ok\":false,\"error\":{\"code\":\"NotFound\","
-            "\"message\":\"unknown session 's9'\"}}");
-  EXPECT_EQ(serve::RenderResponse("", Status::OK(), ",\"quality\":0.5"),
-            "{\"ok\":true,\"quality\":0.5}");
+            "\"message\":\"unknown session 's9'\"}}\n");
+  serve::Response bare;
+  bare.payload = serve::Response::Quality{0.5};
+  EXPECT_EQ(json.EncodeResponse(bare), "{\"ok\":true,\"quality\":0.5}\n");
 }
 
 }  // namespace

@@ -8,7 +8,9 @@
 // time. tools/check.sh runs this suite under TSan and ASan.
 
 #include <atomic>
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <utility>
@@ -20,6 +22,8 @@
 #include "model/database.h"
 #include "obs/metrics.h"
 #include "pw/topk_distribution.h"
+#include "serve/message.h"
+#include "serve/runtime.h"
 #include "serve/session_manager.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -174,6 +178,159 @@ TEST(SharedSessions, HundredConcurrentSessionsMatchSequentialBitwise) {
     }
     EXPECT_EQ(sequential[i].quality, concurrent[i].quality) << i;
   }
+}
+
+// ---------------------------------------------------------------------
+// The sharded runtime keeps the same guarantee one level up: hashing
+// sessions across N independent (manager, scheduler) shards serves
+// responses bit-identical to one shard, and to running every session's
+// script alone — the shard count is a deployment knob, never a results
+// knob.
+
+serve::Response Call(serve::Runtime& runtime, serve::Request request) {
+  serve::Response out;
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  runtime.Submit(std::move(request), [&](serve::Response response) {
+    std::lock_guard<std::mutex> lock(mu);
+    out = std::move(response);
+    done = true;
+    cv.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [&] { return done; });
+  return out;
+}
+
+struct RuntimeSessionResult {
+  std::vector<std::pair<model::ObjectId, model::ObjectId>> picked;
+  std::vector<serve::Response::RankedSet> sets;
+  double entropy = 0.0;
+  double quality = 0.0;
+  int applied = 0;
+};
+
+// The RunScript protocol driven through the typed serving API.
+Status RunRuntimeScript(serve::Runtime& runtime, int session_index,
+                        const std::string& id, int rounds,
+                        RuntimeSessionResult* result) {
+  for (int round = 0; round < rounds; ++round) {
+    serve::Request next;
+    next.op = serve::Op::kNextPairs;
+    next.session = id;
+    next.count = 1;
+    const serve::Response pairs = Call(runtime, next);
+    if (!pairs.status.ok()) return pairs.status;
+    const auto& picked =
+        std::get<serve::Response::Pairs>(pairs.payload).pairs;
+    if (picked.empty()) return Status::Internal("no pair offered");
+    const auto key = std::minmax(picked[0].a, picked[0].b);
+    result->picked.emplace_back(key.first, key.second);
+    const bool forward = (session_index + round) % 2 == 0;
+    serve::Request post;
+    post.op = serve::Op::kPostAnswers;
+    post.session = id;
+    post.answers = {forward ? std::make_pair(key.first, key.second)
+                            : std::make_pair(key.second, key.first)};
+    const serve::Response posted = Call(runtime, post);
+    if (!posted.status.ok()) return posted.status;
+    result->applied +=
+        std::get<serve::Response::Posted>(posted.payload).report.applied;
+  }
+  serve::Request dist;
+  dist.op = serve::Op::kDistribution;
+  dist.session = id;
+  const serve::Response ranked = Call(runtime, dist);
+  if (!ranked.status.ok()) return ranked.status;
+  const auto& payload =
+      std::get<serve::Response::Distribution>(ranked.payload);
+  result->sets = payload.sets;
+  result->entropy = payload.entropy;
+  serve::Request quality;
+  quality.op = serve::Op::kQuality;
+  quality.session = id;
+  const serve::Response q = Call(runtime, quality);
+  if (!q.status.ok()) return q.status;
+  result->quality = std::get<serve::Response::Quality>(q.payload).quality;
+  return Status::OK();
+}
+
+TEST(SharedSessions, ShardedRuntimeMatchesSingleShardBitwise) {
+  constexpr int kSessions = 36;
+  const model::Database db = TestDb(16);
+  const auto rounds = [](int i) { return i % 2 + 1; };
+
+  // One full pass of every session's script through a runtime:
+  // `concurrency` drives each session from its own thread (0 = main
+  // thread, one session at a time — the sequential baseline).
+  const auto run_all = [&](int shards, bool concurrent,
+                           std::vector<RuntimeSessionResult>* results) {
+    serve::Runtime::Options options;
+    options.shards = shards;
+    options.manager = ManagerOptions();
+    options.scheduler.workers = 3;
+    options.scheduler.queue_capacity = 4 * kSessions;
+    serve::Runtime runtime(db, options);
+    std::vector<std::string> ids(kSessions);
+    for (int i = 0; i < kSessions; ++i) {
+      serve::Request create;
+      create.op = serve::Op::kCreateSession;
+      const serve::Response created = Call(runtime, create);
+      ASSERT_TRUE(created.status.ok()) << created.status.ToString();
+      ids[i] =
+          std::get<serve::Response::Created>(created.payload).session;
+      ASSERT_EQ(ids[i], "s" + std::to_string(i + 1));
+    }
+    std::vector<Status> outcomes(kSessions);
+    if (concurrent) {
+      std::vector<std::thread> threads;
+      threads.reserve(kSessions);
+      for (int i = 0; i < kSessions; ++i) {
+        threads.emplace_back([&, i] {
+          outcomes[i] = RunRuntimeScript(runtime, i, ids[i], rounds(i),
+                                         &(*results)[i]);
+        });
+      }
+      for (std::thread& t : threads) t.join();
+    } else {
+      for (int i = 0; i < kSessions; ++i) {
+        outcomes[i] = RunRuntimeScript(runtime, i, ids[i], rounds(i),
+                                       &(*results)[i]);
+      }
+    }
+    runtime.Shutdown();
+    for (int i = 0; i < kSessions; ++i) {
+      ASSERT_TRUE(outcomes[i].ok()) << i << ": " << outcomes[i].ToString();
+    }
+  };
+
+  std::vector<RuntimeSessionResult> sequential(kSessions);
+  run_all(1, /*concurrent=*/false, &sequential);
+  std::vector<RuntimeSessionResult> one_shard(kSessions);
+  run_all(1, /*concurrent=*/true, &one_shard);
+  std::vector<RuntimeSessionResult> three_shards(kSessions);
+  run_all(3, /*concurrent=*/true, &three_shards);
+
+  const auto expect_same = [&](const std::vector<RuntimeSessionResult>& a,
+                               const std::vector<RuntimeSessionResult>& b,
+                               const char* label) {
+    for (int i = 0; i < kSessions; ++i) {
+      EXPECT_EQ(a[i].picked, b[i].picked) << label << " session " << i;
+      EXPECT_EQ(a[i].applied, b[i].applied) << label << " session " << i;
+      ASSERT_EQ(a[i].sets.size(), b[i].sets.size()) << label << " " << i;
+      for (size_t j = 0; j < a[i].sets.size(); ++j) {
+        EXPECT_EQ(a[i].sets[j].objects, b[i].sets[j].objects)
+            << label << " session " << i << " set " << j;
+        EXPECT_EQ(a[i].sets[j].p, b[i].sets[j].p)
+            << label << " session " << i << " set " << j;
+      }
+      EXPECT_EQ(a[i].entropy, b[i].entropy) << label << " session " << i;
+      EXPECT_EQ(a[i].quality, b[i].quality) << label << " session " << i;
+    }
+  };
+  expect_same(sequential, one_shard, "1-shard");
+  expect_same(sequential, three_shards, "3-shard");
 }
 
 // Per-session delta memory scales with answers folded, not with database

@@ -5,9 +5,12 @@
 # PTK_METRICS=OFF cross-build proving the instrumentation is inert (same
 # selector output, byte-identical CLI stdout), a PTK_SIMD=OFF cross-build
 # proving the scalar kernel fallback reproduces the vectorized build byte
-# for byte, a crash-recovery gate (SIGKILL a persisting server mid-stream,
-# restart with --recover, diff the rest of the transcript against an
-# uninterrupted golden run), and an ASan/UBSan build running the
+# for byte, serving-transcript gates (JSON smoke vs golden; 2-shard and
+# no-coalesce runs vs the same golden; the binary wire format decoded back
+# to JSON vs the JSON frontend's bytes), a crash-recovery gate (SIGKILL a
+# persisting server mid-stream, restart with --recover, diff the rest of
+# the transcript against an uninterrupted golden run), and an ASan/UBSan
+# build running the
 # robustness, engine-equivalence, simd kernel, and persistence tests and a
 # timed fuzz smoke pass over the committed seed corpus.
 # Usage: tools/check.sh [fuzz_seconds]
@@ -28,7 +31,8 @@ echo "== property + stress suites =="
 echo "== TSan: observability + parallel layer + serving runtime + shared sessions =="
 cmake -B build-tsan -S . -DPTK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target obs_test parallel_test serve_test epoch_test shared_sessions_test
+  --target obs_test parallel_test serve_test epoch_test \
+  shared_sessions_test runtime_test
 ./build-tsan/tests/obs_test
 ./build-tsan/tests/parallel_test
 ./build-tsan/tests/serve_test
@@ -37,6 +41,9 @@ cmake --build build-tsan -j "$JOBS" \
 # pin / retire path shows up here as a TSan race.
 ./build-tsan/tests/epoch_test
 ./build-tsan/tests/shared_sessions_test
+# The sharded, coalescing runtime: group merging under the shard mutex,
+# the metrics drain barrier, and inline shed responses all race-tested.
+./build-tsan/tests/runtime_test
 
 echo "== PTK_METRICS=OFF cross-build: instrumentation must be inert =="
 cmake -B build-nometrics -S . -DPTK_METRICS=OFF >/dev/null
@@ -99,6 +106,35 @@ for fam in ptk_serve_sessions_open ptk_serve_sessions_total \
   grep -q "^# TYPE $fam" /tmp/ptk_serve_metrics.txt \
     || { echo "missing metric family: $fam"; exit 1; }
 done
+NORMALIZE='s/"queue_depth":[0-9]+/"queue_depth":N/; s/"submitted":[0-9]+/"submitted":N/; s/"executed":[0-9]+/"executed":N/'
+echo "== sharded smoke: 2 shards and --no-coalesce must replay the golden byte-identically =="
+# Session ids come from the runtime-global counter and every session op
+# routes to the shard owning its id, so the transcript must not change
+# with the deployment shape (only scheduler tallies, normalized above).
+./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 --shards 2 \
+  < tools/serve_smoke.in 2>/dev/null \
+  | sed -E "$NORMALIZE" > /tmp/ptk_serve_shards2.out
+diff tools/serve_smoke.golden /tmp/ptk_serve_shards2.out
+./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 --no-coalesce \
+  < tools/serve_smoke.in 2>/dev/null \
+  | sed -E "$NORMALIZE" > /tmp/ptk_serve_nocoalesce.out
+diff tools/serve_smoke.golden /tmp/ptk_serve_nocoalesce.out
+
+echo "== cross-codec gate: binary frontend must decode to the JSON transcript =="
+# Same requests through both wire formats; the binary responses, decoded
+# back to JSON by ptk_wire, must equal the JSON frontend's bytes. The
+# unknown-op probe line is JSON-only (the binary encoder cannot spell an
+# op the enum does not have), so it is filtered from this comparison.
+grep -v '"op":"bogus"' tools/serve_smoke.in > /tmp/ptk_wire_smoke.in
+./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 \
+  < /tmp/ptk_wire_smoke.in 2>/dev/null \
+  | sed -E "$NORMALIZE" > /tmp/ptk_wire_json.out
+./build/tools/ptk_wire encode-requests < /tmp/ptk_wire_smoke.in \
+  | ./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 \
+      --wire binary 2>/dev/null \
+  | ./build/tools/ptk_wire decode-responses \
+  | sed -E "$NORMALIZE" > /tmp/ptk_wire_binary.out
+diff /tmp/ptk_wire_json.out /tmp/ptk_wire_binary.out
 rm -f "$SMOKE_CSV"
 
 echo "== crash recovery gate: SIGKILL mid-stream, restart --recover, diff vs golden =="
@@ -154,9 +190,10 @@ echo "== ASan/UBSan: robustness + engine equivalence + fuzz smoke (${FUZZ_SECOND
 cmake -B build-asan -S . \
   -DPTK_SANITIZE=address,undefined -DPTK_FUZZ=ON >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target load_csv_fuzz constraint_fold_fuzz wal_replay_fuzz \
+  --target load_csv_fuzz constraint_fold_fuzz wal_replay_fuzz frame_fuzz \
   robustness_test data_test session_test engine_test simd_test \
-  simd_property_test persist_test epoch_test shared_sessions_test
+  simd_property_test persist_test epoch_test shared_sessions_test \
+  codec_test runtime_test
 # epoch_test's reader hammer turns a premature reclamation into a
 # use-after-free; shared_sessions_test's close-all drain turns a node copy
 # that never reaches the limbo list into a leak (LeakSanitizer).
@@ -164,7 +201,8 @@ cmake --build build-asan -j "$JOBS" \
   && ./tests/robustness_test && ./tests/engine_test \
   && ./tests/simd_test && ./tests/simd_property_test \
   && ./tests/persist_test && ./tests/epoch_test \
-  && ./tests/shared_sessions_test)
+  && ./tests/shared_sessions_test \
+  && ./tests/codec_test && ./tests/runtime_test)
 
 run_fuzz() {
   local target="$1" corpus="$2"
@@ -181,5 +219,6 @@ run_fuzz() {
 run_fuzz load_csv_fuzz fuzz/corpus/load_csv
 run_fuzz constraint_fold_fuzz fuzz/corpus/constraint_fold
 run_fuzz wal_replay_fuzz fuzz/corpus/wal_replay
+run_fuzz frame_fuzz fuzz/corpus/frame
 
 echo "== all checks passed =="

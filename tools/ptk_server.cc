@@ -1,37 +1,42 @@
-// JSON-lines serving frontend over stdin/stdout.
+// Serving frontend over stdin/stdout: a thin transport loop around the
+// typed protocol core.
 //
-// Reads one request object per line, executes it on the serving runtime
-// (serve::SessionManager + serve::Scheduler), and writes one response
-// object per line *in request order* — requests are pipelined through the
-// scheduler (per-session serialization, per-request deadlines, admission
-// shedding), and a reorder buffer flushes responses in submission order.
+// Reads request frames from stdin in the selected wire format (--wire
+// json | binary, see src/serve/codec.h), submits each decoded
+// serve::Request to the sharded, coalescing serve::Runtime, and writes
+// one response frame per request *in request order* — requests are
+// pipelined through the per-shard schedulers (per-session serialization,
+// per-request deadlines, admission shedding with retry_after_ms), and a
+// reorder buffer flushes responses in submission order.
 //
 // Usage:
-//   ptk_server <data.csv> [--k N] [--selector NAME] [--order sensitive]
-//              [--fanout N] [--workers N] [--queue N] [--max-sessions N]
-//              [--update-working] [--metrics]
+//   ptk_server <data.csv> [--wire json|binary] [--shards N]
+//              [--no-coalesce] [--k N] [--selector NAME]
+//              [--order sensitive] [--fanout N] [--workers N] [--queue N]
+//              [--max-sessions N] [--update-working] [--metrics]
 //              [--persist-dir PATH] [--no-fsync] [--snapshot-every N]
 //              [--recover]
 //
-// See src/serve/protocol.h for the request/response grammar. With
-// --metrics, the process-wide metrics registry (the ptk_serve_* families
-// among them) is exported to stderr in Prometheus format at EOF.
+// The response stream is bit-identical across --shards values and, once
+// decoded, across wire formats (see src/serve/runtime.h). With --metrics,
+// the process-wide metrics registry (the ptk_serve_* families among them)
+// is exported to stderr in Prometheus format at EOF.
 //
 // Durability: --persist-dir journals every session under PATH (write-ahead
 // log per session, periodic snapshots, fsync-ordered acknowledgements);
-// --recover replays those journals at startup, rebuilding every session
-// bit-identically to the pre-crash process before the first request is
-// read. --no-fsync keeps the journal ordering but skips fsync (faster,
-// survives process kills but not power loss).
+// --recover replays those journals at startup — each session into the
+// shard owning its id — rebuilding every session bit-identically to the
+// pre-crash process before the first request is read. --no-fsync keeps
+// the journal ordering but skips fsync (faster, survives process kills
+// but not power loss).
 
-#include <condition_variable>
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <chrono>
-#include <iostream>
 #include <map>
-#include <memory>
 #include <mutex>
 #include <string>
 #include <utility>
@@ -39,24 +44,25 @@
 #include "data/csv.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
-#include "serve/protocol.h"
-#include "serve/scheduler.h"
-#include "serve/session_manager.h"
+#include "serve/codec.h"
+#include "serve/message.h"
+#include "serve/runtime.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
 namespace {
 
-// Flushes responses in ticket (submission) order regardless of the order
-// workers complete them.
+// Flushes response frames in ticket (submission) order regardless of the
+// order workers complete them. Frames arrive fully framed (JSON lines
+// carry their '\n'; binary frames their length prefix).
 class OrderedWriter {
  public:
-  void Push(uint64_t ticket, std::string line) {
+  void Push(uint64_t ticket, std::string frame) {
     std::lock_guard<std::mutex> lock(mu_);
-    pending_.emplace(ticket, std::move(line));
+    pending_.emplace(ticket, std::move(frame));
     while (!pending_.empty() && pending_.begin()->first == next_) {
-      std::fputs(pending_.begin()->second.c_str(), stdout);
-      std::fputc('\n', stdout);
+      const std::string& out = pending_.begin()->second;
+      std::fwrite(out.data(), 1, out.size(), stdout);
       std::fflush(stdout);
       pending_.erase(pending_.begin());
       ++next_;
@@ -71,7 +77,8 @@ class OrderedWriter {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <data.csv> [--k N] [--selector NAME] "
+               "usage: %s <data.csv> [--wire json|binary] [--shards N] "
+               "[--no-coalesce] [--k N] [--selector NAME] "
                "[--order sensitive] [--fanout N] [--workers N] [--queue N] "
                "[--max-sessions N] [--update-working] [--metrics] "
                "[--persist-dir PATH] [--no-fsync] [--snapshot-every N] "
@@ -85,8 +92,8 @@ int Usage(const char* argv0) {
 int main(int argc, char** argv) {
   if (argc < 2) return Usage(argv[0]);
   const char* csv_path = nullptr;
-  ptk::serve::SessionManager::Options manager_options;
-  ptk::serve::Scheduler::Options scheduler_options;
+  ptk::serve::Runtime::Options options;
+  ptk::serve::WireFormat wire = ptk::serve::WireFormat::kJsonLines;
   bool dump_metrics = false;
   bool recover = false;
 
@@ -97,16 +104,28 @@ int main(int argc, char** argv) {
       *out = std::atoi(argv[++i]);
       return *out > 0;
     };
-    if (arg == "--k") {
-      if (!next_int(&manager_options.k)) return Usage(argv[0]);
+    if (arg == "--wire") {
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const auto format = ptk::serve::WireFormatFromName(argv[++i]);
+      if (!format.has_value()) {
+        std::fprintf(stderr, "unknown wire format '%s'\n", argv[i]);
+        return 2;
+      }
+      wire = *format;
+    } else if (arg == "--shards") {
+      if (!next_int(&options.shards)) return Usage(argv[0]);
+    } else if (arg == "--no-coalesce") {
+      options.coalesce = false;
+    } else if (arg == "--k") {
+      if (!next_int(&options.manager.k)) return Usage(argv[0]);
     } else if (arg == "--fanout") {
-      if (!next_int(&manager_options.fanout)) return Usage(argv[0]);
+      if (!next_int(&options.manager.fanout)) return Usage(argv[0]);
     } else if (arg == "--workers") {
-      if (!next_int(&scheduler_options.workers)) return Usage(argv[0]);
+      if (!next_int(&options.scheduler.workers)) return Usage(argv[0]);
     } else if (arg == "--queue") {
-      if (!next_int(&scheduler_options.queue_capacity)) return Usage(argv[0]);
+      if (!next_int(&options.scheduler.queue_capacity)) return Usage(argv[0]);
     } else if (arg == "--max-sessions") {
-      if (!next_int(&manager_options.max_sessions)) return Usage(argv[0]);
+      if (!next_int(&options.manager.max_sessions)) return Usage(argv[0]);
     } else if (arg == "--selector") {
       if (i + 1 >= argc) return Usage(argv[0]);
       const auto kind = ptk::core::SelectorKindFromName(argv[++i]);
@@ -114,28 +133,28 @@ int main(int argc, char** argv) {
         std::fprintf(stderr, "unknown selector '%s'\n", argv[i]);
         return 2;
       }
-      manager_options.selector = *kind;
+      options.manager.selector = *kind;
     } else if (arg == "--order") {
       if (i + 1 >= argc) return Usage(argv[0]);
       const std::string mode = argv[++i];
       if (mode == "sensitive") {
-        manager_options.order = ptk::pw::OrderMode::kSensitive;
+        options.manager.order = ptk::pw::OrderMode::kSensitive;
       } else if (mode == "insensitive") {
-        manager_options.order = ptk::pw::OrderMode::kInsensitive;
+        options.manager.order = ptk::pw::OrderMode::kInsensitive;
       } else {
         return Usage(argv[0]);
       }
     } else if (arg == "--update-working") {
-      manager_options.update_working = true;
+      options.manager.update_working = true;
     } else if (arg == "--metrics") {
       dump_metrics = true;
     } else if (arg == "--persist-dir") {
       if (i + 1 >= argc) return Usage(argv[0]);
-      manager_options.persist.dir = argv[++i];
+      options.manager.persist.dir = argv[++i];
     } else if (arg == "--no-fsync") {
-      manager_options.persist.fsync = false;
+      options.manager.persist.fsync = false;
     } else if (arg == "--snapshot-every") {
-      if (!next_int(&manager_options.persist.snapshot_every)) {
+      if (!next_int(&options.manager.persist.snapshot_every)) {
         return Usage(argv[0]);
       }
     } else if (arg == "--recover") {
@@ -157,71 +176,86 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ptk::serve::SessionManager manager(*db, manager_options);
+  ptk::serve::Runtime runtime(*db, options);
   if (recover) {
-    if (manager_options.persist.dir.empty()) {
+    if (options.manager.persist.dir.empty()) {
       std::fprintf(stderr, "--recover requires --persist-dir\n");
       return 2;
     }
-    ptk::util::StatusOr<int> recovered = manager.RecoverSessions();
+    ptk::util::StatusOr<int> recovered = runtime.Recover();
     if (!recovered.ok()) {
       std::fprintf(stderr, "recovery failed: %s\n",
                    recovered.status().ToString().c_str());
       return 1;
     }
     std::fprintf(stderr, "recovered %d session(s) from %s\n", *recovered,
-                 manager_options.persist.dir.c_str());
+                 options.manager.persist.dir.c_str());
   }
-  ptk::serve::Scheduler scheduler(scheduler_options);
+
+  const ptk::serve::Codec& codec = ptk::serve::CodecFor(wire);
   OrderedWriter writer;
-
-  std::string line;
   uint64_t ticket = 0;
-  while (std::getline(std::cin, line)) {
-    const uint64_t t = ticket++;
-    if (line.empty()) {
-      writer.Push(t, "");  // keep tickets dense; echo blank lines as blank
-      continue;
-    }
-    ptk::util::StatusOr<ptk::serve::RequestLine> parsed =
-        ptk::serve::ParseRequestLine(line);
-    if (!parsed.ok()) {
-      writer.Push(t, ptk::serve::RenderResponse("", parsed.status(), ""));
-      continue;
-    }
-    auto request = std::make_shared<ptk::serve::RequestLine>(
-        *std::move(parsed));
-    auto payload = std::make_shared<std::string>();
-    auto error_detail = std::make_shared<std::string>();
 
-    ptk::serve::Scheduler::Request job;
-    job.session_id = request->session;
-    if (request->deadline_ms > 0) {
-      job.deadline = std::chrono::milliseconds(request->deadline_ms);
+  auto process_frame = [&](std::string_view frame) {
+    const uint64_t t = ticket++;
+    if (wire == ptk::serve::WireFormat::kJsonLines && frame.empty()) {
+      writer.Push(t, "\n");  // keep tickets dense; echo blank lines as blank
+      return;
     }
-    if (!request->session.empty()) {
-      job.cancel = manager.CancelSourceFor(request->session).source;
+    ptk::serve::Request request;
+    if (ptk::util::Status decoded = codec.DecodeRequest(frame, &request);
+        !decoded.ok()) {
+      writer.Push(t, codec.EncodeResponse(ptk::serve::ErrorResponse(
+                         request.id, std::move(decoded))));
+      return;
     }
-    job.work = [&manager, &scheduler, request, payload, error_detail] {
-      ptk::util::StatusOr<std::string> result = ptk::serve::ExecuteRequest(
-          manager, &scheduler, *request, error_detail.get());
-      if (!result.ok()) return result.status();
-      *payload = *std::move(result);
-      return ptk::util::Status::OK();
-    };
-    job.done = [&writer, t, request, payload, error_detail](
-                   const ptk::util::Status& status) {
-      writer.Push(t, ptk::serve::RenderResponse(request->id, status,
-                                                *payload, *error_detail));
-    };
-    if (ptk::util::Status admitted = scheduler.Submit(std::move(job));
-        !admitted.ok()) {
-      writer.Push(t,
-                  ptk::serve::RenderResponse(request->id, admitted, ""));
+    runtime.Submit(std::move(request),
+                   [&writer, &codec, t](ptk::serve::Response response) {
+                     writer.Push(t, codec.EncodeResponse(response));
+                   });
+  };
+
+  std::string buffer;
+  char chunk[64 * 1024];
+  bool framing_fault = false;
+  for (;;) {
+    // read(2), not fread: fread blocks until the whole chunk fills, which
+    // stalls streaming clients (a FIFO or socket that trickles requests
+    // would never get an answer). read returns whatever is available.
+    ssize_t n = ::read(fileno(stdin), chunk, sizeof(chunk));
+    while (n < 0 && errno == EINTR) {
+      n = ::read(fileno(stdin), chunk, sizeof(chunk));
+    }
+    if (n > 0) buffer.append(chunk, static_cast<size_t>(n));
+    size_t offset = 0;
+    for (;;) {
+      ptk::util::StatusOr<ptk::serve::FrameSplit> split = codec.SplitFrame(
+          std::string_view(buffer).substr(offset));
+      if (!split.ok()) {
+        // Unrecoverable framing fault (oversized frame): answer it and
+        // stop reading — the stream cannot be resynchronized.
+        writer.Push(ticket++, codec.EncodeResponse(ptk::serve::ErrorResponse(
+                                  "", split.status())));
+        framing_fault = true;
+        break;
+      }
+      if (!split->complete) break;
+      process_frame(split->frame);
+      offset += split->consumed;
+    }
+    buffer.erase(0, offset);
+    if (framing_fault || n <= 0) break;  // EOF or read error
+  }
+  if (!framing_fault && !buffer.empty()) {
+    if (wire == ptk::serve::WireFormat::kJsonLines) {
+      process_frame(buffer);  // final line without trailing newline
+    } else {
+      std::fprintf(stderr, "truncated frame at EOF (%zu byte(s) dropped)\n",
+                   buffer.size());
     }
   }
 
-  scheduler.Shutdown();  // drain: every accepted request responds
+  runtime.Shutdown();  // drain: every accepted request responds
   if (dump_metrics) {
     std::fputs(ptk::obs::FormatPrometheus(
                    ptk::obs::MetricsRegistry::Default().Snapshot())

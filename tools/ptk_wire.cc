@@ -1,0 +1,121 @@
+// Wire-format translator for the serving protocol (src/serve/codec.h).
+//
+// Bridges the two codecs through the typed core, so the same request
+// stream can be driven at a JSON frontend and a binary frontend and the
+// response transcripts compared byte-for-byte (tools/check.sh does
+// exactly that):
+//
+//   ptk_wire encode-requests    JSON-lines requests on stdin ->
+//                               binary request frames on stdout
+//   ptk_wire decode-responses   binary response frames on stdin ->
+//                               JSON-lines responses on stdout
+//
+// Every frame passes through serve::Request / serve::Response values —
+// doubles travel bit-exactly through the binary format, and the JSON
+// encoder renders them with the same %.9g the server uses, so a
+// round-tripped transcript is byte-identical to a native JSON one.
+// Malformed input is a hard error (message to stderr, exit 1): this tool
+// feeds byte-equality gates, where skipping a frame would just move the
+// diff somewhere less obvious.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "serve/codec.h"
+#include "serve/message.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr, "usage: %s encode-requests|decode-responses\n",
+               argv0);
+  return 2;
+}
+
+int Fail(const ptk::util::Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Reads stdin to EOF, splits it with `in`'s framing, translates each
+// frame with `translate`, and writes the result (already framed) to
+// stdout. JSON blank lines pass through untouched (the server echoes
+// them; they carry no request).
+int Translate(const ptk::serve::Codec& in,
+              ptk::util::StatusOr<std::string> (*translate)(
+                  std::string_view frame)) {
+  std::string buffer;
+  char chunk[64 * 1024];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), stdin)) > 0) {
+    buffer.append(chunk, n);
+  }
+  std::string_view rest = buffer;
+  while (!rest.empty()) {
+    ptk::util::StatusOr<ptk::serve::FrameSplit> split = in.SplitFrame(rest);
+    if (!split.ok()) return Fail(split.status());
+    std::string_view frame;
+    if (split->complete) {
+      frame = split->frame;
+      rest.remove_prefix(split->consumed);
+    } else if (in.format() == ptk::serve::WireFormat::kJsonLines) {
+      frame = rest;  // final line without trailing newline
+      rest = {};
+    } else {
+      return Fail(ptk::util::Status::InvalidArgument(
+          "wire: truncated frame at end of input"));
+    }
+    if (in.format() == ptk::serve::WireFormat::kJsonLines && frame.empty()) {
+      std::fputc('\n', stdout);
+      continue;
+    }
+    ptk::util::StatusOr<std::string> out = translate(frame);
+    if (!out.ok()) return Fail(out.status());
+    std::fwrite(out->data(), 1, out->size(), stdout);
+  }
+  std::fflush(stdout);
+  return 0;
+}
+
+ptk::util::StatusOr<std::string> RequestJsonToBinary(
+    std::string_view frame) {
+  ptk::serve::Request request;
+  if (ptk::util::Status status =
+          ptk::serve::CodecFor(ptk::serve::WireFormat::kJsonLines)
+              .DecodeRequest(frame, &request);
+      !status.ok()) {
+    return status;
+  }
+  return ptk::serve::CodecFor(ptk::serve::WireFormat::kBinary)
+      .EncodeRequest(request);
+}
+
+ptk::util::StatusOr<std::string> ResponseBinaryToJson(
+    std::string_view frame) {
+  ptk::util::StatusOr<ptk::serve::Response> response =
+      ptk::serve::CodecFor(ptk::serve::WireFormat::kBinary)
+          .DecodeResponse(frame);
+  if (!response.ok()) return response.status();
+  return ptk::serve::CodecFor(ptk::serve::WireFormat::kJsonLines)
+      .EncodeResponse(*response);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) return Usage(argv[0]);
+  const std::string_view mode = argv[1];
+  if (mode == "encode-requests") {
+    return Translate(
+        ptk::serve::CodecFor(ptk::serve::WireFormat::kJsonLines),
+        &RequestJsonToBinary);
+  }
+  if (mode == "decode-responses") {
+    return Translate(ptk::serve::CodecFor(ptk::serve::WireFormat::kBinary),
+                     &ResponseBinaryToJson);
+  }
+  return Usage(argv[0]);
+}
