@@ -19,13 +19,23 @@
 //      ask, fold, exact conditioned quality). Unlike engine_fold_step this
 //      includes selection and the exact evaluation, both of which depend
 //      on m and on the accumulated constraints by design.
+//
+//   4. semantics_<name>_q<i> — uncertainty-vs-questions ablation across
+//      the pluggable ranking objectives (core/semantics.h). Each objective
+//      drives its own engine + OPT-derived selector over the same database
+//      and the same ground truth; the recorded value is the objective's
+//      uncertainty functional after answering question i (q0 = prior).
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <set>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/bound_selector.h"
+#include "core/semantics.h"
 #include "crowd/adaptive.h"
 #include "crowd/crowd_model.h"
 #include "crowd/session.h"
@@ -196,6 +206,88 @@ int BenchAdaptiveSteps(ptk::bench::JsonWriter* json) {
   return 0;
 }
 
+int BenchSemanticsAblation(ptk::bench::JsonWriter* json) {
+  const int k = 5;
+  const int questions = 12;
+  ptk::data::SynOptions syn;
+  syn.num_objects = ptk::bench::Scaled(60);
+  syn.avg_instances = 4;
+  // Dense value range so object distributions overlap: with the default
+  // 10'000-wide range and 60 objects the prior top-k is already certain
+  // and every curve starts (and stays) at zero.
+  syn.value_range = 400.0;
+  syn.cluster_width = 120.0;
+  syn.seed = 701;
+  const ptk::model::Database db = ptk::data::MakeSynDataset(syn);
+  const std::vector<double> truth = ptk::crowd::SampleWorldValues(db, 702);
+
+  ptk::bench::Banner(
+      "Uncertainty vs questions, per ranking objective (OPT-derived)");
+  std::printf("synthetic m=%d, k=%d; same database and ground truth for "
+              "every objective\n\n", db.num_objects(), k);
+  ptk::bench::Row({"objective", "q", "uncertainty", "step secs"}, 16);
+
+  for (const ptk::core::SemanticsId id :
+       {ptk::core::SemanticsId::kEntropy,
+        ptk::core::SemanticsId::kExpectedRank,
+        ptk::core::SemanticsId::kUKRanks}) {
+    const std::string name(ptk::core::SemanticsName(id));
+    ptk::engine::RankingEngine::Options options;
+    options.k = k;
+    options.semantics = id;
+    ptk::engine::RankingEngine engine(db, options);
+    std::unique_ptr<ptk::core::PairSelector> selector =
+        engine.MakeSelector(ptk::core::SelectorKind::kOpt);
+    if (selector == nullptr) return 1;
+
+    const ptk::util::StatusOr<double> prior = engine.Quality();
+    if (!prior.ok()) return 1;
+    ptk::bench::Row({name, "0", ptk::bench::Fmt(*prior, 6), "-"}, 16);
+    json->Record("semantics_" + name + "_q0", *prior,
+                 ptk::bench::JsonWriter::DefaultThreads(), db.num_objects(),
+                 k);
+
+    // Selectors score from the base database, so an answered pair would be
+    // re-proposed forever; the cleaning loops track asked pairs, and so do
+    // we.
+    std::set<std::pair<ptk::model::ObjectId, ptk::model::ObjectId>> asked;
+    for (int q = 1; q <= questions; ++q) {
+      ptk::util::Stopwatch watch;
+      std::vector<ptk::core::ScoredPair> pairs;
+      if (!selector->SelectPairs(questions + 4, &pairs).ok()) return 1;
+      const ptk::core::ScoredPair* pick = nullptr;
+      for (const ptk::core::ScoredPair& candidate : pairs) {
+        const auto key = std::minmax(candidate.a, candidate.b);
+        if (asked.insert(key).second) {
+          pick = &candidate;
+          break;
+        }
+      }
+      if (pick == nullptr) return 1;
+      const ptk::model::ObjectId a = pick->a;
+      const ptk::model::ObjectId b = pick->b;
+      const ptk::model::ObjectId smaller = truth[a] < truth[b] ? a : b;
+      const ptk::model::ObjectId larger = smaller == a ? b : a;
+      ptk::engine::RankingEngine::FoldOutcome outcome;
+      if (!engine.Fold(smaller, larger, /*update_working=*/true, &outcome)
+               .ok()) {
+        return 1;
+      }
+      const ptk::util::StatusOr<double> after = engine.Quality();
+      if (!after.ok()) return 1;
+      const double seconds = watch.ElapsedSeconds();
+      ptk::bench::Row({name, std::to_string(q), ptk::bench::Fmt(*after, 6),
+                       ptk::bench::FmtSci(seconds)},
+                      16);
+      json->Record("semantics_" + name + "_q" + std::to_string(q), *after,
+                   ptk::bench::JsonWriter::DefaultThreads(), db.num_objects(),
+                   k);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main() {
@@ -203,5 +295,6 @@ int main() {
   if (int rc = BenchFoldScaling(&json)) return rc;
   if (int rc = BenchSessionRounds(&json)) return rc;
   if (int rc = BenchAdaptiveSteps(&json)) return rc;
+  if (int rc = BenchSemanticsAblation(&json)) return rc;
   return 0;
 }

@@ -28,25 +28,24 @@ int main() {
               db.num_objects(), k);
 
   // --- Point answers under each semantics.
-  ptk::pw::ResultKey utopk;
-  double utopk_prob = 0.0;
-  if (!ptk::topk::UTopK(db, k, ptk::pw::OrderMode::kInsensitive, {}, &utopk,
-                        &utopk_prob)
-           .ok()) {
-    return 1;
-  }
+  const ptk::util::StatusOr<ptk::topk::UTopKAnswer> utopk =
+      ptk::topk::UTopK(db, k, ptk::pw::OrderMode::kInsensitive);
+  if (!utopk.ok()) return 1;
   std::printf("U-Topk   : {");
-  for (size_t i = 0; i < utopk.size(); ++i) {
-    std::printf("%s%s", i ? ", " : "", db.object(utopk[i]).label().c_str());
+  for (size_t i = 0; i < utopk->result.size(); ++i) {
+    std::printf("%s%s", i ? ", " : "",
+                db.object(utopk->result[i]).label().c_str());
   }
-  std::printf("}  (probability %.3f)\n", utopk_prob);
+  std::printf("}  (probability %.3f)\n", utopk->probability);
 
-  std::vector<ptk::topk::ScoredObject> ranks;
-  if (!ptk::topk::UKRanks(db, k, &ranks).ok()) return 1;
+  const ptk::util::StatusOr<std::vector<ptk::topk::ScoredObject>> ranks =
+      ptk::topk::UKRanks(db, k);
+  if (!ranks.ok()) return 1;
   std::printf("U-kRanks :");
-  for (size_t r = 0; r < ranks.size(); ++r) {
+  for (size_t r = 0; r < ranks->size(); ++r) {
     std::printf(" #%zu %s (%.3f)", r + 1,
-                db.object(ranks[r].oid).label().c_str(), ranks[r].score);
+                db.object((*ranks)[r].oid).label().c_str(),
+                (*ranks)[r].score);
   }
   std::printf("\n");
 

@@ -18,6 +18,7 @@ engine::RankingEngine::Options EngineOptions(
   engine_options.order = options.order;
   engine_options.enumerator = options.enumerator;
   engine_options.fanout = options.fanout;
+  engine_options.semantics = options.semantics;
   return engine_options;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "core/selector.h"
+#include "core/semantics.h"
 #include "crowd/crowd_model.h"
 #include "engine/ranking_engine.h"
 #include "model/database.h"
@@ -43,6 +44,10 @@ class AdaptiveCleaner {
     pw::OrderMode order = pw::OrderMode::kInsensitive;
     pw::EnumeratorOptions enumerator;
     int fanout = 8;
+    /// Ranking objective every step minimizes. Non-entropy semantics make
+    /// the per-step selector rescore its candidate pool by that
+    /// objective's expected improvement (see core::RescoredSelector).
+    core::SemanticsId semantics = core::SemanticsId::kEntropy;
   };
 
   AdaptiveCleaner(const model::Database& db, ComparisonOracle* oracle,

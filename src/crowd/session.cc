@@ -38,6 +38,7 @@ engine::RankingEngine::Options EngineOptions(
   engine_options.k = options.k;
   engine_options.order = options.order;
   engine_options.enumerator = options.enumerator;
+  engine_options.semantics = options.semantics;
   return engine_options;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/selector.h"
+#include "core/semantics.h"
 #include "crowd/crowd_model.h"
 #include "engine/ranking_engine.h"
 #include "pw/constraint.h"
@@ -37,6 +38,10 @@ class CleaningSession {
     int k = 10;
     pw::OrderMode order = pw::OrderMode::kInsensitive;
     pw::EnumeratorOptions enumerator;
+    /// Ranking objective the session reports and minimizes. The default
+    /// (entropy over top-k sets) reproduces the paper's quality metric;
+    /// other semantics reuse the same round loop unchanged.
+    core::SemanticsId semantics = core::SemanticsId::kEntropy;
   };
 
   CleaningSession(const model::Database& db, core::PairSelector* selector,

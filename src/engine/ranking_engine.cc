@@ -39,13 +39,24 @@ struct EngineMetrics {
   }
 };
 
+/// Per-semantics uncertainty-evaluation counters, label-in-name (DESIGN.md
+/// §4.10). Only the non-default objectives ever touch these, so the
+/// default metrics output is unchanged.
+obs::Counter* SemanticsEvalsCounter(std::string_view semantics) {
+  return obs::GetCounter(
+      "ptk_engine_semantics_evals_total{semantics=\"" +
+          std::string(semantics) + "\"}",
+      "Objective uncertainty evaluations per ranking semantics");
+}
+
 }  // namespace
 
 RankingEngine::RankingEngine(const model::Database& db, const Options& options)
     : base_(&db),
       options_(options),
       evaluator_(db, options.k, options.order, options.enumerator),
-      overlay_(db) {}
+      overlay_(db),
+      semantics_(core::MakeSemantics(options.semantics)) {}
 
 void RankingEngine::PrepareWorkingCopy() { overlay_.Materialize(); }
 
@@ -147,7 +158,13 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
     return util::Status::OK();
   }
 
-  if (update_working) {
+  // A marginal-reading objective sees answers only through the working
+  // copy, so it forces the reweight regardless of the caller's choice.
+  // The OR is applied identically on live folds and WAL replays (which
+  // journal the *requested* flag), keeping recovery deterministic.
+  const bool fold_working =
+      update_working || semantics_->requires_working_fold();
+  if (fold_working) {
     const auto& so = working_db().object(smaller);
     const auto& lo = working_db().object(larger);
     // p'_smaller(i) ∝ p(i) · Pr(larger > i); p'_larger(j) ∝ p(j) ·
@@ -194,6 +211,9 @@ util::Status RankingEngine::Fold(model::ObjectId smaller,
 
   constraints_ = std::move(candidate);
   ++version_;
+  if (fold_working) {
+    semantics_->OnFold(working_db(), smaller, larger);
+  }
   folds_applied_.fetch_add(1, std::memory_order_relaxed);
   metrics.folds_applied->Add();
   *outcome = FoldOutcome::kApplied;
@@ -239,6 +259,11 @@ util::Status RankingEngine::RestoreSnapshot(
   }
   constraints_ = std::move(restored);
   version_ = version;
+  // Restored probabilities arrived without OnFold notifications; the
+  // objective rebuilds its memo lazily from the restored marginals, which
+  // the determinism contract makes bit-identical to the incremental state
+  // of the uninterrupted process.
+  semantics_->Invalidate();
   return util::Status::OK();
 }
 
@@ -270,7 +295,15 @@ std::unique_ptr<core::PairSelector> RankingEngine::MakeSelector(
       kind == SelectorKind::kHrs1 || kind == SelectorKind::kHrs2;
   if (needs_membership) o.membership = membership();
   if (needs_tree) o.shared_tree = &tree();
-  return core::MakeSelector(working_db(), kind, o);
+  std::unique_ptr<core::PairSelector> inner =
+      core::MakeSelector(working_db(), kind, o);
+  if (options_.semantics == core::SemanticsId::kEntropy) return inner;
+  // Non-default objectives: the inner selector provides the candidate
+  // pool (its EI scores target entropy), the wrapper rescores by the
+  // active objective's expected improvement.
+  return std::make_unique<core::RescoredSelector>(
+      std::move(inner), semantics_.get(), SemanticsContextNow(),
+      options_.candidate_pool);
 }
 
 util::Status RankingEngine::EnsureDistribution() const {
@@ -287,10 +320,28 @@ util::Status RankingEngine::EnsureDistribution() const {
   enumerations_.fetch_add(1, std::memory_order_relaxed);
   metrics.distribution_builds->Add();
   dist_ = std::move(dist);
-  quality_ = dist_.Entropy();
+  if (options_.semantics == core::SemanticsId::kEntropy) {
+    // The paper's objective, extracted behind the interface: the entropy
+    // semantics reduces the memoized distribution to the same
+    // dist_.Entropy() bits the engine always reported.
+    core::SemanticsContext ctx = SemanticsContextNow();
+    ctx.distribution = &dist_;
+    quality_ = semantics_->Uncertainty(ctx);
+  } else {
+    quality_ = dist_.Entropy();
+  }
   dist_valid_ = true;
   dist_version_ = version_;
   return util::Status::OK();
+}
+
+core::SemanticsContext RankingEngine::SemanticsContextNow() const {
+  core::SemanticsContext ctx;
+  ctx.base = base_;
+  ctx.working = &working_db();
+  ctx.k = options_.k;
+  ctx.order = options_.order;
+  return ctx;
 }
 
 util::StatusOr<pw::TopKDistribution> RankingEngine::Distribution() const {
@@ -300,9 +351,32 @@ util::StatusOr<pw::TopKDistribution> RankingEngine::Distribution() const {
 }
 
 util::StatusOr<double> RankingEngine::Quality() const {
-  util::Status s = EnsureDistribution();
-  if (!s.ok()) return s;
-  return quality_;
+  if (options_.semantics == core::SemanticsId::kEntropy) {
+    util::Status s = EnsureDistribution();
+    if (!s.ok()) return s;
+    return quality_;
+  }
+  if (sem_quality_valid_ && sem_quality_version_ == version_) {
+    distribution_hits_.fetch_add(1, std::memory_order_relaxed);
+    EngineMetrics::Get().distribution_memo_hits->Add();
+    return sem_quality_;
+  }
+  sem_quality_ = semantics_->Uncertainty(SemanticsContextNow());
+  sem_quality_valid_ = true;
+  sem_quality_version_ = version_;
+  SemanticsEvalsCounter(semantics_->name())->Add();
+  return sem_quality_;
+}
+
+util::StatusOr<std::vector<topk::ScoredObject>> RankingEngine::PointAnswer()
+    const {
+  core::SemanticsContext ctx = SemanticsContextNow();
+  if (semantics_->needs_distribution()) {
+    util::Status s = EnsureDistribution();
+    if (!s.ok()) return s;
+    ctx.distribution = &dist_;
+  }
+  return semantics_->PointAnswer(ctx);
 }
 
 }  // namespace ptk::engine

@@ -11,6 +11,7 @@
 
 #include "core/quality.h"
 #include "core/selector.h"
+#include "core/semantics.h"
 #include "model/database.h"
 #include "model/database_overlay.h"
 #include "pbtree/delta_tree.h"
@@ -78,6 +79,16 @@ class RankingEngine {
     int k = 10;
     pw::OrderMode order = pw::OrderMode::kInsensitive;
     pw::EnumeratorOptions enumerator;
+
+    /// The objective this engine cleans toward (core/semantics.h). The
+    /// default is the paper's entropy objective and keeps every historical
+    /// path — distribution memo, EI selection, counters — byte-identical.
+    /// Non-default objectives read the conditioned *marginals*: Fold then
+    /// always updates the working copy (the requested update_working is
+    /// OR-ed with RankingSemantics::requires_working_fold()), Quality()
+    /// reports the objective's uncertainty functional, and MakeSelector
+    /// rescores candidate pairs by the objective's expected improvement.
+    core::SemanticsId semantics = core::SemanticsId::kEntropy;
 
     /// Selector knobs, passed through to MakeSelector.
     int fanout = 8;
@@ -215,8 +226,21 @@ class RankingEngine {
   /// constraints (on the base database). Memoized per version().
   util::StatusOr<pw::TopKDistribution> Distribution() const;
 
-  /// H(S_k | constraints), from the same memoized distribution.
+  /// The active objective's uncertainty. For the default entropy
+  /// semantics: H(S_k | constraints) from the memoized distribution (the
+  /// historical behaviour, bit-identical). For other semantics: the
+  /// objective's functional over the conditioned working marginals,
+  /// memoized per version().
   util::StatusOr<double> Quality() const;
+
+  /// The active objective (engine-owned, stateful — its memo tracks this
+  /// engine's working copy).
+  const core::RankingSemantics& semantics() const { return *semantics_; }
+
+  /// The point answer under the active semantics (core/semantics.h):
+  /// the most probable result set for entropy, the k best expected ranks
+  /// for expected_rank, the per-rank winners for ukranks.
+  util::StatusOr<std::vector<topk::ScoredObject>> PointAnswer() const;
 
   /// Pr(constraints hold) on the base database (exact, Eq. 5 numerator).
   double ConstraintProbability(const pw::ConstraintSet& constraints) const {
@@ -256,6 +280,8 @@ class RankingEngine {
   core::SelectorOptions BaseSelectorOptions() const;
   // Builds/refreshes the memoized distribution for the current version.
   util::Status EnsureDistribution() const;
+  // The context the active semantics reads (base, working, k, order).
+  core::SemanticsContext SemanticsContextNow() const;
   // The shared (or lazily owned) base artifacts — always on *base_.
   std::shared_ptr<const rank::MembershipCalculator> BaseMembership();
   std::shared_ptr<const pbtree::PBTree> BaseTree();
@@ -285,6 +311,14 @@ class RankingEngine {
   mutable uint64_t dist_version_ = 0;
   mutable pw::TopKDistribution dist_;
   mutable double quality_ = 0.0;
+
+  // The active objective and — for non-default semantics — its memoized
+  // uncertainty, keyed on version_ like the distribution memo. Mutable:
+  // the semantics' internal memo refreshes from const Quality() reads.
+  mutable std::unique_ptr<core::RankingSemantics> semantics_;
+  mutable bool sem_quality_valid_ = false;
+  mutable uint64_t sem_quality_version_ = 0;
+  mutable double sem_quality_ = 0.0;
 
   // counters() storage. Atomics, not a struct: the memo counters are
   // bumped from const accessors and folds_* from Fold, while counters()

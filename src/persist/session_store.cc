@@ -17,8 +17,11 @@ namespace {
 
 namespace fs = std::filesystem;
 
+// '02' appended the semantics byte; old '01' files predate the field and
+// are not readable (the format carries no optional-field machinery — a
+// store is recreated, not migrated, across this bump).
 constexpr std::array<uint8_t, 8> kMetaMagic = {'P', 'T', 'K', 'M',
-                                               'E', 'T', '0', '1'};
+                                               'E', 'T', '0', '2'};
 
 std::string SessionDir(const std::string& root, const std::string& id) {
   return (fs::path(root) / "sessions" / id).string();
@@ -33,6 +36,7 @@ std::vector<uint8_t> EncodeMeta(const SessionMeta& meta) {
   io::PutU32(&payload, static_cast<uint32_t>(meta.k));
   payload.push_back(meta.order);
   payload.push_back(meta.update_working ? 1 : 0);
+  payload.push_back(meta.semantics);
 
   std::vector<uint8_t> image;
   image.insert(image.end(), kMetaMagic.begin(), kMetaMagic.end());
@@ -64,10 +68,11 @@ util::StatusOr<SessionMeta> DecodeMeta(std::span<const uint8_t> bytes) {
   uint32_t id_len = 0;
   std::span<const uint8_t> id_bytes;
   uint32_t k = 0;
-  uint8_t order = 0, update_working = 0;
+  uint8_t order = 0, update_working = 0, semantics = 0;
   if (!cursor.U32(&id_len) || !cursor.Bytes(id_len, &id_bytes) ||
       !cursor.U64(&meta.db_fingerprint) || !cursor.U32(&k) ||
-      !cursor.U8(&order) || !cursor.U8(&update_working) || !cursor.AtEnd()) {
+      !cursor.U8(&order) || !cursor.U8(&update_working) ||
+      !cursor.U8(&semantics) || !cursor.AtEnd()) {
     return corrupt("truncated body");
   }
   if (update_working > 1) return corrupt("bad update_working flag");
@@ -75,6 +80,7 @@ util::StatusOr<SessionMeta> DecodeMeta(std::span<const uint8_t> bytes) {
   meta.k = static_cast<int>(k);
   meta.order = order;
   meta.update_working = update_working != 0;
+  meta.semantics = semantics;
   return meta;
 }
 

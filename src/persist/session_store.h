@@ -23,6 +23,10 @@ struct SessionMeta {
   int k = 0;
   uint8_t order = 0;  // pw::OrderMode, stored as its numeric value
   bool update_working = false;
+  /// core::SemanticsId as its numeric wire value. Recovery refuses a
+  /// value it cannot map back: replaying under a different objective
+  /// would silently change selector rescoring and quality traces.
+  uint8_t semantics = 0;
 
   friend bool operator==(const SessionMeta&, const SessionMeta&) = default;
 };

@@ -11,6 +11,9 @@
 //   rank::ProbGreater, rank::MembershipCalculator  Eq. 1 / Section 4.2
 //   pw::TopKDistribution, pw::ConstraintSet      possible-world results
 //   core::MakeSelector, core::QualityEvaluator   pair selection (Defn. 3)
+//   core::RankingSemantics, core::MakeSemantics  pluggable ranking
+//                                                objectives (Section 2.2)
+//   topk::UTopK / UKRanks / PTk / GlobalTopK     one-shot semantics queries
 //   engine::RankingEngine                        incremental conditioning
 //   crowd::CleaningSession, crowd::AdaptiveCleaner  the cleaning loops
 //   serve::SessionManager, serve::Scheduler      the concurrent serving
@@ -36,6 +39,7 @@
 //     seeds and thread-count configuration) produce bit-identical results;
 //     see DESIGN.md "Parallel execution".
 
+#include "core/semantics.h"
 #include "crowd/adaptive.h"
 #include "crowd/crowd_model.h"
 #include "crowd/session.h"
@@ -56,6 +60,7 @@
 #include "serve/runtime.h"
 #include "serve/scheduler.h"
 #include "serve/session_manager.h"
+#include "topk/semantics.h"
 #include "util/cancellation.h"
 #include "util/rng.h"
 #include "util/status.h"

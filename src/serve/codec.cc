@@ -393,6 +393,10 @@ util::Status JsonCodec::DecodeRequest(std::string_view frame,
         request->answers.emplace_back(static_cast<model::ObjectId>(smaller),
                                       static_cast<model::ObjectId>(larger));
       }
+    } else if (key == "semantics") {
+      if (util::Status s = reader.ParseString(&request->semantics); !s.ok()) {
+        return s;
+      }
     } else {
       return util::Status::InvalidArgument("protocol: unknown key '" + key +
                                            "'");
@@ -440,6 +444,9 @@ std::string JsonCodec::EncodeRequest(const Request& request) const {
              std::to_string(request.answers[i].second) + ']';
     }
     out += ']';
+  }
+  if (!request.semantics.empty()) {
+    out += ",\"semantics\":\"" + obs::JsonEscape(request.semantics) + "\"";
   }
   out += "}\n";
   return out;
@@ -833,6 +840,11 @@ util::StatusOr<Response> JsonCodec::DecodeResponse(
 // as u64le. Request body:
 //   u8 op, str id, str session, i64 count, i64 limit, i64 deadline_ms,
 //   u32 n_answers x { u32 smaller, u32 larger }
+//   [optional trailer] u8 flags (bit0 semantics; rest must be zero),
+//                      [bit0] str semantics
+// The trailer is written only when a flagged field is present, so
+// pre-trailer frames (and their recorded bytes) decode unchanged: an
+// empty-semantics request encodes without the flags byte at all.
 // Response body:
 //   u8 flags (bit0 ok, bit1 partial, bit2 retry; rest zero)
 //   str id
@@ -997,6 +1009,22 @@ util::Status BinaryCodec::DecodeRequest(std::string_view frame,
     request->answers.emplace_back(smaller, larger);
   }
   if (!reader.AtEnd()) {
+    uint8_t trailer_flags = 0;
+    if (!reader.U8(&trailer_flags)) return Truncated();
+    if ((trailer_flags & ~uint8_t{1}) != 0) {
+      return util::Status::InvalidArgument(
+          "protocol: unknown request flags " + std::to_string(trailer_flags));
+    }
+    // The encoder writes the trailer only when a flagged field is present,
+    // so an all-zero flags byte is not a canonical frame — reject it
+    // rather than tolerating trailing garbage.
+    if (trailer_flags == 0) {
+      return util::Status::InvalidArgument(
+          "protocol: empty request trailer");
+    }
+    if (!reader.Str(&request->semantics)) return Truncated();
+  }
+  if (!reader.AtEnd()) {
     return util::Status::InvalidArgument(
         "protocol: trailing bytes after binary request");
   }
@@ -1020,6 +1048,10 @@ std::string BinaryCodec::EncodeRequest(const Request& request) const {
   for (const auto& [smaller, larger] : request.answers) {
     writer.U32(static_cast<uint32_t>(smaller));
     writer.U32(static_cast<uint32_t>(larger));
+  }
+  if (!request.semantics.empty()) {
+    writer.U8(1);
+    writer.Str(request.semantics);
   }
   return writer.Framed();
 }

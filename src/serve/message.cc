@@ -82,6 +82,16 @@ util::Status ValidateRequest(const Request& request) {
           "protocol: answer object id out of range");
     }
   }
+  if (static_cast<int64_t>(request.semantics.size()) >
+      RequestLimits::kMaxTagBytes) {
+    return util::Status::InvalidArgument(
+        "protocol: semantics tag exceeds " +
+        std::to_string(RequestLimits::kMaxTagBytes) + " bytes");
+  }
+  if (!request.semantics.empty() && request.op != Op::kCreateSession) {
+    return util::Status::InvalidArgument(
+        "protocol: semantics is only valid on create_session");
+  }
   return util::Status::OK();
 }
 

@@ -46,6 +46,11 @@ struct Request {
   int64_t limit = 0;    // distribution: top sets listed (0 = all)
   int64_t deadline_ms = 0;  // per-request deadline; 0 = none
   std::vector<std::pair<model::ObjectId, model::ObjectId>> answers;
+  /// create_session only: ranking objective by registry name
+  /// (core::SemanticsFromName). "" = server default. Both codecs omit the
+  /// field entirely when empty, so pre-semantics frames round-trip
+  /// byte-identically.
+  std::string semantics;
 
   bool operator==(const Request&) const = default;
 };

@@ -283,7 +283,19 @@ Response Runtime::ExecuteSingle(int shard_index, const Request& request) {
   if (request.op == Op::kCreateSession) {
     Response response;
     response.id = request.id;
-    const util::Status s = shard.manager->CreateSession(request.session);
+    core::SemanticsId semantics = shard.manager->options().semantics;
+    if (!request.semantics.empty()) {
+      const std::optional<core::SemanticsId> resolved =
+          core::SemanticsFromName(request.semantics);
+      if (!resolved.has_value()) {
+        response.status = util::Status::InvalidArgument(
+            "unknown ranking semantics '" + request.semantics + "'");
+        return response;
+      }
+      semantics = *resolved;
+    }
+    const util::Status s =
+        shard.manager->CreateSession(request.session, semantics);
     if (!s.ok()) {
       response.status = s;
     } else {

@@ -32,11 +32,12 @@ obs::Gauge* SessionBytesGauge() {
 }
 
 engine::RankingEngine::Options EngineOptions(
-    const SessionManager::Options& options,
+    const SessionManager::Options& options, core::SemanticsId semantics,
     std::shared_ptr<const rank::MembershipCalculator> membership,
     std::shared_ptr<const pbtree::PBTree> tree,
     std::shared_ptr<util::EpochManager> epochs) {
   engine::RankingEngine::Options engine_options;
+  engine_options.semantics = semantics;
   engine_options.k = options.k;
   engine_options.order = options.order;
   engine_options.enumerator = options.enumerator;
@@ -140,7 +141,8 @@ void SessionManager::DrainSessionBytes(Session* session) {
   if (before != 0) SessionBytesGauge()->Sub(before);
 }
 
-util::Status SessionManager::CreateSessionLocked(const std::string& id) {
+util::Status SessionManager::CreateSessionLocked(
+    const std::string& id, core::SemanticsId semantics) {
   if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
     return util::Status::ResourceExhausted(
         "session table full (" + std::to_string(options_.max_sessions) +
@@ -151,7 +153,7 @@ util::Status SessionManager::CreateSessionLocked(const std::string& id) {
                                          "' already open");
   }
   auto session = std::make_shared<Session>(
-      *db_, EngineOptions(options_, membership_, tree_, epochs_));
+      *db_, EngineOptions(options_, semantics, membership_, tree_, epochs_));
   if (persist_enabled()) {
     persist::SessionMeta meta;
     meta.session_id = id;
@@ -159,6 +161,7 @@ util::Status SessionManager::CreateSessionLocked(const std::string& id) {
     meta.k = options_.k;
     meta.order = static_cast<uint8_t>(options_.order);
     meta.update_working = options_.update_working;
+    meta.semantics = static_cast<uint8_t>(semantics);
     util::StatusOr<persist::SessionStore> store = persist::SessionStore::
         Create(options_.persist.dir, meta, options_.persist.fsync);
     if (!store.ok()) {
@@ -171,6 +174,11 @@ util::Status SessionManager::CreateSessionLocked(const std::string& id) {
 }
 
 util::StatusOr<std::string> SessionManager::CreateSession() {
+  return CreateSession(options_.semantics);
+}
+
+util::StatusOr<std::string> SessionManager::CreateSession(
+    core::SemanticsId semantics) {
   static obs::Counter* const created = obs::GetCounter(
       "ptk_serve_sessions_total", "Serving sessions created");
   std::string id;
@@ -178,7 +186,9 @@ util::StatusOr<std::string> SessionManager::CreateSession() {
     std::lock_guard<std::mutex> lock(mu_);
     // The id is only consumed on success: a shed create never burns one.
     id = "s" + std::to_string(next_id_);
-    if (util::Status s = CreateSessionLocked(id); !s.ok()) return s;
+    if (util::Status s = CreateSessionLocked(id, semantics); !s.ok()) {
+      return s;
+    }
     ++next_id_;
   }
   created->Add();
@@ -187,11 +197,18 @@ util::StatusOr<std::string> SessionManager::CreateSession() {
 }
 
 util::Status SessionManager::CreateSession(const std::string& id) {
+  return CreateSession(id, options_.semantics);
+}
+
+util::Status SessionManager::CreateSession(const std::string& id,
+                                           core::SemanticsId semantics) {
   static obs::Counter* const created = obs::GetCounter(
       "ptk_serve_sessions_total", "Serving sessions created");
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (util::Status s = CreateSessionLocked(id); !s.ok()) return s;
+    if (util::Status s = CreateSessionLocked(id, semantics); !s.ok()) {
+      return s;
+    }
     // Keep the internal sequence ahead of caller-chosen numeric ids so a
     // later CreateSession() cannot collide with one.
     if (id.size() > 1 && id[0] == 's') {
@@ -574,9 +591,22 @@ util::StatusOr<int> SessionManager::RecoverSessions(
           "session '" + id + "': journal was written under a different "
           "engine configuration (k/order/update_working mismatch)");
     }
+    // Rebuild under the objective the session was created with — replay
+    // must re-run the folds (working-copy decision included) exactly as
+    // the writer did. A byte this build cannot map is a refusal, not a
+    // fallback: recovering under a substituted objective would diverge
+    // silently.
+    const std::optional<core::SemanticsId> semantics =
+        core::SemanticsFromWire(meta.semantics);
+    if (!semantics.has_value()) {
+      return util::Status::FailedPrecondition(
+          "session '" + id + "': journal names unknown ranking semantics " +
+          std::to_string(static_cast<int>(meta.semantics)));
+    }
 
     auto session = std::make_shared<Session>(
-        *db_, EngineOptions(options_, membership_, tree_, epochs_));
+        *db_,
+        EngineOptions(options_, *semantics, membership_, tree_, epochs_));
     uint64_t replay_from = 0;
     if (recovered->snapshot.has_value()) {
       const persist::SessionSnapshot& snapshot = *recovered->snapshot;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/selector.h"
+#include "core/semantics.h"
 #include "engine/ranking_engine.h"
 #include "model/database.h"
 #include "pbtree/pbtree.h"
@@ -65,6 +66,12 @@ class SessionManager {
     int k = 10;
     pw::OrderMode order = pw::OrderMode::kInsensitive;
     pw::EnumeratorOptions enumerator;
+
+    /// Ranking objective for sessions that do not name one at creation
+    /// (create_session's optional `semantics` field overrides per
+    /// session). The id is journaled in each session's meta and
+    /// cross-checked on recovery.
+    core::SemanticsId semantics = core::SemanticsId::kEntropy;
 
     /// Selection strategy and its knobs (see core::SelectorOptions).
     core::SelectorKind selector = core::SelectorKind::kOpt;
@@ -131,6 +138,10 @@ class SessionManager {
   /// kResourceExhausted once max_sessions are open (close one and retry).
   util::StatusOr<std::string> CreateSession();
 
+  /// As above, under a caller-chosen ranking objective instead of
+  /// Options::semantics.
+  util::StatusOr<std::string> CreateSession(core::SemanticsId semantics);
+
   /// Opens a session under a caller-chosen id. The sharded runtime
   /// (serve/runtime.h) assigns globally sequential ids itself — so the
   /// id stream is independent of the shard count — and places each one
@@ -139,6 +150,13 @@ class SessionManager {
   /// CreateSession(). Numeric "s<N>" ids advance the manager's own id
   /// sequence past N, keeping the two entry points collision-free.
   util::Status CreateSession(const std::string& id);
+
+  /// As above, with a per-session ranking objective overriding
+  /// Options::semantics. The choice is journaled in the session's meta:
+  /// recovery rebuilds the session under the objective it was created
+  /// with, whatever the recovering manager's default.
+  util::Status CreateSession(const std::string& id,
+                             core::SemanticsId semantics);
 
   /// Rebuilds every session journaled under Options::persist.dir: restores
   /// each one's latest snapshot, replays the WAL records past it through
@@ -298,8 +316,9 @@ class SessionManager {
   std::shared_ptr<Session> Find(const std::string& id) const;
 
   /// Admission check + table insert under mu_ (held by caller) for the
-  /// given id; shared by both CreateSession entry points.
-  util::Status CreateSessionLocked(const std::string& id);
+  /// given id; shared by every CreateSession entry point.
+  util::Status CreateSessionLocked(const std::string& id,
+                                   core::SemanticsId semantics);
 
   /// Folds one batch's answers into the session (caller holds
   /// session->mu), journaling each one — the per-answer core both

@@ -8,9 +8,9 @@
 
 namespace ptk::topk {
 
-util::Status UTopK(const model::Database& db, int k, pw::OrderMode order,
-                   const pw::EnumeratorOptions& options,
-                   pw::ResultKey* result, double* probability) {
+util::StatusOr<UTopKAnswer> UTopK(const model::Database& db, int k,
+                                  pw::OrderMode order,
+                                  const pw::EnumeratorOptions& options) {
   pw::TopKEnumerator enumerator(db);
   pw::TopKDistribution dist;
   util::Status s = enumerator.Enumerate(k, order, nullptr, options, &dist);
@@ -19,18 +19,16 @@ util::Status UTopK(const model::Database& db, int k, pw::OrderMode order,
     return util::Status::Internal("empty top-k distribution");
   }
   const auto sorted = dist.SortedByProbDesc();
-  *result = sorted.front().first;
-  *probability = sorted.front().second;
-  return util::Status::OK();
+  return UTopKAnswer{sorted.front().first, sorted.front().second};
 }
 
-util::Status UKRanks(const model::Database& db, int k,
-                     std::vector<ScoredObject>* per_rank) {
+util::StatusOr<std::vector<ScoredObject>> UKRanks(const model::Database& db,
+                                                  int k) {
   if (!db.finalized()) {
     return util::Status::InvalidArgument("database not finalized");
   }
   k = std::clamp(k, 1, db.num_objects());
-  per_rank->assign(k, ScoredObject{});
+  std::vector<ScoredObject> per_rank(k);
 
   // Scan ascending; at instance i of object o, Pr(o occupies rank r) +=
   // p_i * Pr(exactly r others rank above i). "Above" = strictly before
@@ -68,11 +66,11 @@ util::Status UKRanks(const model::Database& db, int k,
     for (int r = 0; r < k; ++r) {
       if (object_rank_prob[o][r] > best[r]) {
         best[r] = object_rank_prob[o][r];
-        (*per_rank)[r] = ScoredObject{o, object_rank_prob[o][r]};
+        per_rank[r] = ScoredObject{o, object_rank_prob[o][r]};
       }
     }
   }
-  return util::Status::OK();
+  return per_rank;
 }
 
 std::vector<ScoredObject> PTk(const model::Database& db, int k,

@@ -7,6 +7,7 @@
 #include "pw/topk_distribution.h"
 #include "pw/topk_enumerator.h"
 #include "util/status.h"
+#include "util/statusor.h"
 
 namespace ptk::topk {
 
@@ -23,17 +24,23 @@ struct ScoredObject {
   double score = 0.0;
 };
 
+/// U-Topk's answer: the most probable top-k result and its probability.
+struct UTopKAnswer {
+  pw::ResultKey result;
+  double probability = 0.0;
+};
+
 /// U-Topk: the most probable top-k result as a whole (rank-ordered for
 /// kSensitive, an object set for kInsensitive) and its probability.
-util::Status UTopK(const model::Database& db, int k, pw::OrderMode order,
-                   const pw::EnumeratorOptions& options,
-                   pw::ResultKey* result, double* probability);
+util::StatusOr<UTopKAnswer> UTopK(const model::Database& db, int k,
+                                  pw::OrderMode order,
+                                  const pw::EnumeratorOptions& options = {});
 
 /// U-kRanks: for each rank i in [0, k), the object most likely to occupy
 /// exactly that rank, with Pr(object at rank i). Exact, via the
 /// Poisson-binomial rank profile; O(N * (k + active)).
-util::Status UKRanks(const model::Database& db, int k,
-                     std::vector<ScoredObject>* per_rank);
+util::StatusOr<std::vector<ScoredObject>> UKRanks(const model::Database& db,
+                                                  int k);
 
 /// PT-k: all objects whose probability of appearing in the top-k result is
 /// at least `threshold`, ordered by descending probability.

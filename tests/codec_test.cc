@@ -47,6 +47,12 @@ std::vector<Request> SampleRequests() {
   create.id = "c1";
   requests.push_back(create);
 
+  Request create_semantics;
+  create_semantics.op = serve::Op::kCreateSession;
+  create_semantics.id = "c2";
+  create_semantics.semantics = "expected_rank";
+  requests.push_back(create_semantics);
+
   Request pairs;
   pairs.op = serve::Op::kNextPairs;
   pairs.id = "n1";
@@ -388,6 +394,106 @@ TEST(CodecTest, ValidateRequestClampsUpperBounds) {
                                         Binary().EncodeRequest(request)),
                                &decoded)
                 .code(),
+            Status::Code::kInvalidArgument);
+}
+
+// The create_session `semantics` field: absent must encode exactly the
+// pre-field bytes in both formats (old clients and every committed golden
+// keep round-tripping), present must survive both codecs, and both
+// decoders must reject it on any other op.
+TEST(CodecTest, SemanticsFieldIsOptionalAndCreateOnly) {
+  Request plain;
+  plain.op = serve::Op::kCreateSession;
+  plain.id = "c1";
+  // Absent: the JSON object carries no "semantics" key and the binary
+  // frame carries no trailer (the old fixed-field frame, byte-identical).
+  EXPECT_EQ(Json().EncodeRequest(plain),
+            "{\"op\":\"create_session\",\"id\":\"c1\"}\n");
+  const std::string plain_binary = Binary().EncodeRequest(plain);
+  Request plain_decoded;
+  ASSERT_TRUE(Binary()
+                  .DecodeRequest(OneFrame(Binary(), plain_binary),
+                                 &plain_decoded)
+                  .ok());
+  EXPECT_EQ(plain_decoded, plain);
+  EXPECT_TRUE(plain_decoded.semantics.empty());
+
+  Request with;
+  with.op = serve::Op::kCreateSession;
+  with.id = "c2";
+  with.semantics = "expected_rank";
+  EXPECT_EQ(Json().EncodeRequest(with),
+            "{\"op\":\"create_session\",\"id\":\"c2\","
+            "\"semantics\":\"expected_rank\"}\n");
+  for (const Codec* codec : {&Json(), &Binary()}) {
+    Request decoded;
+    ASSERT_TRUE(codec
+                    ->DecodeRequest(
+                        OneFrame(*codec, codec->EncodeRequest(with)),
+                        &decoded)
+                    .ok());
+    EXPECT_EQ(decoded, with);
+  }
+  // The trailer costs exactly flags byte + length-prefixed string.
+  EXPECT_EQ(Binary().EncodeRequest(with).size(),
+            Binary().EncodeRequest(plain).size() + 1 + 4 +
+                with.semantics.size());
+
+  // create_session-only: both decode paths run ValidateRequest.
+  Request wrong_op;
+  EXPECT_EQ(Json()
+                .DecodeRequest("{\"op\":\"quality\",\"session\":\"s1\","
+                               "\"semantics\":\"entropy\"}",
+                               &wrong_op)
+                .code(),
+            Status::Code::kInvalidArgument);
+  Request quality;
+  quality.op = serve::Op::kQuality;
+  quality.session = "s1";
+  quality.semantics = "entropy";
+  EXPECT_EQ(serve::ValidateRequest(quality).code(),
+            Status::Code::kInvalidArgument);
+  Request binary_decoded;
+  EXPECT_EQ(Binary()
+                .DecodeRequest(
+                    OneFrame(Binary(), Binary().EncodeRequest(quality)),
+                    &binary_decoded)
+                .code(),
+            Status::Code::kInvalidArgument);
+}
+
+// The binary trailer is strict: unknown flag bits and a flags byte that
+// announces nothing are both rejected (the encoder never writes either,
+// so tolerating them would silently accept trailing garbage).
+TEST(CodecTest, BinaryRequestTrailerIsStrict) {
+  Request create;
+  create.op = serve::Op::kCreateSession;
+  create.id = "c1";
+  const std::string frame =
+      std::string(OneFrame(Binary(), Binary().EncodeRequest(create)));
+
+  std::string empty_trailer = frame;
+  empty_trailer.push_back('\0');  // flags byte announcing no fields
+  Request decoded;
+  Status status = Binary().DecodeRequest(empty_trailer, &decoded);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("empty request trailer"),
+            std::string::npos)
+      << status.ToString();
+
+  std::string unknown_flag = frame;
+  unknown_flag.push_back('\x02');  // bit 1 is unassigned
+  status = Binary().DecodeRequest(unknown_flag, &decoded);
+  EXPECT_EQ(status.code(), Status::Code::kInvalidArgument);
+  EXPECT_NE(status.message().find("unknown request flags"),
+            std::string::npos)
+      << status.ToString();
+
+  // A flagged-but-truncated semantics string is a truncation error, not
+  // an accept.
+  std::string truncated = frame;
+  truncated.push_back('\x01');
+  EXPECT_EQ(Binary().DecodeRequest(truncated, &decoded).code(),
             Status::Code::kInvalidArgument);
 }
 

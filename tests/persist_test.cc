@@ -626,6 +626,94 @@ TEST(ManagerPersistTest, CloseDropsTheJournalDirectory) {
   EXPECT_FALSE(std::filesystem::exists(session_dir));
 }
 
+// ---------------------------------------------------------------------------
+// Ranking semantics: journaled per session, cross-checked on recovery
+
+TEST(SessionStoreTest, MetaCarriesTheSemanticsByte) {
+  TempDir dir("semmeta");
+  persist::SessionMeta meta;
+  meta.session_id = "s1";
+  meta.db_fingerprint = 0xabc;
+  meta.k = 3;
+  meta.semantics = static_cast<uint8_t>(core::SemanticsId::kUKRanks);
+  ASSERT_TRUE(persist::SessionStore::Create(dir.path, meta, false).ok());
+  StatusOr<persist::RecoveredSession> recovered =
+      persist::SessionStore::OpenExisting(dir.path, "s1", false);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered->meta, meta);
+  EXPECT_EQ(recovered->meta.semantics, 2);
+}
+
+// A journal whose meta names a semantics byte this build cannot map (a
+// downgrade across an appended enumerator, or corruption that survived
+// the CRC) is refused outright: replaying under a substituted objective
+// would diverge silently instead of failing loudly.
+TEST(ManagerPersistTest, RecoveryRefusesUnknownSemanticsByte) {
+  const model::Database db = TestDb();
+  TempDir dir("badsem");
+  serve::SessionManager::Options options = PersistOptions(dir.path, false);
+  persist::SessionMeta meta;
+  meta.session_id = "s1";
+  meta.db_fingerprint = persist::DatabaseFingerprint(db);
+  meta.k = options.k;
+  meta.order = static_cast<uint8_t>(options.order);
+  meta.update_working = options.update_working;
+  meta.semantics = 200;  // every other field matches the manager's config
+  ASSERT_TRUE(persist::SessionStore::Create(dir.path, meta, false).ok());
+
+  serve::SessionManager manager(db, options);
+  StatusOr<int> recovered = manager.RecoverSessions();
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_EQ(recovered.status().code(), Status::Code::kFailedPrecondition);
+  EXPECT_NE(recovered.status().message().find("unknown ranking semantics"),
+            std::string::npos)
+      << recovered.status().ToString();
+}
+
+// The KillRestartTest contract under a non-default objective: the
+// journaled semantics byte overrides the recovering manager's default, so
+// a kill/restart/replay of an expected_rank session lands on exactly the
+// bytes the uninterrupted run produces — quality included, which under
+// this objective is the rank-variance functional, not entropy.
+TEST(ManagerPersistTest, ExpectedRankKillRestartIsBitIdentical) {
+  const model::Database db = TestDb();
+  constexpr int kRoundsBefore = 3;
+  constexpr int kRoundsAfter = 2;
+
+  SessionState golden;
+  {
+    serve::SessionManager::Options options = PersistOptions("", false);
+    options.persist.dir.clear();
+    serve::SessionManager manager(db, options);
+    StatusOr<std::string> id =
+        manager.CreateSession(core::SemanticsId::kExpectedRank);
+    ASSERT_TRUE(id.ok());
+    RunRounds(manager, db, *id, kRoundsBefore + kRoundsAfter, &golden);
+  }
+
+  TempDir dir("ksem");
+  std::string session_id;
+  {
+    serve::SessionManager manager(db, PersistOptions(dir.path, false));
+    StatusOr<std::string> id =
+        manager.CreateSession(core::SemanticsId::kExpectedRank);
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+    session_id = *id;
+    SessionState ignored;
+    RunRounds(manager, db, session_id, kRoundsBefore, &ignored);
+    // No Close(): journal left behind, snapshot_every=3 already fired.
+  }
+  // The recovering manager's *default* objective stays entropy; the
+  // session must come back as expected_rank from its meta alone.
+  serve::SessionManager manager(db, PersistOptions(dir.path, false));
+  StatusOr<int> recovered = manager.RecoverSessions();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, 1);
+  SessionState resumed;
+  RunRounds(manager, db, session_id, kRoundsAfter, &resumed);
+  ExpectBitIdentical(resumed, golden);
+}
+
 // A second process pointed at the same persist dir imports the catalog's
 // pre-warmed singles instead of re-running the membership scan — and the
 // warm start changes nothing about the answers.

@@ -453,5 +453,99 @@ TEST(RuntimeTest, RecoverReshardsJournaledSessions) {
   after.Shutdown();
 }
 
+// A session created with `"semantics":"expected_rank"` cleans end to end:
+// the quality op reports the objective's uncertainty (not entropy), the
+// point of the whole axis. Unknown names are refused at create time, and
+// the per-session choice survives a journal replay into a fresh runtime.
+TEST(RuntimeTest, CreateSessionHonorsRequestedSemantics) {
+  const model::Database db = TestDb();
+  Runtime runtime(db, BaseOptions());
+
+  Request create = Make(Op::kCreateSession, "c0");
+  create.semantics = "expected_rank";
+  Request bogus = Make(Op::kCreateSession, "c1");
+  bogus.semantics = "no_such_objective";
+  Request post = Make(Op::kPostAnswers, "a0", "s1");
+  post.answers = {{0, 1}, {1, 2}};
+  const std::vector<Response> responses =
+      RunThrough(runtime, {create, bogus, post, Make(Op::kQuality, "q0",
+                                                     "s1")});
+  runtime.Shutdown();
+
+  ASSERT_TRUE(responses[0].status.ok());
+  EXPECT_EQ(std::get<Response::Created>(responses[0].payload).session,
+            "s1");
+  EXPECT_EQ(responses[1].status.code(), Status::Code::kInvalidArgument);
+  ASSERT_TRUE(responses[2].status.ok());
+  ASSERT_TRUE(responses[3].status.ok());
+  const double served = std::get<Response::Quality>(
+      responses[3].payload).quality;
+
+  // Reference: a bare engine under the same objective and fold flags.
+  engine::RankingEngine::Options engine_options;
+  engine_options.k = BaseOptions().manager.k;
+  engine_options.fanout = BaseOptions().manager.fanout;
+  engine_options.semantics = core::SemanticsId::kExpectedRank;
+  engine::RankingEngine engine(db, engine_options);
+  engine::RankingEngine::FoldOutcome outcome;
+  ASSERT_TRUE(engine.Fold(0, 1, false, &outcome).ok());
+  ASSERT_TRUE(engine.Fold(1, 2, false, &outcome).ok());
+  const util::StatusOr<double> expected = engine.Quality();
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(served, *expected)
+      << "serving path disagrees with a direct expected_rank engine";
+
+  // And it is not the entropy number the default would have reported.
+  engine::RankingEngine::Options entropy_options = engine_options;
+  entropy_options.semantics = core::SemanticsId::kEntropy;
+  engine::RankingEngine entropy(db, entropy_options);
+  ASSERT_TRUE(entropy.Fold(0, 1, false, &outcome).ok());
+  ASSERT_TRUE(entropy.Fold(1, 2, false, &outcome).ok());
+  const util::StatusOr<double> entropy_quality = entropy.Quality();
+  ASSERT_TRUE(entropy_quality.ok());
+  EXPECT_NE(served, *entropy_quality);
+}
+
+TEST(RuntimeTest, RecoverReplaysSessionSemantics) {
+  const model::Database db = TestDb();
+  TempDir dir("runtime_semantics_recover");
+  Runtime::Options options = BaseOptions();
+  options.manager.persist.dir = dir.path;
+  options.manager.persist.fsync = false;
+
+  Request create_er = Make(Op::kCreateSession, "c0");
+  create_er.semantics = "ukranks";
+  Request post1 = Make(Op::kPostAnswers, "a0", "s1");
+  post1.answers = {{0, 1}};
+  Request post2 = Make(Op::kPostAnswers, "a1", "s2");
+  post2.answers = {{0, 1}};
+  const std::vector<Request> reads = {Make(Op::kQuality, "q0", "s1"),
+                                      Make(Op::kQuality, "q1", "s2")};
+
+  Runtime before(db, options);
+  ASSERT_EQ(RunThrough(before,
+                       {create_er, Make(Op::kCreateSession, "c1"), post1,
+                        post2})
+                .size(),
+            4u);
+  const std::vector<Response> golden = RunThrough(before, reads);
+  before.Shutdown();
+
+  // The two sessions diverge only in their journaled semantics byte; the
+  // recovered runtime must answer both reads bit-identically, which means
+  // it rebuilt s1 as ukranks and s2 as entropy.
+  Runtime after(db, options);
+  util::StatusOr<int> recovered = after.Recover();
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(*recovered, 2);
+  ExpectSameTranscript(golden, RunThrough(after, reads));
+  after.Shutdown();
+
+  ASSERT_TRUE(golden[0].status.ok());
+  ASSERT_TRUE(golden[1].status.ok());
+  EXPECT_NE(std::get<Response::Quality>(golden[0].payload).quality,
+            std::get<Response::Quality>(golden[1].payload).quality);
+}
+
 }  // namespace
 }  // namespace ptk

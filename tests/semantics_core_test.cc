@@ -1,0 +1,315 @@
+// The pluggable ranking-objective layer (core/semantics.h): the registry,
+// the three shipped objectives, the engine threading (Options::semantics),
+// and the determinism contract — any state an objective memoizes across
+// folds must be a pure function of the current working marginals, so a
+// fresh instance evaluated on the same context reproduces the incremental
+// value bit for bit. Recovery replays (persist_test.cc) lean on this.
+
+#include "core/semantics.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/selector.h"
+#include "engine/ranking_engine.h"
+#include "model/database.h"
+#include "pw/topk_distribution.h"
+#include "topk/semantics.h"
+#include "test_util.h"
+
+namespace ptk {
+namespace {
+
+using core::SemanticsId;
+
+TEST(SemanticsRegistry, NamesRoundTrip) {
+  const std::vector<SemanticsId> all = core::AllSemantics();
+  ASSERT_EQ(all.size(), 3u);
+  for (SemanticsId id : all) {
+    const std::string_view name = core::SemanticsName(id);
+    EXPECT_NE(name, "?");
+    EXPECT_EQ(core::SemanticsFromName(name), id);
+    EXPECT_EQ(core::SemanticsFromWire(static_cast<uint8_t>(id)), id);
+    const std::unique_ptr<core::RankingSemantics> semantics =
+        core::MakeSemantics(id);
+    ASSERT_NE(semantics, nullptr);
+    EXPECT_EQ(semantics->id(), id);
+    EXPECT_EQ(semantics->name(), name);
+  }
+}
+
+TEST(SemanticsRegistry, NamesAreCaseInsensitive) {
+  EXPECT_EQ(core::SemanticsFromName("ENTROPY"), SemanticsId::kEntropy);
+  EXPECT_EQ(core::SemanticsFromName("Expected_Rank"),
+            SemanticsId::kExpectedRank);
+  EXPECT_EQ(core::SemanticsFromName("UKRanks"), SemanticsId::kUKRanks);
+}
+
+TEST(SemanticsRegistry, UnknownNamesAndWireBytesAreRefused) {
+  EXPECT_FALSE(core::SemanticsFromName("").has_value());
+  EXPECT_FALSE(core::SemanticsFromName("entropy2").has_value());
+  EXPECT_FALSE(core::SemanticsFromName("expected rank").has_value());
+  // The recovery path maps journaled bytes back through SemanticsFromWire
+  // and refuses the ones it cannot name.
+  EXPECT_FALSE(core::SemanticsFromWire(3).has_value());
+  EXPECT_FALSE(core::SemanticsFromWire(200).has_value());
+  EXPECT_FALSE(core::SemanticsFromWire(255).has_value());
+}
+
+TEST(SemanticsRegistry, WireValuesArePinned) {
+  // Journaled in persist::SessionMeta — renumbering would misread every
+  // existing journal.
+  EXPECT_EQ(static_cast<uint8_t>(SemanticsId::kEntropy), 0);
+  EXPECT_EQ(static_cast<uint8_t>(SemanticsId::kExpectedRank), 1);
+  EXPECT_EQ(static_cast<uint8_t>(SemanticsId::kUKRanks), 2);
+}
+
+// The default objective is the extracted entropy path: the engine's
+// Quality() must equal the memoized distribution's entropy bit for bit
+// (the historical behaviour every golden transcript pins).
+TEST(EntropySemantics, EngineQualityIsDistributionEntropy) {
+  const model::Database db = testing::PaperExampleDb();
+  engine::RankingEngine::Options options;
+  options.k = 2;
+  engine::RankingEngine engine(db, options);
+  EXPECT_EQ(engine.semantics().id(), SemanticsId::kEntropy);
+  EXPECT_TRUE(engine.semantics().needs_distribution());
+  EXPECT_FALSE(engine.semantics().requires_working_fold());
+
+  const util::StatusOr<double> quality = engine.Quality();
+  ASSERT_TRUE(quality.ok());
+  const util::StatusOr<pw::TopKDistribution> dist = engine.Distribution();
+  ASSERT_TRUE(dist.ok());
+  // DOUBLE_EQ, not EQ: Distribution() hands out a copy, and the copied
+  // unordered map may iterate (and thus sum) in a different order than the
+  // engine's memoized original. The transcript-pinning equality is checked
+  // end-to-end by the serving goldens.
+  EXPECT_DOUBLE_EQ(*quality, dist->Entropy());
+
+  engine::RankingEngine::FoldOutcome outcome;
+  ASSERT_TRUE(engine.Fold(0, 1, /*update_working=*/false, &outcome).ok());
+  ASSERT_EQ(outcome, engine::RankingEngine::FoldOutcome::kApplied);
+  const util::StatusOr<double> after = engine.Quality();
+  const util::StatusOr<pw::TopKDistribution> dist_after =
+      engine.Distribution();
+  ASSERT_TRUE(after.ok());
+  ASSERT_TRUE(dist_after.ok());
+  EXPECT_DOUBLE_EQ(*after, dist_after->Entropy());
+}
+
+TEST(EntropySemantics, PointAnswerIsTheMostProbableResultSet) {
+  const model::Database db = testing::PaperExampleDb();
+  engine::RankingEngine::Options options;
+  options.k = 2;
+  engine::RankingEngine engine(db, options);
+  const util::StatusOr<std::vector<topk::ScoredObject>> answer =
+      engine.PointAnswer();
+  ASSERT_TRUE(answer.ok());
+  // Table 1: the most probable top-2 result is {o1, o3} with P = 0.48.
+  ASSERT_EQ(answer->size(), 2u);
+  EXPECT_EQ((*answer)[0].oid, 0);
+  EXPECT_EQ((*answer)[1].oid, 2);
+  EXPECT_NEAR((*answer)[0].score, 0.48, 1e-12);
+  EXPECT_EQ((*answer)[0].score, (*answer)[1].score);
+}
+
+// Folds a deterministic answer sequence into an engine running the given
+// objective and checks, after every fold, that the incrementally
+// maintained uncertainty equals a *fresh* objective instance evaluated on
+// the same context — the scratch rebuild the determinism contract
+// promises. EXPECT_EQ on doubles: the contract is bitwise.
+void ExpectIncrementalMatchesScratch(SemanticsId id, uint64_t seed) {
+  const model::Database db = testing::RandomDb(6, 3, seed);
+  engine::RankingEngine::Options options;
+  options.k = 2;
+  options.semantics = id;
+  engine::RankingEngine engine(db, options);
+
+  util::Rng rng(seed * 7919 + 13);
+  int applied = 0;
+  for (int step = 0; step < 12; ++step) {
+    const model::ObjectId a =
+        static_cast<model::ObjectId>(rng.UniformInt(0, db.num_objects() - 1));
+    model::ObjectId b;
+    do {
+      b = static_cast<model::ObjectId>(
+          rng.UniformInt(0, db.num_objects() - 1));
+    } while (b == a);
+    engine::RankingEngine::FoldOutcome outcome;
+    const util::Status s =
+        engine.Fold(a, b, /*update_working=*/false, &outcome);
+    ASSERT_TRUE(s.ok()) << s.ToString();
+    if (outcome == engine::RankingEngine::FoldOutcome::kApplied) ++applied;
+
+    const util::StatusOr<double> incremental = engine.Quality();
+    ASSERT_TRUE(incremental.ok()) << incremental.status().ToString();
+
+    const std::unique_ptr<core::RankingSemantics> scratch =
+        core::MakeSemantics(id);
+    core::SemanticsContext ctx;
+    ctx.base = &engine.base_db();
+    ctx.working = &engine.working_db();
+    ctx.k = options.k;
+    ctx.order = options.order;
+    EXPECT_EQ(*incremental, scratch->Uncertainty(ctx))
+        << "semantics " << core::SemanticsName(id) << " seed " << seed
+        << " step " << step;
+  }
+  EXPECT_GT(applied, 0) << "seed " << seed << " never applied a fold";
+}
+
+TEST(ExpectedRankSemantics, IncrementalMatchesScratchRebuild) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    ExpectIncrementalMatchesScratch(SemanticsId::kExpectedRank, seed);
+  }
+}
+
+TEST(UKRanksSemantics, IncrementalMatchesScratchRebuild) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u}) {
+    ExpectIncrementalMatchesScratch(SemanticsId::kUKRanks, seed);
+  }
+}
+
+// Non-default objectives read conditioned marginals, so Fold must update
+// the working copy even when the caller asked for update_working=false.
+TEST(SemanticsThreading, NonDefaultSemanticsForceWorkingFolds) {
+  const model::Database db = testing::PaperExampleDb();
+  for (SemanticsId id :
+       {SemanticsId::kExpectedRank, SemanticsId::kUKRanks}) {
+    engine::RankingEngine::Options options;
+    options.k = 2;
+    options.semantics = id;
+    engine::RankingEngine engine(db, options);
+    EXPECT_TRUE(engine.semantics().requires_working_fold());
+    engine::RankingEngine::FoldOutcome outcome;
+    ASSERT_TRUE(engine.Fold(0, 1, /*update_working=*/false, &outcome).ok());
+    ASSERT_EQ(outcome, engine::RankingEngine::FoldOutcome::kApplied);
+    EXPECT_TRUE(engine.working_materialized())
+        << core::SemanticsName(id)
+        << ": fold left the working marginals untouched";
+    EXPECT_NE(&engine.working_db(), &engine.base_db());
+  }
+}
+
+// Answering pairs consistently with one fixed total order must drive both
+// marginal objectives' uncertainty down from its prior value.
+TEST(SemanticsThreading, ConsistentAnswersReduceUncertainty) {
+  const model::Database db = testing::RandomDb(5, 3, 11);
+  for (SemanticsId id :
+       {SemanticsId::kExpectedRank, SemanticsId::kUKRanks}) {
+    engine::RankingEngine::Options options;
+    options.k = 2;
+    options.semantics = id;
+    engine::RankingEngine engine(db, options);
+    const util::StatusOr<double> before = engine.Quality();
+    ASSERT_TRUE(before.ok());
+    // Ground truth: object id order (0 above 1 above 2 ...).
+    for (model::ObjectId a = 0; a < db.num_objects(); ++a) {
+      for (model::ObjectId b = a + 1; b < db.num_objects(); ++b) {
+        engine::RankingEngine::FoldOutcome outcome;
+        ASSERT_TRUE(engine.Fold(a, b, false, &outcome).ok());
+      }
+    }
+    const util::StatusOr<double> after = engine.Quality();
+    ASSERT_TRUE(after.ok());
+    EXPECT_LT(*after, *before) << core::SemanticsName(id);
+    EXPECT_GE(*after, 0.0);
+  }
+}
+
+TEST(UKRanksSemantics, PointAnswerMatchesOneShotQuery) {
+  const model::Database db = testing::RandomDb(6, 3, 21);
+  engine::RankingEngine::Options options;
+  options.k = 3;
+  options.semantics = SemanticsId::kUKRanks;
+  engine::RankingEngine engine(db, options);
+  const util::StatusOr<std::vector<topk::ScoredObject>> answer =
+      engine.PointAnswer();
+  ASSERT_TRUE(answer.ok());
+  // Before any fold the working marginals equal the base, so the engine's
+  // per-rank winners are exactly topk::UKRanks on the base database.
+  const util::StatusOr<std::vector<topk::ScoredObject>> oneshot =
+      topk::UKRanks(db, options.k);
+  ASSERT_TRUE(oneshot.ok());
+  ASSERT_EQ(answer->size(), oneshot->size());
+  for (size_t r = 0; r < answer->size(); ++r) {
+    EXPECT_EQ((*answer)[r].oid, (*oneshot)[r].oid) << "rank " << r;
+    EXPECT_EQ((*answer)[r].score, (*oneshot)[r].score) << "rank " << r;
+  }
+}
+
+TEST(ExpectedRankSemantics, PointAnswerMatchesOneShotQuery) {
+  const model::Database db = testing::RandomDb(6, 3, 22);
+  engine::RankingEngine::Options options;
+  options.k = 3;
+  options.semantics = SemanticsId::kExpectedRank;
+  engine::RankingEngine engine(db, options);
+  const util::StatusOr<std::vector<topk::ScoredObject>> answer =
+      engine.PointAnswer();
+  ASSERT_TRUE(answer.ok());
+  const std::vector<topk::ScoredObject> oneshot =
+      topk::ExpectedRankTopK(db, options.k);
+  ASSERT_EQ(answer->size(), oneshot.size());
+  for (size_t r = 0; r < answer->size(); ++r) {
+    EXPECT_EQ((*answer)[r].oid, oneshot[r].oid) << "rank " << r;
+    EXPECT_EQ((*answer)[r].score, oneshot[r].score) << "rank " << r;
+  }
+}
+
+// MakeSelector under a non-default objective wraps the inner selector in
+// the rescoring adapter: the name advertises both layers, the output is
+// deterministic across repeated construction, and the scores (the
+// objective's expected improvement) arrive sorted descending with the
+// documented tie-break.
+TEST(RescoredSelector, DeterministicAndSortedByImprovement) {
+  const model::Database db = testing::RandomDb(6, 3, 31);
+  engine::RankingEngine::Options options;
+  options.k = 2;
+  options.semantics = SemanticsId::kExpectedRank;
+  options.candidate_pool = 10;
+  engine::RankingEngine engine(db, options);
+
+  const std::unique_ptr<core::PairSelector> first =
+      engine.MakeSelector(core::SelectorKind::kOpt);
+  EXPECT_EQ(first->name(), "OPT+expected_rank");
+  std::vector<core::ScoredPair> pairs_a;
+  ASSERT_TRUE(first->SelectPairs(3, &pairs_a).ok());
+  ASSERT_EQ(pairs_a.size(), 3u);
+  for (size_t i = 1; i < pairs_a.size(); ++i) {
+    EXPECT_GE(pairs_a[i - 1].ei_estimate, pairs_a[i].ei_estimate);
+  }
+  for (const core::ScoredPair& p : pairs_a) {
+    EXPECT_EQ(p.ei_estimate, p.ei_lower);
+    EXPECT_EQ(p.ei_estimate, p.ei_upper);
+  }
+
+  const std::unique_ptr<core::PairSelector> second =
+      engine.MakeSelector(core::SelectorKind::kOpt);
+  std::vector<core::ScoredPair> pairs_b;
+  ASSERT_TRUE(second->SelectPairs(3, &pairs_b).ok());
+  ASSERT_EQ(pairs_a.size(), pairs_b.size());
+  for (size_t i = 0; i < pairs_a.size(); ++i) {
+    EXPECT_EQ(pairs_a[i].a, pairs_b[i].a);
+    EXPECT_EQ(pairs_a[i].b, pairs_b[i].b);
+    EXPECT_EQ(pairs_a[i].ei_estimate, pairs_b[i].ei_estimate);
+  }
+}
+
+// The default objective keeps its dedicated EI machinery: MakeSelector
+// must NOT wrap, and the selector name stays the historical one (pinned
+// indirectly by every serving golden).
+TEST(RescoredSelector, EntropyEngineDoesNotWrap) {
+  const model::Database db = testing::PaperExampleDb();
+  engine::RankingEngine::Options options;
+  options.k = 2;
+  engine::RankingEngine engine(db, options);
+  const std::unique_ptr<core::PairSelector> selector =
+      engine.MakeSelector(core::SelectorKind::kOpt);
+  EXPECT_EQ(selector->name(), "OPT");
+}
+
+}  // namespace
+}  // namespace ptk

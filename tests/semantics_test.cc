@@ -11,13 +11,11 @@ namespace {
 
 TEST(UTopK, PaperExample) {
   const model::Database db = testing::PaperExampleDb();
-  pw::ResultKey result;
-  double prob = 0.0;
-  ASSERT_TRUE(topk::UTopK(db, 2, pw::OrderMode::kInsensitive, {}, &result,
-                          &prob)
-                  .ok());
-  EXPECT_EQ(result, (pw::ResultKey{0, 2}));  // {o1, o3}
-  EXPECT_NEAR(prob, 0.48, 1e-12);
+  const util::StatusOr<topk::UTopKAnswer> answer =
+      topk::UTopK(db, 2, pw::OrderMode::kInsensitive);
+  ASSERT_TRUE(answer.ok());
+  EXPECT_EQ(answer->result, (pw::ResultKey{0, 2}));  // {o1, o3}
+  EXPECT_NEAR(answer->probability, 0.48, 1e-12);
 }
 
 // Oracle: Pr(object at rank r) by world enumeration.
@@ -41,8 +39,10 @@ TEST_P(SemanticsSweep, UKRanksMatchesOracle) {
   const model::Database db = testing::RandomDb(6, 4, GetParam());
   for (int k : {1, 3, 5}) {
     const auto oracle = OracleRankProbs(db, k);
-    std::vector<topk::ScoredObject> per_rank;
-    ASSERT_TRUE(topk::UKRanks(db, k, &per_rank).ok());
+    const util::StatusOr<std::vector<topk::ScoredObject>> ranks =
+        topk::UKRanks(db, k);
+    ASSERT_TRUE(ranks.ok());
+    const std::vector<topk::ScoredObject>& per_rank = *ranks;
     ASSERT_EQ(per_rank.size(), static_cast<size_t>(k));
     for (int r = 0; r < k; ++r) {
       double best = 0.0;
@@ -133,9 +133,10 @@ TEST(ExpectedRankTopK, OrdersByExpectedRank) {
 
 TEST(UKRanks, RankProbabilitiesAreProbabilities) {
   const model::Database db = testing::RandomDb(10, 3, 33);
-  std::vector<topk::ScoredObject> per_rank;
-  ASSERT_TRUE(topk::UKRanks(db, 5, &per_rank).ok());
-  for (const auto& so : per_rank) {
+  const util::StatusOr<std::vector<topk::ScoredObject>> per_rank =
+      topk::UKRanks(db, 5);
+  ASSERT_TRUE(per_rank.ok());
+  for (const auto& so : *per_rank) {
     EXPECT_GE(so.score, 0.0);
     EXPECT_LE(so.score, 1.0);
     EXPECT_NE(so.oid, model::kInvalidObject);

@@ -7,7 +7,10 @@
 # proving the scalar kernel fallback reproduces the vectorized build byte
 # for byte, serving-transcript gates (JSON smoke vs golden; 2-shard and
 # no-coalesce runs vs the same golden; the binary wire format decoded back
-# to JSON vs the JSON frontend's bytes), a crash-recovery gate (SIGKILL a
+# to JSON vs the JSON frontend's bytes; a per-session ranking-semantics
+# transcript vs its own golden through both wire formats), semantics
+# recovery gates (journaled objective replays bit-identically, unknown
+# semantics bytes are refused), a crash-recovery gate (SIGKILL a
 # persisting server mid-stream, restart with --recover, diff the rest of
 # the transcript against an uninterrupted golden run), and an ASan/UBSan
 # build running the
@@ -120,6 +123,35 @@ diff tools/serve_smoke.golden /tmp/ptk_serve_shards2.out
   | sed -E "$NORMALIZE" > /tmp/ptk_serve_nocoalesce.out
 diff tools/serve_smoke.golden /tmp/ptk_serve_nocoalesce.out
 
+echo "== semantics smoke: per-session objectives vs golden, both wire formats =="
+# One transcript exercising all three ranking objectives (expected_rank,
+# ukranks, default entropy) plus an unknown-name refusal. The JSON run
+# must match the golden byte for byte, and the same requests through the
+# binary frontend (trailer-carried semantics field) must decode back to
+# the identical bytes.
+./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 \
+  < tools/serve_smoke_semantics.in 2>/dev/null \
+  > /tmp/ptk_serve_semantics.out
+diff tools/serve_smoke_semantics.golden /tmp/ptk_serve_semantics.out
+./build/tools/ptk_wire encode-requests < tools/serve_smoke_semantics.in \
+  | ./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 \
+      --wire binary 2>/dev/null \
+  | ./build/tools/ptk_wire decode-responses \
+  > /tmp/ptk_serve_semantics_bin.out
+diff tools/serve_smoke_semantics.golden /tmp/ptk_serve_semantics_bin.out
+# A server-wide default objective shifts the sessions that do not name
+# one: the entropy-default quality line must change under --semantics
+# expected_rank while the explicitly-named sessions stay put.
+./build/tools/ptk_server "$SMOKE_CSV" --k 2 --fanout 2 --workers 1 \
+  --semantics expected_rank \
+  < tools/serve_smoke_semantics.in 2>/dev/null \
+  > /tmp/ptk_serve_semantics_default.out
+head -n 9 tools/serve_smoke_semantics.golden \
+  | diff - <(head -n 9 /tmp/ptk_serve_semantics_default.out)
+! diff -q tools/serve_smoke_semantics.golden \
+    /tmp/ptk_serve_semantics_default.out >/dev/null \
+  || { echo "--semantics default had no effect"; exit 1; }
+
 echo "== cross-codec gate: binary frontend must decode to the JSON transcript =="
 # Same requests through both wire formats; the binary responses, decoded
 # back to JSON by ptk_wire, must equal the JSON frontend's bytes. The
@@ -136,6 +168,15 @@ grep -v '"op":"bogus"' tools/serve_smoke.in > /tmp/ptk_wire_smoke.in
   | sed -E "$NORMALIZE" > /tmp/ptk_wire_binary.out
 diff /tmp/ptk_wire_json.out /tmp/ptk_wire_binary.out
 rm -f "$SMOKE_CSV"
+
+echo "== semantics recovery gate: journaled objective replays; unknown bytes refuse =="
+# A persisting expected_rank session must survive kill/restart/replay
+# bit-identically (the journaled semantics byte overrides the recovering
+# manager's default), and a journal naming a semantics byte this build
+# cannot map must be refused loudly instead of replayed under a
+# substituted objective.
+(cd build && ctest --output-on-failure \
+  -R 'ExpectedRankKillRestartIsBitIdentical|RecoveryRefusesUnknownSemanticsByte|RecoverReplaysSessionSemantics')
 
 echo "== crash recovery gate: SIGKILL mid-stream, restart --recover, diff vs golden =="
 CRASH_CSV="$(mktemp)"
@@ -193,7 +234,7 @@ cmake --build build-asan -j "$JOBS" \
   --target load_csv_fuzz constraint_fold_fuzz wal_replay_fuzz frame_fuzz \
   robustness_test data_test session_test engine_test simd_test \
   simd_property_test persist_test epoch_test shared_sessions_test \
-  codec_test runtime_test
+  codec_test runtime_test semantics_core_test semantics_property_test
 # epoch_test's reader hammer turns a premature reclamation into a
 # use-after-free; shared_sessions_test's close-all drain turns a node copy
 # that never reaches the limbo list into a leak (LeakSanitizer).
@@ -202,7 +243,8 @@ cmake --build build-asan -j "$JOBS" \
   && ./tests/simd_test && ./tests/simd_property_test \
   && ./tests/persist_test && ./tests/epoch_test \
   && ./tests/shared_sessions_test \
-  && ./tests/codec_test && ./tests/runtime_test)
+  && ./tests/codec_test && ./tests/runtime_test \
+  && ./tests/semantics_core_test && ./tests/semantics_property_test)
 
 run_fuzz() {
   local target="$1" corpus="$2"

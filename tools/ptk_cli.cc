@@ -32,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "core/semantics.h"
 #include "data/answers.h"
 #include "data/csv.h"
 #include "engine/ranking_engine.h"
@@ -67,7 +68,9 @@ int Usage() {
       "  ptk_cli semantics <db.csv> <k>\n"
       "  ptk_cli clean     <db.csv> <k> <answers.csv>\n"
       "common flags:\n"
-      "  --metrics[=text|json|prom]  dump the metrics registry to stderr\n");
+      "  --metrics[=text|json|prom]  dump the metrics registry to stderr\n"
+      "  --semantics entropy|expected_rank|ukranks  ranking objective for\n"
+      "      topk/quality/select/clean (default entropy)\n");
   return 2;
 }
 
@@ -170,22 +173,62 @@ void PrintKey(const ptk::pw::ResultKey& key) {
   std::printf("}");
 }
 
-ptk::engine::RankingEngine::Options EngineOptions(int k, int argc,
-                                                  char** argv) {
+/// Parses --semantics NAME anywhere on the command line; absent means the
+/// default entropy objective (and byte-identical default output). Returns
+/// false with a diagnostic listing the registry for an unknown name.
+bool ParseSemanticsFlag(int argc, char** argv, ptk::core::SemanticsId* out) {
+  *out = ptk::core::SemanticsId::kEntropy;
+  const char* name = FlagValue(argc, argv, "--semantics");
+  if (name == nullptr) return true;
+  const auto id = ptk::core::SemanticsFromName(name);
+  if (!id.has_value()) {
+    std::string known;
+    for (const ptk::core::SemanticsId sid : ptk::core::AllSemantics()) {
+      if (!known.empty()) known += "|";
+      known += std::string(ptk::core::SemanticsName(sid));
+    }
+    std::fprintf(stderr, "error: unknown --semantics '%s' (known: %s)\n",
+                 name, known.c_str());
+    return false;
+  }
+  *out = *id;
+  return true;
+}
+
+ptk::engine::RankingEngine::Options EngineOptions(
+    int k, ptk::core::SemanticsId semantics, int argc, char** argv) {
   ptk::engine::RankingEngine::Options options;
   options.k = k;
+  options.semantics = semantics;
   options.order = HasFlag(argc, argv, "--order-sensitive")
                       ? ptk::pw::OrderMode::kSensitive
                       : ptk::pw::OrderMode::kInsensitive;
   return options;
 }
 
-int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
+int RunTopK(const ptk::model::Database& db, int k,
+            ptk::core::SemanticsId semantics, int argc, char** argv) {
   int limit = 20;
   if (const char* v = FlagValue(argc, argv, "--limit")) {
     if (!ParseInt(v, &limit) || limit < 0) return FailBadInt("--limit", v);
   }
-  ptk::engine::RankingEngine engine(db, EngineOptions(k, argc, argv));
+  ptk::engine::RankingEngine engine(db,
+                                    EngineOptions(k, semantics, argc, argv));
+  if (semantics != ptk::core::SemanticsId::kEntropy) {
+    // Non-entropy objectives answer with a ranked object list, not a
+    // distribution over result sets.
+    ptk::util::StatusOr<std::vector<ptk::topk::ScoredObject>> answer =
+        engine.PointAnswer();
+    if (!answer.ok()) return Fail(answer.status());
+    ptk::util::StatusOr<double> u = engine.Quality();
+    if (!u.ok()) return Fail(u.status());
+    std::printf("# %s top-%d (oid,score), U = %.6f\n",
+                std::string(engine.semantics().name()).c_str(), k, *u);
+    for (const auto& so : *answer) {
+      std::printf("%d,%.6f\n", so.oid, so.score);
+    }
+    return 0;
+  }
   ptk::util::StatusOr<ptk::pw::TopKDistribution> dist = engine.Distribution();
   if (!dist.ok()) return Fail(dist.status());
   std::printf("# %zu distinct top-%d results, H = %.6f\n", dist->size(), k,
@@ -200,18 +243,25 @@ int RunTopK(const ptk::model::Database& db, int k, int argc, char** argv) {
   return 0;
 }
 
-int RunQuality(const ptk::model::Database& db, int k, int argc,
-               char** argv) {
-  ptk::engine::RankingEngine engine(db, EngineOptions(k, argc, argv));
+int RunQuality(const ptk::model::Database& db, int k,
+               ptk::core::SemanticsId semantics, int argc, char** argv) {
+  ptk::engine::RankingEngine engine(db,
+                                    EngineOptions(k, semantics, argc, argv));
   ptk::util::StatusOr<double> h = engine.Quality();
   if (!h.ok()) return Fail(h.status());
+  if (semantics != ptk::core::SemanticsId::kEntropy) {
+    std::printf("U_%s(k=%d) = %.6f\n",
+                std::string(engine.semantics().name()).c_str(), k, *h);
+    return 0;
+  }
   std::printf("H(S_%d) = %.6f\n", k, *h);
   return 0;
 }
 
-int RunSelect(const ptk::model::Database& db, int k, int quota, int argc,
-              char** argv) {
-  ptk::engine::RankingEngine::Options options = EngineOptions(k, argc, argv);
+int RunSelect(const ptk::model::Database& db, int k, int quota,
+              ptk::core::SemanticsId semantics, int argc, char** argv) {
+  ptk::engine::RankingEngine::Options options =
+      EngineOptions(k, semantics, argc, argv);
   const char* name = FlagValue(argc, argv, "--selector");
   // core::SelectorKindFromName is case-insensitive, so the historical
   // lowercase spellings ("--selector opt") need no normalization here.
@@ -237,24 +287,19 @@ int RunSelect(const ptk::model::Database& db, int k, int quota, int argc,
 }
 
 int RunSemantics(const ptk::model::Database& db, int k) {
-  ptk::pw::ResultKey utopk;
-  double prob = 0.0;
-  if (ptk::util::Status s = ptk::topk::UTopK(
-          db, k, ptk::pw::OrderMode::kInsensitive, {}, &utopk, &prob);
-      !s.ok()) {
-    return Fail(s);
-  }
+  const ptk::util::StatusOr<ptk::topk::UTopKAnswer> utopk =
+      ptk::topk::UTopK(db, k, ptk::pw::OrderMode::kInsensitive);
+  if (!utopk.ok()) return Fail(utopk.status());
   std::printf("U-Top%d: ", k);
-  PrintKey(utopk);
-  std::printf("  p = %.6f\n", prob);
+  PrintKey(utopk->result);
+  std::printf("  p = %.6f\n", utopk->probability);
 
-  std::vector<ptk::topk::ScoredObject> ranks;
-  if (ptk::util::Status s = ptk::topk::UKRanks(db, k, &ranks); !s.ok()) {
-    return Fail(s);
-  }
+  const ptk::util::StatusOr<std::vector<ptk::topk::ScoredObject>> ranks =
+      ptk::topk::UKRanks(db, k);
+  if (!ranks.ok()) return Fail(ranks.status());
   std::printf("U-kRanks:");
-  for (size_t r = 0; r < ranks.size(); ++r) {
-    std::printf(" #%zu=%d(%.3f)", r + 1, ranks[r].oid, ranks[r].score);
+  for (size_t r = 0; r < ranks->size(); ++r) {
+    std::printf(" #%zu=%d(%.3f)", r + 1, (*ranks)[r].oid, (*ranks)[r].score);
   }
   std::printf("\n");
 
@@ -270,12 +315,14 @@ int RunSemantics(const ptk::model::Database& db, int k) {
   return 0;
 }
 
-int RunClean(const ptk::model::Database& db, int k, const char* answers) {
+int RunClean(const ptk::model::Database& db, int k,
+             ptk::core::SemanticsId semantics, const char* answers) {
   ptk::util::StatusOr<std::vector<ptk::data::ParsedAnswer>> parsed =
       ptk::data::LoadAnswers(answers, db.num_objects());
   if (!parsed.ok()) return Fail(parsed.status());
   ptk::engine::RankingEngine::Options options;
   options.k = k;
+  options.semantics = semantics;
   ptk::engine::RankingEngine engine(db, options);
   ptk::util::StatusOr<double> before = engine.Quality();
   if (!before.ok()) return Fail(before.status());
@@ -316,9 +363,10 @@ int RunClean(const ptk::model::Database& db, int k, const char* answers) {
 }  // namespace
 
 int RunCommand(const std::string& command, const ptk::model::Database& db,
-               int k, int argc, char** argv) {
-  if (command == "topk") return RunTopK(db, k, argc, argv);
-  if (command == "quality") return RunQuality(db, k, argc, argv);
+               int k, ptk::core::SemanticsId semantics, int argc,
+               char** argv) {
+  if (command == "topk") return RunTopK(db, k, semantics, argc, argv);
+  if (command == "quality") return RunQuality(db, k, semantics, argc, argv);
   if (command == "select") {
     if (argc < 5) return Usage();
     int quota = 0;
@@ -327,12 +375,12 @@ int RunCommand(const std::string& command, const ptk::model::Database& db,
       std::fprintf(stderr, "error: quota must be positive\n");
       return 1;
     }
-    return RunSelect(db, k, quota, argc, argv);
+    return RunSelect(db, k, quota, semantics, argc, argv);
   }
   if (command == "semantics") return RunSemantics(db, k);
   if (command == "clean") {
     if (argc < 5) return Usage();
-    return RunClean(db, k, argv[4]);
+    return RunClean(db, k, semantics, argv[4]);
   }
   return Usage();
 }
@@ -342,6 +390,8 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   MetricsFormat metrics_format = MetricsFormat::kNone;
   if (!ParseMetricsFlag(argc, argv, &metrics_format)) return 2;
+  ptk::core::SemanticsId semantics = ptk::core::SemanticsId::kEntropy;
+  if (!ParseSemanticsFlag(argc, argv, &semantics)) return 2;
   ptk::util::StatusOr<ptk::model::Database> db = ptk::data::LoadCsv(argv[2]);
   if (!db.ok()) return Fail(db.status());
   int k = 0;
@@ -351,7 +401,7 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  const int exit_code = RunCommand(command, *db, k, argc, argv);
+  const int exit_code = RunCommand(command, *db, k, semantics, argc, argv);
   // Dump after the command so the snapshot covers its work; stdout is
   // already complete and identical to a run without --metrics.
   DumpMetrics(metrics_format);

@@ -79,6 +79,7 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <data.csv> [--wire json|binary] [--shards N] "
                "[--no-coalesce] [--k N] [--selector NAME] "
+               "[--semantics entropy|expected_rank|ukranks] "
                "[--order sensitive] [--fanout N] [--workers N] [--queue N] "
                "[--max-sessions N] [--update-working] [--metrics] "
                "[--persist-dir PATH] [--no-fsync] [--snapshot-every N] "
@@ -134,6 +135,16 @@ int main(int argc, char** argv) {
         return 2;
       }
       options.manager.selector = *kind;
+    } else if (arg == "--semantics") {
+      // Server-wide default objective; a create_session request naming
+      // its own semantics still overrides per session.
+      if (i + 1 >= argc) return Usage(argv[0]);
+      const auto semantics = ptk::core::SemanticsFromName(argv[++i]);
+      if (!semantics.has_value()) {
+        std::fprintf(stderr, "unknown ranking semantics '%s'\n", argv[i]);
+        return 2;
+      }
+      options.manager.semantics = *semantics;
     } else if (arg == "--order") {
       if (i + 1 >= argc) return Usage(argv[0]);
       const std::string mode = argv[++i];
